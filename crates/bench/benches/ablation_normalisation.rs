@@ -1,0 +1,78 @@
+//! Ablation benchmark (DESIGN.md §7): per-type-sum vs. global-max utility
+//! normalisation. Measures both the model-building cost of the two modes and
+//! reports (once, via `eprintln!`) the resulting quality difference on a small
+//! Q3-style workload so the trade-off is visible in bench output.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use espice::{ModelConfig, NormalisationMode};
+use espice_bench::experiment_config;
+use espice_cep::SelectionPolicy;
+use espice_datasets::{StockConfig, StockDataset};
+use espice_runtime::{queries, Experiment, ShedderKind};
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+fn dataset() -> &'static StockDataset {
+    static DATASET: OnceLock<StockDataset> = OnceLock::new();
+    DATASET.get_or_init(|| {
+        StockDataset::generate(&StockConfig {
+            num_symbols: 60,
+            num_leading: 2,
+            followers_per_leading: 25,
+            duration_minutes: 60,
+            cascade_probability: 0.7,
+            ..StockConfig::default()
+        })
+    })
+}
+
+fn normalisation_ablation(c: &mut Criterion) {
+    let ds = dataset();
+    let query = queries::q3(ds, 10, 300, SelectionPolicy::First);
+
+    // Report the quality impact once so it shows up next to the timing data.
+    for mode in [NormalisationMode::PerTypeSum, NormalisationMode::GlobalMax] {
+        let experiment = Experiment::train(
+            &[query.clone()],
+            &ds.stream,
+            ds.registry.len(),
+            ModelConfig { positions: 300, normalisation: mode, ..ModelConfig::default() },
+            experiment_config(),
+        );
+        let outcome = experiment.evaluate(&query, ShedderKind::Espice);
+        eprintln!(
+            "normalisation ablation: {:?} -> FN {:.2}% FP {:.2}% (drop ratio {:.2})",
+            mode,
+            outcome.false_negative_pct(),
+            outcome.false_positive_pct(),
+            outcome.drop_ratio
+        );
+    }
+
+    let mut group = c.benchmark_group("normalisation_training");
+    for mode in [NormalisationMode::PerTypeSum, NormalisationMode::GlobalMax] {
+        group.bench_with_input(BenchmarkId::new("train", format!("{mode:?}")), &mode, |b, &mode| {
+            b.iter(|| {
+                let experiment = Experiment::train(
+                    &[query.clone()],
+                    &ds.stream,
+                    ds.registry.len(),
+                    ModelConfig { positions: 300, normalisation: mode, ..ModelConfig::default() },
+                    experiment_config(),
+                );
+                black_box(experiment.model().windows_observed())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(4))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = normalisation_ablation
+}
+criterion_main!(benches);

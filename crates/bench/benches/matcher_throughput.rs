@@ -1,0 +1,72 @@
+//! Criterion benchmark of the CEP matcher: sequence and sequence-with-any
+//! matching over windows of increasing size. This is the "actual event
+//! processing" cost the load-shedder overhead of Figure 10 is compared
+//! against.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use espice_cep::{Matcher, Pattern, PatternStep, Query, WindowEntry, WindowSpec};
+use espice_events::{Event, EventType, Timestamp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn window_entries(rng: &mut StdRng, size: usize, types: usize) -> Vec<WindowEntry> {
+    (0..size)
+        .map(|pos| WindowEntry {
+            position: pos,
+            event: Event::new(
+                EventType::from_index(rng.gen_range(0..types) as u32),
+                Timestamp::from_millis(pos as u64),
+                pos as u64,
+            ),
+        })
+        .collect()
+}
+
+fn sequence_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sequence_match");
+    for &window_size in &[2_000usize, 8_000] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let entries = window_entries(&mut rng, window_size, 500);
+        let query = Query::builder()
+            .pattern(Pattern::sequence((0..20).map(|i| EventType::from_index(i as u32))))
+            .window(WindowSpec::count_sliding(window_size, window_size))
+            .build();
+        let matcher = Matcher::from_query(&query);
+
+        group.throughput(Throughput::Elements(window_size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(window_size), &entries, |b, entries| {
+            b.iter(|| black_box(matcher.matches(0, entries)))
+        });
+    }
+    group.finish();
+}
+
+fn any_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("any_match");
+    for &pattern_size in &[10usize, 40, 80] {
+        let mut rng = StdRng::seed_from_u64(4);
+        let entries = window_entries(&mut rng, 2_000, 500);
+        let all_types: Vec<EventType> = (0..500).map(|i| EventType::from_index(i as u32)).collect();
+        let query = Query::builder()
+            .pattern(Pattern::new(vec![
+                PatternStep::single(EventType::from_index(0)),
+                PatternStep::any_of(all_types, pattern_size, true),
+            ]))
+            .window(WindowSpec::count_sliding(2_000, 2_000))
+            .build();
+        let matcher = Matcher::from_query(&query);
+
+        group.bench_with_input(BenchmarkId::from_parameter(pattern_size), &entries, |b, entries| {
+            b.iter(|| black_box(matcher.matches(0, entries)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = sequence_matching, any_matching
+}
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion benchmark of utility-model building (`UT`, position shares and
+//! per-partition `CDT`s). Model building is not on the critical path (paper
+//! §3.1) but must still scale to large windows and type counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use espice::{Cdt, ModelBuilder, ModelConfig};
+use espice_bench::figures::synthetic_model;
+use espice_cep::{ComplexEvent, Constituent, WindowEventDecider, WindowMeta};
+use espice_events::{Event, EventType, Timestamp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn build_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_build");
+    for &positions in &[500usize, 2_000, 8_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(positions), &positions, |b, &positions| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                let mut builder =
+                    ModelBuilder::new(ModelConfig::with_positions(positions), 500);
+                let meta = WindowMeta {
+                    id: 0,
+                    opened_at: Timestamp::ZERO,
+                    open_seq: 0,
+                    predicted_size: positions,
+                };
+                for pos in 0..positions {
+                    let ty = EventType::from_index(rng.gen_range(0..500) as u32);
+                    let _ = builder.decide(&meta, pos, &Event::new(ty, Timestamp::ZERO, pos as u64));
+                }
+                builder.window_closed(&meta, positions);
+                for pos in (0..positions).step_by(50) {
+                    builder.observe_complex(&ComplexEvent::new(
+                        0,
+                        Timestamp::ZERO,
+                        vec![Constituent {
+                            seq: pos as u64,
+                            event_type: EventType::from_index((pos % 500) as u32),
+                            position: pos,
+                        }],
+                    ));
+                }
+                black_box(builder.build())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn build_cdt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cdt_build");
+    for &positions in &[2_000usize, 16_000] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = synthetic_model(&mut rng, 500, positions);
+        group.bench_with_input(BenchmarkId::from_parameter(positions), &model, |b, model| {
+            b.iter(|| {
+                let cdts: Vec<Cdt> = model.cdt_partitions(10);
+                black_box(cdts)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = build_model, build_cdt
+}
+criterion_main!(benches);

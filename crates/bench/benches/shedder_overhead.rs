@@ -1,0 +1,88 @@
+//! Criterion micro-benchmark of the load shedder's per-event decision cost
+//! (the quantity behind Figure 10): one utility-table lookup plus a threshold
+//! compare, for utility tables of increasing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use espice::{EspiceShedder, ShedPlan};
+use espice_bench::figures::synthetic_model;
+use espice_cep::{WindowEventDecider, WindowMeta};
+use espice_events::{Event, EventType, Timestamp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn shed_decision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shed_decision");
+    for &window_size in &[2_000usize, 4_000, 8_000, 16_000] {
+        let mut rng = StdRng::seed_from_u64(42);
+        let model = synthetic_model(&mut rng, 500, window_size);
+        let mut shedder = EspiceShedder::new(model);
+        shedder.apply(ShedPlan {
+            active: true,
+            partitions: 10,
+            partition_size: window_size / 10,
+            events_to_drop: window_size as f64 / 60.0,
+        });
+        let meta = WindowMeta {
+            id: 0,
+            opened_at: Timestamp::ZERO,
+            open_seq: 0,
+            predicted_size: window_size,
+        };
+        let lookups: Vec<(usize, Event)> = (0..4096)
+            .map(|i| {
+                let ty = EventType::from_index(rng.gen_range(0..500) as u32);
+                (rng.gen_range(0..window_size), Event::new(ty, Timestamp::ZERO, i))
+            })
+            .collect();
+
+        group.throughput(Throughput::Elements(lookups.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(window_size), &lookups, |b, lookups| {
+            b.iter(|| {
+                let mut kept = 0usize;
+                for (pos, event) in lookups {
+                    if shedder.decide(black_box(&meta), black_box(*pos), black_box(event)).is_keep()
+                    {
+                        kept += 1;
+                    }
+                }
+                kept
+            })
+        });
+    }
+    group.finish();
+}
+
+fn baseline_decision(c: &mut Criterion) {
+    use espice_cep::Pattern;
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let model = synthetic_model(&mut rng, 500, 2_000);
+    let pattern = Pattern::sequence((0..20).map(|i| EventType::from_index(i as u32)));
+    let mut shedder = espice::BaselineShedder::new(&pattern, &model, 1);
+    shedder.apply(ShedPlan { active: true, partitions: 10, partition_size: 200, events_to_drop: 33.0 });
+    let meta =
+        WindowMeta { id: 0, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: 2_000 };
+    let events: Vec<Event> = (0..4096)
+        .map(|i| Event::new(EventType::from_index(rng.gen_range(0..500) as u32), Timestamp::ZERO, i))
+        .collect();
+
+    c.bench_function("baseline_decision", |b| {
+        b.iter(|| {
+            let mut kept = 0usize;
+            for (i, event) in events.iter().enumerate() {
+                if shedder.decide(black_box(&meta), i % 2_000, black_box(event)).is_keep() {
+                    kept += 1;
+                }
+            }
+            kept
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = shed_decision, baseline_decision
+}
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Reproduces Figure 10: run-time overhead of the load shedder relative to the
+//! actual event processing time, as a function of the window size (utility
+//! table of M = 500 event types and N = window-size positions).
+
+use espice_bench::figures::{overhead_figure, overhead_table};
+use espice_bench::Profile;
+
+fn main() {
+    let profile = Profile::from_args();
+    let points = overhead_figure(profile);
+    let table = overhead_table(&points);
+
+    println!("Figure 10 — load shedder overhead vs. window size (Q2-style workload)\n");
+    println!("{}", table.render());
+    println!("CSV:\n{}", table.to_csv());
+}

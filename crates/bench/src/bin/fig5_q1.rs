@@ -1,0 +1,19 @@
+//! Reproduces Figure 5a/5b: percentage of false negatives for Q1 (man-marking
+//! on the RTLS soccer stream) over the pattern size, for the first and last
+//! selection policies, input rates R1/R2, eSPICE vs. the BL baseline.
+
+use espice_bench::sweeps::q1_pattern_size_sweep;
+use espice_bench::Profile;
+use espice_cep::SelectionPolicy;
+
+fn main() {
+    let profile = Profile::from_args();
+    let dataset = profile.soccer_dataset();
+
+    for selection in [SelectionPolicy::First, SelectionPolicy::Last] {
+        let sweep = q1_pattern_size_sweep(profile, &dataset, selection);
+        println!("Figure 5{} — {} : % false negatives\n", if selection == SelectionPolicy::First { "a" } else { "b" }, sweep.title);
+        println!("{}", sweep.false_negative_table().render());
+        println!("CSV:\n{}", sweep.false_negative_table().to_csv());
+    }
+}

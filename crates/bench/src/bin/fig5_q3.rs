@@ -1,0 +1,16 @@
+//! Reproduces Figure 5e: percentage of false negatives for Q3 (exact sequence
+//! of 20 stock symbols) over the window size, input rates R1/R2, eSPICE vs.
+//! the BL baseline, first selection policy.
+
+use espice_bench::sweeps::q3_window_size_sweep;
+use espice_bench::Profile;
+use espice_cep::SelectionPolicy;
+
+fn main() {
+    let profile = Profile::from_args();
+    let dataset = profile.stock_dataset();
+    let sweep = q3_window_size_sweep(profile, &dataset, SelectionPolicy::First);
+    println!("Figure 5e — {} : % false negatives\n", sweep.title);
+    println!("{}", sweep.false_negative_table().render());
+    println!("CSV:\n{}", sweep.false_negative_table().to_csv());
+}

@@ -1,0 +1,23 @@
+//! Reproduces Figure 6a/6b: percentage of false positives for Q1 (over the
+//! pattern size) and Q3 (over the window size), first selection policy, input
+//! rates R1/R2, eSPICE vs. the BL baseline.
+
+use espice_bench::sweeps::{q1_pattern_size_sweep, q3_window_size_sweep};
+use espice_bench::Profile;
+use espice_cep::SelectionPolicy;
+
+fn main() {
+    let profile = Profile::from_args();
+
+    let soccer = profile.soccer_dataset();
+    let q1 = q1_pattern_size_sweep(profile, &soccer, SelectionPolicy::First);
+    println!("Figure 6a — {} : % false positives\n", q1.title);
+    println!("{}", q1.false_positive_table().render());
+    println!("CSV:\n{}", q1.false_positive_table().to_csv());
+
+    let stock = profile.stock_dataset();
+    let q3 = q3_window_size_sweep(profile, &stock, SelectionPolicy::First);
+    println!("Figure 6b — {} : % false positives\n", q3.title);
+    println!("{}", q3.false_positive_table().render());
+    println!("CSV:\n{}", q3.false_positive_table().to_csv());
+}

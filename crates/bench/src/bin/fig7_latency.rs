@@ -1,0 +1,19 @@
+//! Reproduces Figure 7: event processing latency over time for Q1 under the
+//! input rates R1 and R2 with eSPICE shedding, a latency bound of 1 second and
+//! `f = 0.8`. The latency must stay below the bound and hover around
+//! `f · LB ≈ 0.8 s` once shedding engages.
+
+use espice_bench::figures::latency_figure;
+use espice_bench::Profile;
+
+fn main() {
+    let profile = Profile::from_args();
+    let dataset = profile.soccer_dataset();
+    let figure = latency_figure(profile, &dataset);
+
+    println!("Figure 7 — event processing latency over time (Q1, LB = {}s)\n", figure.bound.as_secs_f64());
+    println!("{}", figure.table().render());
+    println!("Summary\n");
+    println!("{}", figure.summary().render());
+    println!("CSV:\n{}", figure.table().to_csv());
+}

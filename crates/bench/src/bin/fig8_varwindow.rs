@@ -1,0 +1,22 @@
+//! Reproduces Figure 8a/8b: impact of a variable window size on the quality of
+//! results. The model is trained over a mix of window sizes and evaluated at
+//! window sizes of 75 %–125 % of the reference size, for Q1 (n = 5) and Q2
+//! (n = 20), input rates R1/R2.
+
+use espice_bench::sweeps::variable_window_sweep;
+use espice_bench::Profile;
+
+fn main() {
+    let profile = Profile::from_args();
+    let soccer = profile.soccer_dataset();
+    let stock = profile.stock_dataset();
+    let (q1, q2) = variable_window_sweep(profile, &soccer, &stock);
+
+    println!("Figure 8a — {} : % false negatives\n", q1.title);
+    println!("{}", q1.false_negative_table().render());
+    println!("CSV:\n{}", q1.false_negative_table().to_csv());
+
+    println!("Figure 8b — {} : % false negatives\n", q2.title);
+    println!("{}", q2.false_negative_table().render());
+    println!("CSV:\n{}", q2.false_negative_table().to_csv());
+}

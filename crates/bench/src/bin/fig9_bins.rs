@@ -1,0 +1,21 @@
+//! Reproduces Figure 9a/9b: impact of the utility-table bin size on the
+//! quality of results, for Q1 (n = 5, 15 s windows) and Q2 (n = 20, 240 s
+//! windows), input rates R1/R2.
+
+use espice_bench::sweeps::bin_size_sweep;
+use espice_bench::Profile;
+
+fn main() {
+    let profile = Profile::from_args();
+    let soccer = profile.soccer_dataset();
+    let stock = profile.stock_dataset();
+    let (q1, q2) = bin_size_sweep(profile, &soccer, &stock);
+
+    println!("Figure 9a — {} : % false negatives\n", q1.title);
+    println!("{}", q1.false_negative_table().render());
+    println!("CSV:\n{}", q1.false_negative_table().to_csv());
+
+    println!("Figure 9b — {} : % false negatives\n", q2.title);
+    println!("{}", q2.false_negative_table().render());
+    println!("CSV:\n{}", q2.false_negative_table().to_csv());
+}

@@ -1,0 +1,24 @@
+//! Reproduces Table 1 and Figure 2 of the paper: the running-example utility
+//! table and the cumulative utility occurrences (`CDT`), including the
+//! threshold needed to drop two events per window.
+
+use espice_bench::figures::{running_example, table1_report};
+
+fn main() {
+    let (ut, cdt) = table1_report();
+    let example = running_example();
+
+    println!("Table 1 — utility table UT of the running example\n");
+    println!("{}", ut.render());
+    println!("Figure 2 — cumulative utility occurrences O(u)\n");
+    println!("{}", cdt.render());
+    println!(
+        "Utility threshold to drop x = 2 events per window: u_th = {}",
+        example
+            .threshold_for_two
+            .map(|u| u.to_string())
+            .unwrap_or_else(|| "none".to_owned())
+    );
+    println!("\nCSV (UT):\n{}", ut.to_csv());
+    println!("CSV (CDT):\n{}", cdt.to_csv());
+}

@@ -1,0 +1,193 @@
+//! Benchmark harness regenerating every table and figure of the eSPICE
+//! evaluation (paper §4).
+//!
+//! The crate has two halves:
+//!
+//! * **figure binaries** (`src/bin/*.rs`) — one per table/figure; each prints
+//!   the series the paper plots as an aligned text table and as CSV. Run them
+//!   with `cargo run --release -p espice-bench --bin fig5_q1` etc. Pass
+//!   `--full` for the paper-scale parameter sweep (the default is a scaled
+//!   down *quick* profile that finishes in seconds per figure).
+//! * **Criterion benches** (`benches/*.rs`) — micro-benchmarks of the load
+//!   shedder's hot path (Figure 10 and the ablations in `DESIGN.md` §7).
+//!
+//! The library part holds the shared machinery: dataset profiles, the
+//! experiment sweeps and the figure drivers, so the binaries stay thin and the
+//! logic is unit-testable.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod figures;
+pub mod sweeps;
+
+use espice::OverloadConfig;
+use espice_datasets::{SoccerConfig, SoccerDataset, StockConfig, StockDataset};
+use espice_events::SimDuration;
+use espice_runtime::ExperimentConfig;
+
+/// How large the parameter sweeps are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// Scaled-down sweep for CI / quick runs (default).
+    Quick,
+    /// The paper-scale sweep (`--full`).
+    Full,
+}
+
+impl Profile {
+    /// Parses the profile from the process arguments (`--full` selects
+    /// [`Profile::Full`]).
+    pub fn from_args() -> Profile {
+        if std::env::args().any(|a| a == "--full") {
+            Profile::Full
+        } else {
+            Profile::Quick
+        }
+    }
+
+    /// The stock dataset configuration for this profile (the paper uses 500
+    /// NYSE symbols at one quote per minute).
+    pub fn stock_config(&self) -> StockConfig {
+        StockConfig {
+            num_symbols: 500,
+            num_leading: 5,
+            followers_per_leading: 25,
+            cascade_probability: 0.5,
+            cascade_minutes: 2,
+            follower_compliance: 0.9,
+            duration_minutes: match self {
+                Profile::Quick => 120,
+                Profile::Full => 240,
+            },
+            volatility: 0.5,
+            seed: 7,
+        }
+    }
+
+    /// The soccer dataset configuration for this profile.
+    ///
+    /// The possession rate is raised slightly above the generator default so
+    /// the (much shorter than a real match recording) stream still yields
+    /// enough man-marking windows for stable percentages.
+    pub fn soccer_config(&self) -> SoccerConfig {
+        SoccerConfig {
+            duration_seconds: match self {
+                Profile::Quick => 7200,
+                Profile::Full => 14400,
+            },
+            possession_probability: 0.12,
+            ..SoccerConfig::default()
+        }
+    }
+
+    /// Generates the stock dataset for this profile.
+    pub fn stock_dataset(&self) -> StockDataset {
+        StockDataset::generate(&self.stock_config())
+    }
+
+    /// Generates the soccer dataset for this profile.
+    pub fn soccer_dataset(&self) -> SoccerDataset {
+        SoccerDataset::generate(&self.soccer_config())
+    }
+
+    /// Q1 pattern sizes (number of defenders).
+    pub fn q1_pattern_sizes(&self) -> Vec<usize> {
+        match self {
+            Profile::Quick => vec![2, 4, 6],
+            Profile::Full => vec![2, 3, 4, 5, 6],
+        }
+    }
+
+    /// Q2 pattern sizes (number of correlated rising quotes).
+    pub fn q2_pattern_sizes(&self) -> Vec<usize> {
+        match self {
+            Profile::Quick => vec![10, 20, 40],
+            Profile::Full => vec![10, 20, 30, 40, 50, 60, 70, 80],
+        }
+    }
+
+    /// Q3/Q4 window sizes in events.
+    pub fn count_window_sizes(&self) -> Vec<usize> {
+        match self {
+            Profile::Quick => vec![300, 600, 1200, 2000],
+            Profile::Full => vec![300, 600, 900, 1200, 1500, 1800, 2000],
+        }
+    }
+
+    /// Window-size percentages for the variable-window experiment (Figure 8).
+    pub fn window_size_percentages(&self) -> Vec<usize> {
+        match self {
+            Profile::Quick => vec![75, 100, 125],
+            Profile::Full => vec![75, 87, 100, 112, 125],
+        }
+    }
+
+    /// Bin sizes for the bin-size experiment (Figure 9).
+    pub fn bin_sizes(&self) -> Vec<usize> {
+        match self {
+            Profile::Quick => vec![1, 4, 16, 64],
+            Profile::Full => vec![1, 2, 4, 8, 16, 32, 64],
+        }
+    }
+
+    /// Window sizes (in events) for the shedder-overhead experiment (Figure 10).
+    pub fn overhead_window_sizes(&self) -> Vec<usize> {
+        match self {
+            Profile::Quick => vec![2000, 4000, 8000, 16000],
+            Profile::Full => vec![2000, 3000, 4000, 8000, 16000],
+        }
+    }
+}
+
+/// The two overload rates of the evaluation: `R1` (20 % above throughput) and
+/// `R2` (40 % above throughput).
+pub const RATES: [(&str, f64); 2] = [("R1", 1.2), ("R2", 1.4)];
+
+/// The paper's evaluation settings: latency bound 1 s, `f = 0.8`, training on
+/// the first half of the stream, an operator throughput of 1000 events/s.
+pub fn experiment_config() -> ExperimentConfig {
+    ExperimentConfig {
+        throughput: 1000.0,
+        overload_factor: RATES[0].1,
+        overload: OverloadConfig {
+            latency_bound: SimDuration::from_secs(1),
+            f: 0.8,
+            check_interval: SimDuration::from_millis(100),
+        },
+        training_fraction: 0.5,
+        seed: 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_profile_is_smaller_than_full() {
+        assert!(Profile::Quick.q2_pattern_sizes().len() < Profile::Full.q2_pattern_sizes().len());
+        assert!(
+            Profile::Quick.stock_config().duration_minutes
+                < Profile::Full.stock_config().duration_minutes
+        );
+    }
+
+    #[test]
+    fn experiment_config_matches_paper_settings() {
+        let cfg = experiment_config();
+        assert_eq!(cfg.overload.latency_bound, SimDuration::from_secs(1));
+        assert!((cfg.overload.f - 0.8).abs() < 1e-9);
+        assert!((RATES[0].1 - 1.2).abs() < 1e-9);
+        assert!((RATES[1].1 - 1.4).abs() < 1e-9);
+        cfg.validate();
+    }
+
+    #[test]
+    fn profiles_validate_their_dataset_configs() {
+        Profile::Quick.stock_config().validate();
+        Profile::Quick.soccer_config().validate();
+        Profile::Full.stock_config().validate();
+        Profile::Full.soccer_config().validate();
+    }
+}

@@ -1,0 +1,389 @@
+//! Parameter sweeps shared by the figure binaries.
+//!
+//! Each sweep varies one workload parameter (pattern size, window size, bin
+//! size, …), trains the utility model for every parameter value and evaluates
+//! eSPICE and the `BL` baseline at the two overload rates `R1` and `R2`. The
+//! results carry both false-negative and false-positive percentages so the
+//! same sweep backs Figure 5 and Figure 6.
+
+use crate::{experiment_config, Profile, RATES};
+use espice::ModelConfig;
+use espice_cep::{Query, SelectionPolicy};
+use espice_datasets::{SoccerDataset, StockDataset};
+use espice_events::{SimDuration, VecStream};
+use espice_runtime::experiment::profile_average_window_size;
+use espice_runtime::report::Table;
+use espice_runtime::{queries, Experiment, QualityOutcome, ShedderKind};
+
+/// One evaluated series entry at one x-axis value.
+#[derive(Debug, Clone)]
+pub struct SeriesPoint {
+    /// Series label, e.g. `"R1: eSPICE"`.
+    pub label: String,
+    /// The evaluation outcome.
+    pub outcome: QualityOutcome,
+}
+
+/// All series at one x-axis value.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The x-axis value (pattern size, window size, …).
+    pub x: String,
+    /// The evaluated series, in a stable order.
+    pub series: Vec<SeriesPoint>,
+}
+
+/// A complete sweep: the data behind one (or two) figures.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    /// Human-readable title, e.g. `"Q1: First selection policy"`.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// The sweep points in x order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl Sweep {
+    fn table_of<F: Fn(&QualityOutcome) -> f64>(&self, value: F) -> Table {
+        let columns: Vec<String> = self
+            .points
+            .first()
+            .map(|p| p.series.iter().map(|s| s.label.clone()).collect())
+            .unwrap_or_default();
+        let mut table = Table::new(&self.x_label, columns);
+        for point in &self.points {
+            table.add_row(&point.x, point.series.iter().map(|s| value(&s.outcome)).collect());
+        }
+        table
+    }
+
+    /// The false-negative percentages (Figure 5 / 8 / 9 series).
+    pub fn false_negative_table(&self) -> Table {
+        self.table_of(QualityOutcome::false_negative_pct)
+    }
+
+    /// The false-positive percentages (Figure 6 series).
+    pub fn false_positive_table(&self) -> Table {
+        self.table_of(QualityOutcome::false_positive_pct)
+    }
+
+    /// The observed drop ratios (useful for sanity checks in reports).
+    pub fn drop_ratio_table(&self) -> Table {
+        self.table_of(|o| o.drop_ratio * 100.0)
+    }
+}
+
+/// Evaluates eSPICE and BL at both rates against a single trained experiment,
+/// reusing one ground-truth run.
+pub fn evaluate_rates(experiment: &Experiment, query: &Query) -> Vec<SeriesPoint> {
+    let ground_truth = experiment.ground_truth(query);
+    let mut series = Vec::new();
+    for kind in [ShedderKind::Espice, ShedderKind::Baseline] {
+        for (rate_label, factor) in RATES {
+            let outcome = experiment
+                .with_overload_factor(factor)
+                .evaluate_against(query, kind, &ground_truth);
+            series.push(SeriesPoint { label: format!("{rate_label}: {}", kind.label()), outcome });
+        }
+    }
+    series
+}
+
+fn train_for(
+    query: &Query,
+    stream: &VecStream,
+    type_count: usize,
+    positions: usize,
+    bin_size: usize,
+) -> Experiment {
+    let model_config = ModelConfig { positions: positions.max(1), bin_size, ..ModelConfig::default() };
+    Experiment::train(&[query.clone()], stream, type_count, model_config, experiment_config())
+}
+
+/// Figure 5a/5b (and 6a): Q1 false negatives/positives over the pattern size.
+pub fn q1_pattern_size_sweep(
+    profile: Profile,
+    dataset: &SoccerDataset,
+    selection: SelectionPolicy,
+) -> Sweep {
+    let window = SimDuration::from_secs(15);
+    // The window extent is the same for every pattern size, so N is profiled once.
+    let probe = queries::q1(dataset, 2, window, selection);
+    let positions = profile_average_window_size(&probe, dataset.stream_prefix(0.25)).round() as usize;
+
+    let mut points = Vec::new();
+    for n in profile.q1_pattern_sizes() {
+        let query = queries::q1(dataset, n, window, selection);
+        // Bin neighbouring positions so the utility statistics stay dense with
+        // the (much shorter than two months) synthetic training stream.
+        let experiment =
+            train_for(&query, &dataset.stream, dataset.registry.len(), positions, 16);
+        points.push(SweepPoint { x: n.to_string(), series: evaluate_rates(&experiment, &query) });
+    }
+    Sweep {
+        title: format!("Q1: {selection:?} selection policy"),
+        x_label: "pattern size".to_owned(),
+        points,
+    }
+}
+
+/// Figure 5c/5d: Q2 false negatives over the pattern size.
+pub fn q2_pattern_size_sweep(
+    profile: Profile,
+    dataset: &StockDataset,
+    selection: SelectionPolicy,
+) -> Sweep {
+    let window = SimDuration::from_secs(240);
+    let probe = queries::q2(dataset, 10, window, selection);
+    let positions = profile_average_window_size(&probe, dataset.stream_prefix(0.2)).round() as usize;
+
+    let mut points = Vec::new();
+    for n in profile.q2_pattern_sizes() {
+        let query = queries::q2(dataset, n, window, selection);
+        // Bin the large Q2 windows so the utility table stays compact and the
+        // per-cell statistics dense (the bin-size experiment shows moderate
+        // bins hardly affect quality).
+        let experiment =
+            train_for(&query, &dataset.stream, dataset.registry.len(), positions, 8);
+        points.push(SweepPoint { x: n.to_string(), series: evaluate_rates(&experiment, &query) });
+    }
+    Sweep {
+        title: format!("Q2: {selection:?} selection policy"),
+        x_label: "pattern size".to_owned(),
+        points,
+    }
+}
+
+/// Figure 5e (and 6b): Q3 false negatives/positives over the window size.
+pub fn q3_window_size_sweep(
+    profile: Profile,
+    dataset: &StockDataset,
+    selection: SelectionPolicy,
+) -> Sweep {
+    let mut points = Vec::new();
+    for ws in profile.count_window_sizes() {
+        let query = queries::q3(dataset, 20, ws, selection);
+        let bin_size = (ws / 300).max(1);
+        let experiment = train_for(&query, &dataset.stream, dataset.registry.len(), ws, bin_size);
+        points.push(SweepPoint { x: ws.to_string(), series: evaluate_rates(&experiment, &query) });
+    }
+    Sweep {
+        title: format!("Q3: {selection:?} selection policy"),
+        x_label: "window size".to_owned(),
+        points,
+    }
+}
+
+/// Figure 5f: Q4 (sequence with repetition) false negatives over the window
+/// size.
+pub fn q4_window_size_sweep(
+    profile: Profile,
+    dataset: &StockDataset,
+    selection: SelectionPolicy,
+) -> Sweep {
+    let mut points = Vec::new();
+    for ws in profile.count_window_sizes() {
+        let query = queries::q4(dataset, 5, ws, 100, selection);
+        let bin_size = (ws / 300).max(1);
+        let experiment = train_for(&query, &dataset.stream, dataset.registry.len(), ws, bin_size);
+        points.push(SweepPoint { x: ws.to_string(), series: evaluate_rates(&experiment, &query) });
+    }
+    Sweep {
+        title: format!("Q4: {selection:?} selection policy"),
+        x_label: "window size".to_owned(),
+        points,
+    }
+}
+
+/// Figure 8: impact of variable window size. The model is trained over a mix
+/// of window sizes (as the paper randomises the window size during model
+/// building) and evaluated with each specific size; the x-axis reports the
+/// evaluated size as a percentage of the reference (100 %) size.
+pub fn variable_window_sweep(
+    profile: Profile,
+    q1_dataset: &SoccerDataset,
+    q2_dataset: &StockDataset,
+) -> (Sweep, Sweep) {
+    (
+        variable_window_sweep_q1(profile, q1_dataset),
+        variable_window_sweep_q2(profile, q2_dataset),
+    )
+}
+
+fn variable_window_sweep_q1(profile: Profile, dataset: &SoccerDataset) -> Sweep {
+    // Reference window 16 s; evaluated sizes 75 %–125 % of it (12 s–20 s).
+    let reference_secs = 16.0;
+    let selection = SelectionPolicy::First;
+    let training_queries: Vec<Query> = [12u64, 14, 16, 18, 20]
+        .iter()
+        .map(|&s| queries::q1(dataset, 5, SimDuration::from_secs(s), selection))
+        .collect();
+    let probe = queries::q1(dataset, 5, SimDuration::from_secs(16), selection);
+    let positions = profile_average_window_size(&probe, dataset.stream_prefix(0.25)).round() as usize;
+    let experiment = Experiment::train(
+        &training_queries,
+        &dataset.stream,
+        dataset.registry.len(),
+        ModelConfig { positions, bin_size: 8, ..ModelConfig::default() },
+        experiment_config(),
+    );
+
+    let mut points = Vec::new();
+    for pct in profile.window_size_percentages() {
+        let secs = (reference_secs * pct as f64 / 100.0).round() as u64;
+        let query = queries::q1(dataset, 5, SimDuration::from_secs(secs), selection);
+        points.push(SweepPoint { x: pct.to_string(), series: evaluate_rates(&experiment, &query) });
+    }
+    Sweep { title: "Q1: variable window size".to_owned(), x_label: "window size %".to_owned(), points }
+}
+
+fn variable_window_sweep_q2(profile: Profile, dataset: &StockDataset) -> Sweep {
+    let reference_secs = 240.0;
+    let selection = SelectionPolicy::First;
+    let training_queries: Vec<Query> = [180u64, 200, 240, 260, 300]
+        .iter()
+        .map(|&s| queries::q2(dataset, 20, SimDuration::from_secs(s), selection))
+        .collect();
+    let probe = queries::q2(dataset, 20, SimDuration::from_secs(240), selection);
+    let positions = profile_average_window_size(&probe, dataset.stream_prefix(0.2)).round() as usize;
+    let experiment = Experiment::train(
+        &training_queries,
+        &dataset.stream,
+        dataset.registry.len(),
+        ModelConfig { positions, bin_size: 8, ..ModelConfig::default() },
+        experiment_config(),
+    );
+
+    let mut points = Vec::new();
+    for pct in profile.window_size_percentages() {
+        let secs = (reference_secs * pct as f64 / 100.0).round() as u64;
+        let query = queries::q2(dataset, 20, SimDuration::from_secs(secs), selection);
+        points.push(SweepPoint { x: pct.to_string(), series: evaluate_rates(&experiment, &query) });
+    }
+    Sweep { title: "Q2: variable window size".to_owned(), x_label: "window size %".to_owned(), points }
+}
+
+/// Figure 9: impact of the bin size on quality, for Q1 (n = 5, 15 s windows)
+/// and Q2 (n = 20, 240 s windows).
+pub fn bin_size_sweep(
+    profile: Profile,
+    q1_dataset: &SoccerDataset,
+    q2_dataset: &StockDataset,
+) -> (Sweep, Sweep) {
+    let selection = SelectionPolicy::First;
+
+    let q1_query = queries::q1(q1_dataset, 5, SimDuration::from_secs(15), selection);
+    let q1_positions =
+        profile_average_window_size(&q1_query, q1_dataset.stream_prefix(0.25)).round() as usize;
+    let mut q1_points = Vec::new();
+    for bs in profile.bin_sizes() {
+        let experiment =
+            train_for(&q1_query, &q1_dataset.stream, q1_dataset.registry.len(), q1_positions, bs);
+        q1_points
+            .push(SweepPoint { x: bs.to_string(), series: evaluate_rates(&experiment, &q1_query) });
+    }
+
+    let q2_query = queries::q2(q2_dataset, 20, SimDuration::from_secs(240), selection);
+    let q2_positions =
+        profile_average_window_size(&q2_query, q2_dataset.stream_prefix(0.2)).round() as usize;
+    let mut q2_points = Vec::new();
+    for bs in profile.bin_sizes() {
+        let experiment =
+            train_for(&q2_query, &q2_dataset.stream, q2_dataset.registry.len(), q2_positions, bs);
+        q2_points
+            .push(SweepPoint { x: bs.to_string(), series: evaluate_rates(&experiment, &q2_query) });
+    }
+
+    (
+        Sweep { title: "Q1: bin size".to_owned(), x_label: "bin size".to_owned(), points: q1_points },
+        Sweep { title: "Q2: bin size".to_owned(), x_label: "bin size".to_owned(), points: q2_points },
+    )
+}
+
+/// Extension trait: a prefix of a dataset's stream, used for profiling the
+/// average window size cheaply.
+pub trait StreamPrefix {
+    /// The materialised stream.
+    fn full_stream(&self) -> &VecStream;
+
+    /// A prefix holding `fraction` of the stream's events.
+    fn stream_prefix(&self, fraction: f64) -> &VecStream {
+        // Profiling runs over the full stream are still cheap enough; the
+        // default implementation simply returns the full stream. Kept as a
+        // trait so dataset-specific implementations can shrink it.
+        let _ = fraction;
+        self.full_stream()
+    }
+}
+
+impl StreamPrefix for SoccerDataset {
+    fn full_stream(&self) -> &VecStream {
+        &self.stream
+    }
+}
+
+impl StreamPrefix for StockDataset {
+    fn full_stream(&self) -> &VecStream {
+        &self.stream
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use espice_datasets::{SoccerConfig, StockConfig};
+
+    fn tiny_stock() -> StockDataset {
+        StockDataset::generate(&StockConfig {
+            num_symbols: 60,
+            num_leading: 2,
+            followers_per_leading: 25,
+            duration_minutes: 60,
+            cascade_probability: 0.7,
+            ..StockConfig::default()
+        })
+    }
+
+    fn tiny_soccer() -> SoccerDataset {
+        SoccerDataset::generate(&SoccerConfig {
+            players_per_team: 8,
+            duration_seconds: 900,
+            possession_probability: 0.15,
+            ..SoccerConfig::default()
+        })
+    }
+
+    #[test]
+    fn q3_sweep_produces_all_series() {
+        let ds = tiny_stock();
+        let profile = Profile::Quick;
+        // Use a single small window size to keep the test fast.
+        let query = queries::q3(&ds, 10, 300, SelectionPolicy::First);
+        let experiment = train_for(&query, &ds.stream, ds.registry.len(), 300, 1);
+        let series = evaluate_rates(&experiment, &query);
+        assert_eq!(series.len(), 4);
+        let labels: Vec<_> = series.iter().map(|s| s.label.clone()).collect();
+        assert_eq!(labels, vec!["R1: eSPICE", "R2: eSPICE", "R1: BL", "R2: BL"]);
+        // eSPICE keeps more of the ordered-cascade matches than BL at R1.
+        let espice_fn = series[0].outcome.false_negative_pct();
+        let bl_fn = series[2].outcome.false_negative_pct();
+        assert!(
+            espice_fn <= bl_fn,
+            "eSPICE FN {espice_fn}% should not exceed BL FN {bl_fn}%"
+        );
+        let _ = profile;
+    }
+
+    #[test]
+    fn q1_sweep_tables_have_expected_shape() {
+        let ds = tiny_soccer();
+        let sweep = q1_pattern_size_sweep(Profile::Quick, &ds, SelectionPolicy::First);
+        assert_eq!(sweep.points.len(), Profile::Quick.q1_pattern_sizes().len());
+        let table = sweep.false_negative_table();
+        assert_eq!(table.len(), sweep.points.len());
+        let fp = sweep.false_positive_table();
+        assert_eq!(fp.len(), sweep.points.len());
+        assert!(!sweep.drop_ratio_table().is_empty());
+    }
+}

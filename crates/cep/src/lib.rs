@@ -1,0 +1,79 @@
+//! A window-based complex event processing (CEP) engine.
+//!
+//! This crate is the substrate the eSPICE load shedder runs on. It follows the
+//! system model of the paper (Section 2): a single CEP operator receives a
+//! totally ordered stream of primitive events, partitions it into (possibly
+//! overlapping) windows, and runs a pattern matcher over every window to
+//! detect *complex events*.
+//!
+//! The engine supports the query classes the evaluation uses:
+//!
+//! * **sequence** of specific event types (Q3),
+//! * **sequence with repetition** (Q4),
+//! * **sequence with `any(n, …)`** (Q1, Q2),
+//! * optional attribute predicates on every step,
+//! * *skip-till-next-match* / *skip-till-any-match* semantics,
+//! * **first** / **last** selection policies and **consumed** / **zero**
+//!   consumption policies,
+//! * count-based, time-based and predicate-opened sliding windows.
+//!
+//! Load shedding integrates through the [`WindowEventDecider`] hook: for every
+//! event of every window the operator asks the decider whether to keep the
+//! event *in that window* before it is buffered, exactly where eSPICE's load
+//! shedder sits in Figure 1 of the paper.
+//!
+//! # Example
+//!
+//! ```
+//! use espice_events::{Event, Timestamp, TypeRegistry, VecStream};
+//! use espice_cep::{Operator, Query, Pattern, PatternStep, WindowSpec, KeepAll};
+//!
+//! let mut registry = TypeRegistry::new();
+//! let a = registry.intern("A");
+//! let b = registry.intern("B");
+//!
+//! // seq(A; B) over a count window of 4 events sliding by 2.
+//! let query = Query::builder()
+//!     .pattern(Pattern::new(vec![PatternStep::single(a), PatternStep::single(b)]))
+//!     .window(WindowSpec::count_sliding(4, 2))
+//!     .build();
+//!
+//! let events: Vec<Event> = (0..8)
+//!     .map(|i| Event::new(if i % 2 == 0 { a } else { b }, Timestamp::from_secs(i), i))
+//!     .collect();
+//!
+//! let mut operator = Operator::new(query);
+//! let matches = operator.run(&VecStream::from_ordered(events), &mut KeepAll);
+//! assert!(!matches.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod complex;
+mod matcher;
+mod operator;
+mod pattern;
+mod predicate;
+#[cfg(test)]
+mod proptests;
+mod query;
+mod shedding;
+mod window;
+
+pub use complex::{ComplexEvent, Constituent};
+pub use matcher::{MatchOutcome, Matcher, WindowEntry};
+pub use operator::{Operator, OperatorStats};
+pub use pattern::{Pattern, PatternStep};
+pub use predicate::{CmpOp, Predicate};
+pub use query::{ConsumptionPolicy, Query, QueryBuilder, SelectionPolicy, SkipPolicy};
+pub use shedding::{Decision, KeepAll, WindowEventDecider};
+pub use window::{OpenPolicy, SizePredictor, WindowExtent, WindowId, WindowMeta, WindowSpec};
+
+/// Convenience re-exports for downstream crates.
+pub mod prelude {
+    pub use crate::{
+        ComplexEvent, ConsumptionPolicy, Decision, KeepAll, Operator, Pattern, PatternStep,
+        Predicate, Query, SelectionPolicy, WindowEventDecider, WindowMeta, WindowSpec,
+    };
+}

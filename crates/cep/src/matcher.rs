@@ -1,0 +1,407 @@
+//! Pattern matching over a window's events.
+//!
+//! The matcher runs once per closed window. It implements sequence matching
+//! with *skip-till-next/any-match* semantics (irrelevant events between the
+//! constituents are skipped), the **first**/**last** selection policies, the
+//! **consumed**/**zero** consumption policies and an upper bound on the number
+//! of complex events per window.
+
+use crate::{
+    ComplexEvent, ConsumptionPolicy, Constituent, Pattern, PatternStep, Query, SelectionPolicy,
+    SkipPolicy, WindowId,
+};
+use espice_events::{Event, EventType, Timestamp};
+
+/// An event kept in a window, together with its arrival position.
+///
+/// `position` is the index the event had when it was assigned to the window,
+/// counting dropped events as well, so the matcher reports constituent
+/// positions that are consistent with the utility model's notion of position.
+#[derive(Debug, Clone)]
+pub struct WindowEntry {
+    /// Arrival position within the window (0-based).
+    pub position: usize,
+    /// The event itself.
+    pub event: Event,
+}
+
+/// Result of running the matcher over one window.
+#[derive(Debug, Clone, Default)]
+pub struct MatchOutcome {
+    /// The detected complex events, at most `max_matches_per_window`.
+    pub complex_events: Vec<ComplexEvent>,
+    /// Number of primitive events that participated in at least one match.
+    pub constituents_used: usize,
+}
+
+/// A reusable pattern matcher configured from a [`Query`]'s policies.
+///
+/// # Example
+///
+/// ```
+/// use espice_cep::{Matcher, Pattern, PatternStep, Query, WindowSpec, WindowEntry};
+/// use espice_events::{Event, EventType, Timestamp};
+///
+/// let a = EventType::from_index(0);
+/// let b = EventType::from_index(1);
+/// let query = Query::builder()
+///     .pattern(Pattern::new(vec![PatternStep::single(a), PatternStep::single(b)]))
+///     .window(WindowSpec::count_sliding(4, 4))
+///     .build();
+/// let matcher = Matcher::from_query(&query);
+///
+/// let entries: Vec<WindowEntry> = vec![
+///     WindowEntry { position: 0, event: Event::new(a, Timestamp::from_secs(0), 0) },
+///     WindowEntry { position: 1, event: Event::new(b, Timestamp::from_secs(1), 1) },
+/// ];
+/// let outcome = matcher.matches(0, &entries);
+/// assert_eq!(outcome.complex_events.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Matcher {
+    pattern: Pattern,
+    selection: SelectionPolicy,
+    consumption: ConsumptionPolicy,
+    skip: SkipPolicy,
+    max_matches: usize,
+}
+
+impl Matcher {
+    /// Builds a matcher from a query's pattern and policies.
+    pub fn from_query(query: &Query) -> Self {
+        Matcher {
+            pattern: query.pattern().clone(),
+            selection: query.selection(),
+            consumption: query.consumption(),
+            skip: query.skip(),
+            max_matches: query.max_matches_per_window(),
+        }
+    }
+
+    /// The pattern this matcher looks for.
+    pub fn pattern(&self) -> &Pattern {
+        &self.pattern
+    }
+
+    /// Runs the matcher over the (kept) entries of window `window_id`.
+    ///
+    /// Entries must be in arrival order.
+    pub fn matches(&self, window_id: WindowId, entries: &[WindowEntry]) -> MatchOutcome {
+        if entries.len() < self.pattern.total_events() {
+            return MatchOutcome::default();
+        }
+
+        // The "last" selection policy picks the latest admissible instances.
+        // It is implemented by matching the reversed pattern over the reversed
+        // window and mapping the result back, which selects, greedily from the
+        // end, the latest events that can still complete the pattern.
+        let (ordered, steps): (Vec<&WindowEntry>, Vec<&PatternStep>) = match self.selection {
+            SelectionPolicy::First => {
+                (entries.iter().collect(), self.pattern.steps().iter().collect())
+            }
+            SelectionPolicy::Last => {
+                (entries.iter().rev().collect(), self.pattern.steps().iter().rev().collect())
+            }
+        };
+
+        let mut used = vec![false; ordered.len()];
+        let mut min_start = 0usize;
+        let mut matches: Vec<Vec<usize>> = Vec::new();
+
+        while matches.len() < self.max_matches {
+            let taken = match self.skip {
+                SkipPolicy::SkipTillNextMatch => greedy_match(&ordered, &steps, &used, min_start),
+                SkipPolicy::Contiguous => contiguous_match(&ordered, &steps, &used, min_start),
+            };
+            let Some(taken) = taken else { break };
+            match self.consumption {
+                ConsumptionPolicy::Consumed => {
+                    for &i in &taken {
+                        used[i] = true;
+                    }
+                }
+                ConsumptionPolicy::Zero => {
+                    min_start = taken[0] + 1;
+                }
+            }
+            matches.push(taken);
+        }
+
+        let mut used_positions = std::collections::HashSet::new();
+        let complex_events = matches
+            .into_iter()
+            .map(|taken| {
+                let mut constituents: Vec<Constituent> = taken
+                    .iter()
+                    .map(|&i| {
+                        let entry = ordered[i];
+                        used_positions.insert(entry.position);
+                        Constituent {
+                            seq: entry.event.seq(),
+                            event_type: entry.event.event_type(),
+                            position: entry.position,
+                        }
+                    })
+                    .collect();
+                let detected_at = taken
+                    .iter()
+                    .map(|&i| ordered[i].event.timestamp())
+                    .max()
+                    .unwrap_or(Timestamp::ZERO);
+                if self.selection == SelectionPolicy::Last {
+                    // Matching ran over the reversed pattern; restore pattern order.
+                    constituents.reverse();
+                }
+                ComplexEvent::new(window_id, detected_at, constituents)
+            })
+            .collect();
+
+        MatchOutcome { complex_events, constituents_used: used_positions.len() }
+    }
+}
+
+/// Greedy subsequence matching with skip-till-next/any-match semantics: each
+/// step takes the earliest admissible, unused events after the previously
+/// taken one.
+fn greedy_match(
+    entries: &[&WindowEntry],
+    steps: &[&PatternStep],
+    used: &[bool],
+    min_start: usize,
+) -> Option<Vec<usize>> {
+    let mut taken = Vec::new();
+    let mut idx = min_start;
+    for step in steps {
+        let mut need = step.count();
+        let mut matched_types: Vec<EventType> = Vec::with_capacity(need);
+        while need > 0 {
+            if idx >= entries.len() {
+                return None;
+            }
+            let entry = entries[idx];
+            let type_ok =
+                !step.distinct_types() || !matched_types.contains(&entry.event.event_type());
+            if !used[idx] && type_ok && step.admits(&entry.event) {
+                taken.push(idx);
+                matched_types.push(entry.event.event_type());
+                need -= 1;
+            }
+            idx += 1;
+        }
+    }
+    Some(taken)
+}
+
+/// Contiguous matching: the constituents must be adjacent entries. Tries every
+/// anchor from `min_start` and returns the first full match.
+fn contiguous_match(
+    entries: &[&WindowEntry],
+    steps: &[&PatternStep],
+    used: &[bool],
+    min_start: usize,
+) -> Option<Vec<usize>> {
+    let total: usize = steps.iter().map(|s| s.count()).sum();
+    if entries.len() < total {
+        return None;
+    }
+    'anchor: for anchor in min_start..=(entries.len() - total) {
+        let mut idx = anchor;
+        let mut taken = Vec::with_capacity(total);
+        for step in steps {
+            let mut matched_types: Vec<EventType> = Vec::with_capacity(step.count());
+            for _ in 0..step.count() {
+                let entry = entries[idx];
+                let type_ok =
+                    !step.distinct_types() || !matched_types.contains(&entry.event.event_type());
+                if used[idx] || !type_ok || !step.admits(&entry.event) {
+                    continue 'anchor;
+                }
+                taken.push(idx);
+                matched_types.push(entry.event.event_type());
+                idx += 1;
+            }
+        }
+        return Some(taken);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WindowSpec;
+    use espice_events::EventType;
+
+    fn ty(i: u32) -> EventType {
+        EventType::from_index(i)
+    }
+
+    fn entry(t: u32, pos: usize, seq: u64) -> WindowEntry {
+        WindowEntry { position: pos, event: Event::new(ty(t), Timestamp::from_secs(pos as u64), seq) }
+    }
+
+    fn matcher(pattern: Pattern, selection: SelectionPolicy, consumption: ConsumptionPolicy, max: usize) -> Matcher {
+        let query = Query::builder()
+            .pattern(pattern)
+            .window(WindowSpec::count_sliding(100, 100))
+            .selection(selection)
+            .consumption(consumption)
+            .max_matches_per_window(max)
+            .build();
+        Matcher::from_query(&query)
+    }
+
+    /// The paper's running example (§2.1): window [A1, A2, B3, B4], pattern
+    /// seq(A; B), first selection, consumed consumption detects
+    /// cplx13 = (A1, B3) and cplx24 = (A2, B4).
+    #[test]
+    fn paper_example_first_consumed() {
+        let pattern = Pattern::sequence([ty(0), ty(1)]);
+        let m = matcher(pattern, SelectionPolicy::First, ConsumptionPolicy::Consumed, 10);
+        let entries = vec![entry(0, 0, 1), entry(0, 1, 2), entry(1, 2, 3), entry(1, 3, 4)];
+        let outcome = m.matches(0, &entries);
+        let keys: Vec<_> = outcome.complex_events.iter().map(ComplexEvent::key).collect();
+        assert_eq!(keys, vec![(0, vec![1, 3]), (0, vec![2, 4])]);
+        assert_eq!(outcome.constituents_used, 4);
+    }
+
+    /// Dropping A1 from the window of the running example yields a different
+    /// match for the first pair — the false-positive mechanism of §2.1.
+    #[test]
+    fn paper_example_dropping_a1_changes_matches() {
+        let pattern = Pattern::sequence([ty(0), ty(1)]);
+        let m = matcher(pattern, SelectionPolicy::First, ConsumptionPolicy::Consumed, 10);
+        // A1 dropped: only A2, B3, B4 remain (positions keep their values).
+        let entries = vec![entry(0, 1, 2), entry(1, 2, 3), entry(1, 3, 4)];
+        let outcome = m.matches(0, &entries);
+        let keys: Vec<_> = outcome.complex_events.iter().map(ComplexEvent::key).collect();
+        assert_eq!(keys, vec![(0, vec![2, 3])]);
+    }
+
+    #[test]
+    fn last_selection_picks_latest_instances() {
+        let pattern = Pattern::sequence([ty(0), ty(1)]);
+        let m = matcher(pattern, SelectionPolicy::Last, ConsumptionPolicy::Consumed, 1);
+        let entries = vec![entry(0, 0, 1), entry(0, 1, 2), entry(1, 2, 3), entry(1, 3, 4)];
+        let outcome = m.matches(0, &entries);
+        assert_eq!(outcome.complex_events.len(), 1);
+        // Latest A (A2, seq 2) with latest B (B4, seq 4).
+        assert_eq!(outcome.complex_events[0].key(), (0, vec![2, 4]));
+        // Constituents are reported in pattern order (A before B).
+        let types: Vec<_> = outcome.complex_events[0]
+            .constituents()
+            .iter()
+            .map(|c| c.event_type.index())
+            .collect();
+        assert_eq!(types, vec![0, 1]);
+    }
+
+    #[test]
+    fn zero_consumption_reuses_events() {
+        let pattern = Pattern::sequence([ty(0), ty(1)]);
+        let m = matcher(pattern, SelectionPolicy::First, ConsumptionPolicy::Zero, 10);
+        // A1, B2 : with zero consumption and one B, only one distinct match exists.
+        let entries = vec![entry(0, 0, 1), entry(1, 1, 2)];
+        assert_eq!(m.matches(0, &entries).complex_events.len(), 1);
+        // A1, A2, B3: zero consumption yields (A1,B3) and (A2,B3) — B3 reused.
+        let entries = vec![entry(0, 0, 1), entry(0, 1, 2), entry(1, 2, 3)];
+        let keys: Vec<_> =
+            m.matches(0, &entries).complex_events.iter().map(ComplexEvent::key).collect();
+        assert_eq!(keys, vec![(0, vec![1, 3]), (0, vec![2, 3])]);
+    }
+
+    #[test]
+    fn max_matches_limits_output() {
+        let pattern = Pattern::sequence([ty(0), ty(1)]);
+        let m = matcher(pattern, SelectionPolicy::First, ConsumptionPolicy::Consumed, 1);
+        let entries = vec![entry(0, 0, 1), entry(0, 1, 2), entry(1, 2, 3), entry(1, 3, 4)];
+        assert_eq!(m.matches(0, &entries).complex_events.len(), 1);
+    }
+
+    #[test]
+    fn any_step_requires_distinct_types() {
+        // seq(A; any(2, {B, C}) distinct)
+        let pattern = Pattern::new(vec![
+            PatternStep::single(ty(0)),
+            PatternStep::any_of([ty(1), ty(2)], 2, true),
+        ]);
+        let m = matcher(pattern, SelectionPolicy::First, ConsumptionPolicy::Consumed, 1);
+        // Only two B events after the A: distinct requirement cannot be met.
+        let entries = vec![entry(0, 0, 1), entry(1, 1, 2), entry(1, 2, 3)];
+        assert!(m.matches(0, &entries).complex_events.is_empty());
+        // A B C works.
+        let entries = vec![entry(0, 0, 1), entry(1, 1, 2), entry(2, 2, 3)];
+        let outcome = m.matches(0, &entries);
+        assert_eq!(outcome.complex_events.len(), 1);
+        assert_eq!(outcome.complex_events[0].len(), 3);
+    }
+
+    #[test]
+    fn any_step_without_distinct_allows_repeats() {
+        let pattern = Pattern::new(vec![
+            PatternStep::single(ty(0)),
+            PatternStep::any_of([ty(1), ty(2)], 2, false),
+        ]);
+        let m = matcher(pattern, SelectionPolicy::First, ConsumptionPolicy::Consumed, 1);
+        let entries = vec![entry(0, 0, 1), entry(1, 1, 2), entry(1, 2, 3)];
+        assert_eq!(m.matches(0, &entries).complex_events.len(), 1);
+    }
+
+    #[test]
+    fn skip_till_next_match_skips_noise() {
+        let pattern = Pattern::sequence([ty(0), ty(1)]);
+        let m = matcher(pattern, SelectionPolicy::First, ConsumptionPolicy::Consumed, 1);
+        // Noise (type 9) interleaved everywhere.
+        let entries =
+            vec![entry(9, 0, 1), entry(0, 1, 2), entry(9, 2, 3), entry(9, 3, 4), entry(1, 4, 5)];
+        let outcome = m.matches(0, &entries);
+        assert_eq!(outcome.complex_events.len(), 1);
+        assert_eq!(outcome.complex_events[0].key(), (0, vec![2, 5]));
+    }
+
+    #[test]
+    fn contiguous_policy_requires_adjacency() {
+        let pattern = Pattern::sequence([ty(0), ty(1)]);
+        let query = Query::builder()
+            .pattern(pattern)
+            .window(WindowSpec::count_sliding(10, 10))
+            .skip(SkipPolicy::Contiguous)
+            .build();
+        let m = Matcher::from_query(&query);
+        // A . B (gap) — no contiguous match.
+        let entries = vec![entry(0, 0, 1), entry(9, 1, 2), entry(1, 2, 3)];
+        assert!(m.matches(0, &entries).complex_events.is_empty());
+        // noise A B — contiguous match found at anchor 1.
+        let entries = vec![entry(9, 0, 1), entry(0, 1, 2), entry(1, 2, 3)];
+        assert_eq!(m.matches(0, &entries).complex_events.len(), 1);
+    }
+
+    #[test]
+    fn sequence_with_repetition_matches_in_order() {
+        // seq(A; A; B) — Q4 style repetition.
+        let pattern = Pattern::sequence([ty(0), ty(0), ty(1)]);
+        let m = matcher(pattern, SelectionPolicy::First, ConsumptionPolicy::Consumed, 1);
+        let entries = vec![entry(0, 0, 1), entry(1, 1, 2), entry(0, 2, 3), entry(1, 3, 4)];
+        let outcome = m.matches(0, &entries);
+        assert_eq!(outcome.complex_events.len(), 1);
+        assert_eq!(outcome.complex_events[0].key(), (0, vec![1, 3, 4]));
+    }
+
+    #[test]
+    fn too_small_window_yields_no_matches() {
+        let pattern = Pattern::sequence([ty(0), ty(1), ty(2)]);
+        let m = matcher(pattern, SelectionPolicy::First, ConsumptionPolicy::Consumed, 1);
+        let entries = vec![entry(0, 0, 1), entry(1, 1, 2)];
+        assert!(m.matches(0, &entries).complex_events.is_empty());
+    }
+
+    #[test]
+    fn detection_time_is_latest_constituent_timestamp() {
+        let pattern = Pattern::sequence([ty(0), ty(1)]);
+        let m = matcher(pattern, SelectionPolicy::First, ConsumptionPolicy::Consumed, 1);
+        let entries = vec![entry(0, 0, 1), entry(1, 5, 2)];
+        let outcome = m.matches(3, &entries);
+        assert_eq!(outcome.complex_events[0].detected_at(), Timestamp::from_secs(5));
+        assert_eq!(outcome.complex_events[0].window_id(), 3);
+    }
+}

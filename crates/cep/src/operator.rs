@@ -1,0 +1,483 @@
+//! The CEP operator: window management + pattern matching + shedding hook.
+//!
+//! The operator mirrors Figure 1 of the paper: incoming primitive events are
+//! assigned to every open window they belong to; the load shedder (a
+//! [`WindowEventDecider`]) is consulted for every (event, window) pair; when a
+//! window closes, the pattern matcher runs over the kept events and emits
+//! complex events.
+
+use crate::{
+    ComplexEvent, Matcher, OpenPolicy, Query, WindowEntry, WindowEventDecider, WindowId,
+    WindowMeta, WindowSpec,
+};
+use crate::window::SizePredictor;
+use espice_events::{Event, EventStream, Timestamp};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Counters describing one operator run.
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OperatorStats {
+    /// Primitive events pushed into the operator.
+    pub events_processed: u64,
+    /// Windows opened.
+    pub windows_opened: u64,
+    /// Windows closed (matched).
+    pub windows_closed: u64,
+    /// (event, window) assignments considered, i.e. shedding decisions taken.
+    pub assignments: u64,
+    /// Assignments kept by the decider.
+    pub kept: u64,
+    /// Assignments dropped by the decider.
+    pub dropped: u64,
+    /// Complex events emitted.
+    pub complex_events: u64,
+}
+
+impl OperatorStats {
+    /// Fraction of (event, window) assignments that were dropped.
+    pub fn drop_ratio(&self) -> f64 {
+        if self.assignments == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / self.assignments as f64
+        }
+    }
+}
+
+/// State of one open window.
+#[derive(Debug)]
+struct OpenWindow {
+    meta: WindowMeta,
+    entries: Vec<WindowEntry>,
+    /// Total number of events assigned so far (kept + dropped).
+    assigned: usize,
+}
+
+/// A single CEP operator executing one [`Query`].
+///
+/// # Example
+///
+/// ```
+/// use espice_cep::{Operator, Query, Pattern, PatternStep, WindowSpec, KeepAll};
+/// use espice_events::{Event, EventType, Timestamp, VecStream};
+///
+/// let a = EventType::from_index(0);
+/// let b = EventType::from_index(1);
+/// let query = Query::builder()
+///     .pattern(Pattern::sequence([a, b]))
+///     .window(WindowSpec::count_on_types(vec![a], 4))
+///     .build();
+///
+/// let stream = VecStream::from_ordered(vec![
+///     Event::new(a, Timestamp::from_secs(0), 0),
+///     Event::new(b, Timestamp::from_secs(1), 1),
+/// ]);
+/// let mut op = Operator::new(query);
+/// let complex = op.run(&stream, &mut KeepAll);
+/// assert_eq!(complex.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Operator {
+    query: Query,
+    matcher: Matcher,
+    open: VecDeque<OpenWindow>,
+    next_window_id: WindowId,
+    /// Events seen since the last count-slide window was opened.
+    since_count_open: usize,
+    /// Stream time of the last time-slide window opening.
+    last_time_open: Option<Timestamp>,
+    size_predictor: SizePredictor,
+    stats: OperatorStats,
+}
+
+impl Operator {
+    /// Creates an operator for `query`.
+    pub fn new(query: Query) -> Self {
+        let matcher = Matcher::from_query(&query);
+        let initial_size = query.window().expected_size().unwrap_or(100);
+        Operator {
+            matcher,
+            open: VecDeque::new(),
+            next_window_id: 0,
+            since_count_open: 0,
+            last_time_open: None,
+            size_predictor: SizePredictor::new(initial_size.max(1), 0.25),
+            stats: OperatorStats::default(),
+            query,
+        }
+    }
+
+    /// The operator's query.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// Seeds the window-size prediction for time-based (variable size)
+    /// windows, e.g. with the average window size a previously trained model
+    /// observed. Without a hint the predictor starts from a generic default
+    /// and only becomes accurate after the first windows close, which skews
+    /// position scaling for the earliest windows of a run.
+    pub fn set_window_size_hint(&mut self, hint: usize) {
+        self.size_predictor = SizePredictor::new(hint.max(1), 0.25);
+    }
+
+    /// Counters for the current run.
+    pub fn stats(&self) -> &OperatorStats {
+        &self.stats
+    }
+
+    /// Number of currently open windows.
+    pub fn open_windows(&self) -> usize {
+        self.open.len()
+    }
+
+    /// The current window-size prediction (`N` for variable-size windows,
+    /// the configured size for count windows before any window has closed).
+    pub fn predicted_window_size(&self) -> usize {
+        match self.query.window().expected_size() {
+            Some(size) => size,
+            None => self.size_predictor.predict(),
+        }
+    }
+
+    /// Pushes one event through the operator, consulting `decider` for every
+    /// (event, window) pair. Returns the complex events of windows that closed
+    /// as a consequence of this event.
+    pub fn push<D: WindowEventDecider + ?Sized>(
+        &mut self,
+        event: &Event,
+        decider: &mut D,
+    ) -> Vec<ComplexEvent> {
+        self.stats.events_processed += 1;
+        let mut emitted = Vec::new();
+
+        // 1. Close time-based windows the new event no longer fits into.
+        //    (Count-based windows close below, when they fill up.)
+        let spec = self.query.window().clone();
+        let mut still_open = VecDeque::with_capacity(self.open.len());
+        while let Some(window) = self.open.pop_front() {
+            if spec.accepts(window.meta.opened_at, window.assigned, event) {
+                still_open.push_back(window);
+            } else {
+                emitted.extend(self.close_window(window, decider));
+            }
+        }
+        self.open = still_open;
+
+        // 2. Possibly open a new window at this event.
+        if self.should_open(&spec, event) {
+            let meta = WindowMeta {
+                id: self.next_window_id,
+                opened_at: event.timestamp(),
+                open_seq: event.seq(),
+                predicted_size: self.predicted_window_size(),
+            };
+            self.next_window_id += 1;
+            self.stats.windows_opened += 1;
+            self.open.push_back(OpenWindow { meta, entries: Vec::new(), assigned: 0 });
+        }
+
+        // 3. Assign the event to every open window, asking the decider.
+        let mut filled = Vec::new();
+        for (idx, window) in self.open.iter_mut().enumerate() {
+            let position = window.assigned;
+            window.assigned += 1;
+            self.stats.assignments += 1;
+            let keep = decider.decide(&window.meta, position, event).is_keep();
+            if keep {
+                self.stats.kept += 1;
+                window.entries.push(WindowEntry { position, event: event.clone() });
+            } else {
+                self.stats.dropped += 1;
+            }
+            if !spec.accepts(window.meta.opened_at, window.assigned, event) {
+                // Count-based window reached its size.
+                filled.push(idx);
+            }
+        }
+
+        // 4. Close windows that filled up (back-to-front so indices stay valid).
+        for idx in filled.into_iter().rev() {
+            let window = self.open.remove(idx).expect("filled window index is valid");
+            emitted.extend(self.close_window(window, decider));
+        }
+
+        emitted
+    }
+
+    /// Closes all remaining open windows (end of stream) and returns their
+    /// complex events.
+    pub fn flush<D: WindowEventDecider + ?Sized>(&mut self, decider: &mut D) -> Vec<ComplexEvent> {
+        let mut emitted = Vec::new();
+        while let Some(window) = self.open.pop_front() {
+            emitted.extend(self.close_window(window, decider));
+        }
+        emitted
+    }
+
+    /// Runs the operator over an entire stream and flushes at the end.
+    pub fn run<S, D>(&mut self, stream: &S, decider: &mut D) -> Vec<ComplexEvent>
+    where
+        S: EventStream + ?Sized,
+        D: WindowEventDecider + ?Sized,
+    {
+        let mut out = Vec::new();
+        for event in stream.events() {
+            out.extend(self.push(event, decider));
+        }
+        out.extend(self.flush(decider));
+        out
+    }
+
+    /// Resets all run state (open windows, counters) while keeping the query.
+    pub fn reset(&mut self) {
+        self.open.clear();
+        self.next_window_id = 0;
+        self.since_count_open = 0;
+        self.last_time_open = None;
+        self.stats = OperatorStats::default();
+        let initial_size = self.query.window().expected_size().unwrap_or(100);
+        self.size_predictor = SizePredictor::new(initial_size.max(1), 0.25);
+    }
+
+    fn should_open(&mut self, spec: &WindowSpec, event: &Event) -> bool {
+        match spec.open_policy() {
+            OpenPolicy::OnTypes(_) => spec.opens_on(event.event_type()),
+            OpenPolicy::EveryCount(slide) => {
+                let open = self.since_count_open == 0;
+                self.since_count_open += 1;
+                if self.since_count_open >= *slide {
+                    self.since_count_open = 0;
+                }
+                open
+            }
+            OpenPolicy::EveryDuration(slide) => match self.last_time_open {
+                None => {
+                    self.last_time_open = Some(event.timestamp());
+                    true
+                }
+                Some(last) => {
+                    if event.timestamp() >= last + *slide {
+                        self.last_time_open = Some(event.timestamp());
+                        true
+                    } else {
+                        false
+                    }
+                }
+            },
+        }
+    }
+
+    fn close_window<D: WindowEventDecider + ?Sized>(
+        &mut self,
+        window: OpenWindow,
+        decider: &mut D,
+    ) -> Vec<ComplexEvent> {
+        self.stats.windows_closed += 1;
+        self.size_predictor.observe(window.assigned);
+        decider.window_closed(&window.meta, window.assigned);
+        let outcome = self.matcher.matches(window.meta.id, &window.entries);
+        self.stats.complex_events += outcome.complex_events.len() as u64;
+        outcome.complex_events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Decision, KeepAll, Pattern};
+    use espice_events::{EventType, SimDuration, VecStream};
+
+    fn ty(i: u32) -> EventType {
+        EventType::from_index(i)
+    }
+
+    fn ev(t: u32, ts_secs: u64, seq: u64) -> Event {
+        Event::new(ty(t), Timestamp::from_secs(ts_secs), seq)
+    }
+
+    fn seq_query(window: WindowSpec) -> Query {
+        Query::builder()
+            .pattern(Pattern::sequence([ty(0), ty(1)]))
+            .window(window)
+            .build()
+    }
+
+    #[test]
+    fn count_on_types_window_detects_match() {
+        let query = seq_query(WindowSpec::count_on_types(vec![ty(0)], 3));
+        let stream = VecStream::from_ordered(vec![ev(0, 0, 0), ev(2, 1, 1), ev(1, 2, 2)]);
+        let mut op = Operator::new(query);
+        let matches = op.run(&stream, &mut KeepAll);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].key(), (0, vec![0, 2]));
+        assert_eq!(op.stats().windows_opened, 1);
+        assert_eq!(op.stats().windows_closed, 1);
+    }
+
+    #[test]
+    fn time_window_closes_when_duration_exceeded() {
+        let query = seq_query(WindowSpec::time_on_types(vec![ty(0)], SimDuration::from_secs(10)));
+        // Window opens at t=0; event at t=15 falls outside and closes it.
+        let stream =
+            VecStream::from_ordered(vec![ev(0, 0, 0), ev(1, 5, 1), ev(2, 15, 2), ev(1, 16, 3)]);
+        let mut op = Operator::new(query);
+        let matches = op.run(&stream, &mut KeepAll);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].key(), (0, vec![0, 1]));
+    }
+
+    #[test]
+    fn overlapping_windows_share_events() {
+        // Every type-0 event opens a 4-event window; a type-1 event can
+        // complete matches in several overlapping windows.
+        let query = seq_query(WindowSpec::count_on_types(vec![ty(0)], 4));
+        let stream = VecStream::from_ordered(vec![
+            ev(0, 0, 0),
+            ev(0, 1, 1),
+            ev(1, 2, 2),
+            ev(2, 3, 3),
+            ev(2, 4, 4),
+            ev(2, 5, 5),
+        ]);
+        let mut op = Operator::new(query);
+        let matches = op.run(&stream, &mut KeepAll);
+        assert_eq!(matches.len(), 2);
+        // Both windows matched with the shared type-1 event (seq 2).
+        assert!(matches.iter().all(|c| c.key().1.contains(&2)));
+        assert!(op.stats().assignments > op.stats().events_processed);
+    }
+
+    #[test]
+    fn count_sliding_windows_open_every_slide() {
+        let query = seq_query(WindowSpec::count_sliding(4, 2));
+        let events: Vec<Event> =
+            (0..8).map(|i| ev(if i % 2 == 0 { 0 } else { 1 }, i, i)).collect();
+        let mut op = Operator::new(query);
+        let matches = op.run(&VecStream::from_ordered(events), &mut KeepAll);
+        assert_eq!(op.stats().windows_opened, 4);
+        assert!(!matches.is_empty());
+    }
+
+    #[test]
+    fn time_sliding_windows_open_every_slide_duration() {
+        let query = seq_query(WindowSpec::time_sliding(
+            SimDuration::from_secs(4),
+            SimDuration::from_secs(2),
+        ));
+        let events: Vec<Event> =
+            (0..10).map(|i| ev(if i % 2 == 0 { 0 } else { 1 }, i, i)).collect();
+        let mut op = Operator::new(query);
+        let _ = op.run(&VecStream::from_ordered(events), &mut KeepAll);
+        // Openings at t=0,2,4,6,8.
+        assert_eq!(op.stats().windows_opened, 5);
+    }
+
+    #[test]
+    fn flush_emits_matches_of_still_open_windows() {
+        let query = seq_query(WindowSpec::time_on_types(vec![ty(0)], SimDuration::from_secs(100)));
+        let stream = VecStream::from_ordered(vec![ev(0, 0, 0), ev(1, 1, 1)]);
+        let mut op = Operator::new(query);
+        let mut keep = KeepAll;
+        let mut matches = Vec::new();
+        for e in stream.iter() {
+            matches.extend(op.push(e, &mut keep));
+        }
+        assert!(matches.is_empty());
+        matches.extend(op.flush(&mut keep));
+        assert_eq!(matches.len(), 1);
+        assert_eq!(op.open_windows(), 0);
+    }
+
+    /// A decider that drops every event of a given type; used to verify the
+    /// shedding hook is honoured and reflected in the statistics.
+    #[derive(Debug)]
+    struct DropType(EventType);
+
+    impl WindowEventDecider for DropType {
+        fn decide(&mut self, _meta: &WindowMeta, _position: usize, event: &Event) -> Decision {
+            if event.event_type() == self.0 {
+                Decision::Drop
+            } else {
+                Decision::Keep
+            }
+        }
+    }
+
+    #[test]
+    fn dropping_a_needed_type_prevents_matches() {
+        let query = seq_query(WindowSpec::count_on_types(vec![ty(0)], 3));
+        let stream = VecStream::from_ordered(vec![ev(0, 0, 0), ev(1, 1, 1), ev(2, 2, 2)]);
+        let mut op = Operator::new(query);
+        let matches = op.run(&stream, &mut DropType(ty(1)));
+        assert!(matches.is_empty());
+        assert_eq!(op.stats().dropped, 1);
+        assert_eq!(op.stats().kept, op.stats().assignments - 1);
+        assert!(op.stats().drop_ratio() > 0.0);
+    }
+
+    #[test]
+    fn positions_count_dropped_events_too() {
+        // Drop type-2 noise; the later type-1 event must still report its
+        // original arrival position (2), not its index among kept events.
+        let query = seq_query(WindowSpec::count_on_types(vec![ty(0)], 3));
+        let stream = VecStream::from_ordered(vec![ev(0, 0, 0), ev(2, 1, 1), ev(1, 2, 2)]);
+        let mut op = Operator::new(query);
+        let matches = op.run(&stream, &mut DropType(ty(2)));
+        assert_eq!(matches.len(), 1);
+        let positions: Vec<_> = matches[0].constituents().iter().map(|c| c.position).collect();
+        assert_eq!(positions, vec![0, 2]);
+    }
+
+    #[test]
+    fn predicted_window_size_tracks_time_windows() {
+        let query = seq_query(WindowSpec::time_on_types(vec![ty(0)], SimDuration::from_secs(5)));
+        let mut op = Operator::new(query);
+        // Two windows of ~6 events each.
+        let mut events = Vec::new();
+        let mut seq = 0;
+        for start in [0u64, 20] {
+            events.push(ev(0, start, seq));
+            seq += 1;
+            for i in 1..6u64 {
+                events.push(ev(2, start + i % 5, seq));
+                seq += 1;
+            }
+        }
+        let stream = VecStream::from_unordered(events);
+        let _ = op.run(&stream, &mut KeepAll);
+        assert!(op.predicted_window_size() >= 5 && op.predicted_window_size() <= 7);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let query = seq_query(WindowSpec::count_on_types(vec![ty(0)], 3));
+        let stream = VecStream::from_ordered(vec![ev(0, 0, 0), ev(1, 1, 1), ev(2, 2, 2)]);
+        let mut op = Operator::new(query);
+        let _ = op.run(&stream, &mut KeepAll);
+        assert!(op.stats().events_processed > 0);
+        op.reset();
+        assert_eq!(op.stats().events_processed, 0);
+        assert_eq!(op.open_windows(), 0);
+        // Re-running after reset produces the same results.
+        let matches = op.run(&stream, &mut KeepAll);
+        assert_eq!(matches.len(), 1);
+    }
+
+    #[test]
+    fn stats_complex_event_counter_matches_output() {
+        let query = seq_query(WindowSpec::count_on_types(vec![ty(0)], 3));
+        let stream = VecStream::from_ordered(vec![
+            ev(0, 0, 0),
+            ev(1, 1, 1),
+            ev(2, 2, 2),
+            ev(0, 3, 3),
+            ev(1, 4, 4),
+            ev(2, 5, 5),
+        ]);
+        let mut op = Operator::new(query);
+        let matches = op.run(&stream, &mut KeepAll);
+        assert_eq!(op.stats().complex_events as usize, matches.len());
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests of the windowing and matching invariants.
+
+use crate::{
+    KeepAll, Matcher, Operator, Pattern, PatternStep, Query, SelectionPolicy, SkipPolicy,
+    WindowEntry, WindowSpec,
+};
+use espice_events::{Event, EventType, Timestamp, VecStream};
+use proptest::prelude::*;
+
+fn type_sequence(max_len: usize) -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(0u32..5, 1..max_len)
+}
+
+fn entries_from(types: &[u32]) -> Vec<WindowEntry> {
+    types
+        .iter()
+        .enumerate()
+        .map(|(pos, &ty)| WindowEntry {
+            position: pos,
+            event: Event::new(EventType::from_index(ty), Timestamp::from_secs(pos as u64), pos as u64),
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every constituent reported by the matcher is admissible for its pattern
+    /// step, and first-selection constituents appear in window order.
+    #[test]
+    fn constituents_are_admissible_and_ordered(
+        window in type_sequence(48),
+        pattern_types in prop::collection::vec(0u32..5, 1..4),
+        last in prop::bool::ANY,
+    ) {
+        let pattern = Pattern::sequence(pattern_types.iter().map(|&t| EventType::from_index(t)));
+        let query = Query::builder()
+            .pattern(pattern.clone())
+            .window(WindowSpec::count_sliding(window.len().max(1), window.len().max(1)))
+            .selection(if last { SelectionPolicy::Last } else { SelectionPolicy::First })
+            .build();
+        let matcher = Matcher::from_query(&query);
+        let outcome = matcher.matches(0, &entries_from(&window));
+        for complex in &outcome.complex_events {
+            prop_assert_eq!(complex.len(), pattern.total_events());
+            let positions: Vec<usize> = complex.constituents().iter().map(|c| c.position).collect();
+            prop_assert!(positions.windows(2).all(|w| w[0] < w[1]));
+            for (constituent, step) in complex.constituents().iter().zip(pattern.steps()) {
+                prop_assert!(step.types().contains(&constituent.event_type));
+            }
+        }
+    }
+
+    /// Contiguous matching only ever reports adjacent constituents, and any
+    /// contiguous match is also found under skip-till-next-match semantics.
+    #[test]
+    fn contiguous_matches_are_adjacent_and_a_subset_of_skip_matches(
+        window in type_sequence(40),
+        pattern_types in prop::collection::vec(0u32..5, 1..3),
+    ) {
+        let pattern = Pattern::sequence(pattern_types.iter().map(|&t| EventType::from_index(t)));
+        let base = Query::builder()
+            .pattern(pattern)
+            .window(WindowSpec::count_sliding(window.len().max(1), window.len().max(1)));
+        let contiguous = Matcher::from_query(&base.clone().skip(SkipPolicy::Contiguous).build());
+        let skipping = Matcher::from_query(&base.skip(SkipPolicy::SkipTillNextMatch).build());
+        let entries = entries_from(&window);
+        let contiguous_matches = contiguous.matches(0, &entries).complex_events;
+        for complex in &contiguous_matches {
+            let positions: Vec<usize> = complex.constituents().iter().map(|c| c.position).collect();
+            prop_assert!(positions.windows(2).all(|w| w[1] == w[0] + 1));
+        }
+        // A contiguous match implies the skipping matcher also finds a match.
+        if !contiguous_matches.is_empty() {
+            prop_assert!(!skipping.matches(0, &entries).complex_events.is_empty());
+        }
+    }
+
+    /// Count-based windows always close with exactly the configured number of
+    /// events as long as the stream is long enough.
+    #[test]
+    fn count_windows_have_exact_size(
+        types in type_sequence(120),
+        size in 2usize..20,
+        slide in 1usize..10,
+    ) {
+        #[derive(Debug, Default)]
+        struct SizeRecorder(Vec<usize>);
+        impl crate::WindowEventDecider for SizeRecorder {
+            fn decide(&mut self, _m: &crate::WindowMeta, _p: usize, _e: &Event) -> crate::Decision {
+                crate::Decision::Keep
+            }
+            fn window_closed(&mut self, _m: &crate::WindowMeta, size: usize) {
+                self.0.push(size);
+            }
+        }
+
+        let query = Query::builder()
+            .pattern(Pattern::new(vec![PatternStep::single(EventType::from_index(0))]))
+            .window(WindowSpec::count_sliding(size, slide))
+            .build();
+        let events: Vec<Event> = types
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| Event::new(EventType::from_index(t), Timestamp::from_secs(i as u64), i as u64))
+            .collect();
+        let mut recorder = SizeRecorder::default();
+        let mut operator = Operator::new(query);
+        // Process without flushing: only naturally closed windows count.
+        for e in &events {
+            let _ = operator.push(e, &mut recorder);
+        }
+        prop_assert!(recorder.0.iter().all(|&s| s == size), "window sizes {:?}", recorder.0);
+    }
+
+    /// Running the operator twice over the same stream produces identical
+    /// complex events (the engine is deterministic).
+    #[test]
+    fn operator_runs_are_deterministic(types in type_sequence(100)) {
+        let query = Query::builder()
+            .pattern(Pattern::sequence([EventType::from_index(0), EventType::from_index(1)]))
+            .window(WindowSpec::count_on_types(vec![EventType::from_index(0)], 12))
+            .build();
+        let events: Vec<Event> = types
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| Event::new(EventType::from_index(t), Timestamp::from_secs(i as u64), i as u64))
+            .collect();
+        let stream = VecStream::from_ordered(events);
+        let a = Operator::new(query.clone()).run(&stream, &mut KeepAll);
+        let b = Operator::new(query).run(&stream, &mut KeepAll);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,114 @@
+//! The load-shedding hook of the operator.
+//!
+//! The paper's load shedder sits between the windowing stage and the
+//! operator's processing function (Figure 1): for every primitive event and
+//! every window it belongs to, the shedder decides whether to keep the event
+//! *in that window*. Dropping an event from one window does not affect other
+//! windows that contain the same event.
+//!
+//! This module defines the trait the operator calls for each decision and a
+//! trivial implementation that keeps everything (used for ground-truth runs
+//! and model training).
+
+use crate::WindowMeta;
+use espice_events::Event;
+
+/// The outcome of a shedding decision for one (event, window) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Decision {
+    /// Keep the event in the window.
+    Keep,
+    /// Drop the event from the window.
+    Drop,
+}
+
+impl Decision {
+    /// Whether this decision keeps the event.
+    pub fn is_keep(self) -> bool {
+        matches!(self, Decision::Keep)
+    }
+}
+
+/// Per-(event, window) shedding decision callback.
+///
+/// Implementations must be cheap: the operator calls [`decide`] once for every
+/// event of every overlapping window ("it must be lightweight since it is
+/// performed for every event in a window", paper §3.5).
+///
+/// `position` is the 0-based arrival index of the event within the window,
+/// counting every event assigned to the window regardless of earlier drops,
+/// so positions are consistent between shedded runs and the unshedded runs
+/// the utility model was trained on.
+///
+/// [`decide`]: WindowEventDecider::decide
+pub trait WindowEventDecider {
+    /// Decides whether to keep `event` at `position` of the window described
+    /// by `meta`.
+    fn decide(&mut self, meta: &WindowMeta, position: usize, event: &Event) -> Decision;
+
+    /// Notifies the decider that a window has closed with `size` events
+    /// assigned to it in total. Default: no-op. eSPICE uses this to update its
+    /// window-size prediction and training statistics.
+    fn window_closed(&mut self, meta: &WindowMeta, size: usize) {
+        let _ = (meta, size);
+    }
+}
+
+/// A decider that keeps every event. Used for ground-truth (no shedding) runs
+/// and during model training.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct KeepAll;
+
+impl WindowEventDecider for KeepAll {
+    fn decide(&mut self, _meta: &WindowMeta, _position: usize, _event: &Event) -> Decision {
+        Decision::Keep
+    }
+}
+
+/// Blanket implementation so `&mut D` can be passed where a decider is
+/// expected (mirrors the standard library's `io::Read for &mut R`).
+impl<D: WindowEventDecider + ?Sized> WindowEventDecider for &mut D {
+    fn decide(&mut self, meta: &WindowMeta, position: usize, event: &Event) -> Decision {
+        (**self).decide(meta, position, event)
+    }
+
+    fn window_closed(&mut self, meta: &WindowMeta, size: usize) {
+        (**self).window_closed(meta, size);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use espice_events::{EventType, Timestamp};
+
+    fn meta() -> WindowMeta {
+        WindowMeta { id: 0, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: 10 }
+    }
+
+    #[test]
+    fn keep_all_keeps_everything() {
+        let mut d = KeepAll;
+        let e = Event::new(EventType::from_index(0), Timestamp::ZERO, 0);
+        for pos in 0..5 {
+            assert_eq!(d.decide(&meta(), pos, &e), Decision::Keep);
+        }
+    }
+
+    #[test]
+    fn decision_is_keep() {
+        assert!(Decision::Keep.is_keep());
+        assert!(!Decision::Drop.is_keep());
+    }
+
+    #[test]
+    fn mutable_reference_is_a_decider() {
+        fn takes_decider<D: WindowEventDecider>(d: &mut D) -> Decision {
+            let e = Event::new(EventType::from_index(0), Timestamp::ZERO, 0);
+            d.decide(&meta(), 0, &e)
+        }
+        let mut keep = KeepAll;
+        let mut by_ref = &mut keep;
+        assert_eq!(takes_decider(&mut by_ref), Decision::Keep);
+    }
+}

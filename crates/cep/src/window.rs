@@ -1,0 +1,313 @@
+//! Window specifications and per-window metadata.
+//!
+//! The input stream is partitioned into (possibly overlapping) windows; an
+//! event can belong to several windows at once and is processed independently
+//! in each (paper §2). A [`WindowSpec`] combines an *open policy* (when does a
+//! new window start) with an *extent* (when does a window end):
+//!
+//! * Q1/Q2 use time-based windows opened by a logical predicate (every striker
+//!   possession / every leading-stock quote),
+//! * Q3 uses a count-based window opened on leading-stock quotes,
+//! * Q4 uses a count-based sliding window (slide = 100 events).
+
+use espice_events::{Event, EventType, SequenceNumber, SimDuration, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a window instance within one operator run.
+pub type WindowId = u64;
+
+/// When new windows are opened.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OpenPolicy {
+    /// A new window is opened for every incoming event whose type is in the
+    /// given set (a logical predicate); the opening event is the first event
+    /// of the window.
+    OnTypes(Vec<EventType>),
+    /// A new window is opened every `slide` events (count-based slide).
+    EveryCount(usize),
+    /// A new window is opened every `slide` of stream time (time-based slide).
+    EveryDuration(SimDuration),
+}
+
+/// When a window closes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WindowExtent {
+    /// The window contains exactly this many events.
+    Count(usize),
+    /// The window contains all events within this duration of its opening
+    /// event's timestamp.
+    Time(SimDuration),
+}
+
+/// A complete window specification: open policy plus extent.
+///
+/// # Example
+///
+/// ```
+/// use espice_cep::WindowSpec;
+/// use espice_events::{EventType, SimDuration};
+///
+/// let count = WindowSpec::count_sliding(100, 10);
+/// assert_eq!(count.expected_size(), Some(100));
+///
+/// let time = WindowSpec::time_on_types(vec![EventType::from_index(0)], SimDuration::from_secs(15));
+/// assert_eq!(time.expected_size(), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowSpec {
+    open: OpenPolicy,
+    extent: WindowExtent,
+}
+
+impl WindowSpec {
+    /// Creates a window specification from its parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a count extent or count slide is zero, or if a type-opened
+    /// window has an empty type set.
+    pub fn new(open: OpenPolicy, extent: WindowExtent) -> Self {
+        match &open {
+            OpenPolicy::OnTypes(types) => {
+                assert!(!types.is_empty(), "OnTypes open policy needs at least one type")
+            }
+            OpenPolicy::EveryCount(slide) => assert!(*slide >= 1, "count slide must be >= 1"),
+            OpenPolicy::EveryDuration(d) => {
+                assert!(!d.is_zero(), "time slide must be non-zero")
+            }
+        }
+        if let WindowExtent::Count(size) = extent {
+            assert!(size >= 1, "count window size must be >= 1");
+        }
+        WindowSpec { open, extent }
+    }
+
+    /// Count-based sliding window: `size` events, a new window every `slide`
+    /// events.
+    pub fn count_sliding(size: usize, slide: usize) -> Self {
+        Self::new(OpenPolicy::EveryCount(slide), WindowExtent::Count(size))
+    }
+
+    /// Time-based sliding window: `size` of stream time, a new window every
+    /// `slide` of stream time.
+    pub fn time_sliding(size: SimDuration, slide: SimDuration) -> Self {
+        Self::new(OpenPolicy::EveryDuration(slide), WindowExtent::Time(size))
+    }
+
+    /// Count-based window opened on every event of the given types (Q3).
+    pub fn count_on_types(types: Vec<EventType>, size: usize) -> Self {
+        Self::new(OpenPolicy::OnTypes(types), WindowExtent::Count(size))
+    }
+
+    /// Time-based window opened on every event of the given types (Q1, Q2).
+    pub fn time_on_types(types: Vec<EventType>, size: SimDuration) -> Self {
+        Self::new(OpenPolicy::OnTypes(types), WindowExtent::Time(size))
+    }
+
+    /// The open policy.
+    pub fn open_policy(&self) -> &OpenPolicy {
+        &self.open
+    }
+
+    /// The extent.
+    pub fn extent(&self) -> WindowExtent {
+        self.extent
+    }
+
+    /// The exact window size in events, if it is known statically
+    /// (count-based extents). Time-based windows return `None`; their size is
+    /// predicted at runtime (paper §3.6, *Handling Variable Window Size*).
+    pub fn expected_size(&self) -> Option<usize> {
+        match self.extent {
+            WindowExtent::Count(size) => Some(size),
+            WindowExtent::Time(_) => None,
+        }
+    }
+
+    /// Whether an event of type `ty` opens a new window under this spec's
+    /// `OnTypes` policy. Always false for slide-based policies (the operator
+    /// tracks those itself).
+    pub fn opens_on(&self, ty: EventType) -> bool {
+        match &self.open {
+            OpenPolicy::OnTypes(types) => types.contains(&ty),
+            _ => false,
+        }
+    }
+
+    /// Whether an event with timestamp `ts` still falls into a window opened
+    /// at `opened_at` that currently holds `assigned` events.
+    pub fn accepts(&self, opened_at: Timestamp, assigned: usize, event: &Event) -> bool {
+        match self.extent {
+            WindowExtent::Count(size) => assigned < size,
+            WindowExtent::Time(dur) => event.timestamp() < opened_at + dur,
+        }
+    }
+}
+
+/// Metadata of a window instance, handed to [`WindowEventDecider`]s for every
+/// shedding decision.
+///
+/// [`WindowEventDecider`]: crate::WindowEventDecider
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowMeta {
+    /// The window's identifier (unique within an operator run).
+    pub id: WindowId,
+    /// Timestamp of the window's opening event.
+    pub opened_at: Timestamp,
+    /// Sequence number of the window's opening event.
+    pub open_seq: SequenceNumber,
+    /// Predicted total number of events in this window. Exact for count-based
+    /// extents; a running average of recently closed windows for time-based
+    /// extents (the paper's `N` / predicted window size).
+    pub predicted_size: usize,
+}
+
+/// Running estimate of the window size for time-based (variable size) windows.
+///
+/// The paper profiles the operator and uses the *average seen window size* as
+/// the model dimension `N`; at shedding time the incoming window's size must
+/// be predicted because events are processed on arrival. This predictor keeps
+/// an exponentially weighted moving average of closed-window sizes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SizePredictor {
+    estimate: f64,
+    alpha: f64,
+    observations: u64,
+}
+
+impl SizePredictor {
+    /// Creates a predictor with an initial estimate (used until the first
+    /// window closes) and smoothing factor `alpha` in `(0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]` or the initial estimate is zero.
+    pub fn new(initial_estimate: usize, alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        assert!(initial_estimate >= 1, "initial estimate must be >= 1");
+        SizePredictor { estimate: initial_estimate as f64, alpha, observations: 0 }
+    }
+
+    /// Records the size of a closed window.
+    pub fn observe(&mut self, size: usize) {
+        if self.observations == 0 {
+            self.estimate = size as f64;
+        } else {
+            self.estimate = self.alpha * size as f64 + (1.0 - self.alpha) * self.estimate;
+        }
+        self.observations += 1;
+    }
+
+    /// The current prediction (never below 1).
+    pub fn predict(&self) -> usize {
+        self.estimate.round().max(1.0) as usize
+    }
+
+    /// How many windows have been observed.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+}
+
+impl Default for SizePredictor {
+    fn default() -> Self {
+        SizePredictor::new(100, 0.05)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ty(i: u32) -> EventType {
+        EventType::from_index(i)
+    }
+
+    fn ev(t: u32, ts_secs: u64, seq: u64) -> Event {
+        Event::new(ty(t), Timestamp::from_secs(ts_secs), seq)
+    }
+
+    #[test]
+    fn count_sliding_has_static_size() {
+        let spec = WindowSpec::count_sliding(300, 100);
+        assert_eq!(spec.expected_size(), Some(300));
+        assert_eq!(spec.extent(), WindowExtent::Count(300));
+        assert!(matches!(spec.open_policy(), OpenPolicy::EveryCount(100)));
+    }
+
+    #[test]
+    fn time_on_types_opens_only_on_listed_types() {
+        let spec = WindowSpec::time_on_types(vec![ty(1), ty(2)], SimDuration::from_secs(15));
+        assert!(spec.opens_on(ty(1)));
+        assert!(spec.opens_on(ty(2)));
+        assert!(!spec.opens_on(ty(3)));
+        assert_eq!(spec.expected_size(), None);
+    }
+
+    #[test]
+    fn slide_policies_never_open_on_type() {
+        let spec = WindowSpec::count_sliding(10, 5);
+        assert!(!spec.opens_on(ty(0)));
+    }
+
+    #[test]
+    fn count_extent_accepts_until_full() {
+        let spec = WindowSpec::count_sliding(3, 1);
+        let opened = Timestamp::ZERO;
+        assert!(spec.accepts(opened, 0, &ev(0, 100, 0)));
+        assert!(spec.accepts(opened, 2, &ev(0, 100, 0)));
+        assert!(!spec.accepts(opened, 3, &ev(0, 100, 0)));
+    }
+
+    #[test]
+    fn time_extent_accepts_within_duration() {
+        let spec = WindowSpec::time_on_types(vec![ty(0)], SimDuration::from_secs(10));
+        let opened = Timestamp::from_secs(100);
+        assert!(spec.accepts(opened, 999, &ev(0, 105, 0)));
+        assert!(!spec.accepts(opened, 0, &ev(0, 110, 0)));
+        assert!(!spec.accepts(opened, 0, &ev(0, 200, 0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one type")]
+    fn on_types_rejects_empty_set() {
+        let _ = WindowSpec::count_on_types(Vec::new(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "size must be >= 1")]
+    fn count_extent_rejects_zero_size() {
+        let _ = WindowSpec::count_sliding(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "slide must be >= 1")]
+    fn count_slide_rejects_zero() {
+        let _ = WindowSpec::count_sliding(10, 0);
+    }
+
+    #[test]
+    fn size_predictor_converges_to_observed_sizes() {
+        let mut p = SizePredictor::new(500, 0.5);
+        assert_eq!(p.predict(), 500);
+        p.observe(100);
+        // First observation replaces the initial estimate entirely.
+        assert_eq!(p.predict(), 100);
+        p.observe(200);
+        assert_eq!(p.predict(), 150);
+        assert_eq!(p.observations(), 2);
+    }
+
+    #[test]
+    fn size_predictor_never_predicts_zero() {
+        let mut p = SizePredictor::new(1, 1.0);
+        p.observe(0);
+        assert_eq!(p.predict(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn size_predictor_rejects_bad_alpha() {
+        let _ = SizePredictor::new(10, 0.0);
+    }
+}

@@ -1,0 +1,408 @@
+//! Baseline load shedders used for comparison (paper §4.1).
+//!
+//! * [`BaselineShedder`] (`BL`) — re-implements the state-of-the-art strategy
+//!   the paper compares against (He et al.'s type-level shedding combined with
+//!   the weighted-sampling idea from stream processing): event types are
+//!   scored by their repetition in the pattern relative to their frequency in
+//!   windows, the drop quota is spread over the types in proportion to their
+//!   frequency *discounted by that utility*, and within a type the required
+//!   amount is removed by uniform sampling. Event *order* and *position* are
+//!   ignored, which is exactly the limitation eSPICE addresses: BL cannot tell
+//!   the pattern-completing instance of a type from the other instances of the
+//!   same type in the window.
+//! * [`RandomShedder`] — drops every event with the same probability;
+//!   the naive strawman.
+
+use crate::{ShedPlan, ShedderStats, UtilityModel};
+use espice_cep::{Decision, Pattern, WindowEventDecider, WindowMeta};
+use espice_events::{Event, EventType};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How strongly a type's utility shields it from the drop quota: the weight of
+/// type `T` in the quota allocation is `freq(T) / (1 + UTILITY_SHIELD · u(T))`.
+const UTILITY_SHIELD: f64 = 2.0;
+
+/// The `BL` baseline shedder: type-utility based, order-agnostic.
+///
+/// # Example
+///
+/// ```
+/// use espice::{BaselineShedder, ModelBuilder, ModelConfig, ShedPlan};
+/// use espice_cep::Pattern;
+/// use espice_events::EventType;
+///
+/// let model = ModelBuilder::new(ModelConfig::with_positions(10), 2).build();
+/// let pattern = Pattern::sequence([EventType::from_index(0), EventType::from_index(1)]);
+/// let mut bl = BaselineShedder::new(&pattern, &model, 1);
+/// bl.apply(ShedPlan { active: true, partitions: 1, partition_size: 10, events_to_drop: 3.0 });
+/// assert!(bl.is_active());
+/// ```
+#[derive(Debug, Clone)]
+pub struct BaselineShedder {
+    /// Per-type utility: pattern repetition / expected per-window frequency.
+    type_utilities: Vec<f64>,
+    /// Expected events of each type per window.
+    type_frequencies: Vec<f64>,
+    /// Expected window size in events.
+    expected_window_size: f64,
+    /// Per-type drop probabilities of the active plan (`None` = inactive).
+    drop_probabilities: Option<Vec<f64>>,
+    rng: StdRng,
+    stats: ShedderStats,
+}
+
+impl BaselineShedder {
+    /// Creates the baseline for a query pattern and a trained model (the model
+    /// supplies the per-type window frequencies — the same statistics eSPICE
+    /// collects, used here without the positional dimension).
+    pub fn new(pattern: &Pattern, model: &UtilityModel, seed: u64) -> Self {
+        let shares = model.position_shares();
+        let num_types = shares.num_types().max(
+            pattern.referenced_types().iter().map(|t| t.index() + 1).max().unwrap_or(0),
+        );
+        let mut type_frequencies = vec![0.0; num_types];
+        let mut type_utilities = vec![0.0; num_types];
+        for index in 0..num_types {
+            let ty = EventType::from_index(index as u32);
+            let freq = shares.expected_per_window(ty);
+            let repetition = pattern.type_repetition(ty) as f64;
+            type_frequencies[index] = freq;
+            type_utilities[index] =
+                if repetition > 0.0 { repetition / freq.max(1e-6) } else { 0.0 };
+        }
+        let expected_window_size = shares.expected_window_size().max(1.0);
+        BaselineShedder {
+            type_utilities,
+            type_frequencies,
+            expected_window_size,
+            drop_probabilities: None,
+            rng: StdRng::seed_from_u64(seed),
+            stats: ShedderStats::default(),
+        }
+    }
+
+    /// Whether the baseline is currently dropping events.
+    pub fn is_active(&self) -> bool {
+        self.drop_probabilities.is_some()
+    }
+
+    /// The shedder's counters.
+    pub fn stats(&self) -> &ShedderStats {
+        &self.stats
+    }
+
+    /// The per-type utility values (for inspection in experiments).
+    pub fn type_utilities(&self) -> &[f64] {
+        &self.type_utilities
+    }
+
+    /// Applies a drop command: allocates the per-window drop quota across the
+    /// event types in proportion to their frequency discounted by their
+    /// utility, then drops that amount from each type via uniform sampling
+    /// (i.e. a per-type drop probability, blind to window position).
+    ///
+    /// Types that never occur keep a zero quota; if a type's quota exceeds its
+    /// frequency the excess is redistributed over the remaining types, so the
+    /// expected number of drops per window matches the plan whenever that is
+    /// feasible at all.
+    pub fn apply(&mut self, plan: ShedPlan) {
+        if !plan.active || plan.events_to_drop <= 0.0 {
+            self.deactivate();
+            return;
+        }
+        self.stats.plans_applied += 1;
+        let quota = plan.drops_per_window();
+
+        let n = self.type_utilities.len();
+        let weights: Vec<f64> = (0..n)
+            .map(|i| {
+                let freq = self.type_frequencies[i];
+                if freq <= 0.0 {
+                    0.0
+                } else {
+                    freq / (1.0 + UTILITY_SHIELD * self.type_utilities[i])
+                }
+            })
+            .collect();
+
+        // Waterfill the quota: saturated types (probability capped at 1) hand
+        // their excess back to the pool.
+        let mut probabilities = vec![0.0f64; n];
+        let mut saturated = vec![false; n];
+        let mut remaining = quota;
+        for _ in 0..n {
+            let weight_sum: f64 = (0..n)
+                .filter(|&i| !saturated[i] && weights[i] > 0.0)
+                .map(|i| weights[i])
+                .sum();
+            if weight_sum <= 0.0 || remaining <= 1e-12 {
+                break;
+            }
+            let mut overflow = 0.0;
+            for i in 0..n {
+                if saturated[i] || weights[i] <= 0.0 {
+                    continue;
+                }
+                let share = remaining * weights[i] / weight_sum;
+                let additional = share / self.type_frequencies[i];
+                let new_probability = probabilities[i] + additional;
+                if new_probability >= 1.0 {
+                    overflow += (new_probability - 1.0) * self.type_frequencies[i];
+                    probabilities[i] = 1.0;
+                    saturated[i] = true;
+                } else {
+                    probabilities[i] = new_probability;
+                }
+            }
+            remaining = overflow;
+        }
+        self.drop_probabilities = Some(probabilities);
+    }
+
+    /// Stops shedding.
+    pub fn deactivate(&mut self) {
+        self.drop_probabilities = None;
+    }
+
+    /// The per-type drop probabilities of the active plan (empty when
+    /// inactive). Exposed for experiments and debugging.
+    pub fn drop_probabilities(&self) -> Vec<f64> {
+        self.drop_probabilities.clone().unwrap_or_default()
+    }
+
+    /// Expected window size the baseline assumes (from training statistics).
+    pub fn expected_window_size(&self) -> f64 {
+        self.expected_window_size
+    }
+}
+
+impl WindowEventDecider for BaselineShedder {
+    fn decide(&mut self, _meta: &WindowMeta, _position: usize, event: &Event) -> Decision {
+        self.stats.decisions += 1;
+        let Some(probabilities) = &self.drop_probabilities else {
+            return Decision::Keep;
+        };
+        let p = probabilities.get(event.event_type().index()).copied().unwrap_or(0.0);
+        let drop = p > 0.0 && self.rng.gen_bool(p.clamp(0.0, 1.0));
+        if drop {
+            self.stats.drops += 1;
+            Decision::Drop
+        } else {
+            Decision::Keep
+        }
+    }
+}
+
+/// A shedder that drops every event with the same probability, independent of
+/// type and position.
+#[derive(Debug, Clone)]
+pub struct RandomShedder {
+    drop_probability: f64,
+    rng: StdRng,
+    stats: ShedderStats,
+}
+
+impl RandomShedder {
+    /// Creates an inactive random shedder.
+    pub fn new(seed: u64) -> Self {
+        RandomShedder { drop_probability: 0.0, rng: StdRng::seed_from_u64(seed), stats: ShedderStats::default() }
+    }
+
+    /// Applies a drop command given the expected window size: the drop
+    /// probability becomes `drops_per_window / window_size`.
+    pub fn apply(&mut self, plan: ShedPlan, expected_window_size: f64) {
+        if !plan.active || plan.events_to_drop <= 0.0 {
+            self.drop_probability = 0.0;
+            return;
+        }
+        self.stats.plans_applied += 1;
+        self.drop_probability = (plan.drops_per_window() / expected_window_size.max(1.0)).clamp(0.0, 1.0);
+    }
+
+    /// Stops shedding.
+    pub fn deactivate(&mut self) {
+        self.drop_probability = 0.0;
+    }
+
+    /// Whether the shedder is currently dropping events.
+    pub fn is_active(&self) -> bool {
+        self.drop_probability > 0.0
+    }
+
+    /// The current drop probability.
+    pub fn drop_probability(&self) -> f64 {
+        self.drop_probability
+    }
+
+    /// The shedder's counters.
+    pub fn stats(&self) -> &ShedderStats {
+        &self.stats
+    }
+}
+
+impl WindowEventDecider for RandomShedder {
+    fn decide(&mut self, _meta: &WindowMeta, _position: usize, _event: &Event) -> Decision {
+        self.stats.decisions += 1;
+        if self.drop_probability > 0.0 && self.rng.gen_bool(self.drop_probability) {
+            self.stats.drops += 1;
+            Decision::Drop
+        } else {
+            Decision::Keep
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ModelBuilder, ModelConfig};
+    use espice_events::Timestamp;
+
+    fn ty(i: u32) -> EventType {
+        EventType::from_index(i)
+    }
+
+    fn meta() -> WindowMeta {
+        WindowMeta { id: 0, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: 10 }
+    }
+
+    /// Model over windows of 10 events: 1×type0, 3×type1, 6×type2 per window.
+    fn model_with_frequencies() -> UtilityModel {
+        let config = ModelConfig::with_positions(10);
+        let mut builder = ModelBuilder::new(config, 3);
+        for w in 0..5u64 {
+            let m = WindowMeta { id: w, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: 10 };
+            let composition = [0u32, 1, 1, 1, 2, 2, 2, 2, 2, 2];
+            for (pos, &t) in composition.iter().enumerate() {
+                let e = Event::new(ty(t), Timestamp::ZERO, pos as u64);
+                let _ = builder.decide(&m, pos, &e);
+            }
+            builder.window_closed(&m, 10);
+        }
+        builder.build()
+    }
+
+    #[test]
+    fn type_utilities_favour_pattern_types() {
+        let model = model_with_frequencies();
+        // Pattern uses types 0 and 1 only.
+        let pattern = Pattern::sequence([ty(0), ty(1)]);
+        let bl = BaselineShedder::new(&pattern, &model, 1);
+        let utilities = bl.type_utilities();
+        assert!(utilities[0] > utilities[1], "rarer pattern type must score higher");
+        assert_eq!(utilities[2], 0.0, "types outside the pattern have zero utility");
+        assert!((bl.expected_window_size() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn inactive_baseline_keeps_everything() {
+        let model = model_with_frequencies();
+        let pattern = Pattern::sequence([ty(0), ty(1)]);
+        let mut bl = BaselineShedder::new(&pattern, &model, 1);
+        for t in 0..3 {
+            assert!(bl.decide(&meta(), 0, &Event::new(ty(t), Timestamp::ZERO, 0)).is_keep());
+        }
+    }
+
+    #[test]
+    fn baseline_drop_probabilities_respect_utility_ordering() {
+        let model = model_with_frequencies();
+        let pattern = Pattern::sequence([ty(0), ty(1)]);
+        let mut bl = BaselineShedder::new(&pattern, &model, 1);
+        bl.apply(ShedPlan { active: true, partitions: 1, partition_size: 10, events_to_drop: 4.0 });
+        let p = bl.drop_probabilities();
+        // Higher utility ⇒ lower drop probability; the non-pattern type is
+        // dropped the most.
+        assert!(p[0] < p[1], "rarest pattern type must be shed least: {p:?}");
+        assert!(p[1] < p[2], "non-pattern type must be shed most: {p:?}");
+        assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        // The expected number of drops per window matches the quota:
+        // Σ p(T) · freq(T) ≈ 4.
+        let expected: f64 = p[0] * 1.0 + p[1] * 3.0 + p[2] * 6.0;
+        assert!((expected - 4.0).abs() < 1e-6, "expected {expected} drops");
+    }
+
+    #[test]
+    fn baseline_quota_exceeding_a_type_is_redistributed() {
+        let model = model_with_frequencies();
+        let pattern = Pattern::sequence([ty(0), ty(1)]);
+        let mut bl = BaselineShedder::new(&pattern, &model, 1);
+        // Quota of 9 of 10 events per window: the non-pattern type saturates
+        // at probability 1 and the excess spills into the pattern types.
+        bl.apply(ShedPlan { active: true, partitions: 1, partition_size: 10, events_to_drop: 9.0 });
+        let p = bl.drop_probabilities();
+        assert_eq!(p[2], 1.0);
+        assert!(p[0] > 0.0 && p[1] > 0.0);
+        let expected: f64 = p[0] * 1.0 + p[1] * 3.0 + p[2] * 6.0;
+        assert!((expected - 9.0).abs() < 1e-6, "expected {expected} drops");
+        assert!(!bl.decide(&meta(), 0, &Event::new(ty(2), Timestamp::ZERO, 0)).is_keep());
+    }
+
+    #[test]
+    fn baseline_sheds_pattern_types_it_cannot_distinguish() {
+        // The key weakness the paper exploits: BL cannot tell which instances
+        // of a pattern type matter, so even a moderate quota thins the pattern
+        // types themselves.
+        let model = model_with_frequencies();
+        let pattern = Pattern::sequence([ty(1), ty(2)]);
+        let mut bl = BaselineShedder::new(&pattern, &model, 1);
+        bl.apply(ShedPlan { active: true, partitions: 1, partition_size: 10, events_to_drop: 5.0 });
+        let p = bl.drop_probabilities();
+        assert!(p[1] > 0.0, "pattern type 1 receives part of the quota");
+        assert!(p[2] > 0.0, "pattern type 2 receives part of the quota");
+    }
+
+    #[test]
+    fn baseline_ignores_position() {
+        let model = model_with_frequencies();
+        let pattern = Pattern::sequence([ty(0), ty(1)]);
+        let mut bl = BaselineShedder::new(&pattern, &model, 7);
+        bl.apply(ShedPlan { active: true, partitions: 1, partition_size: 10, events_to_drop: 6.0 });
+        // The decision distribution for a type is identical at every position:
+        // with a fixed seed the drop counts over many decisions stay within
+        // statistical range of the same probability for all positions.
+        let mut drops_per_position = vec![0usize; 2];
+        for (slot, pos) in [0usize, 9].iter().enumerate() {
+            for i in 0..2000u64 {
+                let e = Event::new(ty(2), Timestamp::ZERO, i);
+                if !bl.decide(&meta(), *pos, &e).is_keep() {
+                    drops_per_position[slot] += 1;
+                }
+            }
+        }
+        let diff = drops_per_position[0].abs_diff(drops_per_position[1]);
+        assert!(diff < 150, "position changed the drop rate: {drops_per_position:?}");
+    }
+
+    #[test]
+    fn baseline_deactivation_and_zero_plan() {
+        let model = model_with_frequencies();
+        let pattern = Pattern::sequence([ty(0), ty(1)]);
+        let mut bl = BaselineShedder::new(&pattern, &model, 1);
+        bl.apply(ShedPlan { active: true, partitions: 1, partition_size: 10, events_to_drop: 6.0 });
+        assert!(bl.is_active());
+        bl.apply(ShedPlan::inactive());
+        assert!(!bl.is_active());
+        bl.apply(ShedPlan { active: true, partitions: 1, partition_size: 10, events_to_drop: 0.0 });
+        assert!(!bl.is_active());
+    }
+
+    #[test]
+    fn random_shedder_drops_at_the_requested_rate() {
+        let mut random = RandomShedder::new(3);
+        assert!(!random.is_active());
+        random.apply(
+            ShedPlan { active: true, partitions: 2, partition_size: 5, events_to_drop: 1.0 },
+            10.0,
+        );
+        assert!(random.is_active());
+        assert!((random.drop_probability() - 0.2).abs() < 1e-9);
+        let e = Event::new(ty(0), Timestamp::ZERO, 0);
+        let drops = (0..5000).filter(|_| !random.decide(&meta(), 0, &e).is_keep()).count();
+        assert!((800..1200).contains(&drops), "got {drops} drops out of 5000");
+        random.deactivate();
+        assert!(random.decide(&meta(), 0, &e).is_keep());
+        assert_eq!(random.stats().plans_applied, 1);
+    }
+}

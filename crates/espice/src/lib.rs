@@ -1,0 +1,85 @@
+//! eSPICE: probabilistic load shedding from input event streams in complex
+//! event processing.
+//!
+//! This crate implements the paper's primary contribution (Section 3): a
+//! lightweight load shedder that, under overload, drops the primitive events
+//! that are least likely to contribute to complex events, thereby maintaining
+//! a given latency bound while minimising the number of false positives and
+//! false negatives.
+//!
+//! The main pieces, mapped to the paper:
+//!
+//! | Paper concept | Type |
+//! |---|---|
+//! | utility prediction function `U(T, P)` / utility table `UT` | [`UtilityTable`] |
+//! | position shares `S(T, P)` | [`PositionShares`] |
+//! | cumulative utility occurrences `O(u)` / `CDT` (Algorithm 1) | [`Cdt`] |
+//! | model building from detected complex events (§3.3) | [`ModelBuilder`] → [`UtilityModel`] |
+//! | overload detection, `qmax`, dropping interval and amount (§3.4) | [`OverloadDetector`], [`ShedPlanner`], [`ShedPlan`] |
+//! | load shedder (Algorithm 2) | [`EspiceShedder`] |
+//! | bins, variable window size, retraining (§3.6) | [`ModelConfig`], [`UtilityModel::utility`], [`ModelBuilder::reset`] |
+//! | baseline `BL` and random shedding (§4.1) | [`BaselineShedder`], [`RandomShedder`] |
+//!
+//! All shedders implement [`espice_cep::WindowEventDecider`], so they plug
+//! directly into the CEP operator of the [`espice_cep`] crate.
+//!
+//! # Example: train a model and shed from a window
+//!
+//! ```
+//! use espice::{ModelBuilder, ModelConfig, EspiceShedder, ShedPlan};
+//! use espice_cep::{Operator, Pattern, Query, WindowSpec, KeepAll, WindowEventDecider};
+//! use espice_events::{Event, EventType, Timestamp, VecStream};
+//!
+//! let a = EventType::from_index(0);
+//! let b = EventType::from_index(1);
+//! let query = Query::builder()
+//!     .pattern(Pattern::sequence([a, b]))
+//!     .window(WindowSpec::count_on_types(vec![a], 4))
+//!     .build();
+//!
+//! // Training: run the operator without shedding, record windows and matches.
+//! let training: Vec<Event> = (0..40)
+//!     .map(|i| Event::new(if i % 4 == 0 { a } else { b }, Timestamp::from_secs(i), i))
+//!     .collect();
+//! let mut builder = ModelBuilder::new(ModelConfig { positions: 4, ..ModelConfig::default() }, 2);
+//! let mut operator = Operator::new(query);
+//! let matches = operator.run(&VecStream::from_ordered(training), &mut builder);
+//! for m in &matches {
+//!     builder.observe_complex(m);
+//! }
+//! let model = builder.build();
+//!
+//! // Shedding: drop roughly one low-utility event per window partition.
+//! let mut shedder = EspiceShedder::new(model);
+//! shedder.apply(ShedPlan { active: true, partitions: 1, partition_size: 4, events_to_drop: 1.0 });
+//! assert!(shedder.is_active());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod baseline;
+mod cdt;
+mod config;
+mod model;
+mod overload;
+#[cfg(test)]
+mod proptests;
+mod retraining;
+mod shedder;
+
+pub use baseline::{BaselineShedder, RandomShedder};
+pub use cdt::Cdt;
+pub use config::{ModelConfig, NormalisationMode};
+pub use model::{ModelBuilder, PositionShares, UtilityModel, UtilityTable};
+pub use overload::{suggest_f, OverloadConfig, OverloadDetector, ShedPlan, ShedPlanner};
+pub use retraining::{RetrainOutcome, RetrainPolicy, RetrainingManager, TypeDistribution};
+pub use shedder::{EspiceShedder, ShedderStats};
+
+/// Convenience re-exports for downstream crates.
+pub mod prelude {
+    pub use crate::{
+        BaselineShedder, Cdt, EspiceShedder, ModelBuilder, ModelConfig, NormalisationMode,
+        OverloadConfig, OverloadDetector, RandomShedder, ShedPlan, ShedPlanner, UtilityModel,
+    };
+}

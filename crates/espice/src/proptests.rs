@@ -1,0 +1,167 @@
+//! Property-based tests of the shedding algebra: thresholds, drop amounts,
+//! baseline quota allocation and planner arithmetic.
+
+use crate::{
+    BaselineShedder, EspiceShedder, ModelBuilder, ModelConfig, OverloadConfig, RandomShedder,
+    ShedPlan, ShedPlanner,
+};
+use espice_cep::{Pattern, WindowEventDecider, WindowMeta};
+use espice_events::{Event, EventType, SimDuration, Timestamp};
+use proptest::prelude::*;
+
+/// Builds a model from a randomly composed window population.
+fn model_from(window: &[u32], contributing: &[usize]) -> crate::UtilityModel {
+    let positions = window.len().max(1);
+    let mut builder = ModelBuilder::new(ModelConfig::with_positions(positions), 6);
+    let meta = WindowMeta { id: 0, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: positions };
+    for (pos, &ty) in window.iter().enumerate() {
+        let _ = builder.decide(&meta, pos, &Event::new(EventType::from_index(ty), Timestamp::ZERO, pos as u64));
+    }
+    builder.window_closed(&meta, positions);
+    for &pos in contributing {
+        let pos = pos % positions;
+        builder.observe_complex(&espice_cep::ComplexEvent::new(
+            0,
+            Timestamp::ZERO,
+            vec![espice_cep::Constituent {
+                seq: pos as u64,
+                event_type: EventType::from_index(window[pos]),
+                position: pos,
+            }],
+        ));
+    }
+    builder.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The planner's arithmetic: qmax, the activation threshold and the buffer
+    /// are consistent, partitions cover the window, and the drop amount
+    /// removes exactly the rate surplus.
+    #[test]
+    fn planner_arithmetic_is_consistent(
+        throughput in 100.0f64..10_000.0,
+        f in 0.1f64..0.95,
+        window_size in 10usize..20_000,
+        overload in 1.01f64..2.0,
+    ) {
+        let planner = ShedPlanner::new(
+            OverloadConfig { latency_bound: SimDuration::from_secs(1), f, ..OverloadConfig::default() },
+            throughput,
+        );
+        prop_assert!(planner.activation_queue_length() <= planner.qmax());
+        prop_assert!(planner.buffer_size() >= 1);
+        let partitions = planner.partitions_for_window(window_size);
+        prop_assert!(partitions >= 1);
+        // The partition size never exceeds the buffer (the dropping-interval
+        // constraint of §3.4) unless the buffer itself is a single event.
+        let plan = planner.plan(throughput * overload, window_size);
+        prop_assert!(plan.active);
+        prop_assert!(plan.partitions == partitions);
+        if planner.buffer_size() > 1 {
+            prop_assert!(plan.partition_size <= planner.buffer_size() + 1);
+        }
+        // Removing x events every psize/R seconds removes the surplus δ.
+        let removal_rate = plan.events_to_drop / (plan.partition_size as f64 / (throughput * overload));
+        let delta = throughput * overload - throughput;
+        prop_assert!((removal_rate - delta).abs() / delta < 1e-6);
+    }
+
+    /// The eSPICE shedder's realised drop rate over a long window stream stays
+    /// close to the planned drop fraction whenever the utility distribution
+    /// offers enough low-utility events.
+    #[test]
+    fn espice_drop_rate_tracks_the_plan(
+        window in prop::collection::vec(0u32..6, 8..40),
+        contributing in prop::collection::vec(0usize..40, 0..6),
+        drop_fraction in 0.05f64..0.9,
+    ) {
+        let positions = window.len();
+        let model = model_from(&window, &contributing);
+        let mut shedder = EspiceShedder::new(model);
+        let plan = ShedPlan {
+            active: true,
+            partitions: 1,
+            partition_size: positions,
+            events_to_drop: drop_fraction * positions as f64,
+        };
+        shedder.apply(plan);
+        let meta = WindowMeta { id: 0, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: positions };
+        let mut drops = 0usize;
+        let windows = 200usize;
+        for _ in 0..windows {
+            for (pos, &ty) in window.iter().enumerate() {
+                let e = Event::new(EventType::from_index(ty), Timestamp::ZERO, pos as u64);
+                if !shedder.decide(&meta, pos, &e).is_keep() {
+                    drops += 1;
+                }
+            }
+        }
+        let realised = drops as f64 / (windows * positions) as f64;
+        // The shedder drops at least the requested fraction (it may overshoot
+        // only when whole utility levels cannot be split, which the boundary
+        // thinning prevents up to one event per partition per window).
+        prop_assert!(realised + 1.0 / positions as f64 + 0.02 >= drop_fraction,
+            "realised {realised} vs requested {drop_fraction}");
+        prop_assert!(realised <= drop_fraction + 1.0 / positions as f64 + 0.02,
+            "realised {realised} overshoots {drop_fraction}");
+    }
+
+    /// The baseline's expected drops per window equal the quota whenever the
+    /// quota is feasible, and all probabilities are valid.
+    #[test]
+    fn baseline_quota_is_met_in_expectation(
+        window in prop::collection::vec(0u32..6, 4..40),
+        pattern_types in prop::collection::vec(0u32..6, 1..4),
+        quota_fraction in 0.05f64..0.95,
+    ) {
+        let model = model_from(&window, &[]);
+        let pattern = Pattern::sequence(pattern_types.iter().map(|&t| EventType::from_index(t)));
+        let mut bl = BaselineShedder::new(&pattern, &model, 9);
+        let quota = quota_fraction * window.len() as f64;
+        bl.apply(ShedPlan {
+            active: true,
+            partitions: 1,
+            partition_size: window.len(),
+            events_to_drop: quota,
+        });
+        let probabilities = bl.drop_probabilities();
+        prop_assert!(probabilities.iter().all(|p| (0.0..=1.0).contains(p)));
+        let expected: f64 = probabilities
+            .iter()
+            .enumerate()
+            .map(|(ty, p)| {
+                p * model.position_shares().expected_per_window(EventType::from_index(ty as u32))
+            })
+            .sum();
+        prop_assert!((expected - quota).abs() < 1e-6, "expected {expected}, quota {quota}");
+    }
+
+    /// The random shedder's drop probability equals the requested fraction and
+    /// deactivation always restores keep-everything behaviour.
+    #[test]
+    fn random_shedder_probability_matches_plan(
+        window_size in 1usize..10_000,
+        drop_fraction in 0.0f64..1.0,
+    ) {
+        let mut random = RandomShedder::new(5);
+        random.apply(
+            ShedPlan {
+                active: true,
+                partitions: 1,
+                partition_size: window_size,
+                events_to_drop: drop_fraction * window_size as f64,
+            },
+            window_size as f64,
+        );
+        if drop_fraction > 0.0 {
+            prop_assert!((random.drop_probability() - drop_fraction).abs() < 1e-9);
+        }
+        random.deactivate();
+        prop_assert!(!random.is_active());
+        let meta = WindowMeta { id: 0, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: 1 };
+        let e = Event::new(EventType::from_index(0), Timestamp::ZERO, 0);
+        prop_assert!(random.decide(&meta, 0, &e).is_keep());
+    }
+}

@@ -1,0 +1,370 @@
+//! The eSPICE load shedder (Algorithm 2 of the paper).
+//!
+//! Once activated with a [`ShedPlan`], the shedder computes one utility
+//! threshold per window partition from the model's `CDT`s and then takes an
+//! O(1) decision for every (event, window) pair: look up the event's utility
+//! `UT(T, P)` and drop the event from the window if the utility is less than
+//! or equal to the threshold of the partition the position falls into.
+
+use crate::{Cdt, ShedPlan, UtilityModel};
+use espice_cep::{Decision, WindowEventDecider, WindowMeta};
+use espice_events::Event;
+use serde::{Deserialize, Serialize};
+
+/// Counters describing the shedder's activity.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShedderStats {
+    /// Shedding decisions taken.
+    pub decisions: u64,
+    /// Decisions that dropped the event from its window.
+    pub drops: u64,
+    /// Drop commands (plans) applied.
+    pub plans_applied: u64,
+}
+
+impl ShedderStats {
+    /// Fraction of decisions that dropped the event.
+    pub fn drop_ratio(&self) -> f64 {
+        if self.decisions == 0 {
+            0.0
+        } else {
+            self.drops as f64 / self.decisions as f64
+        }
+    }
+}
+
+/// Per-partition shedding state.
+#[derive(Debug, Clone)]
+struct PartitionShedding {
+    /// Utility threshold `u_th(part)`: events with utility strictly below the
+    /// threshold are always dropped. `None` means "drop nothing".
+    threshold: Option<u8>,
+    /// Fraction of the events *at* the threshold utility that must also be
+    /// dropped so the expected number of drops matches the requested amount
+    /// exactly instead of overshooting (Algorithm 2 drops "at least x" events;
+    /// with coarse utility distributions — many cells sharing the same value —
+    /// that overshoot can be large, so the boundary level is thinned
+    /// deterministically).
+    boundary_fraction: f64,
+    /// Running accumulator implementing the deterministic boundary fraction
+    /// (error-diffusion: drop when the accumulated fraction reaches 1).
+    boundary_accumulator: f64,
+}
+
+/// The currently active shedding state: per-partition thresholds.
+#[derive(Debug, Clone)]
+struct ActiveShedding {
+    partitions: usize,
+    per_partition: Vec<PartitionShedding>,
+}
+
+/// eSPICE's probabilistic load shedder.
+///
+/// # Example
+///
+/// ```
+/// use espice::{EspiceShedder, ModelBuilder, ModelConfig, ShedPlan};
+///
+/// let model = ModelBuilder::new(ModelConfig::with_positions(10), 2).build();
+/// let mut shedder = EspiceShedder::new(model);
+/// assert!(!shedder.is_active());
+/// shedder.apply(ShedPlan { active: true, partitions: 2, partition_size: 5, events_to_drop: 1.0 });
+/// assert!(shedder.is_active());
+/// shedder.deactivate();
+/// assert!(!shedder.is_active());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EspiceShedder {
+    model: UtilityModel,
+    active: Option<ActiveShedding>,
+    /// The most recently applied plan, reused when the model is swapped after
+    /// retraining.
+    last_plan: Option<ShedPlan>,
+    stats: ShedderStats,
+}
+
+impl EspiceShedder {
+    /// Creates a shedder that uses `model` for its utility lookups. The
+    /// shedder starts inactive (keeps everything).
+    pub fn new(model: UtilityModel) -> Self {
+        EspiceShedder { model, active: None, last_plan: None, stats: ShedderStats::default() }
+    }
+
+    /// The model the shedder currently uses.
+    pub fn model(&self) -> &UtilityModel {
+        &self.model
+    }
+
+    /// Replaces the model (after retraining) while keeping the current
+    /// activation state: if shedding is active, the most recently applied plan
+    /// is re-applied against the new model so the thresholds stay consistent.
+    pub fn set_model(&mut self, model: UtilityModel) {
+        self.model = model;
+        if self.active.is_some() {
+            if let Some(plan) = self.last_plan {
+                self.apply(plan);
+            }
+        }
+    }
+
+    /// Whether the shedder is currently dropping events.
+    pub fn is_active(&self) -> bool {
+        self.active.is_some()
+    }
+
+    /// The shedder's counters.
+    pub fn stats(&self) -> &ShedderStats {
+        &self.stats
+    }
+
+    /// The per-partition utility thresholds of the active plan (empty when
+    /// inactive). Exposed for experiments and debugging.
+    pub fn thresholds(&self) -> Vec<Option<u8>> {
+        self.active
+            .as_ref()
+            .map(|a| a.per_partition.iter().map(|p| p.threshold).collect())
+            .unwrap_or_default()
+    }
+
+    /// Computes per-partition thresholds for a plan asking to drop
+    /// `events_to_drop` out of every `partition_size` events.
+    ///
+    /// The drop amount is interpreted as a *fraction* (`x / psize`) and scaled
+    /// by each partition's own expected event mass, so the thresholds stay
+    /// correct even when the window size the plan was computed for differs
+    /// from the model's position count (variable-size windows).
+    fn thresholds_for(
+        &self,
+        partitions: usize,
+        events_to_drop: f64,
+        partition_size: usize,
+    ) -> Vec<PartitionShedding> {
+        let drop_fraction = events_to_drop / partition_size.max(1) as f64;
+        self.model
+            .cdt_partitions(partitions)
+            .iter()
+            .map(|cdt: &Cdt| {
+                let target = drop_fraction * cdt.total();
+                if target <= 0.0 {
+                    return PartitionShedding {
+                        threshold: None,
+                        boundary_fraction: 0.0,
+                        boundary_accumulator: 0.0,
+                    };
+                }
+                // If even utility 100 cannot reach the requested amount the
+                // partition simply drops everything it can (threshold 100).
+                let threshold = cdt.threshold_for(target).unwrap_or(100);
+                let below = if threshold == 0 { 0.0 } else { cdt.occurrences(threshold - 1) };
+                let at_threshold = (cdt.occurrences(threshold) - below).max(0.0);
+                let boundary_fraction = if at_threshold <= 0.0 {
+                    1.0
+                } else {
+                    ((target - below) / at_threshold).clamp(0.0, 1.0)
+                };
+                PartitionShedding { threshold: Some(threshold), boundary_fraction, boundary_accumulator: 0.0 }
+            })
+            .collect()
+    }
+
+    /// Applies a drop command from the overload detector: computes the utility
+    /// threshold for every partition (`getUtilityThresholdForEachPartition` in
+    /// Algorithm 2) and activates shedding. An inactive plan deactivates the
+    /// shedder.
+    pub fn apply(&mut self, plan: ShedPlan) {
+        if !plan.active || plan.events_to_drop <= 0.0 {
+            self.deactivate();
+            return;
+        }
+        self.last_plan = Some(plan);
+        self.stats.plans_applied += 1;
+        let partitions = plan.partitions.max(1);
+        let per_partition =
+            self.thresholds_for(partitions, plan.events_to_drop, plan.partition_size);
+        self.active = Some(ActiveShedding { partitions, per_partition });
+    }
+
+    /// Stops shedding; every subsequent decision keeps the event.
+    pub fn deactivate(&mut self) {
+        self.active = None;
+    }
+}
+
+impl WindowEventDecider for EspiceShedder {
+    fn decide(&mut self, meta: &WindowMeta, position: usize, event: &Event) -> Decision {
+        self.stats.decisions += 1;
+        let window_size = meta.predicted_size.max(1);
+        let utility = self.model.utility(event.event_type(), position, window_size);
+        let (partition, partitions) = match &self.active {
+            None => return Decision::Keep,
+            Some(active) => {
+                (self.model.partition_of(position, window_size, active.partitions), active.partitions)
+            }
+        };
+        let _ = partitions;
+        let active = self.active.as_mut().expect("checked above");
+        let state = &mut active.per_partition[partition];
+        let drop = match state.threshold {
+            None => false,
+            Some(threshold) if utility < threshold => true,
+            Some(threshold) if utility == threshold => {
+                // Deterministic thinning of the boundary utility level so the
+                // expected drops per partition match the requested amount.
+                state.boundary_accumulator += state.boundary_fraction;
+                if state.boundary_accumulator >= 1.0 - 1e-9 {
+                    state.boundary_accumulator -= 1.0;
+                    true
+                } else {
+                    false
+                }
+            }
+            Some(_) => false,
+        };
+        if drop {
+            self.stats.drops += 1;
+            Decision::Drop
+        } else {
+            Decision::Keep
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ModelBuilder, ModelConfig};
+    use espice_cep::{ComplexEvent, Constituent, WindowMeta};
+    use espice_events::{EventType, Timestamp};
+
+    fn ty(i: u32) -> EventType {
+        EventType::from_index(i)
+    }
+
+    fn meta(predicted: usize) -> WindowMeta {
+        WindowMeta { id: 0, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: predicted }
+    }
+
+    /// Builds a model over windows of 4 events of two types where type 0 at
+    /// position 0 and type 1 at position 1 are the valuable cells.
+    fn trained_model() -> UtilityModel {
+        let config = ModelConfig::with_positions(4);
+        let mut builder = ModelBuilder::new(config, 2);
+        for w in 0..10u64 {
+            let m = WindowMeta { id: w, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: 4 };
+            for pos in 0..4usize {
+                let t = if pos % 2 == 0 { 0 } else { 1 };
+                let e = Event::new(ty(t), Timestamp::from_secs(pos as u64), pos as u64);
+                let _ = builder.decide(&m, pos, &e);
+            }
+            builder.window_closed(&m, 4);
+            builder.observe_complex(&ComplexEvent::new(
+                w,
+                Timestamp::ZERO,
+                vec![
+                    Constituent { seq: 0, event_type: ty(0), position: 0 },
+                    Constituent { seq: 1, event_type: ty(1), position: 1 },
+                ],
+            ));
+        }
+        builder.build()
+    }
+
+    #[test]
+    fn inactive_shedder_keeps_everything() {
+        let mut shedder = EspiceShedder::new(trained_model());
+        let e = Event::new(ty(0), Timestamp::ZERO, 0);
+        for pos in 0..4 {
+            assert!(shedder.decide(&meta(4), pos, &e).is_keep());
+        }
+        assert_eq!(shedder.stats().decisions, 4);
+        assert_eq!(shedder.stats().drops, 0);
+    }
+
+    #[test]
+    fn active_shedder_drops_low_utility_positions_first() {
+        let mut shedder = EspiceShedder::new(trained_model());
+        // Drop 2 events per window (single partition): the zero-utility cells
+        // (type 0 at odd positions, type 1 at even positions, positions 2/3)
+        // must go first; the valuable cells must survive.
+        shedder.apply(ShedPlan { active: true, partitions: 1, partition_size: 4, events_to_drop: 2.0 });
+        assert!(shedder.is_active());
+        let e0 = Event::new(ty(0), Timestamp::ZERO, 0);
+        let e1 = Event::new(ty(1), Timestamp::ZERO, 1);
+        // Valuable cells are kept.
+        assert!(shedder.decide(&meta(4), 0, &e0).is_keep());
+        assert!(shedder.decide(&meta(4), 1, &e1).is_keep());
+        // Worthless cells are dropped.
+        assert!(!shedder.decide(&meta(4), 2, &e0).is_keep());
+        assert!(!shedder.decide(&meta(4), 3, &e1).is_keep());
+        assert!(!shedder.decide(&meta(4), 0, &e1).is_keep());
+        assert!(shedder.stats().drop_ratio() > 0.0);
+    }
+
+    #[test]
+    fn requesting_more_drops_than_events_drops_everything() {
+        let mut shedder = EspiceShedder::new(trained_model());
+        shedder.apply(ShedPlan { active: true, partitions: 1, partition_size: 4, events_to_drop: 100.0 });
+        let e0 = Event::new(ty(0), Timestamp::ZERO, 0);
+        assert!(!shedder.decide(&meta(4), 0, &e0).is_keep());
+        assert_eq!(shedder.thresholds(), vec![Some(100)]);
+    }
+
+    #[test]
+    fn zero_drop_plan_deactivates() {
+        let mut shedder = EspiceShedder::new(trained_model());
+        shedder.apply(ShedPlan { active: true, partitions: 1, partition_size: 4, events_to_drop: 0.0 });
+        assert!(!shedder.is_active());
+        shedder.apply(ShedPlan::inactive());
+        assert!(!shedder.is_active());
+    }
+
+    #[test]
+    fn partitioned_thresholds_are_computed_per_partition() {
+        let mut shedder = EspiceShedder::new(trained_model());
+        shedder.apply(ShedPlan { active: true, partitions: 2, partition_size: 2, events_to_drop: 2.0 });
+        let thresholds = shedder.thresholds();
+        assert_eq!(thresholds.len(), 2);
+        // First partition holds the valuable cells (positions 0, 1): dropping
+        // two events there needs a non-trivial threshold; the second partition
+        // is all zero-utility, so threshold 0 suffices.
+        assert_eq!(thresholds[1], Some(0));
+        assert!(thresholds[0] >= thresholds[1]);
+        // Decisions land in the right partitions.
+        let e0 = Event::new(ty(0), Timestamp::ZERO, 0);
+        assert!(!shedder.decide(&meta(4), 2, &e0).is_keep());
+    }
+
+    #[test]
+    fn variable_window_size_scales_positions() {
+        let mut shedder = EspiceShedder::new(trained_model());
+        shedder.apply(ShedPlan { active: true, partitions: 1, partition_size: 4, events_to_drop: 2.0 });
+        // In a window predicted to hold 8 events, position 0 still maps to the
+        // valuable first model position, position 7 to the worthless last one.
+        let e0 = Event::new(ty(0), Timestamp::ZERO, 0);
+        assert!(shedder.decide(&meta(8), 0, &e0).is_keep());
+        assert!(!shedder.decide(&meta(8), 7, &e0).is_keep());
+    }
+
+    #[test]
+    fn deactivate_and_reapply() {
+        let mut shedder = EspiceShedder::new(trained_model());
+        shedder.apply(ShedPlan { active: true, partitions: 1, partition_size: 4, events_to_drop: 2.0 });
+        shedder.deactivate();
+        let e0 = Event::new(ty(0), Timestamp::ZERO, 0);
+        assert!(shedder.decide(&meta(4), 2, &e0).is_keep());
+        shedder.apply(ShedPlan { active: true, partitions: 1, partition_size: 4, events_to_drop: 2.0 });
+        assert!(!shedder.decide(&meta(4), 2, &e0).is_keep());
+        assert_eq!(shedder.stats().plans_applied, 2);
+    }
+
+    #[test]
+    fn set_model_keeps_activation_state() {
+        let mut shedder = EspiceShedder::new(trained_model());
+        shedder.apply(ShedPlan { active: true, partitions: 1, partition_size: 4, events_to_drop: 2.0 });
+        shedder.set_model(trained_model());
+        assert!(shedder.is_active());
+        let mut inactive = EspiceShedder::new(trained_model());
+        inactive.set_model(trained_model());
+        assert!(!inactive.is_active());
+    }
+}

@@ -1,0 +1,55 @@
+//! Event model and stream abstractions for the eSPICE reproduction.
+//!
+//! Complex event processing (CEP) operators consume *primitive events*: small,
+//! typed records carrying a global order (sequence number), a timestamp and a
+//! payload of attribute/value pairs. This crate defines that event model plus
+//! the supporting pieces every other crate in the workspace builds on:
+//!
+//! * [`Timestamp`] / [`SimDuration`] — microsecond-resolution simulated time,
+//! * [`EventType`] / [`TypeRegistry`] — interned event types,
+//! * [`AttributeValue`] / [`Attributes`] — the event payload,
+//! * [`Event`] — the primitive event itself,
+//! * [`stream`] — in-memory event streams and rate-controlled replay.
+//!
+//! # Example
+//!
+//! ```
+//! use espice_events::{Event, TypeRegistry, Timestamp, AttributeValue};
+//!
+//! let mut registry = TypeRegistry::new();
+//! let quote = registry.intern("STOCK_QUOTE");
+//!
+//! let event = Event::builder(quote, Timestamp::from_secs(1))
+//!     .seq(1)
+//!     .attr("symbol", AttributeValue::from("IBM"))
+//!     .attr("price", AttributeValue::from(182.4))
+//!     .build();
+//!
+//! assert_eq!(event.event_type(), quote);
+//! assert_eq!(event.attrs().get_str("symbol"), Some("IBM"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod attributes;
+mod event;
+#[cfg(test)]
+mod proptests;
+pub mod stream;
+mod time;
+mod types;
+
+pub use attributes::{AttributeValue, Attributes};
+pub use event::{Event, EventBuilder, SequenceNumber};
+pub use stream::{EventStream, RateReplay, StreamStats, VecStream};
+pub use time::{SimDuration, Timestamp};
+pub use types::{EventType, TypeRegistry};
+
+/// Convenience re-exports for downstream crates.
+pub mod prelude {
+    pub use crate::{
+        AttributeValue, Attributes, Event, EventStream, EventType, SimDuration, Timestamp,
+        TypeRegistry, VecStream,
+    };
+}

@@ -1,0 +1,92 @@
+//! Property-based tests of the time arithmetic and stream invariants.
+
+use crate::{Event, EventStream, EventType, RateReplay, SimDuration, Timestamp, VecStream};
+use proptest::prelude::*;
+
+fn arbitrary_events() -> impl Strategy<Value = Vec<(u32, u64, u64)>> {
+    prop::collection::vec((0u32..8, 0u64..10_000, 0u64..1_000), 0..64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Adding and subtracting the same duration is the identity (when it does
+    /// not underflow), and durations compose additively.
+    #[test]
+    fn timestamp_duration_roundtrip(base in 0u64..1_000_000_000, delta in 0u64..1_000_000_000) {
+        let t = Timestamp::from_micros(base);
+        let d = SimDuration::from_micros(delta);
+        prop_assert_eq!((t + d) - d, t);
+        prop_assert_eq!(((t + d) - t), d);
+        prop_assert_eq!(d + SimDuration::ZERO, d);
+    }
+
+    /// Duration scaling by integers matches repeated addition.
+    #[test]
+    fn duration_scaling(delta in 0u64..1_000_000, factor in 0u64..16) {
+        let d = SimDuration::from_micros(delta);
+        let mut acc = SimDuration::ZERO;
+        for _ in 0..factor {
+            acc += d;
+        }
+        prop_assert_eq!(d * factor, acc);
+    }
+
+    /// `from_unordered` always yields a totally ordered stream, and merging
+    /// preserves the multiset of event types while producing dense sequence
+    /// numbers.
+    #[test]
+    fn streams_are_ordered_and_merge_densely(raw in arbitrary_events(), raw_b in arbitrary_events()) {
+        let build = |raw: &[(u32, u64, u64)]| -> VecStream {
+            VecStream::from_unordered(
+                raw.iter()
+                    .map(|&(ty, ts, seq)| {
+                        Event::new(EventType::from_index(ty), Timestamp::from_millis(ts), seq)
+                    })
+                    .collect(),
+            )
+        };
+        let a = build(&raw);
+        let b = build(&raw_b);
+        prop_assert!(a.events().windows(2).all(|w| w[0] <= w[1]));
+
+        let total = a.len() + b.len();
+        let mut type_histogram = vec![0usize; 8];
+        for e in a.iter().chain(b.iter()) {
+            type_histogram[e.event_type().index()] += 1;
+        }
+        let merged = VecStream::merge(vec![a, b]);
+        prop_assert_eq!(merged.len(), total);
+        let seqs: Vec<u64> = merged.iter().map(Event::seq).collect();
+        prop_assert!(seqs.iter().enumerate().all(|(i, &s)| s == i as u64));
+        let mut merged_histogram = vec![0usize; 8];
+        for e in merged.iter() {
+            merged_histogram[e.event_type().index()] += 1;
+        }
+        prop_assert_eq!(type_histogram, merged_histogram);
+    }
+
+    /// Rate replay emits every event exactly once, in order, with arrivals
+    /// spaced by 1/rate.
+    #[test]
+    fn rate_replay_preserves_order_and_spacing(raw in arbitrary_events(), rate in 1.0f64..10_000.0) {
+        let stream = VecStream::from_unordered(
+            raw.iter()
+                .map(|&(ty, ts, seq)| {
+                    Event::new(EventType::from_index(ty), Timestamp::from_millis(ts), seq)
+                })
+                .collect(),
+        );
+        let replayed: Vec<(Timestamp, Event)> = RateReplay::new(&stream, rate).collect();
+        prop_assert_eq!(replayed.len(), stream.len());
+        let gap = SimDuration::from_secs_f64(1.0 / rate);
+        for (i, (arrival, event)) in replayed.iter().enumerate() {
+            prop_assert_eq!(event.seq(), stream.events()[i].seq());
+            let expected = Timestamp::ZERO + gap * i as u64;
+            let diff = arrival.as_micros().abs_diff(expected.as_micros());
+            // Rounding of the inter-arrival gap may accumulate at most one
+            // microsecond per event.
+            prop_assert!(diff <= i as u64 + 1);
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! A common interface for shedders that react to drop commands at run time.
+
+use espice::{BaselineShedder, EspiceShedder, RandomShedder, ShedPlan};
+use espice_cep::{Decision, WindowEventDecider, WindowMeta};
+use espice_events::Event;
+
+/// A load shedder that can be (de)activated with [`ShedPlan`]s while acting as
+/// the operator's [`WindowEventDecider`].
+///
+/// Implemented for eSPICE, the `BL` baseline and the random shedder so the
+/// experiment driver and the queueing simulation can treat them uniformly.
+pub trait AdaptiveShedder: WindowEventDecider {
+    /// Applies a drop command (an inactive plan deactivates shedding).
+    fn apply_plan(&mut self, plan: ShedPlan);
+
+    /// Stops shedding.
+    fn deactivate(&mut self);
+
+    /// Whether the shedder is currently dropping events.
+    fn is_active(&self) -> bool;
+}
+
+impl AdaptiveShedder for EspiceShedder {
+    fn apply_plan(&mut self, plan: ShedPlan) {
+        self.apply(plan);
+    }
+
+    fn deactivate(&mut self) {
+        EspiceShedder::deactivate(self);
+    }
+
+    fn is_active(&self) -> bool {
+        EspiceShedder::is_active(self)
+    }
+}
+
+impl AdaptiveShedder for BaselineShedder {
+    fn apply_plan(&mut self, plan: ShedPlan) {
+        self.apply(plan);
+    }
+
+    fn deactivate(&mut self) {
+        BaselineShedder::deactivate(self);
+    }
+
+    fn is_active(&self) -> bool {
+        BaselineShedder::is_active(self)
+    }
+}
+
+/// [`RandomShedder`] adaptor that remembers the expected window size the drop
+/// probability must be computed against.
+#[derive(Debug, Clone)]
+pub struct RandomAdaptive {
+    inner: RandomShedder,
+    expected_window_size: f64,
+}
+
+impl RandomAdaptive {
+    /// Wraps a random shedder for windows of `expected_window_size` events.
+    pub fn new(inner: RandomShedder, expected_window_size: f64) -> Self {
+        RandomAdaptive { inner, expected_window_size }
+    }
+
+    /// The wrapped shedder.
+    pub fn inner(&self) -> &RandomShedder {
+        &self.inner
+    }
+}
+
+impl WindowEventDecider for RandomAdaptive {
+    fn decide(&mut self, meta: &WindowMeta, position: usize, event: &Event) -> Decision {
+        self.inner.decide(meta, position, event)
+    }
+}
+
+impl AdaptiveShedder for RandomAdaptive {
+    fn apply_plan(&mut self, plan: ShedPlan) {
+        self.inner.apply(plan, self.expected_window_size);
+    }
+
+    fn deactivate(&mut self) {
+        self.inner.deactivate();
+    }
+
+    fn is_active(&self) -> bool {
+        self.inner.is_active()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use espice::{ModelBuilder, ModelConfig};
+    use espice_cep::Pattern;
+    use espice_events::EventType;
+
+    fn plan() -> ShedPlan {
+        ShedPlan { active: true, partitions: 1, partition_size: 10, events_to_drop: 2.0 }
+    }
+
+    #[test]
+    fn espice_implements_adaptive() {
+        let model = ModelBuilder::new(ModelConfig::with_positions(10), 1).build();
+        let mut shedder = EspiceShedder::new(model);
+        shedder.apply_plan(plan());
+        assert!(AdaptiveShedder::is_active(&shedder));
+        AdaptiveShedder::deactivate(&mut shedder);
+        assert!(!AdaptiveShedder::is_active(&shedder));
+    }
+
+    #[test]
+    fn baseline_implements_adaptive() {
+        let model = ModelBuilder::new(ModelConfig::with_positions(10), 1).build();
+        let pattern = Pattern::sequence([EventType::from_index(0)]);
+        let mut shedder = BaselineShedder::new(&pattern, &model, 1);
+        shedder.apply_plan(plan());
+        assert!(AdaptiveShedder::is_active(&shedder));
+        AdaptiveShedder::deactivate(&mut shedder);
+        assert!(!AdaptiveShedder::is_active(&shedder));
+    }
+
+    #[test]
+    fn random_adaptor_translates_plans_into_probabilities() {
+        let mut shedder = RandomAdaptive::new(RandomShedder::new(1), 10.0);
+        shedder.apply_plan(plan());
+        assert!(AdaptiveShedder::is_active(&shedder));
+        assert!((shedder.inner().drop_probability() - 0.2).abs() < 1e-9);
+        AdaptiveShedder::deactivate(&mut shedder);
+        assert!(!AdaptiveShedder::is_active(&shedder));
+    }
+}

@@ -1,0 +1,41 @@
+//! Operator runtime and experiment driver for the eSPICE reproduction.
+//!
+//! The paper evaluates eSPICE on a Java CEP prototype running on a throttled
+//! 8-core machine. This crate replaces the wall-clock testbed with a
+//! deterministic discrete-event model while keeping the quantities the paper
+//! reports:
+//!
+//! * [`queries`] — builds the four evaluation queries (Q1–Q4) against the
+//!   synthetic datasets,
+//! * [`metrics`] — false-positive / false-negative accounting against the
+//!   unshedded ground truth, and latency traces,
+//! * [`experiment`] — the train → ground truth → shed → compare pipeline used
+//!   by all quality experiments (Figures 5, 6, 8, 9),
+//! * [`simulation`] — a single-server queueing simulation of the operator with
+//!   the overload detector in the loop (Figure 7),
+//! * [`adaptive`] — a common trait for shedders that can receive drop commands
+//!   at run time,
+//! * [`report`] — plain-text table rendering for the figure binaries.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod adaptive;
+pub mod experiment;
+pub mod metrics;
+pub mod queries;
+pub mod report;
+pub mod simulation;
+
+pub use adaptive::AdaptiveShedder;
+pub use experiment::{Experiment, ExperimentConfig, QualityOutcome, ShedderKind};
+pub use metrics::{LatencyTrace, QualityMetrics};
+pub use simulation::{LatencySimConfig, LatencySimulation};
+
+/// Convenience re-exports for downstream crates.
+pub mod prelude {
+    pub use crate::{
+        AdaptiveShedder, Experiment, ExperimentConfig, LatencySimConfig, LatencySimulation,
+        LatencyTrace, QualityMetrics, QualityOutcome, ShedderKind,
+    };
+}

@@ -1,0 +1,197 @@
+//! The four evaluation queries of the paper (§4.1), built against the
+//! synthetic datasets.
+//!
+//! | Query | Operator class | Dataset | Window |
+//! |---|---|---|---|
+//! | Q1 | sequence with `any(n, DF…)` | soccer (RTLS) | time-based, opened on striker possession |
+//! | Q2 | sequence with `any(n, RE…)` | stock | time-based, opened on leading-symbol quotes |
+//! | Q3 | sequence of 20 specific symbols | stock | count-based, opened on leading-symbol quotes |
+//! | Q4 | sequence with repetition | stock | count-based sliding (slide = 100 events) |
+//!
+//! All queries use skip-till-next/any-match semantics and at most one complex
+//! event per window, matching the paper's default settings. The paper's
+//! "rising or falling" disjunction is represented by the rising branch (the
+//! falling branch is symmetric and exercises identical code paths).
+
+use espice_cep::{CmpOp, Pattern, PatternStep, Predicate, Query, SelectionPolicy, WindowSpec};
+use espice_datasets::{SoccerDataset, StockDataset};
+use espice_events::SimDuration;
+
+/// Q1: a striker possession followed by any `pattern_size` distinct defender
+/// events within a time window of `window` (the man-marking query).
+pub fn q1(
+    dataset: &SoccerDataset,
+    pattern_size: usize,
+    window: SimDuration,
+    selection: SelectionPolicy,
+) -> Query {
+    let strikers = dataset.striker_events.clone();
+    let defenders = dataset.defender_events.clone();
+    Query::builder()
+        .name(&format!("Q1(n={pattern_size}, ws={window})"))
+        .pattern(Pattern::new(vec![
+            PatternStep::any_single(strikers.iter().copied()),
+            PatternStep::any_of(defenders, pattern_size, true),
+        ]))
+        .window(WindowSpec::time_on_types(strikers, window))
+        .selection(selection)
+        .build()
+}
+
+/// Q2: a rising quote of a leading symbol followed by any `pattern_size`
+/// distinct rising quotes within a time window of `window`.
+pub fn q2(
+    dataset: &StockDataset,
+    pattern_size: usize,
+    window: SimDuration,
+    selection: SelectionPolicy,
+) -> Query {
+    let rising = Predicate::attr_cmp("change", CmpOp::Gt, 0.0);
+    let leading = dataset.leading.clone();
+    let all_symbols = dataset.symbols.clone();
+    Query::builder()
+        .name(&format!("Q2(n={pattern_size}, ws={window})"))
+        .pattern(Pattern::new(vec![
+            PatternStep::any_single(leading.iter().copied()).with_predicate(rising.clone()),
+            PatternStep::any_of(all_symbols, pattern_size, true).with_predicate(rising),
+        ]))
+        .window(WindowSpec::time_on_types(leading, window))
+        .selection(selection)
+        .build()
+}
+
+/// Q3: rising quotes of `sequence_length` specific symbols (the first
+/// followers of the first leading symbol, in cascade order) within a
+/// count-based window of `window_events` events opened on leading quotes.
+pub fn q3(
+    dataset: &StockDataset,
+    sequence_length: usize,
+    window_events: usize,
+    selection: SelectionPolicy,
+) -> Query {
+    let rising = Predicate::attr_cmp("change", CmpOp::Gt, 0.0);
+    let sequence = dataset.cascade_prefix(sequence_length);
+    let steps = sequence
+        .into_iter()
+        .map(|ty| PatternStep::single(ty).with_predicate(rising.clone()))
+        .collect();
+    Query::builder()
+        .name(&format!("Q3(len={sequence_length}, ws={window_events})"))
+        .pattern(Pattern::new(steps))
+        .window(WindowSpec::count_on_types(dataset.leading.clone(), window_events))
+        .selection(selection)
+        .build()
+}
+
+/// Q4: a sequence *with repetition* over `distinct_symbols` specific symbols
+/// (each appears twice, matching two consecutive cascade rounds) within a
+/// count-based sliding window of `window_events` events and a slide of
+/// `slide` events (the paper uses a slide of 100 events).
+pub fn q4(
+    dataset: &StockDataset,
+    distinct_symbols: usize,
+    window_events: usize,
+    slide: usize,
+    selection: SelectionPolicy,
+) -> Query {
+    let rising = Predicate::attr_cmp("change", CmpOp::Gt, 0.0);
+    let base = dataset.cascade_prefix(distinct_symbols);
+    // Repetition: the whole sub-sequence occurs twice (the generator's cascade
+    // forces followers to rise for two consecutive quotes).
+    let mut order: Vec<_> = base.clone();
+    order.extend(base);
+    let steps = order
+        .into_iter()
+        .map(|ty| PatternStep::single(ty).with_predicate(rising.clone()))
+        .collect();
+    Query::builder()
+        .name(&format!("Q4(len={distinct_symbols}x2, ws={window_events})"))
+        .pattern(Pattern::new(steps))
+        .window(WindowSpec::count_sliding(window_events, slide))
+        .selection(selection)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use espice_cep::{KeepAll, Operator};
+    use espice_datasets::{SoccerConfig, StockConfig};
+
+    fn stock() -> StockDataset {
+        StockDataset::generate(&StockConfig {
+            num_symbols: 60,
+            num_leading: 2,
+            followers_per_leading: 25,
+            duration_minutes: 60,
+            cascade_probability: 0.8,
+            ..StockConfig::default()
+        })
+    }
+
+    fn soccer() -> SoccerDataset {
+        SoccerDataset::generate(&SoccerConfig {
+            players_per_team: 8,
+            duration_seconds: 600,
+            possession_probability: 0.15,
+            ..SoccerConfig::default()
+        })
+    }
+
+    #[test]
+    fn q1_detects_man_marking_complex_events() {
+        let dataset = soccer();
+        let query = q1(&dataset, 3, SimDuration::from_secs(15), SelectionPolicy::First);
+        assert_eq!(query.pattern().total_events(), 4);
+        let mut op = Operator::new(query);
+        let matches = op.run(&dataset.stream, &mut KeepAll);
+        assert!(!matches.is_empty(), "Q1 found no complex events in the soccer stream");
+        // Every match starts with a possession event.
+        for m in &matches {
+            assert!(dataset.striker_events.contains(&m.constituents()[0].event_type));
+        }
+    }
+
+    #[test]
+    fn q2_detects_correlated_risers() {
+        let dataset = stock();
+        let query = q2(&dataset, 10, SimDuration::from_secs(240), SelectionPolicy::First);
+        let mut op = Operator::new(query);
+        let matches = op.run(&dataset.stream, &mut KeepAll);
+        assert!(!matches.is_empty(), "Q2 found no complex events in the stock stream");
+        // All constituents are rising quotes.
+        for m in &matches {
+            assert_eq!(m.len(), 11);
+        }
+    }
+
+    #[test]
+    fn q3_detects_ordered_cascades() {
+        let dataset = stock();
+        let query = q3(&dataset, 10, 600, SelectionPolicy::First);
+        assert_eq!(query.pattern().len(), 10);
+        let mut op = Operator::new(query);
+        let matches = op.run(&dataset.stream, &mut KeepAll);
+        assert!(!matches.is_empty(), "Q3 found no ordered cascades");
+    }
+
+    #[test]
+    fn q4_detects_repeated_cascades() {
+        let dataset = stock();
+        let query = q4(&dataset, 5, 600, 100, SelectionPolicy::First);
+        assert_eq!(query.pattern().len(), 10);
+        assert_eq!(query.pattern().referenced_types().len(), 5);
+        let mut op = Operator::new(query);
+        let matches = op.run(&dataset.stream, &mut KeepAll);
+        assert!(!matches.is_empty(), "Q4 found no repeated cascades");
+    }
+
+    #[test]
+    fn last_selection_also_produces_matches() {
+        let dataset = stock();
+        let query = q2(&dataset, 5, SimDuration::from_secs(240), SelectionPolicy::Last);
+        let mut op = Operator::new(query);
+        let matches = op.run(&dataset.stream, &mut KeepAll);
+        assert!(!matches.is_empty());
+    }
+}

@@ -1,0 +1,156 @@
+//! Plain-text reporting helpers for the figure binaries.
+//!
+//! Every figure harness prints the series it reproduces as an aligned text
+//! table (one row per x-axis value, one column per series), plus an optional
+//! CSV form that can be piped into a plotting tool.
+
+use std::fmt::Write as _;
+
+/// A two-dimensional result table: one labelled row per x-axis value and one
+/// labelled column per series.
+///
+/// # Example
+///
+/// ```
+/// use espice_runtime::report::Table;
+///
+/// let mut table = Table::new("pattern size", vec!["R1: eSPICE".into(), "R1: BL".into()]);
+/// table.add_row("2", vec![9.0, 45.6]);
+/// table.add_row("6", vec![21.2, 55.9]);
+/// let text = table.render();
+/// assert!(text.contains("pattern size"));
+/// assert!(text.contains("45.60"));
+/// let csv = table.to_csv();
+/// assert!(csv.starts_with("pattern size,R1: eSPICE,R1: BL"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    x_label: String,
+    columns: Vec<String>,
+    rows: Vec<(String, Vec<f64>)>,
+}
+
+impl Table {
+    /// Creates a table with the given x-axis label and series names.
+    pub fn new(x_label: &str, columns: Vec<String>) -> Self {
+        Table { x_label: x_label.to_owned(), columns, rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of values differs from the number of columns.
+    pub fn add_row(&mut self, x: &str, values: Vec<f64>) {
+        assert_eq!(
+            values.len(),
+            self.columns.len(),
+            "row has {} values but the table has {} columns",
+            values.len(),
+            self.columns.len()
+        );
+        self.rows.push((x.to_owned(), values));
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = Vec::new();
+        widths.push(
+            self.rows
+                .iter()
+                .map(|(x, _)| x.len())
+                .chain(std::iter::once(self.x_label.len()))
+                .max()
+                .unwrap_or(0),
+        );
+        for (i, col) in self.columns.iter().enumerate() {
+            let data_width = self
+                .rows
+                .iter()
+                .map(|(_, vals)| format!("{:.2}", vals[i]).len())
+                .max()
+                .unwrap_or(0);
+            widths.push(col.len().max(data_width));
+        }
+
+        let mut out = String::new();
+        let _ = write!(out, "{:<width$}", self.x_label, width = widths[0]);
+        for (i, col) in self.columns.iter().enumerate() {
+            let _ = write!(out, "  {:>width$}", col, width = widths[i + 1]);
+        }
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * self.columns.len();
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for (x, values) in &self.rows {
+            let _ = write!(out, "{:<width$}", x, width = widths[0]);
+            for (i, v) in values.iter().enumerate() {
+                let _ = write!(out, "  {:>width$.2}", v, width = widths[i + 1]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as CSV (header + one line per row).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.x_label);
+        for col in &self.columns {
+            let _ = write!(out, ",{col}");
+        }
+        out.push('\n');
+        for (x, values) in &self.rows {
+            out.push_str(x);
+            for v in values {
+                let _ = write!(out, ",{v:.4}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns_and_formats_values() {
+        let mut t = Table::new("ws", vec!["a".into(), "long column".into()]);
+        t.add_row("300", vec![1.0, 2.345]);
+        t.add_row("2000", vec![10.5, 0.0]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("long column"));
+        assert!(lines[2].contains("1.00"));
+        assert!(lines[3].contains("10.50"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_output_is_machine_readable() {
+        let mut t = Table::new("x", vec!["y".into()]);
+        t.add_row("1", vec![0.5]);
+        assert_eq!(t.to_csv(), "x,y\n1,0.5000\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "columns")]
+    fn mismatched_row_length_panics() {
+        let mut t = Table::new("x", vec!["y".into()]);
+        t.add_row("1", vec![0.5, 0.7]);
+    }
+}

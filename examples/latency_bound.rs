@@ -1,0 +1,67 @@
+//! Latency-bound maintenance under overload (the paper's Figure 7 scenario):
+//! replay the soccer stream into the operator faster than it can process,
+//! with the overload detector and eSPICE load shedder in the loop, and show
+//! that the event latency stays below the 1 second bound while hovering
+//! around `f · LB`.
+//!
+//! Run with: `cargo run --release --example latency_bound`
+
+use espice_repro::cep::{Operator, SelectionPolicy};
+use espice_repro::datasets::{SoccerConfig, SoccerDataset};
+use espice_repro::espice::{EspiceShedder, ModelBuilder, ModelConfig};
+use espice_repro::events::{EventStream, SimDuration};
+use espice_repro::runtime::{queries, LatencySimConfig, LatencySimulation};
+
+fn main() {
+    let dataset = SoccerDataset::generate(&SoccerConfig {
+        duration_seconds: 1_200,
+        ..SoccerConfig::default()
+    });
+    let query = queries::q1(&dataset, 5, SimDuration::from_secs(15), SelectionPolicy::First);
+
+    // Train the utility model on the first half of the stream.
+    let training = dataset.stream.slice(0, dataset.stream.len() / 2);
+    let evaluation = dataset.stream.slice(dataset.stream.len() / 2, dataset.stream.len());
+    let mut builder = ModelBuilder::new(ModelConfig::with_positions(780), dataset.registry.len());
+    let mut operator = Operator::new(query.clone());
+    let matches = operator.run(&training, &mut builder);
+    for complex in &matches {
+        builder.observe_complex(complex);
+    }
+    let model = builder.build();
+
+    for (label, factor) in [("R1 (+20%)", 1.2), ("R2 (+40%)", 1.4)] {
+        let throughput = 800.0;
+        let simulation = LatencySimulation::new(LatencySimConfig {
+            throughput,
+            input_rate: throughput * factor,
+            latency_bound: SimDuration::from_secs(1),
+            f: 0.8,
+            ..LatencySimConfig::default()
+        });
+        let mut shedder = EspiceShedder::new(model.clone());
+        let outcome = simulation.run(&query, &evaluation, &mut shedder);
+        let trace = &outcome.trace;
+
+        println!("=== {label} ===");
+        println!(
+            "events: {}   shedding activations: {}   drop ratio: {:.1}%",
+            trace.events,
+            outcome.shedding_activations,
+            trace.drop_ratio * 100.0
+        );
+        println!(
+            "latency: mean {:.3} s, max {:.3} s, bound violations: {} -> bound {}",
+            trace.mean_latency_secs,
+            trace.max_latency.as_secs_f64(),
+            trace.violations,
+            if trace.bound_held() { "HELD" } else { "VIOLATED" }
+        );
+        println!("time (s) -> latency (s) samples:");
+        for (t, l) in trace.samples.iter().take(20) {
+            let bar_len = (l * 50.0).round() as usize;
+            println!("  {t:>6.1}  {l:>5.3}  {}", "#".repeat(bar_len.min(60)));
+        }
+        println!();
+    }
+}

@@ -1,0 +1,101 @@
+//! Quickstart: build a tiny CEP pipeline, train the eSPICE utility model and
+//! shed load from a window-based query.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use espice_repro::cep::{KeepAll, Operator, Pattern, PatternStep, Query, WindowSpec};
+use espice_repro::espice::{EspiceShedder, ModelBuilder, ModelConfig, OverloadConfig, ShedPlanner};
+use espice_repro::events::{AttributeValue, Event, EventStream, Timestamp, TypeRegistry, VecStream};
+use espice_repro::runtime::QualityMetrics;
+
+fn main() {
+    // 1. Define the event types and a simple query: a purchase followed by two
+    //    distinct shipment events within a 10-event window.
+    let mut registry = TypeRegistry::new();
+    let purchase = registry.intern("PURCHASE");
+    let shipment_a = registry.intern("SHIP_A");
+    let shipment_b = registry.intern("SHIP_B");
+    let telemetry = registry.intern("TELEMETRY");
+
+    let query = Query::builder()
+        .name("purchase-fulfilment")
+        .pattern(Pattern::new(vec![
+            PatternStep::single(purchase),
+            PatternStep::any_of([shipment_a, shipment_b], 2, true),
+        ]))
+        .window(WindowSpec::count_on_types(vec![purchase], 10))
+        .build();
+
+    // 2. Generate a synthetic input stream: every 10 events one purchase,
+    //    followed by its shipments, padded with telemetry noise.
+    let mut events = Vec::new();
+    let mut seq = 0u64;
+    for block in 0..2_000u64 {
+        let base = block * 10;
+        for offset in 0..10u64 {
+            let ty = match offset {
+                0 => purchase,
+                2 => shipment_a,
+                5 => shipment_b,
+                _ => telemetry,
+            };
+            events.push(
+                Event::builder(ty, Timestamp::from_secs(base + offset))
+                    .seq(seq)
+                    .attr("block", AttributeValue::from(block as i64))
+                    .build(),
+            );
+            seq += 1;
+        }
+    }
+    let stream = VecStream::from_ordered(events);
+    let training = stream.slice(0, stream.len() / 2);
+    let evaluation = stream.slice(stream.len() / 2, stream.len());
+
+    // 3. Train the utility model on the unshedded training prefix.
+    let mut builder = ModelBuilder::new(ModelConfig::with_positions(10), registry.len());
+    let mut operator = Operator::new(query.clone());
+    let matches = operator.run(&training, &mut builder);
+    for complex in &matches {
+        builder.observe_complex(complex);
+    }
+    let model = builder.build();
+    println!(
+        "trained on {} windows / {} complex events",
+        model.windows_observed(),
+        model.complex_events_observed()
+    );
+
+    // 4. Ground truth on the evaluation suffix (no shedding).
+    let mut operator = Operator::new(query.clone());
+    let ground_truth = operator.run(&evaluation, &mut KeepAll);
+
+    // 5. Shed 30 % of the input (as if the input rate were 1.43x the operator
+    //    throughput) and compare against the ground truth.
+    let planner = ShedPlanner::new(OverloadConfig::default(), 1_000.0);
+    let plan = planner.plan(1_430.0, 10);
+    let mut shedder = EspiceShedder::new(model);
+    shedder.apply(plan);
+
+    let mut operator = Operator::new(query);
+    let detected = operator.run(&evaluation, &mut shedder);
+    let metrics = QualityMetrics::compare(&ground_truth, &detected);
+
+    println!(
+        "shedding dropped {:.1}% of (event, window) assignments",
+        operator.stats().drop_ratio() * 100.0
+    );
+    println!(
+        "ground truth: {}  detected: {}  false negatives: {} ({:.1}%)  false positives: {} ({:.1}%)",
+        metrics.ground_truth,
+        metrics.detected,
+        metrics.false_negatives,
+        metrics.false_negative_pct(),
+        metrics.false_positives,
+        metrics.false_positive_pct()
+    );
+    assert!(
+        metrics.false_negative_pct() < 20.0,
+        "eSPICE should preserve most matches on this regular workload"
+    );
+}

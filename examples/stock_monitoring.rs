@@ -1,0 +1,64 @@
+//! Stock-market monitoring: the paper's Q3 scenario (an ordered cascade of 20
+//! correlated stock symbols) on the synthetic NYSE stream, comparing eSPICE
+//! against the BL baseline and random shedding under a 20 % and a 40 %
+//! overload.
+//!
+//! Run with: `cargo run --release --example stock_monitoring`
+
+use espice_repro::cep::SelectionPolicy;
+use espice_repro::datasets::{StockConfig, StockDataset};
+use espice_repro::espice::ModelConfig;
+use espice_repro::runtime::{queries, Experiment, ExperimentConfig, ShedderKind};
+
+fn main() {
+    // A two-hour synthetic trading session of 500 symbols (one quote per
+    // minute per symbol), with five blue-chip leaders whose moves cascade into
+    // their follower symbols.
+    let dataset = StockDataset::generate(&StockConfig {
+        duration_minutes: 120,
+        ..StockConfig::default()
+    });
+    println!(
+        "generated {} quote events for {} symbols",
+        espice_repro::events::EventStream::len(&dataset.stream),
+        dataset.symbols.len()
+    );
+
+    // Q3: rising quotes of 20 specific symbols in cascade order within a
+    // 600-event window opened on every leading-symbol quote.
+    let query = queries::q3(&dataset, 20, 600, SelectionPolicy::First);
+
+    let config = ExperimentConfig { throughput: 1_000.0, ..ExperimentConfig::default() };
+    let experiment = Experiment::train(
+        &[query.clone()],
+        &dataset.stream,
+        dataset.registry.len(),
+        ModelConfig::with_positions(600),
+        config,
+    );
+    println!(
+        "model trained on {} windows, {} complex events, average window size {:.0}",
+        experiment.model().windows_observed(),
+        experiment.model().complex_events_observed(),
+        experiment.model().average_window_size()
+    );
+
+    for (label, factor) in [("R1 (+20%)", 1.2), ("R2 (+40%)", 1.4)] {
+        println!("\n=== overload {label} ===");
+        let overloaded = experiment.with_overload_factor(factor);
+        let outcomes = overloaded.compare(
+            &query,
+            &[ShedderKind::Espice, ShedderKind::Baseline, ShedderKind::Random],
+        );
+        for outcome in outcomes {
+            println!(
+                "{:>7}: dropped {:>5.1}% of assignments -> {:>6.2}% false negatives, {:>6.2}% false positives ({} ground-truth matches)",
+                outcome.shedder.label(),
+                outcome.drop_ratio * 100.0,
+                outcome.false_negative_pct(),
+                outcome.false_positive_pct(),
+                outcome.metrics.ground_truth
+            );
+        }
+    }
+}

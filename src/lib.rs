@@ -1,0 +1,10 @@
+//! Facade crate for the eSPICE reproduction workspace.
+//!
+//! Re-exports the public API of every workspace crate so that examples and
+//! integration tests can depend on a single crate.
+
+pub use espice;
+pub use espice_cep as cep;
+pub use espice_datasets as datasets;
+pub use espice_events as events;
+pub use espice_runtime as runtime;

@@ -1,0 +1,178 @@
+//! Integration tests that pin the paper's worked examples end to end:
+//! the §2/§2.1 running example (selection/consumption policies and the effect
+//! of dropping events) and the §3.3 model-building example (Table 1 and the
+//! utility threshold of Figure 2).
+
+use espice_repro::cep::{
+    ComplexEvent, ConsumptionPolicy, Constituent, Matcher, Operator, Pattern, Query,
+    SelectionPolicy, WindowEntry, WindowEventDecider, WindowMeta, WindowSpec,
+};
+use espice_repro::espice::{Cdt, EspiceShedder, ModelBuilder, ModelConfig, ShedPlan};
+use espice_repro::events::{Event, EventType, Timestamp, TypeRegistry, VecStream};
+use espice_repro::runtime::QualityMetrics;
+
+fn types() -> (TypeRegistry, EventType, EventType) {
+    let mut registry = TypeRegistry::new();
+    let a = registry.intern("A");
+    let b = registry.intern("B");
+    (registry, a, b)
+}
+
+/// The window of the running example: A1, A2, B3, B4 (subscripts are stream
+/// positions / sequence numbers).
+fn example_entries(a: EventType, b: EventType) -> Vec<WindowEntry> {
+    vec![
+        WindowEntry { position: 0, event: Event::new(a, Timestamp::from_secs(0), 1) },
+        WindowEntry { position: 1, event: Event::new(a, Timestamp::from_secs(1), 2) },
+        WindowEntry { position: 2, event: Event::new(b, Timestamp::from_secs(2), 3) },
+        WindowEntry { position: 3, event: Event::new(b, Timestamp::from_secs(3), 4) },
+    ]
+}
+
+fn seq_ab_query(a: EventType, b: EventType, consumption: ConsumptionPolicy) -> Query {
+    Query::builder()
+        .pattern(Pattern::sequence([a, b]))
+        .window(WindowSpec::count_sliding(4, 4))
+        .consumption(consumption)
+        .max_matches_per_window(10)
+        .build()
+}
+
+#[test]
+fn first_selection_consumed_consumption_detects_cplx13_and_cplx24() {
+    let (_, a, b) = types();
+    let matcher = Matcher::from_query(&seq_ab_query(a, b, ConsumptionPolicy::Consumed));
+    let outcome = matcher.matches(0, &example_entries(a, b));
+    let keys: Vec<_> = outcome.complex_events.iter().map(ComplexEvent::key).collect();
+    assert_eq!(keys, vec![(0, vec![1, 3]), (0, vec![2, 4])]);
+}
+
+#[test]
+fn zero_consumption_reuses_a2_for_two_matches() {
+    let (_, a, b) = types();
+    let matcher = Matcher::from_query(
+        &seq_ab_query(a, b, ConsumptionPolicy::Zero).with_selection(SelectionPolicy::Last),
+    );
+    // With the last selection policy and zero consumption the paper detects
+    // two complex events that both use A2.
+    let outcome = matcher.matches(0, &example_entries(a, b));
+    assert_eq!(outcome.complex_events.len(), 2);
+    for complex in &outcome.complex_events {
+        assert!(complex.key().1.contains(&2), "A2 must be reused: {:?}", complex.key());
+    }
+}
+
+/// §2.1: dropping A2 from the window loses cplx24 (one false negative);
+/// dropping A1 instead produces cplx23 (one false positive, two false
+/// negatives).
+#[test]
+fn quality_accounting_of_the_running_example() {
+    let (_, a, b) = types();
+    let matcher = Matcher::from_query(&seq_ab_query(a, b, ConsumptionPolicy::Consumed));
+    let full = example_entries(a, b);
+    let ground_truth = matcher.matches(0, &full).complex_events;
+
+    // Drop A2 (seq 2, position 1).
+    let without_a2: Vec<WindowEntry> =
+        full.iter().filter(|e| e.event.seq() != 2).cloned().collect();
+    let detected = matcher.matches(0, &without_a2).complex_events;
+    let metrics = QualityMetrics::compare(&ground_truth, &detected);
+    assert_eq!(metrics.false_negatives, 1);
+    assert_eq!(metrics.false_positives, 0);
+
+    // Drop A1 (seq 1, position 0).
+    let without_a1: Vec<WindowEntry> =
+        full.iter().filter(|e| e.event.seq() != 1).cloned().collect();
+    let detected = matcher.matches(0, &without_a1).complex_events;
+    let metrics = QualityMetrics::compare(&ground_truth, &detected);
+    assert_eq!(metrics.false_positives, 1);
+    assert_eq!(metrics.false_negatives, 2);
+}
+
+/// §3.3 / Table 1 / Figure 2: training a model whose utility table matches
+/// Table 1 yields the utility threshold u_th = 10 for dropping two events per
+/// window, and the resulting shedder keeps the high-utility cells.
+#[test]
+fn table1_model_produces_the_paper_threshold() {
+    let (_, a, b) = types();
+    // Table 1 is normalised per type (each row sums to 100).
+    let config = ModelConfig {
+        positions: 5,
+        normalisation: espice_repro::espice::NormalisationMode::PerTypeSum,
+        ..ModelConfig::default()
+    };
+    let mut builder = ModelBuilder::new(config, 2);
+
+    // Position shares from Figure 2: S(A, ·) = [0.8, 0.5, 0.1, 0.2, 0.5].
+    let a_share_tenths = [8u64, 5, 1, 2, 5];
+    for w in 0..10u64 {
+        let meta = WindowMeta { id: w, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: 5 };
+        for pos in 0..5usize {
+            let ty = if w < a_share_tenths[pos] { a } else { b };
+            let _ = builder.decide(&meta, pos, &Event::new(ty, Timestamp::ZERO, pos as u64));
+        }
+        builder.window_closed(&meta, 5);
+    }
+    // Contribution counts proportional to Table 1.
+    let contributions = [(a, [70u32, 15, 10, 5, 0]), (b, [0u32, 60, 30, 10, 0])];
+    let mut seq = 0u64;
+    for (ty, counts) in contributions {
+        for (pos, &count) in counts.iter().enumerate() {
+            for _ in 0..count {
+                builder.observe_complex(&ComplexEvent::new(
+                    seq % 10,
+                    Timestamp::ZERO,
+                    vec![Constituent { seq, event_type: ty, position: pos }],
+                ));
+                seq += 1;
+            }
+        }
+    }
+    let model = builder.build();
+
+    // Table 1.
+    let ut = model.utility_table();
+    assert_eq!((0..5).map(|p| ut.utility(a, p)).collect::<Vec<_>>(), vec![70, 15, 10, 5, 0]);
+    assert_eq!((0..5).map(|p| ut.utility(b, p)).collect::<Vec<_>>(), vec![0, 60, 30, 10, 0]);
+
+    // Figure 2: CDT(10) = 2.3, so dropping two events per window uses u_th = 10.
+    let cdt: Cdt = model.cdt_full();
+    assert!((cdt.occurrences(10) - 2.3).abs() < 1e-6);
+    assert_eq!(cdt.threshold_for(2.0), Some(10));
+
+    // The shedder with that plan drops A/B events whose utility is ≤ 10 and
+    // keeps the valuable cells (A at position 1, B at position 2, …).
+    let mut shedder = EspiceShedder::new(model);
+    shedder.apply(ShedPlan { active: true, partitions: 1, partition_size: 5, events_to_drop: 2.0 });
+    let meta = WindowMeta { id: 0, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: 5 };
+    assert!(shedder.decide(&meta, 0, &Event::new(a, Timestamp::ZERO, 0)).is_keep());
+    assert!(shedder.decide(&meta, 1, &Event::new(b, Timestamp::ZERO, 1)).is_keep());
+    assert!(!shedder.decide(&meta, 4, &Event::new(a, Timestamp::ZERO, 2)).is_keep());
+    assert!(!shedder.decide(&meta, 0, &Event::new(b, Timestamp::ZERO, 3)).is_keep());
+    assert!(!shedder.decide(&meta, 3, &Event::new(a, Timestamp::ZERO, 4)).is_keep());
+}
+
+/// The intra-day stock example of §2 (query QE): B() and A() within one
+/// minute, expressed as a window opened on A-quotes.
+#[test]
+fn stock_influence_example_detects_factor_pairs() {
+    let mut registry = TypeRegistry::new();
+    let a = registry.intern("STOCK_A");
+    let b = registry.intern("STOCK_B");
+    let query = Query::builder()
+        .pattern(Pattern::sequence([a, b]))
+        .window(WindowSpec::time_on_types(vec![a], espice_repro::events::SimDuration::from_secs(60)))
+        .build();
+
+    let events = vec![
+        Event::new(a, Timestamp::from_secs(0), 0),
+        Event::new(b, Timestamp::from_secs(20), 1),
+        Event::new(a, Timestamp::from_secs(65), 2),
+        Event::new(b, Timestamp::from_secs(90), 3),
+        Event::new(a, Timestamp::from_secs(200), 4),
+    ];
+    let mut operator = Operator::new(query);
+    let matches = operator.run(&VecStream::from_ordered(events), &mut espice_repro::cep::KeepAll);
+    let keys: Vec<_> = matches.iter().map(ComplexEvent::key).collect();
+    assert_eq!(keys, vec![(0, vec![0, 1]), (1, vec![2, 3])]);
+}

@@ -1,0 +1,237 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants of the reproduction: the CDT/threshold algebra, the utility
+//! model, the shedders, the matcher and the quality accounting.
+
+use espice_repro::cep::{
+    ComplexEvent, Constituent, KeepAll, Matcher, Operator, Pattern, PatternStep, Query,
+    SelectionPolicy, WindowEntry, WindowEventDecider, WindowMeta, WindowSpec,
+};
+use espice_repro::espice::{Cdt, EspiceShedder, ModelBuilder, ModelConfig, ShedPlan};
+use espice_repro::events::{Event, EventType, Timestamp, VecStream};
+use espice_repro::runtime::QualityMetrics;
+use proptest::prelude::*;
+
+/// Strategy: a list of (utility, occurrence) pairs for CDT construction.
+fn occurrence_pairs() -> impl Strategy<Value = Vec<(u8, f64)>> {
+    prop::collection::vec((0u8..=100, 0.01f64..20.0), 1..40)
+}
+
+/// Strategy: a window of events drawn from a small type alphabet.
+fn window_events(max_len: usize) -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(0u32..6, 1..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// O(u) is monotonically non-decreasing in u and O(100) equals the sum of
+    /// all occurrences.
+    #[test]
+    fn cdt_is_monotone_and_totals_correctly(pairs in occurrence_pairs()) {
+        let cdt = Cdt::from_occurrences(&pairs);
+        let mut previous = 0.0;
+        for u in 0..=100u8 {
+            let value = cdt.occurrences(u);
+            prop_assert!(value + 1e-9 >= previous);
+            previous = value;
+        }
+        let total: f64 = pairs.iter().map(|&(_, o)| o).sum();
+        prop_assert!((cdt.total() - total).abs() < 1e-6);
+    }
+
+    /// threshold_for(x) returns the smallest utility whose cumulative
+    /// occurrences reach x, and None exactly when x exceeds the total.
+    #[test]
+    fn cdt_threshold_is_minimal_and_sufficient(pairs in occurrence_pairs(), x in 0.01f64..60.0) {
+        let cdt = Cdt::from_occurrences(&pairs);
+        match cdt.threshold_for(x) {
+            Some(u) => {
+                prop_assert!(cdt.occurrences(u) >= x);
+                if u > 0 {
+                    prop_assert!(cdt.occurrences(u - 1) < x);
+                }
+            }
+            None => prop_assert!(cdt.total() < x),
+        }
+    }
+
+    /// Utilities are always within [0, 100] regardless of the window size used
+    /// for the lookup, and partition indices stay in range.
+    #[test]
+    fn utility_lookups_are_bounded(
+        window in window_events(40),
+        contributing in prop::collection::vec((0usize..40, 0u32..6), 0..10),
+        lookup_ws in 1usize..80,
+        partitions in 1usize..8,
+    ) {
+        let positions = window.len();
+        let config = ModelConfig::with_positions(positions);
+        let mut builder = ModelBuilder::new(config, 6);
+        let meta = WindowMeta { id: 0, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: positions };
+        for (pos, ty) in window.iter().enumerate() {
+            let _ = builder.decide(&meta, pos, &Event::new(EventType::from_index(*ty), Timestamp::ZERO, pos as u64));
+        }
+        builder.window_closed(&meta, positions);
+        for (pos, ty) in contributing {
+            let pos = pos % positions;
+            builder.observe_complex(&ComplexEvent::new(0, Timestamp::ZERO, vec![Constituent {
+                seq: pos as u64,
+                event_type: EventType::from_index(ty),
+                position: pos,
+            }]));
+        }
+        let model = builder.build();
+        for pos in 0..lookup_ws {
+            for ty in 0..6u32 {
+                let u = model.utility(EventType::from_index(ty), pos, lookup_ws);
+                prop_assert!(u <= 100);
+            }
+            let part = model.partition_of(pos, lookup_ws, partitions);
+            prop_assert!(part < partitions);
+        }
+        // Per-partition CDTs partition the whole window's mass.
+        let total: f64 = model.cdt_partitions(partitions).iter().map(Cdt::total).sum();
+        prop_assert!((total - model.cdt_full().total()).abs() < 1e-6);
+    }
+
+    /// An inactive shedder keeps everything; a shedder asked to drop more
+    /// events than exist drops everything.
+    #[test]
+    fn shedder_extremes(window in window_events(30)) {
+        let positions = window.len();
+        let mut builder = ModelBuilder::new(ModelConfig::with_positions(positions), 6);
+        let meta = WindowMeta { id: 0, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: positions };
+        for (pos, ty) in window.iter().enumerate() {
+            let _ = builder.decide(&meta, pos, &Event::new(EventType::from_index(*ty), Timestamp::ZERO, pos as u64));
+        }
+        builder.window_closed(&meta, positions);
+        let model = builder.build();
+
+        let mut inactive = EspiceShedder::new(model.clone());
+        let mut drop_all = EspiceShedder::new(model);
+        drop_all.apply(ShedPlan { active: true, partitions: 1, partition_size: positions, events_to_drop: positions as f64 + 10.0 });
+        for (pos, ty) in window.iter().enumerate() {
+            let e = Event::new(EventType::from_index(*ty), Timestamp::ZERO, pos as u64);
+            prop_assert!(inactive.decide(&meta, pos, &e).is_keep());
+            prop_assert!(!drop_all.decide(&meta, pos, &e).is_keep());
+        }
+    }
+
+    /// The matcher never emits more matches than allowed, never reuses an
+    /// event under consumed consumption, and reports constituents at positions
+    /// that exist in the window and in increasing order under first selection.
+    #[test]
+    fn matcher_respects_consumption_and_order(
+        window in window_events(30),
+        max_matches in 1usize..4,
+    ) {
+        let a = EventType::from_index(0);
+        let b = EventType::from_index(1);
+        let query = Query::builder()
+            .pattern(Pattern::sequence([a, b]))
+            .window(WindowSpec::count_sliding(window.len().max(2), window.len().max(2)))
+            .max_matches_per_window(max_matches)
+            .build();
+        let matcher = Matcher::from_query(&query);
+        let entries: Vec<WindowEntry> = window
+            .iter()
+            .enumerate()
+            .map(|(pos, ty)| WindowEntry {
+                position: pos,
+                event: Event::new(EventType::from_index(*ty), Timestamp::from_secs(pos as u64), pos as u64),
+            })
+            .collect();
+        let outcome = matcher.matches(7, &entries);
+        prop_assert!(outcome.complex_events.len() <= max_matches);
+        let mut used = std::collections::HashSet::new();
+        for complex in &outcome.complex_events {
+            prop_assert_eq!(complex.window_id(), 7);
+            let positions: Vec<usize> = complex.constituents().iter().map(|c| c.position).collect();
+            prop_assert!(positions.windows(2).all(|w| w[0] < w[1]));
+            for constituent in complex.constituents() {
+                prop_assert!(constituent.position < entries.len());
+                prop_assert!(used.insert(constituent.seq), "event reused under consumed consumption");
+            }
+        }
+    }
+
+    /// Operator bookkeeping: every assignment is either kept or dropped, and a
+    /// keep-all run drops nothing and is insensitive to the decider order.
+    #[test]
+    fn operator_bookkeeping_is_consistent(types in window_events(60)) {
+        let open_type = EventType::from_index(0);
+        let query = Query::builder()
+            .pattern(Pattern::sequence([EventType::from_index(1), EventType::from_index(2)]))
+            .window(WindowSpec::count_on_types(vec![open_type], 8))
+            .build();
+        let events: Vec<Event> = types
+            .iter()
+            .enumerate()
+            .map(|(i, ty)| Event::new(EventType::from_index(*ty), Timestamp::from_secs(i as u64), i as u64))
+            .collect();
+        let stream = VecStream::from_ordered(events);
+        let mut operator = Operator::new(query);
+        let _ = operator.run(&stream, &mut KeepAll);
+        let stats = operator.stats();
+        prop_assert_eq!(stats.kept + stats.dropped, stats.assignments);
+        prop_assert_eq!(stats.dropped, 0);
+        prop_assert!(stats.windows_closed <= stats.windows_opened);
+        prop_assert_eq!(stats.events_processed as usize, types.len());
+    }
+
+    /// Quality metrics: comparing a run against itself is perfect, FN + TP
+    /// equals the ground-truth count, and FP counts exactly the detections
+    /// outside the ground truth.
+    #[test]
+    fn quality_metrics_identities(
+        gt_keys in prop::collection::hash_set(0u64..40, 0..20),
+        detected_keys in prop::collection::hash_set(0u64..40, 0..20),
+    ) {
+        let as_complex = |keys: &std::collections::HashSet<u64>| -> Vec<ComplexEvent> {
+            keys.iter()
+                .map(|&k| ComplexEvent::new(k, Timestamp::ZERO, vec![Constituent {
+                    seq: k,
+                    event_type: EventType::from_index(0),
+                    position: 0,
+                }]))
+                .collect()
+        };
+        let gt = as_complex(&gt_keys);
+        let detected = as_complex(&detected_keys);
+        let self_compare = QualityMetrics::compare(&gt, &gt);
+        prop_assert_eq!(self_compare.false_negatives, 0);
+        prop_assert_eq!(self_compare.false_positives, 0);
+
+        let metrics = QualityMetrics::compare(&gt, &detected);
+        prop_assert_eq!(metrics.true_positives + metrics.false_negatives, gt_keys.len());
+        prop_assert_eq!(metrics.true_positives + metrics.false_positives, detected_keys.len());
+        prop_assert_eq!(metrics.false_positives, detected_keys.difference(&gt_keys).count());
+    }
+
+    /// Dropping events from windows can only remove or change matches relative
+    /// to ground truth — the number of true positives never exceeds the ground
+    /// truth, and with nothing dropped the detection is exact.
+    #[test]
+    fn keep_all_detection_equals_ground_truth(types in window_events(80)) {
+        let any_step = PatternStep::any_of(
+            vec![EventType::from_index(1), EventType::from_index(2), EventType::from_index(3)],
+            2,
+            true,
+        );
+        let query = Query::builder()
+            .pattern(Pattern::new(vec![PatternStep::single(EventType::from_index(0)), any_step]))
+            .window(WindowSpec::count_sliding(10, 5))
+            .build();
+        let events: Vec<Event> = types
+            .iter()
+            .enumerate()
+            .map(|(i, ty)| Event::new(EventType::from_index(*ty), Timestamp::from_secs(i as u64), i as u64))
+            .collect();
+        let stream = VecStream::from_ordered(events);
+        let ground_truth = Operator::new(query.clone()).run(&stream, &mut KeepAll);
+        let detected = Operator::new(query).run(&stream, &mut KeepAll);
+        let metrics = QualityMetrics::compare(&ground_truth, &detected);
+        prop_assert_eq!(metrics.false_negatives, 0);
+        prop_assert_eq!(metrics.false_positives, 0);
+    }
+}
