@@ -33,7 +33,7 @@ fn normalisation_ablation(c: &mut Criterion) {
     // Report the quality impact once so it shows up next to the timing data.
     for mode in [NormalisationMode::PerTypeSum, NormalisationMode::GlobalMax] {
         let experiment = Experiment::train(
-            &[query.clone()],
+            std::slice::from_ref(&query),
             &ds.stream,
             ds.registry.len(),
             ModelConfig { positions: 300, normalisation: mode, ..ModelConfig::default() },
@@ -51,18 +51,26 @@ fn normalisation_ablation(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("normalisation_training");
     for mode in [NormalisationMode::PerTypeSum, NormalisationMode::GlobalMax] {
-        group.bench_with_input(BenchmarkId::new("train", format!("{mode:?}")), &mode, |b, &mode| {
-            b.iter(|| {
-                let experiment = Experiment::train(
-                    &[query.clone()],
-                    &ds.stream,
-                    ds.registry.len(),
-                    ModelConfig { positions: 300, normalisation: mode, ..ModelConfig::default() },
-                    experiment_config(),
-                );
-                black_box(experiment.model().windows_observed())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("train", format!("{mode:?}")),
+            &mode,
+            |b, &mode| {
+                b.iter(|| {
+                    let experiment = Experiment::train(
+                        std::slice::from_ref(&query),
+                        &ds.stream,
+                        ds.registry.len(),
+                        ModelConfig {
+                            positions: 300,
+                            normalisation: mode,
+                            ..ModelConfig::default()
+                        },
+                        experiment_config(),
+                    );
+                    black_box(experiment.model().windows_observed())
+                })
+            },
+        );
     }
     group.finish();
 }

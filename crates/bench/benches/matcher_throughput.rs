@@ -57,9 +57,11 @@ fn any_matching(c: &mut Criterion) {
             .build();
         let matcher = Matcher::from_query(&query);
 
-        group.bench_with_input(BenchmarkId::from_parameter(pattern_size), &entries, |b, entries| {
-            b.iter(|| black_box(matcher.matches(0, entries)))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(pattern_size),
+            &entries,
+            |b, entries| b.iter(|| black_box(matcher.matches(0, entries))),
+        );
     }
     group.finish();
 }

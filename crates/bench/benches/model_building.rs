@@ -14,36 +14,44 @@ use std::hint::black_box;
 fn build_model(c: &mut Criterion) {
     let mut group = c.benchmark_group("model_build");
     for &positions in &[500usize, 2_000, 8_000] {
-        group.bench_with_input(BenchmarkId::from_parameter(positions), &positions, |b, &positions| {
-            b.iter(|| {
-                let mut rng = StdRng::seed_from_u64(1);
-                let mut builder =
-                    ModelBuilder::new(ModelConfig::with_positions(positions), 500);
-                let meta = WindowMeta {
-                    id: 0,
-                    opened_at: Timestamp::ZERO,
-                    open_seq: 0,
-                    predicted_size: positions,
-                };
-                for pos in 0..positions {
-                    let ty = EventType::from_index(rng.gen_range(0..500) as u32);
-                    let _ = builder.decide(&meta, pos, &Event::new(ty, Timestamp::ZERO, pos as u64));
-                }
-                builder.window_closed(&meta, positions);
-                for pos in (0..positions).step_by(50) {
-                    builder.observe_complex(&ComplexEvent::new(
-                        0,
-                        Timestamp::ZERO,
-                        vec![Constituent {
-                            seq: pos as u64,
-                            event_type: EventType::from_index((pos % 500) as u32),
-                            position: pos,
-                        }],
-                    ));
-                }
-                black_box(builder.build())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(positions),
+            &positions,
+            |b, &positions| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(1);
+                    let mut builder =
+                        ModelBuilder::new(ModelConfig::with_positions(positions), 500);
+                    let meta = WindowMeta {
+                        id: 0,
+                        opened_at: Timestamp::ZERO,
+                        open_seq: 0,
+                        predicted_size: positions,
+                    };
+                    for pos in 0..positions {
+                        let ty = EventType::from_index(rng.gen_range(0..500) as u32);
+                        let _ = builder.decide(
+                            &meta,
+                            pos,
+                            &Event::new(ty, Timestamp::ZERO, pos as u64),
+                        );
+                    }
+                    builder.window_closed(&meta, positions);
+                    for pos in (0..positions).step_by(50) {
+                        builder.observe_complex(&ComplexEvent::new(
+                            0,
+                            Timestamp::ZERO,
+                            vec![Constituent {
+                                seq: pos as u64,
+                                event_type: EventType::from_index((pos % 500) as u32),
+                                position: pos,
+                            }],
+                        ));
+                    }
+                    black_box(builder.build())
+                })
+            },
+        );
     }
     group.finish();
 }

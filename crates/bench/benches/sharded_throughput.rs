@@ -1,0 +1,200 @@
+//! Sharded matcher-throughput benchmark: 1-shard vs N-shard engine runs and
+//! scalar `decide` vs batched `decide_batch` shedding overhead.
+//!
+//! Unlike the Criterion-style micro-benchmarks this is a plain `main`
+//! (`harness = false`) because it also *records* its results: a JSON report
+//! is written to `BENCH_shard.json` at the repository root.
+//!
+//! Two throughput figures are reported per shard count:
+//!
+//! * **wall-clock** — what this machine actually achieves. On a single-core
+//!   container the sharded runs cannot beat one shard; the number documents
+//!   the (small) threading overhead instead.
+//! * **projected parallel** — events divided by the *slowest shard's
+//!   isolated* run time. Shards share nothing, so on a machine with at least
+//!   N cores the wall-clock of an N-shard run converges to its critical
+//!   path; this figure measures how evenly the engine splits the work.
+
+use espice::{EspiceShedder, ShedPlan};
+use espice_bench::figures::synthetic_model;
+use espice_cep::{
+    BatchRequest, Decision, KeepAll, Operator, Pattern, Query, Shard, ShardedEngine,
+    WindowEventDecider, WindowMeta, WindowSpec,
+};
+use espice_events::{Event, EventStream, EventType, Timestamp, VecStream};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// A keyed workload with heavily overlapping count windows: type 0 opens a
+/// 600-event window every ~30 events, so every event belongs to ~20 windows.
+fn workload(events: usize, types: usize) -> (Query, VecStream) {
+    let mut rng = StdRng::seed_from_u64(17);
+    let stream = VecStream::from_ordered(
+        (0..events as u64)
+            .map(|i| {
+                let ty = if i % 30 == 0 { 0 } else { rng.gen_range(1..types) as u32 };
+                Event::new(EventType::from_index(ty), Timestamp::from_millis(i), i)
+            })
+            .collect(),
+    );
+    let pattern = Pattern::sequence((0..5).map(|i| EventType::from_index(i as u32)));
+    let query = Query::builder()
+        .pattern(pattern)
+        .window(WindowSpec::count_on_types(vec![EventType::from_index(0)], 600))
+        .build();
+    (query, stream)
+}
+
+/// Best-of-`reps` wall time of `f` in seconds.
+fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let (query, stream) = workload(120_000, 500);
+    let events = stream.len();
+    println!("workload: {events} events, window 600 opened on ~1/30 events, {cores} core(s)");
+
+    // Correctness gate: every shard count produces the single-operator output.
+    let expected = Operator::new(query.clone()).run(&stream, &mut KeepAll);
+    for shards in [2usize, 4] {
+        let mut engine = ShardedEngine::new(query.clone(), shards);
+        assert_eq!(engine.run_keep_all(&stream), expected, "{shards}-shard output diverged");
+    }
+    println!("output identical across 1/2/4 shards ({} complex events)", expected.len());
+
+    // Wall-clock engine throughput per shard count.
+    let reps = 3;
+    let mut wall = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let secs = time_best(reps, || {
+            let mut engine = ShardedEngine::new(query.clone(), shards);
+            black_box(engine.run_keep_all(&stream));
+        });
+        let rate = events as f64 / secs;
+        println!("wall-clock      {shards} shard(s): {secs:.3} s  ({rate:.0} events/s)");
+        wall.push((shards, secs, rate));
+    }
+
+    // Projected parallel throughput: run each shard alone and take the
+    // critical path (the slowest shard), which a machine with >= N cores
+    // would realise as wall time.
+    let mut projected = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let mut slowest = 0.0f64;
+        for index in 0..shards {
+            let secs = time_best(reps, || {
+                let mut shard = Shard::new(query.clone(), index, shards);
+                black_box(shard.run_events(stream.events(), &mut KeepAll));
+            });
+            slowest = slowest.max(secs);
+        }
+        let rate = events as f64 / slowest;
+        let speedup = rate / wall[0].2;
+        println!(
+            "critical path   {shards} shard(s): {slowest:.3} s  ({rate:.0} events/s, {speedup:.2}x vs 1 shard)"
+        );
+        projected.push((shards, slowest, rate, speedup));
+    }
+
+    // Scalar decide vs batched decide_batch on an active eSPICE shedder.
+    let mut rng = StdRng::seed_from_u64(42);
+    let model = synthetic_model(&mut rng, 500, 2_000);
+    let plan = ShedPlan {
+        active: true,
+        partitions: 10,
+        partition_size: 200,
+        events_to_drop: 2_000.0 / 60.0,
+    };
+    let meta = WindowMeta { id: 0, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: 2_000 };
+    let batch: Vec<BatchRequest> =
+        (0..32usize).map(|w| BatchRequest { meta, position: (w * 61) % 2_000 }).collect();
+    let probes: Vec<Event> = (0..512)
+        .map(|i| {
+            Event::new(EventType::from_index(rng.gen_range(0..500) as u32), Timestamp::ZERO, i)
+        })
+        .collect();
+
+    let mut scalar_shedder = EspiceShedder::new(model.clone());
+    scalar_shedder.apply(plan);
+    let scalar_secs = time_best(reps, || {
+        let mut kept = 0usize;
+        for event in &probes {
+            for request in &batch {
+                if scalar_shedder
+                    .decide(black_box(&request.meta), black_box(request.position), black_box(event))
+                    .is_keep()
+                {
+                    kept += 1;
+                }
+            }
+        }
+        black_box(kept);
+    });
+
+    let mut batch_shedder = EspiceShedder::new(model);
+    batch_shedder.apply(plan);
+    let mut decisions: Vec<Decision> = Vec::new();
+    let batch_secs = time_best(reps, || {
+        let mut kept = 0usize;
+        for event in &probes {
+            batch_shedder.decide_batch(black_box(event), black_box(&batch), &mut decisions);
+            kept += decisions.iter().filter(|d| d.is_keep()).count();
+        }
+        black_box(kept);
+    });
+
+    let total_decisions = (probes.len() * batch.len()) as f64;
+    let scalar_ns = scalar_secs * 1e9 / total_decisions;
+    let batch_ns = batch_secs * 1e9 / total_decisions;
+    println!(
+        "decide: {scalar_ns:.1} ns/decision   decide_batch: {batch_ns:.1} ns/decision   ({:.2}x)",
+        scalar_ns / batch_ns
+    );
+
+    // Record everything for the repository.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"host_cores\": {cores},\n"));
+    json.push_str(&format!(
+        "  \"workload\": {{\"events\": {events}, \"window_size\": 600, \"open_every\": 30, \"types\": 500}},\n"
+    ));
+    json.push_str("  \"identical_output_across_shard_counts\": true,\n");
+    json.push_str("  \"wall_clock\": [\n");
+    for (i, (shards, secs, rate)) in wall.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"shards\": {shards}, \"seconds\": {secs:.4}, \"events_per_sec\": {rate:.0}}}{}\n",
+            if i + 1 < wall.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"projected_parallel\": [\n");
+    for (i, (shards, secs, rate, speedup)) in projected.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"shards\": {shards}, \"critical_path_seconds\": {secs:.4}, \"events_per_sec\": {rate:.0}, \"speedup_vs_single\": {speedup:.2}}}{}\n",
+            if i + 1 < projected.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"decide_vs_decide_batch\": {{\"scalar_ns_per_decision\": {scalar_ns:.1}, \"batch_ns_per_decision\": {batch_ns:.1}, \"speedup\": {:.2}}},\n",
+        scalar_ns / batch_ns
+    ));
+    json.push_str(
+        "  \"notes\": \"projected_parallel divides events by the slowest shard's isolated run time (shards share no state), i.e. the wall time a host with >= N cores realises; wall_clock is what this host achieves with scoped threads and cannot exceed 1x on a single-core host.\"\n",
+    );
+    json.push_str("}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_shard.json");
+    std::fs::write(path, &json).expect("write BENCH_shard.json");
+    println!("wrote {path}");
+}

@@ -60,11 +60,17 @@ fn baseline_decision(c: &mut Criterion) {
     let model = synthetic_model(&mut rng, 500, 2_000);
     let pattern = Pattern::sequence((0..20).map(|i| EventType::from_index(i as u32)));
     let mut shedder = espice::BaselineShedder::new(&pattern, &model, 1);
-    shedder.apply(ShedPlan { active: true, partitions: 10, partition_size: 200, events_to_drop: 33.0 });
-    let meta =
-        WindowMeta { id: 0, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: 2_000 };
+    shedder.apply(ShedPlan {
+        active: true,
+        partitions: 10,
+        partition_size: 200,
+        events_to_drop: 33.0,
+    });
+    let meta = WindowMeta { id: 0, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: 2_000 };
     let events: Vec<Event> = (0..4096)
-        .map(|i| Event::new(EventType::from_index(rng.gen_range(0..500) as u32), Timestamp::ZERO, i))
+        .map(|i| {
+            Event::new(EventType::from_index(rng.gen_range(0..500) as u32), Timestamp::ZERO, i)
+        })
         .collect();
 
     c.bench_function("baseline_decision", |b| {

@@ -2,7 +2,9 @@
 //! order. Useful for regenerating `EXPERIMENTS.md`. Pass `--full` for the
 //! paper-scale sweeps.
 
-use espice_bench::figures::{latency_figure, overhead_figure, overhead_table, running_example, table1_report};
+use espice_bench::figures::{
+    latency_figure, overhead_figure, overhead_table, running_example, table1_report,
+};
 use espice_bench::sweeps::{
     bin_size_sweep, q1_pattern_size_sweep, q2_pattern_size_sweep, q3_window_size_sweep,
     q4_window_size_sweep, variable_window_sweep,
@@ -18,25 +20,31 @@ fn main() {
     let example = running_example();
     println!("## Table 1 — running example utility table\n\n{}", ut.render());
     println!("## Figure 2 — running example CDT\n\n{}", cdt.render());
-    println!(
-        "Threshold to drop x = 2 events/window: u_th = {:?}\n",
-        example.threshold_for_two
-    );
+    println!("Threshold to drop x = 2 events/window: u_th = {:?}\n", example.threshold_for_two);
 
     let soccer = profile.soccer_dataset();
     let stock = profile.stock_dataset();
 
     for selection in [SelectionPolicy::First, SelectionPolicy::Last] {
         let sweep = q1_pattern_size_sweep(profile, &soccer, selection);
-        println!("## Figure 5 (Q1, {selection:?}) — % false negatives\n\n{}", sweep.false_negative_table().render());
+        println!(
+            "## Figure 5 (Q1, {selection:?}) — % false negatives\n\n{}",
+            sweep.false_negative_table().render()
+        );
         if selection == SelectionPolicy::First {
-            println!("## Figure 6a (Q1, First) — % false positives\n\n{}", sweep.false_positive_table().render());
+            println!(
+                "## Figure 6a (Q1, First) — % false positives\n\n{}",
+                sweep.false_positive_table().render()
+            );
         }
     }
 
     for selection in [SelectionPolicy::First, SelectionPolicy::Last] {
         let sweep = q2_pattern_size_sweep(profile, &stock, selection);
-        println!("## Figure 5 (Q2, {selection:?}) — % false negatives\n\n{}", sweep.false_negative_table().render());
+        println!(
+            "## Figure 5 (Q2, {selection:?}) — % false negatives\n\n{}",
+            sweep.false_negative_table().render()
+        );
     }
 
     let q3 = q3_window_size_sweep(profile, &stock, SelectionPolicy::First);
@@ -51,12 +59,24 @@ fn main() {
     println!("Summary\n\n{}", latency.summary().render());
 
     let (fig8_q1, fig8_q2) = variable_window_sweep(profile, &soccer, &stock);
-    println!("## Figure 8a (Q1, variable window size) — % false negatives\n\n{}", fig8_q1.false_negative_table().render());
-    println!("## Figure 8b (Q2, variable window size) — % false negatives\n\n{}", fig8_q2.false_negative_table().render());
+    println!(
+        "## Figure 8a (Q1, variable window size) — % false negatives\n\n{}",
+        fig8_q1.false_negative_table().render()
+    );
+    println!(
+        "## Figure 8b (Q2, variable window size) — % false negatives\n\n{}",
+        fig8_q2.false_negative_table().render()
+    );
 
     let (fig9_q1, fig9_q2) = bin_size_sweep(profile, &soccer, &stock);
-    println!("## Figure 9a (Q1, bin size) — % false negatives\n\n{}", fig9_q1.false_negative_table().render());
-    println!("## Figure 9b (Q2, bin size) — % false negatives\n\n{}", fig9_q2.false_negative_table().render());
+    println!(
+        "## Figure 9a (Q1, bin size) — % false negatives\n\n{}",
+        fig9_q1.false_negative_table().render()
+    );
+    println!(
+        "## Figure 9b (Q2, bin size) — % false negatives\n\n{}",
+        fig9_q2.false_negative_table().render()
+    );
 
     let overhead = overhead_figure(profile);
     println!("## Figure 10 — load shedder overhead\n\n{}", overhead_table(&overhead).render());

@@ -12,7 +12,11 @@ fn main() {
 
     for selection in [SelectionPolicy::First, SelectionPolicy::Last] {
         let sweep = q1_pattern_size_sweep(profile, &dataset, selection);
-        println!("Figure 5{} — {} : % false negatives\n", if selection == SelectionPolicy::First { "a" } else { "b" }, sweep.title);
+        println!(
+            "Figure 5{} — {} : % false negatives\n",
+            if selection == SelectionPolicy::First { "a" } else { "b" },
+            sweep.title
+        );
         println!("{}", sweep.false_negative_table().render());
         println!("CSV:\n{}", sweep.false_negative_table().to_csv());
     }

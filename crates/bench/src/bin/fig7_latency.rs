@@ -11,7 +11,10 @@ fn main() {
     let dataset = profile.soccer_dataset();
     let figure = latency_figure(profile, &dataset);
 
-    println!("Figure 7 — event processing latency over time (Q1, LB = {}s)\n", figure.bound.as_secs_f64());
+    println!(
+        "Figure 7 — event processing latency over time (Q1, LB = {}s)\n",
+        figure.bound.as_secs_f64()
+    );
     println!("{}", figure.table().render());
     println!("Summary\n");
     println!("{}", figure.summary().render());

@@ -14,10 +14,7 @@ fn main() {
     println!("{}", cdt.render());
     println!(
         "Utility threshold to drop x = 2 events per window: u_th = {}",
-        example
-            .threshold_for_two
-            .map(|u| u.to_string())
-            .unwrap_or_else(|| "none".to_owned())
+        example.threshold_for_two.map(|u| u.to_string()).unwrap_or_else(|| "none".to_owned())
     );
     println!("\nCSV (UT):\n{}", ut.to_csv());
     println!("CSV (CDT):\n{}", cdt.to_csv());

@@ -49,8 +49,8 @@ pub fn running_example() -> RunningExample {
     let a_share_tenths: [u64; 5] = [8, 5, 1, 2, 5];
     for w in 0..10u64 {
         let meta = WindowMeta { id: w, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: 5 };
-        for pos in 0..5usize {
-            let ty = if w < a_share_tenths[pos] { a } else { b };
+        for (pos, &share) in a_share_tenths.iter().enumerate() {
+            let ty = if w < share { a } else { b };
             let e = Event::new(ty, Timestamp::from_secs(pos as u64), pos as u64);
             let _ = builder.decide(&meta, pos, &e);
         }
@@ -115,10 +115,8 @@ impl LatencyFigure {
     /// Renders the traces as a table of `(time, latency)` samples, one column
     /// per rate (rows are truncated to the shorter trace).
     pub fn table(&self) -> Table {
-        let mut table = Table::new(
-            "time (s)",
-            vec!["R1 latency (s)".to_owned(), "R2 latency (s)".to_owned()],
-        );
+        let mut table =
+            Table::new("time (s)", vec!["R1 latency (s)".to_owned(), "R2 latency (s)".to_owned()]);
         let rows = self.r1.samples.len().min(self.r2.samples.len());
         for i in 0..rows {
             let (t, l1) = self.r1.samples[i];
@@ -130,16 +128,19 @@ impl LatencyFigure {
 
     /// Summary rows: max/mean latency and violation counts per rate.
     pub fn summary(&self) -> Table {
-        let mut table = Table::new(
-            "metric",
-            vec!["R1".to_owned(), "R2".to_owned()],
-        );
+        let mut table = Table::new("metric", vec!["R1".to_owned(), "R2".to_owned()]);
         table.add_row(
             "max latency (s)",
             vec![self.r1.max_latency.as_secs_f64(), self.r2.max_latency.as_secs_f64()],
         );
-        table.add_row("mean latency (s)", vec![self.r1.mean_latency_secs, self.r2.mean_latency_secs]);
-        table.add_row("bound violations", vec![self.r1.violations as f64, self.r2.violations as f64]);
+        table.add_row(
+            "mean latency (s)",
+            vec![self.r1.mean_latency_secs, self.r2.mean_latency_secs],
+        );
+        table.add_row(
+            "bound violations",
+            vec![self.r1.violations as f64, self.r2.violations as f64],
+        );
         table.add_row("drop ratio", vec![self.r1.drop_ratio, self.r2.drop_ratio]);
         table
     }
@@ -158,8 +159,10 @@ pub fn latency_figure(profile: Profile, dataset: &SoccerDataset) -> LatencyFigur
     let positions = profile_average_window_size(&query, &dataset.stream).round() as usize;
 
     // Train the model on the first half of the stream.
-    let mut builder =
-        ModelBuilder::new(ModelConfig { positions, ..ModelConfig::default() }, dataset.registry.len());
+    let mut builder = ModelBuilder::new(
+        ModelConfig { positions, ..ModelConfig::default() },
+        dataset.registry.len(),
+    );
     let half = dataset.stream.slice(0, dataset.stream.len() / 2);
     let mut operator = espice_cep::Operator::new(query.clone());
     let matches = operator.run(&half, &mut builder);
@@ -186,6 +189,7 @@ pub fn latency_figure(profile: Profile, dataset: &SoccerDataset) -> LatencyFigur
             check_interval: SimDuration::from_millis(100),
             sample_interval: SimDuration::from_millis(500),
             shedding_overhead: 0.01,
+            shards: 1,
         });
         let mut shedder = EspiceShedder::new(model.clone());
         let outcome = sim.run(&query, &eval, &mut shedder);
@@ -353,14 +357,8 @@ mod tests {
         let a = EventType::from_index(0);
         let b = EventType::from_index(1);
         let ut = example.model.utility_table();
-        assert_eq!(
-            (0..5).map(|p| ut.utility(a, p)).collect::<Vec<_>>(),
-            vec![70, 15, 10, 5, 0]
-        );
-        assert_eq!(
-            (0..5).map(|p| ut.utility(b, p)).collect::<Vec<_>>(),
-            vec![0, 60, 30, 10, 0]
-        );
+        assert_eq!((0..5).map(|p| ut.utility(a, p)).collect::<Vec<_>>(), vec![70, 15, 10, 5, 0]);
+        assert_eq!((0..5).map(|p| ut.utility(b, p)).collect::<Vec<_>>(), vec![0, 60, 30, 10, 0]);
         // Figure 2's headline: dropping x = 2 events per window needs u_th = 10.
         assert_eq!(example.threshold_for_two, Some(10));
         // The CDT covers the whole 5-event window.
@@ -391,7 +389,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let model = synthetic_model(&mut rng, 100, 1000);
         let mut shedder = EspiceShedder::new(model);
-        shedder.apply(ShedPlan { active: true, partitions: 5, partition_size: 200, events_to_drop: 10.0 });
+        shedder.apply(ShedPlan {
+            active: true,
+            partitions: 5,
+            partition_size: 200,
+            events_to_drop: 10.0,
+        });
         let meta =
             WindowMeta { id: 0, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: 1000 };
         let e = Event::new(EventType::from_index(3), Timestamp::ZERO, 0);

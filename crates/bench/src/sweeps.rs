@@ -81,9 +81,11 @@ pub fn evaluate_rates(experiment: &Experiment, query: &Query) -> Vec<SeriesPoint
     let mut series = Vec::new();
     for kind in [ShedderKind::Espice, ShedderKind::Baseline] {
         for (rate_label, factor) in RATES {
-            let outcome = experiment
-                .with_overload_factor(factor)
-                .evaluate_against(query, kind, &ground_truth);
+            let outcome = experiment.with_overload_factor(factor).evaluate_against(
+                query,
+                kind,
+                &ground_truth,
+            );
             series.push(SeriesPoint { label: format!("{rate_label}: {}", kind.label()), outcome });
         }
     }
@@ -97,8 +99,15 @@ fn train_for(
     positions: usize,
     bin_size: usize,
 ) -> Experiment {
-    let model_config = ModelConfig { positions: positions.max(1), bin_size, ..ModelConfig::default() };
-    Experiment::train(&[query.clone()], stream, type_count, model_config, experiment_config())
+    let model_config =
+        ModelConfig { positions: positions.max(1), bin_size, ..ModelConfig::default() };
+    Experiment::train(
+        std::slice::from_ref(query),
+        stream,
+        type_count,
+        model_config,
+        experiment_config(),
+    )
 }
 
 /// Figure 5a/5b (and 6a): Q1 false negatives/positives over the pattern size.
@@ -110,15 +119,15 @@ pub fn q1_pattern_size_sweep(
     let window = SimDuration::from_secs(15);
     // The window extent is the same for every pattern size, so N is profiled once.
     let probe = queries::q1(dataset, 2, window, selection);
-    let positions = profile_average_window_size(&probe, dataset.stream_prefix(0.25)).round() as usize;
+    let positions =
+        profile_average_window_size(&probe, dataset.stream_prefix(0.25)).round() as usize;
 
     let mut points = Vec::new();
     for n in profile.q1_pattern_sizes() {
         let query = queries::q1(dataset, n, window, selection);
         // Bin neighbouring positions so the utility statistics stay dense with
         // the (much shorter than two months) synthetic training stream.
-        let experiment =
-            train_for(&query, &dataset.stream, dataset.registry.len(), positions, 16);
+        let experiment = train_for(&query, &dataset.stream, dataset.registry.len(), positions, 16);
         points.push(SweepPoint { x: n.to_string(), series: evaluate_rates(&experiment, &query) });
     }
     Sweep {
@@ -136,7 +145,8 @@ pub fn q2_pattern_size_sweep(
 ) -> Sweep {
     let window = SimDuration::from_secs(240);
     let probe = queries::q2(dataset, 10, window, selection);
-    let positions = profile_average_window_size(&probe, dataset.stream_prefix(0.2)).round() as usize;
+    let positions =
+        profile_average_window_size(&probe, dataset.stream_prefix(0.2)).round() as usize;
 
     let mut points = Vec::new();
     for n in profile.q2_pattern_sizes() {
@@ -144,8 +154,7 @@ pub fn q2_pattern_size_sweep(
         // Bin the large Q2 windows so the utility table stays compact and the
         // per-cell statistics dense (the bin-size experiment shows moderate
         // bins hardly affect quality).
-        let experiment =
-            train_for(&query, &dataset.stream, dataset.registry.len(), positions, 8);
+        let experiment = train_for(&query, &dataset.stream, dataset.registry.len(), positions, 8);
         points.push(SweepPoint { x: n.to_string(), series: evaluate_rates(&experiment, &query) });
     }
     Sweep {
@@ -205,10 +214,7 @@ pub fn variable_window_sweep(
     q1_dataset: &SoccerDataset,
     q2_dataset: &StockDataset,
 ) -> (Sweep, Sweep) {
-    (
-        variable_window_sweep_q1(profile, q1_dataset),
-        variable_window_sweep_q2(profile, q2_dataset),
-    )
+    (variable_window_sweep_q1(profile, q1_dataset), variable_window_sweep_q2(profile, q2_dataset))
 }
 
 fn variable_window_sweep_q1(profile: Profile, dataset: &SoccerDataset) -> Sweep {
@@ -220,7 +226,8 @@ fn variable_window_sweep_q1(profile: Profile, dataset: &SoccerDataset) -> Sweep 
         .map(|&s| queries::q1(dataset, 5, SimDuration::from_secs(s), selection))
         .collect();
     let probe = queries::q1(dataset, 5, SimDuration::from_secs(16), selection);
-    let positions = profile_average_window_size(&probe, dataset.stream_prefix(0.25)).round() as usize;
+    let positions =
+        profile_average_window_size(&probe, dataset.stream_prefix(0.25)).round() as usize;
     let experiment = Experiment::train(
         &training_queries,
         &dataset.stream,
@@ -235,7 +242,11 @@ fn variable_window_sweep_q1(profile: Profile, dataset: &SoccerDataset) -> Sweep 
         let query = queries::q1(dataset, 5, SimDuration::from_secs(secs), selection);
         points.push(SweepPoint { x: pct.to_string(), series: evaluate_rates(&experiment, &query) });
     }
-    Sweep { title: "Q1: variable window size".to_owned(), x_label: "window size %".to_owned(), points }
+    Sweep {
+        title: "Q1: variable window size".to_owned(),
+        x_label: "window size %".to_owned(),
+        points,
+    }
 }
 
 fn variable_window_sweep_q2(profile: Profile, dataset: &StockDataset) -> Sweep {
@@ -246,7 +257,8 @@ fn variable_window_sweep_q2(profile: Profile, dataset: &StockDataset) -> Sweep {
         .map(|&s| queries::q2(dataset, 20, SimDuration::from_secs(s), selection))
         .collect();
     let probe = queries::q2(dataset, 20, SimDuration::from_secs(240), selection);
-    let positions = profile_average_window_size(&probe, dataset.stream_prefix(0.2)).round() as usize;
+    let positions =
+        profile_average_window_size(&probe, dataset.stream_prefix(0.2)).round() as usize;
     let experiment = Experiment::train(
         &training_queries,
         &dataset.stream,
@@ -261,7 +273,11 @@ fn variable_window_sweep_q2(profile: Profile, dataset: &StockDataset) -> Sweep {
         let query = queries::q2(dataset, 20, SimDuration::from_secs(secs), selection);
         points.push(SweepPoint { x: pct.to_string(), series: evaluate_rates(&experiment, &query) });
     }
-    Sweep { title: "Q2: variable window size".to_owned(), x_label: "window size %".to_owned(), points }
+    Sweep {
+        title: "Q2: variable window size".to_owned(),
+        x_label: "window size %".to_owned(),
+        points,
+    }
 }
 
 /// Figure 9: impact of the bin size on quality, for Q1 (n = 5, 15 s windows)
@@ -296,8 +312,16 @@ pub fn bin_size_sweep(
     }
 
     (
-        Sweep { title: "Q1: bin size".to_owned(), x_label: "bin size".to_owned(), points: q1_points },
-        Sweep { title: "Q2: bin size".to_owned(), x_label: "bin size".to_owned(), points: q2_points },
+        Sweep {
+            title: "Q1: bin size".to_owned(),
+            x_label: "bin size".to_owned(),
+            points: q1_points,
+        },
+        Sweep {
+            title: "Q2: bin size".to_owned(),
+            x_label: "bin size".to_owned(),
+            points: q2_points,
+        },
     )
 }
 
@@ -368,10 +392,7 @@ mod tests {
         // eSPICE keeps more of the ordered-cascade matches than BL at R1.
         let espice_fn = series[0].outcome.false_negative_pct();
         let bl_fn = series[2].outcome.false_negative_pct();
-        assert!(
-            espice_fn <= bl_fn,
-            "eSPICE FN {espice_fn}% should not exceed BL FN {bl_fn}%"
-        );
+        assert!(espice_fn <= bl_fn, "eSPICE FN {espice_fn}% should not exceed BL FN {bl_fn}%");
         let _ = profile;
     }
 

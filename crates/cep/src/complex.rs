@@ -50,7 +50,11 @@ impl ComplexEvent {
     /// # Panics
     ///
     /// Panics if `constituents` is empty.
-    pub fn new(window_id: WindowId, detected_at: Timestamp, constituents: Vec<Constituent>) -> Self {
+    pub fn new(
+        window_id: WindowId,
+        detected_at: Timestamp,
+        constituents: Vec<Constituent>,
+    ) -> Self {
         assert!(!constituents.is_empty(), "a complex event needs at least one constituent");
         ComplexEvent { window_id, detected_at, constituents }
     }
@@ -100,16 +104,10 @@ mod tests {
 
     #[test]
     fn key_is_order_insensitive() {
-        let a = ComplexEvent::new(
-            1,
-            Timestamp::ZERO,
-            vec![constituent(5, 0, 1), constituent(3, 1, 0)],
-        );
-        let b = ComplexEvent::new(
-            1,
-            Timestamp::ZERO,
-            vec![constituent(3, 1, 0), constituent(5, 0, 1)],
-        );
+        let a =
+            ComplexEvent::new(1, Timestamp::ZERO, vec![constituent(5, 0, 1), constituent(3, 1, 0)]);
+        let b =
+            ComplexEvent::new(1, Timestamp::ZERO, vec![constituent(3, 1, 0), constituent(5, 0, 1)]);
         assert_eq!(a.key(), b.key());
     }
 

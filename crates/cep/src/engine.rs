@@ -1,0 +1,284 @@
+//! The sharded, batch-oriented CEP engine.
+//!
+//! The eSPICE prototype deliberately throttles itself to a single operator
+//! thread; this engine is the scale-out counterpart. It hash-partitions the
+//! window population by global window id across `N` independent [`Shard`]s —
+//! each with its own [`Operator`] and its own [`WindowEventDecider`] instance
+//! — and runs them on scoped threads over a shared event slice. Because
+//! window-open decisions depend only on the stream, every shard derives the
+//! same global window ids without coordination, and the merged output is
+//! *identical* (ids, constituents and order included) to a single unsharded
+//! operator run for any decider whose decisions are a pure function of
+//! `(window, position, event)` — with one caveat for time-based
+//! (variable-size) windows: each shard's window-size predictor only observes
+//! the windows it owns, so `WindowMeta::predicted_size` can drift between
+//! shard counts, and deciders that scale positions by the predicted size
+//! (eSPICE on time windows) may pick different events. Count-based windows,
+//! whose size is exact, carry no such drift.
+//!
+//! [`Operator`]: crate::Operator
+//! [`WindowEventDecider`]: crate::WindowEventDecider
+
+use crate::{ComplexEvent, KeepAll, OperatorStats, Query, Shard, WindowEventDecider};
+use espice_events::EventStream;
+
+/// Engine-level statistics: the per-shard operator counters plus their merged
+/// totals.
+///
+/// `merged.events_processed` counts each stream event **once** (every shard
+/// scans the whole stream, so naively summing would multiply the count by the
+/// shard count); all other counters are disjoint across shards and sum
+/// exactly to what a single unsharded operator would report.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Totals across all shards, comparable to a single operator's stats.
+    pub merged: OperatorStats,
+    /// The individual shard counters, indexed by shard.
+    pub per_shard: Vec<OperatorStats>,
+}
+
+/// A sharded CEP engine executing one [`Query`] across `N` worker shards.
+///
+/// # Example
+///
+/// ```
+/// use espice_cep::{ShardedEngine, Operator, Query, Pattern, WindowSpec, KeepAll};
+/// use espice_events::{Event, EventType, Timestamp, VecStream};
+///
+/// let a = EventType::from_index(0);
+/// let b = EventType::from_index(1);
+/// let query = Query::builder()
+///     .pattern(Pattern::sequence([a, b]))
+///     .window(WindowSpec::count_on_types(vec![a], 4))
+///     .build();
+/// let events: Vec<Event> = (0..16)
+///     .map(|i| Event::new(if i % 4 == 0 { a } else { b }, Timestamp::from_secs(i), i))
+///     .collect();
+/// let stream = VecStream::from_ordered(events);
+///
+/// let mut engine = ShardedEngine::new(query.clone(), 4);
+/// let sharded = engine.run_keep_all(&stream);
+/// let single = Operator::new(query).run(&stream, &mut KeepAll);
+/// assert_eq!(sharded, single);
+/// ```
+#[derive(Debug)]
+pub struct ShardedEngine {
+    shards: Vec<Shard>,
+    events_processed: u64,
+}
+
+impl ShardedEngine {
+    /// Creates an engine running `query` on `shard_count` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_count` is zero.
+    pub fn new(query: Query, shard_count: usize) -> Self {
+        assert!(shard_count >= 1, "the engine needs at least one shard");
+        let shards =
+            (0..shard_count).map(|index| Shard::new(query.clone(), index, shard_count)).collect();
+        ShardedEngine { shards, events_processed: 0 }
+    }
+
+    /// The number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The query the engine executes.
+    pub fn query(&self) -> &Query {
+        self.shards[0].operator().query()
+    }
+
+    /// Seeds every shard's window-size prediction, e.g. with the average
+    /// window size observed during model training.
+    pub fn set_window_size_hint(&mut self, hint: usize) {
+        for shard in &mut self.shards {
+            shard.set_window_size_hint(hint);
+        }
+    }
+
+    /// Runs the whole stream through all shards — on scoped threads when
+    /// there is more than one — with one decider per shard, and returns the
+    /// merged complex events in single-operator emission order.
+    ///
+    /// Each shard owns a disjoint subset of the windows, so `deciders[i]`
+    /// only ever sees the (event, window) pairs of shard `i`'s windows.
+    /// Deciders whose decisions are a pure function of `(window, position,
+    /// event)` (e.g. [`KeepAll`], a threshold-only eSPICE shedder on
+    /// count-based windows) therefore produce output identical to an
+    /// unsharded run. Two sources of divergence remain: deciders with
+    /// cross-window state (boundary thinning, random sampling) shed the same
+    /// *amount* but may pick different events, and on time-based windows
+    /// each shard's size predictor sees only its own closures, so
+    /// `predicted_size`-dependent decisions can drift between shard counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deciders.len()` differs from the shard count.
+    pub fn run<S, D>(&mut self, stream: &S, deciders: &mut [D]) -> Vec<ComplexEvent>
+    where
+        S: EventStream + ?Sized,
+        D: WindowEventDecider + Send,
+    {
+        assert_eq!(deciders.len(), self.shards.len(), "need exactly one decider per shard");
+        let events = stream.events();
+        self.events_processed += events.len() as u64;
+
+        let mut outputs: Vec<Vec<ComplexEvent>> = if self.shards.len() == 1 {
+            vec![self.shards[0].run_events(events, &mut deciders[0])]
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter_mut()
+                    .zip(deciders.iter_mut())
+                    .map(|(shard, decider)| scope.spawn(move || shard.run_events(events, decider)))
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("shard thread panicked")).collect()
+            })
+        };
+
+        // Windows close in id order (each window's matches are emitted
+        // contiguously when it closes), so a stable sort by window id
+        // restores the exact single-operator emission order.
+        let mut merged = Vec::with_capacity(outputs.iter().map(Vec::len).sum());
+        for output in &mut outputs {
+            merged.append(output);
+        }
+        merged.sort_by_key(ComplexEvent::window_id);
+        merged
+    }
+
+    /// [`run`](Self::run) with a keep-everything decider on every shard
+    /// (ground-truth runs and throughput benchmarks).
+    pub fn run_keep_all<S>(&mut self, stream: &S) -> Vec<ComplexEvent>
+    where
+        S: EventStream + ?Sized,
+    {
+        let mut deciders = vec![KeepAll; self.shards.len()];
+        self.run(stream, &mut deciders)
+    }
+
+    /// Engine statistics: per-shard counters plus merged totals.
+    pub fn stats(&self) -> EngineStats {
+        let per_shard: Vec<OperatorStats> = self.shards.iter().map(|s| s.stats().clone()).collect();
+        let mut merged = OperatorStats::default();
+        for stats in &per_shard {
+            merged.merge(stats);
+        }
+        merged.events_processed = self.events_processed;
+        EngineStats { merged, per_shard }
+    }
+
+    /// Resets all shards (open windows, counters) while keeping the query
+    /// and shard geometry.
+    pub fn reset(&mut self) {
+        for shard in &mut self.shards {
+            shard.reset();
+        }
+        self.events_processed = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Decision, Operator, Pattern, WindowMeta, WindowSpec};
+    use espice_events::{Event, EventType, Timestamp, VecStream};
+
+    fn ty(i: u32) -> EventType {
+        EventType::from_index(i)
+    }
+
+    fn keyed_stream(len: u64) -> VecStream {
+        VecStream::from_ordered(
+            (0..len).map(|i| Event::new(ty((i % 5) as u32), Timestamp::from_secs(i), i)).collect(),
+        )
+    }
+
+    fn query(window: usize) -> Query {
+        Query::builder()
+            .pattern(Pattern::sequence([ty(0), ty(1), ty(2)]))
+            .window(WindowSpec::count_on_types(vec![ty(0)], window))
+            .build()
+    }
+
+    #[test]
+    fn engine_output_matches_single_operator_for_all_shard_counts() {
+        let stream = keyed_stream(200);
+        let single = Operator::new(query(12)).run(&stream, &mut crate::KeepAll);
+        assert!(!single.is_empty());
+        for shards in [1, 2, 3, 4, 7] {
+            let mut engine = ShardedEngine::new(query(12), shards);
+            let merged = engine.run_keep_all(&stream);
+            assert_eq!(merged, single, "shard count {shards} diverged");
+        }
+    }
+
+    #[test]
+    fn engine_stats_merge_to_single_operator_totals() {
+        let stream = keyed_stream(150);
+        let mut single = Operator::new(query(10));
+        let _ = single.run(&stream, &mut crate::KeepAll);
+        let mut engine = ShardedEngine::new(query(10), 4);
+        let _ = engine.run_keep_all(&stream);
+        let stats = engine.stats();
+        assert_eq!(&stats.merged, single.stats());
+        assert_eq!(stats.per_shard.len(), 4);
+        let opened: u64 = stats.per_shard.iter().map(|s| s.windows_opened).sum();
+        assert_eq!(opened, single.stats().windows_opened);
+    }
+
+    /// A deterministic per-(window, position) decider: shard-invariant, so
+    /// the sharded run must equal the single-operator run even with drops.
+    #[derive(Debug, Clone, Copy)]
+    struct DropEveryThird;
+
+    impl WindowEventDecider for DropEveryThird {
+        fn decide(&mut self, _meta: &WindowMeta, position: usize, _event: &Event) -> Decision {
+            if position % 3 == 2 {
+                Decision::Drop
+            } else {
+                Decision::Keep
+            }
+        }
+    }
+
+    #[test]
+    fn engine_matches_single_operator_under_stateless_shedding() {
+        let stream = keyed_stream(200);
+        let single = Operator::new(query(12)).run(&stream, &mut DropEveryThird);
+        let mut engine = ShardedEngine::new(query(12), 4);
+        let mut deciders = vec![DropEveryThird; 4];
+        let merged = engine.run(&stream, &mut deciders);
+        assert_eq!(merged, single);
+        assert!(engine.stats().merged.dropped > 0);
+    }
+
+    #[test]
+    fn reset_makes_runs_repeatable() {
+        let stream = keyed_stream(100);
+        let mut engine = ShardedEngine::new(query(8), 3);
+        let first = engine.run_keep_all(&stream);
+        let first_stats = engine.stats();
+        engine.reset();
+        let second = engine.run_keep_all(&stream);
+        assert_eq!(first, second);
+        assert_eq!(first_stats, engine.stats());
+    }
+
+    #[test]
+    #[should_panic(expected = "one decider per shard")]
+    fn mismatched_decider_count_panics() {
+        let mut engine = ShardedEngine::new(query(8), 2);
+        let mut deciders = vec![crate::KeepAll];
+        let _ = engine.run(&keyed_stream(10), &mut deciders);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = ShardedEngine::new(query(8), 0);
+    }
+}

@@ -20,7 +20,18 @@
 //! Load shedding integrates through the [`WindowEventDecider`] hook: for every
 //! event of every window the operator asks the decider whether to keep the
 //! event *in that window* before it is buffered, exactly where eSPICE's load
-//! shedder sits in Figure 1 of the paper.
+//! shedder sits in Figure 1 of the paper. On the hot path the operator calls
+//! the batched [`WindowEventDecider::decide_batch`] form — one call per event
+//! covering all windows it belongs to — so shedders can amortise their
+//! lookups; the default implementation delegates to `decide` per pair.
+//!
+//! Beyond the paper's single-threaded prototype, the crate provides a
+//! [`ShardedEngine`] that hash-partitions the window population by global
+//! window id across N independent [`Operator`] shards (each [`Shard`] with
+//! its own decider instance) and merges outputs and statistics back into
+//! single-operator form — byte-identical output for stateless-per-window
+//! deciders on count-based windows (see [`ShardedEngine`] for the
+//! time-window caveat).
 //!
 //! # Example
 //!
@@ -51,6 +62,7 @@
 #![warn(missing_debug_implementations)]
 
 mod complex;
+mod engine;
 mod matcher;
 mod operator;
 mod pattern;
@@ -58,22 +70,26 @@ mod predicate;
 #[cfg(test)]
 mod proptests;
 mod query;
+mod shard;
 mod shedding;
 mod window;
 
 pub use complex::{ComplexEvent, Constituent};
+pub use engine::{EngineStats, ShardedEngine};
 pub use matcher::{MatchOutcome, Matcher, WindowEntry};
 pub use operator::{Operator, OperatorStats};
 pub use pattern::{Pattern, PatternStep};
 pub use predicate::{CmpOp, Predicate};
 pub use query::{ConsumptionPolicy, Query, QueryBuilder, SelectionPolicy, SkipPolicy};
-pub use shedding::{Decision, KeepAll, WindowEventDecider};
+pub use shard::Shard;
+pub use shedding::{BatchRequest, Decision, KeepAll, WindowEventDecider};
 pub use window::{OpenPolicy, SizePredictor, WindowExtent, WindowId, WindowMeta, WindowSpec};
 
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
     pub use crate::{
-        ComplexEvent, ConsumptionPolicy, Decision, KeepAll, Operator, Pattern, PatternStep,
-        Predicate, Query, SelectionPolicy, WindowEventDecider, WindowMeta, WindowSpec,
+        BatchRequest, ComplexEvent, ConsumptionPolicy, Decision, KeepAll, Operator, Pattern,
+        PatternStep, Predicate, Query, SelectionPolicy, ShardedEngine, WindowEventDecider,
+        WindowMeta, WindowSpec,
     };
 }

@@ -7,7 +7,7 @@
 //! of complex events per window.
 
 use crate::{
-    ComplexEvent, ConsumptionPolicy, Constituent, Pattern, PatternStep, Query, SelectionPolicy,
+    ComplexEvent, Constituent, ConsumptionPolicy, Pattern, PatternStep, Query, SelectionPolicy,
     SkipPolicy, WindowId,
 };
 use espice_events::{Event, EventType, Timestamp};
@@ -237,10 +237,18 @@ mod tests {
     }
 
     fn entry(t: u32, pos: usize, seq: u64) -> WindowEntry {
-        WindowEntry { position: pos, event: Event::new(ty(t), Timestamp::from_secs(pos as u64), seq) }
+        WindowEntry {
+            position: pos,
+            event: Event::new(ty(t), Timestamp::from_secs(pos as u64), seq),
+        }
     }
 
-    fn matcher(pattern: Pattern, selection: SelectionPolicy, consumption: ConsumptionPolicy, max: usize) -> Matcher {
+    fn matcher(
+        pattern: Pattern,
+        selection: SelectionPolicy,
+        consumption: ConsumptionPolicy,
+        max: usize,
+    ) -> Matcher {
         let query = Query::builder()
             .pattern(pattern)
             .window(WindowSpec::count_sliding(100, 100))
@@ -288,11 +296,8 @@ mod tests {
         // Latest A (A2, seq 2) with latest B (B4, seq 4).
         assert_eq!(outcome.complex_events[0].key(), (0, vec![2, 4]));
         // Constituents are reported in pattern order (A before B).
-        let types: Vec<_> = outcome.complex_events[0]
-            .constituents()
-            .iter()
-            .map(|c| c.event_type.index())
-            .collect();
+        let types: Vec<_> =
+            outcome.complex_events[0].constituents().iter().map(|c| c.event_type.index()).collect();
         assert_eq!(types, vec![0, 1]);
     }
 

@@ -6,11 +6,11 @@
 //! window closes, the pattern matcher runs over the kept events and emits
 //! complex events.
 
-use crate::{
-    ComplexEvent, Matcher, OpenPolicy, Query, WindowEntry, WindowEventDecider, WindowId,
-    WindowMeta, WindowSpec,
-};
 use crate::window::SizePredictor;
+use crate::{
+    BatchRequest, ComplexEvent, Decision, Matcher, OpenPolicy, Query, WindowEntry,
+    WindowEventDecider, WindowId, WindowMeta, WindowSpec,
+};
 use espice_events::{Event, EventStream, Timestamp};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -42,6 +42,18 @@ impl OperatorStats {
         } else {
             self.dropped as f64 / self.assignments as f64
         }
+    }
+
+    /// Adds every counter of `other` into `self`. Used by the sharded engine
+    /// to merge per-shard statistics into engine-level totals.
+    pub fn merge(&mut self, other: &OperatorStats) {
+        self.events_processed += other.events_processed;
+        self.windows_opened += other.windows_opened;
+        self.windows_closed += other.windows_closed;
+        self.assignments += other.assignments;
+        self.kept += other.kept;
+        self.dropped += other.dropped;
+        self.complex_events += other.complex_events;
     }
 }
 
@@ -82,28 +94,63 @@ pub struct Operator {
     query: Query,
     matcher: Matcher,
     open: VecDeque<OpenWindow>,
+    /// The *global* window counter: it advances for every window the stream
+    /// opens, whether or not this operator owns it, so window ids are
+    /// identical across shard counts.
     next_window_id: WindowId,
+    /// Which windows this operator materialises: ids congruent to
+    /// `shard_index` modulo `shard_count`. An unsharded operator is shard 0
+    /// of 1 and owns everything.
+    shard_index: u64,
+    shard_count: u64,
     /// Events seen since the last count-slide window was opened.
     since_count_open: usize,
     /// Stream time of the last time-slide window opening.
     last_time_open: Option<Timestamp>,
     size_predictor: SizePredictor,
     stats: OperatorStats,
+    /// Reusable buffers for the batched shedding call in `push`.
+    batch_requests: Vec<BatchRequest>,
+    batch_decisions: Vec<Decision>,
 }
 
 impl Operator {
     /// Creates an operator for `query`.
     pub fn new(query: Query) -> Self {
+        Self::sharded(query, 0, 1)
+    }
+
+    /// Creates the shard `shard_index` of `shard_count` cooperating operators
+    /// for `query`.
+    ///
+    /// A sharded operator consumes the *full* event stream but materialises
+    /// only the windows whose (global) id is congruent to `shard_index`
+    /// modulo `shard_count`. Window-open decisions depend only on the stream
+    /// itself, so every shard advances the same global window counter and the
+    /// union of all shards' windows — ids included — is exactly the window
+    /// set a single unsharded operator produces. [`Operator::new`] is shard
+    /// 0 of 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_count` is zero or `shard_index` is out of range.
+    pub fn sharded(query: Query, shard_index: usize, shard_count: usize) -> Self {
+        assert!(shard_count >= 1, "shard count must be at least 1");
+        assert!(shard_index < shard_count, "shard index {shard_index} out of {shard_count}");
         let matcher = Matcher::from_query(&query);
         let initial_size = query.window().expected_size().unwrap_or(100);
         Operator {
             matcher,
             open: VecDeque::new(),
             next_window_id: 0,
+            shard_index: shard_index as u64,
+            shard_count: shard_count as u64,
             since_count_open: 0,
             last_time_open: None,
             size_predictor: SizePredictor::new(initial_size.max(1), 0.25),
             stats: OperatorStats::default(),
+            batch_requests: Vec::new(),
+            batch_decisions: Vec::new(),
             query,
         }
     }
@@ -111,6 +158,16 @@ impl Operator {
     /// The operator's query.
     pub fn query(&self) -> &Query {
         &self.query
+    }
+
+    /// This operator's shard index (0 for an unsharded operator).
+    pub fn shard_index(&self) -> usize {
+        self.shard_index as usize
+    }
+
+    /// The total number of cooperating shards (1 for an unsharded operator).
+    pub fn shard_count(&self) -> usize {
+        self.shard_count as usize
     }
 
     /// Seeds the window-size prediction for time-based (variable size)
@@ -165,35 +222,54 @@ impl Operator {
         }
         self.open = still_open;
 
-        // 2. Possibly open a new window at this event.
+        // 2. Possibly open a new window at this event. The global window
+        //    counter advances for every opened window; the window is only
+        //    materialised when this shard owns its id.
         if self.should_open(&spec, event) {
-            let meta = WindowMeta {
-                id: self.next_window_id,
-                opened_at: event.timestamp(),
-                open_seq: event.seq(),
-                predicted_size: self.predicted_window_size(),
-            };
+            let id = self.next_window_id;
             self.next_window_id += 1;
-            self.stats.windows_opened += 1;
-            self.open.push_back(OpenWindow { meta, entries: Vec::new(), assigned: 0 });
+            if id % self.shard_count == self.shard_index {
+                let meta = WindowMeta {
+                    id,
+                    opened_at: event.timestamp(),
+                    open_seq: event.seq(),
+                    predicted_size: self.predicted_window_size(),
+                };
+                self.stats.windows_opened += 1;
+                self.open.push_back(OpenWindow { meta, entries: Vec::new(), assigned: 0 });
+            }
         }
 
-        // 3. Assign the event to every open window, asking the decider.
+        // 3. Assign the event to every open window, asking the decider for
+        //    the whole batch of (event, window) pairs at once so it can
+        //    amortise per-event lookups across overlapping windows.
         let mut filled = Vec::new();
-        for (idx, window) in self.open.iter_mut().enumerate() {
-            let position = window.assigned;
-            window.assigned += 1;
-            self.stats.assignments += 1;
-            let keep = decider.decide(&window.meta, position, event).is_keep();
-            if keep {
-                self.stats.kept += 1;
-                window.entries.push(WindowEntry { position, event: event.clone() });
-            } else {
-                self.stats.dropped += 1;
+        if !self.open.is_empty() {
+            self.batch_requests.clear();
+            for window in self.open.iter_mut() {
+                let position = window.assigned;
+                window.assigned += 1;
+                self.batch_requests.push(BatchRequest { meta: window.meta, position });
             }
-            if !spec.accepts(window.meta.opened_at, window.assigned, event) {
-                // Count-based window reached its size.
-                filled.push(idx);
+            self.stats.assignments += self.batch_requests.len() as u64;
+            decider.decide_batch(event, &self.batch_requests, &mut self.batch_decisions);
+            assert_eq!(
+                self.batch_decisions.len(),
+                self.batch_requests.len(),
+                "decide_batch must produce exactly one decision per request"
+            );
+            for (idx, window) in self.open.iter_mut().enumerate() {
+                let position = self.batch_requests[idx].position;
+                if self.batch_decisions[idx].is_keep() {
+                    self.stats.kept += 1;
+                    window.entries.push(WindowEntry { position, event: event.clone() });
+                } else {
+                    self.stats.dropped += 1;
+                }
+                if !spec.accepts(window.meta.opened_at, window.assigned, event) {
+                    // Count-based window reached its size.
+                    filled.push(idx);
+                }
             }
         }
 
@@ -298,10 +374,7 @@ mod tests {
     }
 
     fn seq_query(window: WindowSpec) -> Query {
-        Query::builder()
-            .pattern(Pattern::sequence([ty(0), ty(1)]))
-            .window(window)
-            .build()
+        Query::builder().pattern(Pattern::sequence([ty(0), ty(1)])).window(window).build()
     }
 
     #[test]
@@ -352,8 +425,7 @@ mod tests {
     #[test]
     fn count_sliding_windows_open_every_slide() {
         let query = seq_query(WindowSpec::count_sliding(4, 2));
-        let events: Vec<Event> =
-            (0..8).map(|i| ev(if i % 2 == 0 { 0 } else { 1 }, i, i)).collect();
+        let events: Vec<Event> = (0..8).map(|i| ev(if i % 2 == 0 { 0 } else { 1 }, i, i)).collect();
         let mut op = Operator::new(query);
         let matches = op.run(&VecStream::from_ordered(events), &mut KeepAll);
         assert_eq!(op.stats().windows_opened, 4);
@@ -463,6 +535,100 @@ mod tests {
         // Re-running after reset produces the same results.
         let matches = op.run(&stream, &mut KeepAll);
         assert_eq!(matches.len(), 1);
+    }
+
+    #[test]
+    fn sharded_operators_partition_windows_by_global_id() {
+        let events: Vec<Event> =
+            (0..24).map(|i| ev(if i % 3 == 0 { 0 } else { 1 }, i, i)).collect();
+        let stream = VecStream::from_ordered(events);
+        let query = seq_query(WindowSpec::count_on_types(vec![ty(0)], 4));
+
+        let mut single = Operator::new(query.clone());
+        let expected = single.run(&stream, &mut KeepAll);
+
+        let mut merged = Vec::new();
+        let mut opened = 0;
+        let mut assignments = 0;
+        for index in 0..3 {
+            let mut shard = Operator::sharded(query.clone(), index, 3);
+            let out = shard.run(&stream, &mut KeepAll);
+            // Every materialised window id belongs to this shard.
+            assert!(out.iter().all(|c| c.window_id() % 3 == index as u64));
+            merged.extend(out);
+            opened += shard.stats().windows_opened;
+            assignments += shard.stats().assignments;
+            // Every shard sees the whole stream.
+            assert_eq!(shard.stats().events_processed, stream.len() as u64);
+        }
+        merged.sort_by_key(|c| c.window_id());
+        assert_eq!(merged, expected);
+        assert_eq!(opened, single.stats().windows_opened);
+        assert_eq!(assignments, single.stats().assignments);
+    }
+
+    #[test]
+    fn sharded_operator_rejects_bad_shard_geometry() {
+        let query = seq_query(WindowSpec::count_sliding(4, 2));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = Operator::sharded(query.clone(), 2, 2);
+        }));
+        assert!(result.is_err());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = Operator::sharded(query, 0, 0);
+        }));
+        assert!(result.is_err());
+    }
+
+    /// A decider that drops everything via an overridden `decide_batch`, to
+    /// verify the operator honours batched decisions in its bookkeeping.
+    #[derive(Debug)]
+    struct BatchDropAll;
+
+    impl WindowEventDecider for BatchDropAll {
+        fn decide(&mut self, _meta: &WindowMeta, _position: usize, _event: &Event) -> Decision {
+            unreachable!("operator must use decide_batch");
+        }
+
+        fn decide_batch(
+            &mut self,
+            _event: &Event,
+            requests: &[crate::BatchRequest],
+            decisions: &mut Vec<Decision>,
+        ) {
+            decisions.clear();
+            decisions.resize(requests.len(), Decision::Drop);
+        }
+    }
+
+    #[test]
+    fn operator_routes_decisions_through_decide_batch() {
+        let query = seq_query(WindowSpec::count_on_types(vec![ty(0)], 3));
+        let stream = VecStream::from_ordered(vec![ev(0, 0, 0), ev(1, 1, 1), ev(2, 2, 2)]);
+        let mut op = Operator::new(query);
+        let matches = op.run(&stream, &mut BatchDropAll);
+        assert!(matches.is_empty());
+        assert_eq!(op.stats().dropped, op.stats().assignments);
+        assert_eq!(op.stats().kept, 0);
+    }
+
+    #[test]
+    fn operator_stats_merge_sums_counters() {
+        let a = OperatorStats {
+            events_processed: 1,
+            windows_opened: 2,
+            windows_closed: 3,
+            assignments: 4,
+            kept: 3,
+            dropped: 1,
+            complex_events: 5,
+        };
+        let mut b = a.clone();
+        b.merge(&a);
+        assert_eq!(b.assignments, 8);
+        assert_eq!(b.kept, 6);
+        assert_eq!(b.dropped, 2);
+        assert_eq!(b.complex_events, 10);
     }
 
     #[test]

@@ -225,8 +225,11 @@ mod tests {
 
     #[test]
     fn predicate_restricts_admission() {
-        let step = PatternStep::single(ty(0))
-            .with_predicate(Predicate::attr_cmp("change", CmpOp::Gt, 0.0));
+        let step = PatternStep::single(ty(0)).with_predicate(Predicate::attr_cmp(
+            "change",
+            CmpOp::Gt,
+            0.0,
+        ));
         let rising = Event::builder(ty(0), Timestamp::ZERO)
             .attr("change", AttributeValue::from(1.0))
             .build();

@@ -69,9 +69,10 @@ impl fmt::Display for CmpOp {
 ///     .build();
 /// assert!(rising.eval(&event));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub enum Predicate {
     /// Always true (useful as a neutral element).
+    #[default]
     True,
     /// Numeric comparison against a named attribute. Evaluates to `false` if
     /// the attribute is missing or not numeric.
@@ -141,22 +142,16 @@ impl Predicate {
         match self {
             Predicate::True => true,
             Predicate::AttrCmp { attr, op, value } => {
-                event.attrs().get_f64(attr).map_or(false, |lhs| op.eval(lhs, *value))
+                event.attrs().get_f64(attr).is_some_and(|lhs| op.eval(lhs, *value))
             }
             Predicate::AttrEqText { attr, value } => {
-                event.attrs().get_str(attr).map_or(false, |lhs| lhs == value)
+                event.attrs().get_str(attr).is_some_and(|lhs| lhs == value)
             }
             Predicate::AttrIsTrue { attr } => event.attrs().get_bool(attr).unwrap_or(false),
             Predicate::And(a, b) => a.eval(event) && b.eval(event),
             Predicate::Or(a, b) => a.eval(event) || b.eval(event),
             Predicate::Not(inner) => !inner.eval(event),
         }
-    }
-}
-
-impl Default for Predicate {
-    fn default() -> Self {
-        Predicate::True
     }
 }
 

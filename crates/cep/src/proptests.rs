@@ -1,8 +1,8 @@
 //! Property-based tests of the windowing and matching invariants.
 
 use crate::{
-    KeepAll, Matcher, Operator, Pattern, PatternStep, Query, SelectionPolicy, SkipPolicy,
-    WindowEntry, WindowSpec,
+    KeepAll, Matcher, Operator, Pattern, PatternStep, Query, SelectionPolicy, ShardedEngine,
+    SkipPolicy, WindowEntry, WindowSpec,
 };
 use espice_events::{Event, EventType, Timestamp, VecStream};
 use proptest::prelude::*;
@@ -17,7 +17,11 @@ fn entries_from(types: &[u32]) -> Vec<WindowEntry> {
         .enumerate()
         .map(|(pos, &ty)| WindowEntry {
             position: pos,
-            event: Event::new(EventType::from_index(ty), Timestamp::from_secs(pos as u64), pos as u64),
+            event: Event::new(
+                EventType::from_index(ty),
+                Timestamp::from_secs(pos as u64),
+                pos as u64,
+            ),
         })
         .collect()
 }
@@ -111,6 +115,63 @@ proptest! {
             let _ = operator.push(e, &mut recorder);
         }
         prop_assert!(recorder.0.iter().all(|&s| s == size), "window sizes {:?}", recorder.0);
+    }
+
+    /// For any keyed stream and shard count N ∈ {1, 2, 4}, the sharded
+    /// engine emits exactly the complex events of a single operator — same
+    /// window ids, constituents and order — and its merged statistics equal
+    /// the single-operator statistics.
+    #[test]
+    fn sharded_engine_equals_single_operator(
+        types in type_sequence(150),
+        window_size in 2usize..16,
+        open_type in 0u32..3,
+    ) {
+        let query = Query::builder()
+            .pattern(Pattern::sequence([EventType::from_index(0), EventType::from_index(1)]))
+            .window(WindowSpec::count_on_types(vec![EventType::from_index(open_type)], window_size))
+            .build();
+        let events: Vec<Event> = types
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| Event::new(EventType::from_index(t), Timestamp::from_secs(i as u64), i as u64))
+            .collect();
+        let stream = VecStream::from_ordered(events);
+        let mut single = Operator::new(query.clone());
+        let expected = single.run(&stream, &mut KeepAll);
+        for shards in [1usize, 2, 4] {
+            let mut engine = ShardedEngine::new(query.clone(), shards);
+            let merged = engine.run_keep_all(&stream);
+            prop_assert_eq!(&merged, &expected, "complex events diverged at {} shards", shards);
+            let stats = engine.stats();
+            prop_assert_eq!(&stats.merged, single.stats(), "stats diverged at {} shards", shards);
+        }
+    }
+
+    /// Count-sliding windows shard just as losslessly as type-opened ones.
+    #[test]
+    fn sharded_engine_equals_single_operator_on_sliding_windows(
+        types in type_sequence(120),
+        size in 3usize..12,
+        slide in 1usize..6,
+    ) {
+        let query = Query::builder()
+            .pattern(Pattern::sequence([EventType::from_index(0), EventType::from_index(1)]))
+            .window(WindowSpec::count_sliding(size, slide))
+            .build();
+        let events: Vec<Event> = types
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| Event::new(EventType::from_index(t), Timestamp::from_secs(i as u64), i as u64))
+            .collect();
+        let stream = VecStream::from_ordered(events);
+        let mut single = Operator::new(query.clone());
+        let expected = single.run(&stream, &mut KeepAll);
+        for shards in [2usize, 4] {
+            let mut engine = ShardedEngine::new(query.clone(), shards);
+            prop_assert_eq!(engine.run_keep_all(&stream), expected.clone());
+            prop_assert_eq!(&engine.stats().merged, single.stats());
+        }
     }
 
     /// Running the operator twice over the same stream produces identical

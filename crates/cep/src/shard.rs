@@ -1,0 +1,137 @@
+//! One shard of the [`ShardedEngine`]: an operator restricted to the windows
+//! it owns, plus the glue to drive it over a shared event slice.
+//!
+//! Sharding exploits the same property gSPICE and He et al. rely on for
+//! per-operator shedding state: windows are processed independently, so the
+//! window population can be hash-partitioned across workers without any
+//! cross-worker coordination. A shard consumes the *full* event stream (an
+//! event can belong to windows of several shards) but materialises, sheds and
+//! matches only the windows whose global id it owns.
+//!
+//! [`ShardedEngine`]: crate::ShardedEngine
+
+use crate::{ComplexEvent, Operator, OperatorStats, Query, WindowEventDecider};
+use espice_events::Event;
+
+/// A single worker of the sharded engine.
+///
+/// # Example
+///
+/// ```
+/// use espice_cep::{Shard, Query, Pattern, WindowSpec, KeepAll};
+/// use espice_events::{Event, EventType, Timestamp};
+///
+/// let a = EventType::from_index(0);
+/// let b = EventType::from_index(1);
+/// let query = Query::builder()
+///     .pattern(Pattern::sequence([a, b]))
+///     .window(WindowSpec::count_on_types(vec![a], 2))
+///     .build();
+/// let events = vec![
+///     Event::new(a, Timestamp::from_secs(0), 0),
+///     Event::new(b, Timestamp::from_secs(1), 1),
+/// ];
+/// // Shard 0 of 2 owns window 0 (the only window this stream opens).
+/// let mut shard = Shard::new(query, 0, 2);
+/// let complex = shard.run_events(&events, &mut KeepAll);
+/// assert_eq!(complex.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Shard {
+    operator: Operator,
+}
+
+impl Shard {
+    /// Creates shard `index` of `count` for `query`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero or `index` is out of range.
+    pub fn new(query: Query, index: usize, count: usize) -> Self {
+        Shard { operator: Operator::sharded(query, index, count) }
+    }
+
+    /// This shard's index within the engine.
+    pub fn index(&self) -> usize {
+        self.operator.shard_index()
+    }
+
+    /// The underlying operator.
+    pub fn operator(&self) -> &Operator {
+        &self.operator
+    }
+
+    /// Counters of this shard's operator.
+    pub fn stats(&self) -> &OperatorStats {
+        self.operator.stats()
+    }
+
+    /// Seeds the operator's window-size prediction (relevant for time-based,
+    /// variable-size windows).
+    pub fn set_window_size_hint(&mut self, hint: usize) {
+        self.operator.set_window_size_hint(hint);
+    }
+
+    /// Drives the full event slice through this shard and flushes at the end,
+    /// returning the complex events of the windows the shard owns.
+    pub fn run_events<D: WindowEventDecider + ?Sized>(
+        &mut self,
+        events: &[Event],
+        decider: &mut D,
+    ) -> Vec<ComplexEvent> {
+        let mut out = Vec::new();
+        for event in events {
+            out.extend(self.operator.push(event, decider));
+        }
+        out.extend(self.operator.flush(decider));
+        out
+    }
+
+    /// Resets the shard's run state while keeping query and shard geometry.
+    pub fn reset(&mut self) {
+        self.operator.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{KeepAll, Pattern, WindowSpec};
+    use espice_events::{EventType, Timestamp};
+
+    fn ty(i: u32) -> EventType {
+        EventType::from_index(i)
+    }
+
+    fn ev(t: u32, secs: u64, seq: u64) -> Event {
+        Event::new(ty(t), Timestamp::from_secs(secs), seq)
+    }
+
+    fn query() -> Query {
+        Query::builder()
+            .pattern(Pattern::sequence([ty(0), ty(1)]))
+            .window(WindowSpec::count_on_types(vec![ty(0)], 3))
+            .build()
+    }
+
+    #[test]
+    fn shard_owns_only_congruent_window_ids() {
+        // Three windows open (events 0, 3, 6); shard 1 of 3 owns window 1.
+        let events: Vec<Event> = (0..9).map(|i| ev(if i % 3 == 0 { 0 } else { 1 }, i, i)).collect();
+        let mut shard = Shard::new(query(), 1, 3);
+        let complex = shard.run_events(&events, &mut KeepAll);
+        assert_eq!(shard.index(), 1);
+        assert_eq!(shard.stats().windows_opened, 1);
+        assert!(complex.iter().all(|c| c.window_id() == 1));
+    }
+
+    #[test]
+    fn reset_allows_rerunning_the_same_shard() {
+        let events: Vec<Event> = (0..9).map(|i| ev(if i % 3 == 0 { 0 } else { 1 }, i, i)).collect();
+        let mut shard = Shard::new(query(), 0, 2);
+        let first = shard.run_events(&events, &mut KeepAll);
+        shard.reset();
+        let second = shard.run_events(&events, &mut KeepAll);
+        assert_eq!(first, second);
+    }
+}

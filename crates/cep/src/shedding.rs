@@ -29,6 +29,21 @@ impl Decision {
     }
 }
 
+/// One (event, window) assignment within a batched shedding request.
+///
+/// A batch always concerns a *single* incoming event assigned to several open
+/// windows at once, so the event itself is passed separately to
+/// [`WindowEventDecider::decide_batch`] and each request only carries the
+/// per-window part: the window metadata and the event's arrival position in
+/// that window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchRequest {
+    /// Metadata of the window the event is being assigned to.
+    pub meta: WindowMeta,
+    /// 0-based arrival position of the event within that window.
+    pub position: usize,
+}
+
 /// Per-(event, window) shedding decision callback.
 ///
 /// Implementations must be cheap: the operator calls [`decide`] once for every
@@ -45,6 +60,32 @@ pub trait WindowEventDecider {
     /// Decides whether to keep `event` at `position` of the window described
     /// by `meta`.
     fn decide(&mut self, meta: &WindowMeta, position: usize, event: &Event) -> Decision;
+
+    /// Decides a whole batch of (event, window) assignments for one incoming
+    /// `event` at once, writing one decision per request into `decisions`
+    /// (cleared first, same order as `requests`).
+    ///
+    /// The operator calls this instead of [`decide`] on its hot path so
+    /// stateful shedders can amortise per-event work (utility-row and
+    /// threshold lookups) over all windows the event belongs to. The default
+    /// implementation delegates to [`decide`] per request, so existing
+    /// deciders keep working unchanged; overrides must produce exactly the
+    /// decisions the sequential delegation would, in the same order, because
+    /// the two paths are interchangeable.
+    ///
+    /// [`decide`]: WindowEventDecider::decide
+    fn decide_batch(
+        &mut self,
+        event: &Event,
+        requests: &[BatchRequest],
+        decisions: &mut Vec<Decision>,
+    ) {
+        decisions.clear();
+        decisions.reserve(requests.len());
+        for request in requests {
+            decisions.push(self.decide(&request.meta, request.position, event));
+        }
+    }
 
     /// Notifies the decider that a window has closed with `size` events
     /// assigned to it in total. Default: no-op. eSPICE uses this to update its
@@ -70,6 +111,15 @@ impl WindowEventDecider for KeepAll {
 impl<D: WindowEventDecider + ?Sized> WindowEventDecider for &mut D {
     fn decide(&mut self, meta: &WindowMeta, position: usize, event: &Event) -> Decision {
         (**self).decide(meta, position, event)
+    }
+
+    fn decide_batch(
+        &mut self,
+        event: &Event,
+        requests: &[BatchRequest],
+        decisions: &mut Vec<Decision>,
+    ) {
+        (**self).decide_batch(event, requests, decisions);
     }
 
     fn window_closed(&mut self, meta: &WindowMeta, size: usize) {
@@ -99,6 +149,38 @@ mod tests {
     fn decision_is_keep() {
         assert!(Decision::Keep.is_keep());
         assert!(!Decision::Drop.is_keep());
+    }
+
+    /// A decider that drops every odd position; used to check the default
+    /// batch implementation delegates per request in order.
+    #[derive(Debug)]
+    struct DropOdd;
+
+    impl WindowEventDecider for DropOdd {
+        fn decide(&mut self, _meta: &WindowMeta, position: usize, _event: &Event) -> Decision {
+            if position % 2 == 1 {
+                Decision::Drop
+            } else {
+                Decision::Keep
+            }
+        }
+    }
+
+    #[test]
+    fn decide_batch_default_delegates_per_request() {
+        let mut d = DropOdd;
+        let e = Event::new(EventType::from_index(0), Timestamp::ZERO, 0);
+        let requests: Vec<BatchRequest> =
+            (0..5).map(|position| BatchRequest { meta: meta(), position }).collect();
+        let mut decisions = vec![Decision::Drop; 9]; // stale content must be cleared
+        d.decide_batch(&e, &requests, &mut decisions);
+        assert_eq!(
+            decisions,
+            vec![Decision::Keep, Decision::Drop, Decision::Keep, Decision::Drop, Decision::Keep]
+        );
+        let mut empty = Vec::new();
+        d.decide_batch(&e, &[], &mut empty);
+        assert!(empty.is_empty());
     }
 
     #[test]

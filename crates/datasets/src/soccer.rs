@@ -86,11 +86,9 @@ impl SoccerConfig {
         assert!(self.sensors_per_player >= 1, "need at least one sensor per player");
         assert!(self.possession_seconds >= 1, "possession must last at least one second");
         assert!(self.duration_seconds >= 10, "stream must cover at least 10 seconds");
-        for p in [
-            self.possession_probability,
-            self.defend_compliance,
-            self.spurious_defend_probability,
-        ] {
+        for p in
+            [self.possession_probability, self.defend_compliance, self.spurious_defend_probability]
+        {
             assert!((0.0..=1.0).contains(&p), "probabilities must be in [0, 1]");
         }
         assert!(self.defend_distance > 0.0, "defend distance must be positive");
@@ -185,10 +183,8 @@ impl SoccerDataset {
             (0..total_players).map(|i| registry.intern(&format!("DF_P{i:02}"))).collect();
         // Striker 0 is player 0 (team A), striker 1 is player n (team B).
         let striker_ids = [0usize, n];
-        let striker_events: Vec<EventType> = striker_ids
-            .iter()
-            .map(|&i| registry.intern(&format!("STR_P{i:02}")))
-            .collect();
+        let striker_events: Vec<EventType> =
+            striker_ids.iter().map(|&i| registry.intern(&format!("STR_P{i:02}"))).collect();
 
         // Marking defenders: for the team-A striker they are the first
         // `marking_defenders` players of team B (excluding B's striker) and
@@ -205,7 +201,8 @@ impl SoccerDataset {
         // Object state: players, referees, ball.
         let mut players: Vec<Object> = (0..total_players)
             .map(|i| {
-                let home_x = if i < n { rng.gen_range(10.0..50.0) } else { rng.gen_range(55.0..95.0) };
+                let home_x =
+                    if i < n { rng.gen_range(10.0..50.0) } else { rng.gen_range(55.0..95.0) };
                 let home_y = rng.gen_range(5.0..63.0);
                 Object { x: home_x, y: home_y, home_x, home_y }
             })
@@ -226,7 +223,11 @@ impl SoccerDataset {
 
         let mut events: Vec<Event> = Vec::new();
         let mut seq = 0u64;
-        let push = |events: &mut Vec<Event>, seq: &mut u64, ty: EventType, ts: Timestamp, attrs: Vec<(&str, AttributeValue)>| {
+        let push = |events: &mut Vec<Event>,
+                    seq: &mut u64,
+                    ty: EventType,
+                    ts: Timestamp,
+                    attrs: Vec<(&str, AttributeValue)>| {
             let mut builder = Event::builder(ty, ts).seq(*seq);
             for (k, v) in attrs {
                 builder = builder.attr(k, v);
@@ -277,7 +278,8 @@ impl SoccerDataset {
             }
 
             // Move objects.
-            let possession_target = possession.map(|(striker, _)| (players[striker].x, players[striker].y));
+            let possession_target =
+                possession.map(|(striker, _)| (players[striker].x, players[striker].y));
             for (i, player) in players.iter_mut().enumerate() {
                 let target = if converging.contains(&i) && possession.is_some() {
                     possession_target
@@ -349,7 +351,10 @@ impl SoccerDataset {
                             defender_events[i],
                             Timestamp::from_micros(second * 1_000_000 + 990_000),
                             vec![
-                                ("distance", AttributeValue::from(player.distance_to(&striker_obj))),
+                                (
+                                    "distance",
+                                    AttributeValue::from(player.distance_to(&striker_obj)),
+                                ),
                                 ("player", AttributeValue::from(i as i64)),
                             ],
                         );
@@ -518,7 +523,7 @@ mod tests {
         // Default config: (2*11 + 3 + 1) objects * 2 sensors = 52 events/s,
         // so a 15 s window holds ≈ 780 events (paper: ≈ 700).
         let rate = SoccerConfig::default().approx_rate();
-        assert!(rate >= 45.0 && rate <= 60.0);
+        assert!((45.0..=60.0).contains(&rate));
     }
 
     #[test]

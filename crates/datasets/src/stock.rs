@@ -130,9 +130,8 @@ impl StockDataset {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut registry = TypeRegistry::new();
 
-        let symbols: Vec<EventType> = (0..config.num_symbols)
-            .map(|i| registry.intern(&format!("S{i:03}")))
-            .collect();
+        let symbols: Vec<EventType> =
+            (0..config.num_symbols).map(|i| registry.intern(&format!("S{i:03}"))).collect();
 
         // Leaders come first, then contiguous blocks of followers. Follower
         // blocks do not overlap so cascades of different leaders are
@@ -152,7 +151,8 @@ impl StockDataset {
 
         // Price state and pending cascade directions per symbol: a queue of
         // forced directions for the next quotes.
-        let mut prices: Vec<f64> = (0..config.num_symbols).map(|_| rng.gen_range(20.0..200.0)).collect();
+        let mut prices: Vec<f64> =
+            (0..config.num_symbols).map(|_| rng.gen_range(20.0..200.0)).collect();
         let mut forced: Vec<Vec<f64>> = vec![Vec::new(); config.num_symbols];
 
         let mut events = Vec::with_capacity(config.num_symbols * config.duration_minutes);
@@ -350,7 +350,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "not enough symbols")]
     fn validate_rejects_overcommitted_followers() {
-        let cfg = StockConfig { num_symbols: 10, num_leading: 3, followers_per_leading: 5, ..StockConfig::default() };
+        let cfg = StockConfig {
+            num_symbols: 10,
+            num_leading: 3,
+            followers_per_leading: 5,
+            ..StockConfig::default()
+        };
         cfg.validate();
     }
 

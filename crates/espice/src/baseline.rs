@@ -58,9 +58,9 @@ impl BaselineShedder {
     /// collects, used here without the positional dimension).
     pub fn new(pattern: &Pattern, model: &UtilityModel, seed: u64) -> Self {
         let shares = model.position_shares();
-        let num_types = shares.num_types().max(
-            pattern.referenced_types().iter().map(|t| t.index() + 1).max().unwrap_or(0),
-        );
+        let num_types = shares
+            .num_types()
+            .max(pattern.referenced_types().iter().map(|t| t.index() + 1).max().unwrap_or(0));
         let mut type_frequencies = vec![0.0; num_types];
         let mut type_utilities = vec![0.0; num_types];
         for index in 0..num_types {
@@ -132,10 +132,8 @@ impl BaselineShedder {
         let mut saturated = vec![false; n];
         let mut remaining = quota;
         for _ in 0..n {
-            let weight_sum: f64 = (0..n)
-                .filter(|&i| !saturated[i] && weights[i] > 0.0)
-                .map(|i| weights[i])
-                .sum();
+            let weight_sum: f64 =
+                (0..n).filter(|&i| !saturated[i] && weights[i] > 0.0).map(|i| weights[i]).sum();
             if weight_sum <= 0.0 || remaining <= 1e-12 {
                 break;
             }
@@ -206,7 +204,11 @@ pub struct RandomShedder {
 impl RandomShedder {
     /// Creates an inactive random shedder.
     pub fn new(seed: u64) -> Self {
-        RandomShedder { drop_probability: 0.0, rng: StdRng::seed_from_u64(seed), stats: ShedderStats::default() }
+        RandomShedder {
+            drop_probability: 0.0,
+            rng: StdRng::seed_from_u64(seed),
+            stats: ShedderStats::default(),
+        }
     }
 
     /// Applies a drop command given the expected window size: the drop
@@ -217,7 +219,8 @@ impl RandomShedder {
             return;
         }
         self.stats.plans_applied += 1;
-        self.drop_probability = (plan.drops_per_window() / expected_window_size.max(1.0)).clamp(0.0, 1.0);
+        self.drop_probability =
+            (plan.drops_per_window() / expected_window_size.max(1.0)).clamp(0.0, 1.0);
     }
 
     /// Stops shedding.
@@ -272,7 +275,8 @@ mod tests {
         let config = ModelConfig::with_positions(10);
         let mut builder = ModelBuilder::new(config, 3);
         for w in 0..5u64 {
-            let m = WindowMeta { id: w, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: 10 };
+            let m =
+                WindowMeta { id: w, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: 10 };
             let composition = [0u32, 1, 1, 1, 2, 2, 2, 2, 2, 2];
             for (pos, &t) in composition.iter().enumerate() {
                 let e = Event::new(ty(t), Timestamp::ZERO, pos as u64);

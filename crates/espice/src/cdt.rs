@@ -46,7 +46,11 @@ impl Cdt {
     /// # Panics
     ///
     /// Panics if the range exceeds the table's bin count.
-    pub fn from_model_range(ut: &UtilityTable, shares: &PositionShares, bin_range: Range<usize>) -> Self {
+    pub fn from_model_range(
+        ut: &UtilityTable,
+        shares: &PositionShares,
+        bin_range: Range<usize>,
+    ) -> Self {
         assert!(
             bin_range.end <= ut.bins(),
             "bin range {:?} exceeds the table's {} bins",
@@ -122,7 +126,14 @@ mod tests {
 
     #[test]
     fn threshold_is_smallest_utility_reaching_x() {
-        let cdt = Cdt::from_occurrences(&[(0, 0.5), (5, 1.0), (10, 0.8), (30, 1.5), (60, 0.7), (70, 0.5)]);
+        let cdt = Cdt::from_occurrences(&[
+            (0, 0.5),
+            (5, 1.0),
+            (10, 0.8),
+            (30, 1.5),
+            (60, 0.7),
+            (70, 0.5),
+        ]);
         // Cumulative: 0→0.5, 5→1.5, 10→2.3, 30→3.8, 60→4.5, 70→5.0
         assert_eq!(cdt.threshold_for(2.0), Some(10));
         assert_eq!(cdt.threshold_for(2.3), Some(10));
@@ -142,8 +153,8 @@ mod tests {
         // corresponds to position shares where the share of each cell makes
         // these cumulative values; we reproduce it with explicit occurrences.
         let cdt = Cdt::from_occurrences(&[
-            (0, 1.2),  // cells with utility 0
-            (5, 0.2),  // wait: cumulative at 5 must be 1.4
+            (0, 1.2), // cells with utility 0
+            (5, 0.2), // wait: cumulative at 5 must be 1.4
             (10, 0.9),
             (15, 0.5),
             (30, 0.9),

@@ -137,10 +137,8 @@ impl PositionShares {
     /// observed windows.
     pub fn from_counts(counts: &[Vec<f64>], bins: usize, windows: u64) -> Self {
         let divisor = windows.max(1) as f64;
-        let shares = counts
-            .iter()
-            .map(|row| row.iter().map(|&c| (c / divisor) as f32).collect())
-            .collect();
+        let shares =
+            counts.iter().map(|row| row.iter().map(|&c| (c / divisor) as f32).collect()).collect();
         PositionShares { bins, shares }
     }
 
@@ -167,10 +165,7 @@ impl PositionShares {
     /// Expected number of events of type `ty` per window (the per-type window
     /// frequency used by the baseline shedder).
     pub fn expected_per_window(&self, ty: EventType) -> f64 {
-        self.shares
-            .get(ty.index())
-            .map(|row| row.iter().map(|&s| s as f64).sum())
-            .unwrap_or(0.0)
+        self.shares.get(ty.index()).map(|row| row.iter().map(|&s| s as f64).sum()).unwrap_or(0.0)
     }
 
     /// Expected window size: total shares across all types and bins.
@@ -229,12 +224,27 @@ impl UtilityModel {
     /// (window smaller than `N`) the utility is the average of all covered
     /// cells (paper §3.6).
     pub fn utility(&self, ty: EventType, position: usize, window_size: usize) -> u8 {
+        self.utility_in_row(self.utility_row(ty), position, window_size)
+    }
+
+    /// The utility-table row of `ty` (empty for unknown types). Fetch the row
+    /// once per event and reuse it with
+    /// [`utility_in_row`](Self::utility_in_row) when looking the same event up
+    /// against many windows — this is the amortisation behind the shedders'
+    /// batched `decide_batch` path.
+    pub fn utility_row(&self, ty: EventType) -> &[u8] {
+        self.ut.row(ty)
+    }
+
+    /// [`utility`](Self::utility) against a prefetched utility row, skipping
+    /// the per-lookup type indexing.
+    pub fn utility_in_row(&self, row: &[u8], position: usize, window_size: usize) -> u8 {
         let range = bin_range(&self.config, position, window_size);
         let len = range.len();
         if len == 1 {
-            return self.ut.utility(ty, range.start);
+            return row.get(range.start).copied().unwrap_or(0);
         }
-        let sum: u32 = range.map(|bin| self.ut.utility(ty, bin) as u32).sum();
+        let sum: u32 = range.map(|bin| row.get(bin).copied().unwrap_or(0) as u32).sum();
         (sum / len as u32) as u8
     }
 
@@ -277,7 +287,9 @@ impl UtilityModel {
     /// Memory footprint of the lookup structures in bytes (used by the
     /// overhead experiments).
     pub fn memory_bytes(&self) -> usize {
-        self.ut.num_types() * self.ut.bins() * (std::mem::size_of::<u8>() + std::mem::size_of::<f32>())
+        self.ut.num_types()
+            * self.ut.bins()
+            * (std::mem::size_of::<u8>() + std::mem::size_of::<f32>())
     }
 }
 

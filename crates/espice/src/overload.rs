@@ -349,7 +349,11 @@ mod tests {
     #[test]
     fn detector_activates_above_f_qmax_and_deactivates_below() {
         let mut d = OverloadDetector::new(
-            OverloadConfig { latency_bound: SimDuration::from_secs(1), f: 0.8, ..OverloadConfig::default() },
+            OverloadConfig {
+                latency_bound: SimDuration::from_secs(1),
+                f: 0.8,
+                ..OverloadConfig::default()
+            },
             1000.0,
         );
         d.observe_rate(1400.0);
@@ -402,7 +406,8 @@ mod tests {
         // enough low-utility events, so the highest candidate f is chosen.
         let config = ModelConfig::with_positions(100);
         let mut builder = ModelBuilder::new(config, 1);
-        let meta = WindowMeta { id: 0, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: 100 };
+        let meta =
+            WindowMeta { id: 0, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: 100 };
         for pos in 0..100 {
             let e = Event::new(EventType::from_index(0), Timestamp::ZERO, pos as u64);
             let _ = builder.decide(&meta, pos, &e);

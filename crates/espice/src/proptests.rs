@@ -13,9 +13,14 @@ use proptest::prelude::*;
 fn model_from(window: &[u32], contributing: &[usize]) -> crate::UtilityModel {
     let positions = window.len().max(1);
     let mut builder = ModelBuilder::new(ModelConfig::with_positions(positions), 6);
-    let meta = WindowMeta { id: 0, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: positions };
+    let meta =
+        WindowMeta { id: 0, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: positions };
     for (pos, &ty) in window.iter().enumerate() {
-        let _ = builder.decide(&meta, pos, &Event::new(EventType::from_index(ty), Timestamp::ZERO, pos as u64));
+        let _ = builder.decide(
+            &meta,
+            pos,
+            &Event::new(EventType::from_index(ty), Timestamp::ZERO, pos as u64),
+        );
     }
     builder.window_closed(&meta, positions);
     for &pos in contributing {

@@ -55,13 +55,13 @@ impl RetrainPolicy {
         match self {
             RetrainPolicy::Never => {}
             RetrainPolicy::Periodic { windows } => {
-                assert!(*windows >= 1, "periodic retraining needs an interval of at least one window")
+                assert!(
+                    *windows >= 1,
+                    "periodic retraining needs an interval of at least one window"
+                )
             }
             RetrainPolicy::OnDrift { threshold, sample_windows } => {
-                assert!(
-                    *threshold > 0.0 && *threshold <= 1.0,
-                    "drift threshold must be in (0, 1]"
-                );
+                assert!(*threshold > 0.0 && *threshold <= 1.0, "drift threshold must be in (0, 1]");
                 assert!(*sample_windows >= 1, "drift detection needs at least one sample window");
             }
         }

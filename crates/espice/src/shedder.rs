@@ -7,7 +7,7 @@
 //! or equal to the threshold of the partition the position falls into.
 
 use crate::{Cdt, ShedPlan, UtilityModel};
-use espice_cep::{Decision, WindowEventDecider, WindowMeta};
+use espice_cep::{BatchRequest, Decision, WindowEventDecider, WindowMeta};
 use espice_events::Event;
 use serde::{Deserialize, Serialize};
 
@@ -31,6 +31,14 @@ impl ShedderStats {
             self.drops as f64 / self.decisions as f64
         }
     }
+
+    /// Adds every counter of `other` into `self`. Used to merge the per-shard
+    /// shedder instances of a sharded engine run into engine-level totals.
+    pub fn merge(&mut self, other: &ShedderStats) {
+        self.decisions += other.decisions;
+        self.drops += other.drops;
+        self.plans_applied += other.plans_applied;
+    }
 }
 
 /// Per-partition shedding state.
@@ -49,6 +57,31 @@ struct PartitionShedding {
     /// Running accumulator implementing the deterministic boundary fraction
     /// (error-diffusion: drop when the accumulated fraction reaches 1).
     boundary_accumulator: f64,
+}
+
+impl PartitionShedding {
+    /// Decides whether an event of `utility` is dropped, advancing the
+    /// boundary-thinning accumulator when the utility sits exactly on the
+    /// threshold. Shared by the scalar and the batched decision paths so the
+    /// two are decision-for-decision identical.
+    fn should_drop(&mut self, utility: u8) -> bool {
+        match self.threshold {
+            None => false,
+            Some(threshold) if utility < threshold => true,
+            Some(threshold) if utility == threshold => {
+                // Deterministic thinning of the boundary utility level so the
+                // expected drops per partition match the requested amount.
+                self.boundary_accumulator += self.boundary_fraction;
+                if self.boundary_accumulator >= 1.0 - 1e-9 {
+                    self.boundary_accumulator -= 1.0;
+                    true
+                } else {
+                    false
+                }
+            }
+            Some(_) => false,
+        }
+    }
 }
 
 /// The currently active shedding state: per-partition thresholds.
@@ -162,7 +195,11 @@ impl EspiceShedder {
                 } else {
                     ((target - below) / at_threshold).clamp(0.0, 1.0)
                 };
-                PartitionShedding { threshold: Some(threshold), boundary_fraction, boundary_accumulator: 0.0 }
+                PartitionShedding {
+                    threshold: Some(threshold),
+                    boundary_fraction,
+                    boundary_accumulator: 0.0,
+                }
             })
             .collect()
     }
@@ -193,39 +230,53 @@ impl EspiceShedder {
 impl WindowEventDecider for EspiceShedder {
     fn decide(&mut self, meta: &WindowMeta, position: usize, event: &Event) -> Decision {
         self.stats.decisions += 1;
+        let Some(active) = self.active.as_mut() else {
+            return Decision::Keep;
+        };
         let window_size = meta.predicted_size.max(1);
         let utility = self.model.utility(event.event_type(), position, window_size);
-        let (partition, partitions) = match &self.active {
-            None => return Decision::Keep,
-            Some(active) => {
-                (self.model.partition_of(position, window_size, active.partitions), active.partitions)
-            }
-        };
-        let _ = partitions;
-        let active = self.active.as_mut().expect("checked above");
-        let state = &mut active.per_partition[partition];
-        let drop = match state.threshold {
-            None => false,
-            Some(threshold) if utility < threshold => true,
-            Some(threshold) if utility == threshold => {
-                // Deterministic thinning of the boundary utility level so the
-                // expected drops per partition match the requested amount.
-                state.boundary_accumulator += state.boundary_fraction;
-                if state.boundary_accumulator >= 1.0 - 1e-9 {
-                    state.boundary_accumulator -= 1.0;
-                    true
-                } else {
-                    false
-                }
-            }
-            Some(_) => false,
-        };
-        if drop {
+        let partition = self.model.partition_of(position, window_size, active.partitions);
+        if active.per_partition[partition].should_drop(utility) {
             self.stats.drops += 1;
             Decision::Drop
         } else {
             Decision::Keep
         }
+    }
+
+    /// Batched fast path (Algorithm 2 over a whole assignment batch): the
+    /// event's utility-table row is fetched once and the active-plan borrow,
+    /// decision counting and per-decision type indexing are hoisted out of
+    /// the per-window loop. Produces exactly the decisions the scalar
+    /// [`decide`](WindowEventDecider::decide) would, in the same order.
+    fn decide_batch(
+        &mut self,
+        event: &Event,
+        requests: &[BatchRequest],
+        decisions: &mut Vec<Decision>,
+    ) {
+        decisions.clear();
+        self.stats.decisions += requests.len() as u64;
+        let Some(active) = self.active.as_mut() else {
+            decisions.resize(requests.len(), Decision::Keep);
+            return;
+        };
+        decisions.reserve(requests.len());
+        let partitions = active.partitions;
+        let row = self.model.utility_row(event.event_type());
+        let mut drops = 0u64;
+        for request in requests {
+            let window_size = request.meta.predicted_size.max(1);
+            let utility = self.model.utility_in_row(row, request.position, window_size);
+            let partition = self.model.partition_of(request.position, window_size, partitions);
+            if active.per_partition[partition].should_drop(utility) {
+                drops += 1;
+                decisions.push(Decision::Drop);
+            } else {
+                decisions.push(Decision::Keep);
+            }
+        }
+        self.stats.drops += drops;
     }
 }
 
@@ -250,7 +301,8 @@ mod tests {
         let config = ModelConfig::with_positions(4);
         let mut builder = ModelBuilder::new(config, 2);
         for w in 0..10u64 {
-            let m = WindowMeta { id: w, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: 4 };
+            let m =
+                WindowMeta { id: w, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: 4 };
             for pos in 0..4usize {
                 let t = if pos % 2 == 0 { 0 } else { 1 };
                 let e = Event::new(ty(t), Timestamp::from_secs(pos as u64), pos as u64);
@@ -286,7 +338,12 @@ mod tests {
         // Drop 2 events per window (single partition): the zero-utility cells
         // (type 0 at odd positions, type 1 at even positions, positions 2/3)
         // must go first; the valuable cells must survive.
-        shedder.apply(ShedPlan { active: true, partitions: 1, partition_size: 4, events_to_drop: 2.0 });
+        shedder.apply(ShedPlan {
+            active: true,
+            partitions: 1,
+            partition_size: 4,
+            events_to_drop: 2.0,
+        });
         assert!(shedder.is_active());
         let e0 = Event::new(ty(0), Timestamp::ZERO, 0);
         let e1 = Event::new(ty(1), Timestamp::ZERO, 1);
@@ -303,7 +360,12 @@ mod tests {
     #[test]
     fn requesting_more_drops_than_events_drops_everything() {
         let mut shedder = EspiceShedder::new(trained_model());
-        shedder.apply(ShedPlan { active: true, partitions: 1, partition_size: 4, events_to_drop: 100.0 });
+        shedder.apply(ShedPlan {
+            active: true,
+            partitions: 1,
+            partition_size: 4,
+            events_to_drop: 100.0,
+        });
         let e0 = Event::new(ty(0), Timestamp::ZERO, 0);
         assert!(!shedder.decide(&meta(4), 0, &e0).is_keep());
         assert_eq!(shedder.thresholds(), vec![Some(100)]);
@@ -312,7 +374,12 @@ mod tests {
     #[test]
     fn zero_drop_plan_deactivates() {
         let mut shedder = EspiceShedder::new(trained_model());
-        shedder.apply(ShedPlan { active: true, partitions: 1, partition_size: 4, events_to_drop: 0.0 });
+        shedder.apply(ShedPlan {
+            active: true,
+            partitions: 1,
+            partition_size: 4,
+            events_to_drop: 0.0,
+        });
         assert!(!shedder.is_active());
         shedder.apply(ShedPlan::inactive());
         assert!(!shedder.is_active());
@@ -321,7 +388,12 @@ mod tests {
     #[test]
     fn partitioned_thresholds_are_computed_per_partition() {
         let mut shedder = EspiceShedder::new(trained_model());
-        shedder.apply(ShedPlan { active: true, partitions: 2, partition_size: 2, events_to_drop: 2.0 });
+        shedder.apply(ShedPlan {
+            active: true,
+            partitions: 2,
+            partition_size: 2,
+            events_to_drop: 2.0,
+        });
         let thresholds = shedder.thresholds();
         assert_eq!(thresholds.len(), 2);
         // First partition holds the valuable cells (positions 0, 1): dropping
@@ -337,7 +409,12 @@ mod tests {
     #[test]
     fn variable_window_size_scales_positions() {
         let mut shedder = EspiceShedder::new(trained_model());
-        shedder.apply(ShedPlan { active: true, partitions: 1, partition_size: 4, events_to_drop: 2.0 });
+        shedder.apply(ShedPlan {
+            active: true,
+            partitions: 1,
+            partition_size: 4,
+            events_to_drop: 2.0,
+        });
         // In a window predicted to hold 8 events, position 0 still maps to the
         // valuable first model position, position 7 to the worthless last one.
         let e0 = Event::new(ty(0), Timestamp::ZERO, 0);
@@ -348,19 +425,79 @@ mod tests {
     #[test]
     fn deactivate_and_reapply() {
         let mut shedder = EspiceShedder::new(trained_model());
-        shedder.apply(ShedPlan { active: true, partitions: 1, partition_size: 4, events_to_drop: 2.0 });
+        shedder.apply(ShedPlan {
+            active: true,
+            partitions: 1,
+            partition_size: 4,
+            events_to_drop: 2.0,
+        });
         shedder.deactivate();
         let e0 = Event::new(ty(0), Timestamp::ZERO, 0);
         assert!(shedder.decide(&meta(4), 2, &e0).is_keep());
-        shedder.apply(ShedPlan { active: true, partitions: 1, partition_size: 4, events_to_drop: 2.0 });
+        shedder.apply(ShedPlan {
+            active: true,
+            partitions: 1,
+            partition_size: 4,
+            events_to_drop: 2.0,
+        });
         assert!(!shedder.decide(&meta(4), 2, &e0).is_keep());
         assert_eq!(shedder.stats().plans_applied, 2);
     }
 
     #[test]
+    fn decide_batch_matches_sequential_decides_exactly() {
+        // A plan whose boundary fraction is non-trivial, so the accumulator
+        // state matters and ordering differences would show up immediately.
+        let plan = ShedPlan { active: true, partitions: 2, partition_size: 2, events_to_drop: 1.5 };
+        let mut scalar = EspiceShedder::new(trained_model());
+        let mut batched = EspiceShedder::new(trained_model());
+        scalar.apply(plan);
+        batched.apply(plan);
+
+        for round in 0..50u64 {
+            let event = Event::new(ty((round % 2) as u32), Timestamp::ZERO, round);
+            let requests: Vec<BatchRequest> =
+                (0..4).map(|position| BatchRequest { meta: meta(4), position }).collect();
+            let expected: Vec<Decision> =
+                requests.iter().map(|r| scalar.decide(&r.meta, r.position, &event)).collect();
+            let mut decisions = Vec::new();
+            batched.decide_batch(&event, &requests, &mut decisions);
+            assert_eq!(decisions, expected, "diverged in round {round}");
+        }
+        assert_eq!(scalar.stats(), batched.stats());
+        assert!(batched.stats().drops > 0);
+    }
+
+    #[test]
+    fn decide_batch_keeps_everything_when_inactive() {
+        let mut shedder = EspiceShedder::new(trained_model());
+        let event = Event::new(ty(0), Timestamp::ZERO, 0);
+        let requests: Vec<BatchRequest> =
+            (0..3).map(|position| BatchRequest { meta: meta(4), position }).collect();
+        let mut decisions = Vec::new();
+        shedder.decide_batch(&event, &requests, &mut decisions);
+        assert_eq!(decisions, vec![Decision::Keep; 3]);
+        assert_eq!(shedder.stats().decisions, 3);
+        assert_eq!(shedder.stats().drops, 0);
+    }
+
+    #[test]
+    fn shedder_stats_merge_sums_counters() {
+        let a = ShedderStats { decisions: 10, drops: 4, plans_applied: 1 };
+        let mut b = ShedderStats { decisions: 5, drops: 1, plans_applied: 2 };
+        b.merge(&a);
+        assert_eq!(b, ShedderStats { decisions: 15, drops: 5, plans_applied: 3 });
+    }
+
+    #[test]
     fn set_model_keeps_activation_state() {
         let mut shedder = EspiceShedder::new(trained_model());
-        shedder.apply(ShedPlan { active: true, partitions: 1, partition_size: 4, events_to_drop: 2.0 });
+        shedder.apply(ShedPlan {
+            active: true,
+            partitions: 1,
+            partition_size: 4,
+            events_to_drop: 2.0,
+        });
         shedder.set_model(trained_model());
         assert!(shedder.is_active());
         let mut inactive = EspiceShedder::new(trained_model());

@@ -53,12 +53,7 @@ impl Event {
 
     /// Starts building an event of the given type and timestamp.
     pub fn builder(event_type: EventType, timestamp: Timestamp) -> EventBuilder {
-        EventBuilder {
-            seq: 0,
-            timestamp,
-            event_type,
-            attrs: Attributes::new(),
-        }
+        EventBuilder { seq: 0, timestamp, event_type, attrs: Attributes::new() }
     }
 
     /// The event's global sequence number.
@@ -118,9 +113,7 @@ impl PartialOrd for Event {
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> Ordering {
         // Global order: timestamp, then sequence number as the tie-breaker.
-        self.timestamp
-            .cmp(&other.timestamp)
-            .then(self.seq.cmp(&other.seq))
+        self.timestamp.cmp(&other.timestamp).then(self.seq.cmp(&other.seq))
     }
 }
 
@@ -228,7 +221,8 @@ mod tests {
     fn with_seq_and_with_timestamp_do_not_mutate_original() {
         let original = ev(1, 100, 7);
         let renumbered = original.with_seq(99);
-        let shifted = original.with_timestamp(Timestamp::from_millis(100) + SimDuration::from_millis(50));
+        let shifted =
+            original.with_timestamp(Timestamp::from_millis(100) + SimDuration::from_millis(50));
         assert_eq!(original.seq(), 7);
         assert_eq!(renumbered.seq(), 99);
         assert_eq!(shifted.timestamp().as_millis(), 150);

@@ -99,7 +99,7 @@ impl VecStream {
     /// Panics (in debug builds) if the event would break the global order.
     pub fn push(&mut self, event: Event) {
         debug_assert!(
-            self.events.last().map_or(true, |last| *last <= event),
+            self.events.last().is_none_or(|last| *last <= event),
             "pushed event breaks stream order"
         );
         self.events.push(event);
@@ -113,11 +113,7 @@ impl VecStream {
     {
         let mut all: Vec<Event> = streams.into_iter().flat_map(|s| s.events).collect();
         all.sort();
-        let renumbered = all
-            .into_iter()
-            .enumerate()
-            .map(|(i, e)| e.with_seq(i as u64))
-            .collect();
+        let renumbered = all.into_iter().enumerate().map(|(i, e)| e.with_seq(i as u64)).collect();
         VecStream { events: renumbered }
     }
 
@@ -225,7 +221,11 @@ impl<'a> RateReplay<'a> {
     /// # Panics
     ///
     /// Panics if `rate` is not strictly positive and finite.
-    pub fn starting_at<S: EventStream + ?Sized>(stream: &'a S, rate: f64, start: Timestamp) -> Self {
+    pub fn starting_at<S: EventStream + ?Sized>(
+        stream: &'a S,
+        rate: f64,
+        start: Timestamp,
+    ) -> Self {
         assert!(rate.is_finite() && rate > 0.0, "replay rate must be positive");
         RateReplay {
             events: stream.events(),

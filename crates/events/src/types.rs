@@ -137,10 +137,7 @@ impl TypeRegistry {
 
     /// Iterates over `(EventType, name)` pairs in interning order.
     pub fn iter(&self) -> impl Iterator<Item = (EventType, &str)> {
-        self.names
-            .iter()
-            .enumerate()
-            .map(|(i, n)| (EventType(i as u32), n.as_str()))
+        self.names.iter().enumerate().map(|(i, n)| (EventType(i as u32), n.as_str()))
     }
 }
 

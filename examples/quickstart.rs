@@ -5,7 +5,9 @@
 
 use espice_repro::cep::{KeepAll, Operator, Pattern, PatternStep, Query, WindowSpec};
 use espice_repro::espice::{EspiceShedder, ModelBuilder, ModelConfig, OverloadConfig, ShedPlanner};
-use espice_repro::events::{AttributeValue, Event, EventStream, Timestamp, TypeRegistry, VecStream};
+use espice_repro::events::{
+    AttributeValue, Event, EventStream, Timestamp, TypeRegistry, VecStream,
+};
 use espice_repro::runtime::QualityMetrics;
 
 fn main() {

@@ -35,7 +35,7 @@ fn main() {
         // Bin neighbouring positions (≈0.3 s per bin) so the utility
         // statistics stay dense on a two-hour training stream.
         let experiment = Experiment::train(
-            &[query.clone()],
+            std::slice::from_ref(&query),
             &dataset.stream,
             dataset.registry.len(),
             ModelConfig { positions, bin_size: 16, ..ModelConfig::default() },

@@ -14,10 +14,8 @@ fn main() {
     // A two-hour synthetic trading session of 500 symbols (one quote per
     // minute per symbol), with five blue-chip leaders whose moves cascade into
     // their follower symbols.
-    let dataset = StockDataset::generate(&StockConfig {
-        duration_minutes: 120,
-        ..StockConfig::default()
-    });
+    let dataset =
+        StockDataset::generate(&StockConfig { duration_minutes: 120, ..StockConfig::default() });
     println!(
         "generated {} quote events for {} symbols",
         espice_repro::events::EventStream::len(&dataset.stream),
@@ -30,7 +28,7 @@ fn main() {
 
     let config = ExperimentConfig { throughput: 1_000.0, ..ExperimentConfig::default() };
     let experiment = Experiment::train(
-        &[query.clone()],
+        std::slice::from_ref(&query),
         &dataset.stream,
         dataset.registry.len(),
         ModelConfig::with_positions(600),
@@ -46,10 +44,8 @@ fn main() {
     for (label, factor) in [("R1 (+20%)", 1.2), ("R2 (+40%)", 1.4)] {
         println!("\n=== overload {label} ===");
         let overloaded = experiment.with_overload_factor(factor);
-        let outcomes = overloaded.compare(
-            &query,
-            &[ShedderKind::Espice, ShedderKind::Baseline, ShedderKind::Random],
-        );
+        let outcomes = overloaded
+            .compare(&query, &[ShedderKind::Espice, ShedderKind::Baseline, ShedderKind::Random]);
         for outcome in outcomes {
             println!(
                 "{:>7}: dropped {:>5.1}% of assignments -> {:>6.2}% false negatives, {:>6.2}% false positives ({} ground-truth matches)",

@@ -43,7 +43,7 @@ fn experiment_for(
     overload_factor: f64,
 ) -> Experiment {
     Experiment::train(
-        &[query.clone()],
+        std::slice::from_ref(query),
         dataset_stream,
         type_count,
         ModelConfig { positions, bin_size, ..ModelConfig::default() },
@@ -57,10 +57,8 @@ fn espice_beats_the_baseline_on_the_ordered_sequence_query() {
     let query = queries::q3(&ds, 12, 300, SelectionPolicy::First);
     let experiment = experiment_for(&ds.stream, ds.registry.len(), &query, 300, 1, 1.2);
 
-    let outcomes = experiment.compare(
-        &query,
-        &[ShedderKind::Espice, ShedderKind::Baseline, ShedderKind::Random],
-    );
+    let outcomes = experiment
+        .compare(&query, &[ShedderKind::Espice, ShedderKind::Baseline, ShedderKind::Random]);
     let espice = &outcomes[0];
     let baseline = &outcomes[1];
     let random = &outcomes[2];
@@ -95,9 +93,11 @@ fn higher_overload_degrades_quality_more() {
     let ground_truth = experiment.ground_truth(&query);
     assert!(!ground_truth.is_empty());
     let r1 = experiment.evaluate_against(&query, ShedderKind::Espice, &ground_truth);
-    let r2 = experiment
-        .with_overload_factor(1.4)
-        .evaluate_against(&query, ShedderKind::Espice, &ground_truth);
+    let r2 = experiment.with_overload_factor(1.4).evaluate_against(
+        &query,
+        ShedderKind::Espice,
+        &ground_truth,
+    );
 
     assert!(r2.drop_ratio > r1.drop_ratio, "R2 must shed more than R1");
     assert!(

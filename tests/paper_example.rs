@@ -4,7 +4,7 @@
 //! utility threshold of Figure 2).
 
 use espice_repro::cep::{
-    ComplexEvent, ConsumptionPolicy, Constituent, Matcher, Operator, Pattern, Query,
+    ComplexEvent, Constituent, ConsumptionPolicy, Matcher, Operator, Pattern, Query,
     SelectionPolicy, WindowEntry, WindowEventDecider, WindowMeta, WindowSpec,
 };
 use espice_repro::espice::{Cdt, EspiceShedder, ModelBuilder, ModelConfig, ShedPlan};
@@ -107,8 +107,8 @@ fn table1_model_produces_the_paper_threshold() {
     let a_share_tenths = [8u64, 5, 1, 2, 5];
     for w in 0..10u64 {
         let meta = WindowMeta { id: w, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: 5 };
-        for pos in 0..5usize {
-            let ty = if w < a_share_tenths[pos] { a } else { b };
+        for (pos, &share) in a_share_tenths.iter().enumerate() {
+            let ty = if w < share { a } else { b };
             let _ = builder.decide(&meta, pos, &Event::new(ty, Timestamp::ZERO, pos as u64));
         }
         builder.window_closed(&meta, 5);
@@ -161,7 +161,10 @@ fn stock_influence_example_detects_factor_pairs() {
     let b = registry.intern("STOCK_B");
     let query = Query::builder()
         .pattern(Pattern::sequence([a, b]))
-        .window(WindowSpec::time_on_types(vec![a], espice_repro::events::SimDuration::from_secs(60)))
+        .window(WindowSpec::time_on_types(
+            vec![a],
+            espice_repro::events::SimDuration::from_secs(60),
+        ))
         .build();
 
     let events = vec![

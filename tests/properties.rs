@@ -4,7 +4,7 @@
 
 use espice_repro::cep::{
     ComplexEvent, Constituent, KeepAll, Matcher, Operator, Pattern, PatternStep, Query,
-    SelectionPolicy, WindowEntry, WindowEventDecider, WindowMeta, WindowSpec,
+    ShardedEngine, WindowEntry, WindowEventDecider, WindowMeta, WindowSpec,
 };
 use espice_repro::espice::{Cdt, EspiceShedder, ModelBuilder, ModelConfig, ShedPlan};
 use espice_repro::events::{Event, EventType, Timestamp, VecStream};
@@ -206,6 +206,93 @@ proptest! {
         prop_assert_eq!(metrics.true_positives + metrics.false_negatives, gt_keys.len());
         prop_assert_eq!(metrics.true_positives + metrics.false_positives, detected_keys.len());
         prop_assert_eq!(metrics.false_positives, detected_keys.difference(&gt_keys).count());
+    }
+
+    /// The sharded engine is lossless: for any keyed stream and shard count
+    /// N ∈ {1, 2, 4} it emits exactly the same complex events as a single
+    /// operator and its merged stats equal the single-operator stats.
+    #[test]
+    fn sharded_engine_is_equivalent_to_single_operator(
+        types in window_events(120),
+        window_size in 2usize..14,
+    ) {
+        let query = Query::builder()
+            .pattern(Pattern::sequence([EventType::from_index(1), EventType::from_index(2)]))
+            .window(WindowSpec::count_on_types(vec![EventType::from_index(0)], window_size))
+            .build();
+        let events: Vec<Event> = types
+            .iter()
+            .enumerate()
+            .map(|(i, ty)| Event::new(EventType::from_index(*ty), Timestamp::from_secs(i as u64), i as u64))
+            .collect();
+        let stream = VecStream::from_ordered(events);
+        let mut single = Operator::new(query.clone());
+        let expected = single.run(&stream, &mut KeepAll);
+        for shards in [1usize, 2, 4] {
+            let mut engine = ShardedEngine::new(query.clone(), shards);
+            prop_assert_eq!(engine.run_keep_all(&stream), expected.clone());
+            prop_assert_eq!(&engine.stats().merged, single.stats());
+        }
+    }
+
+    /// Sharded shedding: per-shard eSPICE instances following one plan shed
+    /// (in aggregate) the fraction the plan demands, and every emitted
+    /// complex event is also a ground-truth complex event candidate from the
+    /// same window population (window ids stay aligned across shard counts).
+    #[test]
+    fn sharded_espice_sheds_the_planned_amount(
+        window in window_events(30),
+        window_count in 4usize..12,
+    ) {
+        let positions = window.len().max(2);
+        let mut builder = ModelBuilder::new(ModelConfig::with_positions(positions), 6);
+        let meta = WindowMeta { id: 0, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: positions };
+        for (pos, ty) in window.iter().enumerate() {
+            let _ = builder.decide(&meta, pos, &Event::new(EventType::from_index(*ty), Timestamp::ZERO, pos as u64));
+        }
+        builder.window_closed(&meta, positions);
+        let model = builder.build();
+
+        // A stream of `window_count` back-to-back windows opened on type 0.
+        let mut events = Vec::new();
+        let mut seq = 0u64;
+        for _ in 0..window_count {
+            events.push(Event::new(EventType::from_index(0), Timestamp::from_secs(seq), seq));
+            seq += 1;
+            for ty in window.iter().take(positions - 1) {
+                events.push(Event::new(EventType::from_index(*ty), Timestamp::from_secs(seq), seq));
+                seq += 1;
+            }
+        }
+        let stream = VecStream::from_ordered(events);
+        let query = Query::builder()
+            .pattern(Pattern::sequence([EventType::from_index(0), EventType::from_index(1)]))
+            .window(WindowSpec::count_on_types(vec![EventType::from_index(0)], positions))
+            .build();
+
+        let plan = ShedPlan { active: true, partitions: 1, partition_size: positions, events_to_drop: positions as f64 + 1.0 };
+        for shards in [1usize, 2, 4] {
+            let mut engine = ShardedEngine::new(query.clone(), shards);
+            let mut deciders: Vec<EspiceShedder> = (0..shards)
+                .map(|_| {
+                    let mut s = EspiceShedder::new(model.clone());
+                    s.apply(plan);
+                    s
+                })
+                .collect();
+            let detected = engine.run(&stream, &mut deciders);
+            // Dropping more events than any window holds leaves nothing to match.
+            prop_assert!(detected.is_empty());
+            let stats = engine.stats().merged;
+            prop_assert_eq!(stats.dropped, stats.assignments);
+            // Per-shard shedder stats merge to the engine totals.
+            let mut shed_stats = espice_repro::espice::ShedderStats::default();
+            for d in &deciders {
+                shed_stats.merge(d.stats());
+            }
+            prop_assert_eq!(shed_stats.decisions, stats.assignments);
+            prop_assert_eq!(shed_stats.drops, stats.dropped);
+        }
     }
 
     /// Dropping events from windows can only remove or change matches relative

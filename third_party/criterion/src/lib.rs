@@ -1,0 +1,277 @@
+//! Offline stand-in for the slice of `criterion` this workspace uses.
+//!
+//! Provides real wall-clock measurements with the familiar API shape
+//! (`benchmark_group`, `bench_with_input`, `Bencher::iter`, the
+//! `criterion_group!`/`criterion_main!` macros) but none of the statistics
+//! machinery: each benchmark is warmed up, then timed over `sample_size`
+//! samples, and the mean/min/max per-iteration times are printed. Throughput
+//! declarations are folded into an elements-per-second line.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Measurement settings shared by every benchmark registered on a run.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        assert!(samples >= 1, "sample size must be at least 1");
+        self.sample_size = samples;
+        self
+    }
+
+    /// Sets the total time budget for the timed samples.
+    pub fn measurement_time(mut self, time: Duration) -> Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Sets the warm-up time before sampling starts.
+    pub fn warm_up_time(mut self, time: Duration) -> Self {
+        self.warm_up_time = time;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_owned(), throughput: None }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self);
+        f(&mut bencher);
+        bencher.report(name, None);
+        self
+    }
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new<D: Display>(name: &str, parameter: D) -> Self {
+        BenchmarkId { label: format!("{name}/{parameter}") }
+    }
+
+    /// An id made of a parameter value only.
+    pub fn from_parameter<D: Display>(parameter: D) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+/// Units processed per iteration, used to derive a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements (events, lookups, …) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration throughput of subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Runs one benchmark with a borrowed input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.criterion);
+        f(&mut bencher, input);
+        bencher.report(&format!("{}/{}", self.name, id.label), self.throughput);
+        self
+    }
+
+    /// Runs one benchmark without an explicit input.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.criterion);
+        f(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, id.label), self.throughput);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; prints nothing extra).
+    pub fn finish(self) {}
+}
+
+/// Timing harness handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    /// Mean nanoseconds per iteration for each sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(criterion: &Criterion) -> Self {
+        Bencher {
+            sample_size: criterion.sample_size,
+            measurement_time: criterion.measurement_time,
+            warm_up_time: criterion.warm_up_time,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Measures `f`: warm-up, then `sample_size` timed samples, each running
+    /// enough iterations to fill its share of the measurement budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and estimate the per-iteration cost.
+        let warm_up_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            std::hint::black_box(f());
+            warm_iters += 1;
+            if warm_up_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        let per_iter = warm_up_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        let budget_per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = (budget_per_sample / per_iter.max(1e-9)).ceil().max(1.0) as u64;
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(f());
+            }
+            let nanos = start.elapsed().as_nanos() as f64 / iters_per_sample as f64;
+            self.samples.push(nanos);
+        }
+    }
+
+    fn report(&self, label: &str, throughput: Option<Throughput>) {
+        if self.samples.is_empty() {
+            println!("{label:<40} (no samples)");
+            return;
+        }
+        let mean = self.samples.iter().sum::<f64>() / self.samples.len() as f64;
+        let min = self.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = self.samples.iter().cloned().fold(0.0f64, f64::max);
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) if mean > 0.0 => {
+                format!("  {:>12.0} elem/s", n as f64 / (mean * 1e-9))
+            }
+            Some(Throughput::Bytes(n)) if mean > 0.0 => {
+                format!("  {:>12.0} B/s", n as f64 / (mean * 1e-9))
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{label:<40} time: [{} {} {}]{rate}",
+            format_nanos(min),
+            format_nanos(mean),
+            format_nanos(max)
+        );
+    }
+}
+
+fn format_nanos(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:.1} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos / 1_000_000_000.0)
+    }
+}
+
+/// Bundles benchmark functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generates `main` for a benchmark binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let criterion = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut bencher = Bencher::new(&criterion);
+        let mut counter = 0u64;
+        bencher.iter(|| {
+            counter = counter.wrapping_add(1);
+            counter
+        });
+        assert_eq!(bencher.samples.len(), 3);
+        assert!(bencher.samples.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn format_nanos_picks_units() {
+        assert!(format_nanos(12.0).ends_with("ns"));
+        assert!(format_nanos(12_000.0).ends_with("µs"));
+        assert!(format_nanos(12_000_000.0).ends_with("ms"));
+    }
+}

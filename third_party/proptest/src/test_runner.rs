@@ -1,0 +1,28 @@
+//! Deterministic per-case RNG for property tests.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// RNG handed to strategies: seeded from the test name and case index so each
+/// case is reproducible without any persisted state.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Creates the RNG for `case` of the test named `name`.
+    pub fn for_case(name: &str, case: u32) -> Self {
+        // FNV-1a over the test name, mixed with the case index.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(StdRng::seed_from_u64(hash ^ ((case as u64) << 32 | case as u64)))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}

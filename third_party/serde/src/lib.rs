@@ -1,0 +1,13 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! Re-exports the no-op derive macros and declares the two marker traits so
+//! that `use serde::{Deserialize, Serialize}` resolves in both the macro and
+//! the trait namespace, exactly like the real crate with the `derive` feature.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the stand-in).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the stand-in).
+pub trait Deserialize<'de> {}

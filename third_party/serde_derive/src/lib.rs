@@ -1,0 +1,22 @@
+//! Offline stand-in for serde's derive macros.
+//!
+//! The build environment has no access to crates.io, and nothing in this
+//! workspace actually serialises data yet — the `#[derive(Serialize,
+//! Deserialize)]` attributes exist so the types are ready for a wire format
+//! once one is needed. These derives therefore accept the same syntax
+//! (including `#[serde(...)]` helper attributes) and expand to nothing.
+//! Swapping in the real serde later is a one-line Cargo change.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
