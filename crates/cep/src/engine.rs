@@ -8,13 +8,16 @@
 //! window-open decisions depend only on the stream, every shard derives the
 //! same global window ids without coordination, and the merged output is
 //! *identical* (ids, constituents and order included) to a single unsharded
-//! operator run for any decider whose decisions are a pure function of
-//! `(window, position, event)` — with one caveat for time-based
-//! (variable-size) windows: each shard's window-size predictor only observes
-//! the windows it owns, so `WindowMeta::predicted_size` can drift between
-//! shard counts, and deciders that scale positions by the predicted size
-//! (eSPICE on time windows) may pick different events. Count-based windows,
-//! whose size is exact, carry no such drift.
+//! operator run for any decider whose decisions are a function of
+//! `(window id, position, event, predicted size)` alone. eSPICE's boundary
+//! thinning qualifies since its accumulator became keyed per window id, so
+//! shedded output is shard-invariant on count-based windows. The one
+//! remaining caveat concerns time-based (variable-size) windows: each
+//! shard's window-size predictor only observes the windows it owns, so
+//! `WindowMeta::predicted_size` can drift between shard counts, and deciders
+//! that scale positions by the predicted size (eSPICE on time windows) may
+//! pick different events. Count-based windows, whose size is exact, carry no
+//! such drift.
 //!
 //! [`Operator`]: crate::Operator
 //! [`WindowEventDecider`]: crate::WindowEventDecider
@@ -104,13 +107,13 @@ impl ShardedEngine {
     ///
     /// Each shard owns a disjoint subset of the windows, so `deciders[i]`
     /// only ever sees the (event, window) pairs of shard `i`'s windows.
-    /// Deciders whose decisions are a pure function of `(window, position,
-    /// event)` (e.g. [`KeepAll`], a threshold-only eSPICE shedder on
-    /// count-based windows) therefore produce output identical to an
-    /// unsharded run. Two sources of divergence remain: deciders with
-    /// cross-window state (boundary thinning, random sampling) shed the same
-    /// *amount* but may pick different events, and on time-based windows
-    /// each shard's size predictor sees only its own closures, so
+    /// Deciders whose decisions depend only on `(window id, position, event,
+    /// predicted size)` — [`KeepAll`], the eSPICE shedder with its
+    /// per-window-keyed boundary thinning — produce output identical to an
+    /// unsharded run on count-based windows. The remaining sources of
+    /// divergence: deciders with genuinely cross-window state (e.g. random
+    /// sampling) may pick different events, and on time-based windows each
+    /// shard's size predictor sees only its own closures, so
     /// `predicted_size`-dependent decisions can drift between shard counts.
     ///
     /// # Panics
@@ -158,6 +161,13 @@ impl ShardedEngine {
     {
         let mut deciders = vec![KeepAll; self.shards.len()];
         self.run(stream, &mut deciders)
+    }
+
+    /// Sum of the shards' peak resident entry counts: an upper bound on the
+    /// engine's total peak window-storage footprint in events (per-shard
+    /// peaks need not coincide in time).
+    pub fn peak_resident_entries(&self) -> usize {
+        self.shards.iter().map(Shard::peak_resident_entries).sum()
     }
 
     /// Engine statistics: per-shard counters plus merged totals.

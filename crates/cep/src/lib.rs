@@ -25,6 +25,13 @@
 //! covering all windows it belongs to — so shedders can amortise their
 //! lookups; the default implementation delegates to `decide` per pair.
 //!
+//! Overlapping windows share their storage: the operator appends each event
+//! **once** to a shared ring and every open window only records its start
+//! slot plus a per-window drop set, so per-event storage work is O(1) in the
+//! overlap factor (see the [`Operator`] docs for the layout and its pruning
+//! invariant). At close time the matcher runs over references into the
+//! shared slice ([`Matcher::matches_refs`] with [`EntryRef`]).
+//!
 //! Beyond the paper's single-threaded prototype, the crate provides a
 //! [`ShardedEngine`] that hash-partitions the window population by global
 //! window id across N independent [`Operator`] shards (each [`Shard`] with
@@ -70,13 +77,16 @@ mod predicate;
 #[cfg(test)]
 mod proptests;
 mod query;
+#[doc(hidden)]
+pub mod reference;
+mod ring;
 mod shard;
 mod shedding;
 mod window;
 
 pub use complex::{ComplexEvent, Constituent};
 pub use engine::{EngineStats, ShardedEngine};
-pub use matcher::{MatchOutcome, Matcher, WindowEntry};
+pub use matcher::{EntryRef, MatchOutcome, Matcher, WindowEntry};
 pub use operator::{Operator, OperatorStats};
 pub use pattern::{Pattern, PatternStep};
 pub use predicate::{CmpOp, Predicate};

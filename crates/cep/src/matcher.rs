@@ -25,6 +25,22 @@ pub struct WindowEntry {
     pub event: Event,
 }
 
+/// A borrowed view of a window entry: an arrival position plus a reference
+/// into shared event storage.
+///
+/// The operator stores each event once in a shared ring (see the `ring`
+/// module) instead of cloning it into every overlapping window, so at
+/// window-close time the matcher runs over *references* into that ring. This
+/// is the zero-copy counterpart of [`WindowEntry`]; the owning form remains
+/// for callers that assemble windows by hand (tests, tools).
+#[derive(Debug, Clone, Copy)]
+pub struct EntryRef<'a> {
+    /// Arrival position within the window (0-based, dropped events counted).
+    pub position: usize,
+    /// The event, borrowed from shared storage.
+    pub event: &'a Event,
+}
+
 /// Result of running the matcher over one window.
 #[derive(Debug, Clone, Default)]
 pub struct MatchOutcome {
@@ -66,6 +82,32 @@ pub struct Matcher {
     max_matches: usize,
 }
 
+/// Internal accessor abstraction: lets the match core run identically over
+/// owned [`WindowEntry`] slices and zero-copy [`EntryRef`] slices without an
+/// intermediate conversion allocation on either path.
+trait EntryView {
+    fn position(&self) -> usize;
+    fn event(&self) -> &Event;
+}
+
+impl EntryView for WindowEntry {
+    fn position(&self) -> usize {
+        self.position
+    }
+    fn event(&self) -> &Event {
+        &self.event
+    }
+}
+
+impl EntryView for EntryRef<'_> {
+    fn position(&self) -> usize {
+        self.position
+    }
+    fn event(&self) -> &Event {
+        self.event
+    }
+}
+
 impl Matcher {
     /// Builds a matcher from a query's pattern and policies.
     pub fn from_query(query: &Query) -> Self {
@@ -85,8 +127,21 @@ impl Matcher {
 
     /// Runs the matcher over the (kept) entries of window `window_id`.
     ///
-    /// Entries must be in arrival order.
+    /// Entries must be in arrival order. Same cost and behaviour as
+    /// [`matches_refs`](Self::matches_refs); both delegate to one generic
+    /// core, so neither form pays a conversion copy.
     pub fn matches(&self, window_id: WindowId, entries: &[WindowEntry]) -> MatchOutcome {
+        self.matches_impl(window_id, entries)
+    }
+
+    /// Runs the matcher over the (kept) entries of window `window_id`,
+    /// borrowed from shared storage. Entries must be in arrival order.
+    pub fn matches_refs(&self, window_id: WindowId, entries: &[EntryRef<'_>]) -> MatchOutcome {
+        self.matches_impl(window_id, entries)
+    }
+
+    /// The match core, generic over the entry representation.
+    fn matches_impl<E: EntryView>(&self, window_id: WindowId, entries: &[E]) -> MatchOutcome {
         if entries.len() < self.pattern.total_events() {
             return MatchOutcome::default();
         }
@@ -95,7 +150,7 @@ impl Matcher {
         // It is implemented by matching the reversed pattern over the reversed
         // window and mapping the result back, which selects, greedily from the
         // end, the latest events that can still complete the pattern.
-        let (ordered, steps): (Vec<&WindowEntry>, Vec<&PatternStep>) = match self.selection {
+        let (ordered, steps): (Vec<&E>, Vec<&PatternStep>) = match self.selection {
             SelectionPolicy::First => {
                 (entries.iter().collect(), self.pattern.steps().iter().collect())
             }
@@ -135,17 +190,17 @@ impl Matcher {
                     .iter()
                     .map(|&i| {
                         let entry = ordered[i];
-                        used_positions.insert(entry.position);
+                        used_positions.insert(entry.position());
                         Constituent {
-                            seq: entry.event.seq(),
-                            event_type: entry.event.event_type(),
-                            position: entry.position,
+                            seq: entry.event().seq(),
+                            event_type: entry.event().event_type(),
+                            position: entry.position(),
                         }
                     })
                     .collect();
                 let detected_at = taken
                     .iter()
-                    .map(|&i| ordered[i].event.timestamp())
+                    .map(|&i| ordered[i].event().timestamp())
                     .max()
                     .unwrap_or(Timestamp::ZERO);
                 if self.selection == SelectionPolicy::Last {
@@ -163,8 +218,8 @@ impl Matcher {
 /// Greedy subsequence matching with skip-till-next/any-match semantics: each
 /// step takes the earliest admissible, unused events after the previously
 /// taken one.
-fn greedy_match(
-    entries: &[&WindowEntry],
+fn greedy_match<E: EntryView>(
+    entries: &[&E],
     steps: &[&PatternStep],
     used: &[bool],
     min_start: usize,
@@ -180,10 +235,10 @@ fn greedy_match(
             }
             let entry = entries[idx];
             let type_ok =
-                !step.distinct_types() || !matched_types.contains(&entry.event.event_type());
-            if !used[idx] && type_ok && step.admits(&entry.event) {
+                !step.distinct_types() || !matched_types.contains(&entry.event().event_type());
+            if !used[idx] && type_ok && step.admits(entry.event()) {
                 taken.push(idx);
-                matched_types.push(entry.event.event_type());
+                matched_types.push(entry.event().event_type());
                 need -= 1;
             }
             idx += 1;
@@ -194,8 +249,8 @@ fn greedy_match(
 
 /// Contiguous matching: the constituents must be adjacent entries. Tries every
 /// anchor from `min_start` and returns the first full match.
-fn contiguous_match(
-    entries: &[&WindowEntry],
+fn contiguous_match<E: EntryView>(
+    entries: &[&E],
     steps: &[&PatternStep],
     used: &[bool],
     min_start: usize,
@@ -212,12 +267,12 @@ fn contiguous_match(
             for _ in 0..step.count() {
                 let entry = entries[idx];
                 let type_ok =
-                    !step.distinct_types() || !matched_types.contains(&entry.event.event_type());
-                if used[idx] || !type_ok || !step.admits(&entry.event) {
+                    !step.distinct_types() || !matched_types.contains(&entry.event().event_type());
+                if used[idx] || !type_ok || !step.admits(entry.event()) {
                     continue 'anchor;
                 }
                 taken.push(idx);
-                matched_types.push(entry.event.event_type());
+                matched_types.push(entry.event().event_type());
                 idx += 1;
             }
         }

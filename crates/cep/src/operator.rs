@@ -5,11 +5,27 @@
 //! [`WindowEventDecider`]) is consulted for every (event, window) pair; when a
 //! window closes, the pattern matcher runs over the kept events and emits
 //! complex events.
+//!
+//! # Shared window storage
+//!
+//! Overlapping windows share their events through one operator-owned
+//! [`EventRing`]: a kept event is appended **once**, regardless of how many
+//! windows it belongs to, and each open window only records the ring slot at
+//! which it started plus the positions its decider dropped (a [`DropSet`]).
+//! Since every open window is assigned every arriving event, an event's
+//! arrival position within a window is just `slot - window.start`, so the
+//! per-event storage work is O(1) in the overlap factor where it used to be
+//! O(overlap) `WindowEntry` clones. When a window closes the matcher runs
+//! over references into the shared slice, skipping the dropped slots; the
+//! ring is pruned back to the oldest still-open window's start (windows
+//! close in open order, so nothing below that can ever be referenced again).
 
+use crate::matcher::EntryRef;
+use crate::ring::{DropSet, EventRing, SlotIndex};
 use crate::window::SizePredictor;
 use crate::{
-    BatchRequest, ComplexEvent, Decision, Matcher, OpenPolicy, Query, WindowEntry,
-    WindowEventDecider, WindowId, WindowMeta, WindowSpec,
+    BatchRequest, ComplexEvent, Decision, Matcher, OpenPolicy, Query, WindowEventDecider,
+    WindowExtent, WindowId, WindowMeta,
 };
 use espice_events::{Event, EventStream, Timestamp};
 use serde::{Deserialize, Serialize};
@@ -57,13 +73,19 @@ impl OperatorStats {
     }
 }
 
-/// State of one open window.
+/// State of one open window: a compact record over the shared event ring.
+///
+/// The window's events are the ring slots `[start, start + assigned)` minus
+/// the positions in `dropped`; `assigned` itself is derived as
+/// `ring.next_slot() - start` because the window has been assigned every
+/// event appended since it opened.
 #[derive(Debug)]
 struct OpenWindow {
     meta: WindowMeta,
-    entries: Vec<WindowEntry>,
-    /// Total number of events assigned so far (kept + dropped).
-    assigned: usize,
+    /// Ring slot of the window's first assigned event.
+    start: SlotIndex,
+    /// Positions (slot offsets) the decider dropped from *this* window.
+    dropped: DropSet,
 }
 
 /// A single CEP operator executing one [`Query`].
@@ -92,7 +114,15 @@ struct OpenWindow {
 #[derive(Debug)]
 pub struct Operator {
     query: Query,
+    /// The window extent, cached out of `query` once at construction: it is
+    /// `Copy`, so the per-event accept/close checks neither clone nor borrow
+    /// the full `WindowSpec` on the hot path.
+    extent: WindowExtent,
     matcher: Matcher,
+    /// Shared storage for the events of all open windows.
+    ring: EventRing,
+    /// Largest number of events ever resident in the ring at once.
+    peak_resident: usize,
     open: VecDeque<OpenWindow>,
     /// The *global* window counter: it advances for every window the stream
     /// opens, whether or not this operator owns it, so window ids are
@@ -140,7 +170,10 @@ impl Operator {
         let matcher = Matcher::from_query(&query);
         let initial_size = query.window().expected_size().unwrap_or(100);
         Operator {
+            extent: query.window().extent(),
             matcher,
+            ring: EventRing::new(),
+            peak_resident: 0,
             open: VecDeque::new(),
             next_window_id: 0,
             shard_index: shard_index as u64,
@@ -189,6 +222,27 @@ impl Operator {
         self.open.len()
     }
 
+    /// Number of events currently resident in the shared event ring. Bounded
+    /// by the span of the *oldest* open window, not by that span times the
+    /// overlap factor.
+    pub fn resident_entries(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// The largest number of events that were ever resident at once during
+    /// this run (peak memory footprint of the window storage, in events).
+    pub fn peak_resident_entries(&self) -> usize {
+        self.peak_resident
+    }
+
+    /// Total entries written to the window storage during this run. With the
+    /// shared ring this is one write per event assigned to at least one
+    /// window — per-window storage writes each kept event once per
+    /// overlapping window instead (compare with [`OperatorStats::kept`]).
+    pub fn entries_written(&self) -> u64 {
+        self.ring.next_slot()
+    }
+
     /// The current window-size prediction (`N` for variable-size windows,
     /// the configured size for count windows before any window has closed).
     pub fn predicted_window_size(&self) -> usize {
@@ -210,22 +264,27 @@ impl Operator {
         let mut emitted = Vec::new();
 
         // 1. Close time-based windows the new event no longer fits into.
-        //    (Count-based windows close below, when they fill up.)
-        let spec = self.query.window().clone();
-        let mut still_open = VecDeque::with_capacity(self.open.len());
-        while let Some(window) = self.open.pop_front() {
-            if spec.accepts(window.meta.opened_at, window.assigned, event) {
-                still_open.push_back(window);
-            } else {
+        //    Windows open in stream order and share one duration, so the
+        //    expired windows are a prefix of the deque: pop from the front
+        //    instead of rebuilding the deque. (Count-based windows close in
+        //    step 4, when they fill up.)
+        if matches!(self.extent, WindowExtent::Time(_)) {
+            let extent = self.extent;
+            let mut closed_any = false;
+            while self.open.front().is_some_and(|w| !extent.accepts(w.meta.opened_at, 0, event)) {
+                let window = self.open.pop_front().expect("front checked above");
                 emitted.extend(self.close_window(window, decider));
+                closed_any = true;
+            }
+            if closed_any {
+                self.prune_ring();
             }
         }
-        self.open = still_open;
 
         // 2. Possibly open a new window at this event. The global window
         //    counter advances for every opened window; the window is only
         //    materialised when this shard owns its id.
-        if self.should_open(&spec, event) {
+        if self.should_open(event) {
             let id = self.next_window_id;
             self.next_window_id += 1;
             if id % self.shard_count == self.shard_index {
@@ -236,19 +295,26 @@ impl Operator {
                     predicted_size: self.predicted_window_size(),
                 };
                 self.stats.windows_opened += 1;
-                self.open.push_back(OpenWindow { meta, entries: Vec::new(), assigned: 0 });
+                self.open.push_back(OpenWindow {
+                    meta,
+                    start: self.ring.next_slot(),
+                    dropped: DropSet::new(),
+                });
             }
         }
 
-        // 3. Assign the event to every open window, asking the decider for
-        //    the whole batch of (event, window) pairs at once so it can
-        //    amortise per-event lookups across overlapping windows.
-        let mut filled = Vec::new();
+        // 3. Assign the event to every open window: append it *once* to the
+        //    shared ring, then ask the decider for the whole batch of
+        //    (event, window) pairs at once so it can amortise per-event
+        //    lookups across overlapping windows. A drop only records the
+        //    position in that window's drop set — the ring entry is shared,
+        //    so a drop in one window never affects the others.
         if !self.open.is_empty() {
+            let slot = self.ring.push(event.clone());
+            self.peak_resident = self.peak_resident.max(self.ring.len());
             self.batch_requests.clear();
-            for window in self.open.iter_mut() {
-                let position = window.assigned;
-                window.assigned += 1;
+            for window in self.open.iter() {
+                let position = (slot - window.start) as usize;
                 self.batch_requests.push(BatchRequest { meta: window.meta, position });
             }
             self.stats.assignments += self.batch_requests.len() as u64;
@@ -258,25 +324,39 @@ impl Operator {
                 self.batch_requests.len(),
                 "decide_batch must produce exactly one decision per request"
             );
-            for (idx, window) in self.open.iter_mut().enumerate() {
-                let position = self.batch_requests[idx].position;
-                if self.batch_decisions[idx].is_keep() {
-                    self.stats.kept += 1;
-                    window.entries.push(WindowEntry { position, event: event.clone() });
+            let mut kept = 0u64;
+            for (window, decision) in self.open.iter_mut().zip(&self.batch_decisions) {
+                if decision.is_keep() {
+                    kept += 1;
                 } else {
-                    self.stats.dropped += 1;
-                }
-                if !spec.accepts(window.meta.opened_at, window.assigned, event) {
-                    // Count-based window reached its size.
-                    filled.push(idx);
+                    window.dropped.push((slot - window.start) as usize);
                 }
             }
+            self.stats.kept += kept;
+            self.stats.dropped += self.batch_requests.len() as u64 - kept;
         }
 
-        // 4. Close windows that filled up (back-to-front so indices stay valid).
-        for idx in filled.into_iter().rev() {
-            let window = self.open.remove(idx).expect("filled window index is valid");
-            emitted.extend(self.close_window(window, decider));
+        // 4. Close count-based windows that filled up. Older windows always
+        //    hold at least as many events as younger ones (every open window
+        //    is assigned every event, and windows open one per event at
+        //    most), so the filled windows are a prefix of the deque and
+        //    pop_front preserves close order without shifting — the seed
+        //    engine's O(n) `VecDeque::remove(idx)` is gone.
+        if let WindowExtent::Count(size) = self.extent {
+            let next = self.ring.next_slot();
+            let mut closed_any = false;
+            while self.open.front().is_some_and(|w| (next - w.start) as usize >= size) {
+                let window = self.open.pop_front().expect("front checked above");
+                emitted.extend(self.close_window(window, decider));
+                closed_any = true;
+            }
+            if closed_any {
+                self.prune_ring();
+            }
+            debug_assert!(
+                self.open.iter().all(|w| ((next - w.start) as usize) < size),
+                "filled count windows must form a prefix of the open deque"
+            );
         }
 
         emitted
@@ -289,6 +369,7 @@ impl Operator {
         while let Some(window) = self.open.pop_front() {
             emitted.extend(self.close_window(window, decider));
         }
+        self.prune_ring();
         emitted
     }
 
@@ -309,6 +390,8 @@ impl Operator {
     /// Resets all run state (open windows, counters) while keeping the query.
     pub fn reset(&mut self) {
         self.open.clear();
+        self.ring.reset();
+        self.peak_resident = 0;
         self.next_window_id = 0;
         self.since_count_open = 0;
         self.last_time_open = None;
@@ -317,31 +400,47 @@ impl Operator {
         self.size_predictor = SizePredictor::new(initial_size.max(1), 0.25);
     }
 
-    fn should_open(&mut self, spec: &WindowSpec, event: &Event) -> bool {
-        match spec.open_policy() {
-            OpenPolicy::OnTypes(_) => spec.opens_on(event.event_type()),
+    /// Whether a new window opens at `event`. Reads the open policy through
+    /// a borrow of the operator's query — nothing is cloned per event.
+    fn should_open(&mut self, event: &Event) -> bool {
+        match self.query.window().open_policy() {
+            OpenPolicy::OnTypes(types) => types.contains(&event.event_type()),
             OpenPolicy::EveryCount(slide) => {
+                let slide = *slide;
                 let open = self.since_count_open == 0;
                 self.since_count_open += 1;
-                if self.since_count_open >= *slide {
+                if self.since_count_open >= slide {
                     self.since_count_open = 0;
                 }
                 open
             }
-            OpenPolicy::EveryDuration(slide) => match self.last_time_open {
-                None => {
-                    self.last_time_open = Some(event.timestamp());
-                    true
-                }
-                Some(last) => {
-                    if event.timestamp() >= last + *slide {
+            OpenPolicy::EveryDuration(slide) => {
+                let slide = *slide;
+                match self.last_time_open {
+                    None => {
                         self.last_time_open = Some(event.timestamp());
                         true
-                    } else {
-                        false
+                    }
+                    Some(last) => {
+                        if event.timestamp() >= last + slide {
+                            self.last_time_open = Some(event.timestamp());
+                            true
+                        } else {
+                            false
+                        }
                     }
                 }
-            },
+            }
+        }
+    }
+
+    /// Releases the ring slots no open window can reference anymore. Open
+    /// windows are ordered by start slot, so the front window bounds them
+    /// all; with no window open the ring empties completely.
+    fn prune_ring(&mut self) {
+        match self.open.front() {
+            Some(window) => self.ring.release_before(window.start),
+            None => self.ring.release_all(),
         }
     }
 
@@ -350,10 +449,26 @@ impl Operator {
         window: OpenWindow,
         decider: &mut D,
     ) -> Vec<ComplexEvent> {
+        // The window was assigned every event appended since it opened.
+        let assigned = (self.ring.next_slot() - window.start) as usize;
         self.stats.windows_closed += 1;
-        self.size_predictor.observe(window.assigned);
-        decider.window_closed(&window.meta, window.assigned);
-        let outcome = self.matcher.matches(window.meta.id, &window.entries);
+        self.size_predictor.observe(assigned);
+        decider.window_closed(&window.meta, assigned);
+        // Walk the shared slice once, merging out the (sorted) dropped
+        // positions; positions are derived from the slot offset, so they are
+        // identical to what per-window storage would have recorded.
+        let mut refs = Vec::with_capacity(assigned - window.dropped.len());
+        let mut drops = window.dropped.iter();
+        let mut next_drop = drops.next();
+        for (position, event) in self.ring.range(window.start, assigned).enumerate() {
+            if next_drop == Some(position as u32) {
+                next_drop = drops.next();
+                continue;
+            }
+            refs.push(EntryRef { position, event });
+        }
+        let outcome = self.matcher.matches_refs(window.meta.id, &refs);
+        drop(refs);
         self.stats.complex_events += outcome.complex_events.len() as u64;
         outcome.complex_events
     }
@@ -362,7 +477,7 @@ impl Operator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Decision, KeepAll, Pattern};
+    use crate::{KeepAll, Pattern, WindowSpec};
     use espice_events::{EventType, SimDuration, VecStream};
 
     fn ty(i: u32) -> EventType {
@@ -610,6 +725,49 @@ mod tests {
         assert!(matches.is_empty());
         assert_eq!(op.stats().dropped, op.stats().assignments);
         assert_eq!(op.stats().kept, 0);
+    }
+
+    #[test]
+    fn ring_is_pruned_to_the_open_window_span() {
+        // Window 12, slide 3 → overlap 4. The shared ring must never hold
+        // more than one window's span of events; per-window storage would
+        // peak at ~4x that.
+        let query = seq_query(WindowSpec::count_sliding(12, 3));
+        let events: Vec<Event> = (0..120).map(|i| ev((i % 2) as u32, i, i)).collect();
+        let mut op = Operator::new(query);
+        let _ = op.run(&VecStream::from_ordered(events), &mut KeepAll);
+        assert_eq!(op.resident_entries(), 0, "flush must empty the ring");
+        assert!(
+            op.peak_resident_entries() <= 12,
+            "peak {} exceeds one window span",
+            op.peak_resident_entries()
+        );
+        assert!(op.peak_resident_entries() >= 12 - 3);
+    }
+
+    #[test]
+    fn no_events_are_buffered_while_no_window_is_open() {
+        // The opener type never arrives: nothing may accumulate in the ring.
+        let query = seq_query(WindowSpec::count_on_types(vec![ty(0)], 3));
+        let events: Vec<Event> = (0..50).map(|i| ev(1 + (i % 2) as u32, i, i)).collect();
+        let mut op = Operator::new(query);
+        let matches = op.run(&VecStream::from_ordered(events), &mut KeepAll);
+        assert!(matches.is_empty());
+        assert_eq!(op.stats().assignments, 0);
+        assert_eq!(op.peak_resident_entries(), 0);
+    }
+
+    #[test]
+    fn dropped_events_stay_resident_only_within_the_window_span() {
+        // Drops are per window: the shared slot stays (another window may
+        // keep the event), but closing windows releases it.
+        let query = seq_query(WindowSpec::count_sliding(6, 2));
+        let events: Vec<Event> = (0..60).map(|i| ev((i % 2) as u32, i, i)).collect();
+        let mut op = Operator::new(query);
+        let _ = op.run(&VecStream::from_ordered(events), &mut DropType(ty(1)));
+        assert!(op.stats().dropped > 0);
+        assert!(op.peak_resident_entries() <= 6);
+        assert_eq!(op.resident_entries(), 0);
     }
 
     #[test]

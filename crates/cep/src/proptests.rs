@@ -1,11 +1,27 @@
 //! Property-based tests of the windowing and matching invariants.
 
+use crate::reference::ReferenceOperator;
 use crate::{
-    KeepAll, Matcher, Operator, Pattern, PatternStep, Query, SelectionPolicy, ShardedEngine,
-    SkipPolicy, WindowEntry, WindowSpec,
+    Decision, KeepAll, Matcher, Operator, Pattern, PatternStep, Query, SelectionPolicy,
+    ShardedEngine, SkipPolicy, WindowEntry, WindowEventDecider, WindowMeta, WindowSpec,
 };
 use espice_events::{Event, EventType, Timestamp, VecStream};
 use proptest::prelude::*;
+
+/// A stateless, shard-invariant decider with non-trivial drops, used to
+/// exercise the drop-set path of the ring storage.
+#[derive(Debug, Clone, Copy)]
+struct DropEveryThird;
+
+impl WindowEventDecider for DropEveryThird {
+    fn decide(&mut self, _meta: &WindowMeta, position: usize, _event: &Event) -> Decision {
+        if position % 3 == 2 {
+            Decision::Drop
+        } else {
+            Decision::Keep
+        }
+    }
+}
 
 fn type_sequence(max_len: usize) -> impl Strategy<Value = Vec<u32>> {
     prop::collection::vec(0u32..5, 1..max_len)
@@ -171,6 +187,64 @@ proptest! {
             let mut engine = ShardedEngine::new(query.clone(), shards);
             prop_assert_eq!(engine.run_keep_all(&stream), expected.clone());
             prop_assert_eq!(&engine.stats().merged, single.stats());
+        }
+    }
+
+    /// High-overlap identity: with slide ≪ window, the ring-backed operator
+    /// emits exactly the complex events and statistics of the seed
+    /// per-window reference implementation — with and without drops, for
+    /// N shards ∈ {1, 2, 4} — while storing each event once instead of once
+    /// per overlapping window.
+    #[test]
+    fn ring_storage_equals_reference_per_window_storage(
+        types in type_sequence(160),
+        size in 4usize..24,
+        slide in 1usize..4,
+        shed in prop::bool::ANY,
+    ) {
+        let query = Query::builder()
+            .pattern(Pattern::sequence([EventType::from_index(0), EventType::from_index(1)]))
+            .window(WindowSpec::count_sliding(size, slide))
+            .build();
+        let events: Vec<Event> = types
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| Event::new(EventType::from_index(t), Timestamp::from_secs(i as u64), i as u64))
+            .collect();
+        let stream = VecStream::from_ordered(events);
+
+        macro_rules! run_with_decider {
+            ($runner:expr) => {
+                if shed { $runner(&mut DropEveryThird) } else { $runner(&mut KeepAll) }
+            };
+        }
+
+        let mut reference = ReferenceOperator::new(query.clone());
+        let expected = run_with_decider!(|d: &mut dyn WindowEventDecider| reference.run(&stream, d));
+
+        let mut ring_op = Operator::new(query.clone());
+        let actual = run_with_decider!(|d: &mut dyn WindowEventDecider| ring_op.run(&stream, d));
+        prop_assert_eq!(&actual, &expected);
+        prop_assert_eq!(ring_op.stats(), reference.stats());
+        // The ring stores each assigned event once (kept or dropped); the
+        // reference stores every *kept* event once per window. At overlap
+        // >= 2 with drop ratio <= 1/3 the ring always wins.
+        if size / slide >= 2 {
+            prop_assert!(ring_op.peak_resident_entries() <= reference.peak_resident_entries(),
+                "ring peak {} vs reference peak {}",
+                ring_op.peak_resident_entries(), reference.peak_resident_entries());
+        }
+
+        for shards in [1usize, 2, 4] {
+            let mut engine = ShardedEngine::new(query.clone(), shards);
+            let merged = if shed {
+                let mut deciders = vec![DropEveryThird; shards];
+                engine.run(&stream, &mut deciders)
+            } else {
+                engine.run_keep_all(&stream)
+            };
+            prop_assert_eq!(&merged, &expected, "diverged from reference at {} shards", shards);
+            prop_assert_eq!(&engine.stats().merged, reference.stats());
         }
     }
 

@@ -1,0 +1,223 @@
+//! Shared event storage for overlapping windows.
+//!
+//! With sliding windows of size `w` and slide `s`, every event belongs to
+//! `w / s` windows at once. Storing a [`WindowEntry`]-style copy per window
+//! makes the operator's per-event work O(overlap); the [`EventRing`] stores
+//! each event **once** and lets every open window reference its events as a
+//! contiguous index range `[start, start + assigned)` of *global slots*.
+//! Because an open window is assigned every event that arrives while it is
+//! open, an event's per-window arrival position is simply
+//! `slot - window.start` — no per-window bookkeeping beyond the start slot.
+//!
+//! Shedding decisions are per (event, window): an event can be dropped from
+//! one window and kept in another. The ring therefore stores every assigned
+//! event and each window records *its own* drops in a [`DropSet`] — a sorted
+//! list of dropped positions that is merged away when the window closes.
+//!
+//! The pruning invariant: the ring retains exactly the slots at or above the
+//! oldest open window's start (everything below can no longer be referenced,
+//! because windows close in open order). The operator calls
+//! [`EventRing::release_before`] after every window close, so the resident
+//! entry count is bounded by the span of a single window plus slack — not by
+//! the window span times the overlap factor.
+//!
+//! [`WindowEntry`]: crate::WindowEntry
+
+use espice_events::Event;
+use std::collections::vec_deque;
+use std::collections::VecDeque;
+
+/// Global index of a slot in an operator's [`EventRing`]. Slot numbers are
+/// assigned once per appended event and never reused, so they stay valid
+/// across pruning.
+pub type SlotIndex = u64;
+
+/// The shared, prunable event store of one operator.
+#[derive(Debug, Default)]
+pub struct EventRing {
+    events: VecDeque<Event>,
+    /// Global slot index of `events.front()`.
+    base: SlotIndex,
+}
+
+impl EventRing {
+    /// An empty ring whose next slot is 0.
+    pub fn new() -> Self {
+        EventRing { events: VecDeque::new(), base: 0 }
+    }
+
+    /// The slot index the next appended event will receive.
+    pub fn next_slot(&self) -> SlotIndex {
+        self.base + self.events.len() as SlotIndex
+    }
+
+    /// Appends one event, returning its slot index.
+    pub fn push(&mut self, event: Event) -> SlotIndex {
+        let slot = self.next_slot();
+        self.events.push_back(event);
+        slot
+    }
+
+    /// Number of events currently resident.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the ring currently holds no events.
+    #[allow(dead_code)] // API completeness next to `len`; used in tests.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates the `len` events starting at slot `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slot of the range has been pruned or not yet been
+    /// appended.
+    pub fn range(&self, start: SlotIndex, len: usize) -> vec_deque::Iter<'_, Event> {
+        assert!(start >= self.base, "slot {start} already pruned (base {})", self.base);
+        let offset = (start - self.base) as usize;
+        self.events.range(offset..offset + len)
+    }
+
+    /// Drops every event below slot `start` (the start of the oldest window
+    /// still open). No-op if those slots are already gone.
+    pub fn release_before(&mut self, start: SlotIndex) {
+        while self.base < start {
+            self.events.pop_front().expect("ring slots below a window start are resident");
+            self.base += 1;
+        }
+    }
+
+    /// Drops every resident event (no window is open). Slot numbering
+    /// continues where it left off.
+    pub fn release_all(&mut self) {
+        self.base = self.next_slot();
+        self.events.clear();
+    }
+
+    /// Empties the ring **and** restarts slot numbering at 0 (operator
+    /// reset).
+    pub fn reset(&mut self) {
+        self.events.clear();
+        self.base = 0;
+    }
+}
+
+/// The positions a single window dropped, as a sorted list.
+///
+/// Positions are appended in arrival order, so the list is sorted by
+/// construction and closing a window is a linear merge of the ring slice
+/// with this list. The sorted list was chosen over a per-window bitset
+/// because it costs nothing when shedding is off — the common case — and
+/// its iteration is O(dropped) rather than O(assigned); a bitset becomes
+/// smaller above a ~25% drop ratio (one u32 per drop vs one bit per
+/// assigned slot), and benching that crossover to switch representations
+/// adaptively is an open ROADMAP item.
+#[derive(Debug, Default, Clone)]
+pub struct DropSet {
+    positions: Vec<u32>,
+}
+
+impl DropSet {
+    /// An empty drop set.
+    pub fn new() -> Self {
+        DropSet { positions: Vec::new() }
+    }
+
+    /// Records that `position` was dropped. Positions must be recorded in
+    /// increasing order (they arrive in arrival order).
+    pub fn push(&mut self, position: usize) {
+        let position = u32::try_from(position).expect("window positions fit in u32");
+        debug_assert!(
+            self.positions.last().is_none_or(|&last| last < position),
+            "drop positions must be recorded in increasing order"
+        );
+        self.positions.push(position);
+    }
+
+    /// Number of dropped positions.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether nothing was dropped.
+    #[allow(dead_code)] // API completeness next to `len`; used in tests.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The dropped positions in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.positions.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use espice_events::{EventType, Timestamp};
+
+    fn ev(seq: u64) -> Event {
+        Event::new(EventType::from_index(0), Timestamp::from_secs(seq), seq)
+    }
+
+    #[test]
+    fn slots_are_stable_across_pruning() {
+        let mut ring = EventRing::new();
+        for seq in 0..10 {
+            assert_eq!(ring.push(ev(seq)), seq);
+        }
+        ring.release_before(4);
+        assert_eq!(ring.len(), 6);
+        assert_eq!(ring.next_slot(), 10);
+        let seqs: Vec<u64> = ring.range(5, 3).map(Event::seq).collect();
+        assert_eq!(seqs, vec![5, 6, 7]);
+        // Releasing below the current base is a no-op.
+        ring.release_before(2);
+        assert_eq!(ring.len(), 6);
+    }
+
+    #[test]
+    fn release_all_keeps_slot_numbering() {
+        let mut ring = EventRing::new();
+        ring.push(ev(0));
+        ring.push(ev(1));
+        ring.release_all();
+        assert!(ring.is_empty());
+        assert_eq!(ring.next_slot(), 2);
+        assert_eq!(ring.push(ev(2)), 2);
+    }
+
+    #[test]
+    fn reset_restarts_numbering() {
+        let mut ring = EventRing::new();
+        ring.push(ev(0));
+        ring.reset();
+        assert!(ring.is_empty());
+        assert_eq!(ring.next_slot(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already pruned")]
+    fn range_rejects_pruned_slots() {
+        let mut ring = EventRing::new();
+        for seq in 0..4 {
+            ring.push(ev(seq));
+        }
+        ring.release_before(2);
+        let _ = ring.range(1, 2);
+    }
+
+    #[test]
+    fn drop_set_iterates_in_order() {
+        let mut drops = DropSet::new();
+        assert!(drops.is_empty());
+        drops.push(1);
+        drops.push(4);
+        drops.push(9);
+        assert_eq!(drops.len(), 3);
+        assert_eq!(drops.iter().collect::<Vec<_>>(), vec![1, 4, 9]);
+    }
+}

@@ -66,6 +66,12 @@ impl Shard {
         self.operator.stats()
     }
 
+    /// Peak number of events resident in this shard's shared event ring
+    /// during the run (see [`Operator::peak_resident_entries`]).
+    pub fn peak_resident_entries(&self) -> usize {
+        self.operator.peak_resident_entries()
+    }
+
     /// Seeds the operator's window-size prediction (relevant for time-based,
     /// variable-size windows).
     pub fn set_window_size_hint(&mut self, hint: usize) {

@@ -71,7 +71,9 @@ pub trait WindowEventDecider {
     /// implementation delegates to [`decide`] per request, so existing
     /// deciders keep working unchanged; overrides must produce exactly the
     /// decisions the sequential delegation would, in the same order, because
-    /// the two paths are interchangeable.
+    /// the two paths are interchangeable. Requests arrive ordered by window
+    /// age (oldest open window first, i.e. ascending window id among the
+    /// windows this operator materialises).
     ///
     /// [`decide`]: WindowEventDecider::decide
     fn decide_batch(
@@ -88,8 +90,15 @@ pub trait WindowEventDecider {
     }
 
     /// Notifies the decider that a window has closed with `size` events
-    /// assigned to it in total. Default: no-op. eSPICE uses this to update its
-    /// window-size prediction and training statistics.
+    /// assigned to it in total. Default: no-op. eSPICE uses this to update
+    /// its window-size prediction and training statistics.
+    ///
+    /// The operator calls this exactly once per materialised window, before
+    /// the closing window's events are matched. Deciders that key state on
+    /// `meta.id` — such as eSPICE's per-window boundary-thinning
+    /// accumulators — must release that state here; the operator guarantees
+    /// no further decisions for this window id will follow, so per-window
+    /// state stays bounded by the number of concurrently open windows.
     fn window_closed(&mut self, meta: &WindowMeta, size: usize) {
         let _ = (meta, size);
     }

@@ -39,6 +39,19 @@ pub enum WindowExtent {
     Time(SimDuration),
 }
 
+impl WindowExtent {
+    /// Whether an event still falls into a window opened at `opened_at` that
+    /// currently holds `assigned` events. `Copy`, so the operator can cache
+    /// the extent once and test it on the hot path without borrowing (or
+    /// cloning) the whole [`WindowSpec`].
+    pub fn accepts(self, opened_at: Timestamp, assigned: usize, event: &Event) -> bool {
+        match self {
+            WindowExtent::Count(size) => assigned < size,
+            WindowExtent::Time(dur) => event.timestamp() < opened_at + dur,
+        }
+    }
+}
+
 /// A complete window specification: open policy plus extent.
 ///
 /// # Example
@@ -137,10 +150,7 @@ impl WindowSpec {
     /// Whether an event with timestamp `ts` still falls into a window opened
     /// at `opened_at` that currently holds `assigned` events.
     pub fn accepts(&self, opened_at: Timestamp, assigned: usize, event: &Event) -> bool {
-        match self.extent {
-            WindowExtent::Count(size) => assigned < size,
-            WindowExtent::Time(dur) => event.timestamp() < opened_at + dur,
-        }
+        self.extent.accepts(opened_at, assigned, event)
     }
 }
 

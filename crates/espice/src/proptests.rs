@@ -5,8 +5,11 @@ use crate::{
     BaselineShedder, EspiceShedder, ModelBuilder, ModelConfig, OverloadConfig, RandomShedder,
     ShedPlan, ShedPlanner,
 };
-use espice_cep::{Pattern, WindowEventDecider, WindowMeta};
-use espice_events::{Event, EventType, SimDuration, Timestamp};
+use espice_cep::reference::ReferenceOperator;
+use espice_cep::{
+    Operator, Pattern, Query, ShardedEngine, WindowEventDecider, WindowMeta, WindowSpec,
+};
+use espice_events::{Event, EventType, SimDuration, Timestamp, VecStream};
 use proptest::prelude::*;
 
 /// Builds a model from a randomly composed window population.
@@ -111,6 +114,111 @@ proptest! {
             "realised {realised} vs requested {drop_fraction}");
         prop_assert!(realised <= drop_fraction + 1.0 / positions as f64 + 0.02,
             "realised {realised} overshoots {drop_fraction}");
+    }
+
+    /// Shard invariance of shedded output: because the boundary-thinning
+    /// accumulator is keyed per window id (seeded from `WindowMeta.id`), an
+    /// N-shard engine running one eSPICE shedder instance per shard drops
+    /// exactly the *same events* as a 1-shard run — complex events and
+    /// merged statistics (drops included) are identical for N ∈ {1, 2, 4}.
+    /// With the old per-shedder-instance accumulator only the drop *amount*
+    /// was shard-invariant.
+    #[test]
+    fn sharded_espice_shedding_is_event_identical(
+        types in prop::collection::vec(0u32..6, 30..160),
+        window_size in 4usize..16,
+        slide in 1usize..4,
+        drop_fraction in 0.1f64..0.8,
+    ) {
+        let model = model_from(&types[..window_size.min(types.len())], &[0, 2]);
+        let plan = ShedPlan {
+            active: true,
+            partitions: 2,
+            partition_size: window_size.div_ceil(2),
+            events_to_drop: drop_fraction * window_size.div_ceil(2) as f64,
+        };
+        let query = Query::builder()
+            .pattern(Pattern::sequence([EventType::from_index(0), EventType::from_index(1)]))
+            .window(WindowSpec::count_sliding(window_size, slide))
+            .build();
+        let events: Vec<Event> = types
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| Event::new(EventType::from_index(t), Timestamp::from_secs(i as u64), i as u64))
+            .collect();
+        let stream = VecStream::from_ordered(events);
+
+        let mut armed = EspiceShedder::new(model);
+        armed.apply(plan);
+
+        let mut single_shedder = armed.clone();
+        let mut single = Operator::new(query.clone());
+        let expected = single.run(&stream, &mut single_shedder);
+
+        for shards in [1usize, 2, 4] {
+            let mut engine = ShardedEngine::new(query.clone(), shards);
+            let mut deciders = vec![armed.clone(); shards];
+            let merged = engine.run(&stream, &mut deciders);
+            prop_assert_eq!(&merged, &expected, "complex events diverged at {} shards", shards);
+            prop_assert_eq!(&engine.stats().merged, single.stats(),
+                "stats diverged at {} shards", shards);
+            let mut shed_stats = crate::ShedderStats::default();
+            for decider in &deciders {
+                shed_stats.merge(decider.stats());
+            }
+            prop_assert_eq!(shed_stats.drops, single_shedder.stats().drops);
+            prop_assert_eq!(shed_stats.decisions, single_shedder.stats().decisions);
+        }
+    }
+
+    /// High-overlap identity under an active plan (slide ≪ window): the
+    /// ring-backed operator with an armed eSPICE shedder produces exactly
+    /// the complex events and operator statistics of the seed per-window
+    /// reference implementation driving an identically armed shedder.
+    #[test]
+    fn ring_operator_matches_reference_under_active_shedding(
+        types in prop::collection::vec(0u32..6, 40..200),
+        window_size in 8usize..24,
+        slide in 1usize..3,
+        drop_fraction in 0.1f64..0.7,
+    ) {
+        let model = model_from(&types[..window_size.min(types.len())], &[1, 3]);
+        let plan = ShedPlan {
+            active: true,
+            partitions: 3,
+            partition_size: window_size.div_ceil(3),
+            events_to_drop: drop_fraction * window_size.div_ceil(3) as f64,
+        };
+        let query = Query::builder()
+            .pattern(Pattern::sequence([EventType::from_index(0), EventType::from_index(1)]))
+            .window(WindowSpec::count_sliding(window_size, slide))
+            .build();
+        let events: Vec<Event> = types
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| Event::new(EventType::from_index(t), Timestamp::from_secs(i as u64), i as u64))
+            .collect();
+        let stream = VecStream::from_ordered(events);
+
+        let mut armed = EspiceShedder::new(model);
+        armed.apply(plan);
+
+        let mut reference_shedder = armed.clone();
+        let mut reference = ReferenceOperator::new(query.clone());
+        let expected = reference.run(&stream, &mut reference_shedder);
+
+        let mut ring_shedder = armed;
+        let mut ring = Operator::new(query);
+        let actual = ring.run(&stream, &mut ring_shedder);
+
+        prop_assert_eq!(&actual, &expected);
+        prop_assert_eq!(ring.stats(), reference.stats());
+        prop_assert_eq!(ring_shedder.stats(), reference_shedder.stats());
+        // Overlap >= 4: shared storage must beat per-window storage even
+        // though the ring also retains the dropped slots.
+        if window_size / slide >= 4 && reference_shedder.stats().drop_ratio() < 0.5 {
+            prop_assert!(ring.peak_resident_entries() <= reference.peak_resident_entries());
+        }
     }
 
     /// The baseline's expected drops per window equal the quota whenever the

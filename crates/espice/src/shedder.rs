@@ -7,7 +7,7 @@
 //! or equal to the threshold of the partition the position falls into.
 
 use crate::{Cdt, ShedPlan, UtilityModel};
-use espice_cep::{BatchRequest, Decision, WindowEventDecider, WindowMeta};
+use espice_cep::{BatchRequest, Decision, WindowEventDecider, WindowId, WindowMeta};
 use espice_events::Event;
 use serde::{Deserialize, Serialize};
 
@@ -41,7 +41,8 @@ impl ShedderStats {
     }
 }
 
-/// Per-partition shedding state.
+/// Per-partition shedding state (immutable once a plan is applied; the
+/// mutable boundary accumulators live per *window* in [`ActiveShedding`]).
 #[derive(Debug, Clone)]
 struct PartitionShedding {
     /// Utility threshold `u_th(part)`: events with utility strictly below the
@@ -54,41 +55,98 @@ struct PartitionShedding {
     /// that overshoot can be large, so the boundary level is thinned
     /// deterministically).
     boundary_fraction: f64,
-    /// Running accumulator implementing the deterministic boundary fraction
-    /// (error-diffusion: drop when the accumulated fraction reaches 1).
-    boundary_accumulator: f64,
 }
 
 impl PartitionShedding {
-    /// Decides whether an event of `utility` is dropped, advancing the
-    /// boundary-thinning accumulator when the utility sits exactly on the
-    /// threshold. Shared by the scalar and the batched decision paths so the
-    /// two are decision-for-decision identical.
-    fn should_drop(&mut self, utility: u8) -> bool {
+    /// Threshold-only classification: `Some(drop?)` when the utility is
+    /// strictly below or above the threshold, `None` when it sits exactly on
+    /// the boundary and [`thin_boundary`](Self::thin_boundary) must decide.
+    /// Split from the thinning so the hot path only touches the per-window
+    /// accumulator map in the rare boundary case.
+    #[inline]
+    fn classify(&self, utility: u8) -> Option<bool> {
         match self.threshold {
-            None => false,
-            Some(threshold) if utility < threshold => true,
-            Some(threshold) if utility == threshold => {
-                // Deterministic thinning of the boundary utility level so the
-                // expected drops per partition match the requested amount.
-                self.boundary_accumulator += self.boundary_fraction;
-                if self.boundary_accumulator >= 1.0 - 1e-9 {
-                    self.boundary_accumulator -= 1.0;
-                    true
-                } else {
-                    false
-                }
-            }
-            Some(_) => false,
+            None => Some(false),
+            Some(threshold) if utility < threshold => Some(true),
+            Some(threshold) if utility == threshold => None,
+            Some(_) => Some(false),
+        }
+    }
+
+    /// Deterministic thinning of the boundary utility level so the expected
+    /// drops per partition match the requested amount: advances the window's
+    /// boundary accumulator and drops when it crosses 1. Shared by the
+    /// scalar and the batched decision paths so the two are
+    /// decision-for-decision identical.
+    fn thin_boundary(&self, accumulator: &mut f64) -> bool {
+        *accumulator += self.boundary_fraction;
+        if *accumulator >= 1.0 - 1e-9 {
+            *accumulator -= 1.0;
+            true
+        } else {
+            false
         }
     }
 }
 
-/// The currently active shedding state: per-partition thresholds.
+/// The boundary-thinning accumulator's starting phase for a window.
+///
+/// Accumulators are keyed per window id, so the thinning decision for a
+/// boundary event depends only on `(window id, arrival order within the
+/// window)` — an N-shard engine, where each window is decided by whichever
+/// shard owns its id, thins exactly the same boundary events as a 1-shard
+/// run. The phase itself is a constant ½: per window and partition the
+/// realised boundary drops are then `round(n · fraction)` — unbiased to
+/// within half an event — and overlapping windows thin *aligned* arrivals,
+/// which concentrates the boundary damage on few distinct events. (An
+/// id-seeded golden-ratio phase was tried here; being equidistributed it
+/// staggered the thinning across overlapping windows so nearly every window
+/// lost a *different* event, which measurably worsened false negatives on
+/// the soccer man-marking workload.)
+fn boundary_seed(id: WindowId) -> f64 {
+    let _ = id;
+    0.5
+}
+
+/// The currently active shedding state: per-partition thresholds plus the
+/// per-window boundary accumulators.
 #[derive(Debug, Clone)]
 struct ActiveShedding {
     partitions: usize,
     per_partition: Vec<PartitionShedding>,
+    /// One boundary accumulator per partition per *open* window, created
+    /// lazily on the window's first boundary-level decision (decisions
+    /// strictly above or below the threshold never touch this) and released
+    /// by [`WindowEventDecider::window_closed`]. A linear-scan association
+    /// list rather than a hash map: live entries are bounded by the number
+    /// of concurrently open windows that hit the boundary level (tens, not
+    /// thousands), and a short id scan beats hashing on that scale.
+    accumulators: Vec<(WindowId, Box<[f64]>)>,
+}
+
+impl ActiveShedding {
+    /// The accumulators of window `id`, seeding them on first contact.
+    fn accumulators_for(
+        accumulators: &mut Vec<(WindowId, Box<[f64]>)>,
+        partitions: usize,
+        id: WindowId,
+    ) -> &mut [f64] {
+        match accumulators.iter().position(|(window, _)| *window == id) {
+            Some(index) => &mut accumulators[index].1,
+            None => {
+                accumulators.push((id, vec![boundary_seed(id); partitions].into()));
+                &mut accumulators.last_mut().expect("just pushed").1
+            }
+        }
+    }
+
+    /// Releases window `id`'s accumulators (no-op if it never hit the
+    /// boundary level).
+    fn release(&mut self, id: WindowId) {
+        if let Some(index) = self.accumulators.iter().position(|(window, _)| *window == id) {
+            self.accumulators.swap_remove(index);
+        }
+    }
 }
 
 /// eSPICE's probabilistic load shedder.
@@ -179,11 +237,7 @@ impl EspiceShedder {
             .map(|cdt: &Cdt| {
                 let target = drop_fraction * cdt.total();
                 if target <= 0.0 {
-                    return PartitionShedding {
-                        threshold: None,
-                        boundary_fraction: 0.0,
-                        boundary_accumulator: 0.0,
-                    };
+                    return PartitionShedding { threshold: None, boundary_fraction: 0.0 };
                 }
                 // If even utility 100 cannot reach the requested amount the
                 // partition simply drops everything it can (threshold 100).
@@ -195,11 +249,7 @@ impl EspiceShedder {
                 } else {
                     ((target - below) / at_threshold).clamp(0.0, 1.0)
                 };
-                PartitionShedding {
-                    threshold: Some(threshold),
-                    boundary_fraction,
-                    boundary_accumulator: 0.0,
-                }
+                PartitionShedding { threshold: Some(threshold), boundary_fraction }
             })
             .collect()
     }
@@ -218,7 +268,7 @@ impl EspiceShedder {
         let partitions = plan.partitions.max(1);
         let per_partition =
             self.thresholds_for(partitions, plan.events_to_drop, plan.partition_size);
-        self.active = Some(ActiveShedding { partitions, per_partition });
+        self.active = Some(ActiveShedding { partitions, per_partition, accumulators: Vec::new() });
     }
 
     /// Stops shedding; every subsequent decision keeps the event.
@@ -236,7 +286,16 @@ impl WindowEventDecider for EspiceShedder {
         let window_size = meta.predicted_size.max(1);
         let utility = self.model.utility(event.event_type(), position, window_size);
         let partition = self.model.partition_of(position, window_size, active.partitions);
-        if active.per_partition[partition].should_drop(utility) {
+        let part = &active.per_partition[partition];
+        let drop = part.classify(utility).unwrap_or_else(|| {
+            let accumulators = ActiveShedding::accumulators_for(
+                &mut active.accumulators,
+                active.partitions,
+                meta.id,
+            );
+            part.thin_boundary(&mut accumulators[partition])
+        });
+        if drop {
             self.stats.drops += 1;
             Decision::Drop
         } else {
@@ -269,7 +328,18 @@ impl WindowEventDecider for EspiceShedder {
             let window_size = request.meta.predicted_size.max(1);
             let utility = self.model.utility_in_row(row, request.position, window_size);
             let partition = self.model.partition_of(request.position, window_size, partitions);
-            if active.per_partition[partition].should_drop(utility) {
+            let part = &active.per_partition[partition];
+            let drop = part.classify(utility).unwrap_or_else(|| {
+                // Rare path: utility sits exactly on the threshold, so the
+                // window's boundary accumulator decides.
+                let accumulators = ActiveShedding::accumulators_for(
+                    &mut active.accumulators,
+                    partitions,
+                    request.meta.id,
+                );
+                part.thin_boundary(&mut accumulators[partition])
+            });
+            if drop {
                 drops += 1;
                 decisions.push(Decision::Drop);
             } else {
@@ -277,6 +347,15 @@ impl WindowEventDecider for EspiceShedder {
             }
         }
         self.stats.drops += drops;
+    }
+
+    /// Releases the closed window's boundary accumulators; with the
+    /// per-window keying this is what keeps the accumulator map bounded by
+    /// the number of concurrently open windows.
+    fn window_closed(&mut self, meta: &WindowMeta, _size: usize) {
+        if let Some(active) = self.active.as_mut() {
+            active.release(meta.id);
+        }
     }
 }
 
