@@ -68,17 +68,25 @@ fn main() {
     let expected = Operator::new(query.clone()).run(&stream, &mut KeepAll);
     for shards in [2usize, 4] {
         let mut engine = ShardedEngine::new(query.clone(), shards);
-        assert_eq!(engine.run_keep_all(&stream), expected, "{shards}-shard output diverged");
+        let mut deciders = vec![KeepAll; shards];
+        assert_eq!(
+            engine.run_slice(&stream, &mut deciders),
+            expected,
+            "{shards}-shard output diverged"
+        );
     }
     println!("output identical across 1/2/4 shards ({} complex events)", expected.len());
 
-    // Wall-clock engine throughput per shard count.
+    // Wall-clock engine throughput per shard count, on the slice path (the
+    // streaming backend's hand-off cost is measured by the
+    // `streaming_throughput` bench).
     let reps = 3;
     let mut wall = Vec::new();
     for shards in [1usize, 2, 4] {
         let secs = time_best(reps, || {
             let mut engine = ShardedEngine::new(query.clone(), shards);
-            black_box(engine.run_keep_all(&stream));
+            let mut deciders = vec![KeepAll; shards];
+            black_box(engine.run_slice(&stream, &mut deciders));
         });
         let rate = events as f64 / secs;
         println!("wall-clock      {shards} shard(s): {secs:.3} s  ({rate:.0} events/s)");

@@ -158,6 +158,7 @@ pub fn experiment_config() -> ExperimentConfig {
         training_fraction: 0.5,
         seed: 1,
         shards: 1,
+        backend: espice_runtime::EngineBackend::Slice,
     }
 }
 

@@ -1,29 +1,52 @@
-//! The sharded, batch-oriented CEP engine.
+//! The sharded, stream-driven CEP engine.
 //!
 //! The eSPICE prototype deliberately throttles itself to a single operator
 //! thread; this engine is the scale-out counterpart. It hash-partitions the
 //! window population by global window id across `N` independent [`Shard`]s —
 //! each with its own [`Operator`] and its own [`WindowEventDecider`] instance
-//! — and runs them on scoped threads over a shared event slice. Because
-//! window-open decisions depend only on the stream, every shard derives the
-//! same global window ids without coordination, and the merged output is
-//! *identical* (ids, constituents and order included) to a single unsharded
-//! operator run for any decider whose decisions are a function of
-//! `(window id, position, event, predicted size)` alone. eSPICE's boundary
-//! thinning qualifies since its accumulator became keyed per window id, so
-//! shedded output is shard-invariant on count-based windows. The one
-//! remaining caveat concerns time-based (variable-size) windows: each
-//! shard's window-size predictor only observes the windows it owns, so
-//! `WindowMeta::predicted_size` can drift between shard counts, and deciders
-//! that scale positions by the predicted size (eSPICE on time windows) may
-//! pick different events. Count-based windows, whose size is exact, carry no
-//! such drift.
+//! — fed through **bounded per-shard SPSC queues**: the producer thread
+//! pulls events incrementally from an [`EventSource`] and broadcasts each
+//! one to every shard's queue, blocking while a queue is full
+//! (backpressure), while each shard's scoped thread drains its own queue.
+//! Shards therefore start before the stream is fully buffered, and the
+//! *measured* queue depth and drain rate are reported back to the deciders
+//! (see [`ShardedEngine::set_check_interval`]) — the hook eSPICE's
+//! closed-loop overload detection attaches to. [`ShardedEngine::run`]
+//! remains as the slice-compatible wrapper over the same pipeline.
+//!
+//! Because window-open decisions depend only on the stream, every shard
+//! derives the same global window ids without coordination, and the merged
+//! output is *identical* (ids, constituents and order included) to a single
+//! unsharded operator run — regardless of shard count, queue capacity or
+//! thread timing — for any decider whose decisions are a function of
+//! `(window id, position, event)`; on count-based windows, whose size is
+//! exact, `predicted size` joins that list, which covers eSPICE (its
+//! boundary-thinning accumulator is keyed per window id), so shedded
+//! output is shard-invariant there. The exception is `predicted size` on
+//! time-based (variable-size) windows: the engine's shards share one
+//! [`SharedSizePredictor`] — an engine-wide running mean, so predictions
+//! no longer drift with the shard count, but they deliberately differ from
+//! the *local EWMA* a standalone [`Operator`] keeps (and their mid-run
+//! values can vary with thread timing). Deciders that scale positions by
+//! the predicted size (eSPICE on time windows) therefore match the
+//! engine's own runs across shard counts, not a standalone operator's.
 //!
 //! [`Operator`]: crate::Operator
 //! [`WindowEventDecider`]: crate::WindowEventDecider
+//! [`EventSource`]: espice_events::EventSource
+//! [`SharedSizePredictor`]: crate::SharedSizePredictor
 
+use crate::queue::{spsc, QueueStats};
+use crate::window::SharedSizePredictor;
 use crate::{ComplexEvent, KeepAll, OperatorStats, Query, Shard, WindowEventDecider};
-use espice_events::EventStream;
+use espice_events::{EventSource, EventStream, SliceSource};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Default capacity of each shard's bounded input queue: large enough to
+/// amortise producer/consumer hand-off, small enough that backpressure
+/// engages well before memory matters.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 1024;
 
 /// Engine-level statistics: the per-shard operator counters plus their merged
 /// totals.
@@ -68,6 +91,19 @@ pub struct EngineStats {
 pub struct ShardedEngine {
     shards: Vec<Shard>,
     events_processed: u64,
+    /// Capacity of each shard's bounded input queue on the streaming path.
+    queue_capacity: usize,
+    /// Cadence at which drain loops report [`QueueSample`]s to their
+    /// deciders; `None` (the default) disables sampling entirely so
+    /// slice-style runs pay no clock reads.
+    ///
+    /// [`QueueSample`]: crate::QueueSample
+    check_interval: Option<Duration>,
+    /// Queue counters of the most recent streaming run, one per shard.
+    queue_stats: Vec<QueueStats>,
+    /// Window-size prediction shared by every shard (no drift with the
+    /// shard count on time-based windows).
+    size_predictor: Arc<SharedSizePredictor>,
 }
 
 impl ShardedEngine {
@@ -78,9 +114,57 @@ impl ShardedEngine {
     /// Panics if `shard_count` is zero.
     pub fn new(query: Query, shard_count: usize) -> Self {
         assert!(shard_count >= 1, "the engine needs at least one shard");
-        let shards =
-            (0..shard_count).map(|index| Shard::new(query.clone(), index, shard_count)).collect();
-        ShardedEngine { shards, events_processed: 0 }
+        let initial_size = query.window().expected_size().unwrap_or(100).max(1);
+        let size_predictor = Arc::new(SharedSizePredictor::new(initial_size));
+        let shards = (0..shard_count)
+            .map(|index| {
+                let mut shard = Shard::new(query.clone(), index, shard_count);
+                shard.share_size_predictor(Arc::clone(&size_predictor));
+                shard
+            })
+            .collect();
+        ShardedEngine {
+            shards,
+            events_processed: 0,
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            check_interval: None,
+            queue_stats: Vec::new(),
+            size_predictor,
+        }
+    }
+
+    /// Sets the capacity of every shard's bounded input queue for
+    /// subsequent streaming runs. Smaller capacities backpressure the
+    /// producer earlier; the default is [`DEFAULT_QUEUE_CAPACITY`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn set_queue_capacity(&mut self, capacity: usize) {
+        assert!(capacity >= 1, "queue capacity must be at least 1");
+        self.queue_capacity = capacity;
+    }
+
+    /// The configured per-shard queue capacity.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
+    }
+
+    /// Enables (or disables, with `None`) periodic queue sampling: every
+    /// `interval` of wall time each drain loop hands its decider a measured
+    /// [`QueueSample`] via [`WindowEventDecider::queue_sample`]. This is
+    /// the hook closed-loop overload detection attaches to.
+    ///
+    /// [`QueueSample`]: crate::QueueSample
+    pub fn set_check_interval(&mut self, interval: Option<Duration>) {
+        assert!(interval != Some(Duration::ZERO), "check interval must be positive");
+        self.check_interval = interval;
+    }
+
+    /// Queue counters of the most recent streaming run (empty before the
+    /// first run), indexed by shard.
+    pub fn queue_stats(&self) -> &[QueueStats] {
+        &self.queue_stats
     }
 
     /// The number of shards.
@@ -93,7 +177,7 @@ impl ShardedEngine {
         self.shards[0].operator().query()
     }
 
-    /// Seeds every shard's window-size prediction, e.g. with the average
+    /// Seeds the engine-wide window-size prediction, e.g. with the average
     /// window size observed during model training.
     pub fn set_window_size_hint(&mut self, hint: usize) {
         for shard in &mut self.shards {
@@ -101,25 +185,48 @@ impl ShardedEngine {
         }
     }
 
-    /// Runs the whole stream through all shards — on scoped threads when
-    /// there is more than one — with one decider per shard, and returns the
-    /// merged complex events in single-operator emission order.
-    ///
-    /// Each shard owns a disjoint subset of the windows, so `deciders[i]`
-    /// only ever sees the (event, window) pairs of shard `i`'s windows.
-    /// Deciders whose decisions depend only on `(window id, position, event,
-    /// predicted size)` — [`KeepAll`], the eSPICE shedder with its
-    /// per-window-keyed boundary thinning — produce output identical to an
-    /// unsharded run on count-based windows. The remaining sources of
-    /// divergence: deciders with genuinely cross-window state (e.g. random
-    /// sampling) may pick different events, and on time-based windows each
-    /// shard's size predictor sees only its own closures, so
-    /// `predicted_size`-dependent decisions can drift between shard counts.
+    /// The window-size predictor shared by all shards (relevant for
+    /// time-based, variable-size windows).
+    pub fn shared_size_predictor(&self) -> &SharedSizePredictor {
+        &self.size_predictor
+    }
+
+    /// Runs a materialised stream through the engine: the slice-compatible
+    /// wrapper over [`run_source`](Self::run_source). Existing callers and
+    /// benches keep compiling, but the execution underneath is the
+    /// streaming pipeline — a producer fan-out over bounded per-shard
+    /// queues — not a shared-slice scan. The hand-off costs one clone +
+    /// queue push/pop per event per shard; batch callers that only ever
+    /// process fully materialised streams and want the zero-copy scan
+    /// should call [`run_slice`](Self::run_slice) instead.
     ///
     /// # Panics
     ///
     /// Panics if `deciders.len()` differs from the shard count.
     pub fn run<S, D>(&mut self, stream: &S, deciders: &mut [D]) -> Vec<ComplexEvent>
+    where
+        S: EventStream + ?Sized,
+        D: WindowEventDecider + Send,
+    {
+        let mut source = SliceSource::new(stream.events());
+        self.run_source(&mut source, deciders)
+    }
+
+    /// Runs a materialised stream through all shards as a *shared-slice
+    /// scan*: no queues, no producer thread — every shard (on its own
+    /// scoped thread when there is more than one) iterates the slice
+    /// directly. This is the batch path: it avoids the streaming pipeline's
+    /// per-event hand-off for workloads that are fully materialised anyway,
+    /// and serves as the oracle the streaming path is property-tested
+    /// against. Output and statistics are identical to
+    /// [`run_source`](Self::run_source) for deciders whose decisions are a
+    /// function of `(window id, position, event)` — plus `predicted size`
+    /// on count-based windows, where the prediction is exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deciders.len()` differs from the shard count.
+    pub fn run_slice<S, D>(&mut self, stream: &S, deciders: &mut [D]) -> Vec<ComplexEvent>
     where
         S: EventStream + ?Sized,
         D: WindowEventDecider + Send,
@@ -142,15 +249,89 @@ impl ShardedEngine {
             })
         };
 
-        // Windows close in id order (each window's matches are emitted
-        // contiguously when it closes), so a stable sort by window id
-        // restores the exact single-operator emission order.
-        let mut merged = Vec::with_capacity(outputs.iter().map(Vec::len).sum());
-        for output in &mut outputs {
-            merged.append(output);
-        }
-        merged.sort_by_key(ComplexEvent::window_id);
-        merged
+        merge_outputs(&mut outputs)
+    }
+
+    /// Streams events from `source` through all shards, with one decider
+    /// per shard, and returns the merged complex events in single-operator
+    /// emission order.
+    ///
+    /// Every shard owns a bounded SPSC input queue drained by its own
+    /// scoped thread; the calling thread acts as the producer, pulling one
+    /// event at a time from the source and broadcasting it to every shard's
+    /// queue (each shard derives the same global window ids from the full
+    /// stream, so no coordination is needed). A full queue blocks the
+    /// producer — bounded-queue backpressure instead of unbounded
+    /// buffering — and shards start processing before the stream has been
+    /// fully produced. The measured per-queue state can be fed back to the
+    /// deciders via [`set_check_interval`](Self::set_check_interval).
+    ///
+    /// Each shard owns a disjoint subset of the windows, so `deciders[i]`
+    /// only ever sees the (event, window) pairs of shard `i`'s windows.
+    /// Deciders whose decisions depend only on `(window id, position, event,
+    /// predicted size)` — [`KeepAll`], the eSPICE shedder with its
+    /// per-window-keyed boundary thinning — produce output identical to an
+    /// unsharded slice run on count-based windows, for every queue capacity.
+    /// Deciders with genuinely cross-window state (e.g. random sampling)
+    /// may pick different events; on time-based windows the shards share
+    /// one size predictor, so `predicted_size` no longer drifts with the
+    /// shard count, but its mid-run values can vary with thread timing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deciders.len()` differs from the shard count.
+    pub fn run_source<Src, D>(&mut self, source: &mut Src, deciders: &mut [D]) -> Vec<ComplexEvent>
+    where
+        Src: EventSource + ?Sized,
+        D: WindowEventDecider + Send,
+    {
+        assert_eq!(deciders.len(), self.shards.len(), "need exactly one decider per shard");
+        let capacity = self.queue_capacity;
+        let check_interval = self.check_interval;
+
+        let mut produced = 0u64;
+        let (outputs, queue_stats) = std::thread::scope(|scope| {
+            let mut producers = Vec::with_capacity(self.shards.len());
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .zip(deciders.iter_mut())
+                .map(|(shard, decider)| {
+                    let (producer, consumer) = spsc(capacity);
+                    producers.push(producer);
+                    scope.spawn(move || shard.run_queue(consumer, decider, check_interval))
+                })
+                .collect();
+
+            // Producer fan-out: broadcast each event to every shard queue,
+            // blocking (per queue) while it is full. The last shard takes
+            // the event by move; the others get clones.
+            'produce: while let Some(event) = source.next_event() {
+                produced += 1;
+                let (last, rest) = producers.split_last_mut().expect("at least one shard");
+                for producer in rest {
+                    if !producer.push_blocking(event.clone()) {
+                        break 'produce; // a drain thread died; join reports it
+                    }
+                }
+                if !last.push_blocking(event) {
+                    break 'produce;
+                }
+            }
+            for producer in &mut producers {
+                producer.close();
+            }
+
+            let outputs: Vec<Vec<ComplexEvent>> =
+                handles.into_iter().map(|h| h.join().expect("shard thread panicked")).collect();
+            let queue_stats: Vec<QueueStats> = producers.iter().map(|p| p.stats()).collect();
+            (outputs, queue_stats)
+        });
+        self.events_processed += produced;
+        self.queue_stats = queue_stats;
+
+        let mut outputs = outputs;
+        merge_outputs(&mut outputs)
     }
 
     /// [`run`](Self::run) with a keep-everything decider on every shard
@@ -188,7 +369,22 @@ impl ShardedEngine {
             shard.reset();
         }
         self.events_processed = 0;
+        self.queue_stats.clear();
     }
+}
+
+/// Merges the per-shard outputs into single-operator emission order.
+/// Windows close in id order (each window's matches are emitted contiguously
+/// when it closes), so a stable sort by window id restores the exact
+/// single-operator order. Shared by the slice and streaming paths so the
+/// merge invariant cannot diverge between them.
+fn merge_outputs(outputs: &mut [Vec<ComplexEvent>]) -> Vec<ComplexEvent> {
+    let mut merged = Vec::with_capacity(outputs.iter().map(Vec::len).sum());
+    for output in outputs {
+        merged.append(output);
+    }
+    merged.sort_by_key(ComplexEvent::window_id);
+    merged
 }
 
 #[cfg(test)]
@@ -276,6 +472,46 @@ mod tests {
         let second = engine.run_keep_all(&stream);
         assert_eq!(first, second);
         assert_eq!(first_stats, engine.stats());
+    }
+
+    #[test]
+    fn streaming_source_run_equals_slice_run_even_with_tiny_queues() {
+        let stream = keyed_stream(300);
+        let single = Operator::new(query(12)).run(&stream, &mut crate::KeepAll);
+        for (shards, capacity) in [(1usize, 1usize), (2, 2), (4, 7), (3, 1024)] {
+            let mut engine = ShardedEngine::new(query(12), shards);
+            engine.set_queue_capacity(capacity);
+            let mut source = espice_events::SliceSource::from_stream(&stream);
+            let mut deciders = vec![crate::KeepAll; shards];
+            let merged = engine.run_source(&mut source, &mut deciders);
+            assert_eq!(merged, single, "{shards} shards at capacity {capacity} diverged");
+            let stats = engine.queue_stats();
+            assert_eq!(stats.len(), shards);
+            for queue in stats {
+                assert_eq!(queue.capacity, capacity);
+                assert_eq!(queue.pushed, stream.len() as u64);
+                assert!(queue.peak_depth <= capacity);
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_run_reports_engine_stats_like_the_slice_path() {
+        let stream = keyed_stream(200);
+        let mut single = Operator::new(query(10));
+        let _ = single.run(&stream, &mut crate::KeepAll);
+        let mut engine = ShardedEngine::new(query(10), 2);
+        engine.set_queue_capacity(8);
+        let mut source = espice_events::SliceSource::from_stream(&stream);
+        let _ = engine.run_source(&mut source, &mut [crate::KeepAll; 2]);
+        assert_eq!(&engine.stats().merged, single.stats());
+    }
+
+    #[test]
+    #[should_panic(expected = "queue capacity")]
+    fn zero_queue_capacity_rejected() {
+        let mut engine = ShardedEngine::new(query(8), 1);
+        engine.set_queue_capacity(0);
     }
 
     #[test]

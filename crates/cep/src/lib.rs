@@ -38,7 +38,13 @@
 //! its own decider instance) and merges outputs and statistics back into
 //! single-operator form — byte-identical output for stateless-per-window
 //! deciders on count-based windows (see [`ShardedEngine`] for the
-//! time-window caveat).
+//! time-window caveat). The engine is *stream-driven*: events are pulled
+//! incrementally from an [`EventSource`](espice_events::EventSource) and
+//! broadcast into bounded per-shard SPSC queues ([`queue`]), whose fixed
+//! capacity backpressures the producer and whose measured depth feeds
+//! closed-loop overload detection through
+//! [`WindowEventDecider::queue_sample`]; `ShardedEngine::run` keeps the
+//! slice-compatible entry point on top of the same pipeline.
 //!
 //! # Example
 //!
@@ -77,6 +83,7 @@ mod predicate;
 #[cfg(test)]
 mod proptests;
 mod query;
+pub mod queue;
 #[doc(hidden)]
 pub mod reference;
 mod ring;
@@ -85,15 +92,18 @@ mod shedding;
 mod window;
 
 pub use complex::{ComplexEvent, Constituent};
-pub use engine::{EngineStats, ShardedEngine};
+pub use engine::{EngineStats, ShardedEngine, DEFAULT_QUEUE_CAPACITY};
 pub use matcher::{EntryRef, MatchOutcome, Matcher, WindowEntry};
 pub use operator::{Operator, OperatorStats};
 pub use pattern::{Pattern, PatternStep};
 pub use predicate::{CmpOp, Predicate};
 pub use query::{ConsumptionPolicy, Query, QueryBuilder, SelectionPolicy, SkipPolicy};
+pub use queue::{QueueConsumer, QueueProducer, QueueStats};
 pub use shard::Shard;
-pub use shedding::{BatchRequest, Decision, KeepAll, WindowEventDecider};
-pub use window::{OpenPolicy, SizePredictor, WindowExtent, WindowId, WindowMeta, WindowSpec};
+pub use shedding::{BatchRequest, Decision, KeepAll, QueueSample, WindowEventDecider};
+pub use window::{
+    OpenPolicy, SharedSizePredictor, SizePredictor, WindowExtent, WindowId, WindowMeta, WindowSpec,
+};
 
 /// Convenience re-exports for downstream crates.
 pub mod prelude {

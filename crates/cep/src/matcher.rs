@@ -82,29 +82,72 @@ pub struct Matcher {
     max_matches: usize,
 }
 
-/// Internal accessor abstraction: lets the match core run identically over
-/// owned [`WindowEntry`] slices and zero-copy [`EntryRef`] slices without an
-/// intermediate conversion allocation on either path.
-trait EntryView {
-    fn position(&self) -> usize;
-    fn event(&self) -> &Event;
+/// Internal accessor abstraction: lets the match core index identically
+/// into owned [`WindowEntry`] slices, zero-copy [`EntryRef`] slices and the
+/// (possibly discontiguous) ring-slice pair of an undropped window, without
+/// materialising an intermediate entry vector on any path.
+trait EntryList {
+    fn len(&self) -> usize;
+    fn entry(&self, index: usize) -> EntryRef<'_>;
 }
 
-impl EntryView for WindowEntry {
-    fn position(&self) -> usize {
-        self.position
+impl EntryList for [WindowEntry] {
+    fn len(&self) -> usize {
+        self.len()
     }
-    fn event(&self) -> &Event {
-        &self.event
+    fn entry(&self, index: usize) -> EntryRef<'_> {
+        let entry = &self[index];
+        EntryRef { position: entry.position, event: &entry.event }
     }
 }
 
-impl EntryView for EntryRef<'_> {
-    fn position(&self) -> usize {
-        self.position
+impl EntryList for [EntryRef<'_>] {
+    fn len(&self) -> usize {
+        self.len()
     }
-    fn event(&self) -> &Event {
-        self.event
+    fn entry(&self, index: usize) -> EntryRef<'_> {
+        self[index]
+    }
+}
+
+/// The two contiguous pieces a window's events occupy inside the shared
+/// event ring (a `VecDeque` hands out at most two slices). Valid only for
+/// windows with an empty drop set: every ring slot in the range belongs to
+/// the window, so the arrival position is simply the concatenated index.
+struct RingSlices<'a> {
+    head: &'a [Event],
+    tail: &'a [Event],
+}
+
+impl EntryList for RingSlices<'_> {
+    fn len(&self) -> usize {
+        self.head.len() + self.tail.len()
+    }
+    fn entry(&self, index: usize) -> EntryRef<'_> {
+        let event = if index < self.head.len() {
+            &self.head[index]
+        } else {
+            &self.tail[index - self.head.len()]
+        };
+        EntryRef { position: index, event }
+    }
+}
+
+/// An [`EntryList`] read in window order or reversed (the "last" selection
+/// policy matches the reversed pattern over the reversed window).
+struct Ordered<'a, L: ?Sized> {
+    list: &'a L,
+    reversed: bool,
+}
+
+impl<L: EntryList + ?Sized> Ordered<'_, L> {
+    fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    fn entry(&self, index: usize) -> EntryRef<'_> {
+        let index = if self.reversed { self.list.len() - 1 - index } else { index };
+        self.list.entry(index)
     }
 }
 
@@ -140,8 +183,26 @@ impl Matcher {
         self.matches_impl(window_id, entries)
     }
 
+    /// Zero-copy fast path for a window that dropped nothing: runs the
+    /// matcher directly over the (at most two) contiguous slices the
+    /// window's events occupy in the shared event ring. The arrival
+    /// position of the `i`-th event across the concatenation is `i`, so no
+    /// per-close `EntryRef` vector needs to be materialised.
+    pub fn matches_ring(
+        &self,
+        window_id: WindowId,
+        head: &[Event],
+        tail: &[Event],
+    ) -> MatchOutcome {
+        self.matches_impl(window_id, &RingSlices { head, tail })
+    }
+
     /// The match core, generic over the entry representation.
-    fn matches_impl<E: EntryView>(&self, window_id: WindowId, entries: &[E]) -> MatchOutcome {
+    fn matches_impl<L: EntryList + ?Sized>(
+        &self,
+        window_id: WindowId,
+        entries: &L,
+    ) -> MatchOutcome {
         if entries.len() < self.pattern.total_events() {
             return MatchOutcome::default();
         }
@@ -150,14 +211,13 @@ impl Matcher {
         // It is implemented by matching the reversed pattern over the reversed
         // window and mapping the result back, which selects, greedily from the
         // end, the latest events that can still complete the pattern.
-        let (ordered, steps): (Vec<&E>, Vec<&PatternStep>) = match self.selection {
-            SelectionPolicy::First => {
-                (entries.iter().collect(), self.pattern.steps().iter().collect())
-            }
-            SelectionPolicy::Last => {
-                (entries.iter().rev().collect(), self.pattern.steps().iter().rev().collect())
-            }
+        let reversed = self.selection == SelectionPolicy::Last;
+        let steps: Vec<&PatternStep> = if reversed {
+            self.pattern.steps().iter().rev().collect()
+        } else {
+            self.pattern.steps().iter().collect()
         };
+        let ordered = Ordered { list: entries, reversed };
 
         let mut used = vec![false; ordered.len()];
         let mut min_start = 0usize;
@@ -189,21 +249,21 @@ impl Matcher {
                 let mut constituents: Vec<Constituent> = taken
                     .iter()
                     .map(|&i| {
-                        let entry = ordered[i];
-                        used_positions.insert(entry.position());
+                        let entry = ordered.entry(i);
+                        used_positions.insert(entry.position);
                         Constituent {
-                            seq: entry.event().seq(),
-                            event_type: entry.event().event_type(),
-                            position: entry.position(),
+                            seq: entry.event.seq(),
+                            event_type: entry.event.event_type(),
+                            position: entry.position,
                         }
                     })
                     .collect();
                 let detected_at = taken
                     .iter()
-                    .map(|&i| ordered[i].event().timestamp())
+                    .map(|&i| ordered.entry(i).event.timestamp())
                     .max()
                     .unwrap_or(Timestamp::ZERO);
-                if self.selection == SelectionPolicy::Last {
+                if reversed {
                     // Matching ran over the reversed pattern; restore pattern order.
                     constituents.reverse();
                 }
@@ -218,8 +278,8 @@ impl Matcher {
 /// Greedy subsequence matching with skip-till-next/any-match semantics: each
 /// step takes the earliest admissible, unused events after the previously
 /// taken one.
-fn greedy_match<E: EntryView>(
-    entries: &[&E],
+fn greedy_match<L: EntryList + ?Sized>(
+    entries: &Ordered<'_, L>,
     steps: &[&PatternStep],
     used: &[bool],
     min_start: usize,
@@ -233,12 +293,12 @@ fn greedy_match<E: EntryView>(
             if idx >= entries.len() {
                 return None;
             }
-            let entry = entries[idx];
+            let entry = entries.entry(idx);
             let type_ok =
-                !step.distinct_types() || !matched_types.contains(&entry.event().event_type());
-            if !used[idx] && type_ok && step.admits(entry.event()) {
+                !step.distinct_types() || !matched_types.contains(&entry.event.event_type());
+            if !used[idx] && type_ok && step.admits(entry.event) {
                 taken.push(idx);
-                matched_types.push(entry.event().event_type());
+                matched_types.push(entry.event.event_type());
                 need -= 1;
             }
             idx += 1;
@@ -249,8 +309,8 @@ fn greedy_match<E: EntryView>(
 
 /// Contiguous matching: the constituents must be adjacent entries. Tries every
 /// anchor from `min_start` and returns the first full match.
-fn contiguous_match<E: EntryView>(
-    entries: &[&E],
+fn contiguous_match<L: EntryList + ?Sized>(
+    entries: &Ordered<'_, L>,
     steps: &[&PatternStep],
     used: &[bool],
     min_start: usize,
@@ -265,14 +325,14 @@ fn contiguous_match<E: EntryView>(
         for step in steps {
             let mut matched_types: Vec<EventType> = Vec::with_capacity(step.count());
             for _ in 0..step.count() {
-                let entry = entries[idx];
+                let entry = entries.entry(idx);
                 let type_ok =
-                    !step.distinct_types() || !matched_types.contains(&entry.event().event_type());
-                if used[idx] || !type_ok || !step.admits(entry.event()) {
+                    !step.distinct_types() || !matched_types.contains(&entry.event.event_type());
+                if used[idx] || !type_ok || !step.admits(entry.event) {
                     continue 'anchor;
                 }
                 taken.push(idx);
-                matched_types.push(entry.event().event_type());
+                matched_types.push(entry.event.event_type());
                 idx += 1;
             }
         }
@@ -453,6 +513,32 @@ mod tests {
         let m = matcher(pattern, SelectionPolicy::First, ConsumptionPolicy::Consumed, 1);
         let entries = vec![entry(0, 0, 1), entry(1, 1, 2)];
         assert!(m.matches(0, &entries).complex_events.is_empty());
+    }
+
+    #[test]
+    fn matches_ring_equals_refs_for_every_split_point() {
+        // An undropped window's ring slice pair must match exactly like the
+        // EntryRef materialisation, wherever the VecDeque wrap point falls.
+        let pattern = Pattern::sequence([ty(0), ty(1)]);
+        for selection in [SelectionPolicy::First, SelectionPolicy::Last] {
+            let m = matcher(pattern.clone(), selection, ConsumptionPolicy::Consumed, 10);
+            let events: Vec<Event> = [0u32, 9, 0, 1, 9, 1]
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| Event::new(ty(t), Timestamp::from_secs(i as u64), i as u64))
+                .collect();
+            let refs: Vec<EntryRef<'_>> = events
+                .iter()
+                .enumerate()
+                .map(|(position, event)| EntryRef { position, event })
+                .collect();
+            let expected = m.matches_refs(7, &refs).complex_events;
+            assert!(!expected.is_empty());
+            for split in 0..=events.len() {
+                let outcome = m.matches_ring(7, &events[..split], &events[split..]);
+                assert_eq!(outcome.complex_events, expected, "diverged at split {split}");
+            }
+        }
     }
 
     #[test]

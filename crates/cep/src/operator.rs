@@ -22,7 +22,7 @@
 
 use crate::matcher::EntryRef;
 use crate::ring::{DropSet, EventRing, SlotIndex};
-use crate::window::SizePredictor;
+use crate::window::{SharedSizePredictor, SizePredictor};
 use crate::{
     BatchRequest, ComplexEvent, Decision, Matcher, OpenPolicy, Query, WindowEventDecider,
     WindowExtent, WindowId, WindowMeta,
@@ -30,6 +30,7 @@ use crate::{
 use espice_events::{Event, EventStream, Timestamp};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Counters describing one operator run.
 #[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -70,6 +71,38 @@ impl OperatorStats {
         self.kept += other.kept;
         self.dropped += other.dropped;
         self.complex_events += other.complex_events;
+    }
+}
+
+/// Where the operator's window-size prediction lives: owned by this
+/// operator (the default), or shared with the other shards of an engine so
+/// predictions on time-based windows do not drift with the shard count.
+#[derive(Debug)]
+enum Prediction {
+    Local(SizePredictor),
+    Shared(Arc<SharedSizePredictor>),
+}
+
+impl Prediction {
+    fn observe(&mut self, size: usize) {
+        match self {
+            Prediction::Local(predictor) => predictor.observe(size),
+            Prediction::Shared(shared) => shared.observe(size),
+        }
+    }
+
+    fn predict(&self) -> usize {
+        match self {
+            Prediction::Local(predictor) => predictor.predict(),
+            Prediction::Shared(shared) => shared.predict(),
+        }
+    }
+
+    fn reset_to(&mut self, initial: usize) {
+        match self {
+            Prediction::Local(predictor) => *predictor = SizePredictor::new(initial, 0.25),
+            Prediction::Shared(shared) => shared.reset_to(initial),
+        }
     }
 }
 
@@ -137,7 +170,7 @@ pub struct Operator {
     since_count_open: usize,
     /// Stream time of the last time-slide window opening.
     last_time_open: Option<Timestamp>,
-    size_predictor: SizePredictor,
+    prediction: Prediction,
     stats: OperatorStats,
     /// Reusable buffers for the batched shedding call in `push`.
     batch_requests: Vec<BatchRequest>,
@@ -180,7 +213,7 @@ impl Operator {
             shard_count: shard_count as u64,
             since_count_open: 0,
             last_time_open: None,
-            size_predictor: SizePredictor::new(initial_size.max(1), 0.25),
+            prediction: Prediction::Local(SizePredictor::new(initial_size.max(1), 0.25)),
             stats: OperatorStats::default(),
             batch_requests: Vec::new(),
             batch_decisions: Vec::new(),
@@ -209,7 +242,17 @@ impl Operator {
     /// and only becomes accurate after the first windows close, which skews
     /// position scaling for the earliest windows of a run.
     pub fn set_window_size_hint(&mut self, hint: usize) {
-        self.size_predictor = SizePredictor::new(hint.max(1), 0.25);
+        self.prediction.reset_to(hint.max(1));
+    }
+
+    /// Replaces the operator's local window-size predictor with one shared
+    /// across all shards of an engine. On time-based (variable size)
+    /// windows a local predictor only observes the windows this shard owns,
+    /// so `predicted_size` drifts with the shard count; a shared predictor
+    /// feeds every closure into one estimate. Count-based windows never
+    /// consult the predictor.
+    pub fn share_size_predictor(&mut self, shared: Arc<SharedSizePredictor>) {
+        self.prediction = Prediction::Shared(shared);
     }
 
     /// Counters for the current run.
@@ -248,7 +291,7 @@ impl Operator {
     pub fn predicted_window_size(&self) -> usize {
         match self.query.window().expected_size() {
             Some(size) => size,
-            None => self.size_predictor.predict(),
+            None => self.prediction.predict(),
         }
     }
 
@@ -397,7 +440,7 @@ impl Operator {
         self.last_time_open = None;
         self.stats = OperatorStats::default();
         let initial_size = self.query.window().expected_size().unwrap_or(100);
-        self.size_predictor = SizePredictor::new(initial_size.max(1), 0.25);
+        self.prediction.reset_to(initial_size.max(1));
     }
 
     /// Whether a new window opens at `event`. Reads the open policy through
@@ -452,23 +495,31 @@ impl Operator {
         // The window was assigned every event appended since it opened.
         let assigned = (self.ring.next_slot() - window.start) as usize;
         self.stats.windows_closed += 1;
-        self.size_predictor.observe(assigned);
+        self.prediction.observe(assigned);
         decider.window_closed(&window.meta, assigned);
-        // Walk the shared slice once, merging out the (sorted) dropped
-        // positions; positions are derived from the slot offset, so they are
-        // identical to what per-window storage would have recorded.
-        let mut refs = Vec::with_capacity(assigned - window.dropped.len());
-        let mut drops = window.dropped.iter();
-        let mut next_drop = drops.next();
-        for (position, event) in self.ring.range(window.start, assigned).enumerate() {
-            if next_drop == Some(position as u32) {
-                next_drop = drops.next();
-                continue;
+        let outcome = if window.dropped.is_empty() {
+            // Nothing was dropped: the window's events are exactly the ring
+            // slots `[start, start + assigned)`, so the matcher can run over
+            // the ring's slice pair directly — the common no-shedding close
+            // allocates no per-close entry vector at all.
+            let (head, tail) = self.ring.slices(window.start, assigned);
+            self.matcher.matches_ring(window.meta.id, head, tail)
+        } else {
+            // Walk the shared slice once, merging out the (sorted) dropped
+            // positions; positions are derived from the slot offset, so they
+            // are identical to what per-window storage would have recorded.
+            let mut refs = Vec::with_capacity(assigned - window.dropped.len());
+            let mut drops = window.dropped.iter();
+            let mut next_drop = drops.next();
+            for (position, event) in self.ring.range(window.start, assigned).enumerate() {
+                if next_drop == Some(position as u32) {
+                    next_drop = drops.next();
+                    continue;
+                }
+                refs.push(EntryRef { position, event });
             }
-            refs.push(EntryRef { position, event });
-        }
-        let outcome = self.matcher.matches_refs(window.meta.id, &refs);
-        drop(refs);
+            self.matcher.matches_refs(window.meta.id, &refs)
+        };
         self.stats.complex_events += outcome.complex_events.len() as u64;
         outcome.complex_events
     }

@@ -5,7 +5,7 @@ use crate::{
     Decision, KeepAll, Matcher, Operator, Pattern, PatternStep, Query, SelectionPolicy,
     ShardedEngine, SkipPolicy, WindowEntry, WindowEventDecider, WindowMeta, WindowSpec,
 };
-use espice_events::{Event, EventType, Timestamp, VecStream};
+use espice_events::{Event, EventStream, EventType, SliceSource, Timestamp, VecStream};
 use proptest::prelude::*;
 
 /// A stateless, shard-invariant decider with non-trivial drops, used to
@@ -245,6 +245,63 @@ proptest! {
             };
             prop_assert_eq!(&merged, &expected, "diverged from reference at {} shards", shards);
             prop_assert_eq!(&engine.stats().merged, reference.stats());
+        }
+    }
+
+    /// Streaming-ingestion identity: for any keyed stream, shard count
+    /// N ∈ {1, 2, 4}, shedding on or off, and any queue capacity — down to
+    /// a capacity of 1, where the producer backpressures on *every* event —
+    /// the stream-driven engine (`run_source` over bounded per-shard SPSC
+    /// queues) emits byte-identical complex events and merged statistics to
+    /// a slice-driven single-operator run.
+    #[test]
+    fn streaming_engine_equals_slice_engine(
+        types in type_sequence(150),
+        window_size in 2usize..16,
+        slide in 1usize..6,
+        shed in prop::bool::ANY,
+        tiny_queues in prop::bool::ANY,
+    ) {
+        let query = Query::builder()
+            .pattern(Pattern::sequence([EventType::from_index(0), EventType::from_index(1)]))
+            .window(WindowSpec::count_sliding(window_size, slide))
+            .build();
+        let events: Vec<Event> = types
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| Event::new(EventType::from_index(t), Timestamp::from_secs(i as u64), i as u64))
+            .collect();
+        let stream = VecStream::from_ordered(events);
+
+        let mut single = Operator::new(query.clone());
+        let expected = if shed {
+            single.run(&stream, &mut DropEveryThird)
+        } else {
+            single.run(&stream, &mut KeepAll)
+        };
+
+        // Capacity 1 forces a full-queue producer stall on every push (the
+        // backpressure case); the larger capacity exercises the common path.
+        let capacity = if tiny_queues { 1 } else { 64 };
+        for shards in [1usize, 2, 4] {
+            let mut engine = ShardedEngine::new(query.clone(), shards);
+            engine.set_queue_capacity(capacity);
+            let mut source = SliceSource::from_stream(&stream);
+            let merged = if shed {
+                let mut deciders = vec![DropEveryThird; shards];
+                engine.run_source(&mut source, &mut deciders)
+            } else {
+                let mut deciders = vec![KeepAll; shards];
+                engine.run_source(&mut source, &mut deciders)
+            };
+            prop_assert_eq!(&merged, &expected,
+                "streaming diverged at {} shards, capacity {}", shards, capacity);
+            prop_assert_eq!(&engine.stats().merged, single.stats(),
+                "stats diverged at {} shards, capacity {}", shards, capacity);
+            for queue in engine.queue_stats() {
+                prop_assert_eq!(queue.pushed, stream.len() as u64);
+                prop_assert!(queue.peak_depth <= capacity);
+            }
         }
     }
 

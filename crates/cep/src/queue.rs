@@ -1,0 +1,426 @@
+//! Bounded single-producer/single-consumer event queues.
+//!
+//! The streaming engine gives every shard its own input queue: the producer
+//! fan-out loop appends each incoming event to every shard's queue, and each
+//! shard's drain thread pops from its queue alone. That access pattern is
+//! exactly SPSC, so the queue is a fixed-capacity ring over two monotone
+//! slot counters — the same slot-index discipline as the window storage in
+//! [`ring`](crate::ring), applied to a concurrent hand-off — with no locks
+//! and no external dependencies.
+//!
+//! Capacity is the backpressure mechanism eSPICE's overload model assumes:
+//! a full queue makes [`QueueProducer::push`] fail (and
+//! [`QueueProducer::push_blocking`] wait), so the producer slows to the
+//! drain rate instead of buffering unboundedly, and the *measured* queue
+//! depth ([`QueueConsumer::depth`]) is the quantity the overload detector
+//! compares against `f · qmax` (paper §3.4).
+//!
+//! Memory ordering: the producer publishes an event by storing `tail` with
+//! `Release` after writing the slot; the consumer `Acquire`-loads `tail`
+//! before reading, and releases the slot back by storing `head` with
+//! `Release` after taking the event, which the producer `Acquire`-loads
+//! before reusing the slot. Slot counters increase monotonically and are
+//! mapped into the buffer modulo the capacity.
+
+use espice_events::Event;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Shared state of one SPSC queue. Only ever touched through the unique
+/// [`QueueProducer`] / [`QueueConsumer`] pair, which is what makes the
+/// unsynchronised slot accesses sound.
+#[derive(Debug)]
+struct Shared {
+    slots: Box<[UnsafeCell<Option<Event>>]>,
+    /// Next slot the consumer takes. Monotone; slot = `head % capacity`.
+    head: AtomicUsize,
+    /// Next slot the producer fills. Monotone; slot = `tail % capacity`.
+    tail: AtomicUsize,
+    /// Set by [`QueueProducer::close`]: no further pushes will happen.
+    closed: AtomicBool,
+    /// Set when the consumer is dropped: pushes can never be drained again.
+    consumer_gone: AtomicBool,
+    /// Largest depth ever observed at push time.
+    peak_depth: AtomicUsize,
+}
+
+// SAFETY: the queue is shared between exactly two threads (the handles are
+// not Clone), the producer only writes slots in `[head + capacity, ...)`
+// never resident, the consumer only reads slots in `[head, tail)`, and the
+// Release/Acquire pairs on `head`/`tail` order every slot access.
+unsafe impl Send for Shared {}
+unsafe impl Sync for Shared {}
+
+/// Staged wait for the queue endpoints: spin briefly (the other side is
+/// usually mid-hand-off), then yield the scheduler slice, then degrade to a
+/// short sleep so a queue that stays full or empty for long — a live
+/// source trickling events, a stalled shard — costs microseconds of wakeup
+/// latency instead of a pinned core.
+#[derive(Debug, Default)]
+pub struct Backoff {
+    rounds: u32,
+}
+
+impl Backoff {
+    /// The number of initial spin rounds before yielding.
+    const SPIN_ROUNDS: u32 = 16;
+    /// The number of yield rounds before sleeping.
+    const YIELD_ROUNDS: u32 = 64;
+    /// The sleep applied once spinning and yielding were exhausted.
+    const SLEEP: std::time::Duration = std::time::Duration::from_micros(100);
+
+    /// A fresh backoff, starting at the spinning stage.
+    pub fn new() -> Self {
+        Backoff { rounds: 0 }
+    }
+
+    /// Waits one round, escalating spin → yield → sleep.
+    pub fn wait(&mut self) {
+        if self.rounds < Self::SPIN_ROUNDS {
+            std::hint::spin_loop();
+        } else if self.rounds < Self::SPIN_ROUNDS + Self::YIELD_ROUNDS {
+            std::thread::yield_now();
+        } else {
+            std::thread::sleep(Self::SLEEP);
+        }
+        self.rounds = self.rounds.saturating_add(1);
+    }
+
+    /// Resets to the spinning stage (progress was made).
+    pub fn reset(&mut self) {
+        self.rounds = 0;
+    }
+}
+
+/// Counters describing one queue's run, reported by the engine alongside
+/// the operator statistics.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Configured capacity of the queue.
+    pub capacity: usize,
+    /// Events pushed over the queue's lifetime.
+    pub pushed: u64,
+    /// Largest number of events resident at once.
+    pub peak_depth: usize,
+    /// Events whose push found the queue full at least once (the producer
+    /// had to wait — the backpressure signal).
+    pub backpressure_events: u64,
+}
+
+/// Creates a bounded SPSC queue of the given capacity, returning the two
+/// (move-only) endpoint handles.
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero.
+///
+/// # Example
+///
+/// ```
+/// use espice_cep::queue::spsc;
+/// use espice_events::{Event, EventType, Timestamp};
+///
+/// let (mut producer, mut consumer) = spsc(2);
+/// let ev = |seq| Event::new(EventType::from_index(0), Timestamp::ZERO, seq);
+/// producer.push(ev(0)).unwrap();
+/// producer.push(ev(1)).unwrap();
+/// assert!(producer.push(ev(2)).is_err(), "third push exceeds capacity");
+/// assert_eq!(consumer.pop().unwrap().seq(), 0);
+/// producer.close();
+/// assert_eq!(consumer.pop().unwrap().seq(), 1);
+/// assert!(consumer.pop().is_none());
+/// assert!(consumer.is_closed());
+/// ```
+pub fn spsc(capacity: usize) -> (QueueProducer, QueueConsumer) {
+    assert!(capacity >= 1, "queue capacity must be at least 1");
+    let slots = (0..capacity).map(|_| UnsafeCell::new(None)).collect();
+    let shared = Arc::new(Shared {
+        slots,
+        head: AtomicUsize::new(0),
+        tail: AtomicUsize::new(0),
+        closed: AtomicBool::new(false),
+        consumer_gone: AtomicBool::new(false),
+        peak_depth: AtomicUsize::new(0),
+    });
+    let producer =
+        QueueProducer { shared: Arc::clone(&shared), pushed: 0, backpressure_events: 0, capacity };
+    let consumer = QueueConsumer { shared, capacity };
+    (producer, consumer)
+}
+
+/// The producer endpoint of an SPSC queue. Move-only: exactly one producer
+/// exists per queue.
+#[derive(Debug)]
+pub struct QueueProducer {
+    shared: Arc<Shared>,
+    pushed: u64,
+    backpressure_events: u64,
+    capacity: usize,
+}
+
+impl QueueProducer {
+    /// Attempts to push one event, returning it back if the queue is full
+    /// or the consumer is gone.
+    pub fn push(&mut self, event: Event) -> Result<(), Event> {
+        if self.shared.consumer_gone.load(Ordering::Acquire) {
+            return Err(event);
+        }
+        let tail = self.shared.tail.load(Ordering::Relaxed);
+        let head = self.shared.head.load(Ordering::Acquire);
+        if tail - head == self.capacity {
+            return Err(event);
+        }
+        // SAFETY: `tail - head < capacity`, so the consumer has released
+        // this slot (its last use happened before the `head` store we just
+        // acquired), and no other producer exists.
+        unsafe {
+            *self.shared.slots[tail % self.capacity].get() = Some(event);
+        }
+        self.shared.tail.store(tail + 1, Ordering::Release);
+        self.pushed += 1;
+        let depth = tail + 1 - head;
+        self.shared.peak_depth.fetch_max(depth, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Pushes one event, waiting while the queue is full (bounded-queue
+    /// backpressure). Returns `false` if the consumer disappeared before
+    /// the event could be handed over (its drain thread panicked) — the
+    /// caller should stop producing.
+    pub fn push_blocking(&mut self, event: Event) -> bool {
+        let mut event = event;
+        let mut waited = false;
+        let mut backoff = Backoff::new();
+        loop {
+            match self.push(event) {
+                Ok(()) => return true,
+                Err(rejected) => {
+                    if self.shared.consumer_gone.load(Ordering::Acquire) {
+                        return false;
+                    }
+                    if !waited {
+                        waited = true;
+                        self.backpressure_events += 1;
+                    }
+                    event = rejected;
+                    backoff.wait();
+                }
+            }
+        }
+    }
+
+    /// Marks the end of the stream. Events already queued remain drainable.
+    pub fn close(&mut self) {
+        self.shared.closed.store(true, Ordering::Release);
+    }
+
+    /// Number of events currently resident.
+    pub fn depth(&self) -> usize {
+        self.shared.tail.load(Ordering::Relaxed) - self.shared.head.load(Ordering::Acquire)
+    }
+
+    /// The queue's counters so far.
+    pub fn stats(&self) -> QueueStats {
+        QueueStats {
+            capacity: self.capacity,
+            pushed: self.pushed,
+            peak_depth: self.shared.peak_depth.load(Ordering::Relaxed),
+            backpressure_events: self.backpressure_events,
+        }
+    }
+}
+
+impl Drop for QueueProducer {
+    fn drop(&mut self) {
+        // A dropped producer can never push again; let the consumer finish.
+        self.close();
+    }
+}
+
+/// The consumer endpoint of an SPSC queue. Move-only: exactly one consumer
+/// exists per queue.
+#[derive(Debug)]
+pub struct QueueConsumer {
+    shared: Arc<Shared>,
+    capacity: usize,
+}
+
+impl QueueConsumer {
+    /// Takes the oldest queued event, or `None` if the queue is currently
+    /// empty. An empty pop with [`is_closed`](Self::is_closed) true means
+    /// the stream has ended.
+    pub fn pop(&mut self) -> Option<Event> {
+        let head = self.shared.head.load(Ordering::Relaxed);
+        let tail = self.shared.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        // SAFETY: `head < tail`, so the producer published this slot (the
+        // `tail` store we acquired happened after its write), and no other
+        // consumer exists.
+        let event = unsafe { (*self.shared.slots[head % self.capacity].get()).take() };
+        self.shared.head.store(head + 1, Ordering::Release);
+        Some(event.expect("published slots hold an event"))
+    }
+
+    /// The measured queue depth: events pushed but not yet popped. This is
+    /// the quantity the overload detector compares against `f · qmax`.
+    pub fn depth(&self) -> usize {
+        self.shared.tail.load(Ordering::Acquire) - self.shared.head.load(Ordering::Relaxed)
+    }
+
+    /// Whether the queue currently holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.depth() == 0
+    }
+
+    /// Whether the producer has announced the end of the stream. Queued
+    /// events remain poppable after close.
+    pub fn is_closed(&self) -> bool {
+        self.shared.closed.load(Ordering::Acquire)
+    }
+
+    /// The queue's configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl Drop for QueueConsumer {
+    fn drop(&mut self) {
+        // Unblock a producer stuck in `push_blocking` if the drain thread
+        // dies: nothing will ever pop again.
+        self.shared.consumer_gone.store(true, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use espice_events::{EventType, Timestamp};
+
+    fn ev(seq: u64) -> Event {
+        Event::new(EventType::from_index(0), Timestamp::from_secs(seq), seq)
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let (mut producer, mut consumer) = spsc(4);
+        for seq in 0..4 {
+            producer.push(ev(seq)).unwrap();
+        }
+        for seq in 0..4 {
+            assert_eq!(consumer.pop().unwrap().seq(), seq);
+        }
+        assert!(consumer.pop().is_none());
+    }
+
+    #[test]
+    fn full_queue_rejects_and_reports_depth() {
+        let (mut producer, mut consumer) = spsc(2);
+        producer.push(ev(0)).unwrap();
+        producer.push(ev(1)).unwrap();
+        assert_eq!(producer.depth(), 2);
+        assert_eq!(consumer.depth(), 2);
+        let rejected = producer.push(ev(2)).unwrap_err();
+        assert_eq!(rejected.seq(), 2);
+        assert_eq!(consumer.pop().unwrap().seq(), 0);
+        producer.push(ev(2)).unwrap();
+        assert_eq!(consumer.pop().unwrap().seq(), 1);
+        assert_eq!(consumer.pop().unwrap().seq(), 2);
+    }
+
+    #[test]
+    fn wraparound_reuses_slots() {
+        let (mut producer, mut consumer) = spsc(2);
+        for seq in 0..100 {
+            producer.push(ev(seq)).unwrap();
+            assert_eq!(consumer.pop().unwrap().seq(), seq);
+        }
+        assert!(consumer.is_empty());
+        let stats = producer.stats();
+        assert_eq!(stats.pushed, 100);
+        assert_eq!(stats.peak_depth, 1);
+        assert_eq!(stats.backpressure_events, 0);
+    }
+
+    #[test]
+    fn close_lets_consumer_drain_then_finish() {
+        let (mut producer, mut consumer) = spsc(4);
+        producer.push(ev(0)).unwrap();
+        producer.close();
+        assert!(consumer.is_closed());
+        assert_eq!(consumer.pop().unwrap().seq(), 0);
+        assert!(consumer.pop().is_none());
+        assert!(consumer.is_empty());
+    }
+
+    #[test]
+    fn dropped_consumer_unblocks_producer() {
+        let (mut producer, consumer) = spsc(1);
+        producer.push(ev(0)).unwrap();
+        drop(consumer);
+        assert!(!producer.push_blocking(ev(1)), "push into a dead queue must not hang");
+    }
+
+    #[test]
+    fn cross_thread_handoff_delivers_everything_in_order() {
+        let (mut producer, mut consumer) = spsc(8);
+        let total = 50_000u64;
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                for seq in 0..total {
+                    assert!(producer.push_blocking(ev(seq)));
+                }
+                producer.close();
+            });
+            let mut expected = 0u64;
+            loop {
+                match consumer.pop() {
+                    Some(event) => {
+                        assert_eq!(event.seq(), expected);
+                        expected += 1;
+                    }
+                    None if consumer.is_closed() => {
+                        if consumer.is_empty() {
+                            break;
+                        }
+                    }
+                    None => std::thread::yield_now(),
+                }
+            }
+            assert_eq!(expected, total);
+        });
+    }
+
+    #[test]
+    fn blocking_push_counts_backpressure() {
+        let (mut producer, mut consumer) = spsc(1);
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                for seq in 0..100 {
+                    assert!(producer.push_blocking(ev(seq)));
+                }
+                producer.close();
+                let stats = producer.stats();
+                assert_eq!(stats.pushed, 100);
+                assert_eq!(stats.capacity, 1);
+            });
+            let mut popped = 0;
+            while popped < 100 {
+                if consumer.pop().is_some() {
+                    popped += 1;
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = spsc(0);
+    }
+}

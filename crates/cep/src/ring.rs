@@ -81,6 +81,33 @@ impl EventRing {
         self.events.range(offset..offset + len)
     }
 
+    /// The `len` events starting at slot `start`, as the (at most two)
+    /// contiguous slices they occupy in the backing deque. This is the
+    /// zero-copy input of [`Matcher::matches_ring`]: a window with an empty
+    /// drop set owns exactly this range, and the arrival position of the
+    /// `i`-th event across the pair is `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slot of the range has been pruned or not yet been
+    /// appended.
+    ///
+    /// [`Matcher::matches_ring`]: crate::Matcher::matches_ring
+    pub fn slices(&self, start: SlotIndex, len: usize) -> (&[Event], &[Event]) {
+        assert!(start >= self.base, "slot {start} already pruned (base {})", self.base);
+        let offset = (start - self.base) as usize;
+        assert!(offset + len <= self.events.len(), "slot range extends past the ring");
+        let (front, back) = self.events.as_slices();
+        if offset + len <= front.len() {
+            (&front[offset..offset + len], &[])
+        } else if offset >= front.len() {
+            let offset = offset - front.len();
+            (&back[offset..offset + len], &[])
+        } else {
+            (&front[offset..], &back[..offset + len - front.len()])
+        }
+    }
+
     /// Drops every event below slot `start` (the start of the oldest window
     /// still open). No-op if those slots are already gone.
     pub fn release_before(&mut self, start: SlotIndex) {
@@ -197,6 +224,36 @@ mod tests {
         ring.reset();
         assert!(ring.is_empty());
         assert_eq!(ring.next_slot(), 0);
+    }
+
+    #[test]
+    fn slices_cover_the_same_events_as_range() {
+        let mut ring = EventRing::new();
+        for seq in 0..16 {
+            ring.push(ev(seq));
+        }
+        // Force the deque to wrap: prune, then append more.
+        ring.release_before(10);
+        for seq in 16..24 {
+            ring.push(ev(seq));
+        }
+        for start in 10..24u64 {
+            for len in 0..=(24 - start) as usize {
+                let via_range: Vec<u64> = ring.range(start, len).map(Event::seq).collect();
+                let (head, tail) = ring.slices(start, len);
+                let via_slices: Vec<u64> = head.iter().chain(tail.iter()).map(Event::seq).collect();
+                assert_eq!(via_slices, via_range, "start {start}, len {len}");
+                assert_eq!(head.len() + tail.len(), len);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "past the ring")]
+    fn slices_reject_out_of_range() {
+        let mut ring = EventRing::new();
+        ring.push(ev(0));
+        let _ = ring.slices(0, 2);
     }
 
     #[test]

@@ -10,8 +10,13 @@
 //!
 //! [`ShardedEngine`]: crate::ShardedEngine
 
+use crate::queue::{Backoff, QueueConsumer};
+use crate::shedding::QueueSample;
+use crate::window::SharedSizePredictor;
 use crate::{ComplexEvent, Operator, OperatorStats, Query, WindowEventDecider};
-use espice_events::Event;
+use espice_events::{Event, SimDuration};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// A single worker of the sharded engine.
 ///
@@ -78,6 +83,12 @@ impl Shard {
         self.operator.set_window_size_hint(hint);
     }
 
+    /// Switches this shard's window-size prediction to an engine-shared
+    /// estimator (see [`Operator::share_size_predictor`]).
+    pub fn share_size_predictor(&mut self, shared: Arc<SharedSizePredictor>) {
+        self.operator.share_size_predictor(shared);
+    }
+
     /// Drives the full event slice through this shard and flushes at the end,
     /// returning the complex events of the windows the shard owns.
     pub fn run_events<D: WindowEventDecider + ?Sized>(
@@ -88,6 +99,128 @@ impl Shard {
         let mut out = Vec::new();
         for event in events {
             out.extend(self.operator.push(event, decider));
+        }
+        out.extend(self.operator.flush(decider));
+        out
+    }
+
+    /// Drains a bounded input queue through this shard until the producer
+    /// closes it, then flushes. This is the streaming counterpart of
+    /// [`run_events`](Self::run_events): events are processed as they are
+    /// handed over, the queue's fixed capacity backpressures the producer,
+    /// and — when `check_interval` is set — the decider periodically
+    /// receives a [`QueueSample`] of the *measured* queue state (depth,
+    /// drain count, busy time) through
+    /// [`WindowEventDecider::queue_sample`], which is where closed-loop
+    /// overload detection hooks in.
+    ///
+    /// Events must be pushed in global stream order; the shard then takes
+    /// identical decisions to a slice-driven run over the same events.
+    pub fn run_queue<D: WindowEventDecider + ?Sized>(
+        &mut self,
+        mut queue: QueueConsumer,
+        decider: &mut D,
+        check_interval: Option<Duration>,
+    ) -> Vec<ComplexEvent> {
+        /// How many drained events may pass between wall-clock reads while
+        /// sampling is on (keeps `Instant::now` off the per-event path).
+        const CLOCK_STRIDE: u32 = 32;
+
+        let mut out = Vec::new();
+        let started = Instant::now();
+        let mut idle = Duration::ZERO;
+        let mut drained_since_sample: u64 = 0;
+        let mut since_clock_check: u32 = 0;
+        let mut next_sample = check_interval;
+
+        let sample = |operator: &Operator,
+                      decider: &mut D,
+                      queue: &QueueConsumer,
+                      next_sample: &mut Option<Duration>,
+                      drained_since_sample: &mut u64,
+                      elapsed: Duration,
+                      idle: Duration| {
+            let interval = check_interval.expect("sampling fires only when configured");
+            *next_sample = Some(elapsed + interval);
+            let sample = QueueSample {
+                elapsed: SimDuration::from_secs_f64(elapsed.as_secs_f64()),
+                busy: SimDuration::from_secs_f64((elapsed - idle).as_secs_f64()),
+                depth: queue.depth(),
+                drained: *drained_since_sample,
+                predicted_window_size: operator.predicted_window_size(),
+            };
+            *drained_since_sample = 0;
+            decider.queue_sample(&sample);
+        };
+
+        let mut backoff = Backoff::new();
+        loop {
+            match queue.pop() {
+                Some(event) => {
+                    backoff.reset();
+                    out.extend(self.operator.push(&event, decider));
+                    drained_since_sample += 1;
+                    if let Some(deadline) = next_sample {
+                        since_clock_check += 1;
+                        if since_clock_check >= CLOCK_STRIDE {
+                            since_clock_check = 0;
+                            let elapsed = started.elapsed();
+                            if elapsed >= deadline {
+                                sample(
+                                    &self.operator,
+                                    decider,
+                                    &queue,
+                                    &mut next_sample,
+                                    &mut drained_since_sample,
+                                    elapsed,
+                                    idle,
+                                );
+                            }
+                        }
+                    }
+                }
+                None if queue.is_closed() => {
+                    // The close flag is set after the final push, so one more
+                    // pop settles whether anything raced in.
+                    match queue.pop() {
+                        Some(event) => {
+                            out.extend(self.operator.push(&event, decider));
+                            drained_since_sample += 1;
+                        }
+                        None => break,
+                    }
+                }
+                None => {
+                    // Empty but still open: back off (spin → yield → sleep)
+                    // until the producer hands over more work. Without
+                    // sampling no clocks are read here at all; with
+                    // sampling, the wait is timed so idle is excluded from
+                    // the busy measurement and samples keep firing so a
+                    // closed-loop decider can observe the queue draining
+                    // and deactivate shedding.
+                    if next_sample.is_some() {
+                        let wait = Instant::now();
+                        backoff.wait();
+                        idle += wait.elapsed();
+                        let elapsed = started.elapsed();
+                        if let Some(deadline) = next_sample {
+                            if elapsed >= deadline {
+                                sample(
+                                    &self.operator,
+                                    decider,
+                                    &queue,
+                                    &mut next_sample,
+                                    &mut drained_since_sample,
+                                    elapsed,
+                                    idle,
+                                );
+                            }
+                        }
+                    } else {
+                        backoff.wait();
+                    }
+                }
+            }
         }
         out.extend(self.operator.flush(decider));
         out
@@ -129,6 +262,77 @@ mod tests {
         assert_eq!(shard.index(), 1);
         assert_eq!(shard.stats().windows_opened, 1);
         assert!(complex.iter().all(|c| c.window_id() == 1));
+    }
+
+    #[test]
+    fn run_queue_equals_run_events() {
+        let events: Vec<Event> =
+            (0..60).map(|i| ev(if i % 3 == 0 { 0 } else { 1 }, i, i)).collect();
+        let mut slice_shard = Shard::new(query(), 0, 2);
+        let expected = slice_shard.run_events(&events, &mut KeepAll);
+
+        let mut queue_shard = Shard::new(query(), 0, 2);
+        let (mut producer, consumer) = crate::queue::spsc(4);
+        let streamed = std::thread::scope(|scope| {
+            let handle = scope.spawn(|| queue_shard.run_queue(consumer, &mut KeepAll, None));
+            for event in &events {
+                assert!(producer.push_blocking(event.clone()));
+            }
+            producer.close();
+            handle.join().expect("drain thread panicked")
+        });
+        assert_eq!(streamed, expected);
+        assert_eq!(queue_shard.stats(), slice_shard.stats());
+        assert_eq!(producer.stats().pushed, events.len() as u64);
+    }
+
+    #[test]
+    fn run_queue_delivers_samples_when_sampling_is_on() {
+        #[derive(Debug, Default)]
+        struct Sampling {
+            samples: Vec<crate::QueueSample>,
+        }
+        impl WindowEventDecider for Sampling {
+            fn decide(
+                &mut self,
+                _meta: &crate::WindowMeta,
+                _position: usize,
+                _event: &Event,
+            ) -> crate::Decision {
+                crate::Decision::Keep
+            }
+            fn queue_sample(&mut self, sample: &crate::QueueSample) {
+                self.samples.push(*sample);
+            }
+        }
+
+        let events: Vec<Event> =
+            (0..4000).map(|i| ev(if i % 3 == 0 { 0 } else { 1 }, i, i)).collect();
+        let mut shard = Shard::new(query(), 0, 1);
+        let mut decider = Sampling::default();
+        let (mut producer, consumer) = crate::queue::spsc(64);
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| {
+                shard.run_queue(consumer, &mut decider, Some(std::time::Duration::from_micros(50)))
+            });
+            for event in &events {
+                assert!(producer.push_blocking(event.clone()));
+            }
+            producer.close();
+            handle.join().expect("drain thread panicked");
+        });
+        assert!(!decider.samples.is_empty(), "sampling was configured but never fired");
+        let drained: u64 = decider.samples.iter().map(|s| s.drained).sum();
+        assert!(drained <= events.len() as u64);
+        for pair in decider.samples.windows(2) {
+            assert!(pair[0].elapsed <= pair[1].elapsed);
+            assert!(pair[0].busy <= pair[1].busy);
+        }
+        for sample in &decider.samples {
+            assert!(sample.busy <= sample.elapsed);
+            assert!(sample.depth <= 64);
+            assert_eq!(sample.predicted_window_size, 3);
+        }
     }
 
     #[test]

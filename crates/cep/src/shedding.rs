@@ -11,7 +11,7 @@
 //! and model training).
 
 use crate::WindowMeta;
-use espice_events::Event;
+use espice_events::{Event, SimDuration};
 
 /// The outcome of a shedding decision for one (event, window) pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -42,6 +42,37 @@ pub struct BatchRequest {
     pub meta: WindowMeta,
     /// 0-based arrival position of the event within that window.
     pub position: usize,
+}
+
+/// A measured snapshot of one shard's input queue, handed to deciders by
+/// the streaming engine's drain loop (see
+/// [`ShardedEngine::run_source`](crate::ShardedEngine::run_source)).
+///
+/// This is how the closed overload loop is wired without the CEP crate
+/// knowing about overload detection: the drain loop periodically reports
+/// what it *measured* — queue depth, events drained, busy time — and a
+/// decider that implements [`WindowEventDecider::queue_sample`] can derive
+/// its drain throughput and input rate from the deltas and switch shedding
+/// on or off. Deciders that ignore the hook (the default) behave exactly as
+/// in a slice-driven run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueSample {
+    /// Wall time since the shard's drain loop started.
+    pub elapsed: SimDuration,
+    /// Cumulative time the drain loop spent processing (i.e. `elapsed`
+    /// minus the time spent waiting on an empty queue). The delta between
+    /// two samples divided into `drained` is the shard's measured drain
+    /// throughput.
+    pub busy: SimDuration,
+    /// Current depth of the shard's input queue (events pushed but not yet
+    /// drained) — the quantity the overload detector compares against
+    /// `f · qmax`.
+    pub depth: usize,
+    /// Events drained since the previous sample.
+    pub drained: u64,
+    /// The operator's current window-size prediction, needed to partition
+    /// windows into dropping intervals.
+    pub predicted_window_size: usize,
 }
 
 /// Per-(event, window) shedding decision callback.
@@ -102,6 +133,15 @@ pub trait WindowEventDecider {
     fn window_closed(&mut self, meta: &WindowMeta, size: usize) {
         let _ = (meta, size);
     }
+
+    /// Periodic queue measurement from the streaming engine's drain loop
+    /// (every `check_interval`, when sampling is enabled). Default: no-op,
+    /// so slice-driven deciders and static shedders are unaffected.
+    /// Closed-loop shedders use this to measure overload from the *real*
+    /// queue and (de)activate themselves — no precomputed rates involved.
+    fn queue_sample(&mut self, sample: &QueueSample) {
+        let _ = sample;
+    }
 }
 
 /// A decider that keeps every event. Used for ground-truth (no shedding) runs
@@ -133,6 +173,10 @@ impl<D: WindowEventDecider + ?Sized> WindowEventDecider for &mut D {
 
     fn window_closed(&mut self, meta: &WindowMeta, size: usize) {
         (**self).window_closed(meta, size);
+    }
+
+    fn queue_sample(&mut self, sample: &QueueSample) {
+        (**self).queue_sample(sample);
     }
 }
 

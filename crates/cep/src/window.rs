@@ -12,6 +12,7 @@
 
 use espice_events::{Event, EventType, SequenceNumber, SimDuration, Timestamp};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Identifier of a window instance within one operator run.
 pub type WindowId = u64;
@@ -225,6 +226,88 @@ impl Default for SizePredictor {
     }
 }
 
+/// A window-size estimate shared by all shards of an engine, updated with
+/// lock-free atomics.
+///
+/// With per-shard [`SizePredictor`]s each shard only observes the windows
+/// it owns, so on time-based (variable size) windows `predicted_size` —
+/// and with it eSPICE's position scaling — drifts between shard counts. A
+/// shared estimator removes that drift: every shard feeds the same
+/// accumulator and reads the same prediction.
+///
+/// The smoothing is a *running mean* over all closed windows (the
+/// Robbins–Monro `αₙ = 1/n` special case of an EWMA) rather than a
+/// fixed-α EWMA, deliberately: a sum-and-count pair is order-insensitive,
+/// so the estimator converges to the same value for every thread
+/// interleaving and every shard count — exactly the paper's "average seen
+/// window size". A fixed-α EWMA over a racing observation order would make
+/// the estimate depend on scheduling. Individual predictions taken *during*
+/// a multi-threaded run can still differ between runs (they see whatever
+/// subset of windows has closed so far); count-based windows never consult
+/// the predictor, so their runs stay bit-identical.
+#[derive(Debug)]
+pub struct SharedSizePredictor {
+    /// Sum of all observed window sizes.
+    sum: AtomicU64,
+    /// Number of observed windows.
+    count: AtomicU64,
+    /// Estimate reported before the first window closes.
+    initial: AtomicU64,
+}
+
+impl SharedSizePredictor {
+    /// Creates a shared predictor with an initial estimate (used until the
+    /// first window closes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the initial estimate is zero.
+    pub fn new(initial_estimate: usize) -> Self {
+        assert!(initial_estimate >= 1, "initial estimate must be >= 1");
+        SharedSizePredictor {
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            initial: AtomicU64::new(initial_estimate as u64),
+        }
+    }
+
+    /// Records the size of a closed window. Callable from any shard thread.
+    pub fn observe(&self, size: usize) {
+        self.sum.fetch_add(size as u64, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The current prediction (never below 1): the mean closed-window size,
+    /// or the initial estimate before any window has closed.
+    pub fn predict(&self) -> usize {
+        let count = self.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return self.initial.load(Ordering::Relaxed).max(1) as usize;
+        }
+        let sum = self.sum.load(Ordering::Relaxed);
+        ((sum as f64 / count as f64).round() as usize).max(1)
+    }
+
+    /// How many windows have been observed across all shards.
+    pub fn observations(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Discards all observations and restarts from `initial_estimate`
+    /// (engine reset / re-seeding with a training hint). Idempotent, so
+    /// every shard of a resetting engine may call it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the initial estimate is zero.
+    pub fn reset_to(&self, initial_estimate: usize) {
+        assert!(initial_estimate >= 1, "initial estimate must be >= 1");
+        self.initial.store(initial_estimate as u64, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.count.store(0, Ordering::Relaxed);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -319,5 +402,62 @@ mod tests {
     #[should_panic(expected = "alpha")]
     fn size_predictor_rejects_bad_alpha() {
         let _ = SizePredictor::new(10, 0.0);
+    }
+
+    #[test]
+    fn shared_predictor_reports_the_mean_of_all_observations() {
+        let shared = SharedSizePredictor::new(500);
+        assert_eq!(shared.predict(), 500);
+        shared.observe(100);
+        shared.observe(200);
+        shared.observe(300);
+        assert_eq!(shared.predict(), 200);
+        assert_eq!(shared.observations(), 3);
+    }
+
+    #[test]
+    fn shared_predictor_is_order_insensitive() {
+        let a = SharedSizePredictor::new(10);
+        let b = SharedSizePredictor::new(10);
+        for size in [5usize, 50, 17, 3] {
+            a.observe(size);
+        }
+        for size in [3usize, 17, 50, 5] {
+            b.observe(size);
+        }
+        assert_eq!(a.predict(), b.predict());
+    }
+
+    #[test]
+    fn shared_predictor_reset_restarts_from_hint() {
+        let shared = SharedSizePredictor::new(10);
+        shared.observe(1000);
+        shared.reset_to(42);
+        assert_eq!(shared.predict(), 42);
+        assert_eq!(shared.observations(), 0);
+        shared.observe(0);
+        assert_eq!(shared.predict(), 1, "prediction never drops below 1");
+    }
+
+    #[test]
+    fn shared_predictor_sums_across_threads() {
+        let shared = SharedSizePredictor::new(1);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..100 {
+                        shared.observe(8);
+                    }
+                });
+            }
+        });
+        assert_eq!(shared.observations(), 400);
+        assert_eq!(shared.predict(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "initial estimate")]
+    fn shared_predictor_rejects_zero_initial() {
+        let _ = SharedSizePredictor::new(0);
     }
 }

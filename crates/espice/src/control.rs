@@ -1,0 +1,345 @@
+//! Closed-loop overload control from *measured* queue state.
+//!
+//! The paper's overload detector (§3.4, [`OverloadDetector`]) assumes two
+//! externally supplied rates: the operator throughput `th` (profiled
+//! offline) and the input rate `R`. The original queueing simulation
+//! provided both from its configuration — an *open-loop* setup where
+//! overload is asserted rather than observed. [`QueueOverloadController`]
+//! closes the loop: it is fed periodic measurements of a shard's real input
+//! queue — depth, events drained, busy time — and derives everything the
+//! detector needs from them:
+//!
+//! * **drain throughput** `th = drained / busy_time` (× the number of
+//!   servers draining the queue), smoothed, and *frozen while shedding is
+//!   active* — a shedding operator drains faster than its no-shedding
+//!   capacity, so updating `th` mid-shed would inflate `qmax` and let the
+//!   latency bound slip;
+//! * **input rate** `R = (drained + Δdepth) / Δt` — what actually arrived
+//!   over the interval, queue growth included;
+//! * the **queue check** itself against `f · qmax`, with `qmax = LB · th`
+//!   recomputed from the live throughput estimate.
+//!
+//! The loop is then `measured queue → ShedPlan → drop ratio → queue`, with
+//! no precomputed rate anywhere: the controller is constructed from an
+//! [`OverloadConfig`] alone. The streaming engine drives one controller per
+//! shard from its drain loop; the queueing simulation drives the identical
+//! code from simulated time, serving as the deterministic test oracle.
+
+use crate::{OverloadConfig, OverloadDetector, ShedPlan};
+use espice_events::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// What the control loop asks the shedder to do after a queue check.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ControlAction {
+    /// Overload: apply this drop command.
+    Shed(ShedPlan),
+    /// The queue is back below the activation threshold: stop shedding.
+    Resume,
+}
+
+/// Counters describing one controller's run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ControllerStats {
+    /// Queue checks performed (after the throughput estimate existed).
+    pub checks: u64,
+    /// Checks that found the queue above `qmax`, i.e. with the latency
+    /// bound already violated for the queued events.
+    pub violations: u64,
+    /// Samples whose measurements updated the throughput estimate.
+    pub throughput_updates: u64,
+}
+
+/// Closed-loop overload controller for one input queue.
+///
+/// Feed it one [`sample`](QueueOverloadController::sample) per check
+/// interval; it returns the [`ControlAction`] the shedder should take, once
+/// enough has been measured to know the drain capacity.
+///
+/// # Example
+///
+/// ```
+/// use espice::{ControlAction, OverloadConfig, QueueOverloadController};
+/// use espice_events::SimDuration;
+///
+/// let mut controller = QueueOverloadController::new(OverloadConfig {
+///     latency_bound: SimDuration::from_secs(1),
+///     ..OverloadConfig::default()
+/// });
+/// // 100 ms busy interval draining 100 events => th = 1000 events/s,
+/// // qmax = 1000, activation at 800. Depth 40: no shedding.
+/// let t1 = SimDuration::from_millis(100);
+/// assert!(matches!(
+///     controller.sample(t1, t1, 40, 100, 500),
+///     Some(ControlAction::Resume)
+/// ));
+/// // Same drain rate but the queue ballooned past f·qmax: shed.
+/// let t2 = SimDuration::from_millis(200);
+/// assert!(matches!(
+///     controller.sample(t2, t2, 900, 100, 500),
+///     Some(ControlAction::Shed(_))
+/// ));
+/// ```
+#[derive(Debug, Clone)]
+pub struct QueueOverloadController {
+    config: OverloadConfig,
+    servers: usize,
+    /// Created at the first throughput measurement; `None` means "still
+    /// calibrating, keep everything".
+    detector: Option<OverloadDetector>,
+    throughput_estimate: Option<f64>,
+    last_elapsed: SimDuration,
+    last_busy: SimDuration,
+    last_depth: usize,
+    shedding: bool,
+    stats: ControllerStats,
+}
+
+impl QueueOverloadController {
+    /// A controller for a queue drained by a single server (one shard).
+    /// Only the overload parameters are supplied — throughput and input
+    /// rate are measured, never configured.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: OverloadConfig) -> Self {
+        Self::with_servers(config, 1)
+    }
+
+    /// A controller for a queue drained by `servers` parallel servers (the
+    /// queueing simulation's multi-shard model): the capacity estimate is
+    /// `servers × drained / busy_time`, since `busy_time` counts summed
+    /// per-server busy spans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or `servers` is zero.
+    pub fn with_servers(config: OverloadConfig, servers: usize) -> Self {
+        config.validate();
+        assert!(servers >= 1, "need at least one server");
+        QueueOverloadController {
+            config,
+            servers,
+            detector: None,
+            throughput_estimate: None,
+            last_elapsed: SimDuration::ZERO,
+            last_busy: SimDuration::ZERO,
+            last_depth: 0,
+            shedding: false,
+            stats: ControllerStats::default(),
+        }
+    }
+
+    /// The configured overload parameters.
+    pub fn config(&self) -> &OverloadConfig {
+        &self.config
+    }
+
+    /// The current measured-throughput estimate (events/s across all
+    /// servers), if at least one busy interval has been observed.
+    pub fn throughput(&self) -> Option<f64> {
+        self.throughput_estimate
+    }
+
+    /// The current measured input-rate estimate (events/s), if the
+    /// controller has calibrated.
+    pub fn input_rate(&self) -> Option<f64> {
+        self.detector.as_ref().map(OverloadDetector::input_rate)
+    }
+
+    /// Whether the last check decided shedding must be active.
+    pub fn is_shedding(&self) -> bool {
+        self.shedding
+    }
+
+    /// How often shedding has been (re-)activated.
+    pub fn activations(&self) -> u64 {
+        self.detector.as_ref().map_or(0, OverloadDetector::activations)
+    }
+
+    /// The controller's counters.
+    pub fn stats(&self) -> &ControllerStats {
+        &self.stats
+    }
+
+    /// One measurement of the queue, taken every check interval:
+    /// cumulative wall time `elapsed`, cumulative non-idle drain time
+    /// `busy`, current queue `depth`, events `drained` since the previous
+    /// sample, and the current `window_size` prediction (for partitioning).
+    ///
+    /// Returns the action the shedder should take, or `None` while the
+    /// controller is still calibrating (no busy interval measured yet) or
+    /// no time has passed.
+    pub fn sample(
+        &mut self,
+        elapsed: SimDuration,
+        busy: SimDuration,
+        depth: usize,
+        drained: u64,
+        window_size: usize,
+    ) -> Option<ControlAction> {
+        let interval = elapsed.saturating_sub(self.last_elapsed);
+        if interval.is_zero() {
+            return None;
+        }
+        let busy_interval = busy.saturating_sub(self.last_busy);
+        let arrivals = drained as f64 + depth as f64 - self.last_depth as f64;
+        let rate = (arrivals / interval.as_secs_f64()).max(0.0);
+        self.last_elapsed = elapsed;
+        self.last_busy = busy;
+        self.last_depth = depth;
+
+        // Capacity measurement: drains per busy second, scaled by the
+        // server count. Frozen while shedding is active — dropped events
+        // are cheap to "process", so a mid-shed sample would overestimate
+        // the no-shedding capacity the latency bound depends on.
+        if !self.shedding && drained > 0 && !busy_interval.is_zero() {
+            let measured = drained as f64 / busy_interval.as_secs_f64() * self.servers as f64;
+            if measured.is_finite() && measured > 0.0 {
+                let smoothed = match self.throughput_estimate {
+                    None => measured,
+                    Some(previous) => 0.5 * measured + 0.5 * previous,
+                };
+                self.throughput_estimate = Some(smoothed);
+                self.stats.throughput_updates += 1;
+                match self.detector.as_mut() {
+                    Some(detector) => detector.set_throughput(smoothed),
+                    None => self.detector = Some(OverloadDetector::new(self.config, smoothed)),
+                }
+            }
+        }
+
+        let detector = self.detector.as_mut()?;
+        detector.observe_rate(rate);
+        self.stats.checks += 1;
+        if depth > detector.planner().qmax() {
+            self.stats.violations += 1;
+        }
+        match detector.check_queue(depth, window_size) {
+            Some(plan) => {
+                self.shedding = true;
+                Some(ControlAction::Shed(plan))
+            }
+            None => {
+                self.shedding = false;
+                Some(ControlAction::Resume)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(lb_secs: u64, f: f64) -> OverloadConfig {
+        OverloadConfig {
+            latency_bound: SimDuration::from_secs(lb_secs),
+            f,
+            ..OverloadConfig::default()
+        }
+    }
+
+    fn ms(millis: u64) -> SimDuration {
+        SimDuration::from_millis(millis)
+    }
+
+    #[test]
+    fn calibrates_before_acting() {
+        let mut controller = QueueOverloadController::new(config(1, 0.8));
+        // No time passed: nothing to do.
+        assert_eq!(controller.sample(SimDuration::ZERO, SimDuration::ZERO, 10, 0, 100), None);
+        // Time passed but nothing drained: still calibrating.
+        assert_eq!(controller.sample(ms(100), SimDuration::ZERO, 10, 0, 100), None);
+        assert_eq!(controller.throughput(), None);
+        // First busy interval: 100 drains in 100 ms busy => 1000 events/s.
+        let action = controller.sample(ms(200), ms(100), 10, 100, 100);
+        assert_eq!(action, Some(ControlAction::Resume));
+        let th = controller.throughput().expect("calibrated");
+        assert!((th - 1000.0).abs() < 1e-6);
+        assert_eq!(controller.stats().checks, 1);
+    }
+
+    #[test]
+    fn sheds_when_measured_depth_exceeds_activation_threshold() {
+        let mut controller = QueueOverloadController::new(config(1, 0.8));
+        // Calibrate: th = 1000 events/s => qmax = 1000, activation at 800.
+        assert!(controller.sample(ms(100), ms(100), 0, 100, 500).is_some());
+        assert!(!controller.is_shedding());
+        // Queue overshoots the threshold: shedding must activate with an
+        // actionable plan.
+        let action = controller.sample(ms(200), ms(200), 900, 100, 500);
+        let Some(ControlAction::Shed(plan)) = action else {
+            panic!("expected a shed command, got {action:?}");
+        };
+        assert!(plan.active);
+        assert!(plan.events_to_drop > 0.0);
+        assert!(controller.is_shedding());
+        assert_eq!(controller.activations(), 1);
+        // Queue drains back below the threshold: resume.
+        let action = controller.sample(ms(300), ms(250), 100, 150, 500);
+        assert_eq!(action, Some(ControlAction::Resume));
+        assert!(!controller.is_shedding());
+    }
+
+    #[test]
+    fn throughput_is_frozen_while_shedding() {
+        let mut controller = QueueOverloadController::new(config(1, 0.8));
+        assert!(controller.sample(ms(100), ms(100), 0, 100, 100).is_some());
+        let before = controller.throughput().unwrap();
+        // Trigger shedding.
+        assert!(matches!(
+            controller.sample(ms(200), ms(200), 900, 100, 100),
+            Some(ControlAction::Shed(_))
+        ));
+        // While shedding, a much faster drain interval must NOT move th.
+        assert!(matches!(
+            controller.sample(ms(300), ms(220), 900, 500, 100),
+            Some(ControlAction::Shed(_))
+        ));
+        assert_eq!(controller.throughput(), Some(before));
+        // After resuming, measurements flow again.
+        assert!(matches!(
+            controller.sample(ms(400), ms(300), 0, 80, 100),
+            Some(ControlAction::Resume)
+        ));
+        assert!(controller.sample(ms(500), ms(400), 0, 120, 100).is_some());
+        assert_ne!(controller.throughput(), Some(before));
+    }
+
+    #[test]
+    fn input_rate_counts_queue_growth() {
+        let mut controller = QueueOverloadController::new(config(1, 0.8));
+        // 100 drained + depth grew by 40 over 100 ms => R = 1400 events/s.
+        assert!(controller.sample(ms(100), ms(100), 40, 100, 100).is_some());
+        let rate = controller.input_rate().expect("calibrated");
+        // The detector smooths the first observation into its th-seeded
+        // estimate: 0.5 * 1400 + 0.5 * 1000.
+        assert!((rate - 1200.0).abs() < 1e-6, "rate {rate}");
+    }
+
+    #[test]
+    fn violations_count_checks_above_qmax() {
+        let mut controller = QueueOverloadController::new(config(1, 0.8));
+        assert!(controller.sample(ms(100), ms(100), 0, 100, 100).is_some());
+        assert!(controller.sample(ms(200), ms(200), 1500, 100, 100).is_some());
+        assert_eq!(controller.stats().violations, 1);
+    }
+
+    #[test]
+    fn multi_server_capacity_scales_busy_time() {
+        let mut controller = QueueOverloadController::with_servers(config(1, 0.8), 2);
+        // 200 drains over 200 ms of *summed* busy time on 2 servers:
+        // per-busy-second rate 1000, aggregate capacity 2000.
+        assert!(controller.sample(ms(100), ms(200), 0, 200, 100).is_some());
+        let th = controller.throughput().unwrap();
+        assert!((th - 2000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_servers_rejected() {
+        let _ = QueueOverloadController::with_servers(config(1, 0.8), 0);
+    }
+}

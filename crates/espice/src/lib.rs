@@ -16,6 +16,7 @@
 //! | cumulative utility occurrences `O(u)` / `CDT` (Algorithm 1) | [`Cdt`] |
 //! | model building from detected complex events (§3.3) | [`ModelBuilder`] → [`UtilityModel`] |
 //! | overload detection, `qmax`, dropping interval and amount (§3.4) | [`OverloadDetector`], [`ShedPlanner`], [`ShedPlan`] |
+//! | closed-loop control from a *measured* input queue | [`QueueOverloadController`], [`ControlAction`] |
 //! | load shedder (Algorithm 2) | [`EspiceShedder`] |
 //! | bins, variable window size, retraining (§3.6) | [`ModelConfig`], [`UtilityModel::utility`], [`ModelBuilder::reset`] |
 //! | baseline `BL` and random shedding (§4.1) | [`BaselineShedder`], [`RandomShedder`] |
@@ -61,6 +62,7 @@
 mod baseline;
 mod cdt;
 mod config;
+mod control;
 mod model;
 mod overload;
 #[cfg(test)]
@@ -71,6 +73,7 @@ mod shedder;
 pub use baseline::{BaselineShedder, RandomShedder};
 pub use cdt::Cdt;
 pub use config::{ModelConfig, NormalisationMode};
+pub use control::{ControlAction, ControllerStats, QueueOverloadController};
 pub use model::{ModelBuilder, PositionShares, UtilityModel, UtilityTable};
 pub use overload::{suggest_f, OverloadConfig, OverloadDetector, ShedPlan, ShedPlanner};
 pub use retraining::{RetrainOutcome, RetrainPolicy, RetrainingManager, TypeDistribution};
@@ -79,7 +82,8 @@ pub use shedder::{EspiceShedder, ShedderStats};
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
     pub use crate::{
-        BaselineShedder, Cdt, EspiceShedder, ModelBuilder, ModelConfig, NormalisationMode,
-        OverloadConfig, OverloadDetector, RandomShedder, ShedPlan, ShedPlanner, UtilityModel,
+        BaselineShedder, Cdt, ControlAction, EspiceShedder, ModelBuilder, ModelConfig,
+        NormalisationMode, OverloadConfig, OverloadDetector, QueueOverloadController,
+        RandomShedder, ShedPlan, ShedPlanner, UtilityModel,
     };
 }

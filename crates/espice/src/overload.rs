@@ -110,6 +110,19 @@ impl ShedPlanner {
         self.throughput
     }
 
+    /// Replaces the throughput the planner works against, e.g. with a
+    /// freshly *measured* drain rate (closed-loop overload detection
+    /// derives `th` from the shard's own queue instead of a profiled
+    /// constant). `qmax` and all derived quantities follow immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `throughput` is not positive and finite.
+    pub fn set_throughput(&mut self, throughput: f64) {
+        assert!(throughput.is_finite() && throughput > 0.0, "throughput must be positive");
+        self.throughput = throughput;
+    }
+
     /// Event processing latency `l(p) = 1 / th`.
     pub fn processing_latency(&self) -> SimDuration {
         SimDuration::from_secs_f64(1.0 / self.throughput)
@@ -184,6 +197,16 @@ impl OverloadDetector {
     /// The planner used by this detector.
     pub fn planner(&self) -> &ShedPlanner {
         &self.planner
+    }
+
+    /// Updates the throughput the detector plans against (a new drain-rate
+    /// measurement). See [`ShedPlanner::set_throughput`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `throughput` is not positive and finite.
+    pub fn set_throughput(&mut self, throughput: f64) {
+        self.planner.set_throughput(throughput);
     }
 
     /// The current input-rate estimate.

@@ -171,6 +171,65 @@ proptest! {
         }
     }
 
+    /// Streaming-ingestion identity under active shedding: an armed eSPICE
+    /// shedder driven through the stream-backed engine (bounded per-shard
+    /// queues, producer fan-out, N ∈ {1, 2, 4}) drops exactly the same
+    /// events as a slice-driven single-operator run — complex events,
+    /// operator statistics and shedder counters included — even with
+    /// capacity-1 queues where the producer backpressures on every push.
+    #[test]
+    fn streaming_espice_shedding_equals_slice_run(
+        types in prop::collection::vec(0u32..6, 30..140),
+        window_size in 4usize..14,
+        slide in 1usize..4,
+        drop_fraction in 0.1f64..0.8,
+        tiny_queues in prop::bool::ANY,
+    ) {
+        let model = model_from(&types[..window_size.min(types.len())], &[0, 2]);
+        let plan = ShedPlan {
+            active: true,
+            partitions: 2,
+            partition_size: window_size.div_ceil(2),
+            events_to_drop: drop_fraction * window_size.div_ceil(2) as f64,
+        };
+        let query = Query::builder()
+            .pattern(Pattern::sequence([EventType::from_index(0), EventType::from_index(1)]))
+            .window(WindowSpec::count_sliding(window_size, slide))
+            .build();
+        let events: Vec<Event> = types
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| Event::new(EventType::from_index(t), Timestamp::from_secs(i as u64), i as u64))
+            .collect();
+        let stream = VecStream::from_ordered(events);
+
+        let mut armed = EspiceShedder::new(model);
+        armed.apply(plan);
+
+        let mut single_shedder = armed.clone();
+        let mut single = Operator::new(query.clone());
+        let expected = single.run(&stream, &mut single_shedder);
+
+        let capacity = if tiny_queues { 1 } else { 32 };
+        for shards in [1usize, 2, 4] {
+            let mut engine = ShardedEngine::new(query.clone(), shards);
+            engine.set_queue_capacity(capacity);
+            let mut deciders = vec![armed.clone(); shards];
+            let mut source = espice_events::SliceSource::from_stream(&stream);
+            let merged = engine.run_source(&mut source, &mut deciders);
+            prop_assert_eq!(&merged, &expected,
+                "complex events diverged at {} shards, capacity {}", shards, capacity);
+            prop_assert_eq!(&engine.stats().merged, single.stats(),
+                "stats diverged at {} shards, capacity {}", shards, capacity);
+            let mut shed_stats = crate::ShedderStats::default();
+            for decider in &deciders {
+                shed_stats.merge(decider.stats());
+            }
+            prop_assert_eq!(shed_stats.drops, single_shedder.stats().drops);
+            prop_assert_eq!(shed_stats.decisions, single_shedder.stats().decisions);
+        }
+    }
+
     /// High-overlap identity under an active plan (slide ≪ window): the
     /// ring-backed operator with an armed eSPICE shedder produces exactly
     /// the complex events and operator statistics of the seed per-window

@@ -9,7 +9,9 @@
 //! * [`EventType`] / [`TypeRegistry`] — interned event types,
 //! * [`AttributeValue`] / [`Attributes`] — the event payload,
 //! * [`Event`] — the primitive event itself,
-//! * [`stream`] — in-memory event streams and rate-controlled replay.
+//! * [`stream`] — in-memory event streams and rate-controlled replay,
+//! * [`source`] — incremental (pull/push) event sources for streaming
+//!   ingestion.
 //!
 //! # Example
 //!
@@ -36,12 +38,14 @@ mod attributes;
 mod event;
 #[cfg(test)]
 mod proptests;
+pub mod source;
 pub mod stream;
 mod time;
 mod types;
 
 pub use attributes::{AttributeValue, Attributes};
 pub use event::{Event, EventBuilder, SequenceNumber};
+pub use source::{EventSource, IterSource, PushHandle, PushSource, SliceSource};
 pub use stream::{EventStream, RateReplay, StreamStats, VecStream};
 pub use time::{SimDuration, Timestamp};
 pub use types::{EventType, TypeRegistry};
@@ -49,7 +53,7 @@ pub use types::{EventType, TypeRegistry};
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
     pub use crate::{
-        AttributeValue, Attributes, Event, EventStream, EventType, SimDuration, Timestamp,
-        TypeRegistry, VecStream,
+        AttributeValue, Attributes, Event, EventSource, EventStream, EventType, SimDuration,
+        SliceSource, Timestamp, TypeRegistry, VecStream,
     };
 }

@@ -1,0 +1,293 @@
+//! Incremental event sources.
+//!
+//! [`EventStream`] hands the engine a fully materialised `&[Event]` slice —
+//! fine for offline experiments, but it forces the whole stream to exist
+//! before the first event is processed. An [`EventSource`] is the streaming
+//! counterpart: a cursor that yields events one at a time, so an ingestion
+//! pipeline can start shards before the stream is buffered and apply
+//! backpressure to the producer instead of materialising everything up
+//! front.
+//!
+//! Three kinds of sources cover the workloads in this repository:
+//!
+//! * [`SliceSource`] — replays a pre-recorded slice (the slice-compat path
+//!   every existing experiment uses),
+//! * [`RateReplay`] — the rate-controlled replay adaptor implements
+//!   [`EventSource`] directly, yielding the events of its schedule in
+//!   arrival order (the arrival *timestamps* remain the queueing
+//!   simulator's domain),
+//! * [`PushSource`] — the push half: a bounded channel whose
+//!   [`PushHandle`] lets another thread feed events in live, with
+//!   backpressure when the engine falls behind.
+//!
+//! [`EventStream`]: crate::EventStream
+
+use crate::{Event, RateReplay};
+use std::sync::mpsc;
+
+/// A pull-based source of primitive events in global order.
+///
+/// Unlike [`EventStream`](crate::EventStream), which exposes the whole
+/// stream as a slice, an `EventSource` is consumed incrementally: the
+/// caller pulls one event at a time until `None` signals the end of the
+/// stream. Sources are single-pass cursors; rewinding means building a new
+/// source.
+pub trait EventSource {
+    /// The next event of the stream, or `None` once the source is
+    /// exhausted.
+    fn next_event(&mut self) -> Option<Event>;
+
+    /// Bounds on the number of remaining events, mirroring
+    /// [`Iterator::size_hint`].
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, None)
+    }
+}
+
+/// Every source stays usable through a mutable reference (the engines take
+/// `&mut Src` so callers keep ownership).
+impl<S: EventSource + ?Sized> EventSource for &mut S {
+    fn next_event(&mut self) -> Option<Event> {
+        (**self).next_event()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (**self).size_hint()
+    }
+}
+
+/// Replays a pre-recorded slice of events as an incremental source.
+///
+/// This is the slice-compatibility path: engines that accept an
+/// [`EventSource`] can run any materialised [`EventStream`](crate::EventStream)
+/// through it, and a streaming run over a `SliceSource` is
+/// decision-for-decision identical to a slice-driven run because the events
+/// come out in exactly the stored order.
+///
+/// # Example
+///
+/// ```
+/// use espice_events::{Event, EventType, Timestamp, VecStream};
+/// use espice_events::source::{EventSource, SliceSource};
+///
+/// let stream = VecStream::from_ordered(vec![
+///     Event::new(EventType::from_index(0), Timestamp::from_secs(0), 0),
+///     Event::new(EventType::from_index(1), Timestamp::from_secs(1), 1),
+/// ]);
+/// let mut source = SliceSource::from_stream(&stream);
+/// assert_eq!(source.size_hint(), (2, Some(2)));
+/// assert_eq!(source.next_event().unwrap().seq(), 0);
+/// assert_eq!(source.next_event().unwrap().seq(), 1);
+/// assert!(source.next_event().is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SliceSource<'a> {
+    events: &'a [Event],
+    next: usize,
+}
+
+impl<'a> SliceSource<'a> {
+    /// A source over an ordered slice of events.
+    pub fn new(events: &'a [Event]) -> Self {
+        SliceSource { events, next: 0 }
+    }
+
+    /// A source over the events of a materialised stream.
+    pub fn from_stream<S: crate::EventStream + ?Sized>(stream: &'a S) -> Self {
+        SliceSource::new(stream.events())
+    }
+
+    /// Number of events already pulled from the source.
+    pub fn consumed(&self) -> usize {
+        self.next
+    }
+}
+
+impl EventSource for SliceSource<'_> {
+    fn next_event(&mut self) -> Option<Event> {
+        let event = self.events.get(self.next)?.clone();
+        self.next += 1;
+        Some(event)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.events.len() - self.next;
+        (remaining, Some(remaining))
+    }
+}
+
+/// The rate-controlled replay is itself a source: it yields the events of
+/// its arrival schedule in order. The arrival timestamps the replay
+/// computes are used by the queueing simulation; a live engine consuming a
+/// `RateReplay` as a source applies its own (wall-clock) notion of arrival.
+impl EventSource for RateReplay<'_> {
+    fn next_event(&mut self) -> Option<Event> {
+        self.next().map(|(_, event)| event)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        Iterator::size_hint(self)
+    }
+}
+
+/// Adapts any ordered event iterator into an [`EventSource`].
+#[derive(Debug)]
+pub struct IterSource<I> {
+    iter: I,
+}
+
+impl<I: Iterator<Item = Event>> IterSource<I> {
+    /// Wraps an iterator that yields events in global order.
+    pub fn new(iter: I) -> Self {
+        IterSource { iter }
+    }
+}
+
+impl<I: Iterator<Item = Event>> EventSource for IterSource<I> {
+    fn next_event(&mut self) -> Option<Event> {
+        self.iter.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.iter.size_hint()
+    }
+}
+
+/// The push half of the source abstraction: a bounded channel. The producer
+/// side pushes through a [`PushHandle`] (blocking when the engine lags
+/// `capacity` events behind — backpressure instead of unbounded buffering);
+/// the engine drains the [`PushSource`] like any other source. The source
+/// ends when every handle has been dropped.
+///
+/// # Example
+///
+/// ```
+/// use espice_events::{Event, EventType, Timestamp};
+/// use espice_events::source::{EventSource, PushSource};
+///
+/// let (handle, mut source) = PushSource::bounded(8);
+/// handle.push(Event::new(EventType::from_index(0), Timestamp::ZERO, 0)).unwrap();
+/// drop(handle); // end of stream
+/// assert_eq!(source.next_event().unwrap().seq(), 0);
+/// assert!(source.next_event().is_none());
+/// ```
+#[derive(Debug)]
+pub struct PushSource {
+    receiver: mpsc::Receiver<Event>,
+}
+
+/// Producer handle of a [`PushSource`]. Cloneable so several producers can
+/// feed one engine; the stream ends when the last handle is dropped.
+#[derive(Debug, Clone)]
+pub struct PushHandle {
+    sender: mpsc::SyncSender<Event>,
+}
+
+impl PushSource {
+    /// Creates a bounded push channel holding at most `capacity` undrained
+    /// events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn bounded(capacity: usize) -> (PushHandle, PushSource) {
+        assert!(capacity >= 1, "push source capacity must be at least 1");
+        let (sender, receiver) = mpsc::sync_channel(capacity);
+        (PushHandle { sender }, PushSource { receiver })
+    }
+}
+
+impl PushHandle {
+    /// Pushes one event, blocking while the channel is full. Returns the
+    /// event back if the consuming source has been dropped.
+    pub fn push(&self, event: Event) -> Result<(), Event> {
+        self.sender.send(event).map_err(|mpsc::SendError(event)| event)
+    }
+}
+
+impl EventSource for PushSource {
+    fn next_event(&mut self) -> Option<Event> {
+        self.receiver.recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EventType, Timestamp, VecStream};
+
+    fn ev(seq: u64) -> Event {
+        Event::new(EventType::from_index(0), Timestamp::from_secs(seq), seq)
+    }
+
+    #[test]
+    fn slice_source_yields_events_in_order() {
+        let stream = VecStream::from_ordered(vec![ev(0), ev(1), ev(2)]);
+        let mut source = SliceSource::from_stream(&stream);
+        let mut seqs = Vec::new();
+        while let Some(event) = source.next_event() {
+            seqs.push(event.seq());
+        }
+        assert_eq!(seqs, vec![0, 1, 2]);
+        assert_eq!(source.consumed(), 3);
+        assert_eq!(source.size_hint(), (0, Some(0)));
+    }
+
+    #[test]
+    fn rate_replay_is_a_source() {
+        let stream = VecStream::from_ordered(vec![ev(0), ev(1)]);
+        let mut replay = RateReplay::new(&stream, 100.0);
+        assert_eq!(EventSource::size_hint(&replay), (2, Some(2)));
+        assert_eq!(replay.next_event().unwrap().seq(), 0);
+        assert_eq!(replay.next_event().unwrap().seq(), 1);
+        assert!(replay.next_event().is_none());
+    }
+
+    #[test]
+    fn iter_source_wraps_any_event_iterator() {
+        let mut source = IterSource::new((0..3).map(ev));
+        assert_eq!(source.size_hint(), (3, Some(3)));
+        assert_eq!(source.next_event().unwrap().seq(), 0);
+    }
+
+    #[test]
+    fn push_source_delivers_until_all_handles_drop() {
+        let (handle, mut source) = PushSource::bounded(4);
+        let second = handle.clone();
+        handle.push(ev(0)).unwrap();
+        second.push(ev(1)).unwrap();
+        drop(handle);
+        drop(second);
+        assert_eq!(source.next_event().unwrap().seq(), 0);
+        assert_eq!(source.next_event().unwrap().seq(), 1);
+        assert!(source.next_event().is_none());
+    }
+
+    #[test]
+    fn push_after_source_drop_returns_the_event() {
+        let (handle, source) = PushSource::bounded(1);
+        drop(source);
+        let rejected = handle.push(ev(7)).unwrap_err();
+        assert_eq!(rejected.seq(), 7);
+    }
+
+    #[test]
+    fn sources_work_through_mutable_references() {
+        fn drain<S: EventSource>(mut source: S) -> usize {
+            let mut n = 0;
+            while source.next_event().is_some() {
+                n += 1;
+            }
+            n
+        }
+        let stream = VecStream::from_ordered(vec![ev(0), ev(1)]);
+        let mut source = SliceSource::from_stream(&stream);
+        assert_eq!(drain(&mut source), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_push_source_rejected() {
+        let _ = PushSource::bounded(0);
+    }
+}

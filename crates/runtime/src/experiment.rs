@@ -22,8 +22,44 @@ use espice::{
     ShedPlan, ShedPlanner, UtilityModel,
 };
 use espice_cep::{ComplexEvent, Operator, Query, ShardedEngine};
-use espice_events::{EventStream, VecStream};
+use espice_events::{EventStream, SliceSource, VecStream};
 use serde::{Deserialize, Serialize};
+
+/// Which execution backend evaluates the shedded run.
+///
+/// On count-based windows the two backends produce byte-identical complex
+/// events for the deciders the experiments use (property-tested), so
+/// quality results never depend on this choice; the streaming backend
+/// additionally reports measured queue behaviour ([`QueueSummary`]).
+/// On time-based windows with `shards >= 2`, eSPICE's predicted-size
+/// scaling reads the engine-shared size estimator while other shard
+/// threads update it, so individual drop decisions can vary with thread
+/// timing (on either backend) — the price of shard-count-invariant
+/// predictions; single-shard evaluations remain fully deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EngineBackend {
+    /// Slice-driven: the engine consumes the materialised evaluation
+    /// stream directly.
+    Slice,
+    /// Stream-driven: events are produced incrementally into bounded
+    /// per-shard queues of the given capacity (backpressure engages when a
+    /// shard falls behind).
+    Streaming {
+        /// Capacity of each shard's bounded input queue.
+        queue_capacity: usize,
+    },
+}
+
+/// Aggregate queue behaviour of a streaming evaluation run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueueSummary {
+    /// Configured per-shard queue capacity.
+    pub capacity: usize,
+    /// Largest depth any shard's queue reached.
+    pub peak_depth: usize,
+    /// Events (summed over shards) whose push had to wait for queue space.
+    pub backpressure_events: u64,
+}
 
 /// Which load-shedding strategy to evaluate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -66,6 +102,8 @@ pub struct ExperimentConfig {
     /// windows and gets its own shedder instance; ground truth is identical
     /// for every shard count.
     pub shards: usize,
+    /// Which engine backend runs the shedded evaluation pass.
+    pub backend: EngineBackend,
 }
 
 impl Default for ExperimentConfig {
@@ -77,6 +115,7 @@ impl Default for ExperimentConfig {
             training_fraction: 0.5,
             seed: 1,
             shards: 1,
+            backend: EngineBackend::Slice,
         }
     }
 }
@@ -101,6 +140,9 @@ impl ExperimentConfig {
             "training fraction must be in (0, 1)"
         );
         assert!(self.shards >= 1, "need at least one shard");
+        if let EngineBackend::Streaming { queue_capacity } = self.backend {
+            assert!(queue_capacity >= 1, "queue capacity must be at least 1");
+        }
         self.overload.validate();
     }
 }
@@ -118,6 +160,9 @@ pub struct QualityOutcome {
     pub drop_ratio: f64,
     /// Number of windows evaluated.
     pub windows: u64,
+    /// Measured queue behaviour of the run — `Some` for the streaming
+    /// backend, `None` for the slice backend.
+    pub queue: Option<QueueSummary>,
 }
 
 impl QualityOutcome {
@@ -222,10 +267,13 @@ impl Experiment {
 
     /// Runs the unshedded ground truth for `query` over the evaluation
     /// stream. The engine's sharded output is identical to a single
-    /// operator's, so the ground truth does not depend on the shard count.
+    /// operator's, so the ground truth depends on neither the shard count
+    /// nor the backend; it always runs on the slice path (the deterministic
+    /// oracle, and the cheapest way through a fully materialised stream).
     pub fn ground_truth(&self, query: &Query) -> Vec<ComplexEvent> {
         let mut engine = self.engine_for(query);
-        engine.run_keep_all(&self.eval_stream)
+        let mut deciders = vec![espice_cep::KeepAll; self.config.shards.max(1)];
+        engine.run_slice(&self.eval_stream, &mut deciders)
     }
 
     /// Creates the evaluation engine for `query`: `config.shards` shards
@@ -281,8 +329,27 @@ impl Experiment {
             .collect();
 
         let mut engine = self.engine_for(query);
-        let detected = engine.run(&self.eval_stream, &mut deciders);
+        let detected = match self.config.backend {
+            EngineBackend::Slice => engine.run_slice(&self.eval_stream, &mut deciders),
+            EngineBackend::Streaming { queue_capacity } => {
+                engine.set_queue_capacity(queue_capacity);
+                let mut source = SliceSource::from_stream(&self.eval_stream);
+                engine.run_source(&mut source, &mut deciders)
+            }
+        };
         let stats = engine.stats().merged;
+        let queue = match self.config.backend {
+            EngineBackend::Slice => None,
+            EngineBackend::Streaming { queue_capacity } => Some(QueueSummary {
+                capacity: queue_capacity,
+                peak_depth: engine.queue_stats().iter().map(|q| q.peak_depth).max().unwrap_or(0),
+                backpressure_events: engine
+                    .queue_stats()
+                    .iter()
+                    .map(|q| q.backpressure_events)
+                    .sum(),
+            }),
+        };
 
         QualityOutcome {
             shedder: kind,
@@ -290,6 +357,7 @@ impl Experiment {
             plan,
             drop_ratio: stats.drop_ratio(),
             windows: stats.windows_closed,
+            queue,
         }
     }
 
@@ -487,6 +555,50 @@ mod tests {
         // 200-event window size.
         let avg = profile_average_window_size(&query, &ds.stream.slice(0, 2000));
         assert!(avg > 150.0 && avg <= 200.0, "average window size {avg} out of range");
+    }
+
+    #[test]
+    fn streaming_backend_matches_slice_backend_and_reports_queues() {
+        let ds = dataset();
+        let query = queries::q3(&ds, 8, 200, SelectionPolicy::First);
+        let slice = Experiment::train(
+            std::slice::from_ref(&query),
+            &ds.stream,
+            ds.registry.len(),
+            ModelConfig::with_positions(200),
+            ExperimentConfig { shards: 2, ..config() },
+        );
+        let streaming = Experiment::train(
+            std::slice::from_ref(&query),
+            &ds.stream,
+            ds.registry.len(),
+            ModelConfig::with_positions(200),
+            ExperimentConfig {
+                shards: 2,
+                backend: EngineBackend::Streaming { queue_capacity: 32 },
+                ..config()
+            },
+        );
+        let a = slice.evaluate(&query, ShedderKind::Espice);
+        let b = streaming.evaluate(&query, ShedderKind::Espice);
+        // Identical quality and drop decisions — the backend only changes
+        // how events are fed, never what is decided.
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.drop_ratio, b.drop_ratio);
+        assert_eq!(a.queue, None);
+        let queue = b.queue.expect("streaming backend must report queues");
+        assert_eq!(queue.capacity, 32);
+        assert!(queue.peak_depth >= 1 && queue.peak_depth <= 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "queue capacity")]
+    fn zero_streaming_queue_capacity_rejected() {
+        ExperimentConfig {
+            backend: EngineBackend::Streaming { queue_capacity: 0 },
+            ..ExperimentConfig::default()
+        }
+        .validate();
     }
 
     #[test]

@@ -11,8 +11,11 @@
 //!   unshedded ground truth, and latency traces,
 //! * [`experiment`] — the train → ground truth → shed → compare pipeline used
 //!   by all quality experiments (Figures 5, 6, 8, 9),
-//! * [`simulation`] — a single-server queueing simulation of the operator with
-//!   the overload detector in the loop (Figure 7),
+//! * [`simulation`] — a queueing simulation of the operator with the
+//!   closed-loop overload controller in the loop (Figure 7) — the
+//!   deterministic oracle for the streaming backend,
+//! * [`streaming`] — the real streaming backend: per-shard closed-loop
+//!   shedders over the engine's measured queues,
 //! * [`adaptive`] — a common trait for shedders that can receive drop commands
 //!   at run time,
 //! * [`report`] — plain-text table rendering for the figure binaries.
@@ -26,16 +29,23 @@ pub mod metrics;
 pub mod queries;
 pub mod report;
 pub mod simulation;
+pub mod streaming;
 
 pub use adaptive::AdaptiveShedder;
-pub use experiment::{Experiment, ExperimentConfig, QualityOutcome, ShedderKind};
+pub use experiment::{
+    EngineBackend, Experiment, ExperimentConfig, QualityOutcome, QueueSummary, ShedderKind,
+};
 pub use metrics::{LatencyTrace, QualityMetrics};
 pub use simulation::{LatencySimConfig, LatencySimulation};
+pub use streaming::{
+    run_closed_loop, ClosedLoopShedder, ShardControlReport, StreamingOutcome, StreamingRunConfig,
+};
 
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
     pub use crate::{
-        AdaptiveShedder, Experiment, ExperimentConfig, LatencySimConfig, LatencySimulation,
-        LatencyTrace, QualityMetrics, QualityOutcome, ShedderKind,
+        AdaptiveShedder, ClosedLoopShedder, EngineBackend, Experiment, ExperimentConfig,
+        LatencySimConfig, LatencySimulation, LatencyTrace, QualityMetrics, QualityOutcome,
+        ShedderKind, StreamingOutcome, StreamingRunConfig,
     };
 }

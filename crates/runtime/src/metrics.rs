@@ -117,6 +117,9 @@ pub struct LatencyTrace {
     pub mean_latency_secs: f64,
     /// Fraction of (event, window) assignments dropped by the shedder.
     pub drop_ratio: f64,
+    /// Largest input-queue depth observed during the run (events arrived
+    /// but not yet completed).
+    pub peak_queue_depth: usize,
 }
 
 impl LatencyTrace {
@@ -204,6 +207,7 @@ mod tests {
             max_latency: SimDuration::from_millis(800),
             mean_latency_secs: 0.46,
             drop_ratio: 0.1,
+            peak_queue_depth: 42,
         };
         assert!(trace.bound_held());
         assert!((trace.peak_sampled_latency() - 0.8).abs() < 1e-9);

@@ -8,12 +8,21 @@
 //! shed; when the load shedder drops the event from a fraction of its windows,
 //! the cost shrinks proportionally — dropping an event from every window it
 //! belongs to makes it (almost) free, which is how shedding relieves the
-//! queue. The overload detector inspects the queue length every
-//! `check_interval` and issues drop commands exactly as in §3.4.
+//! queue.
+//!
+//! Overload detection is **closed-loop**: the simulation drives the same
+//! [`QueueOverloadController`] the real streaming engine uses, feeding it
+//! the simulated clock, the simulated queue depth and the drain/busy
+//! counters of the simulated servers every `check_interval`. The
+//! configured `throughput` and `input_rate` only define the simulated
+//! *world* (service cost and arrival process); the controller never sees
+//! them — it measures both from the queue, exactly as it would against
+//! real hardware. That makes this module the deterministic test oracle for
+//! the closed control loop.
 
 use crate::adaptive::AdaptiveShedder;
 use crate::metrics::LatencyTrace;
-use espice::OverloadDetector;
+use espice::{ControlAction, QueueOverloadController};
 use espice_cep::{ComplexEvent, Operator, Query};
 use espice_events::{RateReplay, SimDuration, Timestamp, VecStream};
 use serde::{Deserialize, Serialize};
@@ -91,6 +100,10 @@ pub struct SimulationOutcome {
     pub complex_events: Vec<ComplexEvent>,
     /// How often the overload detector switched shedding on.
     pub shedding_activations: u64,
+    /// The controller's final *measured* throughput estimate (events/s),
+    /// if it calibrated. Compare against the configured service capacity
+    /// to judge the measurement path.
+    pub measured_throughput: Option<f64>,
 }
 
 /// The queueing simulation.
@@ -127,32 +140,38 @@ impl LatencySimulation {
         let overhead = base_service.mul_f64(cfg.shedding_overhead);
 
         let mut operator = Operator::new(query.clone());
-        // The detector plans against the *aggregate* service capacity: with
-        // N shards the queue drains N times faster, so both the tolerable
-        // queue length (qmax) and the rate surplus to shed scale with N.
-        let aggregate_throughput = cfg.throughput * cfg.shards.max(1) as f64;
-        let mut detector = OverloadDetector::new(
+        // The closed-loop controller measures the *aggregate* drain
+        // capacity by itself: with N servers the summed busy time scales
+        // the estimate, so both the tolerable queue length (qmax) and the
+        // rate surplus to shed follow the real service capacity — no
+        // precomputed throughput or input rate is handed over.
+        let mut controller = QueueOverloadController::with_servers(
             espice::OverloadConfig {
                 latency_bound: cfg.latency_bound,
                 f: cfg.f,
                 check_interval: cfg.check_interval,
             },
-            aggregate_throughput,
+            cfg.shards.max(1),
         );
-        detector.observe_rate(cfg.input_rate);
-        detector.observe_rate(cfg.input_rate);
 
         let mut complex_events = Vec::new();
-        // Completion times of events still "in the system"; used to derive the
-        // queue length seen by the overload detector. A min-heap because with
+        // Completion times of events still "in the system" (with their
+        // service durations, so completed work can be credited to the
+        // controller's busy-time measurement); used to derive the queue
+        // length seen by the overload controller. A min-heap because with
         // several servers completions are not monotone in arrival order.
-        let mut in_flight: BinaryHeap<Reverse<Timestamp>> = BinaryHeap::new();
+        let mut in_flight: BinaryHeap<Reverse<(Timestamp, SimDuration)>> = BinaryHeap::new();
         // One FIFO server per engine shard; an event is dispatched to the
         // server that frees up first. `shards == 1` is the paper's
         // single-threaded operator.
         let mut server_free: Vec<Timestamp> = vec![Timestamp::ZERO; cfg.shards.max(1)];
         let mut next_check = cfg.check_interval;
         let mut next_sample = Timestamp::ZERO;
+        // Cumulative busy time of all servers (sum of completed service
+        // durations) and events drained since the last check.
+        let mut busy_total = SimDuration::ZERO;
+        let mut drained_since_check = 0u64;
+        let mut peak_queue_depth = 0usize;
 
         let mut trace = LatencyTrace {
             bound: cfg.latency_bound,
@@ -172,19 +191,30 @@ impl LatencySimulation {
             }
             let start = arrival.max(server_free[server]);
 
-            // Fire overload-detector checks that are due before this event
-            // arrives. Checks are anchored to arrival time so the queue length
-            // they observe counts exactly the events that have arrived but not
+            // Fire overload checks that are due before this event arrives.
+            // Checks are anchored to arrival time so the queue length they
+            // observe counts exactly the events that have arrived but not
             // yet completed at the check instant.
             while Timestamp::ZERO + next_check <= arrival {
                 let check_time = Timestamp::ZERO + next_check;
-                while in_flight.peek().is_some_and(|&Reverse(c)| c <= check_time) {
-                    in_flight.pop();
+                while in_flight.peek().is_some_and(|&Reverse((c, _))| c <= check_time) {
+                    let Reverse((_, service)) = in_flight.pop().expect("peeked above");
+                    busy_total += service;
+                    drained_since_check += 1;
                 }
                 let window_size = operator.predicted_window_size();
-                match detector.check_queue(in_flight.len(), window_size) {
-                    Some(plan) => shedder.apply_plan(plan),
-                    None => shedder.deactivate(),
+                let action = controller.sample(
+                    next_check,
+                    busy_total,
+                    in_flight.len(),
+                    drained_since_check,
+                    window_size,
+                );
+                drained_since_check = 0;
+                match action {
+                    Some(ControlAction::Shed(plan)) => shedder.apply_plan(plan),
+                    Some(ControlAction::Resume) => shedder.deactivate(),
+                    None => {}
                 }
                 next_check += cfg.check_interval;
             }
@@ -211,7 +241,17 @@ impl LatencySimulation {
 
             let completion = start + service;
             server_free[server] = completion;
-            in_flight.push(Reverse(completion));
+            // Drain completions up to this arrival before recording the peak,
+            // so the peak measures the true backlog (arrived, not yet
+            // completed) rather than entries no check has pruned yet; the
+            // drain/busy credit is identical wherever an entry is popped.
+            while in_flight.peek().is_some_and(|&Reverse((c, _))| c <= arrival) {
+                let Reverse((_, done_service)) = in_flight.pop().expect("peeked above");
+                busy_total += done_service;
+                drained_since_check += 1;
+            }
+            in_flight.push(Reverse((completion, service)));
+            peak_queue_depth = peak_queue_depth.max(in_flight.len());
 
             let latency = completion.saturating_since(arrival);
             trace.events += 1;
@@ -232,8 +272,14 @@ impl LatencySimulation {
         trace.mean_latency_secs =
             if trace.events == 0 { 0.0 } else { latency_sum / trace.events as f64 };
         trace.drop_ratio = operator.stats().drop_ratio();
+        trace.peak_queue_depth = peak_queue_depth;
 
-        SimulationOutcome { trace, complex_events, shedding_activations: detector.activations() }
+        SimulationOutcome {
+            trace,
+            complex_events,
+            shedding_activations: controller.activations(),
+            measured_throughput: controller.throughput(),
+        }
     }
 }
 
