@@ -24,6 +24,7 @@ fn build_model(c: &mut Criterion) {
                         ModelBuilder::new(ModelConfig::with_positions(positions), 500);
                     let meta = WindowMeta {
                         id: 0,
+                        query: 0,
                         opened_at: Timestamp::ZERO,
                         open_seq: 0,
                         predicted_size: positions,

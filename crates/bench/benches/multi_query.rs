@@ -1,0 +1,193 @@
+//! Multi-query fusion benchmark: one fused N-query engine vs N independent
+//! single-query engines over the same stream.
+//!
+//! Like the other throughput benches this is a plain `main`
+//! (`harness = false`) that also *records* its results: a JSON report is
+//! written to `BENCH_multiquery.json` at the repository root.
+//!
+//! What it measures, per query count N ∈ {1, 2, 4, 8}:
+//!
+//! * **fused streaming** — `ShardedEngine::for_queries(set, ..)` driven
+//!   through `run_source_per_query`: the stream is produced **once**, each
+//!   event pays one bounded-queue hand-off per shard and one window-open
+//!   evaluation per distinct open policy, and the shard's drain loop fans
+//!   it out to all N per-query operators in process.
+//! * **independent streaming** — N separate single-query engines run back
+//!   to back over the same stream: the producer hand-off (clone + queue
+//!   push/pop + thread wake-ups) is paid N times, once per engine.
+//! * the same pair on the **slice** path (no queues), isolating how much
+//!   of the win is the shared ingestion pipeline vs the shared scan and
+//!   open bookkeeping.
+//!
+//! Total events/sec is "the full stream served to all N queries per
+//! second" — `events / wall_time` for both setups, so the fused/independent
+//! ratio directly reports what fusion saves. The per-query *outputs* are
+//! asserted byte-identical between the two setups before anything is
+//! timed (the same identity the proptests pin).
+
+use espice_cep::{KeepAll, Pattern, Query, QuerySet, ShardedEngine, WindowSpec};
+use espice_events::{Event, EventStream, EventType, SliceSource, Timestamp, VecStream};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// The shared-ingestion workload: type 0 opens a window every ~30 events,
+/// each query keeps a different window span (overlap ~10 per query).
+fn workload(events: usize, types: usize) -> VecStream {
+    let mut rng = StdRng::seed_from_u64(23);
+    VecStream::from_ordered(
+        (0..events as u64)
+            .map(|i| {
+                let ty = if i % 30 == 0 { 0 } else { rng.gen_range(1..types) as u32 };
+                Event::new(EventType::from_index(ty), Timestamp::from_millis(i), i)
+            })
+            .collect(),
+    )
+}
+
+/// N pattern/window variants riding the same open policy (window sizes
+/// 240, 270, 300, ... so their extents — and outputs — all differ).
+fn query_set(n: usize) -> QuerySet {
+    QuerySet::new(
+        (0..n)
+            .map(|i| {
+                let pattern = Pattern::sequence(
+                    (0..4).map(|s| EventType::from_index(if s == 0 { 0 } else { s + i as u32 })),
+                );
+                Query::builder()
+                    .name(&format!("q{i}"))
+                    .pattern(pattern)
+                    .window(WindowSpec::count_on_types(
+                        vec![EventType::from_index(0)],
+                        240 + 30 * i,
+                    ))
+                    .build()
+            })
+            .collect(),
+    )
+}
+
+/// Best-of-`reps` wall time of `f` in seconds.
+fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let stream = workload(80_000, 400);
+    let events = stream.len();
+    println!("workload: {events} events, windows 240..., opened on ~1/30 events, {cores} core(s)");
+
+    // Correctness gate: the fused engine's per-query outputs must be
+    // byte-identical to N independent engines, on the streaming path.
+    {
+        let set = query_set(4);
+        let mut fused = ShardedEngine::for_queries(set.clone(), 2);
+        let mut deciders = vec![KeepAll; 2 * set.len()];
+        let mut source = SliceSource::from_stream(&stream);
+        let per_query = fused.run_source_per_query(&mut source, &mut deciders);
+        let mut complex_total = 0usize;
+        for (id, query) in set.iter() {
+            let mut solo = ShardedEngine::new(query.clone(), 2);
+            let expected = solo.run_keep_all(&stream);
+            assert_eq!(per_query[id as usize], expected, "query {id} diverged from its own engine");
+            complex_total += expected.len();
+        }
+        assert!(complex_total > 0, "workload produced no complex events");
+        println!(
+            "fused output identical to independent engines ({complex_total} complex events over 4 queries)"
+        );
+    }
+
+    let reps = 3;
+    let shards = 1usize; // the paper's single-operator resource limit
+    let query_counts = [1usize, 2, 4, 8];
+    let mut rows = Vec::new();
+
+    for &n in &query_counts {
+        let set = query_set(n);
+
+        // Fused engine: one producer, one hand-off per event per shard.
+        let fused_stream_secs = time_best(reps, || {
+            let mut engine = ShardedEngine::for_queries(set.clone(), shards);
+            let mut deciders = vec![KeepAll; shards * n];
+            let mut source = SliceSource::from_stream(&stream);
+            black_box(engine.run_source_per_query(&mut source, &mut deciders));
+        });
+
+        // Independent engines: the hand-off paid once per query.
+        let indep_stream_secs = time_best(reps, || {
+            for (_, query) in set.iter() {
+                let mut engine = ShardedEngine::new(query.clone(), shards);
+                let mut deciders = vec![KeepAll; shards];
+                let mut source = SliceSource::from_stream(&stream);
+                black_box(engine.run_source(&mut source, &mut deciders));
+            }
+        });
+
+        // The same pair without queues (shared scan + open bookkeeping
+        // only).
+        let fused_slice_secs = time_best(reps, || {
+            let mut engine = ShardedEngine::for_queries(set.clone(), shards);
+            let mut deciders = vec![KeepAll; shards * n];
+            black_box(engine.run_slice_per_query(&stream, &mut deciders));
+        });
+        let indep_slice_secs = time_best(reps, || {
+            for (_, query) in set.iter() {
+                let mut engine = ShardedEngine::new(query.clone(), shards);
+                let mut deciders = vec![KeepAll; shards];
+                black_box(engine.run_slice(&stream, &mut deciders));
+            }
+        });
+
+        let fused_stream_rate = events as f64 / fused_stream_secs;
+        let indep_stream_rate = events as f64 / indep_stream_secs;
+        let stream_speedup = fused_stream_rate / indep_stream_rate;
+        let slice_speedup = indep_slice_secs / fused_slice_secs;
+        println!(
+            "N={n}: streaming fused {fused_stream_secs:.3} s ({fused_stream_rate:.0} ev/s) vs independent {indep_stream_secs:.3} s ({indep_stream_rate:.0} ev/s) => {stream_speedup:.2}x; slice fused {fused_slice_secs:.3} s vs independent {indep_slice_secs:.3} s => {slice_speedup:.2}x"
+        );
+        rows.push((
+            n,
+            fused_stream_secs,
+            fused_stream_rate,
+            indep_stream_secs,
+            indep_stream_rate,
+            stream_speedup,
+            fused_slice_secs,
+            indep_slice_secs,
+            slice_speedup,
+        ));
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"host_cores\": {cores},\n"));
+    json.push_str(&format!(
+        "  \"workload\": {{\"events\": {events}, \"window_sizes\": \"240 + 30*i\", \"open_every\": 30, \"types\": 400, \"shards\": {shards}}},\n"
+    ));
+    json.push_str("  \"identical_per_query_output_fused_vs_independent\": true,\n");
+    json.push_str("  \"runs\": [\n");
+    for (i, (n, fs, fr, is_, ir, speedup, fsl, isl, slice_speedup)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"queries\": {n}, \"fused_streaming_seconds\": {fs:.4}, \"fused_streaming_events_per_sec\": {fr:.0}, \"independent_streaming_seconds\": {is_:.4}, \"independent_streaming_events_per_sec\": {ir:.0}, \"streaming_fused_over_independent\": {speedup:.2}, \"fused_slice_seconds\": {fsl:.4}, \"independent_slice_seconds\": {isl:.4}, \"slice_fused_over_independent\": {slice_speedup:.2}}}{}\n",
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(
+        "  \"notes\": \"total events/sec = full stream served to all N queries per wall second. The fused engine produces the stream once and pays one bounded-queue hand-off per event per shard for the whole query set, plus one window-open evaluation per distinct open policy; N independent engines pay the producer hand-off (clone + SPSC push/pop + thread wake-ups) N times. streaming_fused_over_independent > 1 at N >= 2 is the shared-ingestion win; the slice pair isolates the share of the win that comes from scan/open sharing alone. Per-query outputs are asserted identical before timing.\"\n",
+    );
+    json.push_str("}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_multiquery.json");
+    std::fs::write(path, &json).expect("write BENCH_multiquery.json");
+    println!("wrote {path}");
+}

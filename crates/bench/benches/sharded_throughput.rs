@@ -123,7 +123,13 @@ fn main() {
         partition_size: 200,
         events_to_drop: 2_000.0 / 60.0,
     };
-    let meta = WindowMeta { id: 0, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: 2_000 };
+    let meta = WindowMeta {
+        id: 0,
+        query: 0,
+        opened_at: Timestamp::ZERO,
+        open_seq: 0,
+        predicted_size: 2_000,
+    };
     let batch: Vec<BatchRequest> =
         (0..32usize).map(|w| BatchRequest { meta, position: (w * 61) % 2_000 }).collect();
     let probes: Vec<Event> = (0..512)

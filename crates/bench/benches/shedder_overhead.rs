@@ -25,6 +25,7 @@ fn shed_decision(c: &mut Criterion) {
         });
         let meta = WindowMeta {
             id: 0,
+            query: 0,
             opened_at: Timestamp::ZERO,
             open_seq: 0,
             predicted_size: window_size,
@@ -66,7 +67,13 @@ fn baseline_decision(c: &mut Criterion) {
         partition_size: 200,
         events_to_drop: 33.0,
     });
-    let meta = WindowMeta { id: 0, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: 2_000 };
+    let meta = WindowMeta {
+        id: 0,
+        query: 0,
+        opened_at: Timestamp::ZERO,
+        open_seq: 0,
+        predicted_size: 2_000,
+    };
     let events: Vec<Event> = (0..4096)
         .map(|i| {
             Event::new(EventType::from_index(rng.gen_range(0..500) as u32), Timestamp::ZERO, i)

@@ -48,7 +48,13 @@ pub fn running_example() -> RunningExample {
     // O(5) = 1.4, O(10) = 2.3, …, O(70) = 5 shown in the paper.
     let a_share_tenths: [u64; 5] = [8, 5, 1, 2, 5];
     for w in 0..10u64 {
-        let meta = WindowMeta { id: w, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: 5 };
+        let meta = WindowMeta {
+            id: w,
+            query: 0,
+            opened_at: Timestamp::ZERO,
+            open_seq: 0,
+            predicted_size: 5,
+        };
         for (pos, &share) in a_share_tenths.iter().enumerate() {
             let ty = if w < share { a } else { b };
             let e = Event::new(ty, Timestamp::from_secs(pos as u64), pos as u64);
@@ -244,6 +250,7 @@ pub fn overhead_figure(profile: Profile) -> Vec<OverheadPoint> {
         // shedding decision.
         let meta = WindowMeta {
             id: 0,
+            query: 0,
             opened_at: Timestamp::ZERO,
             open_seq: 0,
             predicted_size: window_size,
@@ -325,8 +332,13 @@ pub fn overhead_table(points: &[OverheadPoint]) -> Table {
 pub fn synthetic_model(rng: &mut StdRng, type_count: usize, positions: usize) -> UtilityModel {
     let config = ModelConfig { positions, bin_size: 1, ..ModelConfig::default() };
     let mut builder = ModelBuilder::new(config, type_count);
-    let meta =
-        WindowMeta { id: 0, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: positions };
+    let meta = WindowMeta {
+        id: 0,
+        query: 0,
+        opened_at: Timestamp::ZERO,
+        open_seq: 0,
+        predicted_size: positions,
+    };
     // One synthetic window establishing the position shares.
     for pos in 0..positions {
         let ty = EventType::from_index(rng.gen_range(0..type_count) as u32);
@@ -395,8 +407,13 @@ mod tests {
             partition_size: 200,
             events_to_drop: 10.0,
         });
-        let meta =
-            WindowMeta { id: 0, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: 1000 };
+        let meta = WindowMeta {
+            id: 0,
+            query: 0,
+            opened_at: Timestamp::ZERO,
+            open_seq: 0,
+            predicted_size: 1000,
+        };
         let e = Event::new(EventType::from_index(3), Timestamp::ZERO, 0);
         let start = Instant::now();
         for pos in 0..10_000usize {

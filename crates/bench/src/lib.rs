@@ -154,6 +154,7 @@ pub fn experiment_config() -> ExperimentConfig {
             latency_bound: SimDuration::from_secs(1),
             f: 0.8,
             check_interval: SimDuration::from_millis(100),
+            ..OverloadConfig::default()
         },
         training_fraction: 0.5,
         seed: 1,

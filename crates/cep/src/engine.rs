@@ -1,18 +1,31 @@
-//! The sharded, stream-driven CEP engine.
+//! The sharded, stream-driven, multi-query CEP engine.
 //!
 //! The eSPICE prototype deliberately throttles itself to a single operator
 //! thread; this engine is the scale-out counterpart. It hash-partitions the
-//! window population by global window id across `N` independent [`Shard`]s —
-//! each with its own [`Operator`] and its own [`WindowEventDecider`] instance
-//! — fed through **bounded per-shard SPSC queues**: the producer thread
-//! pulls events incrementally from an [`EventSource`] and broadcasts each
-//! one to every shard's queue, blocking while a queue is full
-//! (backpressure), while each shard's scoped thread drains its own queue.
-//! Shards therefore start before the stream is fully buffered, and the
-//! *measured* queue depth and drain rate are reported back to the deciders
-//! (see [`ShardedEngine::set_check_interval`]) — the hook eSPICE's
-//! closed-loop overload detection attaches to. [`ShardedEngine::run`]
-//! remains as the slice-compatible wrapper over the same pipeline.
+//! window population by global window id across `N` independent [`Shard`]s,
+//! fed through **bounded per-shard SPSC queues**: the producer thread pulls
+//! events incrementally from an [`EventSource`] and broadcasts each one to
+//! every shard's queue, blocking while a queue is full (backpressure),
+//! while each shard's scoped thread drains its own queue. Shards therefore
+//! start before the stream is fully buffered, and the *measured* queue
+//! depth and drain rate are reported back to the deciders (see
+//! [`ShardedEngine::set_check_interval`]) — the hook eSPICE's closed-loop
+//! overload detection attaches to. [`ShardedEngine::run`] remains as the
+//! slice-compatible wrapper over the same pipeline.
+//!
+//! # One ingestion pipeline, N queries
+//!
+//! An engine executes a whole [`QuerySet`]: each shard owns one
+//! [`Operator`] **per query** (each with its own [`WindowEventDecider`]
+//! instance) and offers every event to all of them in a fused assignment
+//! pass. The per-event ingestion costs are paid once per shard, not once
+//! per query — one queue push/pop and one event clone per shard, one
+//! window-open evaluation per *distinct* open policy — which is what makes
+//! the fused engine faster than N independent engines on the same stream.
+//! Deciders and outputs are per query: `deciders[shard * queries + query]`
+//! (shard-major), and the `*_per_query` run methods return each query's
+//! complex events separately, byte-identical to what N independent
+//! single-query engines would produce.
 //!
 //! Because window-open decisions depend only on the stream, every shard
 //! derives the same global window ids without coordination, and the merged
@@ -21,15 +34,15 @@
 //! thread timing — for any decider whose decisions are a function of
 //! `(window id, position, event)`; on count-based windows, whose size is
 //! exact, `predicted size` joins that list, which covers eSPICE (its
-//! boundary-thinning accumulator is keyed per window id), so shedded
-//! output is shard-invariant there. The exception is `predicted size` on
-//! time-based (variable-size) windows: the engine's shards share one
-//! [`SharedSizePredictor`] — an engine-wide running mean, so predictions
-//! no longer drift with the shard count, but they deliberately differ from
-//! the *local EWMA* a standalone [`Operator`] keeps (and their mid-run
-//! values can vary with thread timing). Deciders that scale positions by
-//! the predicted size (eSPICE on time windows) therefore match the
-//! engine's own runs across shard counts, not a standalone operator's.
+//! boundary-thinning accumulator is keyed per `(query, window id)`), so
+//! shedded output is shard-invariant there. The exception is `predicted
+//! size` on time-based (variable-size) windows: each query's shards share
+//! one [`SharedSizePredictor`] — a per-query engine-wide running mean, so
+//! predictions no longer drift with the shard count, but they deliberately
+//! differ from the *local EWMA* a standalone [`Operator`] keeps (and their
+//! mid-run values can vary with thread timing). Deciders that scale
+//! positions by the predicted size (eSPICE on time windows) therefore match
+//! the engine's own runs across shard counts, not a standalone operator's.
 //!
 //! [`Operator`]: crate::Operator
 //! [`WindowEventDecider`]: crate::WindowEventDecider
@@ -38,7 +51,7 @@
 
 use crate::queue::{spsc, QueueStats};
 use crate::window::SharedSizePredictor;
-use crate::{ComplexEvent, KeepAll, OperatorStats, Query, Shard, WindowEventDecider};
+use crate::{ComplexEvent, KeepAll, OperatorStats, Query, QuerySet, Shard, WindowEventDecider};
 use espice_events::{EventSource, EventStream, SliceSource};
 use std::sync::Arc;
 use std::time::Duration;
@@ -48,22 +61,27 @@ use std::time::Duration;
 /// engages well before memory matters.
 pub const DEFAULT_QUEUE_CAPACITY: usize = 1024;
 
-/// Engine-level statistics: the per-shard operator counters plus their merged
-/// totals.
+/// Engine-level statistics: per-shard and per-query operator counters plus
+/// their merged totals.
 ///
 /// `merged.events_processed` counts each stream event **once** (every shard
-/// scans the whole stream, so naively summing would multiply the count by the
-/// shard count); all other counters are disjoint across shards and sum
-/// exactly to what a single unsharded operator would report.
+/// scans the whole stream for every query, so naively summing would
+/// multiply the count by shards × queries); all other counters are disjoint
+/// and sum exactly to what the corresponding single operators would report.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EngineStats {
-    /// Totals across all shards, comparable to a single operator's stats.
+    /// Totals across all shards and queries.
     pub merged: OperatorStats,
-    /// The individual shard counters, indexed by shard.
+    /// Per-shard counters (merged over the shard's queries), indexed by
+    /// shard. `events_processed` counts each event the shard saw once.
     pub per_shard: Vec<OperatorStats>,
+    /// Per-query counters (merged over shards), indexed by query — each
+    /// entry is comparable to the `merged` stats of a single-query engine
+    /// running that query alone.
+    pub per_query: Vec<OperatorStats>,
 }
 
-/// A sharded CEP engine executing one [`Query`] across `N` worker shards.
+/// A sharded CEP engine executing a [`QuerySet`] across `N` worker shards.
 ///
 /// # Example
 ///
@@ -90,6 +108,7 @@ pub struct EngineStats {
 #[derive(Debug)]
 pub struct ShardedEngine {
     shards: Vec<Shard>,
+    queries: QuerySet,
     events_processed: u64,
     /// Capacity of each shard's bounded input queue on the streaming path.
     queue_capacity: usize,
@@ -101,35 +120,56 @@ pub struct ShardedEngine {
     check_interval: Option<Duration>,
     /// Queue counters of the most recent streaming run, one per shard.
     queue_stats: Vec<QueueStats>,
-    /// Window-size prediction shared by every shard (no drift with the
-    /// shard count on time-based windows).
-    size_predictor: Arc<SharedSizePredictor>,
+    /// Window-size prediction shared by every shard, one predictor per
+    /// query (no drift with the shard count on time-based windows).
+    size_predictors: Vec<Arc<SharedSizePredictor>>,
 }
 
 impl ShardedEngine {
-    /// Creates an engine running `query` on `shard_count` shards.
+    /// Creates an engine running the single `query` on `shard_count`
+    /// shards.
     ///
     /// # Panics
     ///
     /// Panics if `shard_count` is zero.
     pub fn new(query: Query, shard_count: usize) -> Self {
+        Self::for_queries(QuerySet::single(query), shard_count)
+    }
+
+    /// Creates an engine running every query of `queries` on `shard_count`
+    /// shards, sharing one ingestion pipeline (and, per shard, one event
+    /// scan) across the whole set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_count` is zero.
+    pub fn for_queries(queries: QuerySet, shard_count: usize) -> Self {
         assert!(shard_count >= 1, "the engine needs at least one shard");
-        let initial_size = query.window().expected_size().unwrap_or(100).max(1);
-        let size_predictor = Arc::new(SharedSizePredictor::new(initial_size));
+        let size_predictors: Vec<Arc<SharedSizePredictor>> = queries
+            .queries()
+            .iter()
+            .map(|query| {
+                let initial = query.window().expected_size().unwrap_or(100).max(1);
+                Arc::new(SharedSizePredictor::new(initial))
+            })
+            .collect();
         let shards = (0..shard_count)
             .map(|index| {
-                let mut shard = Shard::new(query.clone(), index, shard_count);
-                shard.share_size_predictor(Arc::clone(&size_predictor));
+                let mut shard = Shard::for_queries(&queries, index, shard_count);
+                for (query, predictor) in size_predictors.iter().enumerate() {
+                    shard.share_size_predictor_for(query, Arc::clone(predictor));
+                }
                 shard
             })
             .collect();
         ShardedEngine {
             shards,
+            queries,
             events_processed: 0,
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
             check_interval: None,
             queue_stats: Vec::new(),
-            size_predictor,
+            size_predictors,
         }
     }
 
@@ -151,9 +191,9 @@ impl ShardedEngine {
     }
 
     /// Enables (or disables, with `None`) periodic queue sampling: every
-    /// `interval` of wall time each drain loop hands its decider a measured
-    /// [`QueueSample`] via [`WindowEventDecider::queue_sample`]. This is
-    /// the hook closed-loop overload detection attaches to.
+    /// `interval` of wall time each drain loop hands every query's decider
+    /// a measured [`QueueSample`] via [`WindowEventDecider::queue_sample`].
+    /// This is the hook closed-loop overload detection attaches to.
     ///
     /// [`QueueSample`]: crate::QueueSample
     pub fn set_check_interval(&mut self, interval: Option<Duration>) {
@@ -162,7 +202,8 @@ impl ShardedEngine {
     }
 
     /// Queue counters of the most recent streaming run (empty before the
-    /// first run), indexed by shard.
+    /// first run), indexed by shard. One queue serves all queries of a
+    /// shard, so there is no per-query axis here.
     pub fn queue_stats(&self) -> &[QueueStats] {
         &self.queue_stats
     }
@@ -172,23 +213,43 @@ impl ShardedEngine {
         self.shards.len()
     }
 
-    /// The query the engine executes.
-    pub fn query(&self) -> &Query {
-        self.shards[0].operator().query()
+    /// The number of queries the engine executes.
+    pub fn query_count(&self) -> usize {
+        self.queries.len()
     }
 
-    /// Seeds the engine-wide window-size prediction, e.g. with the average
-    /// window size observed during model training.
+    /// The executed query set.
+    pub fn queries(&self) -> &QuerySet {
+        &self.queries
+    }
+
+    /// The first (or only) query the engine executes.
+    pub fn query(&self) -> &Query {
+        &self.queries.queries()[0]
+    }
+
+    /// Seeds every query's engine-wide window-size prediction, e.g. with
+    /// the average window size observed during model training.
     pub fn set_window_size_hint(&mut self, hint: usize) {
         for shard in &mut self.shards {
             shard.set_window_size_hint(hint);
         }
     }
 
-    /// The window-size predictor shared by all shards (relevant for
-    /// time-based, variable-size windows).
+    /// The window-size predictor shared by all shards for query `query`
+    /// (relevant for time-based, variable-size windows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query` is out of range.
+    pub fn size_predictor_for(&self, query: usize) -> &SharedSizePredictor {
+        &self.size_predictors[query]
+    }
+
+    /// The window-size predictor of query 0 (single-query compatibility
+    /// wrapper over [`size_predictor_for`](Self::size_predictor_for)).
     pub fn shared_size_predictor(&self) -> &SharedSizePredictor {
-        &self.size_predictor
+        self.size_predictor_for(0)
     }
 
     /// Runs a materialised stream through the engine: the slice-compatible
@@ -196,13 +257,20 @@ impl ShardedEngine {
     /// benches keep compiling, but the execution underneath is the
     /// streaming pipeline — a producer fan-out over bounded per-shard
     /// queues — not a shared-slice scan. The hand-off costs one clone +
-    /// queue push/pop per event per shard; batch callers that only ever
-    /// process fully materialised streams and want the zero-copy scan
-    /// should call [`run_slice`](Self::run_slice) instead.
+    /// queue push/pop per event per shard *for the whole query set*; batch
+    /// callers that only ever process fully materialised streams and want
+    /// the zero-copy scan should call [`run_slice`](Self::run_slice)
+    /// instead.
+    ///
+    /// For a multi-query engine the returned vector is the per-query
+    /// outputs concatenated in query order (see
+    /// [`run_source_per_query`](Self::run_source_per_query) to keep them
+    /// apart); with a single query it is exactly the single-operator
+    /// output.
     ///
     /// # Panics
     ///
-    /// Panics if `deciders.len()` differs from the shard count.
+    /// Panics if `deciders.len()` differs from `shards × queries`.
     pub fn run<S, D>(&mut self, stream: &S, deciders: &mut [D]) -> Vec<ComplexEvent>
     where
         S: EventStream + ?Sized,
@@ -212,49 +280,88 @@ impl ShardedEngine {
         self.run_source(&mut source, deciders)
     }
 
+    /// [`run`](Self::run), returning each query's complex events
+    /// separately (indexed by query, each in single-operator emission
+    /// order).
+    pub fn run_per_query<S, D>(&mut self, stream: &S, deciders: &mut [D]) -> Vec<Vec<ComplexEvent>>
+    where
+        S: EventStream + ?Sized,
+        D: WindowEventDecider + Send,
+    {
+        let mut source = SliceSource::new(stream.events());
+        self.run_source_per_query(&mut source, deciders)
+    }
+
     /// Runs a materialised stream through all shards as a *shared-slice
     /// scan*: no queues, no producer thread — every shard (on its own
     /// scoped thread when there is more than one) iterates the slice
-    /// directly. This is the batch path: it avoids the streaming pipeline's
-    /// per-event hand-off for workloads that are fully materialised anyway,
-    /// and serves as the oracle the streaming path is property-tested
-    /// against. Output and statistics are identical to
+    /// directly, offering each event to every query's operator in the
+    /// fused pass. This is the batch path: it avoids the streaming
+    /// pipeline's per-event hand-off for workloads that are fully
+    /// materialised anyway, and serves as the oracle the streaming path is
+    /// property-tested against. Output and statistics are identical to
     /// [`run_source`](Self::run_source) for deciders whose decisions are a
     /// function of `(window id, position, event)` — plus `predicted size`
     /// on count-based windows, where the prediction is exact.
     ///
     /// # Panics
     ///
-    /// Panics if `deciders.len()` differs from the shard count.
+    /// Panics if `deciders.len()` differs from `shards × queries`.
     pub fn run_slice<S, D>(&mut self, stream: &S, deciders: &mut [D]) -> Vec<ComplexEvent>
     where
         S: EventStream + ?Sized,
         D: WindowEventDecider + Send,
     {
-        assert_eq!(deciders.len(), self.shards.len(), "need exactly one decider per shard");
+        flatten(self.run_slice_per_query(stream, deciders))
+    }
+
+    /// [`run_slice`](Self::run_slice), returning each query's complex
+    /// events separately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deciders.len()` differs from `shards × queries`.
+    pub fn run_slice_per_query<S, D>(
+        &mut self,
+        stream: &S,
+        deciders: &mut [D],
+    ) -> Vec<Vec<ComplexEvent>>
+    where
+        S: EventStream + ?Sized,
+        D: WindowEventDecider + Send,
+    {
+        let queries = self.queries.len();
+        assert_eq!(
+            deciders.len(),
+            self.shards.len() * queries,
+            "need exactly one decider per shard per query (shard-major)"
+        );
         let events = stream.events();
         self.events_processed += events.len() as u64;
 
-        let mut outputs: Vec<Vec<ComplexEvent>> = if self.shards.len() == 1 {
-            vec![self.shards[0].run_events(events, &mut deciders[0])]
+        let outputs: Vec<Vec<Vec<ComplexEvent>>> = if self.shards.len() == 1 {
+            vec![self.shards[0].run_events_multi(events, deciders)]
         } else {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = self
                     .shards
                     .iter_mut()
-                    .zip(deciders.iter_mut())
-                    .map(|(shard, decider)| scope.spawn(move || shard.run_events(events, decider)))
+                    .zip(deciders.chunks_mut(queries))
+                    .map(|(shard, chunk)| {
+                        scope.spawn(move || shard.run_events_multi(events, chunk))
+                    })
                     .collect();
                 handles.into_iter().map(|h| h.join().expect("shard thread panicked")).collect()
             })
         };
 
-        merge_outputs(&mut outputs)
+        merge_outputs(outputs, queries)
     }
 
     /// Streams events from `source` through all shards, with one decider
-    /// per shard, and returns the merged complex events in single-operator
-    /// emission order.
+    /// per shard per query, and returns the merged complex events (the
+    /// per-query outputs concatenated in query order; see
+    /// [`run_source_per_query`](Self::run_source_per_query)).
     ///
     /// Every shard owns a bounded SPSC input queue drained by its own
     /// scoped thread; the calling thread acts as the producer, pulling one
@@ -263,29 +370,57 @@ impl ShardedEngine {
     /// stream, so no coordination is needed). A full queue blocks the
     /// producer — bounded-queue backpressure instead of unbounded
     /// buffering — and shards start processing before the stream has been
-    /// fully produced. The measured per-queue state can be fed back to the
-    /// deciders via [`set_check_interval`](Self::set_check_interval).
+    /// fully produced. Each event is handed over **once per shard**, no
+    /// matter how many queries the engine executes: the shard's drain loop
+    /// fans the event out to every query's operator in process. The
+    /// measured per-queue state can be fed back to the deciders via
+    /// [`set_check_interval`](Self::set_check_interval).
     ///
-    /// Each shard owns a disjoint subset of the windows, so `deciders[i]`
-    /// only ever sees the (event, window) pairs of shard `i`'s windows.
-    /// Deciders whose decisions depend only on `(window id, position, event,
-    /// predicted size)` — [`KeepAll`], the eSPICE shedder with its
-    /// per-window-keyed boundary thinning — produce output identical to an
-    /// unsharded slice run on count-based windows, for every queue capacity.
-    /// Deciders with genuinely cross-window state (e.g. random sampling)
-    /// may pick different events; on time-based windows the shards share
-    /// one size predictor, so `predicted_size` no longer drifts with the
+    /// Each shard owns a disjoint subset of every query's windows, so
+    /// decider `[shard s, query q]` only ever sees the (event, window)
+    /// pairs of query `q`'s windows owned by shard `s`. Deciders whose
+    /// decisions depend only on `(window id, position, event, predicted
+    /// size)` — [`KeepAll`], the eSPICE shedder with its per-window-keyed
+    /// boundary thinning — produce output identical to an unsharded slice
+    /// run on count-based windows, for every queue capacity. Deciders with
+    /// genuinely cross-window state (e.g. random sampling) may pick
+    /// different events; on time-based windows the shards share one size
+    /// predictor per query, so `predicted_size` no longer drifts with the
     /// shard count, but its mid-run values can vary with thread timing.
     ///
     /// # Panics
     ///
-    /// Panics if `deciders.len()` differs from the shard count.
+    /// Panics if `deciders.len()` differs from `shards × queries`.
     pub fn run_source<Src, D>(&mut self, source: &mut Src, deciders: &mut [D]) -> Vec<ComplexEvent>
     where
         Src: EventSource + ?Sized,
         D: WindowEventDecider + Send,
     {
-        assert_eq!(deciders.len(), self.shards.len(), "need exactly one decider per shard");
+        flatten(self.run_source_per_query(source, deciders))
+    }
+
+    /// [`run_source`](Self::run_source), returning each query's complex
+    /// events separately (indexed by query, each in single-operator
+    /// emission order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deciders.len()` differs from `shards × queries`.
+    pub fn run_source_per_query<Src, D>(
+        &mut self,
+        source: &mut Src,
+        deciders: &mut [D],
+    ) -> Vec<Vec<ComplexEvent>>
+    where
+        Src: EventSource + ?Sized,
+        D: WindowEventDecider + Send,
+    {
+        let queries = self.queries.len();
+        assert_eq!(
+            deciders.len(),
+            self.shards.len() * queries,
+            "need exactly one decider per shard per query (shard-major)"
+        );
         let capacity = self.queue_capacity;
         let check_interval = self.check_interval;
 
@@ -295,17 +430,18 @@ impl ShardedEngine {
             let handles: Vec<_> = self
                 .shards
                 .iter_mut()
-                .zip(deciders.iter_mut())
-                .map(|(shard, decider)| {
+                .zip(deciders.chunks_mut(queries))
+                .map(|(shard, chunk)| {
                     let (producer, consumer) = spsc(capacity);
                     producers.push(producer);
-                    scope.spawn(move || shard.run_queue(consumer, decider, check_interval))
+                    scope.spawn(move || shard.run_queue_multi(consumer, chunk, check_interval))
                 })
                 .collect();
 
             // Producer fan-out: broadcast each event to every shard queue,
             // blocking (per queue) while it is full. The last shard takes
-            // the event by move; the others get clones.
+            // the event by move; the others get clones. This is the whole
+            // per-event hand-off — one push per shard serves all queries.
             'produce: while let Some(event) = source.next_event() {
                 produced += 1;
                 let (last, rest) = producers.split_last_mut().expect("at least one shard");
@@ -322,7 +458,7 @@ impl ShardedEngine {
                 producer.close();
             }
 
-            let outputs: Vec<Vec<ComplexEvent>> =
+            let outputs: Vec<Vec<Vec<ComplexEvent>>> =
                 handles.into_iter().map(|h| h.join().expect("shard thread panicked")).collect();
             let queue_stats: Vec<QueueStats> = producers.iter().map(|p| p.stats()).collect();
             (outputs, queue_stats)
@@ -330,17 +466,16 @@ impl ShardedEngine {
         self.events_processed += produced;
         self.queue_stats = queue_stats;
 
-        let mut outputs = outputs;
-        merge_outputs(&mut outputs)
+        merge_outputs(outputs, queries)
     }
 
-    /// [`run`](Self::run) with a keep-everything decider on every shard
-    /// (ground-truth runs and throughput benchmarks).
+    /// [`run`](Self::run) with a keep-everything decider on every shard and
+    /// query (ground-truth runs and throughput benchmarks).
     pub fn run_keep_all<S>(&mut self, stream: &S) -> Vec<ComplexEvent>
     where
         S: EventStream + ?Sized,
     {
-        let mut deciders = vec![KeepAll; self.shards.len()];
+        let mut deciders = vec![KeepAll; self.shards.len() * self.queries.len()];
         self.run(stream, &mut deciders)
     }
 
@@ -351,19 +486,31 @@ impl ShardedEngine {
         self.shards.iter().map(Shard::peak_resident_entries).sum()
     }
 
-    /// Engine statistics: per-shard counters plus merged totals.
+    /// Engine statistics: per-shard and per-query counters plus merged
+    /// totals.
     pub fn stats(&self) -> EngineStats {
-        let per_shard: Vec<OperatorStats> = self.shards.iter().map(|s| s.stats().clone()).collect();
+        let per_shard: Vec<OperatorStats> = self.shards.iter().map(Shard::stats).collect();
+        let mut per_query: Vec<OperatorStats> = Vec::with_capacity(self.queries.len());
+        for query in 0..self.queries.len() {
+            let mut merged = OperatorStats::default();
+            for shard in &self.shards {
+                merged.merge(shard.operators()[query].stats());
+            }
+            // Every shard's operator scans the full stream; count each
+            // engine-ingested event once, as a single-query engine would.
+            merged.events_processed = self.events_processed;
+            per_query.push(merged);
+        }
         let mut merged = OperatorStats::default();
-        for stats in &per_shard {
+        for stats in &per_query {
             merged.merge(stats);
         }
         merged.events_processed = self.events_processed;
-        EngineStats { merged, per_shard }
+        EngineStats { merged, per_shard, per_query }
     }
 
     /// Resets all shards (open windows, counters) while keeping the query
-    /// and shard geometry.
+    /// set and shard geometry.
     pub fn reset(&mut self) {
         for shard in &mut self.shards {
             shard.reset();
@@ -373,18 +520,32 @@ impl ShardedEngine {
     }
 }
 
-/// Merges the per-shard outputs into single-operator emission order.
-/// Windows close in id order (each window's matches are emitted contiguously
-/// when it closes), so a stable sort by window id restores the exact
-/// single-operator order. Shared by the slice and streaming paths so the
-/// merge invariant cannot diverge between them.
-fn merge_outputs(outputs: &mut [Vec<ComplexEvent>]) -> Vec<ComplexEvent> {
-    let mut merged = Vec::with_capacity(outputs.iter().map(Vec::len).sum());
-    for output in outputs {
-        merged.append(output);
+/// Merges the per-shard, per-query outputs into per-query single-operator
+/// emission order. Within a query, windows close in id order (each window's
+/// matches are emitted contiguously when it closes), so a stable sort by
+/// window id restores the exact single-operator order. Shared by the slice
+/// and streaming paths so the merge invariant cannot diverge between them.
+fn merge_outputs(outputs: Vec<Vec<Vec<ComplexEvent>>>, queries: usize) -> Vec<Vec<ComplexEvent>> {
+    let mut per_query: Vec<Vec<ComplexEvent>> = (0..queries).map(|_| Vec::new()).collect();
+    for mut shard_outputs in outputs {
+        for (query, output) in shard_outputs.iter_mut().enumerate() {
+            per_query[query].append(output);
+        }
     }
-    merged.sort_by_key(ComplexEvent::window_id);
-    merged
+    for output in &mut per_query {
+        output.sort_by_key(ComplexEvent::window_id);
+    }
+    per_query
+}
+
+/// Concatenates per-query outputs in query order (the single flat vector
+/// the compatibility entry points return).
+fn flatten(per_query: Vec<Vec<ComplexEvent>>) -> Vec<ComplexEvent> {
+    let mut flat = Vec::with_capacity(per_query.iter().map(Vec::len).sum());
+    for mut output in per_query {
+        flat.append(&mut output);
+    }
+    flat
 }
 
 #[cfg(test)]
@@ -432,6 +593,8 @@ mod tests {
         let stats = engine.stats();
         assert_eq!(&stats.merged, single.stats());
         assert_eq!(stats.per_shard.len(), 4);
+        assert_eq!(stats.per_query.len(), 1);
+        assert_eq!(&stats.per_query[0], single.stats());
         let opened: u64 = stats.per_shard.iter().map(|s| s.windows_opened).sum();
         assert_eq!(opened, single.stats().windows_opened);
     }
@@ -508,6 +671,61 @@ mod tests {
     }
 
     #[test]
+    fn multi_query_engine_equals_independent_engines_per_query() {
+        let stream = keyed_stream(260);
+        let set = QuerySet::new(vec![query(12), query(7), query(9)]);
+        for shards in [1usize, 2, 4] {
+            let mut fused = ShardedEngine::for_queries(set.clone(), shards);
+            let mut deciders = vec![crate::KeepAll; shards * set.len()];
+            let per_query = fused.run_per_query(&stream, &mut deciders);
+            assert_eq!(per_query.len(), set.len());
+            let stats = fused.stats();
+            for (id, q) in set.iter() {
+                let mut solo = ShardedEngine::new(q.clone(), shards);
+                let expected = solo.run_keep_all(&stream);
+                assert_eq!(
+                    per_query[id as usize], expected,
+                    "query {id} diverged at {shards} shards"
+                );
+                assert_eq!(
+                    stats.per_query[id as usize],
+                    solo.stats().merged,
+                    "query {id} stats diverged at {shards} shards"
+                );
+            }
+            // The flat compatibility output is the per-query concatenation.
+            fused.reset();
+            let mut deciders = vec![crate::KeepAll; shards * set.len()];
+            let flat = fused.run(&stream, &mut deciders);
+            assert_eq!(flat.len(), stats.merged.complex_events as usize);
+        }
+    }
+
+    #[test]
+    fn multi_query_streaming_equals_multi_query_slice() {
+        let stream = keyed_stream(300);
+        let set = QuerySet::new(vec![query(12), query(5)]);
+        for (shards, capacity) in [(1usize, 1usize), (2, 4), (3, 1024)] {
+            let mut slice_engine = ShardedEngine::for_queries(set.clone(), shards);
+            let mut slice_deciders = vec![crate::KeepAll; shards * set.len()];
+            let expected = slice_engine.run_slice_per_query(&stream, &mut slice_deciders);
+
+            let mut engine = ShardedEngine::for_queries(set.clone(), shards);
+            engine.set_queue_capacity(capacity);
+            let mut source = espice_events::SliceSource::from_stream(&stream);
+            let mut deciders = vec![crate::KeepAll; shards * set.len()];
+            let streamed = engine.run_source_per_query(&mut source, &mut deciders);
+            assert_eq!(streamed, expected, "{shards} shards at capacity {capacity} diverged");
+            assert_eq!(engine.stats(), slice_engine.stats());
+            // One queue per shard, each carrying every event once —
+            // independent engines would have paid the hand-off per query.
+            for queue in engine.queue_stats() {
+                assert_eq!(queue.pushed, stream.len() as u64);
+            }
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "queue capacity")]
     fn zero_queue_capacity_rejected() {
         let mut engine = ShardedEngine::new(query(8), 1);
@@ -515,7 +733,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "one decider per shard")]
+    #[should_panic(expected = "one decider per shard per query")]
     fn mismatched_decider_count_panics() {
         let mut engine = ShardedEngine::new(query(8), 2);
         let mut deciders = vec![crate::KeepAll];

@@ -83,6 +83,7 @@ mod predicate;
 #[cfg(test)]
 mod proptests;
 mod query;
+mod queryset;
 pub mod queue;
 #[doc(hidden)]
 pub mod reference;
@@ -98,18 +99,20 @@ pub use operator::{Operator, OperatorStats};
 pub use pattern::{Pattern, PatternStep};
 pub use predicate::{CmpOp, Predicate};
 pub use query::{ConsumptionPolicy, Query, QueryBuilder, SelectionPolicy, SkipPolicy};
+pub use queryset::QuerySet;
 pub use queue::{QueueConsumer, QueueProducer, QueueStats};
 pub use shard::Shard;
 pub use shedding::{BatchRequest, Decision, KeepAll, QueueSample, WindowEventDecider};
 pub use window::{
-    OpenPolicy, SharedSizePredictor, SizePredictor, WindowExtent, WindowId, WindowMeta, WindowSpec,
+    OpenPolicy, OpenTracker, QueryId, SharedSizePredictor, SizePredictor, WindowExtent, WindowId,
+    WindowMeta, WindowSpec,
 };
 
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
     pub use crate::{
         BatchRequest, ComplexEvent, ConsumptionPolicy, Decision, KeepAll, Operator, Pattern,
-        PatternStep, Predicate, Query, SelectionPolicy, ShardedEngine, WindowEventDecider,
-        WindowMeta, WindowSpec,
+        PatternStep, Predicate, Query, QuerySet, SelectionPolicy, ShardedEngine,
+        WindowEventDecider, WindowMeta, WindowSpec,
     };
 }

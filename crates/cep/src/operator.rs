@@ -22,12 +22,12 @@
 
 use crate::matcher::EntryRef;
 use crate::ring::{DropSet, EventRing, SlotIndex};
-use crate::window::{SharedSizePredictor, SizePredictor};
+use crate::window::{OpenTracker, SharedSizePredictor, SizePredictor};
 use crate::{
-    BatchRequest, ComplexEvent, Decision, Matcher, OpenPolicy, Query, WindowEventDecider,
+    BatchRequest, ComplexEvent, Decision, Matcher, Query, QueryId, WindowEventDecider,
     WindowExtent, WindowId, WindowMeta,
 };
-use espice_events::{Event, EventStream, Timestamp};
+use espice_events::{Event, EventStream};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -166,10 +166,13 @@ pub struct Operator {
     /// of 1 and owns everything.
     shard_index: u64,
     shard_count: u64,
-    /// Events seen since the last count-slide window was opened.
-    since_count_open: usize,
-    /// Stream time of the last time-slide window opening.
-    last_time_open: Option<Timestamp>,
+    /// Which query of a multi-query engine this operator executes (stamped
+    /// into every [`WindowMeta`]); 0 for a standalone operator.
+    query_id: QueryId,
+    /// Open-policy state for self-driven pushes. A fused multi-query shard
+    /// bypasses it via [`push_opened`](Operator::push_opened) and tracks
+    /// opens itself (shared across queries with equal policies).
+    opener: OpenTracker,
     prediction: Prediction,
     stats: OperatorStats,
     /// Reusable buffers for the batched shedding call in `push`.
@@ -198,6 +201,24 @@ impl Operator {
     ///
     /// Panics if `shard_count` is zero or `shard_index` is out of range.
     pub fn sharded(query: Query, shard_index: usize, shard_count: usize) -> Self {
+        Self::for_query(query, 0, shard_index, shard_count)
+    }
+
+    /// Creates the operator executing query `query_id` of a multi-query
+    /// engine, as shard `shard_index` of `shard_count`. The query id is
+    /// stamped into every [`WindowMeta`] the operator emits, so shedders
+    /// that key state on windows can distinguish the windows of different
+    /// queries (`(query, id)` is the engine-wide window key).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_count` is zero or `shard_index` is out of range.
+    pub fn for_query(
+        query: Query,
+        query_id: QueryId,
+        shard_index: usize,
+        shard_count: usize,
+    ) -> Self {
         assert!(shard_count >= 1, "shard count must be at least 1");
         assert!(shard_index < shard_count, "shard index {shard_index} out of {shard_count}");
         let matcher = Matcher::from_query(&query);
@@ -211,8 +232,8 @@ impl Operator {
             next_window_id: 0,
             shard_index: shard_index as u64,
             shard_count: shard_count as u64,
-            since_count_open: 0,
-            last_time_open: None,
+            query_id,
+            opener: OpenTracker::new(query.window().open_policy().clone()),
             prediction: Prediction::Local(SizePredictor::new(initial_size.max(1), 0.25)),
             stats: OperatorStats::default(),
             batch_requests: Vec::new(),
@@ -234,6 +255,12 @@ impl Operator {
     /// The total number of cooperating shards (1 for an unsharded operator).
     pub fn shard_count(&self) -> usize {
         self.shard_count as usize
+    }
+
+    /// The query id this operator stamps into its windows (0 unless created
+    /// via [`for_query`](Operator::for_query)).
+    pub fn query_id(&self) -> QueryId {
+        self.query_id
     }
 
     /// Seeds the window-size prediction for time-based (variable size)
@@ -303,6 +330,26 @@ impl Operator {
         event: &Event,
         decider: &mut D,
     ) -> Vec<ComplexEvent> {
+        let opens = self.opener.should_open(event);
+        self.push_opened(event, opens, decider)
+    }
+
+    /// [`push`](Operator::push) with the window-open decision supplied by
+    /// the caller instead of the operator's own [`OpenTracker`]. This is
+    /// the fused multi-query entry point: a shard serving several queries
+    /// evaluates each distinct open policy **once** per event and feeds the
+    /// shared decision to every operator in the policy group. The caller
+    /// takes over the open bookkeeping entirely — `opens` must equal what
+    /// the operator's own tracker would have answered, for every event of
+    /// the stream in order, or window populations diverge from a
+    /// self-driven run. Do not mix with [`push`](Operator::push) in one
+    /// run.
+    pub fn push_opened<D: WindowEventDecider + ?Sized>(
+        &mut self,
+        event: &Event,
+        opens: bool,
+        decider: &mut D,
+    ) -> Vec<ComplexEvent> {
         self.stats.events_processed += 1;
         let mut emitted = Vec::new();
 
@@ -327,12 +374,13 @@ impl Operator {
         // 2. Possibly open a new window at this event. The global window
         //    counter advances for every opened window; the window is only
         //    materialised when this shard owns its id.
-        if self.should_open(event) {
+        if opens {
             let id = self.next_window_id;
             self.next_window_id += 1;
             if id % self.shard_count == self.shard_index {
                 let meta = WindowMeta {
                     id,
+                    query: self.query_id,
                     opened_at: event.timestamp(),
                     open_seq: event.seq(),
                     predicted_size: self.predicted_window_size(),
@@ -436,45 +484,10 @@ impl Operator {
         self.ring.reset();
         self.peak_resident = 0;
         self.next_window_id = 0;
-        self.since_count_open = 0;
-        self.last_time_open = None;
+        self.opener.reset();
         self.stats = OperatorStats::default();
         let initial_size = self.query.window().expected_size().unwrap_or(100);
         self.prediction.reset_to(initial_size.max(1));
-    }
-
-    /// Whether a new window opens at `event`. Reads the open policy through
-    /// a borrow of the operator's query — nothing is cloned per event.
-    fn should_open(&mut self, event: &Event) -> bool {
-        match self.query.window().open_policy() {
-            OpenPolicy::OnTypes(types) => types.contains(&event.event_type()),
-            OpenPolicy::EveryCount(slide) => {
-                let slide = *slide;
-                let open = self.since_count_open == 0;
-                self.since_count_open += 1;
-                if self.since_count_open >= slide {
-                    self.since_count_open = 0;
-                }
-                open
-            }
-            OpenPolicy::EveryDuration(slide) => {
-                let slide = *slide;
-                match self.last_time_open {
-                    None => {
-                        self.last_time_open = Some(event.timestamp());
-                        true
-                    }
-                    Some(last) => {
-                        if event.timestamp() >= last + slide {
-                            self.last_time_open = Some(event.timestamp());
-                            true
-                        } else {
-                            false
-                        }
-                    }
-                }
-            }
-        }
     }
 
     /// Releases the ring slots no open window can reference anymore. Open
@@ -529,7 +542,7 @@ impl Operator {
 mod tests {
     use super::*;
     use crate::{KeepAll, Pattern, WindowSpec};
-    use espice_events::{EventType, SimDuration, VecStream};
+    use espice_events::{EventType, SimDuration, Timestamp, VecStream};
 
     fn ty(i: u32) -> EventType {
         EventType::from_index(i)

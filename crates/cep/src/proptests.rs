@@ -305,6 +305,90 @@ proptest! {
         }
     }
 
+    /// The fused multi-query engine is output- and stats-identical, per
+    /// query, to independent single-query engines over the same stream:
+    /// for random mixes of type-opened and sliding windows, shard counts
+    /// N ∈ {1, 2, 4}, both backends (slice scan and bounded-queue
+    /// streaming) and both with and without a deterministic dropper in the
+    /// loop. One ingestion pipeline, N queries — same bytes out.
+    #[test]
+    fn fused_multi_query_equals_independent_engines(
+        types in type_sequence(140),
+        sizes in prop::collection::vec(2usize..14, 2..4),
+        slide in 1usize..5,
+        open_type in 0u32..3,
+        shed in prop::bool::ANY,
+        streaming in prop::bool::ANY,
+    ) {
+        // A mix of shared and distinct open policies: even-indexed queries
+        // open on `open_type`, odd-indexed ones slide by `slide`.
+        let queries: Vec<Query> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &size)| {
+                let window = if i % 2 == 0 {
+                    WindowSpec::count_on_types(vec![EventType::from_index(open_type)], size)
+                } else {
+                    WindowSpec::count_sliding(size, slide)
+                };
+                Query::builder()
+                    .pattern(Pattern::sequence([EventType::from_index(0), EventType::from_index(1)]))
+                    .window(window)
+                    .build()
+            })
+            .collect();
+        let set = crate::QuerySet::new(queries.clone());
+        let events: Vec<Event> = types
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| Event::new(EventType::from_index(t), Timestamp::from_secs(i as u64), i as u64))
+            .collect();
+        let stream = VecStream::from_ordered(events);
+
+        for shards in [1usize, 2, 4] {
+            let mut fused = ShardedEngine::for_queries(set.clone(), shards);
+            let decider_count = shards * set.len();
+            let per_query = if streaming {
+                let mut source = SliceSource::from_stream(&stream);
+                if shed {
+                    let mut deciders = vec![DropEveryThird; decider_count];
+                    fused.run_source_per_query(&mut source, &mut deciders)
+                } else {
+                    let mut deciders = vec![KeepAll; decider_count];
+                    fused.run_source_per_query(&mut source, &mut deciders)
+                }
+            } else if shed {
+                let mut deciders = vec![DropEveryThird; decider_count];
+                fused.run_slice_per_query(&stream, &mut deciders)
+            } else {
+                let mut deciders = vec![KeepAll; decider_count];
+                fused.run_slice_per_query(&stream, &mut deciders)
+            };
+            let fused_stats = fused.stats();
+
+            for (id, query) in set.iter() {
+                let mut solo = ShardedEngine::new(query.clone(), shards);
+                let expected = if shed {
+                    let mut deciders = vec![DropEveryThird; shards];
+                    solo.run_slice(&stream, &mut deciders)
+                } else {
+                    let mut deciders = vec![KeepAll; shards];
+                    solo.run_slice(&stream, &mut deciders)
+                };
+                prop_assert_eq!(
+                    &per_query[id as usize], &expected,
+                    "query {} complex events diverged at {} shards (shed={}, streaming={})",
+                    id, shards, shed, streaming
+                );
+                prop_assert_eq!(
+                    &fused_stats.per_query[id as usize], &solo.stats().merged,
+                    "query {} stats diverged at {} shards (shed={}, streaming={})",
+                    id, shards, shed, streaming
+                );
+            }
+        }
+    }
+
     /// Running the operator twice over the same stream produces identical
     /// complex events (the engine is deterministic).
     #[test]

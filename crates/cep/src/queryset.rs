@@ -1,0 +1,135 @@
+//! An ordered set of queries sharing one ingestion pipeline.
+//!
+//! eSPICE's prototype runs one operator per engine; its successors (hSPICE,
+//! gSPICE) are explicitly multi-operator settings where many queries watch
+//! the *same* input stream. A [`QuerySet`] is the engine-facing form of
+//! that: an ordered, non-empty list of [`Query`]s whose index is the
+//! [`QueryId`] stamped into every window the engine opens. The
+//! [`ShardedEngine`](crate::ShardedEngine) runs one operator per query per
+//! shard, but pays the per-event ingestion costs — queue hand-off, event
+//! clone, open-policy bookkeeping — once per shard, not once per query.
+
+use crate::{Query, QueryId};
+
+/// An ordered, non-empty collection of queries executed together by one
+/// engine. A query's position is its [`QueryId`]; per-query outputs and
+/// statistics are always indexed in this order.
+///
+/// # Example
+///
+/// ```
+/// use espice_cep::{Pattern, Query, QuerySet, WindowSpec};
+/// use espice_events::EventType;
+///
+/// let a = EventType::from_index(0);
+/// let b = EventType::from_index(1);
+/// let make = |size| {
+///     Query::builder()
+///         .pattern(Pattern::sequence([a, b]))
+///         .window(WindowSpec::count_on_types(vec![a], size))
+///         .build()
+/// };
+/// let set = QuerySet::new(vec![make(4), make(8)]);
+/// assert_eq!(set.len(), 2);
+/// assert_eq!(set.get(1).unwrap().window().expected_size(), Some(8));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySet {
+    queries: Vec<Query>,
+}
+
+impl QuerySet {
+    /// Creates a query set from the given queries, in engine order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queries` is empty or holds more than [`QueryId`] can
+    /// index.
+    pub fn new(queries: Vec<Query>) -> Self {
+        assert!(!queries.is_empty(), "a query set needs at least one query");
+        assert!(u32::try_from(queries.len()).is_ok(), "a query set holds at most u32::MAX queries");
+        QuerySet { queries }
+    }
+
+    /// The set containing exactly one query (the classic single-operator
+    /// engine).
+    pub fn single(query: Query) -> Self {
+        QuerySet { queries: vec![query] }
+    }
+
+    /// Number of queries in the set (always at least 1).
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Always false: query sets are non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The queries, in [`QueryId`] order.
+    pub fn queries(&self) -> &[Query] {
+        &self.queries
+    }
+
+    /// The query with the given id, if it exists.
+    pub fn get(&self, query: QueryId) -> Option<&Query> {
+        self.queries.get(query as usize)
+    }
+
+    /// Iterates the queries paired with their [`QueryId`]s.
+    pub fn iter(&self) -> impl Iterator<Item = (QueryId, &Query)> {
+        self.queries.iter().enumerate().map(|(id, query)| (id as QueryId, query))
+    }
+}
+
+impl From<Query> for QuerySet {
+    fn from(query: Query) -> Self {
+        QuerySet::single(query)
+    }
+}
+
+impl From<Vec<Query>> for QuerySet {
+    fn from(queries: Vec<Query>) -> Self {
+        QuerySet::new(queries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Pattern, WindowSpec};
+    use espice_events::EventType;
+
+    fn query(size: usize) -> Query {
+        let a = EventType::from_index(0);
+        Query::builder()
+            .name(&format!("q{size}"))
+            .pattern(Pattern::sequence([a, EventType::from_index(1)]))
+            .window(WindowSpec::count_on_types(vec![a], size))
+            .build()
+    }
+
+    #[test]
+    fn set_preserves_order_and_exposes_ids() {
+        let set = QuerySet::new(vec![query(4), query(6), query(8)]);
+        assert_eq!(set.len(), 3);
+        assert!(!set.is_empty());
+        let ids: Vec<_> = set.iter().map(|(id, q)| (id, q.name().to_owned())).collect();
+        assert_eq!(ids, vec![(0, "q4".to_owned()), (1, "q6".to_owned()), (2, "q8".to_owned())]);
+        assert!(set.get(3).is_none());
+    }
+
+    #[test]
+    fn single_and_from_conversions_agree() {
+        let q = query(5);
+        assert_eq!(QuerySet::single(q.clone()), QuerySet::from(q.clone()));
+        assert_eq!(QuerySet::from(vec![q.clone()]).queries(), std::slice::from_ref(&q));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one query")]
+    fn empty_set_rejected() {
+        let _ = QuerySet::new(Vec::new());
+    }
+}

@@ -142,6 +142,7 @@ impl ReferenceOperator {
             if id % self.shard_count == self.shard_index {
                 let meta = WindowMeta {
                     id,
+                    query: 0,
                     opened_at: event.timestamp(),
                     open_seq: event.seq(),
                     predicted_size: self.predicted_window_size(),

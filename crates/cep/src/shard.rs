@@ -1,5 +1,6 @@
-//! One shard of the [`ShardedEngine`]: an operator restricted to the windows
-//! it owns, plus the glue to drive it over a shared event slice.
+//! One shard of the [`ShardedEngine`]: the per-query operators restricted to
+//! the windows this shard owns, plus the fused assignment pass that drives
+//! them all from a single event hand-off.
 //!
 //! Sharding exploits the same property gSPICE and He et al. rely on for
 //! per-operator shedding state: windows are processed independently, so the
@@ -8,17 +9,29 @@
 //! event can belong to windows of several shards) but materialises, sheds and
 //! matches only the windows whose global id it owns.
 //!
+//! With a multi-query [`QuerySet`] the shard owns one [`Operator`] **per
+//! query** and offers every event to all of them in one pass: the event is
+//! received once (one queue pop, one clone), each distinct open policy is
+//! evaluated once ([`OpenTracker`]s shared across queries whose policies
+//! coincide), and each query's own [`WindowEventDecider`] is consulted for
+//! that query's windows. This is what amortises the dominant per-event
+//! costs — queue hand-off and window-open bookkeeping — across queries the
+//! way `decide_batch` amortises per-window costs.
+//!
 //! [`ShardedEngine`]: crate::ShardedEngine
+//! [`QuerySet`]: crate::QuerySet
+//! [`OpenTracker`]: crate::OpenTracker
 
 use crate::queue::{Backoff, QueueConsumer};
 use crate::shedding::QueueSample;
-use crate::window::SharedSizePredictor;
-use crate::{ComplexEvent, Operator, OperatorStats, Query, WindowEventDecider};
+use crate::window::{OpenTracker, SharedSizePredictor};
+use crate::{ComplexEvent, Operator, OperatorStats, Query, QuerySet, WindowEventDecider};
 use espice_events::{Event, SimDuration};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// A single worker of the sharded engine.
+/// A single worker of the sharded engine: one operator per query, driven by
+/// a fused per-event pass.
 ///
 /// # Example
 ///
@@ -43,114 +56,291 @@ use std::time::{Duration, Instant};
 /// ```
 #[derive(Debug)]
 pub struct Shard {
-    operator: Operator,
+    /// One operator per query, in [`QueryId`](crate::QueryId) order.
+    operators: Vec<Operator>,
+    /// The shared open-policy trackers: one per *distinct* policy across
+    /// the query set, evaluated once per event.
+    openers: Vec<OpenTracker>,
+    /// `open_group[q]` is the index into `openers` serving query `q`.
+    open_group: Vec<usize>,
+    /// Scratch: the open decisions of the current event, one per opener.
+    opens: Vec<bool>,
 }
 
 impl Shard {
-    /// Creates shard `index` of `count` for `query`.
+    /// Creates shard `index` of `count` for a single `query`.
     ///
     /// # Panics
     ///
     /// Panics if `count` is zero or `index` is out of range.
     pub fn new(query: Query, index: usize, count: usize) -> Self {
-        Shard { operator: Operator::sharded(query, index, count) }
+        Self::for_queries(&QuerySet::single(query), index, count)
+    }
+
+    /// Creates shard `index` of `count` for a whole query set: one operator
+    /// per query, with open-policy bookkeeping shared across queries whose
+    /// policies are equal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero or `index` is out of range.
+    pub fn for_queries(queries: &QuerySet, index: usize, count: usize) -> Self {
+        let mut openers: Vec<OpenTracker> = Vec::new();
+        let mut open_group = Vec::with_capacity(queries.len());
+        let operators = queries
+            .iter()
+            .map(|(query_id, query)| {
+                let policy = query.window().open_policy();
+                let group = match openers.iter().position(|t| t.policy() == policy) {
+                    Some(existing) => existing,
+                    None => {
+                        openers.push(OpenTracker::new(policy.clone()));
+                        openers.len() - 1
+                    }
+                };
+                open_group.push(group);
+                Operator::for_query(query.clone(), query_id, index, count)
+            })
+            .collect();
+        let opens = vec![false; openers.len()];
+        Shard { operators, openers, open_group, opens }
     }
 
     /// This shard's index within the engine.
     pub fn index(&self) -> usize {
-        self.operator.shard_index()
+        self.operators[0].shard_index()
     }
 
-    /// The underlying operator.
+    /// Number of queries this shard serves.
+    pub fn query_count(&self) -> usize {
+        self.operators.len()
+    }
+
+    /// The operator of query 0 (the only operator of a single-query shard).
     pub fn operator(&self) -> &Operator {
-        &self.operator
+        &self.operators[0]
     }
 
-    /// Counters of this shard's operator.
-    pub fn stats(&self) -> &OperatorStats {
-        self.operator.stats()
+    /// The per-query operators, in query order.
+    pub fn operators(&self) -> &[Operator] {
+        &self.operators
     }
 
-    /// Peak number of events resident in this shard's shared event ring
-    /// during the run (see [`Operator::peak_resident_entries`]).
+    /// Number of distinct open policies across the shard's queries — the
+    /// number of `should_open` evaluations each event costs, regardless of
+    /// how many queries ride on them.
+    pub fn open_groups(&self) -> usize {
+        self.openers.len()
+    }
+
+    /// Counters of this shard, merged over its per-query operators. Every
+    /// operator sees every stream event, so `events_processed` is counted
+    /// once (not multiplied by the query count); all other counters are
+    /// disjoint sums.
+    pub fn stats(&self) -> OperatorStats {
+        let mut merged = OperatorStats::default();
+        for operator in &self.operators {
+            merged.merge(operator.stats());
+        }
+        merged.events_processed = self.operators[0].stats().events_processed;
+        merged
+    }
+
+    /// Peak number of events resident in this shard's event rings during
+    /// the run, summed over queries (per-query peaks need not coincide in
+    /// time, so this is an upper bound).
     pub fn peak_resident_entries(&self) -> usize {
-        self.operator.peak_resident_entries()
+        self.operators.iter().map(Operator::peak_resident_entries).sum()
     }
 
-    /// Seeds the operator's window-size prediction (relevant for time-based,
-    /// variable-size windows).
+    /// Seeds every operator's window-size prediction (relevant for
+    /// time-based, variable-size windows).
     pub fn set_window_size_hint(&mut self, hint: usize) {
-        self.operator.set_window_size_hint(hint);
+        for operator in &mut self.operators {
+            operator.set_window_size_hint(hint);
+        }
     }
 
-    /// Switches this shard's window-size prediction to an engine-shared
+    /// Switches query `query`'s window-size prediction to an engine-shared
     /// estimator (see [`Operator::share_size_predictor`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query` is out of range.
+    pub fn share_size_predictor_for(&mut self, query: usize, shared: Arc<SharedSizePredictor>) {
+        self.operators[query].share_size_predictor(shared);
+    }
+
+    /// Switches query 0's window-size prediction to an engine-shared
+    /// estimator (single-query compatibility wrapper).
     pub fn share_size_predictor(&mut self, shared: Arc<SharedSizePredictor>) {
-        self.operator.share_size_predictor(shared);
+        self.share_size_predictor_for(0, shared);
+    }
+
+    /// Offers one event to every query's operator: each distinct open
+    /// policy is evaluated once, then every operator gets the event with
+    /// its group's shared open decision. `outputs[q]` receives the complex
+    /// events query `q` emitted.
+    fn push_fused<D: WindowEventDecider>(
+        &mut self,
+        event: &Event,
+        deciders: &mut [D],
+        outputs: &mut [Vec<ComplexEvent>],
+    ) {
+        for (tracker, open) in self.openers.iter_mut().zip(self.opens.iter_mut()) {
+            *open = tracker.should_open(event);
+        }
+        for (query, (operator, decider)) in
+            self.operators.iter_mut().zip(deciders.iter_mut()).enumerate()
+        {
+            let opens = self.opens[self.open_group[query]];
+            outputs[query].extend(operator.push_opened(event, opens, decider));
+        }
     }
 
     /// Drives the full event slice through this shard and flushes at the end,
     /// returning the complex events of the windows the shard owns.
+    ///
+    /// Single-query wrapper over
+    /// [`run_events_multi`](Self::run_events_multi).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard serves more than one query.
     pub fn run_events<D: WindowEventDecider + ?Sized>(
         &mut self,
         events: &[Event],
         decider: &mut D,
     ) -> Vec<ComplexEvent> {
-        let mut out = Vec::new();
+        assert_eq!(self.query_count(), 1, "multi-query shards need run_events_multi");
+        let mut by_ref: &mut D = decider;
+        let mut outputs = self.run_events_multi(events, std::slice::from_mut(&mut by_ref));
+        outputs.pop().expect("one output per query")
+    }
+
+    /// Drives the full event slice through every query's operator in one
+    /// fused pass (one decider per query) and flushes at the end. Returns
+    /// the complex events per query, in query order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deciders.len()` differs from the query count.
+    pub fn run_events_multi<D: WindowEventDecider>(
+        &mut self,
+        events: &[Event],
+        deciders: &mut [D],
+    ) -> Vec<Vec<ComplexEvent>> {
+        assert_eq!(deciders.len(), self.query_count(), "need exactly one decider per query");
+        let mut outputs: Vec<Vec<ComplexEvent>> = vec![Vec::new(); self.query_count()];
         for event in events {
-            out.extend(self.operator.push(event, decider));
+            self.push_fused(event, deciders, &mut outputs);
         }
-        out.extend(self.operator.flush(decider));
-        out
+        self.flush_into(deciders, &mut outputs);
+        outputs
+    }
+
+    /// Closes all still-open windows of every query (end of stream).
+    fn flush_into<D: WindowEventDecider>(
+        &mut self,
+        deciders: &mut [D],
+        outputs: &mut [Vec<ComplexEvent>],
+    ) {
+        for (query, (operator, decider)) in
+            self.operators.iter_mut().zip(deciders.iter_mut()).enumerate()
+        {
+            outputs[query].extend(operator.flush(decider));
+        }
     }
 
     /// Drains a bounded input queue through this shard until the producer
-    /// closes it, then flushes. This is the streaming counterpart of
-    /// [`run_events`](Self::run_events): events are processed as they are
-    /// handed over, the queue's fixed capacity backpressures the producer,
-    /// and — when `check_interval` is set — the decider periodically
-    /// receives a [`QueueSample`] of the *measured* queue state (depth,
-    /// drain count, busy time) through
-    /// [`WindowEventDecider::queue_sample`], which is where closed-loop
-    /// overload detection hooks in.
+    /// closes it, then flushes. Single-query wrapper over
+    /// [`run_queue_multi`](Self::run_queue_multi).
     ///
-    /// Events must be pushed in global stream order; the shard then takes
-    /// identical decisions to a slice-driven run over the same events.
+    /// # Panics
+    ///
+    /// Panics if the shard serves more than one query.
     pub fn run_queue<D: WindowEventDecider + ?Sized>(
         &mut self,
-        mut queue: QueueConsumer,
+        queue: QueueConsumer,
         decider: &mut D,
         check_interval: Option<Duration>,
     ) -> Vec<ComplexEvent> {
+        assert_eq!(self.query_count(), 1, "multi-query shards need run_queue_multi");
+        let mut by_ref: &mut D = decider;
+        let mut outputs =
+            self.run_queue_multi(queue, std::slice::from_mut(&mut by_ref), check_interval);
+        outputs.pop().expect("one output per query")
+    }
+
+    /// Drains a bounded input queue through every query's operator until the
+    /// producer closes it, then flushes. This is the streaming counterpart
+    /// of [`run_events_multi`](Self::run_events_multi): events are processed
+    /// as they are handed over — **once** per shard, regardless of the query
+    /// count — the queue's fixed capacity backpressures the producer, and,
+    /// when `check_interval` is set, every query's decider periodically
+    /// receives a [`QueueSample`] of the *measured* queue state through
+    /// [`WindowEventDecider::queue_sample`]. The queue serves all queries,
+    /// so depth, drain count, busy time and the kept/assignment deltas are
+    /// shard-level aggregates (identical across the samples of one cycle);
+    /// only `predicted_window_size` is per query.
+    ///
+    /// Events must be pushed in global stream order; the shard then takes
+    /// identical decisions to a slice-driven run over the same events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deciders.len()` differs from the query count.
+    pub fn run_queue_multi<D: WindowEventDecider>(
+        &mut self,
+        mut queue: QueueConsumer,
+        deciders: &mut [D],
+        check_interval: Option<Duration>,
+    ) -> Vec<Vec<ComplexEvent>> {
+        assert_eq!(deciders.len(), self.query_count(), "need exactly one decider per query");
         /// How many drained events may pass between wall-clock reads while
         /// sampling is on (keeps `Instant::now` off the per-event path).
         const CLOCK_STRIDE: u32 = 32;
 
-        let mut out = Vec::new();
+        let mut outputs: Vec<Vec<ComplexEvent>> = vec![Vec::new(); self.query_count()];
         let started = Instant::now();
         let mut idle = Duration::ZERO;
         let mut drained_since_sample: u64 = 0;
         let mut since_clock_check: u32 = 0;
         let mut next_sample = check_interval;
+        // Shard-level assignment counters at the previous sample, summed
+        // over the per-query operators (the queue serves them all).
+        let mut last_assignments: u64 = 0;
+        let mut last_kept: u64 = 0;
 
-        let sample = |operator: &Operator,
-                      decider: &mut D,
+        let sample = |operators: &[Operator],
+                      deciders: &mut [D],
                       queue: &QueueConsumer,
                       next_sample: &mut Option<Duration>,
                       drained_since_sample: &mut u64,
+                      last_assignments: &mut u64,
+                      last_kept: &mut u64,
                       elapsed: Duration,
                       idle: Duration| {
             let interval = check_interval.expect("sampling fires only when configured");
             *next_sample = Some(elapsed + interval);
-            let sample = QueueSample {
+            let assignments: u64 = operators.iter().map(|o| o.stats().assignments).sum();
+            let kept: u64 = operators.iter().map(|o| o.stats().kept).sum();
+            let mut sample = QueueSample {
                 elapsed: SimDuration::from_secs_f64(elapsed.as_secs_f64()),
                 busy: SimDuration::from_secs_f64((elapsed - idle).as_secs_f64()),
                 depth: queue.depth(),
                 drained: *drained_since_sample,
-                predicted_window_size: operator.predicted_window_size(),
+                assignments: assignments - *last_assignments,
+                kept: kept - *last_kept,
+                predicted_window_size: 0,
             };
             *drained_since_sample = 0;
-            decider.queue_sample(&sample);
+            *last_assignments = assignments;
+            *last_kept = kept;
+            for (operator, decider) in operators.iter().zip(deciders.iter_mut()) {
+                sample.predicted_window_size = operator.predicted_window_size();
+                decider.queue_sample(&sample);
+            }
         };
 
         let mut backoff = Backoff::new();
@@ -158,7 +348,7 @@ impl Shard {
             match queue.pop() {
                 Some(event) => {
                     backoff.reset();
-                    out.extend(self.operator.push(&event, decider));
+                    self.push_fused(&event, deciders, &mut outputs);
                     drained_since_sample += 1;
                     if let Some(deadline) = next_sample {
                         since_clock_check += 1;
@@ -167,11 +357,13 @@ impl Shard {
                             let elapsed = started.elapsed();
                             if elapsed >= deadline {
                                 sample(
-                                    &self.operator,
-                                    decider,
+                                    &self.operators,
+                                    deciders,
                                     &queue,
                                     &mut next_sample,
                                     &mut drained_since_sample,
+                                    &mut last_assignments,
+                                    &mut last_kept,
                                     elapsed,
                                     idle,
                                 );
@@ -184,7 +376,7 @@ impl Shard {
                     // pop settles whether anything raced in.
                     match queue.pop() {
                         Some(event) => {
-                            out.extend(self.operator.push(&event, decider));
+                            self.push_fused(&event, deciders, &mut outputs);
                             drained_since_sample += 1;
                         }
                         None => break,
@@ -206,11 +398,13 @@ impl Shard {
                         if let Some(deadline) = next_sample {
                             if elapsed >= deadline {
                                 sample(
-                                    &self.operator,
-                                    decider,
+                                    &self.operators,
+                                    deciders,
                                     &queue,
                                     &mut next_sample,
                                     &mut drained_since_sample,
+                                    &mut last_assignments,
+                                    &mut last_kept,
                                     elapsed,
                                     idle,
                                 );
@@ -222,13 +416,19 @@ impl Shard {
                 }
             }
         }
-        out.extend(self.operator.flush(decider));
-        out
+        self.flush_into(deciders, &mut outputs);
+        outputs
     }
 
-    /// Resets the shard's run state while keeping query and shard geometry.
+    /// Resets the shard's run state (all operators and the shared open
+    /// trackers) while keeping queries and shard geometry.
     pub fn reset(&mut self) {
-        self.operator.reset();
+        for operator in &mut self.operators {
+            operator.reset();
+        }
+        for opener in &mut self.openers {
+            opener.reset();
+        }
     }
 }
 
@@ -250,6 +450,13 @@ mod tests {
         Query::builder()
             .pattern(Pattern::sequence([ty(0), ty(1)]))
             .window(WindowSpec::count_on_types(vec![ty(0)], 3))
+            .build()
+    }
+
+    fn query_sized(size: usize) -> Query {
+        Query::builder()
+            .pattern(Pattern::sequence([ty(0), ty(1)]))
+            .window(WindowSpec::count_on_types(vec![ty(0)], size))
             .build()
     }
 
@@ -284,6 +491,107 @@ mod tests {
         assert_eq!(streamed, expected);
         assert_eq!(queue_shard.stats(), slice_shard.stats());
         assert_eq!(producer.stats().pushed, events.len() as u64);
+    }
+
+    #[test]
+    fn multi_query_shard_equals_independent_single_query_shards() {
+        let events: Vec<Event> =
+            (0..90).map(|i| ev(if i % 3 == 0 { 0 } else { 1 + (i % 2) as u32 }, i, i)).collect();
+        let set = QuerySet::new(vec![query_sized(3), query_sized(5), query_sized(3)]);
+
+        let mut fused = Shard::for_queries(&set, 0, 1);
+        // Three queries, two distinct open policies... here all three share
+        // OnTypes([ty0]) so a single tracker serves them all.
+        assert_eq!(fused.open_groups(), 1);
+        let mut deciders = vec![KeepAll; 3];
+        let outputs = fused.run_events_multi(&events, &mut deciders);
+
+        for (id, q) in set.iter() {
+            let mut solo = Shard::new(q.clone(), 0, 1);
+            let expected = solo.run_events(&events, &mut KeepAll);
+            assert_eq!(outputs[id as usize], expected, "query {id} diverged");
+            assert_eq!(fused.operators()[id as usize].stats(), solo.operator().stats());
+        }
+    }
+
+    #[test]
+    fn fused_windows_carry_their_query_id() {
+        #[derive(Debug, Default, Clone)]
+        struct SeenQueries(Vec<u32>);
+        impl WindowEventDecider for SeenQueries {
+            fn decide(
+                &mut self,
+                meta: &crate::WindowMeta,
+                _position: usize,
+                _event: &Event,
+            ) -> crate::Decision {
+                if !self.0.contains(&meta.query) {
+                    self.0.push(meta.query);
+                }
+                crate::Decision::Keep
+            }
+        }
+        let events: Vec<Event> = (0..30).map(|i| ev((i % 2) as u32, i, i)).collect();
+        let set = QuerySet::new(vec![query_sized(3), query_sized(4)]);
+        let mut shard = Shard::for_queries(&set, 0, 1);
+        let mut deciders = vec![SeenQueries::default(), SeenQueries::default()];
+        let _ = shard.run_events_multi(&events, &mut deciders);
+        assert_eq!(deciders[0].0, vec![0]);
+        assert_eq!(deciders[1].0, vec![1]);
+    }
+
+    #[test]
+    fn distinct_open_policies_get_distinct_trackers() {
+        let sliding = Query::builder()
+            .pattern(Pattern::sequence([ty(0), ty(1)]))
+            .window(WindowSpec::count_sliding(6, 2))
+            .build();
+        let set = QuerySet::new(vec![query_sized(3), sliding.clone(), query_sized(4)]);
+        let fused = Shard::for_queries(&set, 0, 1);
+        assert_eq!(fused.open_groups(), 2);
+
+        // And the shared tracker still opens exactly what standalone
+        // operators would.
+        let events: Vec<Event> = (0..40).map(|i| ev((i % 3) as u32, i, i)).collect();
+        let mut fused = fused;
+        let mut deciders = vec![KeepAll; 3];
+        let _ = fused.run_events_multi(&events, &mut deciders);
+        for (id, q) in set.iter() {
+            let mut solo = Shard::new(q.clone(), 0, 1);
+            let _ = solo.run_events(&events, &mut KeepAll);
+            assert_eq!(
+                fused.operators()[id as usize].stats().windows_opened,
+                solo.operator().stats().windows_opened,
+                "query {id} opened a different number of windows"
+            );
+        }
+    }
+
+    #[test]
+    fn run_queue_multi_equals_run_events_multi() {
+        let events: Vec<Event> =
+            (0..80).map(|i| ev(if i % 3 == 0 { 0 } else { 1 }, i, i)).collect();
+        let set = QuerySet::new(vec![query_sized(3), query_sized(6)]);
+
+        let mut slice_shard = Shard::for_queries(&set, 0, 1);
+        let mut slice_deciders = vec![KeepAll; 2];
+        let expected = slice_shard.run_events_multi(&events, &mut slice_deciders);
+
+        let mut queue_shard = Shard::for_queries(&set, 0, 1);
+        let (mut producer, consumer) = crate::queue::spsc(4);
+        let streamed = std::thread::scope(|scope| {
+            let handle = scope.spawn(|| {
+                let mut deciders = vec![KeepAll; 2];
+                queue_shard.run_queue_multi(consumer, &mut deciders, None)
+            });
+            for event in &events {
+                assert!(producer.push_blocking(event.clone()));
+            }
+            producer.close();
+            handle.join().expect("drain thread panicked")
+        });
+        assert_eq!(streamed, expected);
+        assert_eq!(queue_shard.stats(), slice_shard.stats());
     }
 
     #[test]
@@ -328,6 +636,10 @@ mod tests {
             assert!(pair[0].elapsed <= pair[1].elapsed);
             assert!(pair[0].busy <= pair[1].busy);
         }
+        let kept: u64 = decider.samples.iter().map(|s| s.kept).sum();
+        let assignments: u64 = decider.samples.iter().map(|s| s.assignments).sum();
+        assert_eq!(kept, assignments, "KeepAll keeps every assignment");
+        assert!(assignments <= shard.stats().assignments);
         for sample in &decider.samples {
             assert!(sample.busy <= sample.elapsed);
             assert!(sample.depth <= 64);
@@ -343,5 +655,14 @@ mod tests {
         shard.reset();
         let second = shard.run_events(&events, &mut KeepAll);
         assert_eq!(first, second);
+    }
+
+    #[test]
+    #[should_panic(expected = "one decider per query")]
+    fn mismatched_decider_count_panics() {
+        let set = QuerySet::new(vec![query_sized(3), query_sized(4)]);
+        let mut shard = Shard::for_queries(&set, 0, 1);
+        let mut deciders = vec![KeepAll];
+        let _ = shard.run_events_multi(&[], &mut deciders);
     }
 }

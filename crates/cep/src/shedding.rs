@@ -70,8 +70,19 @@ pub struct QueueSample {
     pub depth: usize,
     /// Events drained since the previous sample.
     pub drained: u64,
+    /// (event, window) assignments decided since the previous sample,
+    /// summed over every operator the queue serves.
+    pub assignments: u64,
+    /// Assignments *kept* since the previous sample. `kept / assignments`
+    /// is the fraction of the no-shedding work the drain loop actually
+    /// performed — what lets an overload controller normalise the drain
+    /// rate it measures *during* shedding back to a no-shedding capacity
+    /// estimate instead of freezing it.
+    pub kept: u64,
     /// The operator's current window-size prediction, needed to partition
-    /// windows into dropping intervals.
+    /// windows into dropping intervals. In a multi-query engine each
+    /// query's decider receives the sample with its *own* operator's
+    /// prediction (queue state is shared; window geometry is not).
     pub predicted_window_size: usize,
 }
 
@@ -186,7 +197,7 @@ mod tests {
     use espice_events::{EventType, Timestamp};
 
     fn meta() -> WindowMeta {
-        WindowMeta { id: 0, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: 10 }
+        WindowMeta { id: 0, query: 0, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: 10 }
     }
 
     #[test]

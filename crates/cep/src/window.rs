@@ -14,8 +14,17 @@ use espice_events::{Event, EventType, SequenceNumber, SimDuration, Timestamp};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Identifier of a window instance within one operator run.
+/// Identifier of a window instance within one query's operator run.
 pub type WindowId = u64;
+
+/// Identifier of a query within a [`QuerySet`](crate::QuerySet) (its index).
+///
+/// A multi-query engine runs one operator per query per shard; window ids
+/// are only unique *within* a query, so wherever windows from several
+/// queries can meet — shedder state, reports — the full key is the pair
+/// `(query, window id)` carried by [`WindowMeta`]. A standalone operator is
+/// query 0 of 1.
+pub type QueryId = u32;
 
 /// When new windows are opened.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -161,8 +170,11 @@ impl WindowSpec {
 /// [`WindowEventDecider`]: crate::WindowEventDecider
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WindowMeta {
-    /// The window's identifier (unique within an operator run).
+    /// The window's identifier (unique within one query's operator run; the
+    /// pair `(query, id)` is unique across a whole multi-query engine).
     pub id: WindowId,
+    /// The query this window belongs to (0 for a standalone operator).
+    pub query: QueryId,
     /// Timestamp of the window's opening event.
     pub opened_at: Timestamp,
     /// Sequence number of the window's opening event.
@@ -171,6 +183,77 @@ pub struct WindowMeta {
     /// extents; a running average of recently closed windows for time-based
     /// extents (the paper's `N` / predicted window size).
     pub predicted_size: usize,
+}
+
+/// The mutable state behind a window [`OpenPolicy`]: decides, event by
+/// event, whether a new window opens.
+///
+/// Extracted from the operator so a *fused* multi-query pass can share the
+/// bookkeeping: open decisions depend only on the open policy and the
+/// stream, never on a query's pattern or extent, so queries whose open
+/// policies are equal can be served by a single tracker — one
+/// `should_open` evaluation per event per distinct policy instead of one
+/// per query. A standalone [`Operator`](crate::Operator) keeps its own
+/// tracker.
+#[derive(Debug, Clone)]
+pub struct OpenTracker {
+    policy: OpenPolicy,
+    /// Events seen since the last count-slide window was opened.
+    since_count_open: usize,
+    /// Stream time of the last time-slide window opening.
+    last_time_open: Option<Timestamp>,
+}
+
+impl OpenTracker {
+    /// A fresh tracker for `policy`.
+    pub fn new(policy: OpenPolicy) -> Self {
+        OpenTracker { policy, since_count_open: 0, last_time_open: None }
+    }
+
+    /// The tracked open policy.
+    pub fn policy(&self) -> &OpenPolicy {
+        &self.policy
+    }
+
+    /// Whether a new window opens at `event`, advancing the slide state.
+    /// Must be called exactly once per stream event, in stream order.
+    pub fn should_open(&mut self, event: &Event) -> bool {
+        match &self.policy {
+            OpenPolicy::OnTypes(types) => types.contains(&event.event_type()),
+            OpenPolicy::EveryCount(slide) => {
+                let slide = *slide;
+                let open = self.since_count_open == 0;
+                self.since_count_open += 1;
+                if self.since_count_open >= slide {
+                    self.since_count_open = 0;
+                }
+                open
+            }
+            OpenPolicy::EveryDuration(slide) => {
+                let slide = *slide;
+                match self.last_time_open {
+                    None => {
+                        self.last_time_open = Some(event.timestamp());
+                        true
+                    }
+                    Some(last) => {
+                        if event.timestamp() >= last + slide {
+                            self.last_time_open = Some(event.timestamp());
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Restarts the tracker as if no event had been seen.
+    pub fn reset(&mut self) {
+        self.since_count_open = 0;
+        self.last_time_open = None;
+    }
 }
 
 /// Running estimate of the window size for time-based (variable size) windows.

@@ -267,7 +267,7 @@ mod tests {
     }
 
     fn meta() -> WindowMeta {
-        WindowMeta { id: 0, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: 10 }
+        WindowMeta { id: 0, query: 0, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: 10 }
     }
 
     /// Model over windows of 10 events: 1×type0, 3×type1, 6×type2 per window.
@@ -275,8 +275,13 @@ mod tests {
         let config = ModelConfig::with_positions(10);
         let mut builder = ModelBuilder::new(config, 3);
         for w in 0..5u64 {
-            let m =
-                WindowMeta { id: w, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: 10 };
+            let m = WindowMeta {
+                id: w,
+                query: 0,
+                opened_at: Timestamp::ZERO,
+                open_seq: 0,
+                predicted_size: 10,
+            };
             let composition = [0u32, 1, 1, 1, 2, 2, 2, 2, 2, 2];
             for (pos, &t) in composition.iter().enumerate() {
                 let e = Event::new(ty(t), Timestamp::ZERO, pos as u64);

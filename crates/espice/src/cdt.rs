@@ -175,7 +175,13 @@ mod tests {
             ModelConfig { positions: 4, bin_size: 1, normalisation: NormalisationMode::PerTypeSum };
         let ty = EventType::from_index(0);
         let mut builder = ModelBuilder::new(config, 1);
-        let meta = WindowMeta { id: 0, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: 4 };
+        let meta = WindowMeta {
+            id: 0,
+            query: 0,
+            opened_at: Timestamp::ZERO,
+            open_seq: 0,
+            predicted_size: 4,
+        };
         // One window with 4 events of the single type.
         for pos in 0..4 {
             let e = Event::new(ty, Timestamp::from_secs(pos as u64), pos as u64);

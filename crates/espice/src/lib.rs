@@ -73,7 +73,7 @@ mod shedder;
 pub use baseline::{BaselineShedder, RandomShedder};
 pub use cdt::Cdt;
 pub use config::{ModelConfig, NormalisationMode};
-pub use control::{ControlAction, ControllerStats, QueueOverloadController};
+pub use control::{ControlAction, ControllerStats, QueueOverloadController, SharedThroughput};
 pub use model::{ModelBuilder, PositionShares, UtilityModel, UtilityTable};
 pub use overload::{suggest_f, OverloadConfig, OverloadDetector, ShedPlan, ShedPlanner};
 pub use retraining::{RetrainOutcome, RetrainPolicy, RetrainingManager, TypeDistribution};

@@ -458,7 +458,13 @@ mod tests {
     }
 
     fn meta(id: u64, predicted: usize) -> WindowMeta {
-        WindowMeta { id, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: predicted }
+        WindowMeta {
+            id,
+            query: 0,
+            opened_at: Timestamp::ZERO,
+            open_seq: 0,
+            predicted_size: predicted,
+        }
     }
 
     fn feed_window(builder: &mut ModelBuilder, id: u64, types: &[u32]) {

@@ -19,10 +19,17 @@ pub struct OverloadConfig {
     /// The latency bound `LB` the operator must not violate.
     pub latency_bound: SimDuration,
     /// The queue-fill fraction `f ∈ [0, 1]` at which shedding starts
-    /// (the paper's evaluation uses `f = 0.8`).
+    /// (the paper's evaluation uses `f = 0.8`). When `adapt_f` is set this
+    /// is only the starting point.
     pub f: f64,
     /// How often the detector inspects the queue.
     pub check_interval: SimDuration,
+    /// Adapt `f` online from the observed queue burstiness (the streaming
+    /// counterpart of the paper's offline [`suggest_f`] grid): large depth
+    /// swings between checks lower `f` so the buffer `(1 − f)·qmax` can
+    /// absorb a burst's worth of events, calm queues raise it back towards
+    /// 0.95 so fewer events are shed. Off by default (`f` stays fixed).
+    pub adapt_f: bool,
 }
 
 impl Default for OverloadConfig {
@@ -31,6 +38,7 @@ impl Default for OverloadConfig {
             latency_bound: SimDuration::from_secs(1),
             f: 0.8,
             check_interval: SimDuration::from_millis(100),
+            adapt_f: false,
         }
     }
 }
@@ -123,6 +131,18 @@ impl ShedPlanner {
         self.throughput = throughput;
     }
 
+    /// Replaces the activation fraction `f` the planner works against
+    /// (online `f` adaptation; see [`OverloadConfig::adapt_f`]). The
+    /// activation threshold and the buffer size follow immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is outside `[0, 1]`.
+    pub fn set_f(&mut self, f: f64) {
+        assert!((0.0..=1.0).contains(&f), "f must be in [0, 1]");
+        self.config.f = f;
+    }
+
     /// Event processing latency `l(p) = 1 / th`.
     pub fn processing_latency(&self) -> SimDuration {
         SimDuration::from_secs_f64(1.0 / self.throughput)
@@ -207,6 +227,16 @@ impl OverloadDetector {
     /// Panics if `throughput` is not positive and finite.
     pub fn set_throughput(&mut self, throughput: f64) {
         self.planner.set_throughput(throughput);
+    }
+
+    /// Replaces the activation fraction `f` the detector plans against.
+    /// See [`ShedPlanner::set_f`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is outside `[0, 1]`.
+    pub fn set_f(&mut self, f: f64) {
+        self.planner.set_f(f);
     }
 
     /// The current input-rate estimate.
@@ -429,8 +459,13 @@ mod tests {
         // enough low-utility events, so the highest candidate f is chosen.
         let config = ModelConfig::with_positions(100);
         let mut builder = ModelBuilder::new(config, 1);
-        let meta =
-            WindowMeta { id: 0, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: 100 };
+        let meta = WindowMeta {
+            id: 0,
+            query: 0,
+            opened_at: Timestamp::ZERO,
+            open_seq: 0,
+            predicted_size: 100,
+        };
         for pos in 0..100 {
             let e = Event::new(EventType::from_index(0), Timestamp::ZERO, pos as u64);
             let _ = builder.decide(&meta, pos, &e);

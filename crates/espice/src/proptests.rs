@@ -16,8 +16,13 @@ use proptest::prelude::*;
 fn model_from(window: &[u32], contributing: &[usize]) -> crate::UtilityModel {
     let positions = window.len().max(1);
     let mut builder = ModelBuilder::new(ModelConfig::with_positions(positions), 6);
-    let meta =
-        WindowMeta { id: 0, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: positions };
+    let meta = WindowMeta {
+        id: 0,
+        query: 0,
+        opened_at: Timestamp::ZERO,
+        open_seq: 0,
+        predicted_size: positions,
+    };
     for (pos, &ty) in window.iter().enumerate() {
         let _ = builder.decide(
             &meta,
@@ -95,7 +100,7 @@ proptest! {
             events_to_drop: drop_fraction * positions as f64,
         };
         shedder.apply(plan);
-        let meta = WindowMeta { id: 0, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: positions };
+        let meta = WindowMeta { id: 0, query: 0, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: positions };
         let mut drops = 0usize;
         let windows = 200usize;
         for _ in 0..windows {
@@ -230,6 +235,108 @@ proptest! {
         }
     }
 
+    /// Multi-query fusion identity under eSPICE shedding: a fused engine
+    /// running N queries (distinct window sizes over a mix of shared open
+    /// policies) with one armed eSPICE shedder per (shard, query) produces,
+    /// *per query*, exactly the complex events, operator statistics and
+    /// shedder counters of an independent single-query engine armed the
+    /// same way — for shard counts {1, 2, 4}, shedding on and off, on the
+    /// slice and streaming backends. The boundary-thinning accumulator is
+    /// keyed per `(query, window id)`, so queries cannot bleed thinning
+    /// phase into each other even though their window ids collide.
+    #[test]
+    fn fused_multi_query_espice_shedding_is_event_identical(
+        types in prop::collection::vec(0u32..6, 30..140),
+        window_a in 4usize..12,
+        window_b in 5usize..16,
+        slide in 1usize..4,
+        drop_fraction in 0.1f64..0.8,
+        shedding_on in prop::bool::ANY,
+        streaming in prop::bool::ANY,
+    ) {
+        let model = model_from(&types[..window_a.min(types.len())], &[0, 2]);
+        let make_query = |size: usize| {
+            Query::builder()
+                .pattern(Pattern::sequence([EventType::from_index(0), EventType::from_index(1)]))
+                .window(WindowSpec::count_sliding(size, slide))
+                .build()
+        };
+        let set = espice_cep::QuerySet::new(vec![make_query(window_a), make_query(window_b)]);
+        let events: Vec<Event> = types
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| Event::new(EventType::from_index(t), Timestamp::from_secs(i as u64), i as u64))
+            .collect();
+        let stream = VecStream::from_ordered(events);
+
+        // One armed template per query: each query sheds against its own
+        // window geometry.
+        let armed: Vec<EspiceShedder> = set
+            .queries()
+            .iter()
+            .map(|query| {
+                let size = query.window().expected_size().expect("count windows");
+                let mut shedder = EspiceShedder::new(model.clone());
+                if shedding_on {
+                    shedder.apply(ShedPlan {
+                        active: true,
+                        partitions: 2,
+                        partition_size: size.div_ceil(2),
+                        events_to_drop: drop_fraction * size.div_ceil(2) as f64,
+                    });
+                }
+                shedder
+            })
+            .collect();
+
+        for shards in [1usize, 2, 4] {
+            let mut fused = ShardedEngine::for_queries(set.clone(), shards);
+            // Shard-major deciders: every shard gets a clone of each
+            // query's armed template.
+            let mut deciders: Vec<EspiceShedder> = (0..shards)
+                .flat_map(|_| armed.iter().cloned())
+                .collect();
+            let per_query = if streaming {
+                let mut source = espice_events::SliceSource::from_stream(&stream);
+                fused.run_source_per_query(&mut source, &mut deciders)
+            } else {
+                fused.run_slice_per_query(&stream, &mut deciders)
+            };
+            let fused_stats = fused.stats();
+
+            for (id, query) in set.iter() {
+                let id = id as usize;
+                let mut solo = ShardedEngine::new(query.clone(), shards);
+                let mut solo_deciders = vec![armed[id].clone(); shards];
+                let expected = solo.run_slice(&stream, &mut solo_deciders);
+                prop_assert_eq!(&per_query[id], &expected,
+                    "query {} complex events diverged at {} shards (shedding={}, streaming={})",
+                    id, shards, shedding_on, streaming);
+                prop_assert_eq!(&fused_stats.per_query[id], &solo.stats().merged,
+                    "query {} stats diverged at {} shards", id, shards);
+
+                // Shedder counters: sum the fused deciders of query `id`
+                // across shards and compare with the independent engine's.
+                let mut fused_counters = crate::ShedderStats::default();
+                for shard in 0..shards {
+                    fused_counters.merge(deciders[shard * set.len() + id].stats());
+                }
+                let mut solo_counters = crate::ShedderStats::default();
+                for decider in &solo_deciders {
+                    solo_counters.merge(decider.stats());
+                }
+                prop_assert_eq!(fused_counters, solo_counters,
+                    "query {} shedder counters diverged at {} shards", id, shards);
+            }
+            if shedding_on {
+                prop_assert!(fused_stats.merged.dropped > 0 || fused_stats.merged.assignments == 0,
+                    "an armed shedder over a non-trivial stream should drop something");
+            } else {
+                prop_assert_eq!(fused_stats.merged.dropped, 0);
+            }
+        }
+    }
+
     /// High-overlap identity under an active plan (slide ≪ window): the
     /// ring-backed operator with an armed eSPICE shedder produces exactly
     /// the complex events and operator statistics of the seed per-window
@@ -332,7 +439,7 @@ proptest! {
         }
         random.deactivate();
         prop_assert!(!random.is_active());
-        let meta = WindowMeta { id: 0, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: 1 };
+        let meta = WindowMeta { id: 0, query: 0, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: 1 };
         let e = Event::new(EventType::from_index(0), Timestamp::ZERO, 0);
         prop_assert!(random.decide(&meta, 0, &e).is_keep());
     }

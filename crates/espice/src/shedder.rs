@@ -7,7 +7,7 @@
 //! or equal to the threshold of the partition the position falls into.
 
 use crate::{Cdt, ShedPlan, UtilityModel};
-use espice_cep::{BatchRequest, Decision, WindowEventDecider, WindowId, WindowMeta};
+use espice_cep::{BatchRequest, Decision, QueryId, WindowEventDecider, WindowId, WindowMeta};
 use espice_events::Event;
 use serde::{Deserialize, Serialize};
 
@@ -92,7 +92,7 @@ impl PartitionShedding {
 /// The boundary-thinning accumulator's starting phase for a window.
 ///
 /// Accumulators are keyed per window id, so the thinning decision for a
-/// boundary event depends only on `(window id, arrival order within the
+/// boundary event depends only on `(query, window id, arrival order within the
 /// window)` — an N-shard engine, where each window is decided by whichever
 /// shard owns its id, thins exactly the same boundary events as a 1-shard
 /// run. The phase itself is a constant ½: per window and partition the
@@ -103,6 +103,10 @@ impl PartitionShedding {
 /// staggered the thinning across overlapping windows so nearly every window
 /// lost a *different* event, which measurably worsened false negatives on
 /// the soccer man-marking workload.)
+/// Engine-wide window key: window ids are only unique within a query, so
+/// per-window shedder state is keyed by the `(query, window id)` pair.
+type WindowKey = (QueryId, WindowId);
+
 fn boundary_seed(id: WindowId) -> f64 {
     let _ = id;
     0.5
@@ -121,29 +125,29 @@ struct ActiveShedding {
     /// list rather than a hash map: live entries are bounded by the number
     /// of concurrently open windows that hit the boundary level (tens, not
     /// thousands), and a short id scan beats hashing on that scale.
-    accumulators: Vec<(WindowId, Box<[f64]>)>,
+    accumulators: Vec<(WindowKey, Box<[f64]>)>,
 }
 
 impl ActiveShedding {
     /// The accumulators of window `id`, seeding them on first contact.
     fn accumulators_for(
-        accumulators: &mut Vec<(WindowId, Box<[f64]>)>,
+        accumulators: &mut Vec<(WindowKey, Box<[f64]>)>,
         partitions: usize,
-        id: WindowId,
+        key: WindowKey,
     ) -> &mut [f64] {
-        match accumulators.iter().position(|(window, _)| *window == id) {
+        match accumulators.iter().position(|(window, _)| *window == key) {
             Some(index) => &mut accumulators[index].1,
             None => {
-                accumulators.push((id, vec![boundary_seed(id); partitions].into()));
+                accumulators.push((key, vec![boundary_seed(key.1); partitions].into()));
                 &mut accumulators.last_mut().expect("just pushed").1
             }
         }
     }
 
-    /// Releases window `id`'s accumulators (no-op if it never hit the
-    /// boundary level).
-    fn release(&mut self, id: WindowId) {
-        if let Some(index) = self.accumulators.iter().position(|(window, _)| *window == id) {
+    /// Releases the accumulators of window `key = (query, id)` (no-op if
+    /// it never hit the boundary level).
+    fn release(&mut self, key: WindowKey) {
+        if let Some(index) = self.accumulators.iter().position(|(window, _)| *window == key) {
             self.accumulators.swap_remove(index);
         }
     }
@@ -291,7 +295,7 @@ impl WindowEventDecider for EspiceShedder {
             let accumulators = ActiveShedding::accumulators_for(
                 &mut active.accumulators,
                 active.partitions,
-                meta.id,
+                (meta.query, meta.id),
             );
             part.thin_boundary(&mut accumulators[partition])
         });
@@ -335,7 +339,7 @@ impl WindowEventDecider for EspiceShedder {
                 let accumulators = ActiveShedding::accumulators_for(
                     &mut active.accumulators,
                     partitions,
-                    request.meta.id,
+                    (request.meta.query, request.meta.id),
                 );
                 part.thin_boundary(&mut accumulators[partition])
             });
@@ -354,7 +358,7 @@ impl WindowEventDecider for EspiceShedder {
     /// the number of concurrently open windows.
     fn window_closed(&mut self, meta: &WindowMeta, _size: usize) {
         if let Some(active) = self.active.as_mut() {
-            active.release(meta.id);
+            active.release((meta.query, meta.id));
         }
     }
 }
@@ -371,7 +375,13 @@ mod tests {
     }
 
     fn meta(predicted: usize) -> WindowMeta {
-        WindowMeta { id: 0, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: predicted }
+        WindowMeta {
+            id: 0,
+            query: 0,
+            opened_at: Timestamp::ZERO,
+            open_seq: 0,
+            predicted_size: predicted,
+        }
     }
 
     /// Builds a model over windows of 4 events of two types where type 0 at
@@ -380,8 +390,13 @@ mod tests {
         let config = ModelConfig::with_positions(4);
         let mut builder = ModelBuilder::new(config, 2);
         for w in 0..10u64 {
-            let m =
-                WindowMeta { id: w, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: 4 };
+            let m = WindowMeta {
+                id: w,
+                query: 0,
+                opened_at: Timestamp::ZERO,
+                open_seq: 0,
+                predicted_size: 4,
+            };
             for pos in 0..4usize {
                 let t = if pos % 2 == 0 { 0 } else { 1 };
                 let e = Event::new(ty(t), Timestamp::from_secs(pos as u64), pos as u64);

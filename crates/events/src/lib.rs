@@ -45,7 +45,7 @@ mod types;
 
 pub use attributes::{AttributeValue, Attributes};
 pub use event::{Event, EventBuilder, SequenceNumber};
-pub use source::{EventSource, IterSource, PushHandle, PushSource, SliceSource};
+pub use source::{EventSource, IterSource, PacedSource, PushHandle, PushSource, SliceSource};
 pub use stream::{EventStream, RateReplay, StreamStats, VecStream};
 pub use time::{SimDuration, Timestamp};
 pub use types::{EventType, TypeRegistry};

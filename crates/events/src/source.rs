@@ -153,6 +153,103 @@ impl<I: Iterator<Item = Event>> EventSource for IterSource<I> {
     }
 }
 
+/// Paces any source to a wall-clock arrival schedule: event `k` (0-based)
+/// is released no earlier than `k / rate` seconds after the first pull.
+///
+/// [`RateReplay`] computes arrival *timestamps* but yields its events
+/// immediately — right for the queueing simulation, which advances its own
+/// clock, but a live closed-loop engine fed that way only ever measures
+/// producer saturation. Wrapping the source in a `PacedSource` makes the
+/// real pipeline experience the configured input rate in real time: the
+/// producer thread sleeps to the schedule, the shard queues fill exactly
+/// when the drain rate falls below `rate`, and a
+/// `runtime::streaming` closed-loop run becomes directly comparable to the
+/// simulator's traces at the same rate.
+///
+/// Pacing is schedule-anchored, not inter-event: a slow consumer does not
+/// stretch the schedule, it eats into the sleep of later events (bursts
+/// are delivered back-to-back until the source catches up with its
+/// schedule — the same catch-up behaviour a recorded feed replayed at
+/// `rate` would show).
+///
+/// # Example
+///
+/// ```
+/// use espice_events::{Event, EventType, Timestamp, VecStream};
+/// use espice_events::source::{EventSource, PacedSource, SliceSource};
+///
+/// let stream = VecStream::from_ordered(vec![
+///     Event::new(EventType::from_index(0), Timestamp::from_secs(0), 0),
+///     Event::new(EventType::from_index(0), Timestamp::from_secs(1), 1),
+/// ]);
+/// // 2000 events/s: the second event is released ~500 µs after the first.
+/// let mut source = PacedSource::new(SliceSource::from_stream(&stream), 2000.0);
+/// assert_eq!(source.next_event().unwrap().seq(), 0);
+/// assert_eq!(source.next_event().unwrap().seq(), 1);
+/// assert!(source.next_event().is_none());
+/// ```
+#[derive(Debug)]
+pub struct PacedSource<S> {
+    inner: S,
+    rate: f64,
+    started: Option<std::time::Instant>,
+    released: u64,
+}
+
+impl<S: EventSource> PacedSource<S> {
+    /// Paces `inner` to `rate` events per second of wall time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not positive and finite.
+    pub fn new(inner: S, rate: f64) -> Self {
+        assert!(rate.is_finite() && rate > 0.0, "replay rate must be positive");
+        PacedSource { inner, rate, started: None, released: 0 }
+    }
+
+    /// The configured replay rate (events/s).
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Events released so far.
+    pub fn released(&self) -> u64 {
+        self.released
+    }
+
+    /// The wrapped source.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<'a> PacedSource<SliceSource<'a>> {
+    /// Paces the events of a materialised stream (the most common replay
+    /// shape: a recorded dataset driven at a chosen live rate).
+    pub fn from_stream<St: crate::EventStream + ?Sized>(stream: &'a St, rate: f64) -> Self {
+        PacedSource::new(SliceSource::from_stream(stream), rate)
+    }
+}
+
+impl<S: EventSource> EventSource for PacedSource<S> {
+    fn next_event(&mut self) -> Option<Event> {
+        // Pull first so an exhausted source never sleeps.
+        let event = self.inner.next_event()?;
+        let started = *self.started.get_or_insert_with(std::time::Instant::now);
+        let due = std::time::Duration::from_secs_f64(self.released as f64 / self.rate);
+        let elapsed = started.elapsed();
+        if due > elapsed {
+            std::thread::sleep(due - elapsed);
+        }
+        self.released += 1;
+        Some(event)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
 /// The push half of the source abstraction: a bounded channel. The producer
 /// side pushes through a [`PushHandle`] (blocking when the engine lags
 /// `capacity` events behind — backpressure instead of unbounded buffering);
@@ -269,6 +366,45 @@ mod tests {
         drop(source);
         let rejected = handle.push(ev(7)).unwrap_err();
         assert_eq!(rejected.seq(), 7);
+    }
+
+    #[test]
+    fn paced_source_holds_to_its_schedule_and_preserves_events() {
+        let events: Vec<Event> = (0..40).map(ev).collect();
+        let stream = VecStream::from_ordered(events.clone());
+        // 40 events at 2000/s: the last event is due 39/2000 ≈ 19.5 ms
+        // after the first pull.
+        let mut source = PacedSource::from_stream(&stream, 2000.0);
+        assert_eq!(source.size_hint(), (40, Some(40)));
+        let started = std::time::Instant::now();
+        let mut seqs = Vec::new();
+        while let Some(event) = source.next_event() {
+            seqs.push(event.seq());
+        }
+        let elapsed = started.elapsed();
+        assert_eq!(seqs, (0..40).collect::<Vec<_>>());
+        assert_eq!(source.released(), 40);
+        assert!(
+            elapsed >= std::time::Duration::from_secs_f64(39.0 / 2000.0),
+            "paced replay finished in {elapsed:?}, faster than its schedule"
+        );
+    }
+
+    #[test]
+    fn paced_source_does_not_sleep_on_exhaustion() {
+        let stream = VecStream::from_ordered(vec![ev(0)]);
+        let mut source = PacedSource::from_stream(&stream, 0.001);
+        assert!(source.next_event().is_some());
+        let started = std::time::Instant::now();
+        assert!(source.next_event().is_none());
+        assert!(started.elapsed() < std::time::Duration::from_millis(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn paced_source_rejects_zero_rate() {
+        let stream = VecStream::from_ordered(vec![ev(0)]);
+        let _ = PacedSource::from_stream(&stream, 0.0);
     }
 
     #[test]

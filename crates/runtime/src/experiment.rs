@@ -21,7 +21,7 @@ use espice::{
     BaselineShedder, EspiceShedder, ModelBuilder, ModelConfig, OverloadConfig, RandomShedder,
     ShedPlan, ShedPlanner, UtilityModel,
 };
-use espice_cep::{ComplexEvent, Operator, Query, ShardedEngine};
+use espice_cep::{ComplexEvent, Operator, Query, QuerySet, ShardedEngine};
 use espice_events::{EventStream, SliceSource, VecStream};
 use serde::{Deserialize, Serialize};
 
@@ -368,6 +368,89 @@ impl Experiment {
         kinds.iter().map(|&k| self.evaluate_against(query, k, &ground_truth)).collect()
     }
 
+    /// Evaluates one shedder kind on a whole query set running on the
+    /// *fused* multi-query engine: one ingestion pipeline and one event
+    /// scan per shard serve every query, each query gets its own shedder
+    /// instance (per shard) armed with its own plan, and the returned
+    /// outcomes — one per query, in query order — carry per-query quality
+    /// metrics, per-query drop ratios from the engine's `per_query` stats,
+    /// and (on the streaming backend) the shared queue summary.
+    ///
+    /// Per-query results are identical to evaluating each query on its own
+    /// engine ([`evaluate`](Self::evaluate)) — the fused engine only
+    /// changes *how* events are fed, never what is decided — which is
+    /// pinned by proptests.
+    pub fn evaluate_set(&self, queries: &QuerySet, kind: ShedderKind) -> Vec<QualityOutcome> {
+        let shards = self.config.shards.max(1);
+
+        // Ground truth for all queries in one fused keep-everything pass.
+        let mut gt_engine = self.engine_for_set(queries);
+        let mut gt_deciders = vec![espice_cep::KeepAll; shards * queries.len()];
+        let ground_truth = gt_engine.run_slice_per_query(&self.eval_stream, &mut gt_deciders);
+
+        // One shedder per (shard, query), shard-major — seeded exactly as
+        // an independent engine for that query would seed its shards, so
+        // fused and independent evaluations stay byte-identical even for
+        // randomised shedders.
+        let plans: Vec<ShedPlan> = queries.queries().iter().map(|q| self.shed_plan(q)).collect();
+        let mut deciders: Vec<AnyShedder> = Vec::with_capacity(shards * queries.len());
+        for shard in 0..shards {
+            for (id, query) in queries.iter() {
+                let mut shedder = self.make_shedder(query, kind, self.config.seed + shard as u64);
+                shedder.apply_plan(plans[id as usize]);
+                deciders.push(shedder);
+            }
+        }
+
+        let mut engine = self.engine_for_set(queries);
+        let detected = match self.config.backend {
+            EngineBackend::Slice => engine.run_slice_per_query(&self.eval_stream, &mut deciders),
+            EngineBackend::Streaming { queue_capacity } => {
+                engine.set_queue_capacity(queue_capacity);
+                let mut source = SliceSource::from_stream(&self.eval_stream);
+                engine.run_source_per_query(&mut source, &mut deciders)
+            }
+        };
+        let stats = engine.stats();
+        let queue = match self.config.backend {
+            EngineBackend::Slice => None,
+            EngineBackend::Streaming { queue_capacity } => Some(QueueSummary {
+                capacity: queue_capacity,
+                peak_depth: engine.queue_stats().iter().map(|q| q.peak_depth).max().unwrap_or(0),
+                backpressure_events: engine
+                    .queue_stats()
+                    .iter()
+                    .map(|q| q.backpressure_events)
+                    .sum(),
+            }),
+        };
+
+        queries
+            .iter()
+            .map(|(id, _)| {
+                let id = id as usize;
+                QualityOutcome {
+                    shedder: kind,
+                    metrics: QualityMetrics::compare(&ground_truth[id], &detected[id]),
+                    plan: plans[id],
+                    drop_ratio: stats.per_query[id].drop_ratio(),
+                    windows: stats.per_query[id].windows_closed,
+                    queue,
+                }
+            })
+            .collect()
+    }
+
+    /// Creates the fused evaluation engine for a whole query set (the
+    /// multi-query counterpart of `engine_for`).
+    fn engine_for_set(&self, queries: &QuerySet) -> ShardedEngine {
+        let mut engine = ShardedEngine::for_queries(queries.clone(), self.config.shards.max(1));
+        if queries.queries().iter().any(|q| q.window().expected_size().is_none()) {
+            engine.set_window_size_hint(self.model.average_window_size().round().max(1.0) as usize);
+        }
+        engine
+    }
+
     fn make_shedder(&self, query: &Query, kind: ShedderKind, seed: u64) -> AnyShedder {
         match kind {
             ShedderKind::Espice => AnyShedder::Espice(EspiceShedder::new(self.model.clone())),
@@ -589,6 +672,55 @@ mod tests {
         let queue = b.queue.expect("streaming backend must report queues");
         assert_eq!(queue.capacity, 32);
         assert!(queue.peak_depth >= 1 && queue.peak_depth <= 32);
+    }
+
+    #[test]
+    fn fused_multi_query_evaluation_equals_independent_evaluations() {
+        let ds = dataset();
+        let q_short = queries::q3(&ds, 6, 150, SelectionPolicy::First);
+        let q_long = queries::q3(&ds, 8, 200, SelectionPolicy::First);
+        let set = espice_cep::QuerySet::new(vec![q_short.clone(), q_long.clone()]);
+        let experiment = Experiment::train(
+            set.queries(),
+            &ds.stream,
+            ds.registry.len(),
+            ModelConfig::with_positions(200),
+            ExperimentConfig { shards: 2, ..config() },
+        );
+        let fused = experiment.evaluate_set(&set, ShedderKind::Espice);
+        assert_eq!(fused.len(), 2);
+        for (id, query) in set.iter() {
+            let solo = experiment.evaluate(query, ShedderKind::Espice);
+            assert_eq!(fused[id as usize].metrics, solo.metrics, "query {id} metrics diverged");
+            assert_eq!(fused[id as usize].drop_ratio, solo.drop_ratio);
+            assert_eq!(fused[id as usize].windows, solo.windows);
+            assert_eq!(fused[id as usize].plan, solo.plan);
+        }
+    }
+
+    #[test]
+    fn fused_streaming_evaluation_reports_one_shared_queue() {
+        let ds = dataset();
+        let q_short = queries::q3(&ds, 6, 150, SelectionPolicy::First);
+        let q_long = queries::q3(&ds, 8, 200, SelectionPolicy::First);
+        let set = espice_cep::QuerySet::new(vec![q_short, q_long]);
+        let experiment = Experiment::train(
+            set.queries(),
+            &ds.stream,
+            ds.registry.len(),
+            ModelConfig::with_positions(200),
+            ExperimentConfig {
+                shards: 2,
+                backend: EngineBackend::Streaming { queue_capacity: 64 },
+                ..config()
+            },
+        );
+        let outcomes = experiment.evaluate_set(&set, ShedderKind::Espice);
+        let queue = outcomes[0].queue.expect("streaming backend must report queues");
+        assert_eq!(queue.capacity, 64);
+        // Both queries ride the same shard queues, so they report the same
+        // queue summary.
+        assert_eq!(outcomes[0].queue, outcomes[1].queue);
     }
 
     #[test]

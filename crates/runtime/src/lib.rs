@@ -36,9 +36,10 @@ pub use experiment::{
     EngineBackend, Experiment, ExperimentConfig, QualityOutcome, QueueSummary, ShedderKind,
 };
 pub use metrics::{LatencyTrace, QualityMetrics};
-pub use simulation::{LatencySimConfig, LatencySimulation};
+pub use simulation::{LatencySimConfig, LatencySimulation, MultiSimulationOutcome};
 pub use streaming::{
-    run_closed_loop, ClosedLoopShedder, ShardControlReport, StreamingOutcome, StreamingRunConfig,
+    run_closed_loop, run_closed_loop_set, ClosedLoopShedder, MultiStreamingOutcome,
+    ShardControlReport, StreamingOutcome, StreamingRunConfig,
 };
 
 /// Convenience re-exports for downstream crates.

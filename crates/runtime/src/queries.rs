@@ -112,6 +112,73 @@ pub fn q4(
         .build()
 }
 
+/// Named multi-query mixes for the fused engine: reusable [`QuerySet`]s
+/// that put several of the paper's query shapes on one ingestion pipeline.
+///
+/// The registry gives experiments, benches and examples a shared
+/// vocabulary ("run `q3-ladder` at 4 shards") instead of every harness
+/// assembling its own ad-hoc set.
+///
+/// [`QuerySet`]: espice_cep::QuerySet
+pub mod mixes {
+    use super::{q2, q3, q4};
+    use espice_cep::{QuerySet, SelectionPolicy};
+    use espice_datasets::StockDataset;
+    use espice_events::SimDuration;
+
+    /// The registered mix names, resolvable via [`by_name`].
+    pub const NAMES: &[&str] = &["q3-ladder", "q4-slides", "stock-blend"];
+
+    /// A ladder of Q3 cascade queries that differ only in sequence length
+    /// (4, 6, 8, … up to `rungs` queries) over a shared 200-event window —
+    /// the homogeneous mix: identical open policies, so the fused engine
+    /// runs one open tracker for the whole set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rungs` is zero.
+    pub fn q3_ladder(dataset: &StockDataset, rungs: usize) -> QuerySet {
+        assert!(rungs >= 1, "a ladder needs at least one rung");
+        QuerySet::new(
+            (0..rungs).map(|i| q3(dataset, 4 + 2 * i, 200, SelectionPolicy::First)).collect(),
+        )
+    }
+
+    /// Q4 repetition queries at three different slides over the same
+    /// window span — sliding (count-slide) open policies that differ, so
+    /// every query keeps its own open tracker while still sharing the
+    /// event hand-off.
+    pub fn q4_slides(dataset: &StockDataset) -> QuerySet {
+        QuerySet::new(
+            [50usize, 100, 200]
+                .into_iter()
+                .map(|slide| q4(dataset, 5, 600, slide, SelectionPolicy::First))
+                .collect(),
+        )
+    }
+
+    /// A heterogeneous blend on the stock stream: a time-window Q2, a
+    /// count-window Q3 and a sliding Q4 — three window kinds, three open
+    /// policies, one pipeline.
+    pub fn stock_blend(dataset: &StockDataset) -> QuerySet {
+        QuerySet::new(vec![
+            q2(dataset, 10, SimDuration::from_secs(240), SelectionPolicy::First),
+            q3(dataset, 8, 200, SelectionPolicy::First),
+            q4(dataset, 5, 600, 100, SelectionPolicy::First),
+        ])
+    }
+
+    /// Resolves a registered mix by name (see [`NAMES`]).
+    pub fn by_name(dataset: &StockDataset, name: &str) -> Option<QuerySet> {
+        match name {
+            "q3-ladder" => Some(q3_ladder(dataset, 3)),
+            "q4-slides" => Some(q4_slides(dataset)),
+            "stock-blend" => Some(stock_blend(dataset)),
+            _ => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,6 +251,38 @@ mod tests {
         let mut op = Operator::new(query);
         let matches = op.run(&dataset.stream, &mut KeepAll);
         assert!(!matches.is_empty(), "Q4 found no repeated cascades");
+    }
+
+    #[test]
+    fn every_registered_mix_resolves_and_produces_matches_on_the_fused_engine() {
+        let dataset = stock();
+        for &name in mixes::NAMES {
+            let set = mixes::by_name(&dataset, name).expect("registered name must resolve");
+            assert!(set.len() >= 2, "mix {name} is not multi-query");
+            let mut engine = espice_cep::ShardedEngine::for_queries(set.clone(), 2);
+            let mut deciders = vec![KeepAll; 2 * set.len()];
+            let outputs = engine.run_per_query(&dataset.stream, &mut deciders);
+            assert_eq!(outputs.len(), set.len());
+            assert!(
+                outputs.iter().any(|o| !o.is_empty()),
+                "mix {name} found no complex events at all"
+            );
+        }
+        assert!(mixes::by_name(&dataset, "no-such-mix").is_none());
+    }
+
+    #[test]
+    fn q3_ladder_shares_one_open_tracker() {
+        let dataset = stock();
+        let set = mixes::q3_ladder(&dataset, 3);
+        let shard = espice_cep::Shard::for_queries(&set, 0, 1);
+        assert_eq!(shard.open_groups(), 1, "homogeneous open policies must fuse");
+        // The blend's Q2 and Q3 both open on the leading symbols (their
+        // *extents* differ, but the open policy is shared), so three
+        // queries need only two trackers.
+        let blend = mixes::stock_blend(&dataset);
+        let shard = espice_cep::Shard::for_queries(&blend, 0, 1);
+        assert_eq!(shard.open_groups(), 2, "Q2/Q3 share a policy; Q4 slides on its own");
     }
 
     #[test]

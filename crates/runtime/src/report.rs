@@ -121,9 +121,72 @@ impl Table {
     }
 }
 
+/// Renders one [`QualityOutcome`](crate::QualityOutcome) row per query of a
+/// fused multi-query evaluation: false negatives, false positives, realised
+/// drop ratio and windows, with the query names as the x-axis. The shared
+/// queue summary (streaming backend) is appended as a footer line, since
+/// one queue serves every query.
+pub fn per_query_quality_table(
+    names: &[&str],
+    outcomes: &[crate::QualityOutcome],
+) -> (Table, String) {
+    assert_eq!(names.len(), outcomes.len(), "need exactly one name per outcome");
+    let mut table = Table::new(
+        "query",
+        vec!["FN %".into(), "FP %".into(), "drop ratio".into(), "windows".into()],
+    );
+    for (name, outcome) in names.iter().zip(outcomes) {
+        table.add_row(
+            name,
+            vec![
+                outcome.false_negative_pct(),
+                outcome.false_positive_pct(),
+                outcome.drop_ratio,
+                outcome.windows as f64,
+            ],
+        );
+    }
+    let footer = match outcomes.iter().find_map(|o| o.queue) {
+        Some(queue) => format!(
+            "shared queues: capacity {}, peak depth {}, {} backpressured pushes\n",
+            queue.capacity, queue.peak_depth, queue.backpressure_events
+        ),
+        None => String::new(),
+    };
+    (table, footer)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn per_query_table_lists_each_query_and_the_shared_queue() {
+        let outcome = |fn_missed: usize| crate::QualityOutcome {
+            shedder: crate::ShedderKind::Espice,
+            metrics: crate::QualityMetrics {
+                ground_truth: 100,
+                detected: 100 - fn_missed,
+                true_positives: 100 - fn_missed,
+                false_positives: 0,
+                false_negatives: fn_missed,
+            },
+            plan: espice::ShedPlan::inactive(),
+            drop_ratio: 0.25,
+            windows: 40,
+            queue: Some(crate::QueueSummary {
+                capacity: 64,
+                peak_depth: 12,
+                backpressure_events: 3,
+            }),
+        };
+        let (table, footer) = per_query_quality_table(&["q3", "q4"], &[outcome(5), outcome(9)]);
+        let text = table.render();
+        assert!(text.contains("q3") && text.contains("q4"));
+        assert!(text.contains("5.00") && text.contains("9.00"));
+        assert!(footer.contains("capacity 64"));
+        assert!(footer.contains("peak depth 12"));
+    }
 
     #[test]
     fn render_aligns_columns_and_formats_values() {

@@ -23,7 +23,7 @@
 use crate::adaptive::AdaptiveShedder;
 use crate::metrics::LatencyTrace;
 use espice::{ControlAction, QueueOverloadController};
-use espice_cep::{ComplexEvent, Operator, Query};
+use espice_cep::{ComplexEvent, Operator, Query, QuerySet};
 use espice_events::{RateReplay, SimDuration, Timestamp, VecStream};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
@@ -106,6 +106,23 @@ pub struct SimulationOutcome {
     pub measured_throughput: Option<f64>,
 }
 
+/// Result of a multi-query simulation run: one latency trace for the
+/// shared queue, plus each query's complex events.
+#[derive(Debug, Clone)]
+pub struct MultiSimulationOutcome {
+    /// The latency trace of the shared queue (service times sum every
+    /// query's work per event).
+    pub trace: LatencyTrace,
+    /// Complex events detected per query, indexed by query.
+    pub complex_events: Vec<Vec<ComplexEvent>>,
+    /// Shedding activations summed over all per-query controllers.
+    pub shedding_activations: u64,
+    /// The largest final *measured* throughput estimate across the
+    /// per-query controllers, if any calibrated (they share one published
+    /// signal, so they rarely disagree by more than smoothing lag).
+    pub measured_throughput: Option<f64>,
+}
+
 /// The queueing simulation.
 #[derive(Debug, Clone)]
 pub struct LatencySimulation {
@@ -130,35 +147,83 @@ impl LatencySimulation {
 
     /// Replays `stream` into an operator running `query` at the configured
     /// input rate, with `shedder` in the loop, and records per-event
-    /// latencies.
+    /// latencies. Single-query wrapper over [`run_set`](Self::run_set).
     pub fn run<S>(&self, query: &Query, stream: &VecStream, shedder: &mut S) -> SimulationOutcome
     where
         S: AdaptiveShedder,
     {
+        let mut outcome =
+            self.run_set(&QuerySet::single(query.clone()), stream, std::slice::from_mut(shedder));
+        SimulationOutcome {
+            trace: outcome.trace,
+            complex_events: outcome.complex_events.pop().expect("one query"),
+            shedding_activations: outcome.shedding_activations,
+            measured_throughput: outcome.measured_throughput,
+        }
+    }
+
+    /// Replays `stream` into one operator **per query** of `queries` at the
+    /// configured input rate, with one adaptive shedder per query in the
+    /// loop, and records per-event latencies over the *shared* queue.
+    ///
+    /// This is the deterministic oracle for the fused multi-query engine:
+    /// all queries are served by the same simulated FIFO servers (an
+    /// event's service time sums the work every query actually performed on
+    /// it), one queue feeds them all, and — exactly as on the real
+    /// streaming path — each query runs its own
+    /// [`QueueOverloadController`] fed the same measured samples, with a
+    /// [`SharedThroughput`](espice::SharedThroughput) signal keeping their
+    /// capacity estimates in agreement. The paper's `f·qmax` check thereby
+    /// governs a queue serving all queries at once.
+    pub fn run_set<S>(
+        &self,
+        queries: &QuerySet,
+        stream: &VecStream,
+        shedders: &mut [S],
+    ) -> MultiSimulationOutcome
+    where
+        S: AdaptiveShedder,
+    {
+        assert_eq!(shedders.len(), queries.len(), "need exactly one shedder per query");
         let cfg = &self.config;
         let base_service = SimDuration::from_secs_f64(1.0 / cfg.throughput);
         let overhead = base_service.mul_f64(cfg.shedding_overhead);
 
-        let mut operator = Operator::new(query.clone());
-        // The closed-loop controller measures the *aggregate* drain
-        // capacity by itself: with N servers the summed busy time scales
-        // the estimate, so both the tolerable queue length (qmax) and the
-        // rate surplus to shed follow the real service capacity — no
-        // precomputed throughput or input rate is handed over.
-        let mut controller = QueueOverloadController::with_servers(
-            espice::OverloadConfig {
-                latency_bound: cfg.latency_bound,
-                f: cfg.f,
-                check_interval: cfg.check_interval,
-            },
-            cfg.shards.max(1),
-        );
+        let mut operators: Vec<Operator> = queries
+            .iter()
+            .map(|(query_id, query)| Operator::for_query(query.clone(), query_id, 0, 1))
+            .collect();
+        // The closed-loop controllers measure the *aggregate* drain
+        // capacity by themselves: with N servers the summed busy time
+        // scales the estimate, so both the tolerable queue length (qmax)
+        // and the rate surplus to shed follow the real service capacity —
+        // no precomputed throughput or input rate is handed over. One
+        // controller per query (each plans against its own window
+        // geometry), sharing one published throughput estimate since one
+        // queue serves them all.
+        let shared = std::sync::Arc::new(espice::SharedThroughput::new());
+        let mut controllers: Vec<QueueOverloadController> = (0..queries.len())
+            .map(|_| {
+                let mut controller = QueueOverloadController::with_servers(
+                    espice::OverloadConfig {
+                        latency_bound: cfg.latency_bound,
+                        f: cfg.f,
+                        check_interval: cfg.check_interval,
+                        ..espice::OverloadConfig::default()
+                    },
+                    cfg.shards.max(1),
+                );
+                controller.share_throughput(std::sync::Arc::clone(&shared));
+                controller
+            })
+            .collect();
 
-        let mut complex_events = Vec::new();
+        let mut complex_events: Vec<Vec<ComplexEvent>> =
+            (0..queries.len()).map(|_| Vec::new()).collect();
         // Completion times of events still "in the system" (with their
         // service durations, so completed work can be credited to the
-        // controller's busy-time measurement); used to derive the queue
-        // length seen by the overload controller. A min-heap because with
+        // controllers' busy-time measurement); used to derive the queue
+        // length seen by the overload controllers. A min-heap because with
         // several servers completions are not monotone in arrival order.
         let mut in_flight: BinaryHeap<Reverse<(Timestamp, SimDuration)>> = BinaryHeap::new();
         // One FIFO server per engine shard; an event is dispatched to the
@@ -171,6 +236,10 @@ impl LatencySimulation {
         // durations) and events drained since the last check.
         let mut busy_total = SimDuration::ZERO;
         let mut drained_since_check = 0u64;
+        // Summed operator counters at the previous check (for the
+        // kept/assignment deltas in the controllers' samples).
+        let mut assignments_at_check = 0u64;
+        let mut kept_at_check = 0u64;
         let mut peak_queue_depth = 0usize;
 
         let mut trace = LatencyTrace {
@@ -202,41 +271,65 @@ impl LatencySimulation {
                     busy_total += service;
                     drained_since_check += 1;
                 }
-                let window_size = operator.predicted_window_size();
-                let action = controller.sample(
-                    next_check,
-                    busy_total,
-                    in_flight.len(),
-                    drained_since_check,
-                    window_size,
-                );
+                // The controllers see exactly what a drain loop would
+                // report: cumulative time/busy, current depth, the drain
+                // delta and the kept/assignment deltas of the processed
+                // events (the kept fraction that normalises mid-shed
+                // throughput measurements). Queue state is shared; only
+                // the window-size prediction is per query.
+                let assignments_now: u64 = operators.iter().map(|o| o.stats().assignments).sum();
+                let kept_now: u64 = operators.iter().map(|o| o.stats().kept).sum();
+                let mut measurement = espice_cep::QueueSample {
+                    elapsed: next_check,
+                    busy: busy_total,
+                    depth: in_flight.len(),
+                    drained: drained_since_check,
+                    assignments: assignments_now - assignments_at_check,
+                    kept: kept_now - kept_at_check,
+                    predicted_window_size: 0,
+                };
+                assignments_at_check = assignments_now;
+                kept_at_check = kept_now;
                 drained_since_check = 0;
-                match action {
-                    Some(ControlAction::Shed(plan)) => shedder.apply_plan(plan),
-                    Some(ControlAction::Resume) => shedder.deactivate(),
-                    None => {}
+                for ((controller, shedder), operator) in
+                    controllers.iter_mut().zip(shedders.iter_mut()).zip(operators.iter())
+                {
+                    measurement.predicted_window_size = operator.predicted_window_size();
+                    match controller.sample(&measurement) {
+                        Some(ControlAction::Shed(plan)) => shedder.apply_plan(plan),
+                        Some(ControlAction::Resume) => shedder.deactivate(),
+                        None => {}
+                    }
                 }
                 next_check += cfg.check_interval;
             }
 
-            // Process the event through the operator (this is where shedding
-            // decisions for each window happen).
-            let assignments_before = operator.stats().assignments;
-            let kept_before = operator.stats().kept;
-            complex_events.extend(operator.push(&event, shedder));
-            let assignments = operator.stats().assignments - assignments_before;
-            let kept = operator.stats().kept - kept_before;
-
-            // Service time: proportional to the window assignments that were
-            // actually processed, plus the (small) shedding overhead when the
-            // shedder is consulted. Events that fall into no open window only
-            // pay the small constant cost of being parsed and discarded — the
-            // operator has nothing to match them against.
-            let work_fraction =
-                if assignments == 0 { 0.05 } else { (kept as f64 / assignments as f64).max(0.05) };
-            let mut service = base_service.mul_f64(work_fraction);
-            if shedder.is_active() {
-                service += overhead;
+            // Process the event through every query's operator (this is
+            // where shedding decisions for each window happen). The
+            // service time sums each query's share: proportional to the
+            // window assignments that were actually processed, plus the
+            // (small) shedding overhead whenever an active shedder is
+            // consulted. Events that fall into no open window of a query
+            // only pay the small constant cost of being parsed and
+            // discarded — that operator has nothing to match them against.
+            let mut service = SimDuration::ZERO;
+            for ((operator, shedder), out) in
+                operators.iter_mut().zip(shedders.iter_mut()).zip(complex_events.iter_mut())
+            {
+                let assignments_before = operator.stats().assignments;
+                let kept_before = operator.stats().kept;
+                out.extend(operator.push(&event, shedder));
+                let assignments = operator.stats().assignments - assignments_before;
+                let kept = operator.stats().kept - kept_before;
+                let work_fraction = if assignments == 0 {
+                    0.05
+                } else {
+                    (kept as f64 / assignments as f64).max(0.05)
+                };
+                service += base_service.mul_f64(work_fraction);
+                if shedder.is_active() {
+                    service += overhead;
+                }
             }
 
             let completion = start + service;
@@ -268,17 +361,31 @@ impl LatencySimulation {
             }
         }
 
-        complex_events.extend(operator.flush(shedder));
+        for ((operator, shedder), out) in
+            operators.iter_mut().zip(shedders.iter_mut()).zip(complex_events.iter_mut())
+        {
+            out.extend(operator.flush(shedder));
+        }
         trace.mean_latency_secs =
             if trace.events == 0 { 0.0 } else { latency_sum / trace.events as f64 };
-        trace.drop_ratio = operator.stats().drop_ratio();
+        let mut merged_stats = espice_cep::OperatorStats::default();
+        for operator in &operators {
+            merged_stats.merge(operator.stats());
+        }
+        trace.drop_ratio = merged_stats.drop_ratio();
         trace.peak_queue_depth = peak_queue_depth;
 
-        SimulationOutcome {
+        MultiSimulationOutcome {
             trace,
             complex_events,
-            shedding_activations: controller.activations(),
-            measured_throughput: controller.throughput(),
+            shedding_activations: controllers
+                .iter()
+                .map(QueueOverloadController::activations)
+                .sum(),
+            measured_throughput: controllers
+                .iter()
+                .filter_map(QueueOverloadController::throughput)
+                .fold(None, |best: Option<f64>, th| Some(best.map_or(th, |b| b.max(th)))),
         }
     }
 }
@@ -437,6 +544,63 @@ mod tests {
             outcome.trace.max_latency.as_secs_f64() <= 1.05,
             "latency bound violated: {}",
             outcome.trace.max_latency
+        );
+    }
+
+    /// The multi-query oracle at underload: every query's simulated output
+    /// equals its own standalone operator run, nothing sheds, and the
+    /// shared queue holds the bound even though each event now carries two
+    /// queries' worth of work.
+    #[test]
+    fn multi_query_underload_matches_standalone_operators() {
+        let ds = dataset();
+        let q_short = queries::q3(&ds, 5, 200, SelectionPolicy::First);
+        let q_long = queries::q3(&ds, 8, 300, SelectionPolicy::First);
+        let set = QuerySet::new(vec![q_short.clone(), q_long.clone()]);
+        let mut shedders = vec![trained_espice(&ds, &q_short), trained_espice(&ds, &q_long)];
+        // Two queries double the per-event work: halve the rate so the
+        // shared server still runs below its aggregate capacity.
+        let sim = LatencySimulation::new(sim_config(0.45));
+        let eval = ds.stream.slice(ds.stream.len() / 2, ds.stream.len());
+        let outcome = sim.run_set(&set, &eval, &mut shedders);
+        assert_eq!(outcome.shedding_activations, 0);
+        assert_eq!(outcome.trace.drop_ratio, 0.0);
+        assert!(outcome.trace.bound_held());
+        for (id, query) in set.iter() {
+            let expected = CepOperator::new(query.clone()).run(&eval, &mut espice_cep::KeepAll);
+            assert_eq!(outcome.complex_events[id as usize], expected, "query {id} diverged");
+        }
+    }
+
+    /// Overloading the shared queue with two queries: the per-query
+    /// controllers (one shared throughput signal) must activate shedding
+    /// and keep the shared queue's latency bounded.
+    #[test]
+    fn multi_query_overload_sheds_and_holds_the_bound() {
+        let ds = dataset();
+        let q_short = queries::q3(&ds, 5, 200, SelectionPolicy::First);
+        let q_long = queries::q3(&ds, 8, 300, SelectionPolicy::First);
+        let set = QuerySet::new(vec![q_short.clone(), q_long.clone()]);
+        let mut shedders = vec![trained_espice(&ds, &q_short), trained_espice(&ds, &q_long)];
+        // ~0.7 of the single-query capacity, but each event costs two
+        // queries' worth of work: ~1.4x the shared server's capacity.
+        let sim = LatencySimulation::new(sim_config(0.7));
+        let eval = ds.stream.slice(ds.stream.len() / 2, ds.stream.len());
+        let outcome = sim.run_set(&set, &eval, &mut shedders);
+        assert!(outcome.shedding_activations >= 1, "shared overload must trigger shedding");
+        assert!(outcome.trace.drop_ratio > 0.0);
+        assert!(
+            outcome.trace.max_latency.as_secs_f64() <= 1.05,
+            "latency bound violated: {}",
+            outcome.trace.max_latency
+        );
+        let measured = outcome.measured_throughput.expect("controllers must calibrate");
+        // The shared server's full-work capacity is ~th/2 per event at two
+        // queries; the measured estimate must land near it, not near the
+        // configured single-query throughput.
+        assert!(
+            measured < sim.config().throughput,
+            "measured aggregate capacity {measured} should sit below the single-query rate"
         );
     }
 

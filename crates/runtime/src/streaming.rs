@@ -13,12 +13,15 @@
 //! from simulated time and serves as the test oracle.
 
 use crate::adaptive::AdaptiveShedder;
-use espice::{ControlAction, ControllerStats, OverloadConfig, QueueOverloadController};
+use espice::{
+    ControlAction, ControllerStats, OverloadConfig, QueueOverloadController, SharedThroughput,
+};
 use espice_cep::{
-    BatchRequest, ComplexEvent, Decision, EngineStats, Query, QueueSample, QueueStats,
+    BatchRequest, ComplexEvent, Decision, EngineStats, Query, QuerySet, QueueSample, QueueStats,
     ShardedEngine, WindowEventDecider, WindowMeta,
 };
 use espice_events::{Event, EventSource};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// A shedder with its own closed-loop overload controller: decisions are
@@ -38,6 +41,22 @@ impl<S: AdaptiveShedder> ClosedLoopShedder<S> {
     /// the activation threshold.
     pub fn new(shedder: S, overload: OverloadConfig) -> Self {
         ClosedLoopShedder { inner: shedder, controller: QueueOverloadController::new(overload) }
+    }
+
+    /// Like [`new`](Self::new), but the controller additionally shares its
+    /// measured-throughput estimate with the other controllers of the same
+    /// queue (the per-query controllers of one multi-query shard): the
+    /// paper's `f·qmax` check now governs a queue that serves *all*
+    /// queries, so the capacity estimate behind `qmax` must not fragment
+    /// across them.
+    pub fn with_shared_throughput(
+        shedder: S,
+        overload: OverloadConfig,
+        shared: Arc<SharedThroughput>,
+    ) -> Self {
+        let mut controller = QueueOverloadController::new(overload);
+        controller.share_throughput(shared);
+        ClosedLoopShedder { inner: shedder, controller }
     }
 
     /// The wrapped shedder.
@@ -70,13 +89,7 @@ impl<S: AdaptiveShedder> WindowEventDecider for ClosedLoopShedder<S> {
     }
 
     fn queue_sample(&mut self, sample: &QueueSample) {
-        match self.controller.sample(
-            sample.elapsed,
-            sample.busy,
-            sample.depth,
-            sample.drained,
-            sample.predicted_window_size,
-        ) {
+        match self.controller.sample(sample) {
             Some(ControlAction::Shed(plan)) => self.inner.apply_plan(plan),
             Some(ControlAction::Resume) => self.inner.deactivate(),
             None => {}
@@ -145,11 +158,40 @@ impl StreamingOutcome {
     }
 }
 
+/// Everything a multi-query closed-loop streaming run reports: per-query
+/// outputs and per-(shard, query) control reports over the shared shard
+/// queues.
+#[derive(Debug, Clone)]
+pub struct MultiStreamingOutcome {
+    /// Each query's complex events, indexed by query, in single-operator
+    /// emission order.
+    pub complex_events: Vec<Vec<ComplexEvent>>,
+    /// Engine statistics: merged, per-shard and per-query counters.
+    pub stats: EngineStats,
+    /// Queue counters, one per shard (one queue serves all queries).
+    pub queues: Vec<QueueStats>,
+    /// Control outcomes, indexed `[shard][query]`.
+    pub control: Vec<Vec<ShardControlReport>>,
+}
+
+impl MultiStreamingOutcome {
+    /// Total shedding activations across all shards and queries.
+    pub fn activations(&self) -> u64 {
+        self.control.iter().flatten().map(|c| c.activations).sum()
+    }
+
+    /// Largest queue depth any shard ever reached.
+    pub fn peak_queue_depth(&self) -> usize {
+        self.queues.iter().map(|q| q.peak_depth).max().unwrap_or(0)
+    }
+}
+
 /// Streams `source` through a fresh engine with one closed-loop shedder
 /// per shard and returns the merged output plus the measured queue and
 /// control reports. `shedders` supplies the per-shard shedder instances
 /// (decorrelate randomised shedders by seed, as the experiment driver
-/// does).
+/// does). Single-query wrapper over
+/// [`run_closed_loop_set`](run_closed_loop_set).
 ///
 /// # Panics
 ///
@@ -165,11 +207,52 @@ where
     Src: EventSource + ?Sized,
     S: AdaptiveShedder + Send,
 {
-    assert!(config.shards >= 1, "need at least one shard");
     assert_eq!(shedders.len(), config.shards, "need exactly one shedder per shard");
+    let per_shard: Vec<Vec<S>> = shedders.into_iter().map(|shedder| vec![shedder]).collect();
+    let mut outcome =
+        run_closed_loop_set(&QuerySet::single(query.clone()), source, per_shard, config);
+    StreamingOutcome {
+        complex_events: outcome.complex_events.pop().expect("one query"),
+        stats: outcome.stats,
+        queues: outcome.queues,
+        control: outcome
+            .control
+            .into_iter()
+            .map(|mut per_query| per_query.pop().expect("one query"))
+            .collect(),
+    }
+}
+
+/// Streams `source` through a fresh *multi-query* engine: one ingestion
+/// pipeline, one event hand-off per shard, and one closed-loop shedder per
+/// shard **per query**. `shedders[shard][query]` supplies the instances.
+///
+/// Every query's controller on a shard receives the same measured queue
+/// samples (the queue serves them all) but plans against its own query's
+/// window geometry; the controllers of one shard share a
+/// [`SharedThroughput`] signal so the capacity estimate behind the
+/// `f·qmax` check cannot fragment across queries — a controller whose own
+/// measurements are unusable mid-shed adopts what its peers published.
+///
+/// # Panics
+///
+/// Panics if the shedder matrix is not `shards × queries`, or the
+/// configuration is invalid.
+pub fn run_closed_loop_set<Src, S>(
+    queries: &QuerySet,
+    source: &mut Src,
+    shedders: Vec<Vec<S>>,
+    config: &StreamingRunConfig,
+) -> MultiStreamingOutcome
+where
+    Src: EventSource + ?Sized,
+    S: AdaptiveShedder + Send,
+{
+    assert!(config.shards >= 1, "need at least one shard");
+    assert_eq!(shedders.len(), config.shards, "need exactly one shedder row per shard");
     config.overload.validate();
 
-    let mut engine = ShardedEngine::new(query.clone(), config.shards);
+    let mut engine = ShardedEngine::for_queries(queries.clone(), config.shards);
     engine.set_queue_capacity(config.queue_capacity);
     let interval = Duration::from_secs_f64(config.overload.check_interval.as_secs_f64());
     engine.set_check_interval(Some(interval));
@@ -177,22 +260,35 @@ where
         engine.set_window_size_hint(hint);
     }
 
-    let mut deciders: Vec<ClosedLoopShedder<S>> = shedders
-        .into_iter()
-        .map(|shedder| ClosedLoopShedder::new(shedder, config.overload))
-        .collect();
-    let complex_events = engine.run_source(source, &mut deciders);
+    // Flatten shard-major, wiring one shared throughput signal per shard.
+    let mut deciders: Vec<ClosedLoopShedder<S>> = Vec::with_capacity(config.shards * queries.len());
+    for row in shedders {
+        assert_eq!(row.len(), queries.len(), "need exactly one shedder per query per shard");
+        let shared = Arc::new(SharedThroughput::new());
+        for shedder in row {
+            deciders.push(ClosedLoopShedder::with_shared_throughput(
+                shedder,
+                config.overload,
+                Arc::clone(&shared),
+            ));
+        }
+    }
+    let complex_events = engine.run_source_per_query(source, &mut deciders);
 
-    StreamingOutcome {
+    MultiStreamingOutcome {
         complex_events,
         stats: engine.stats(),
         queues: engine.queue_stats().to_vec(),
         control: deciders
-            .iter()
-            .map(|decider| ShardControlReport {
-                stats: *decider.controller().stats(),
-                activations: decider.controller().activations(),
-                measured_throughput: decider.controller().throughput(),
+            .chunks(queries.len())
+            .map(|row| {
+                row.iter()
+                    .map(|decider| ShardControlReport {
+                        stats: *decider.controller().stats(),
+                        activations: decider.controller().activations(),
+                        measured_throughput: decider.controller().throughput(),
+                    })
+                    .collect()
             })
             .collect(),
     }
@@ -290,6 +386,7 @@ mod tests {
                 latency_bound: SimDuration::from_millis(10),
                 f: 0.8,
                 check_interval: SimDuration::from_millis(5),
+                ..OverloadConfig::default()
             },
             window_size_hint: None,
         };
@@ -318,6 +415,107 @@ mod tests {
         assert!(outcome.queues[0].backpressure_events > 0, "a full queue must backpressure");
     }
 
+    /// A fused multi-query closed-loop run over an unloaded queue: no
+    /// query sheds, and every query's output equals its own single-query
+    /// slice run — the per-query identity the multi-query engine promises,
+    /// here with the whole control stack in the loop.
+    #[test]
+    fn unloaded_multi_query_closed_loop_matches_per_query_slice_runs() {
+        let make = |size: usize| {
+            Query::builder()
+                .pattern(Pattern::sequence([ty(0), ty(1)]))
+                .window(WindowSpec::count_sliding(size, 5))
+                .build()
+        };
+        let queries = QuerySet::new(vec![make(50), make(30)]);
+        let events: Vec<Event> = (0..2_000u64)
+            .map(|i| Event::new(ty((i % 3) as u32), Timestamp::from_millis(i), i))
+            .collect();
+        let stream = VecStream::from_ordered(events);
+
+        let shedder = |seed| RandomAdaptive::new(RandomShedder::new(seed), 50.0);
+        let config = StreamingRunConfig {
+            shards: 2,
+            queue_capacity: 4096,
+            overload: OverloadConfig {
+                latency_bound: SimDuration::from_secs(30),
+                f: 0.8,
+                check_interval: SimDuration::from_millis(1),
+                ..OverloadConfig::default()
+            },
+            window_size_hint: None,
+        };
+        let mut source = SliceSource::from_stream(&stream);
+        let outcome = run_closed_loop_set(
+            &queries,
+            &mut source,
+            vec![vec![shedder(1), shedder(2)], vec![shedder(3), shedder(4)]],
+            &config,
+        );
+        assert_eq!(outcome.activations(), 0, "an unloaded run must never shed");
+        assert_eq!(outcome.stats.merged.dropped, 0);
+        assert_eq!(outcome.control.len(), 2);
+        assert_eq!(outcome.control[0].len(), 2);
+        for (id, query) in queries.iter() {
+            let expected =
+                espice_cep::Operator::new(query.clone()).run(&stream, &mut espice_cep::KeepAll);
+            assert_eq!(outcome.complex_events[id as usize], expected, "query {id} diverged");
+        }
+        // One queue per shard carried the whole stream once for both
+        // queries.
+        for queue in &outcome.queues {
+            assert_eq!(queue.pushed, stream.len() as u64);
+        }
+    }
+
+    /// Wall-clock pacing: a paced source drives the closed loop at a real
+    /// rate the drain threads can sustain, so nothing sheds and the run
+    /// takes at least as long as the arrival schedule.
+    #[test]
+    fn paced_replay_drives_the_closed_loop_at_the_configured_rate() {
+        let query = Query::builder()
+            .pattern(Pattern::sequence([ty(0), ty(1)]))
+            .window(WindowSpec::count_sliding(20, 5))
+            .build();
+        let events: Vec<Event> = (0..600u64)
+            .map(|i| Event::new(ty((i % 3) as u32), Timestamp::from_millis(i), i))
+            .collect();
+        let stream = VecStream::from_ordered(events);
+
+        let config = StreamingRunConfig {
+            shards: 1,
+            queue_capacity: 256,
+            overload: OverloadConfig {
+                latency_bound: SimDuration::from_secs(5),
+                f: 0.8,
+                check_interval: SimDuration::from_millis(2),
+                ..OverloadConfig::default()
+            },
+            window_size_hint: None,
+        };
+        // 600 events at 20k events/s: the schedule spans ~30 ms of wall
+        // time, far slower than an unthrottled drain.
+        let rate = 20_000.0;
+        let mut source = espice_events::PacedSource::from_stream(&stream, rate);
+        let started = Instant::now();
+        let outcome = run_closed_loop(
+            &query,
+            &mut source,
+            vec![RandomAdaptive::new(RandomShedder::new(5), 20.0)],
+            &config,
+        );
+        let elapsed = started.elapsed();
+        assert!(
+            elapsed >= Duration::from_secs_f64(599.0 / rate),
+            "paced run finished in {elapsed:?}, faster than its schedule"
+        );
+        assert_eq!(outcome.activations(), 0, "a sustainable paced rate must not shed");
+        assert_eq!(outcome.stats.merged.dropped, 0);
+        let expected =
+            espice_cep::Operator::new(query.clone()).run(&stream, &mut espice_cep::KeepAll);
+        assert_eq!(outcome.complex_events, expected);
+    }
+
     /// Under no throttling and a generous bound the loop must never shed:
     /// the producer finishes quickly, the queue drains, output equals the
     /// slice run exactly.
@@ -342,6 +540,7 @@ mod tests {
                 latency_bound: SimDuration::from_secs(30),
                 f: 0.8,
                 check_interval: SimDuration::from_millis(1),
+                ..OverloadConfig::default()
             },
             window_size_hint: None,
         };

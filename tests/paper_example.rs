@@ -106,7 +106,13 @@ fn table1_model_produces_the_paper_threshold() {
     // Position shares from Figure 2: S(A, ·) = [0.8, 0.5, 0.1, 0.2, 0.5].
     let a_share_tenths = [8u64, 5, 1, 2, 5];
     for w in 0..10u64 {
-        let meta = WindowMeta { id: w, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: 5 };
+        let meta = WindowMeta {
+            id: w,
+            query: 0,
+            opened_at: Timestamp::ZERO,
+            open_seq: 0,
+            predicted_size: 5,
+        };
         for (pos, &share) in a_share_tenths.iter().enumerate() {
             let ty = if w < share { a } else { b };
             let _ = builder.decide(&meta, pos, &Event::new(ty, Timestamp::ZERO, pos as u64));
@@ -144,7 +150,8 @@ fn table1_model_produces_the_paper_threshold() {
     // keeps the valuable cells (A at position 1, B at position 2, …).
     let mut shedder = EspiceShedder::new(model);
     shedder.apply(ShedPlan { active: true, partitions: 1, partition_size: 5, events_to_drop: 2.0 });
-    let meta = WindowMeta { id: 0, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: 5 };
+    let meta =
+        WindowMeta { id: 0, query: 0, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: 5 };
     assert!(shedder.decide(&meta, 0, &Event::new(a, Timestamp::ZERO, 0)).is_keep());
     assert!(shedder.decide(&meta, 1, &Event::new(b, Timestamp::ZERO, 1)).is_keep());
     assert!(!shedder.decide(&meta, 4, &Event::new(a, Timestamp::ZERO, 2)).is_keep());

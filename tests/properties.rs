@@ -67,7 +67,7 @@ proptest! {
         let positions = window.len();
         let config = ModelConfig::with_positions(positions);
         let mut builder = ModelBuilder::new(config, 6);
-        let meta = WindowMeta { id: 0, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: positions };
+        let meta = WindowMeta { id: 0, query: 0, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: positions };
         for (pos, ty) in window.iter().enumerate() {
             let _ = builder.decide(&meta, pos, &Event::new(EventType::from_index(*ty), Timestamp::ZERO, pos as u64));
         }
@@ -100,7 +100,7 @@ proptest! {
     fn shedder_extremes(window in window_events(30)) {
         let positions = window.len();
         let mut builder = ModelBuilder::new(ModelConfig::with_positions(positions), 6);
-        let meta = WindowMeta { id: 0, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: positions };
+        let meta = WindowMeta { id: 0, query: 0, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: positions };
         for (pos, ty) in window.iter().enumerate() {
             let _ = builder.decide(&meta, pos, &Event::new(EventType::from_index(*ty), Timestamp::ZERO, pos as u64));
         }
@@ -246,7 +246,7 @@ proptest! {
     ) {
         let positions = window.len().max(2);
         let mut builder = ModelBuilder::new(ModelConfig::with_positions(positions), 6);
-        let meta = WindowMeta { id: 0, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: positions };
+        let meta = WindowMeta { id: 0, query: 0, opened_at: Timestamp::ZERO, open_seq: 0, predicted_size: positions };
         for (pos, ty) in window.iter().enumerate() {
             let _ = builder.decide(&meta, pos, &Event::new(EventType::from_index(*ty), Timestamp::ZERO, pos as u64));
         }
