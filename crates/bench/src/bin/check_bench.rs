@@ -1,0 +1,137 @@
+//! CI bench-regression gate: compares freshly generated `BENCH_*.json`
+//! reports against committed baselines.
+//!
+//! Usage:
+//!
+//! ```text
+//! check_bench --baseline <dir> --current <dir> [--tolerance 0.25]
+//! ```
+//!
+//! Every numeric metric shared by a baseline/current report pair is
+//! compared (see `espice_bench::regression` for the classification):
+//! hardware-independent speedup *ratios* fail the run when they decline by
+//! more than the tolerance (default 25 %); absolute throughput and
+//! wall-clock numbers only warn, per the single-core CI caveat in
+//! ROADMAP.md — the runner's producer and drain threads time-share one
+//! core, so their wall-clock figures are not stable enough to gate on.
+//!
+//! Exit status: `0` when no gated metric regressed, `1` otherwise (and `2`
+//! for usage or I/O errors). A baseline file without a fresh counterpart
+//! is an error — a bench that silently stops producing its report must not
+//! pass the gate.
+
+use espice_bench::regression::{compare_reports, parse_json, Comparison};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// The reports the gate knows about. A missing *baseline* is tolerated
+/// (first run of a new bench); a missing *current* report fails.
+const REPORTS: &[&str] =
+    &["BENCH_shard.json", "BENCH_overlap.json", "BENCH_stream.json", "BENCH_multiquery.json"];
+
+struct Args {
+    baseline_dir: PathBuf,
+    current_dir: PathBuf,
+    tolerance: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut baseline_dir = None;
+    let mut current_dir = None;
+    let mut tolerance = 0.25f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--baseline" => baseline_dir = Some(PathBuf::from(value("--baseline")?)),
+            "--current" => current_dir = Some(PathBuf::from(value("--current")?)),
+            "--tolerance" => {
+                tolerance = value("--tolerance")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("invalid tolerance: {e}"))?;
+                if !(0.0..1.0).contains(&tolerance) {
+                    return Err("tolerance must be a fraction in [0, 1)".to_owned());
+                }
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(Args {
+        baseline_dir: baseline_dir.ok_or("--baseline <dir> is required")?,
+        current_dir: current_dir.ok_or("--current <dir> is required")?,
+        tolerance,
+    })
+}
+
+fn load(path: &Path) -> Result<espice_bench::regression::Json, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    parse_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("check_bench: {message}");
+            eprintln!("usage: check_bench --baseline <dir> --current <dir> [--tolerance 0.25]");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut failed = false;
+    let mut total_compared = 0usize;
+    let mut total_warnings = 0usize;
+    for report in REPORTS {
+        let baseline_path = args.baseline_dir.join(report);
+        let current_path = args.current_dir.join(report);
+        if !baseline_path.exists() {
+            println!("{report}: no committed baseline, skipping (first run of a new bench?)");
+            continue;
+        }
+        let (baseline, current) = match (load(&baseline_path), load(&current_path)) {
+            (Ok(baseline), Ok(current)) => (baseline, current),
+            (Err(message), _) | (_, Err(message)) => {
+                eprintln!("check_bench: {message}");
+                return ExitCode::from(2);
+            }
+        };
+        let comparison: Comparison = compare_reports(&baseline, &current, args.tolerance);
+        total_compared += comparison.compared;
+
+        let failures: Vec<_> = comparison.failures().collect();
+        let warnings: Vec<_> = comparison.warnings().collect();
+        total_warnings += warnings.len();
+        println!(
+            "{report}: {} metrics compared, {} gated regression(s), {} warning(s)",
+            comparison.compared,
+            failures.len(),
+            warnings.len()
+        );
+        for warning in &warnings {
+            println!("  warn  {warning} [wall-clock metric; single-core CI caveat]");
+        }
+        for failure in &failures {
+            println!("  FAIL  {failure} [hardware-independent ratio]");
+        }
+        if !failures.is_empty() {
+            failed = true;
+        }
+    }
+
+    println!(
+        "check_bench: {total_compared} metrics compared at {:.0}% tolerance, {total_warnings} warning(s)",
+        args.tolerance * 100.0
+    );
+    if failed {
+        eprintln!(
+            "check_bench: gated bench regression detected — a hardware-independent speedup \
+             ratio declined by more than {:.0}%. Re-run the bench locally; if the regression \
+             is intended, regenerate and commit the BENCH_*.json baselines.",
+            args.tolerance * 100.0
+        );
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -19,6 +19,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod figures;
+pub mod regression;
 pub mod sweeps;
 
 use espice::OverloadConfig;

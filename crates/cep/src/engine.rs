@@ -27,6 +27,23 @@
 //! complex events separately, byte-identical to what N independent
 //! single-query engines would produce.
 //!
+//! # Query lifecycle
+//!
+//! The per-query axis is **live**: [`ShardedEngine::control`] hands out a
+//! cloneable [`EngineControl`] whose `admit` / `retire` requests are
+//! drained by the producer at event boundaries and broadcast *in-band*
+//! into every shard queue, so they take effect at the same stream position
+//! everywhere. An admitted query starts opening windows at the first event
+//! after its admission and produces byte-identical output to a fresh
+//! static engine started at that position; a retiring query stops opening
+//! windows, drains its open windows to completion, and is then torn down
+//! (operator, decider, size predictor). Lifecycle runs own their deciders
+//! as type-erased [`BoxedDecider`] rows — rows grow on admission, shrink
+//! on retirement, and may mix shedder types freely — via
+//! [`run_source_live`](ShardedEngine::run_source_live) and
+//! [`run_slice_live`](ShardedEngine::run_slice_live); the monomorphic
+//! `&mut [D]` paths remain for static sets.
+//!
 //! Because window-open decisions depend only on the stream, every shard
 //! derives the same global window ids without coordination, and the merged
 //! output is *identical* (ids, constituents and order included) to a single
@@ -49,12 +66,25 @@
 //! [`EventSource`]: espice_events::EventSource
 //! [`SharedSizePredictor`]: crate::SharedSizePredictor
 
+use crate::lifecycle::{
+    Anchoring, EngineControl, LifecycleReport, LifecycleRequest, LiveRunOutcome, ShardCommand,
+    ShardInput,
+};
 use crate::queue::{spsc, QueueStats};
 use crate::window::SharedSizePredictor;
-use crate::{ComplexEvent, KeepAll, OperatorStats, Query, QuerySet, Shard, WindowEventDecider};
+use crate::{
+    BoxedDecider, ComplexEvent, KeepAll, OperatorStats, Query, QueryHandle, QueryId, QuerySet,
+    Shard, WindowEventDecider,
+};
 use espice_events::{EventSource, EventStream, SliceSource};
+use std::collections::VecDeque;
+use std::sync::mpsc::Receiver;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// What one shard's live run returns: per-slot outputs plus the decider
+/// row (admitted deciders included, retired ones dropped).
+type LiveShardResult = (Vec<Vec<ComplexEvent>>, Vec<Option<BoxedDecider>>);
 
 /// Default capacity of each shard's bounded input queue: large enough to
 /// amortise producer/consumer hand-off, small enough that backpressure
@@ -64,10 +94,14 @@ pub const DEFAULT_QUEUE_CAPACITY: usize = 1024;
 /// Engine-level statistics: per-shard and per-query operator counters plus
 /// their merged totals.
 ///
-/// `merged.events_processed` counts each stream event **once** (every shard
-/// scans the whole stream for every query, so naively summing would
-/// multiply the count by shards × queries); all other counters are disjoint
-/// and sum exactly to what the corresponding single operators would report.
+/// `merged.events_processed` counts each ingested stream event **once**
+/// (every shard scans the whole stream for every query, so naively summing
+/// would multiply the count by shards × queries); each `per_query` entry
+/// reports the events *that query* processed — the full run for static
+/// queries, the suffix from admission for queries admitted mid-stream, and
+/// the prefix until the last window drained for retired ones. All other
+/// counters are disjoint and sum exactly to what the corresponding single
+/// operators would report.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Totals across all shards and queries.
@@ -75,9 +109,10 @@ pub struct EngineStats {
     /// Per-shard counters (merged over the shard's queries), indexed by
     /// shard. `events_processed` counts each event the shard saw once.
     pub per_shard: Vec<OperatorStats>,
-    /// Per-query counters (merged over shards), indexed by query — each
-    /// entry is comparable to the `merged` stats of a single-query engine
-    /// running that query alone.
+    /// Per-query counters (merged over shards), indexed by query slot —
+    /// each entry is comparable to the `merged` stats of a single-query
+    /// engine running that query alone over the same span of the stream.
+    /// Retired slots keep their final counters.
     pub per_query: Vec<OperatorStats>,
 }
 
@@ -109,6 +144,11 @@ pub struct EngineStats {
 pub struct ShardedEngine {
     shards: Vec<Shard>,
     queries: QuerySet,
+    /// The generation-stamped admission handle of every slot (index =
+    /// slot). Initial queries carry generations `0..n`.
+    handles: Vec<QueryHandle>,
+    /// Which slots are currently live (`false` = retired).
+    live: Vec<bool>,
     events_processed: u64,
     /// Capacity of each shard's bounded input queue on the streaming path.
     queue_capacity: usize,
@@ -123,6 +163,16 @@ pub struct ShardedEngine {
     /// Window-size prediction shared by every shard, one predictor per
     /// query (no drift with the shard count on time-based windows).
     size_predictors: Vec<Arc<SharedSizePredictor>>,
+    /// The last hint from [`set_window_size_hint`]; admitted queries with
+    /// variable-size windows seed their fresh predictor from it, exactly
+    /// as a fresh engine configured with the same hint would.
+    ///
+    /// [`set_window_size_hint`]: ShardedEngine::set_window_size_hint
+    window_size_hint: Option<usize>,
+    /// The lifecycle control channel, created lazily by
+    /// [`control`](ShardedEngine::control).
+    control: Option<EngineControl>,
+    control_rx: Option<Receiver<LifecycleRequest>>,
 }
 
 impl ShardedEngine {
@@ -145,32 +195,57 @@ impl ShardedEngine {
     /// Panics if `shard_count` is zero.
     pub fn for_queries(queries: QuerySet, shard_count: usize) -> Self {
         assert!(shard_count >= 1, "the engine needs at least one shard");
-        let size_predictors: Vec<Arc<SharedSizePredictor>> = queries
-            .queries()
-            .iter()
-            .map(|query| {
-                let initial = query.window().expected_size().unwrap_or(100).max(1);
-                Arc::new(SharedSizePredictor::new(initial))
-            })
+        let size_predictors = Self::build_predictors(&queries, None);
+        let shards = Self::build_shards(&queries, shard_count, &size_predictors);
+        let handles = (0..queries.len())
+            .map(|slot| QueryHandle { slot: slot as QueryId, generation: slot as u64 })
             .collect();
-        let shards = (0..shard_count)
-            .map(|index| {
-                let mut shard = Shard::for_queries(&queries, index, shard_count);
-                for (query, predictor) in size_predictors.iter().enumerate() {
-                    shard.share_size_predictor_for(query, Arc::clone(predictor));
-                }
-                shard
-            })
-            .collect();
+        let live = vec![true; queries.len()];
         ShardedEngine {
             shards,
+            handles,
+            live,
             queries,
             events_processed: 0,
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
             check_interval: None,
             queue_stats: Vec::new(),
             size_predictors,
+            window_size_hint: None,
+            control: None,
+            control_rx: None,
         }
+    }
+
+    /// One fresh shared size predictor per query, seeded from the query's
+    /// exact window size, the engine's hint, or the generic default.
+    fn build_predictors(queries: &QuerySet, hint: Option<usize>) -> Vec<Arc<SharedSizePredictor>> {
+        queries
+            .queries()
+            .iter()
+            .map(|query| {
+                let initial = query.window().expected_size().or(hint).unwrap_or(100).max(1);
+                Arc::new(SharedSizePredictor::new(initial))
+            })
+            .collect()
+    }
+
+    /// Builds `shard_count` fresh shards for `queries`, all slots live,
+    /// wired to the given per-query predictors.
+    fn build_shards(
+        queries: &QuerySet,
+        shard_count: usize,
+        predictors: &[Arc<SharedSizePredictor>],
+    ) -> Vec<Shard> {
+        (0..shard_count)
+            .map(|index| {
+                let mut shard = Shard::for_queries(queries, index, shard_count);
+                for (query, predictor) in predictors.iter().enumerate() {
+                    shard.share_size_predictor_for(query, Arc::clone(predictor));
+                }
+                shard
+            })
+            .collect()
     }
 
     /// Sets the capacity of every shard's bounded input queue for
@@ -213,12 +288,34 @@ impl ShardedEngine {
         self.shards.len()
     }
 
-    /// The number of queries the engine executes.
+    /// Length of the per-query axis: every query the engine has ever
+    /// carried, live or retired. Outputs, statistics and decider rows are
+    /// indexed by it.
     pub fn query_count(&self) -> usize {
         self.queries.len()
     }
 
-    /// The executed query set.
+    /// Number of queries currently live (admitted and not retired).
+    pub fn live_query_count(&self) -> usize {
+        self.live.iter().filter(|&&l| l).count()
+    }
+
+    /// Whether the query at `slot` is currently live.
+    pub fn is_live(&self, slot: QueryId) -> bool {
+        self.live.get(slot as usize).copied().unwrap_or(false)
+    }
+
+    /// The generation-stamped handle of the live query at `slot`, or `None`
+    /// if the slot is retired or out of range. Pass it to
+    /// [`EngineControl::retire`] to tear the query down mid-stream.
+    pub fn query_handle(&self, slot: QueryId) -> Option<QueryHandle> {
+        let index = slot as usize;
+        (self.is_live(slot)).then(|| self.handles[index])
+    }
+
+    /// The executed query set: the whole per-query axis, retired slots
+    /// included (a slot's query is never removed, so slot indices stay
+    /// stable).
     pub fn queries(&self) -> &QuerySet {
         &self.queries
     }
@@ -228,9 +325,26 @@ impl ShardedEngine {
         &self.queries.queries()[0]
     }
 
+    /// The engine's lifecycle control handle (created on first call; every
+    /// call returns a clone of the same channel). Requests sent through it
+    /// are drained at event boundaries of the next (or current) live run —
+    /// see [`run_source_live`](Self::run_source_live) /
+    /// [`run_slice_live`](Self::run_slice_live). Static runs (`run`,
+    /// `run_slice`, …) never drain the channel.
+    pub fn control(&mut self) -> EngineControl {
+        if self.control.is_none() {
+            let (control, receiver) = EngineControl::create(self.shards.len(), self.queries.len());
+            self.control = Some(control);
+            self.control_rx = Some(receiver);
+        }
+        self.control.clone().expect("control created above")
+    }
+
     /// Seeds every query's engine-wide window-size prediction, e.g. with
-    /// the average window size observed during model training.
+    /// the average window size observed during model training. Queries
+    /// admitted later inherit the hint for their fresh predictors.
     pub fn set_window_size_hint(&mut self, hint: usize) {
+        self.window_size_hint = Some(hint);
         for shard in &mut self.shards {
             shard.set_window_size_hint(hint);
         }
@@ -446,11 +560,11 @@ impl ShardedEngine {
                 produced += 1;
                 let (last, rest) = producers.split_last_mut().expect("at least one shard");
                 for producer in rest {
-                    if !producer.push_blocking(event.clone()) {
+                    if !producer.push_blocking(ShardInput::Event(event.clone())) {
                         break 'produce; // a drain thread died; join reports it
                     }
                 }
-                if !last.push_blocking(event) {
+                if !last.push_blocking(ShardInput::Event(event)) {
                     break 'produce;
                 }
             }
@@ -467,6 +581,272 @@ impl ShardedEngine {
         self.queue_stats = queue_stats;
 
         merge_outputs(outputs, queries)
+    }
+
+    /// Splits the flat shard-major initial deciders into per-shard rows
+    /// aligned with the slot axis (`None` at retired slots).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deciders.len()` differs from `shards × live queries`.
+    fn build_rows(&self, deciders: Vec<BoxedDecider>) -> Vec<Vec<Option<BoxedDecider>>> {
+        let live_slots: Vec<usize> = (0..self.queries.len()).filter(|&s| self.live[s]).collect();
+        assert_eq!(
+            deciders.len(),
+            self.shards.len() * live_slots.len(),
+            "need exactly one decider per shard per live query (shard-major)"
+        );
+        let mut iter = deciders.into_iter();
+        (0..self.shards.len())
+            .map(|_| {
+                let mut row: Vec<Option<BoxedDecider>> =
+                    (0..self.queries.len()).map(|_| None).collect();
+                for &slot in &live_slots {
+                    row[slot] = Some(iter.next().expect("length asserted above"));
+                }
+                row
+            })
+            .collect()
+    }
+
+    /// The lifecycle-enabled batch scan: like
+    /// [`run_slice_per_query`](Self::run_slice_per_query), but the decider
+    /// rows are engine-owned [`BoxedDecider`]s and every request already
+    /// sitting in the control channel is applied at its anchored stream
+    /// position (unanchored requests apply at position 0). Requests sent
+    /// *while* this run executes are left for the next run — the slice scan
+    /// is the deterministic batch path; continuous admission needs
+    /// [`run_source_live`](Self::run_source_live).
+    ///
+    /// `deciders` supplies one decider per shard per **live** query,
+    /// shard-major, exactly as the static paths do.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the decider count does not match `shards × live queries`.
+    pub fn run_slice_live<S>(&mut self, stream: &S, deciders: Vec<BoxedDecider>) -> LiveRunOutcome
+    where
+        S: EventStream + ?Sized,
+    {
+        let rows = self.build_rows(deciders);
+        let events = stream.events();
+        let end = events.len() as u64;
+        self.events_processed += end;
+
+        // Drain the channel once, anchor (unanchored → 0, admissions
+        // non-decreasing in send order, see [`Anchoring`]) and stable-sort
+        // so commands apply in (position, send order).
+        let mut anchoring = Anchoring::new();
+        let mut requests: Vec<(u64, LifecycleRequest)> = Vec::new();
+        if let Some(receiver) = &self.control_rx {
+            for request in receiver.try_iter() {
+                let at = anchoring.anchor(&request, 0).min(end);
+                requests.push((at, request));
+            }
+        }
+        requests.sort_by_key(|(at, _)| *at);
+
+        let shard_count = self.shards.len();
+        let ShardedEngine {
+            shards, queries, handles, live, size_predictors, window_size_hint, ..
+        } = self;
+        let mut lifecycle = EngineLifecycle {
+            queries,
+            handles,
+            live,
+            size_predictors,
+            window_size_hint: *window_size_hint,
+            shard_count,
+            report: LifecycleReport::default(),
+        };
+        let mut per_shard: Vec<VecDeque<(u64, ShardCommand)>> =
+            (0..shard_count).map(|_| VecDeque::new()).collect();
+        for (at, request) in requests {
+            if let Some(commands) = lifecycle.apply(request, at) {
+                for (shard, command) in commands.into_iter().enumerate() {
+                    per_shard[shard].push_back((at, command));
+                }
+            }
+        }
+        let report = lifecycle.report;
+
+        let results: Vec<LiveShardResult> = std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .iter_mut()
+                .zip(rows.into_iter().zip(per_shard))
+                .map(|(shard, (row, commands))| {
+                    scope.spawn(move || shard.run_events_live(events, commands, row))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("shard thread panicked")).collect()
+        });
+
+        let mut outputs = Vec::with_capacity(results.len());
+        let mut decider_rows = Vec::with_capacity(results.len());
+        for (output, row) in results {
+            outputs.push(output);
+            decider_rows.push(row);
+        }
+        LiveRunOutcome {
+            complex_events: merge_outputs(outputs, self.queries.len()),
+            deciders: decider_rows,
+            lifecycle: report,
+        }
+    }
+
+    /// The lifecycle-enabled streaming run: like
+    /// [`run_source_per_query`](Self::run_source_per_query), but the
+    /// decider rows are engine-owned [`BoxedDecider`]s and the control
+    /// channel is drained **continuously** at event boundaries — this is
+    /// the live multi-tenant service loop. Every accepted request is
+    /// broadcast in-band into all shard queues, so it takes effect at the
+    /// same stream position on every shard: an admitted query's output is
+    /// byte-identical to a fresh static engine started at its admission
+    /// position, and a retiring query drains its open windows to
+    /// completion before teardown. Requests anchored at a position already
+    /// passed apply at the drain point.
+    ///
+    /// `deciders` supplies one decider per shard per **live** query,
+    /// shard-major.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the decider count does not match `shards × live queries`.
+    pub fn run_source_live<Src>(
+        &mut self,
+        source: &mut Src,
+        deciders: Vec<BoxedDecider>,
+    ) -> LiveRunOutcome
+    where
+        Src: EventSource + ?Sized,
+    {
+        let rows = self.build_rows(deciders);
+        let capacity = self.queue_capacity;
+        let check_interval = self.check_interval;
+        let shard_count = self.shards.len();
+
+        let ShardedEngine {
+            shards,
+            queries,
+            handles,
+            live,
+            size_predictors,
+            window_size_hint,
+            control_rx,
+            ..
+        } = self;
+        let mut lifecycle = EngineLifecycle {
+            queries,
+            handles,
+            live,
+            size_predictors,
+            window_size_hint: *window_size_hint,
+            shard_count,
+            report: LifecycleReport::default(),
+        };
+        let receiver = control_rx.as_ref();
+
+        let mut produced = 0u64;
+        let (results, queue_stats) = std::thread::scope(|scope| {
+            let mut producers = Vec::with_capacity(shard_count);
+            let threads: Vec<_> = shards
+                .iter_mut()
+                .zip(rows)
+                .map(|(shard, row)| {
+                    let (producer, consumer) = spsc(capacity);
+                    producers.push(producer);
+                    scope.spawn(move || shard.run_queue_live(consumer, row, check_interval))
+                })
+                .collect();
+
+            // Requests drained but not yet due, sorted by anchor position
+            // (stable within a position: send order; admissions clamped
+            // non-decreasing, see [`Anchoring`]).
+            let mut anchoring = Anchoring::new();
+            let mut pending: Vec<(u64, LifecycleRequest)> = Vec::new();
+            let mut position = 0u64;
+            let mut aborted = false;
+            'produce: loop {
+                if let Some(receiver) = receiver {
+                    let mut drained_any = false;
+                    while let Ok(request) = receiver.try_recv() {
+                        let at = anchoring.anchor(&request, position);
+                        pending.push((at, request));
+                        drained_any = true;
+                    }
+                    if drained_any {
+                        pending.sort_by_key(|(at, _)| *at);
+                    }
+                }
+                while pending.first().is_some_and(|(at, _)| *at <= position) {
+                    let (_, request) = pending.remove(0);
+                    if let Some(commands) = lifecycle.apply(request, position) {
+                        for (producer, command) in producers.iter_mut().zip(commands) {
+                            if !producer.push_blocking(ShardInput::Command(Box::new(command))) {
+                                aborted = true;
+                                break 'produce;
+                            }
+                        }
+                    }
+                }
+                let Some(event) = source.next_event() else { break };
+                produced += 1;
+                position += 1;
+                let (last, rest) = producers.split_last_mut().expect("at least one shard");
+                for producer in rest {
+                    if !producer.push_blocking(ShardInput::Event(event.clone())) {
+                        aborted = true;
+                        break 'produce; // a drain thread died; join reports it
+                    }
+                }
+                if !last.push_blocking(ShardInput::Event(event)) {
+                    aborted = true;
+                    break 'produce;
+                }
+            }
+            // Requests that arrived too late for any event boundary apply
+            // at the end of the stream (admissions open no windows; retires
+            // still tear down before the flush).
+            if !aborted {
+                if let Some(receiver) = receiver {
+                    for request in receiver.try_iter() {
+                        let at = anchoring.anchor(&request, position);
+                        pending.push((at, request));
+                    }
+                }
+                pending.sort_by_key(|(at, _)| *at);
+                for (_, request) in pending.drain(..) {
+                    if let Some(commands) = lifecycle.apply(request, position) {
+                        for (producer, command) in producers.iter_mut().zip(commands) {
+                            let _ = producer.push_blocking(ShardInput::Command(Box::new(command)));
+                        }
+                    }
+                }
+            }
+            for producer in &mut producers {
+                producer.close();
+            }
+
+            let results: Vec<LiveShardResult> =
+                threads.into_iter().map(|h| h.join().expect("shard thread panicked")).collect();
+            let queue_stats: Vec<QueueStats> = producers.iter().map(|p| p.stats()).collect();
+            (results, queue_stats)
+        });
+        let report = lifecycle.report;
+        self.events_processed += produced;
+        self.queue_stats = queue_stats;
+
+        let mut outputs = Vec::with_capacity(results.len());
+        let mut decider_rows = Vec::with_capacity(results.len());
+        for (output, row) in results {
+            outputs.push(output);
+            decider_rows.push(row);
+        }
+        LiveRunOutcome {
+            complex_events: merge_outputs(outputs, self.queries.len()),
+            deciders: decider_rows,
+            lifecycle: report,
+        }
     }
 
     /// [`run`](Self::run) with a keep-everything decider on every shard and
@@ -487,36 +867,124 @@ impl ShardedEngine {
     }
 
     /// Engine statistics: per-shard and per-query counters plus merged
-    /// totals.
+    /// totals. The per-query axis covers every slot, retired queries
+    /// included (their counters freeze at teardown).
     pub fn stats(&self) -> EngineStats {
         let per_shard: Vec<OperatorStats> = self.shards.iter().map(Shard::stats).collect();
         let mut per_query: Vec<OperatorStats> = Vec::with_capacity(self.queries.len());
-        for query in 0..self.queries.len() {
+        for slot in 0..self.queries.len() {
             let mut merged = OperatorStats::default();
+            let mut events = 0u64;
             for shard in &self.shards {
-                merged.merge(shard.operators()[query].stats());
+                let stats = shard.slot_stats(slot);
+                merged.merge(stats);
+                // Every shard's operator processes the same stream span for
+                // this slot, except that a draining shard stops once *its*
+                // windows closed — the slot's span is the longest of them,
+                // which is exactly what a single-operator run would report.
+                events = events.max(stats.events_processed);
             }
-            // Every shard's operator scans the full stream; count each
-            // engine-ingested event once, as a single-query engine would.
-            merged.events_processed = self.events_processed;
+            merged.events_processed = events;
             per_query.push(merged);
         }
         let mut merged = OperatorStats::default();
         for stats in &per_query {
             merged.merge(stats);
         }
+        // Engine-level totals count each ingested event once.
         merged.events_processed = self.events_processed;
         EngineStats { merged, per_shard, per_query }
     }
 
-    /// Resets all shards (open windows, counters) while keeping the query
-    /// set and shard geometry.
+    /// Resets the engine to a fresh start over its current per-query axis:
+    /// every slot — including previously retired ones — is rebuilt live
+    /// with a fresh operator, open tracker and size predictor (seeded from
+    /// the last window-size hint, if any). Admission handles and
+    /// generations are preserved; counters and queue statistics clear.
     pub fn reset(&mut self) {
-        for shard in &mut self.shards {
-            shard.reset();
+        self.size_predictors = Self::build_predictors(&self.queries, self.window_size_hint);
+        self.shards = Self::build_shards(&self.queries, self.shards.len(), &self.size_predictors);
+        if let Some(hint) = self.window_size_hint {
+            for shard in &mut self.shards {
+                shard.set_window_size_hint(hint);
+            }
+        }
+        for live in &mut self.live {
+            *live = true;
         }
         self.events_processed = 0;
         self.queue_stats.clear();
+    }
+}
+
+/// The engine-side lifecycle bookkeeping, split out as disjoint field
+/// borrows so the streaming producer can admit and retire while the shards
+/// (borrowed separately) drain their queues.
+struct EngineLifecycle<'a> {
+    queries: &'a mut QuerySet,
+    handles: &'a mut Vec<QueryHandle>,
+    live: &'a mut Vec<bool>,
+    size_predictors: &'a mut Vec<Arc<SharedSizePredictor>>,
+    window_size_hint: Option<usize>,
+    shard_count: usize,
+    report: LifecycleReport,
+}
+
+impl EngineLifecycle<'_> {
+    /// Validates one request at stream `position`. Returns the per-shard
+    /// commands to broadcast, or `None` when the request was rejected
+    /// (stale retire handle).
+    fn apply(&mut self, request: LifecycleRequest, position: u64) -> Option<Vec<ShardCommand>> {
+        match request {
+            LifecycleRequest::Admit { handle, query, deciders, .. } => {
+                assert_eq!(
+                    handle.slot as usize,
+                    self.queries.len(),
+                    "admissions must arrive in slot order (one control channel per engine)"
+                );
+                assert_eq!(
+                    deciders.len(),
+                    self.shard_count,
+                    "an admission needs exactly one decider per shard"
+                );
+                let initial =
+                    query.window().expected_size().or(self.window_size_hint).unwrap_or(100).max(1);
+                let predictor = Arc::new(SharedSizePredictor::new(initial));
+                self.queries.push(query.clone());
+                self.handles.push(handle);
+                self.live.push(true);
+                self.size_predictors.push(Arc::clone(&predictor));
+                self.report.admitted.push((handle, position));
+                Some(
+                    deciders
+                        .into_iter()
+                        .map(|decider| ShardCommand::Admit {
+                            slot: handle.slot,
+                            query: query.clone(),
+                            decider,
+                            predictor: Arc::clone(&predictor),
+                        })
+                        .collect(),
+                )
+            }
+            LifecycleRequest::Retire { handle, .. } => {
+                let slot = handle.slot as usize;
+                let valid = self.live.get(slot).copied().unwrap_or(false)
+                    && self.handles.get(slot) == Some(&handle);
+                if valid {
+                    self.live[slot] = false;
+                    self.report.retired.push((handle, position));
+                    Some(
+                        (0..self.shard_count)
+                            .map(|_| ShardCommand::Retire { slot: handle.slot })
+                            .collect(),
+                    )
+                } else {
+                    self.report.rejected += 1;
+                    None
+                }
+            }
+        }
     }
 }
 
@@ -569,6 +1037,10 @@ mod tests {
             .pattern(Pattern::sequence([ty(0), ty(1), ty(2)]))
             .window(WindowSpec::count_on_types(vec![ty(0)], window))
             .build()
+    }
+
+    fn boxed_keepers(n: usize) -> Vec<BoxedDecider> {
+        (0..n).map(|_| Box::new(KeepAll) as BoxedDecider).collect()
     }
 
     #[test]
@@ -726,6 +1198,174 @@ mod tests {
     }
 
     #[test]
+    fn admission_mid_stream_equals_fresh_engine_over_the_suffix() {
+        let stream = keyed_stream(300);
+        let admit_at = 117u64;
+        let suffix = VecStream::from_ordered(stream.events()[admit_at as usize..].to_vec());
+        for shards in [1usize, 2, 4] {
+            let mut engine = ShardedEngine::new(query(12), shards);
+            let control = engine.control();
+            let handle = control.admit_at(admit_at, query(9), boxed_keepers(shards));
+            assert_eq!(handle.slot, 1);
+
+            let mut source = espice_events::SliceSource::from_stream(&stream);
+            let outcome = engine.run_source_live(&mut source, boxed_keepers(shards));
+            assert_eq!(outcome.lifecycle.admitted, vec![(handle, admit_at)]);
+            assert_eq!(outcome.complex_events.len(), 2);
+            assert!(engine.is_live(1));
+            assert_eq!(engine.query_handle(1), Some(handle));
+
+            let mut fresh = ShardedEngine::new(query(9), shards);
+            let expected = fresh.run_keep_all(&suffix);
+            assert_eq!(
+                outcome.complex_events[1], expected,
+                "admitted query diverged from a fresh engine at {shards} shards"
+            );
+            assert_eq!(engine.stats().per_query[1], fresh.stats().merged);
+
+            // The original query is untouched.
+            let mut solo = ShardedEngine::new(query(12), shards);
+            assert_eq!(outcome.complex_events[0], solo.run_keep_all(&stream));
+        }
+    }
+
+    #[test]
+    fn retirement_mid_stream_drains_and_leaves_survivors_untouched() {
+        let stream = keyed_stream(300);
+        let set = QuerySet::new(vec![query(12), query(7)]);
+        for shards in [1usize, 2, 4] {
+            let mut engine = ShardedEngine::for_queries(set.clone(), shards);
+            let control = engine.control();
+            let handle = engine.query_handle(0).expect("slot 0 is live");
+            control.retire_at(40, handle);
+
+            let outcome = engine.run_slice_live(&stream, boxed_keepers(shards * 2));
+            assert_eq!(outcome.lifecycle.retired, vec![(handle, 40)]);
+            assert!(!engine.is_live(0));
+            assert_eq!(engine.query_handle(0), None);
+            assert_eq!(engine.live_query_count(), 1);
+            // The retired slot's deciders are torn down on every shard.
+            for row in &outcome.deciders {
+                assert!(row[0].is_none());
+                assert!(row[1].is_some());
+            }
+
+            // The survivor is byte-identical to running alone.
+            let mut solo = ShardedEngine::new(query(7), shards);
+            assert_eq!(outcome.complex_events[1], solo.run_keep_all(&stream));
+            assert_eq!(engine.stats().per_query[1], solo.stats().merged);
+
+            // The retired query emitted a prefix of its static output: all
+            // windows opened before position 40, drained to completion.
+            let mut full = ShardedEngine::new(query(12), shards);
+            let full_output = full.run_keep_all(&stream);
+            let retired = &outcome.complex_events[0];
+            assert!(retired.len() < full_output.len());
+            assert_eq!(retired.as_slice(), &full_output[..retired.len()]);
+        }
+    }
+
+    #[test]
+    fn out_of_order_admission_anchors_are_clamped_not_panicked() {
+        // Slots are allocated in send order; a later admission anchored
+        // *earlier* is clamped up to the previous admission's anchor, and
+        // a retire anchored before its own admission applies at the
+        // admission ("admitted and immediately retired"), never as a
+        // silent rejection.
+        let stream = keyed_stream(300);
+        let mut engine = ShardedEngine::new(query(12), 2);
+        let control = engine.control();
+        let first = control.admit_at(200, query(9), boxed_keepers(2));
+        let second = control.admit_at(50, query(7), boxed_keepers(2)); // clamped to 200
+        control.retire_at(10, second); // clamped to second's admission
+
+        let outcome = engine.run_slice_live(&stream, boxed_keepers(2));
+        assert_eq!(outcome.lifecycle.rejected, 0);
+        assert_eq!(outcome.lifecycle.admitted, vec![(first, 200), (second, 200)]);
+        assert_eq!(outcome.lifecycle.retired, vec![(second, 200)]);
+        // The clamped admission behaves like a fresh engine at 200.
+        let suffix = VecStream::from_ordered(stream.events()[200..].to_vec());
+        let mut fresh = ShardedEngine::new(query(9), 2);
+        assert_eq!(outcome.complex_events[1], fresh.run_keep_all(&suffix));
+        // Admitted-and-immediately-retired: no windows, empty output,
+        // decider torn down.
+        assert!(outcome.complex_events[2].is_empty());
+        assert!(!engine.is_live(2));
+    }
+
+    #[test]
+    fn shard_event_counts_survive_full_retirement() {
+        // Retire the only query early: its slot counters freeze once its
+        // windows drained, but the shards keep draining the stream — the
+        // per-shard events_processed must count every event, as before
+        // lifecycle existed.
+        let stream = keyed_stream(300);
+        let mut engine = ShardedEngine::new(query(8), 2);
+        let control = engine.control();
+        control.retire_at(10, engine.query_handle(0).expect("live"));
+        let _ = engine.run_slice_live(&stream, boxed_keepers(2));
+        let stats = engine.stats();
+        assert!(stats.per_query[0].events_processed < 300, "slot counters freeze at teardown");
+        for shard in &stats.per_shard {
+            assert_eq!(shard.events_processed, 300, "shards keep counting after teardown");
+        }
+    }
+
+    #[test]
+    fn stale_retire_handles_are_rejected() {
+        let stream = keyed_stream(120);
+        let mut engine = ShardedEngine::new(query(8), 2);
+        let control = engine.control();
+        let handle = engine.query_handle(0).expect("live");
+        control.retire_at(10, handle);
+        control.retire_at(20, handle); // second retire of the same handle
+        let forged = QueryHandle { slot: 0, generation: 999 };
+        control.retire(forged);
+        let outcome = engine.run_slice_live(&stream, boxed_keepers(2));
+        assert_eq!(outcome.lifecycle.retired.len(), 1);
+        assert_eq!(outcome.lifecycle.rejected, 2);
+    }
+
+    #[test]
+    fn admissions_after_retirement_get_fresh_slots_and_generations() {
+        let stream = keyed_stream(200);
+        let mut engine = ShardedEngine::new(query(12), 1);
+        let control = engine.control();
+        let first = engine.query_handle(0).expect("live");
+        control.retire_at(50, first);
+        // Re-admit an identical query: fresh slot, fresh generation.
+        let readmitted = control.admit_at(100, query(12), boxed_keepers(1));
+        assert_ne!(readmitted.slot, first.slot);
+        assert_ne!(readmitted.generation, first.generation);
+
+        let outcome = engine.run_slice_live(&stream, boxed_keepers(1));
+        assert_eq!(outcome.lifecycle.admitted.len(), 1);
+        assert_eq!(outcome.lifecycle.retired.len(), 1);
+        assert_eq!(engine.query_count(), 2);
+        assert_eq!(engine.live_query_count(), 1);
+
+        let suffix = VecStream::from_ordered(stream.events()[100..].to_vec());
+        let mut fresh = ShardedEngine::new(query(12), 1);
+        assert_eq!(outcome.complex_events[1], fresh.run_keep_all(&suffix));
+    }
+
+    #[test]
+    fn reset_revives_retired_slots() {
+        let stream = keyed_stream(150);
+        let mut engine = ShardedEngine::new(query(8), 2);
+        let control = engine.control();
+        control.retire_at(30, engine.query_handle(0).expect("live"));
+        let _ = engine.run_slice_live(&stream, boxed_keepers(2));
+        assert_eq!(engine.live_query_count(), 0);
+
+        engine.reset();
+        assert_eq!(engine.live_query_count(), 1);
+        let revived = engine.run_keep_all(&stream);
+        let mut solo = ShardedEngine::new(query(8), 2);
+        assert_eq!(revived, solo.run_keep_all(&stream));
+    }
+
+    #[test]
     #[should_panic(expected = "queue capacity")]
     fn zero_queue_capacity_rejected() {
         let mut engine = ShardedEngine::new(query(8), 1);
@@ -738,6 +1378,13 @@ mod tests {
         let mut engine = ShardedEngine::new(query(8), 2);
         let mut deciders = vec![crate::KeepAll];
         let _ = engine.run(&keyed_stream(10), &mut deciders);
+    }
+
+    #[test]
+    #[should_panic(expected = "per shard per live query")]
+    fn mismatched_live_decider_count_panics() {
+        let mut engine = ShardedEngine::new(query(8), 2);
+        let _ = engine.run_slice_live(&keyed_stream(10), boxed_keepers(1));
     }
 
     #[test]

@@ -76,6 +76,7 @@
 
 mod complex;
 mod engine;
+pub mod lifecycle;
 mod matcher;
 mod operator;
 mod pattern;
@@ -94,6 +95,7 @@ mod window;
 
 pub use complex::{ComplexEvent, Constituent};
 pub use engine::{EngineStats, ShardedEngine, DEFAULT_QUEUE_CAPACITY};
+pub use lifecycle::{EngineControl, LifecycleReport, LiveRunOutcome, ShardInput};
 pub use matcher::{EntryRef, MatchOutcome, Matcher, WindowEntry};
 pub use operator::{Operator, OperatorStats};
 pub use pattern::{Pattern, PatternStep};
@@ -102,10 +104,12 @@ pub use query::{ConsumptionPolicy, Query, QueryBuilder, SelectionPolicy, SkipPol
 pub use queryset::QuerySet;
 pub use queue::{QueueConsumer, QueueProducer, QueueStats};
 pub use shard::Shard;
-pub use shedding::{BatchRequest, Decision, KeepAll, QueueSample, WindowEventDecider};
+pub use shedding::{
+    BatchRequest, BoxedDecider, Decision, KeepAll, QueueSample, SharedDecider, WindowEventDecider,
+};
 pub use window::{
-    OpenPolicy, OpenTracker, QueryId, SharedSizePredictor, SizePredictor, WindowExtent, WindowId,
-    WindowMeta, WindowSpec,
+    OpenPolicy, OpenTracker, QueryHandle, QueryId, SharedSizePredictor, SizePredictor,
+    WindowExtent, WindowId, WindowMeta, WindowSpec,
 };
 
 /// Convenience re-exports for downstream crates.

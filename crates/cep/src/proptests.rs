@@ -389,6 +389,134 @@ proptest! {
         }
     }
 
+    /// Lifecycle churn identity: a query admitted at event `k` and never
+    /// retired produces byte-identical complex events and statistics to a
+    /// fresh static engine over `events[k..]`, while retiring another
+    /// query mid-run leaves the surviving query's output untouched — for
+    /// shard counts {1, 2, 4}, shedding on and off, on both the slice and
+    /// the streaming lifecycle backends. The retired query's output is a
+    /// drained prefix of its static full-stream output (windows opened
+    /// before the retirement, fed to completion).
+    #[test]
+    fn lifecycle_churn_is_pinned_against_static_engine_oracles(
+        types in type_sequence(140),
+        survivor_size in 2usize..12,
+        retired_size in 3usize..14,
+        admitted_size in 2usize..12,
+        slide in 1usize..5,
+        admit_frac in 0.1f64..0.9,
+        retire_frac in 0.1f64..0.9,
+        shed in prop::bool::ANY,
+        streaming in prop::bool::ANY,
+    ) {
+        let retired_query = Query::builder()
+            .pattern(Pattern::sequence([EventType::from_index(0), EventType::from_index(1)]))
+            .window(WindowSpec::count_sliding(retired_size, slide))
+            .build();
+        let survivor_query = Query::builder()
+            .pattern(Pattern::sequence([EventType::from_index(0), EventType::from_index(1)]))
+            .window(WindowSpec::count_on_types(vec![EventType::from_index(0)], survivor_size))
+            .build();
+        let admitted_query = Query::builder()
+            .pattern(Pattern::sequence([EventType::from_index(0), EventType::from_index(1)]))
+            .window(WindowSpec::count_sliding(admitted_size, slide))
+            .build();
+        let events: Vec<Event> = types
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| Event::new(EventType::from_index(t), Timestamp::from_secs(i as u64), i as u64))
+            .collect();
+        let stream = VecStream::from_ordered(events);
+        let admit_at = ((stream.len() as f64 * admit_frac) as u64).min(stream.len() as u64 - 1);
+        let retire_at = ((stream.len() as f64 * retire_frac) as u64).min(stream.len() as u64 - 1);
+        let suffix = VecStream::from_ordered(stream.events()[admit_at as usize..].to_vec());
+
+        let set = crate::QuerySet::new(vec![retired_query.clone(), survivor_query.clone()]);
+        let boxed = |shed: bool| -> crate::BoxedDecider {
+            if shed { Box::new(DropEveryThird) } else { Box::new(KeepAll) }
+        };
+
+        for shards in [1usize, 2, 4] {
+            let mut engine = ShardedEngine::for_queries(set.clone(), shards);
+            let control = engine.control();
+            let handle = engine.query_handle(0).expect("slot 0 starts live");
+            control.retire_at(retire_at, handle);
+            let admitted_handle = control.admit_at(
+                admit_at,
+                admitted_query.clone(),
+                (0..shards).map(|_| boxed(shed)).collect(),
+            );
+            prop_assert_eq!(admitted_handle.slot, 2);
+
+            let initial: Vec<crate::BoxedDecider> =
+                (0..shards * set.len()).map(|_| boxed(shed)).collect();
+            let outcome = if streaming {
+                let mut source = SliceSource::from_stream(&stream);
+                engine.run_source_live(&mut source, initial)
+            } else {
+                engine.run_slice_live(&stream, initial)
+            };
+            prop_assert_eq!(outcome.complex_events.len(), 3);
+            prop_assert_eq!(outcome.lifecycle.admitted.len(), 1);
+            prop_assert_eq!(outcome.lifecycle.retired.len(), 1);
+            prop_assert_eq!(outcome.lifecycle.rejected, 0);
+            let stats = engine.stats();
+
+            // Admitted query: byte-identical to a fresh static engine over
+            // the suffix — complex events and statistics.
+            let mut fresh = ShardedEngine::new(admitted_query.clone(), shards);
+            let expected_admitted = if shed {
+                let mut deciders = vec![DropEveryThird; shards];
+                fresh.run_slice(&suffix, &mut deciders)
+            } else {
+                let mut deciders = vec![KeepAll; shards];
+                fresh.run_slice(&suffix, &mut deciders)
+            };
+            prop_assert_eq!(&outcome.complex_events[2], &expected_admitted,
+                "admitted query diverged at {} shards (shed={}, streaming={}, k={})",
+                shards, shed, streaming, admit_at);
+            prop_assert_eq!(&stats.per_query[2], &fresh.stats().merged,
+                "admitted stats diverged at {} shards", shards);
+
+            // Survivor: untouched by both the retirement and the admission.
+            let mut solo = ShardedEngine::new(survivor_query.clone(), shards);
+            let expected_survivor = if shed {
+                let mut deciders = vec![DropEveryThird; shards];
+                solo.run_slice(&stream, &mut deciders)
+            } else {
+                let mut deciders = vec![KeepAll; shards];
+                solo.run_slice(&stream, &mut deciders)
+            };
+            prop_assert_eq!(&outcome.complex_events[1], &expected_survivor,
+                "survivor diverged at {} shards (shed={}, streaming={})",
+                shards, shed, streaming);
+            prop_assert_eq!(&stats.per_query[1], &solo.stats().merged);
+
+            // Retired query: a prefix of its static output (window-id
+            // ordered; windows opened before the retirement drained to
+            // completion, none opened after).
+            let mut full = ShardedEngine::new(retired_query.clone(), shards);
+            let expected_full = if shed {
+                let mut deciders = vec![DropEveryThird; shards];
+                full.run_slice(&stream, &mut deciders)
+            } else {
+                let mut deciders = vec![KeepAll; shards];
+                full.run_slice(&stream, &mut deciders)
+            };
+            let retired = &outcome.complex_events[0];
+            prop_assert!(retired.len() <= expected_full.len());
+            prop_assert_eq!(retired.as_slice(), &expected_full[..retired.len()],
+                "retired output is not a drained prefix at {} shards", shards);
+
+            // The retired slot's deciders were torn down on every shard;
+            // the others survived.
+            for row in &outcome.deciders {
+                prop_assert!(row[0].is_none());
+                prop_assert!(row[1].is_some() && row[2].is_some());
+            }
+        }
+    }
+
     /// Running the operator twice over the same stream produces identical
     /// complex events (the engine is deterministic).
     #[test]

@@ -72,6 +72,20 @@ impl QuerySet {
         &self.queries
     }
 
+    /// Appends a query to the set, returning the [`QueryId`] it was
+    /// assigned. This is how a live engine grows its per-query axis on
+    /// admission: slots are handed out in append order and never reused.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set is already at [`QueryId`] capacity.
+    pub fn push(&mut self, query: Query) -> QueryId {
+        let id =
+            u32::try_from(self.queries.len()).expect("a query set holds at most u32::MAX queries");
+        self.queries.push(query);
+        id
+    }
+
     /// The query with the given id, if it exists.
     pub fn get(&self, query: QueryId) -> Option<&Query> {
         self.queries.get(query as usize)

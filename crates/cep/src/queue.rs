@@ -4,8 +4,8 @@
 //! fan-out loop appends each incoming event to every shard's queue, and each
 //! shard's drain thread pops from its queue alone. That access pattern is
 //! exactly SPSC, so the queue is a fixed-capacity ring over two monotone
-//! slot counters — the same slot-index discipline as the window storage in
-//! [`ring`](crate::ring), applied to a concurrent hand-off — with no locks
+//! slot counters — the same slot-index discipline as the shared window
+//! storage's event ring, applied to a concurrent hand-off — with no locks
 //! and no external dependencies.
 //!
 //! Capacity is the backpressure mechanism eSPICE's overload model assumes:
@@ -30,9 +30,14 @@ use std::sync::Arc;
 /// Shared state of one SPSC queue. Only ever touched through the unique
 /// [`QueueProducer`] / [`QueueConsumer`] pair, which is what makes the
 /// unsynchronised slot accesses sound.
+///
+/// Generic over the element type: the engine's shard queues carry plain
+/// [`Event`]s on the static paths and `ShardInput` (events interleaved with
+/// in-band lifecycle commands) on the live paths — the hand-off discipline
+/// is identical either way.
 #[derive(Debug)]
-struct Shared {
-    slots: Box<[UnsafeCell<Option<Event>>]>,
+struct Shared<T> {
+    slots: Box<[UnsafeCell<Option<T>>]>,
     /// Next slot the consumer takes. Monotone; slot = `head % capacity`.
     head: AtomicUsize,
     /// Next slot the producer fills. Monotone; slot = `tail % capacity`.
@@ -49,8 +54,8 @@ struct Shared {
 // not Clone), the producer only writes slots in `[head + capacity, ...)`
 // never resident, the consumer only reads slots in `[head, tail)`, and the
 // Release/Acquire pairs on `head`/`tail` order every slot access.
-unsafe impl Send for Shared {}
-unsafe impl Sync for Shared {}
+unsafe impl<T: Send> Send for Shared<T> {}
+unsafe impl<T: Send> Sync for Shared<T> {}
 
 /// Staged wait for the queue endpoints: spin briefly (the other side is
 /// usually mid-hand-off), then yield the scheduler slice, then degrade to a
@@ -132,7 +137,7 @@ pub struct QueueStats {
 /// assert!(consumer.pop().is_none());
 /// assert!(consumer.is_closed());
 /// ```
-pub fn spsc(capacity: usize) -> (QueueProducer, QueueConsumer) {
+pub fn spsc<T>(capacity: usize) -> (QueueProducer<T>, QueueConsumer<T>) {
     assert!(capacity >= 1, "queue capacity must be at least 1");
     let slots = (0..capacity).map(|_| UnsafeCell::new(None)).collect();
     let shared = Arc::new(Shared {
@@ -152,17 +157,17 @@ pub fn spsc(capacity: usize) -> (QueueProducer, QueueConsumer) {
 /// The producer endpoint of an SPSC queue. Move-only: exactly one producer
 /// exists per queue.
 #[derive(Debug)]
-pub struct QueueProducer {
-    shared: Arc<Shared>,
+pub struct QueueProducer<T = Event> {
+    shared: Arc<Shared<T>>,
     pushed: u64,
     backpressure_events: u64,
     capacity: usize,
 }
 
-impl QueueProducer {
+impl<T> QueueProducer<T> {
     /// Attempts to push one event, returning it back if the queue is full
     /// or the consumer is gone.
-    pub fn push(&mut self, event: Event) -> Result<(), Event> {
+    pub fn push(&mut self, event: T) -> Result<(), T> {
         if self.shared.consumer_gone.load(Ordering::Acquire) {
             return Err(event);
         }
@@ -188,7 +193,7 @@ impl QueueProducer {
     /// backpressure). Returns `false` if the consumer disappeared before
     /// the event could be handed over (its drain thread panicked) — the
     /// caller should stop producing.
-    pub fn push_blocking(&mut self, event: Event) -> bool {
+    pub fn push_blocking(&mut self, event: T) -> bool {
         let mut event = event;
         let mut waited = false;
         let mut backoff = Backoff::new();
@@ -231,7 +236,7 @@ impl QueueProducer {
     }
 }
 
-impl Drop for QueueProducer {
+impl<T> Drop for QueueProducer<T> {
     fn drop(&mut self) {
         // A dropped producer can never push again; let the consumer finish.
         self.close();
@@ -241,16 +246,16 @@ impl Drop for QueueProducer {
 /// The consumer endpoint of an SPSC queue. Move-only: exactly one consumer
 /// exists per queue.
 #[derive(Debug)]
-pub struct QueueConsumer {
-    shared: Arc<Shared>,
+pub struct QueueConsumer<T = Event> {
+    shared: Arc<Shared<T>>,
     capacity: usize,
 }
 
-impl QueueConsumer {
+impl<T> QueueConsumer<T> {
     /// Takes the oldest queued event, or `None` if the queue is currently
     /// empty. An empty pop with [`is_closed`](Self::is_closed) true means
     /// the stream has ended.
-    pub fn pop(&mut self) -> Option<Event> {
+    pub fn pop(&mut self) -> Option<T> {
         let head = self.shared.head.load(Ordering::Relaxed);
         let tail = self.shared.tail.load(Ordering::Acquire);
         if head == tail {
@@ -287,7 +292,7 @@ impl QueueConsumer {
     }
 }
 
-impl Drop for QueueConsumer {
+impl<T> Drop for QueueConsumer<T> {
     fn drop(&mut self) {
         // Unblock a producer stuck in `push_blocking` if the drain thread
         // dies: nothing will ever pop again.
@@ -421,6 +426,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "capacity")]
     fn zero_capacity_rejected() {
-        let _ = spsc(0);
+        let _ = spsc::<Event>(0);
     }
 }

@@ -18,20 +18,127 @@
 //! costs — queue hand-off and window-open bookkeeping — across queries the
 //! way `decide_batch` amortises per-window costs.
 //!
+//! # Query slots and lifecycle
+//!
+//! The per-query axis is a vector of *slots*. A slot is `Live` while its
+//! query executes and becomes `Retired` — a frozen statistics snapshot —
+//! once the query has been torn down. Lifecycle commands arrive **in-band**
+//! ([`ShardInput::Command`] between two events of the shard queue, or a
+//! position-anchored command list on the slice path), so every shard
+//! applies them at the same stream position: an admitted query's fresh
+//! operator sees exactly the suffix of the stream from its admission point
+//! (and therefore derives the same window ids as a fresh engine started
+//! there), and a retiring query first *drains* — it stops opening windows
+//! but keeps feeding its open ones until the last has closed — before its
+//! operator and decider are dropped.
+//!
+//! Static runs drive the slots through monomorphic `&mut [D]` decider rows;
+//! live runs own their deciders as boxed rows that grow on admission and
+//! shrink on retirement. Both shapes plug into the same fused pass through
+//! the crate-internal [`DeciderRow`] abstraction, so the two paths cannot
+//! diverge behaviourally.
+//!
 //! [`ShardedEngine`]: crate::ShardedEngine
 //! [`QuerySet`]: crate::QuerySet
 //! [`OpenTracker`]: crate::OpenTracker
+//! [`ShardInput::Command`]: crate::lifecycle::ShardInput
 
+use crate::lifecycle::{ShardCommand, ShardInput};
 use crate::queue::{Backoff, QueueConsumer};
 use crate::shedding::QueueSample;
 use crate::window::{OpenTracker, SharedSizePredictor};
-use crate::{ComplexEvent, Operator, OperatorStats, Query, QuerySet, WindowEventDecider};
+use crate::{
+    BoxedDecider, ComplexEvent, Operator, OperatorStats, Query, QueryId, QuerySet,
+    WindowEventDecider,
+};
 use espice_events::{Event, SimDuration};
+use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// A single worker of the sharded engine: one operator per query, driven by
-/// a fused per-event pass.
+/// One entry of the per-query axis.
+///
+/// The `Live` variant is deliberately unboxed despite its size: slots live
+/// in a small per-shard vector that is walked once per event, and boxing
+/// the *common* variant would put a pointer chase on the fused hot path to
+/// shrink a vector with a handful of entries.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+enum SlotRuntime {
+    /// The query executes; `draining` means it no longer opens windows and
+    /// is torn down as soon as its open windows have closed.
+    Live { operator: Operator, draining: bool },
+    /// The query was retired: its counters survive, its operator does not.
+    Retired { stats: OperatorStats, peak_resident: usize },
+}
+
+/// Freezes a draining slot: snapshots the operator's counters and drops the
+/// operator and (through the row) its decider — the teardown point of a
+/// retirement, reached only after every open window has closed.
+fn finalize_slot<R: DeciderRow>(state: &mut SlotRuntime, slot: usize, row: &mut R) {
+    if let SlotRuntime::Live { operator, .. } = state {
+        let stats = operator.stats().clone();
+        let peak_resident = operator.peak_resident_entries();
+        *state = SlotRuntime::Retired { stats, peak_resident };
+        row.remove(slot);
+    }
+}
+
+/// The decider side of the fused pass, abstracted over row ownership:
+/// static runs borrow a monomorphic `&mut [D]` (one decider per slot, rows
+/// can neither grow nor shrink), live runs own a `Vec<Option<BoxedDecider>>`
+/// that grows on admission and drops deciders on retirement.
+pub(crate) trait DeciderRow {
+    /// The decider type the fused pass hands to the operators.
+    type Decider: WindowEventDecider;
+
+    /// The decider of `slot`, if the slot still has one.
+    fn get(&mut self, slot: usize) -> Option<&mut Self::Decider>;
+
+    /// Installs the decider of a freshly admitted slot.
+    fn install(&mut self, slot: usize, decider: BoxedDecider);
+
+    /// Drops the decider of a retired slot (with any per-window state it
+    /// still holds — by the teardown contract, none).
+    fn remove(&mut self, slot: usize);
+}
+
+impl<D: WindowEventDecider> DeciderRow for &mut [D] {
+    type Decider = D;
+
+    fn get(&mut self, slot: usize) -> Option<&mut D> {
+        self.get_mut(slot)
+    }
+
+    fn install(&mut self, _slot: usize, _decider: BoxedDecider) {
+        panic!("static decider rows cannot grow; admissions need the live run paths");
+    }
+
+    fn remove(&mut self, _slot: usize) {
+        // Borrowed rows stay with the caller; the slot's decider is simply
+        // never consulted again.
+    }
+}
+
+impl DeciderRow for Vec<Option<BoxedDecider>> {
+    type Decider = BoxedDecider;
+
+    fn get(&mut self, slot: usize) -> Option<&mut BoxedDecider> {
+        self.get_mut(slot).and_then(Option::as_mut)
+    }
+
+    fn install(&mut self, slot: usize, decider: BoxedDecider) {
+        assert_eq!(slot, self.len(), "admissions must arrive in slot order");
+        self.push(Some(decider));
+    }
+
+    fn remove(&mut self, slot: usize) {
+        self[slot] = None;
+    }
+}
+
+/// A single worker of the sharded engine: one operator per query slot,
+/// driven by a fused per-event pass.
 ///
 /// # Example
 ///
@@ -56,15 +163,26 @@ use std::time::{Duration, Instant};
 /// ```
 #[derive(Debug)]
 pub struct Shard {
-    /// One operator per query, in [`QueryId`](crate::QueryId) order.
-    operators: Vec<Operator>,
+    /// The per-query axis, in [`QueryId`] order; grows on admission, never
+    /// shrinks (retired slots keep their statistics snapshot).
+    slots: Vec<SlotRuntime>,
     /// The shared open-policy trackers: one per *distinct* policy across
-    /// the query set, evaluated once per event.
+    /// the initial query set (admitted queries always get a fresh tracker —
+    /// their slide state must start at the admission point, like a fresh
+    /// engine's would, so they cannot join a mid-stream group).
     openers: Vec<OpenTracker>,
-    /// `open_group[q]` is the index into `openers` serving query `q`.
+    /// `open_group[slot]` is the index into `openers` serving that slot.
     open_group: Vec<usize>,
     /// Scratch: the open decisions of the current event, one per opener.
     opens: Vec<bool>,
+    /// This shard's index within the engine.
+    index: usize,
+    /// Total number of shards in the engine.
+    count: usize,
+    /// Events this shard received (one per fused pass). Slot counters
+    /// freeze at retirement, so this is the only counter that keeps
+    /// counting once every slot has retired mid-run.
+    events_seen: u64,
 }
 
 impl Shard {
@@ -87,7 +205,7 @@ impl Shard {
     pub fn for_queries(queries: &QuerySet, index: usize, count: usize) -> Self {
         let mut openers: Vec<OpenTracker> = Vec::new();
         let mut open_group = Vec::with_capacity(queries.len());
-        let operators = queries
+        let slots = queries
             .iter()
             .map(|(query_id, query)| {
                 let policy = query.window().open_policy();
@@ -99,31 +217,55 @@ impl Shard {
                     }
                 };
                 open_group.push(group);
-                Operator::for_query(query.clone(), query_id, index, count)
+                SlotRuntime::Live {
+                    operator: Operator::for_query(query.clone(), query_id, index, count),
+                    draining: false,
+                }
             })
             .collect();
         let opens = vec![false; openers.len()];
-        Shard { operators, openers, open_group, opens }
+        Shard { slots, openers, open_group, opens, index, count, events_seen: 0 }
     }
 
     /// This shard's index within the engine.
     pub fn index(&self) -> usize {
-        self.operators[0].shard_index()
+        self.index
     }
 
-    /// Number of queries this shard serves.
+    /// Length of the per-query axis: every slot the shard has ever carried,
+    /// live or retired.
     pub fn query_count(&self) -> usize {
-        self.operators.len()
+        self.slots.len()
+    }
+
+    /// Number of slots still executing (not retired).
+    pub fn live_count(&self) -> usize {
+        self.slots.iter().filter(|s| matches!(s, SlotRuntime::Live { .. })).count()
     }
 
     /// The operator of query 0 (the only operator of a single-query shard).
+    ///
+    /// # Panics
+    ///
+    /// Panics if slot 0 has been retired.
     pub fn operator(&self) -> &Operator {
-        &self.operators[0]
+        match &self.slots[0] {
+            SlotRuntime::Live { operator, .. } => operator,
+            SlotRuntime::Retired { .. } => panic!("slot 0 has been retired"),
+        }
     }
 
-    /// The per-query operators, in query order.
-    pub fn operators(&self) -> &[Operator] {
-        &self.operators
+    /// The counters of one query slot: the live operator's counters, or the
+    /// frozen snapshot of a retired slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn slot_stats(&self, slot: usize) -> &OperatorStats {
+        match &self.slots[slot] {
+            SlotRuntime::Live { operator, .. } => operator.stats(),
+            SlotRuntime::Retired { stats, .. } => stats,
+        }
     }
 
     /// Number of distinct open policies across the shard's queries — the
@@ -133,42 +275,55 @@ impl Shard {
         self.openers.len()
     }
 
-    /// Counters of this shard, merged over its per-query operators. Every
-    /// operator sees every stream event, so `events_processed` is counted
-    /// once (not multiplied by the query count); all other counters are
-    /// disjoint sums.
+    /// Counters of this shard, merged over its per-query slots (retired
+    /// slots included). `events_processed` counts the events the shard
+    /// itself received, exactly once each — not multiplied by the query
+    /// count, and still counting after every slot has retired (slot
+    /// counters freeze at teardown); all other counters are disjoint sums.
     pub fn stats(&self) -> OperatorStats {
         let mut merged = OperatorStats::default();
-        for operator in &self.operators {
-            merged.merge(operator.stats());
+        for slot in 0..self.slots.len() {
+            merged.merge(self.slot_stats(slot));
         }
-        merged.events_processed = self.operators[0].stats().events_processed;
+        merged.events_processed = self.events_seen;
         merged
     }
 
     /// Peak number of events resident in this shard's event rings during
-    /// the run, summed over queries (per-query peaks need not coincide in
-    /// time, so this is an upper bound).
+    /// the run, summed over slots (per-query peaks need not coincide in
+    /// time, so this is an upper bound; retired slots contribute their
+    /// final peak).
     pub fn peak_resident_entries(&self) -> usize {
-        self.operators.iter().map(Operator::peak_resident_entries).sum()
+        self.slots
+            .iter()
+            .map(|slot| match slot {
+                SlotRuntime::Live { operator, .. } => operator.peak_resident_entries(),
+                SlotRuntime::Retired { peak_resident, .. } => *peak_resident,
+            })
+            .sum()
     }
 
-    /// Seeds every operator's window-size prediction (relevant for
+    /// Seeds every live operator's window-size prediction (relevant for
     /// time-based, variable-size windows).
     pub fn set_window_size_hint(&mut self, hint: usize) {
-        for operator in &mut self.operators {
-            operator.set_window_size_hint(hint);
+        for slot in &mut self.slots {
+            if let SlotRuntime::Live { operator, .. } = slot {
+                operator.set_window_size_hint(hint);
+            }
         }
     }
 
-    /// Switches query `query`'s window-size prediction to an engine-shared
+    /// Switches slot `query`'s window-size prediction to an engine-shared
     /// estimator (see [`Operator::share_size_predictor`]).
     ///
     /// # Panics
     ///
-    /// Panics if `query` is out of range.
+    /// Panics if `query` is out of range or retired.
     pub fn share_size_predictor_for(&mut self, query: usize, shared: Arc<SharedSizePredictor>) {
-        self.operators[query].share_size_predictor(shared);
+        match &mut self.slots[query] {
+            SlotRuntime::Live { operator, .. } => operator.share_size_predictor(shared),
+            SlotRuntime::Retired { .. } => panic!("slot {query} has been retired"),
+        }
     }
 
     /// Switches query 0's window-size prediction to an engine-shared
@@ -177,25 +332,132 @@ impl Shard {
         self.share_size_predictor_for(0, shared);
     }
 
-    /// Offers one event to every query's operator: each distinct open
+    /// Offers one event to every live slot's operator: each distinct open
     /// policy is evaluated once, then every operator gets the event with
-    /// its group's shared open decision. `outputs[q]` receives the complex
-    /// events query `q` emitted.
-    fn push_fused<D: WindowEventDecider>(
+    /// its group's shared open decision (forced to "don't open" while the
+    /// slot drains). `outputs[slot]` receives the complex events the slot
+    /// emitted; slots whose last open window closes while draining are torn
+    /// down on the spot.
+    fn push_fused<R: DeciderRow>(
         &mut self,
         event: &Event,
-        deciders: &mut [D],
+        row: &mut R,
         outputs: &mut [Vec<ComplexEvent>],
     ) {
+        self.events_seen += 1;
         for (tracker, open) in self.openers.iter_mut().zip(self.opens.iter_mut()) {
             *open = tracker.should_open(event);
         }
-        for (query, (operator, decider)) in
-            self.operators.iter_mut().zip(deciders.iter_mut()).enumerate()
-        {
-            let opens = self.opens[self.open_group[query]];
-            outputs[query].extend(operator.push_opened(event, opens, decider));
+        let opens = &self.opens;
+        let groups = &self.open_group;
+        for (slot, state) in self.slots.iter_mut().enumerate() {
+            let finished = match state {
+                SlotRuntime::Live { operator, draining } => {
+                    let decider = row.get(slot).expect("live slot without a decider");
+                    let open = !*draining && opens[groups[slot]];
+                    outputs[slot].extend(operator.push_opened(event, open, decider));
+                    *draining && operator.open_windows() == 0
+                }
+                SlotRuntime::Retired { .. } => false,
+            };
+            if finished {
+                finalize_slot(state, slot, row);
+            }
         }
+    }
+
+    /// Applies one in-band lifecycle command at the current stream
+    /// position. Admissions append a fresh slot (operator, opener, output
+    /// lane, decider); retirements put a slot into draining (and tear it
+    /// down immediately when it has no open windows).
+    fn apply_command<R: DeciderRow>(
+        &mut self,
+        command: ShardCommand,
+        row: &mut R,
+        outputs: &mut Vec<Vec<ComplexEvent>>,
+    ) {
+        match command {
+            ShardCommand::Admit { slot, query, decider, predictor } => {
+                let slot = slot as usize;
+                assert_eq!(slot, self.slots.len(), "admissions must arrive in slot order");
+                // A fresh tracker, never a shared group: the admitted
+                // query's slide state must start at the admission point,
+                // exactly as a fresh engine's would — an initial-set
+                // tracker carries mid-stream state.
+                self.openers.push(OpenTracker::new(query.window().open_policy().clone()));
+                self.opens.push(false);
+                self.open_group.push(self.openers.len() - 1);
+                let mut operator =
+                    Operator::for_query(query, slot as QueryId, self.index, self.count);
+                operator.share_size_predictor(predictor);
+                self.slots.push(SlotRuntime::Live { operator, draining: false });
+                row.install(slot, decider);
+                outputs.push(Vec::new());
+            }
+            ShardCommand::Retire { slot } => {
+                let slot = slot as usize;
+                let state = &mut self.slots[slot];
+                let finished = match state {
+                    SlotRuntime::Live { operator, draining } => {
+                        *draining = true;
+                        operator.open_windows() == 0
+                    }
+                    // The engine validates handles before broadcasting, so
+                    // a retired slot can only be seen here after an engine
+                    // bug; tolerate it instead of poisoning the drain.
+                    SlotRuntime::Retired { .. } => false,
+                };
+                if finished {
+                    finalize_slot(state, slot, row);
+                }
+            }
+        }
+    }
+
+    /// Closes all still-open windows of every live slot (end of stream) and
+    /// tears down the slots that were draining.
+    fn flush_core<R: DeciderRow>(&mut self, row: &mut R, outputs: &mut [Vec<ComplexEvent>]) {
+        for (slot, state) in self.slots.iter_mut().enumerate() {
+            let finished = match state {
+                SlotRuntime::Live { operator, draining } => {
+                    let decider = row.get(slot).expect("live slot without a decider");
+                    outputs[slot].extend(operator.flush(decider));
+                    *draining
+                }
+                SlotRuntime::Retired { .. } => continue,
+            };
+            if finished {
+                finalize_slot(state, slot, row);
+            }
+        }
+    }
+
+    /// The shared slice pass: events in stream order, with position-anchored
+    /// lifecycle commands applied at their event boundaries (an empty
+    /// command list is the static batch scan). Flushes at the end and
+    /// returns one output lane per slot, admissions included.
+    pub(crate) fn run_events_core<R: DeciderRow>(
+        &mut self,
+        events: &[Event],
+        mut commands: VecDeque<(u64, ShardCommand)>,
+        row: &mut R,
+    ) -> Vec<Vec<ComplexEvent>> {
+        let mut outputs: Vec<Vec<ComplexEvent>> = vec![Vec::new(); self.slots.len()];
+        for (position, event) in events.iter().enumerate() {
+            while commands.front().is_some_and(|(at, _)| *at <= position as u64) {
+                let (_, command) = commands.pop_front().expect("front checked above");
+                self.apply_command(command, row, &mut outputs);
+            }
+            self.push_fused(event, row, &mut outputs);
+        }
+        // Commands anchored at or past the end of the stream: retires still
+        // take effect before the final flush; admissions create slots that
+        // never saw an event (empty output, zero counters).
+        while let Some((_, command)) = commands.pop_front() {
+            self.apply_command(command, row, &mut outputs);
+        }
+        self.flush_core(row, &mut outputs);
+        outputs
     }
 
     /// Drives the full event slice through this shard and flushes at the end,
@@ -219,8 +481,8 @@ impl Shard {
     }
 
     /// Drives the full event slice through every query's operator in one
-    /// fused pass (one decider per query) and flushes at the end. Returns
-    /// the complex events per query, in query order.
+    /// fused pass (one decider per slot) and flushes at the end. Returns
+    /// the complex events per slot, in slot order.
     ///
     /// # Panics
     ///
@@ -231,25 +493,20 @@ impl Shard {
         deciders: &mut [D],
     ) -> Vec<Vec<ComplexEvent>> {
         assert_eq!(deciders.len(), self.query_count(), "need exactly one decider per query");
-        let mut outputs: Vec<Vec<ComplexEvent>> = vec![Vec::new(); self.query_count()];
-        for event in events {
-            self.push_fused(event, deciders, &mut outputs);
-        }
-        self.flush_into(deciders, &mut outputs);
-        outputs
+        self.run_events_core(events, VecDeque::new(), &mut &mut *deciders)
     }
 
-    /// Closes all still-open windows of every query (end of stream).
-    fn flush_into<D: WindowEventDecider>(
+    /// [`run_events_core`](Self::run_events_core) over an owned boxed
+    /// decider row: the lifecycle slice path. Returns the outputs and the
+    /// row (admitted deciders included, retired ones dropped).
+    pub(crate) fn run_events_live(
         &mut self,
-        deciders: &mut [D],
-        outputs: &mut [Vec<ComplexEvent>],
-    ) {
-        for (query, (operator, decider)) in
-            self.operators.iter_mut().zip(deciders.iter_mut()).enumerate()
-        {
-            outputs[query].extend(operator.flush(decider));
-        }
+        events: &[Event],
+        commands: VecDeque<(u64, ShardCommand)>,
+        mut row: Vec<Option<BoxedDecider>>,
+    ) -> (Vec<Vec<ComplexEvent>>, Vec<Option<BoxedDecider>>) {
+        let outputs = self.run_events_core(events, commands, &mut row);
+        (outputs, row)
     }
 
     /// Drains a bounded input queue through this shard until the producer
@@ -261,7 +518,7 @@ impl Shard {
     /// Panics if the shard serves more than one query.
     pub fn run_queue<D: WindowEventDecider + ?Sized>(
         &mut self,
-        queue: QueueConsumer,
+        queue: QueueConsumer<ShardInput>,
         decider: &mut D,
         check_interval: Option<Duration>,
     ) -> Vec<ComplexEvent> {
@@ -286,69 +543,67 @@ impl Shard {
     ///
     /// Events must be pushed in global stream order; the shard then takes
     /// identical decisions to a slice-driven run over the same events.
+    /// In-band [`ShardInput::Command`]s are applied at the position they
+    /// occupy in the queue.
     ///
     /// # Panics
     ///
-    /// Panics if `deciders.len()` differs from the query count.
+    /// Panics if `deciders.len()` differs from the query count, or an
+    /// in-band admission arrives (static rows cannot grow — admissions need
+    /// the engine's live run paths).
     pub fn run_queue_multi<D: WindowEventDecider>(
         &mut self,
-        mut queue: QueueConsumer,
+        queue: QueueConsumer<ShardInput>,
         deciders: &mut [D],
         check_interval: Option<Duration>,
     ) -> Vec<Vec<ComplexEvent>> {
         assert_eq!(deciders.len(), self.query_count(), "need exactly one decider per query");
+        self.run_queue_core(queue, &mut &mut *deciders, check_interval)
+    }
+
+    /// [`run_queue_multi`](Self::run_queue_multi) over an owned boxed
+    /// decider row: the lifecycle streaming path. Returns the outputs and
+    /// the row (admitted deciders included, retired ones dropped).
+    pub(crate) fn run_queue_live(
+        &mut self,
+        queue: QueueConsumer<ShardInput>,
+        mut row: Vec<Option<BoxedDecider>>,
+        check_interval: Option<Duration>,
+    ) -> (Vec<Vec<ComplexEvent>>, Vec<Option<BoxedDecider>>) {
+        let outputs = self.run_queue_core(queue, &mut row, check_interval);
+        (outputs, row)
+    }
+
+    /// The shared drain loop behind both queue entry points.
+    fn run_queue_core<R: DeciderRow>(
+        &mut self,
+        mut queue: QueueConsumer<ShardInput>,
+        row: &mut R,
+        check_interval: Option<Duration>,
+    ) -> Vec<Vec<ComplexEvent>> {
         /// How many drained events may pass between wall-clock reads while
         /// sampling is on (keeps `Instant::now` off the per-event path).
         const CLOCK_STRIDE: u32 = 32;
 
-        let mut outputs: Vec<Vec<ComplexEvent>> = vec![Vec::new(); self.query_count()];
+        let mut outputs: Vec<Vec<ComplexEvent>> = vec![Vec::new(); self.slots.len()];
         let started = Instant::now();
         let mut idle = Duration::ZERO;
         let mut drained_since_sample: u64 = 0;
         let mut since_clock_check: u32 = 0;
         let mut next_sample = check_interval;
         // Shard-level assignment counters at the previous sample, summed
-        // over the per-query operators (the queue serves them all).
+        // over the per-query slots (the queue serves them all; retired
+        // slots keep contributing their frozen totals so deltas stay
+        // monotone across a retirement).
         let mut last_assignments: u64 = 0;
         let mut last_kept: u64 = 0;
-
-        let sample = |operators: &[Operator],
-                      deciders: &mut [D],
-                      queue: &QueueConsumer,
-                      next_sample: &mut Option<Duration>,
-                      drained_since_sample: &mut u64,
-                      last_assignments: &mut u64,
-                      last_kept: &mut u64,
-                      elapsed: Duration,
-                      idle: Duration| {
-            let interval = check_interval.expect("sampling fires only when configured");
-            *next_sample = Some(elapsed + interval);
-            let assignments: u64 = operators.iter().map(|o| o.stats().assignments).sum();
-            let kept: u64 = operators.iter().map(|o| o.stats().kept).sum();
-            let mut sample = QueueSample {
-                elapsed: SimDuration::from_secs_f64(elapsed.as_secs_f64()),
-                busy: SimDuration::from_secs_f64((elapsed - idle).as_secs_f64()),
-                depth: queue.depth(),
-                drained: *drained_since_sample,
-                assignments: assignments - *last_assignments,
-                kept: kept - *last_kept,
-                predicted_window_size: 0,
-            };
-            *drained_since_sample = 0;
-            *last_assignments = assignments;
-            *last_kept = kept;
-            for (operator, decider) in operators.iter().zip(deciders.iter_mut()) {
-                sample.predicted_window_size = operator.predicted_window_size();
-                decider.queue_sample(&sample);
-            }
-        };
 
         let mut backoff = Backoff::new();
         loop {
             match queue.pop() {
-                Some(event) => {
+                Some(ShardInput::Event(event)) => {
                     backoff.reset();
-                    self.push_fused(&event, deciders, &mut outputs);
+                    self.push_fused(&event, row, &mut outputs);
                     drained_since_sample += 1;
                     if let Some(deadline) = next_sample {
                         since_clock_check += 1;
@@ -356,11 +611,12 @@ impl Shard {
                             since_clock_check = 0;
                             let elapsed = started.elapsed();
                             if elapsed >= deadline {
-                                sample(
-                                    &self.operators,
-                                    deciders,
+                                let interval =
+                                    check_interval.expect("sampling fires only when configured");
+                                next_sample = Some(elapsed + interval);
+                                self.deliver_sample(
+                                    row,
                                     &queue,
-                                    &mut next_sample,
                                     &mut drained_since_sample,
                                     &mut last_assignments,
                                     &mut last_kept,
@@ -371,13 +627,20 @@ impl Shard {
                         }
                     }
                 }
+                Some(ShardInput::Command(command)) => {
+                    backoff.reset();
+                    self.apply_command(*command, row, &mut outputs);
+                }
                 None if queue.is_closed() => {
                     // The close flag is set after the final push, so one more
                     // pop settles whether anything raced in.
                     match queue.pop() {
-                        Some(event) => {
-                            self.push_fused(&event, deciders, &mut outputs);
+                        Some(ShardInput::Event(event)) => {
+                            self.push_fused(&event, row, &mut outputs);
                             drained_since_sample += 1;
+                        }
+                        Some(ShardInput::Command(command)) => {
+                            self.apply_command(*command, row, &mut outputs);
                         }
                         None => break,
                     }
@@ -397,11 +660,12 @@ impl Shard {
                         let elapsed = started.elapsed();
                         if let Some(deadline) = next_sample {
                             if elapsed >= deadline {
-                                sample(
-                                    &self.operators,
-                                    deciders,
+                                let interval =
+                                    check_interval.expect("sampling fires only when configured");
+                                next_sample = Some(elapsed + interval);
+                                self.deliver_sample(
+                                    row,
                                     &queue,
-                                    &mut next_sample,
                                     &mut drained_since_sample,
                                     &mut last_assignments,
                                     &mut last_kept,
@@ -416,19 +680,62 @@ impl Shard {
                 }
             }
         }
-        self.flush_into(deciders, &mut outputs);
+        self.flush_core(row, &mut outputs);
         outputs
     }
 
-    /// Resets the shard's run state (all operators and the shared open
-    /// trackers) while keeping queries and shard geometry.
+    /// Hands every live slot's decider one measured [`QueueSample`].
+    #[allow(clippy::too_many_arguments)]
+    fn deliver_sample<R: DeciderRow>(
+        &self,
+        row: &mut R,
+        queue: &QueueConsumer<ShardInput>,
+        drained_since_sample: &mut u64,
+        last_assignments: &mut u64,
+        last_kept: &mut u64,
+        elapsed: Duration,
+        idle: Duration,
+    ) {
+        let assignments: u64 =
+            (0..self.slots.len()).map(|slot| self.slot_stats(slot).assignments).sum();
+        let kept: u64 = (0..self.slots.len()).map(|slot| self.slot_stats(slot).kept).sum();
+        let mut sample = QueueSample {
+            elapsed: SimDuration::from_secs_f64(elapsed.as_secs_f64()),
+            busy: SimDuration::from_secs_f64((elapsed - idle).as_secs_f64()),
+            depth: queue.depth(),
+            drained: *drained_since_sample,
+            assignments: assignments - *last_assignments,
+            kept: kept - *last_kept,
+            predicted_window_size: 0,
+        };
+        *drained_since_sample = 0;
+        *last_assignments = assignments;
+        *last_kept = kept;
+        for (slot, state) in self.slots.iter().enumerate() {
+            if let SlotRuntime::Live { operator, .. } = state {
+                if let Some(decider) = row.get(slot) {
+                    sample.predicted_window_size = operator.predicted_window_size();
+                    decider.queue_sample(&sample);
+                }
+            }
+        }
+    }
+
+    /// Resets the run state of every live slot (operators and the shared
+    /// open trackers) while keeping queries and shard geometry. Retired
+    /// slots stay retired — reviving them takes an engine rebuild
+    /// ([`ShardedEngine::reset`](crate::ShardedEngine::reset)).
     pub fn reset(&mut self) {
-        for operator in &mut self.operators {
-            operator.reset();
+        for slot in &mut self.slots {
+            if let SlotRuntime::Live { operator, draining } = slot {
+                operator.reset();
+                *draining = false;
+            }
         }
         for opener in &mut self.openers {
             opener.reset();
         }
+        self.events_seen = 0;
     }
 }
 
@@ -483,7 +790,7 @@ mod tests {
         let streamed = std::thread::scope(|scope| {
             let handle = scope.spawn(|| queue_shard.run_queue(consumer, &mut KeepAll, None));
             for event in &events {
-                assert!(producer.push_blocking(event.clone()));
+                assert!(producer.push_blocking(ShardInput::Event(event.clone())));
             }
             producer.close();
             handle.join().expect("drain thread panicked")
@@ -510,7 +817,7 @@ mod tests {
             let mut solo = Shard::new(q.clone(), 0, 1);
             let expected = solo.run_events(&events, &mut KeepAll);
             assert_eq!(outputs[id as usize], expected, "query {id} diverged");
-            assert_eq!(fused.operators()[id as usize].stats(), solo.operator().stats());
+            assert_eq!(fused.slot_stats(id as usize), solo.operator().stats());
         }
     }
 
@@ -560,7 +867,7 @@ mod tests {
             let mut solo = Shard::new(q.clone(), 0, 1);
             let _ = solo.run_events(&events, &mut KeepAll);
             assert_eq!(
-                fused.operators()[id as usize].stats().windows_opened,
+                fused.slot_stats(id as usize).windows_opened,
                 solo.operator().stats().windows_opened,
                 "query {id} opened a different number of windows"
             );
@@ -585,7 +892,7 @@ mod tests {
                 queue_shard.run_queue_multi(consumer, &mut deciders, None)
             });
             for event in &events {
-                assert!(producer.push_blocking(event.clone()));
+                assert!(producer.push_blocking(ShardInput::Event(event.clone())));
             }
             producer.close();
             handle.join().expect("drain thread panicked")
@@ -624,7 +931,7 @@ mod tests {
                 shard.run_queue(consumer, &mut decider, Some(std::time::Duration::from_micros(50)))
             });
             for event in &events {
-                assert!(producer.push_blocking(event.clone()));
+                assert!(producer.push_blocking(ShardInput::Event(event.clone())));
             }
             producer.close();
             handle.join().expect("drain thread panicked");
@@ -664,5 +971,78 @@ mod tests {
         let mut shard = Shard::for_queries(&set, 0, 1);
         let mut deciders = vec![KeepAll];
         let _ = shard.run_events_multi(&[], &mut deciders);
+    }
+
+    /// The shard-level lifecycle semantics in isolation: an admission at
+    /// position k equals a fresh shard over `events[k..]`, and a retirement
+    /// drains open windows before teardown.
+    #[test]
+    fn admission_mid_slice_equals_fresh_shard_over_suffix() {
+        let events: Vec<Event> =
+            (0..60).map(|i| ev(if i % 3 == 0 { 0 } else { 1 }, i, i)).collect();
+        let admit_at = 21u64;
+        let admitted = query_sized(4);
+
+        let mut shard = Shard::new(query_sized(3), 0, 1);
+        let mut commands = VecDeque::new();
+        commands.push_back((
+            admit_at,
+            ShardCommand::Admit {
+                slot: 1,
+                query: admitted.clone(),
+                decider: Box::new(KeepAll) as BoxedDecider,
+                predictor: Arc::new(SharedSizePredictor::new(4)),
+            },
+        ));
+        let row: Vec<Option<BoxedDecider>> = vec![Some(Box::new(KeepAll) as BoxedDecider)];
+        let (outputs, row) = shard.run_events_live(&events, commands, row);
+        assert_eq!(outputs.len(), 2);
+        assert_eq!(row.len(), 2);
+        assert!(row[1].is_some(), "admitted decider must survive the run");
+
+        let mut fresh = Shard::new(admitted, 0, 1);
+        let expected = fresh.run_events(&events[admit_at as usize..], &mut KeepAll);
+        assert_eq!(outputs[1], expected, "admitted query must equal a fresh shard over the suffix");
+        assert_eq!(shard.slot_stats(1), fresh.operator().stats());
+
+        // The original query is untouched by the admission.
+        let mut solo = Shard::new(query_sized(3), 0, 1);
+        let baseline = solo.run_events(&events, &mut KeepAll);
+        assert_eq!(outputs[0], baseline);
+    }
+
+    #[test]
+    fn retirement_drains_open_windows_before_teardown() {
+        // Window size 6 opened on every type-0 event (every 3rd event):
+        // retiring at position 10 leaves windows open; they must still
+        // close naturally (at their full size) before the slot retires.
+        let events: Vec<Event> =
+            (0..60).map(|i| ev(if i % 3 == 0 { 0 } else { 1 }, i, i)).collect();
+        let mut shard = Shard::new(query_sized(6), 0, 1);
+        let mut commands = VecDeque::new();
+        commands.push_back((10, ShardCommand::Retire { slot: 0 }));
+        let row: Vec<Option<BoxedDecider>> = vec![Some(Box::new(KeepAll) as BoxedDecider)];
+        let (outputs, row) = shard.run_events_live(&events, commands, row);
+        assert!(row[0].is_none(), "retired decider must be torn down");
+        assert_eq!(shard.live_count(), 0);
+
+        // Oracle: drive a fresh operator by hand — open windows normally up
+        // to the retirement position, then stop opening and stop once the
+        // last window closed.
+        let mut oracle = Operator::new(query_sized(6));
+        let mut tracker = OpenTracker::new(query_sized(6).window().open_policy().clone());
+        let mut expected = Vec::new();
+        for (i, event) in events.iter().enumerate() {
+            let opens = tracker.should_open(event) && (i as u64) < 10;
+            expected.extend(oracle.push_opened(event, opens, &mut KeepAll));
+            if i as u64 >= 10 && oracle.open_windows() == 0 {
+                break;
+            }
+        }
+        assert_eq!(outputs[0], expected);
+        assert_eq!(shard.slot_stats(0), oracle.stats());
+        // Windows that were open at retirement closed at their full size.
+        assert_eq!(shard.slot_stats(0).windows_closed, oracle.stats().windows_closed);
+        assert!(shard.slot_stats(0).windows_closed > 0);
     }
 }

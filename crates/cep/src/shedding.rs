@@ -155,6 +155,107 @@ pub trait WindowEventDecider {
     }
 }
 
+/// A type-erased, engine-owned decider: one element of the dynamic decider
+/// rows the lifecycle run paths ([`ShardedEngine::run_source_live`]) drive.
+///
+/// Static runs stay monomorphic (`&mut [D]`); the live paths need rows that
+/// can grow on admission and shrink on retirement, and whose elements may be
+/// *different* shedder types per query — both of which force type erasure.
+///
+/// [`ShardedEngine::run_source_live`]: crate::ShardedEngine::run_source_live
+pub type BoxedDecider = Box<dyn WindowEventDecider + Send>;
+
+/// Blanket implementation for boxed deciders (including boxed trait objects
+/// of any subtrait of [`WindowEventDecider`], such as the runtime crate's
+/// adaptive shedders), so `Vec<BoxedDecider>` rows plug into every generic
+/// run method unchanged.
+impl<D: WindowEventDecider + ?Sized> WindowEventDecider for Box<D> {
+    fn decide(&mut self, meta: &WindowMeta, position: usize, event: &Event) -> Decision {
+        (**self).decide(meta, position, event)
+    }
+
+    fn decide_batch(
+        &mut self,
+        event: &Event,
+        requests: &[BatchRequest],
+        decisions: &mut Vec<Decision>,
+    ) {
+        (**self).decide_batch(event, requests, decisions);
+    }
+
+    fn window_closed(&mut self, meta: &WindowMeta, size: usize) {
+        (**self).window_closed(meta, size);
+    }
+
+    fn queue_sample(&mut self, sample: &QueueSample) {
+        (**self).queue_sample(sample);
+    }
+}
+
+/// A decider whose state stays observable after the decider itself has been
+/// handed to (and possibly torn down by) a live engine run.
+///
+/// Boxed rows are *owned* by the run: an admitted query's decider moves into
+/// the engine, and a retired query's decider is dropped at teardown. Tests
+/// and reporting layers that need the decider's final state (shedder
+/// counters, controller statistics) wrap it in a `SharedDecider`, keep a
+/// [`clone`](Clone) outside, and read through [`lock`](SharedDecider::lock)
+/// after the run — the shared state outlives the engine-owned handle.
+pub struct SharedDecider<D> {
+    inner: std::sync::Arc<std::sync::Mutex<D>>,
+}
+
+impl<D> SharedDecider<D> {
+    /// Wraps `decider` in shared, lockable state.
+    pub fn new(decider: D) -> Self {
+        SharedDecider { inner: std::sync::Arc::new(std::sync::Mutex::new(decider)) }
+    }
+
+    /// Locks and returns the wrapped decider.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous user panicked while holding the lock.
+    pub fn lock(&self) -> std::sync::MutexGuard<'_, D> {
+        self.inner.lock().expect("a decider user panicked while holding the lock")
+    }
+}
+
+impl<D> Clone for SharedDecider<D> {
+    fn clone(&self) -> Self {
+        SharedDecider { inner: std::sync::Arc::clone(&self.inner) }
+    }
+}
+
+impl<D> std::fmt::Debug for SharedDecider<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedDecider").finish_non_exhaustive()
+    }
+}
+
+impl<D: WindowEventDecider> WindowEventDecider for SharedDecider<D> {
+    fn decide(&mut self, meta: &WindowMeta, position: usize, event: &Event) -> Decision {
+        self.lock().decide(meta, position, event)
+    }
+
+    fn decide_batch(
+        &mut self,
+        event: &Event,
+        requests: &[BatchRequest],
+        decisions: &mut Vec<Decision>,
+    ) {
+        self.lock().decide_batch(event, requests, decisions);
+    }
+
+    fn window_closed(&mut self, meta: &WindowMeta, size: usize) {
+        self.lock().window_closed(meta, size);
+    }
+
+    fn queue_sample(&mut self, sample: &QueueSample) {
+        self.lock().queue_sample(sample);
+    }
+}
+
 /// A decider that keeps every event. Used for ground-truth (no shedding) runs
 /// and during model training.
 #[derive(Debug, Default, Clone, Copy)]

@@ -26,6 +26,27 @@ pub type WindowId = u64;
 /// query 0 of 1.
 pub type QueryId = u32;
 
+/// A generation-stamped reference to one admitted query of a live engine.
+///
+/// The [`QueryId`] (`slot`) names the query's position on the engine's
+/// per-query axis — outputs, statistics and deciders are indexed by it —
+/// and is never reused: retiring a query freezes its slot and a later
+/// admission always gets a fresh one. The `generation` stamp additionally
+/// makes every *admission* a distinct identity: two admissions of an
+/// identical [`Query`](crate::Query) value carry different generations, so
+/// a stale handle held after a retirement can never be confused with a
+/// re-admitted query — [`EngineControl::retire`](crate::EngineControl::retire)
+/// rejects any handle whose `(slot, generation)` pair does not match the
+/// currently live admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct QueryHandle {
+    /// The query's slot on the engine's per-query axis (its [`QueryId`]).
+    pub slot: QueryId,
+    /// The admission stamp: unique across every admission of the engine,
+    /// initial queries included.
+    pub generation: u64,
+}
+
 /// When new windows are opened.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum OpenPolicy {

@@ -164,6 +164,9 @@ pub struct QueueOverloadController {
     throughput_estimate: Option<f64>,
     /// Estimate shared with the other controllers of this queue, if any.
     shared: Option<Arc<SharedThroughput>>,
+    /// Set by [`join_in_progress`](Self::join_in_progress): the next sample
+    /// only aligns the cumulative baselines, it never measures.
+    aligning: bool,
     /// Smoothed magnitude of the inter-check queue-depth swing (events) —
     /// the burstiness signal online `f` adaptation works from.
     burst_estimate: f64,
@@ -203,6 +206,7 @@ impl QueueOverloadController {
             detector: None,
             throughput_estimate: None,
             shared: None,
+            aligning: false,
             burst_estimate: 0.0,
             last_elapsed: SimDuration::ZERO,
             last_busy: SimDuration::ZERO,
@@ -218,6 +222,21 @@ impl QueueOverloadController {
     /// its own it adopts the latest published value.
     pub fn share_throughput(&mut self, shared: Arc<SharedThroughput>) {
         self.shared = Some(shared);
+    }
+
+    /// Declares that this controller joins a queue whose drain loop is
+    /// **already running** — a query admitted mid-stream. The samples a
+    /// drain loop reports carry *cumulative* elapsed/busy clocks since the
+    /// loop started; a controller created at time zero correctly reads the
+    /// first sample as one measurement interval, but a controller joining
+    /// at cumulative time `T` would divide its first drain delta by `T` of
+    /// busy time and "measure" a capacity close to zero — and immediately
+    /// shed against the resulting tiny `qmax`. After this call the first
+    /// sample only aligns the cumulative baselines (and returns no action);
+    /// real measurement starts with the second sample, one check interval
+    /// after admission.
+    pub fn join_in_progress(&mut self) {
+        self.aligning = true;
     }
 
     /// The configured overload parameters.
@@ -273,6 +292,15 @@ impl QueueOverloadController {
     /// controller is still calibrating (no busy interval measured yet and
     /// no shared estimate available) or no time has passed.
     pub fn sample(&mut self, sample: &QueueSample) -> Option<ControlAction> {
+        if self.aligning {
+            // Mid-stream join: adopt the drain loop's cumulative clocks as
+            // baselines so the next sample measures one true interval.
+            self.aligning = false;
+            self.last_elapsed = sample.elapsed;
+            self.last_busy = sample.busy;
+            self.last_depth = sample.depth;
+            return None;
+        }
         let interval = sample.elapsed.saturating_sub(self.last_elapsed);
         if interval.is_zero() {
             return None;
@@ -659,6 +687,30 @@ mod tests {
             let _ = controller.sample(&full_sample(ms(elapsed), ms(elapsed), 0, 100));
         }
         assert!(controller.current_f() >= 0.95 - 1e-9, "f = {}", controller.current_f());
+    }
+
+    /// A controller joining mid-run must not read the drain loop's
+    /// cumulative clocks as its first measurement interval: without the
+    /// alignment, 10 drains over "13 s of busy time" would calibrate a
+    /// sub-1-event/s capacity and shed an idle queue.
+    #[test]
+    fn joining_mid_stream_aligns_instead_of_measuring() {
+        let mut fresh = QueueOverloadController::new(config(1, 0.8));
+        // The un-aligned behaviour this guards against: a first sample
+        // deep into a run measures garbage and sheds at depth 1.
+        let mid_run = full_sample(ms(13_000), ms(13_000), 1, 10);
+        assert!(matches!(fresh.sample(&mid_run), Some(ControlAction::Shed(_))));
+
+        let mut joined = QueueOverloadController::new(config(1, 0.8));
+        joined.join_in_progress();
+        assert_eq!(joined.sample(&mid_run), None, "the first sample only aligns");
+        assert_eq!(joined.throughput(), None);
+        // One real interval later: 100 drains in 100 ms of busy time is a
+        // healthy 1000 events/s — no shedding on a near-empty queue.
+        let next = full_sample(ms(13_100), ms(13_100), 1, 100);
+        assert_eq!(joined.sample(&next), Some(ControlAction::Resume));
+        let th = joined.throughput().expect("calibrated from the first true interval");
+        assert!((th - 1000.0).abs() < 1e-6, "throughput {th}");
     }
 
     #[test]

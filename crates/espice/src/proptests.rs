@@ -9,7 +9,7 @@ use espice_cep::reference::ReferenceOperator;
 use espice_cep::{
     Operator, Pattern, Query, ShardedEngine, WindowEventDecider, WindowMeta, WindowSpec,
 };
-use espice_events::{Event, EventType, SimDuration, Timestamp, VecStream};
+use espice_events::{Event, EventStream, EventType, SimDuration, Timestamp, VecStream};
 use proptest::prelude::*;
 
 /// Builds a model from a randomly composed window population.
@@ -333,6 +333,165 @@ proptest! {
                     "an armed shedder over a non-trivial stream should drop something");
             } else {
                 prop_assert_eq!(fused_stats.merged.dropped, 0);
+            }
+        }
+    }
+
+    /// The lifecycle acceptance pin: a streaming run that **admits a query
+    /// mid-stream and retires another**, with armed eSPICE shedders on
+    /// every slot, is identical to the static-engine oracles per query —
+    /// complex events, operator statistics *and shedder counters*. The
+    /// admitted slot equals a fresh static engine (with identically armed
+    /// shedders) over `events[k..]`; the surviving slot equals its static
+    /// full-stream run; the retired slot's shedders are torn down after
+    /// its windows drained, with their counters still observable through
+    /// the [`SharedDecider`] handles kept outside the engine.
+    #[test]
+    fn lifecycle_churn_with_espice_shedders_is_pinned_against_static_oracles(
+        types in prop::collection::vec(0u32..6, 40..140),
+        window_keep in 4usize..12,
+        window_retire in 5usize..14,
+        window_admit in 4usize..12,
+        slide in 1usize..4,
+        drop_fraction in 0.1f64..0.8,
+        admit_frac in 0.2f64..0.8,
+        retire_frac in 0.2f64..0.8,
+        streaming in prop::bool::ANY,
+    ) {
+        use espice_cep::{BoxedDecider, SharedDecider};
+
+        let model = model_from(&types[..window_keep.min(types.len())], &[0, 2]);
+        let make_query = |size: usize| {
+            Query::builder()
+                .pattern(Pattern::sequence([EventType::from_index(0), EventType::from_index(1)]))
+                .window(WindowSpec::count_sliding(size, slide))
+                .build()
+        };
+        let armed = |size: usize| {
+            let mut shedder = EspiceShedder::new(model.clone());
+            shedder.apply(ShedPlan {
+                active: true,
+                partitions: 2,
+                partition_size: size.div_ceil(2),
+                events_to_drop: drop_fraction * size.div_ceil(2) as f64,
+            });
+            shedder
+        };
+        let set = espice_cep::QuerySet::new(vec![
+            make_query(window_retire),
+            make_query(window_keep),
+        ]);
+        let admitted_query = make_query(window_admit);
+        let events: Vec<Event> = types
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| Event::new(EventType::from_index(t), Timestamp::from_secs(i as u64), i as u64))
+            .collect();
+        let stream = VecStream::from_ordered(events);
+        let admit_at = ((stream.len() as f64 * admit_frac) as u64).min(stream.len() as u64 - 1);
+        let retire_at = ((stream.len() as f64 * retire_frac) as u64).min(stream.len() as u64 - 1);
+        let suffix = VecStream::from_ordered(stream.events()[admit_at as usize..].to_vec());
+        let window_sizes = [window_retire, window_keep, window_admit];
+
+        for shards in [1usize, 2, 4] {
+            let mut engine = ShardedEngine::for_queries(set.clone(), shards);
+            let control = engine.control();
+            control.retire_at(retire_at, engine.query_handle(0).expect("live"));
+
+            // Observation handles per (shard, slot): the shedders move
+            // into the engine boxed; the clones stay out here so the
+            // counters survive even the retired slot's teardown.
+            let mut observers: Vec<Vec<SharedDecider<EspiceShedder>>> =
+                (0..shards).map(|_| Vec::new()).collect();
+            let row_for = |slot: usize, observers: &mut Vec<Vec<SharedDecider<EspiceShedder>>>| {
+                (0..shards)
+                    .map(|shard| {
+                        let decider = SharedDecider::new(armed(window_sizes[slot]));
+                        observers[shard].push(decider.clone());
+                        Box::new(decider) as BoxedDecider
+                    })
+                    .collect::<Vec<_>>()
+            };
+            let retired_row = row_for(0, &mut observers);
+            let survivor_row = row_for(1, &mut observers);
+            control.admit_at(admit_at, admitted_query.clone(), row_for(2, &mut observers));
+
+            // Shard-major initial deciders: [shard0: slot0, slot1, ...].
+            let mut initial: Vec<BoxedDecider> = Vec::new();
+            let mut rows = vec![retired_row, survivor_row];
+            for _ in 0..shards {
+                for row in &mut rows {
+                    initial.push(row.remove(0));
+                }
+            }
+
+            let outcome = if streaming {
+                let mut source = espice_events::SliceSource::from_stream(&stream);
+                engine.run_source_live(&mut source, initial)
+            } else {
+                engine.run_slice_live(&stream, initial)
+            };
+            let stats = engine.stats();
+            let counters = |slot: usize, observers: &Vec<Vec<SharedDecider<EspiceShedder>>>| {
+                let mut merged = crate::ShedderStats::default();
+                for row in observers {
+                    merged.merge(row[slot].lock().stats());
+                }
+                merged
+            };
+
+            // Admitted slot vs a fresh engine over the suffix, identically
+            // armed.
+            let mut fresh = ShardedEngine::new(admitted_query.clone(), shards);
+            let mut fresh_deciders = vec![armed(window_admit); shards];
+            let expected_admitted = fresh.run_slice(&suffix, &mut fresh_deciders);
+            prop_assert_eq!(&outcome.complex_events[2], &expected_admitted,
+                "admitted complex events diverged at {} shards (streaming={})", shards, streaming);
+            prop_assert_eq!(&stats.per_query[2], &fresh.stats().merged);
+            let mut fresh_counters = crate::ShedderStats::default();
+            for decider in &fresh_deciders {
+                fresh_counters.merge(decider.stats());
+            }
+            prop_assert_eq!(counters(2, &observers), fresh_counters,
+                "admitted shedder counters diverged at {} shards", shards);
+
+            // Surviving slot vs its static full-stream run.
+            let mut solo = ShardedEngine::new(set.queries()[1].clone(), shards);
+            let mut solo_deciders = vec![armed(window_keep); shards];
+            let expected_survivor = solo.run_slice(&stream, &mut solo_deciders);
+            prop_assert_eq!(&outcome.complex_events[1], &expected_survivor,
+                "survivor complex events diverged at {} shards (streaming={})", shards, streaming);
+            prop_assert_eq!(&stats.per_query[1], &solo.stats().merged);
+            let mut solo_counters = crate::ShedderStats::default();
+            for decider in &solo_deciders {
+                solo_counters.merge(decider.stats());
+            }
+            prop_assert_eq!(counters(1, &observers), solo_counters,
+                "survivor shedder counters diverged at {} shards", shards);
+
+            // Retired slot: deciders torn down (per-window boundary state
+            // released with the last drained window), output a prefix of
+            // the static run, counters frozen at the teardown.
+            for row in &outcome.deciders {
+                prop_assert!(row[0].is_none(), "retired decider must be dropped");
+            }
+            let mut full = ShardedEngine::new(set.queries()[0].clone(), shards);
+            let mut full_deciders = vec![armed(window_retire); shards];
+            let expected_full = full.run_slice(&stream, &mut full_deciders);
+            let retired = &outcome.complex_events[0];
+            prop_assert!(retired.len() <= expected_full.len());
+            prop_assert_eq!(retired.as_slice(), &expected_full[..retired.len()]);
+            let retired_counters = counters(0, &observers);
+            prop_assert!(retired_counters.decisions <= {
+                let mut all = crate::ShedderStats::default();
+                for decider in &full_deciders {
+                    all.merge(decider.stats());
+                }
+                all
+            }.decisions);
+            for row in &observers {
+                prop_assert_eq!(row[0].lock().tracked_windows(), 0,
+                    "retired shedder must have released its per-window state");
             }
         }
     }

@@ -212,6 +212,17 @@ impl EspiceShedder {
         &self.stats
     }
 
+    /// Number of windows whose boundary-thinning accumulators are currently
+    /// resident (0 when inactive). Bounded by the concurrently *open*
+    /// windows that hit the boundary utility level; the operator releases
+    /// each window's state through
+    /// [`WindowEventDecider::window_closed`](espice_cep::WindowEventDecider::window_closed),
+    /// so after a query's windows drained — the lifecycle teardown
+    /// contract — this must be back at 0.
+    pub fn tracked_windows(&self) -> usize {
+        self.active.as_ref().map_or(0, |active| active.accumulators.len())
+    }
+
     /// The per-partition utility thresholds of the active plan (empty when
     /// inactive). Exposed for experiments and debugging.
     pub fn thresholds(&self) -> Vec<Option<u8>> {

@@ -1,7 +1,7 @@
 //! A common interface for shedders that react to drop commands at run time.
 
 use espice::{BaselineShedder, EspiceShedder, RandomShedder, ShedPlan};
-use espice_cep::{Decision, WindowEventDecider, WindowMeta};
+use espice_cep::{Decision, SharedDecider, WindowEventDecider, WindowMeta};
 use espice_events::Event;
 
 /// A load shedder that can be (de)activated with [`ShedPlan`]s while acting as
@@ -9,6 +9,11 @@ use espice_events::Event;
 ///
 /// Implemented for eSPICE, the `BL` baseline and the random shedder so the
 /// experiment driver and the queueing simulation can treat them uniformly.
+/// The trait is object-safe, and boxed trait objects
+/// (`Box<dyn AdaptiveShedder + Send>`) implement it too — that is the
+/// *heterogeneous decider row*: one engine run can arm eSPICE on one query
+/// and a baseline on another, statically or through the lifecycle control
+/// channel, without the enum the experiment driver used to carry.
 pub trait AdaptiveShedder: WindowEventDecider {
     /// Applies a drop command (an inactive plan deactivates shedding).
     fn apply_plan(&mut self, plan: ShedPlan);
@@ -18,6 +23,52 @@ pub trait AdaptiveShedder: WindowEventDecider {
 
     /// Whether the shedder is currently dropping events.
     fn is_active(&self) -> bool;
+}
+
+impl<S: AdaptiveShedder + ?Sized> AdaptiveShedder for &mut S {
+    fn apply_plan(&mut self, plan: ShedPlan) {
+        (**self).apply_plan(plan);
+    }
+
+    fn deactivate(&mut self) {
+        (**self).deactivate();
+    }
+
+    fn is_active(&self) -> bool {
+        (**self).is_active()
+    }
+}
+
+impl<S: AdaptiveShedder + ?Sized> AdaptiveShedder for Box<S> {
+    fn apply_plan(&mut self, plan: ShedPlan) {
+        (**self).apply_plan(plan);
+    }
+
+    fn deactivate(&mut self) {
+        (**self).deactivate();
+    }
+
+    fn is_active(&self) -> bool {
+        (**self).is_active()
+    }
+}
+
+/// A [`SharedDecider`] wrapper is itself adaptive: lock, delegate. This is
+/// what lets a closed-loop shedder move into an engine-owned boxed row
+/// while the caller keeps a clone to read controller state after the run
+/// (or after the query's mid-stream teardown).
+impl<S: AdaptiveShedder> AdaptiveShedder for SharedDecider<S> {
+    fn apply_plan(&mut self, plan: ShedPlan) {
+        self.lock().apply_plan(plan);
+    }
+
+    fn deactivate(&mut self) {
+        self.lock().deactivate();
+    }
+
+    fn is_active(&self) -> bool {
+        self.lock().is_active()
+    }
 }
 
 impl AdaptiveShedder for EspiceShedder {

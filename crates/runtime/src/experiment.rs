@@ -320,9 +320,9 @@ impl Experiment {
         // each activated with the same plan. Randomised shedders are
         // decorrelated by shard so they do not drop in lockstep.
         let shards = self.config.shards.max(1);
-        let mut deciders: Vec<AnyShedder> = (0..shards)
+        let mut deciders: Vec<Box<dyn AdaptiveShedder + Send>> = (0..shards)
             .map(|shard| {
-                let mut shedder = self.make_shedder(query, kind, self.config.seed + shard as u64);
+                let mut shedder = self.shedder_for(query, kind, self.config.seed + shard as u64);
                 shedder.apply_plan(plan);
                 shedder
             })
@@ -381,6 +381,22 @@ impl Experiment {
     /// changes *how* events are fed, never what is decided — which is
     /// pinned by proptests.
     pub fn evaluate_set(&self, queries: &QuerySet, kind: ShedderKind) -> Vec<QualityOutcome> {
+        let kinds = vec![kind; queries.len()];
+        self.evaluate_mixed(queries, &kinds)
+    }
+
+    /// Evaluates a **heterogeneous** shedder mix on the fused engine: one
+    /// shedder kind *per query* in a single run — eSPICE on one query, the
+    /// baseline on another, random on a third — all sharing one ingestion
+    /// pipeline. The decider rows are type-erased boxed shedders, the same
+    /// mechanism the lifecycle paths use, so no driver-level enum mediates
+    /// between shedder types anymore.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kinds.len()` differs from the query count.
+    pub fn evaluate_mixed(&self, queries: &QuerySet, kinds: &[ShedderKind]) -> Vec<QualityOutcome> {
+        assert_eq!(kinds.len(), queries.len(), "need exactly one shedder kind per query");
         let shards = self.config.shards.max(1);
 
         // Ground truth for all queries in one fused keep-everything pass.
@@ -393,10 +409,12 @@ impl Experiment {
         // fused and independent evaluations stay byte-identical even for
         // randomised shedders.
         let plans: Vec<ShedPlan> = queries.queries().iter().map(|q| self.shed_plan(q)).collect();
-        let mut deciders: Vec<AnyShedder> = Vec::with_capacity(shards * queries.len());
+        let mut deciders: Vec<Box<dyn AdaptiveShedder + Send>> =
+            Vec::with_capacity(shards * queries.len());
         for shard in 0..shards {
             for (id, query) in queries.iter() {
-                let mut shedder = self.make_shedder(query, kind, self.config.seed + shard as u64);
+                let mut shedder =
+                    self.shedder_for(query, kinds[id as usize], self.config.seed + shard as u64);
                 shedder.apply_plan(plans[id as usize]);
                 deciders.push(shedder);
             }
@@ -430,7 +448,7 @@ impl Experiment {
             .map(|(id, _)| {
                 let id = id as usize;
                 QualityOutcome {
-                    shedder: kind,
+                    shedder: kinds[id],
                     metrics: QualityMetrics::compare(&ground_truth[id], &detected[id]),
                     plan: plans[id],
                     drop_ratio: stats.per_query[id].drop_ratio(),
@@ -451,71 +469,26 @@ impl Experiment {
         engine
     }
 
-    fn make_shedder(&self, query: &Query, kind: ShedderKind, seed: u64) -> AnyShedder {
+    /// Builds one shedder instance of `kind` for `query`, armed with
+    /// nothing yet, as a type-erased boxed decider — one element of the
+    /// heterogeneous rows the engine API accepts directly (the per-query
+    /// `AnyShedder` enum this driver used to carry is gone: boxed rows are
+    /// the engine-level mechanism now, shared with the lifecycle paths).
+    pub fn shedder_for(
+        &self,
+        query: &Query,
+        kind: ShedderKind,
+        seed: u64,
+    ) -> Box<dyn AdaptiveShedder + Send> {
         match kind {
-            ShedderKind::Espice => AnyShedder::Espice(EspiceShedder::new(self.model.clone())),
+            ShedderKind::Espice => Box::new(EspiceShedder::new(self.model.clone())),
             ShedderKind::Baseline => {
-                AnyShedder::Baseline(BaselineShedder::new(query.pattern(), &self.model, seed))
+                Box::new(BaselineShedder::new(query.pattern(), &self.model, seed))
             }
-            ShedderKind::Random => AnyShedder::Random(RandomAdaptive::new(
+            ShedderKind::Random => Box::new(RandomAdaptive::new(
                 RandomShedder::new(seed),
                 self.model.average_window_size(),
             )),
-        }
-    }
-}
-
-/// Concrete union of the three shedders so the evaluation loop stays
-/// monomorphic (no trait objects on the per-event hot path).
-#[derive(Debug, Clone)]
-enum AnyShedder {
-    Espice(EspiceShedder),
-    Baseline(BaselineShedder),
-    Random(RandomAdaptive),
-}
-
-impl AnyShedder {
-    fn apply_plan(&mut self, plan: ShedPlan) {
-        match self {
-            AnyShedder::Espice(s) => s.apply_plan(plan),
-            AnyShedder::Baseline(s) => s.apply_plan(plan),
-            AnyShedder::Random(s) => s.apply_plan(plan),
-        }
-    }
-}
-
-impl espice_cep::WindowEventDecider for AnyShedder {
-    fn decide(
-        &mut self,
-        meta: &espice_cep::WindowMeta,
-        position: usize,
-        event: &espice_events::Event,
-    ) -> espice_cep::Decision {
-        match self {
-            AnyShedder::Espice(s) => s.decide(meta, position, event),
-            AnyShedder::Baseline(s) => s.decide(meta, position, event),
-            AnyShedder::Random(s) => s.decide(meta, position, event),
-        }
-    }
-
-    fn decide_batch(
-        &mut self,
-        event: &espice_events::Event,
-        requests: &[espice_cep::BatchRequest],
-        decisions: &mut Vec<espice_cep::Decision>,
-    ) {
-        match self {
-            AnyShedder::Espice(s) => s.decide_batch(event, requests, decisions),
-            AnyShedder::Baseline(s) => s.decide_batch(event, requests, decisions),
-            AnyShedder::Random(s) => s.decide_batch(event, requests, decisions),
-        }
-    }
-
-    fn window_closed(&mut self, meta: &espice_cep::WindowMeta, size: usize) {
-        match self {
-            AnyShedder::Espice(s) => s.window_closed(meta, size),
-            AnyShedder::Baseline(s) => s.window_closed(meta, size),
-            AnyShedder::Random(s) => s.window_closed(meta, size),
         }
     }
 }

@@ -177,6 +177,32 @@ pub mod mixes {
             _ => None,
         }
     }
+
+    /// The registered churn scenario: a tenant ladder in motion. Starts
+    /// with two Q3 rungs, admits a third rung a third of the way into a
+    /// stream of `stream_len` events, and retires the first rung at the
+    /// two-thirds mark — the canonical admit-and-retire schedule the live
+    /// engine ([`run_closed_loop_live`](crate::run_closed_loop_live)) and
+    /// the simulation oracle
+    /// ([`LatencySimulation::run_set_live`](crate::LatencySimulation::run_set_live))
+    /// both replay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stream_len` is shorter than 3 events.
+    pub fn q3_churn(
+        dataset: &StockDataset,
+        stream_len: usize,
+    ) -> (QuerySet, Vec<crate::streaming::QueryChurn>) {
+        assert!(stream_len >= 3, "the churn schedule needs at least 3 events of stream");
+        let initial = q3_ladder(dataset, 2);
+        let admitted = super::q3(dataset, 8, 200, SelectionPolicy::First);
+        let churn = vec![
+            crate::streaming::QueryChurn::admit(stream_len as u64 / 3, admitted),
+            crate::streaming::QueryChurn::retire(2 * stream_len as u64 / 3, 0),
+        ];
+        (initial, churn)
+    }
 }
 
 #[cfg(test)]

@@ -156,9 +156,83 @@ pub fn per_query_quality_table(
     (table, footer)
 }
 
+/// Renders one row per query slot of a live (lifecycle-enabled) run:
+/// admission and retirement positions from the [`LifecycleReport`], plus
+/// the slot's events processed, complex events and realised drop ratio
+/// from the engine's per-query statistics. Slots of the initial set show
+/// an admission position of 0; still-live slots show a retirement of -1.
+///
+/// # Panics
+///
+/// Panics if `names` and `per_query` differ in length.
+///
+/// [`LifecycleReport`]: espice_cep::LifecycleReport
+pub fn lifecycle_table(
+    names: &[&str],
+    report: &espice_cep::LifecycleReport,
+    per_query: &[espice_cep::OperatorStats],
+) -> Table {
+    assert_eq!(names.len(), per_query.len(), "need exactly one name per query slot");
+    let mut table = Table::new(
+        "query",
+        vec![
+            "admitted at".into(),
+            "retired at".into(),
+            "events".into(),
+            "complex".into(),
+            "drop ratio".into(),
+        ],
+    );
+    for (slot, (name, stats)) in names.iter().zip(per_query).enumerate() {
+        let admitted = report
+            .admitted
+            .iter()
+            .find(|(handle, _)| handle.slot as usize == slot)
+            .map_or(0.0, |(_, at)| *at as f64);
+        let retired = report
+            .retired
+            .iter()
+            .find(|(handle, _)| handle.slot as usize == slot)
+            .map_or(-1.0, |(_, at)| *at as f64);
+        table.add_row(
+            name,
+            vec![
+                admitted,
+                retired,
+                stats.events_processed as f64,
+                stats.complex_events as f64,
+                stats.drop_ratio(),
+            ],
+        );
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn lifecycle_table_reports_admission_and_retirement_positions() {
+        let report = espice_cep::LifecycleReport {
+            admitted: vec![(espice_cep::QueryHandle { slot: 2, generation: 2 }, 700)],
+            retired: vec![(espice_cep::QueryHandle { slot: 0, generation: 0 }, 400)],
+            rejected: 0,
+        };
+        let stats = |events: u64| espice_cep::OperatorStats {
+            events_processed: events,
+            complex_events: 5,
+            ..espice_cep::OperatorStats::default()
+        };
+        let table =
+            lifecycle_table(&["q0", "q1", "q2"], &report, &[stats(450), stats(2000), stats(1300)]);
+        let text = table.render();
+        assert!(text.contains("admitted at"));
+        assert!(text.contains("700.00"), "admission position missing:\n{text}");
+        assert!(text.contains("400.00"), "retirement position missing:\n{text}");
+        assert!(text.contains("-1.00"), "live slots render retirement -1:\n{text}");
+        assert_eq!(table.len(), 3);
+    }
 
     #[test]
     fn per_query_table_lists_each_query_and_the_shared_queue() {

@@ -22,8 +22,9 @@
 
 use crate::adaptive::AdaptiveShedder;
 use crate::metrics::LatencyTrace;
+use crate::streaming::{ChurnAction, QueryChurn};
 use espice::{ControlAction, QueueOverloadController};
-use espice_cep::{ComplexEvent, Operator, Query, QuerySet};
+use espice_cep::{ComplexEvent, Operator, OperatorStats, Query, QueryId, QuerySet};
 use espice_events::{RateReplay, SimDuration, Timestamp, VecStream};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
@@ -185,14 +186,53 @@ impl LatencySimulation {
         S: AdaptiveShedder,
     {
         assert_eq!(shedders.len(), queries.len(), "need exactly one shedder per query");
+        let borrowed: Vec<&mut S> = shedders.iter_mut().collect();
+        self.run_set_live(queries, stream, borrowed, &[], |_, _| {
+            unreachable!("an empty churn schedule admits nothing")
+        })
+    }
+
+    /// [`run_set`](Self::run_set) with a lifecycle schedule in the loop:
+    /// the simulated query population changes mid-stream according to
+    /// `churn` — admissions get a fresh operator (window ids from zero, as
+    /// a fresh engine's would), a fresh shedder from `make_shedder(slot,
+    /// query)` and a fresh controller on the shared throughput signal;
+    /// retirements stop opening windows at their position, drain the open
+    /// windows to completion and then tear operator, shedder and
+    /// controller down. Positions are event indices into `stream`, exactly
+    /// the anchors [`run_closed_loop_live`](crate::run_closed_loop_live)
+    /// replays on the real engine — this simulation is the deterministic
+    /// oracle for that path.
+    ///
+    /// The outcome's per-slot axis covers every slot ever admitted;
+    /// retired slots keep the complex events they produced while live.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the initial shedder count mismatches, or a churn entry
+    /// retires a slot that does not exist when its position is reached.
+    pub fn run_set_live<S, F>(
+        &self,
+        initial: &QuerySet,
+        stream: &VecStream,
+        initial_shedders: Vec<S>,
+        churn: &[QueryChurn],
+        mut make_shedder: F,
+    ) -> MultiSimulationOutcome
+    where
+        S: AdaptiveShedder,
+        F: FnMut(QueryId, &Query) -> S,
+    {
+        assert_eq!(
+            initial_shedders.len(),
+            initial.len(),
+            "need exactly one shedder per initial query"
+        );
         let cfg = &self.config;
         let base_service = SimDuration::from_secs_f64(1.0 / cfg.throughput);
         let overhead = base_service.mul_f64(cfg.shedding_overhead);
+        let servers = cfg.shards.max(1);
 
-        let mut operators: Vec<Operator> = queries
-            .iter()
-            .map(|(query_id, query)| Operator::for_query(query.clone(), query_id, 0, 1))
-            .collect();
         // The closed-loop controllers measure the *aggregate* drain
         // capacity by themselves: with N servers the summed busy time
         // scales the estimate, so both the tolerable queue length (qmax)
@@ -200,26 +240,36 @@ impl LatencySimulation {
         // no precomputed throughput or input rate is handed over. One
         // controller per query (each plans against its own window
         // geometry), sharing one published throughput estimate since one
-        // queue serves them all.
+        // queue serves them all; admitted queries join the same signal.
         let shared = std::sync::Arc::new(espice::SharedThroughput::new());
-        let mut controllers: Vec<QueueOverloadController> = (0..queries.len())
-            .map(|_| {
-                let mut controller = QueueOverloadController::with_servers(
-                    espice::OverloadConfig {
-                        latency_bound: cfg.latency_bound,
-                        f: cfg.f,
-                        check_interval: cfg.check_interval,
-                        ..espice::OverloadConfig::default()
-                    },
-                    cfg.shards.max(1),
-                );
-                controller.share_throughput(std::sync::Arc::clone(&shared));
-                controller
+        let overload = espice::OverloadConfig {
+            latency_bound: cfg.latency_bound,
+            f: cfg.f,
+            check_interval: cfg.check_interval,
+            ..espice::OverloadConfig::default()
+        };
+        let fresh_controller = || {
+            let mut controller = QueueOverloadController::with_servers(overload, servers);
+            controller.share_throughput(std::sync::Arc::clone(&shared));
+            controller
+        };
+
+        let mut slots: Vec<SimSlot<S>> = initial
+            .iter()
+            .zip(initial_shedders)
+            .map(|((query_id, query), shedder)| SimSlot::Live {
+                operator: Operator::for_query(query.clone(), query_id, 0, 1),
+                shedder,
+                controller: fresh_controller(),
+                draining: false,
             })
             .collect();
-
         let mut complex_events: Vec<Vec<ComplexEvent>> =
-            (0..queries.len()).map(|_| Vec::new()).collect();
+            (0..slots.len()).map(|_| Vec::new()).collect();
+        let mut ordered: Vec<&QueryChurn> = churn.iter().collect();
+        ordered.sort_by_key(|change| change.at);
+        let mut next_change = 0usize;
+
         // Completion times of events still "in the system" (with their
         // service durations, so completed work can be credited to the
         // controllers' busy-time measurement); used to derive the queue
@@ -229,7 +279,7 @@ impl LatencySimulation {
         // One FIFO server per engine shard; an event is dispatched to the
         // server that frees up first. `shards == 1` is the paper's
         // single-threaded operator.
-        let mut server_free: Vec<Timestamp> = vec![Timestamp::ZERO; cfg.shards.max(1)];
+        let mut server_free: Vec<Timestamp> = vec![Timestamp::ZERO; servers];
         let mut next_check = cfg.check_interval;
         let mut next_sample = Timestamp::ZERO;
         // Cumulative busy time of all servers (sum of completed service
@@ -237,7 +287,9 @@ impl LatencySimulation {
         let mut busy_total = SimDuration::ZERO;
         let mut drained_since_check = 0u64;
         // Summed operator counters at the previous check (for the
-        // kept/assignment deltas in the controllers' samples).
+        // kept/assignment deltas in the controllers' samples). Retired
+        // slots keep contributing their frozen totals so the deltas stay
+        // monotone across a teardown.
         let mut assignments_at_check = 0u64;
         let mut kept_at_check = 0u64;
         let mut peak_queue_depth = 0usize;
@@ -249,7 +301,48 @@ impl LatencySimulation {
         };
         let mut latency_sum = 0.0f64;
 
-        for (arrival, event) in RateReplay::new(stream, cfg.input_rate) {
+        for (index, (arrival, event)) in RateReplay::new(stream, cfg.input_rate).enumerate() {
+            // Lifecycle changes due at this stream position, applied
+            // before the event is offered to anyone — the same safe point
+            // the real engine's in-band commands occupy.
+            while next_change < ordered.len() && ordered[next_change].at <= index as u64 {
+                let change = ordered[next_change];
+                next_change += 1;
+                match &change.action {
+                    ChurnAction::Admit(query) => {
+                        let slot = slots.len() as QueryId;
+                        let shedder = make_shedder(slot, query);
+                        // A mid-stream join: the first sample this
+                        // controller sees carries the run's cumulative
+                        // clocks, so it must align, not measure.
+                        let mut controller = fresh_controller();
+                        controller.join_in_progress();
+                        slots.push(SimSlot::Live {
+                            operator: Operator::for_query(query.clone(), slot, 0, 1),
+                            shedder,
+                            controller,
+                            draining: false,
+                        });
+                        complex_events.push(Vec::new());
+                    }
+                    ChurnAction::Retire(slot) => {
+                        let state = slots
+                            .get_mut(*slot as usize)
+                            .unwrap_or_else(|| panic!("churn retires unknown slot {slot}"));
+                        let finished = match state {
+                            SimSlot::Live { operator, draining, .. } => {
+                                *draining = true;
+                                operator.open_windows() == 0
+                            }
+                            SimSlot::Retired { .. } => false,
+                        };
+                        if finished {
+                            finalize_sim_slot(state);
+                        }
+                    }
+                }
+            }
+
             // The event starts on the earliest-free server once it has
             // arrived.
             let mut server = 0;
@@ -277,8 +370,8 @@ impl LatencySimulation {
                 // events (the kept fraction that normalises mid-shed
                 // throughput measurements). Queue state is shared; only
                 // the window-size prediction is per query.
-                let assignments_now: u64 = operators.iter().map(|o| o.stats().assignments).sum();
-                let kept_now: u64 = operators.iter().map(|o| o.stats().kept).sum();
+                let assignments_now: u64 = slots.iter().map(SimSlot::assignments).sum();
+                let kept_now: u64 = slots.iter().map(SimSlot::kept).sum();
                 let mut measurement = espice_cep::QueueSample {
                     elapsed: next_check,
                     busy: busy_total,
@@ -291,9 +384,10 @@ impl LatencySimulation {
                 assignments_at_check = assignments_now;
                 kept_at_check = kept_now;
                 drained_since_check = 0;
-                for ((controller, shedder), operator) in
-                    controllers.iter_mut().zip(shedders.iter_mut()).zip(operators.iter())
-                {
+                for state in slots.iter_mut() {
+                    let SimSlot::Live { operator, shedder, controller, .. } = state else {
+                        continue;
+                    };
                     measurement.predicted_window_size = operator.predicted_window_size();
                     match controller.sample(&measurement) {
                         Some(ControlAction::Shed(plan)) => shedder.apply_plan(plan),
@@ -304,31 +398,46 @@ impl LatencySimulation {
                 next_check += cfg.check_interval;
             }
 
-            // Process the event through every query's operator (this is
-            // where shedding decisions for each window happen). The
+            // Process the event through every live query's operator (this
+            // is where shedding decisions for each window happen). The
             // service time sums each query's share: proportional to the
             // window assignments that were actually processed, plus the
             // (small) shedding overhead whenever an active shedder is
             // consulted. Events that fall into no open window of a query
             // only pay the small constant cost of being parsed and
             // discarded — that operator has nothing to match them against.
+            // Draining queries stop opening windows but keep feeding their
+            // open ones; the moment the last closes, the slot is torn down
+            // and stops costing service time at all.
             let mut service = SimDuration::ZERO;
-            for ((operator, shedder), out) in
-                operators.iter_mut().zip(shedders.iter_mut()).zip(complex_events.iter_mut())
-            {
-                let assignments_before = operator.stats().assignments;
-                let kept_before = operator.stats().kept;
-                out.extend(operator.push(&event, shedder));
-                let assignments = operator.stats().assignments - assignments_before;
-                let kept = operator.stats().kept - kept_before;
-                let work_fraction = if assignments == 0 {
-                    0.05
-                } else {
-                    (kept as f64 / assignments as f64).max(0.05)
+            for (slot, state) in slots.iter_mut().enumerate() {
+                let finished = match state {
+                    SimSlot::Live { operator, shedder, draining, .. } => {
+                        let assignments_before = operator.stats().assignments;
+                        let kept_before = operator.stats().kept;
+                        if *draining {
+                            complex_events[slot]
+                                .extend(operator.push_opened(&event, false, shedder));
+                        } else {
+                            complex_events[slot].extend(operator.push(&event, shedder));
+                        }
+                        let assignments = operator.stats().assignments - assignments_before;
+                        let kept = operator.stats().kept - kept_before;
+                        let work_fraction = if assignments == 0 {
+                            0.05
+                        } else {
+                            (kept as f64 / assignments as f64).max(0.05)
+                        };
+                        service += base_service.mul_f64(work_fraction);
+                        if shedder.is_active() {
+                            service += overhead;
+                        }
+                        *draining && operator.open_windows() == 0
+                    }
+                    SimSlot::Retired { .. } => false,
                 };
-                service += base_service.mul_f64(work_fraction);
-                if shedder.is_active() {
-                    service += overhead;
+                if finished {
+                    finalize_sim_slot(state);
                 }
             }
 
@@ -361,16 +470,52 @@ impl LatencySimulation {
             }
         }
 
-        for ((operator, shedder), out) in
-            operators.iter_mut().zip(shedders.iter_mut()).zip(complex_events.iter_mut())
-        {
-            out.extend(operator.flush(shedder));
+        // Churn anchored at or past the end of the stream still applies —
+        // exactly as the engine broadcasts late commands before the final
+        // flush: late admissions create slots that never saw an event,
+        // late retires tear down through the flush below.
+        while next_change < ordered.len() {
+            let change = ordered[next_change];
+            next_change += 1;
+            match &change.action {
+                ChurnAction::Admit(query) => {
+                    let slot = slots.len() as QueryId;
+                    let shedder = make_shedder(slot, query);
+                    let mut controller = fresh_controller();
+                    controller.join_in_progress();
+                    slots.push(SimSlot::Live {
+                        operator: Operator::for_query(query.clone(), slot, 0, 1),
+                        shedder,
+                        controller,
+                        draining: false,
+                    });
+                    complex_events.push(Vec::new());
+                }
+                ChurnAction::Retire(slot) => {
+                    if let Some(SimSlot::Live { draining, .. }) = slots.get_mut(*slot as usize) {
+                        *draining = true;
+                    }
+                }
+            }
+        }
+
+        for (slot, state) in slots.iter_mut().enumerate() {
+            let finished = match state {
+                SimSlot::Live { operator, shedder, draining, .. } => {
+                    complex_events[slot].extend(operator.flush(shedder));
+                    *draining
+                }
+                SimSlot::Retired { .. } => continue,
+            };
+            if finished {
+                finalize_sim_slot(state);
+            }
         }
         trace.mean_latency_secs =
             if trace.events == 0 { 0.0 } else { latency_sum / trace.events as f64 };
-        let mut merged_stats = espice_cep::OperatorStats::default();
-        for operator in &operators {
-            merged_stats.merge(operator.stats());
+        let mut merged_stats = OperatorStats::default();
+        for state in &slots {
+            merged_stats.merge(state.stats());
         }
         trace.drop_ratio = merged_stats.drop_ratio();
         trace.peak_queue_depth = peak_queue_depth;
@@ -378,15 +523,64 @@ impl LatencySimulation {
         MultiSimulationOutcome {
             trace,
             complex_events,
-            shedding_activations: controllers
+            shedding_activations: slots.iter().map(SimSlot::activations).sum(),
+            measured_throughput: slots
                 .iter()
-                .map(QueueOverloadController::activations)
-                .sum(),
-            measured_throughput: controllers
-                .iter()
-                .filter_map(QueueOverloadController::throughput)
+                .filter_map(SimSlot::throughput)
                 .fold(None, |best: Option<f64>, th| Some(best.map_or(th, |b| b.max(th)))),
         }
+    }
+}
+
+/// One entry of the simulation's per-query axis (the simulated counterpart
+/// of the engine's query slots). Like the engine's slots, the common
+/// `Live` variant stays unboxed — the vector is tiny and walked per event.
+#[allow(clippy::large_enum_variant)]
+enum SimSlot<S> {
+    Live { operator: Operator, shedder: S, controller: QueueOverloadController, draining: bool },
+    Retired { stats: OperatorStats, activations: u64, throughput: Option<f64> },
+}
+
+impl<S> SimSlot<S> {
+    fn stats(&self) -> &OperatorStats {
+        match self {
+            SimSlot::Live { operator, .. } => operator.stats(),
+            SimSlot::Retired { stats, .. } => stats,
+        }
+    }
+
+    fn assignments(&self) -> u64 {
+        self.stats().assignments
+    }
+
+    fn kept(&self) -> u64 {
+        self.stats().kept
+    }
+
+    fn activations(&self) -> u64 {
+        match self {
+            SimSlot::Live { controller, .. } => controller.activations(),
+            SimSlot::Retired { activations, .. } => *activations,
+        }
+    }
+
+    fn throughput(&self) -> Option<f64> {
+        match self {
+            SimSlot::Live { controller, .. } => controller.throughput(),
+            SimSlot::Retired { throughput, .. } => *throughput,
+        }
+    }
+}
+
+/// Freezes a drained slot: operator counters, controller activations and
+/// the final throughput estimate survive; operator, shedder and controller
+/// are dropped — the simulated teardown.
+fn finalize_sim_slot<S>(state: &mut SimSlot<S>) {
+    if let SimSlot::Live { operator, controller, .. } = state {
+        let stats = operator.stats().clone();
+        let activations = controller.activations();
+        let throughput = controller.throughput();
+        *state = SimSlot::Retired { stats, activations, throughput };
     }
 }
 
@@ -602,6 +796,79 @@ mod tests {
             measured < sim.config().throughput,
             "measured aggregate capacity {measured} should sit below the single-query rate"
         );
+    }
+
+    /// The simulated lifecycle oracle: the same churn schedule the real
+    /// engine replays, here in deterministic simulated time. Underload, so
+    /// nothing sheds — per-slot outputs must equal their static oracles.
+    #[test]
+    fn simulated_churn_matches_standalone_operators_per_slot() {
+        let ds = dataset();
+        let q_keep = queries::q3(&ds, 5, 200, SelectionPolicy::First);
+        let q_retire = queries::q3(&ds, 6, 250, SelectionPolicy::First);
+        let q_admit = queries::q3(&ds, 8, 300, SelectionPolicy::First);
+        let set = QuerySet::new(vec![q_retire.clone(), q_keep.clone()]);
+        let eval = ds.stream.slice(ds.stream.len() / 2, ds.stream.len());
+        let (retire_at, admit_at) = (150u64, 400u64);
+        let churn = vec![
+            crate::streaming::QueryChurn::retire(retire_at, 0),
+            crate::streaming::QueryChurn::admit(admit_at, q_admit.clone()),
+        ];
+
+        let sim = LatencySimulation::new(sim_config(0.3));
+        let shedders = vec![trained_espice(&ds, &q_retire), trained_espice(&ds, &q_keep)];
+        let outcome = sim.run_set_live(&set, &eval, shedders, &churn, |slot, query| {
+            assert_eq!(slot, 2, "exactly one admission expected");
+            trained_espice(&ds, query)
+        });
+
+        assert_eq!(outcome.shedding_activations, 0, "underload must not shed");
+        assert_eq!(outcome.trace.drop_ratio, 0.0);
+        assert_eq!(outcome.complex_events.len(), 3);
+
+        // Survivor: identical to its standalone run.
+        let survivor = CepOperator::new(q_keep).run(&eval, &mut espice_cep::KeepAll);
+        assert_eq!(outcome.complex_events[1], survivor);
+
+        // Admitted: identical to a fresh operator over the suffix.
+        let suffix = eval.slice(admit_at as usize, eval.len());
+        let admitted = CepOperator::new(q_admit).run(&suffix, &mut espice_cep::KeepAll);
+        assert_eq!(outcome.complex_events[2], admitted);
+
+        // Retired: a drained prefix of its standalone output.
+        let full = CepOperator::new(q_retire).run(&eval, &mut espice_cep::KeepAll);
+        let retired = &outcome.complex_events[0];
+        assert!(retired.len() <= full.len());
+        assert_eq!(retired.as_slice(), &full[..retired.len()]);
+    }
+
+    /// Churn anchored at or past the stream end still applies, mirroring
+    /// the engine's late-command semantics: a late admission yields an
+    /// empty extra slot, a late retire tears down through the final flush.
+    #[test]
+    fn churn_past_the_stream_end_still_applies() {
+        let ds = dataset();
+        let q_keep = queries::q3(&ds, 5, 200, SelectionPolicy::First);
+        let q_admit = queries::q3(&ds, 6, 250, SelectionPolicy::First);
+        let set = QuerySet::new(vec![q_keep.clone()]);
+        let eval = ds.stream.slice(ds.stream.len() / 2, ds.stream.len());
+        let churn = vec![
+            crate::streaming::QueryChurn::admit(eval.len() as u64 + 10, q_admit),
+            crate::streaming::QueryChurn::retire(eval.len() as u64 + 10, 0),
+        ];
+        let sim = LatencySimulation::new(sim_config(0.3));
+        let outcome = sim.run_set_live(
+            &set,
+            &eval,
+            vec![trained_espice(&ds, &q_keep)],
+            &churn,
+            |_, query| trained_espice(&ds, query),
+        );
+        assert_eq!(outcome.complex_events.len(), 2, "late admission still creates its slot");
+        assert!(outcome.complex_events[1].is_empty(), "a slot admitted at the end saw no events");
+        // The retired slot still flushed its open windows first.
+        let expected = CepOperator::new(q_keep).run(&eval, &mut espice_cep::KeepAll);
+        assert_eq!(outcome.complex_events[0], expected);
     }
 
     #[test]

@@ -17,8 +17,9 @@ use espice::{
     ControlAction, ControllerStats, OverloadConfig, QueueOverloadController, SharedThroughput,
 };
 use espice_cep::{
-    BatchRequest, ComplexEvent, Decision, EngineStats, Query, QuerySet, QueueSample, QueueStats,
-    ShardedEngine, WindowEventDecider, WindowMeta,
+    BatchRequest, BoxedDecider, ComplexEvent, Decision, EngineStats, LifecycleReport, Query,
+    QueryId, QuerySet, QueueSample, QueueStats, ShardedEngine, SharedDecider, WindowEventDecider,
+    WindowMeta,
 };
 use espice_events::{Event, EventSource};
 use std::sync::Arc;
@@ -57,6 +58,18 @@ impl<S: AdaptiveShedder> ClosedLoopShedder<S> {
         let mut controller = QueueOverloadController::new(overload);
         controller.share_throughput(shared);
         ClosedLoopShedder { inner: shedder, controller }
+    }
+
+    /// Declares that this shedder's query joins a drain loop that is
+    /// already running (a mid-stream admission): the controller's first
+    /// sample only aligns its baselines against the loop's cumulative
+    /// clocks instead of misreading them as one giant measurement interval
+    /// (see [`QueueOverloadController::join_in_progress`]). Call before
+    /// handing the shedder to [`EngineControl::admit`].
+    ///
+    /// [`EngineControl::admit`]: espice_cep::EngineControl::admit
+    pub fn join_in_progress(&mut self) {
+        self.controller.join_in_progress();
     }
 
     /// The wrapped shedder.
@@ -186,12 +199,83 @@ impl MultiStreamingOutcome {
     }
 }
 
+/// One lifecycle change of a closed-loop run's admission/retire schedule,
+/// anchored at a run-relative stream position. The same schedule replays
+/// deterministically on the real streaming engine
+/// ([`run_closed_loop_live`]) and in the queueing simulation
+/// ([`LatencySimulation::run_set_live`](crate::LatencySimulation::run_set_live)),
+/// which is what makes the simulation the lifecycle oracle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryChurn {
+    /// Run-relative stream position: the change applies before the `at`-th
+    /// event of the run.
+    pub at: u64,
+    /// What changes.
+    pub action: ChurnAction,
+}
+
+impl QueryChurn {
+    /// An admission of `query` at position `at`.
+    pub fn admit(at: u64, query: Query) -> Self {
+        QueryChurn { at, action: ChurnAction::Admit(query) }
+    }
+
+    /// A retirement of the query at `slot` at position `at`.
+    pub fn retire(at: u64, slot: QueryId) -> Self {
+        QueryChurn { at, action: ChurnAction::Retire(slot) }
+    }
+}
+
+/// The two kinds of lifecycle change a churn schedule can carry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChurnAction {
+    /// Admit this query. Slots are assigned to admissions in ascending
+    /// `at` order (ties: schedule order), continuing after the initial
+    /// set's slots — so a schedule can name the slots of its own
+    /// admissions in later [`ChurnAction::Retire`] entries.
+    Admit(Query),
+    /// Retire the query at this slot (initial queries occupy slots
+    /// `0..initial.len()`).
+    Retire(QueryId),
+}
+
+/// Everything a lifecycle-enabled closed-loop streaming run reports: the
+/// per-slot outputs and control reports (retired slots keep their final
+/// state) plus the engine's lifecycle report.
+#[derive(Debug, Clone)]
+pub struct LiveStreamingOutcome {
+    /// Each slot's complex events, indexed by slot, in single-operator
+    /// emission order.
+    pub complex_events: Vec<Vec<ComplexEvent>>,
+    /// Engine statistics: merged, per-shard and per-slot counters.
+    pub stats: EngineStats,
+    /// Queue counters, one per shard (one queue serves all queries).
+    pub queues: Vec<QueueStats>,
+    /// Control outcomes, indexed `[shard][slot]`; a retired slot's report
+    /// is frozen at its teardown.
+    pub control: Vec<Vec<ShardControlReport>>,
+    /// Admissions, retirements and rejections, with stream positions.
+    pub lifecycle: LifecycleReport,
+}
+
+impl LiveStreamingOutcome {
+    /// Total shedding activations across all shards and slots.
+    pub fn activations(&self) -> u64 {
+        self.control.iter().flatten().map(|c| c.activations).sum()
+    }
+
+    /// Largest queue depth any shard ever reached.
+    pub fn peak_queue_depth(&self) -> usize {
+        self.queues.iter().map(|q| q.peak_depth).max().unwrap_or(0)
+    }
+}
+
 /// Streams `source` through a fresh engine with one closed-loop shedder
 /// per shard and returns the merged output plus the measured queue and
 /// control reports. `shedders` supplies the per-shard shedder instances
 /// (decorrelate randomised shedders by seed, as the experiment driver
 /// does). Single-query wrapper over
-/// [`run_closed_loop_set`](run_closed_loop_set).
+/// [`run_closed_loop_set`].
 ///
 /// # Panics
 ///
@@ -291,6 +375,157 @@ where
                     .collect()
             })
             .collect(),
+    }
+}
+
+/// The *live* closed-loop run: streams `source` through a fused engine
+/// whose query population changes mid-stream according to `churn`, with
+/// one closed-loop shedder per (shard, slot) built by `make_shedder(slot,
+/// shard, query)`. Admissions wire their fresh controllers into the same
+/// per-shard [`SharedThroughput`] signal the initial queries use (one
+/// queue per shard → one capacity estimate, whenever the tenant joined);
+/// retirements tear the slot's shedders and controllers down *after* its
+/// open windows drained. The returned control reports cover every slot —
+/// a retired slot's report is its state at teardown, observed through the
+/// [`SharedDecider`] handles this function keeps outside the engine.
+///
+/// The schedule is issued through the engine's [`EngineControl`] before
+/// the stream starts, so the same `churn` replays identically on the
+/// queueing simulation
+/// ([`LatencySimulation::run_set_live`](crate::LatencySimulation::run_set_live)).
+///
+/// [`EngineControl`]: espice_cep::EngineControl
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or a churn entry retires a slot
+/// that does not exist at schedule-build time.
+pub fn run_closed_loop_live<Src, S, F>(
+    initial: &QuerySet,
+    source: &mut Src,
+    config: &StreamingRunConfig,
+    churn: &[QueryChurn],
+    mut make_shedder: F,
+) -> LiveStreamingOutcome
+where
+    Src: EventSource + ?Sized,
+    S: AdaptiveShedder + Send + 'static,
+    F: FnMut(QueryId, usize, &Query) -> S,
+{
+    assert!(config.shards >= 1, "need at least one shard");
+    config.overload.validate();
+
+    let mut engine = ShardedEngine::for_queries(initial.clone(), config.shards);
+    engine.set_queue_capacity(config.queue_capacity);
+    let interval = Duration::from_secs_f64(config.overload.check_interval.as_secs_f64());
+    engine.set_check_interval(Some(interval));
+    if let Some(hint) = config.window_size_hint {
+        engine.set_window_size_hint(hint);
+    }
+
+    // One shared capacity signal per shard queue, reused by every
+    // admission on that shard.
+    let signals: Vec<Arc<SharedThroughput>> =
+        (0..config.shards).map(|_| Arc::new(SharedThroughput::new())).collect();
+    // The observation handles, indexed [shard][slot]: clones of the
+    // engine-owned shared deciders, kept to read controller state after
+    // the run (and after mid-stream teardowns).
+    let mut observers: Vec<Vec<SharedDecider<ClosedLoopShedder<S>>>> =
+        (0..config.shards).map(|_| Vec::new()).collect();
+    let build_row = |slot: QueryId,
+                     query: &Query,
+                     joins_mid_stream: bool,
+                     observers: &mut Vec<Vec<SharedDecider<ClosedLoopShedder<S>>>>,
+                     make_shedder: &mut F|
+     -> Vec<BoxedDecider> {
+        (0..config.shards)
+            .map(|shard| {
+                let shedder = make_shedder(slot, shard, query);
+                let mut closed_loop = ClosedLoopShedder::with_shared_throughput(
+                    shedder,
+                    config.overload,
+                    Arc::clone(&signals[shard]),
+                );
+                if joins_mid_stream {
+                    closed_loop.join_in_progress();
+                }
+                let decider = SharedDecider::new(closed_loop);
+                observers[shard].push(decider.clone());
+                Box::new(decider) as BoxedDecider
+            })
+            .collect()
+    };
+
+    // Initial deciders, shard-major, as the static paths lay them out.
+    let mut rows: Vec<Vec<BoxedDecider>> = (0..initial.len() as QueryId)
+        .map(|slot| {
+            build_row(
+                slot,
+                &initial.queries()[slot as usize],
+                false,
+                &mut observers,
+                &mut make_shedder,
+            )
+        })
+        .collect();
+    let mut initial_deciders: Vec<BoxedDecider> = Vec::with_capacity(config.shards * initial.len());
+    for _shard in 0..config.shards {
+        for row in &mut rows {
+            initial_deciders.push(row.remove(0));
+        }
+    }
+
+    // Issue the schedule up-front through the control channel, admissions
+    // in ascending position order so slots are assigned deterministically.
+    let control = engine.control();
+    let mut ordered: Vec<&QueryChurn> = churn.iter().collect();
+    ordered.sort_by_key(|change| change.at);
+    let mut handles: Vec<espice_cep::QueryHandle> = (0..initial.len())
+        .map(|slot| engine.query_handle(slot as QueryId).expect("initial slots are live"))
+        .collect();
+    for change in ordered {
+        match &change.action {
+            ChurnAction::Admit(query) => {
+                let slot = handles.len() as QueryId;
+                let deciders = build_row(slot, query, true, &mut observers, &mut make_shedder);
+                let handle = control.admit_at(change.at, query.clone(), deciders);
+                assert_eq!(handle.slot, slot, "slot allocation must follow schedule order");
+                handles.push(handle);
+            }
+            ChurnAction::Retire(slot) => {
+                let handle = *handles
+                    .get(*slot as usize)
+                    .unwrap_or_else(|| panic!("churn retires unknown slot {slot}"));
+                control.retire_at(change.at, handle);
+            }
+        }
+    }
+
+    let outcome = engine.run_source_live(source, initial_deciders);
+    let stats = engine.stats();
+    let control_reports: Vec<Vec<ShardControlReport>> = observers
+        .iter()
+        .map(|row| {
+            row.iter()
+                .map(|observer| {
+                    let decider = observer.lock();
+                    let controller = decider.controller();
+                    ShardControlReport {
+                        stats: *controller.stats(),
+                        activations: controller.activations(),
+                        measured_throughput: controller.throughput(),
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    LiveStreamingOutcome {
+        complex_events: outcome.complex_events,
+        stats,
+        queues: engine.queue_stats().to_vec(),
+        control: control_reports,
+        lifecycle: outcome.lifecycle,
     }
 }
 
@@ -514,6 +749,77 @@ mod tests {
         let expected =
             espice_cep::Operator::new(query.clone()).run(&stream, &mut espice_cep::KeepAll);
         assert_eq!(outcome.complex_events, expected);
+    }
+
+    /// The live closed-loop service under churn: a query is admitted
+    /// mid-stream and another retired, with the whole control stack (per
+    /// (shard, slot) controllers on shared throughput signals) in the
+    /// loop. Unloaded, so nothing sheds — every slot's output must equal
+    /// its static oracle: the survivor its full standalone run, the
+    /// admitted query a fresh run over the admission suffix, the retired
+    /// query a drained prefix of its standalone run.
+    #[test]
+    fn live_closed_loop_churn_matches_static_oracles_per_slot() {
+        let make = |size: usize| {
+            Query::builder()
+                .pattern(Pattern::sequence([ty(0), ty(1)]))
+                .window(WindowSpec::count_sliding(size, 5))
+                .build()
+        };
+        let initial = QuerySet::new(vec![make(50), make(30)]);
+        let admitted = make(40);
+        let events: Vec<Event> = (0..2_000u64)
+            .map(|i| Event::new(ty((i % 3) as u32), Timestamp::from_millis(i), i))
+            .collect();
+        let stream = VecStream::from_ordered(events);
+        let (retire_at, admit_at) = (400u64, 700u64);
+
+        let config = StreamingRunConfig {
+            shards: 2,
+            queue_capacity: 4096,
+            overload: OverloadConfig {
+                latency_bound: SimDuration::from_secs(30),
+                f: 0.8,
+                check_interval: SimDuration::from_millis(1),
+                ..OverloadConfig::default()
+            },
+            window_size_hint: None,
+        };
+        let churn =
+            vec![QueryChurn::retire(retire_at, 0), QueryChurn::admit(admit_at, admitted.clone())];
+        let mut source = SliceSource::from_stream(&stream);
+        let outcome =
+            run_closed_loop_live(&initial, &mut source, &config, &churn, |slot, shard, _| {
+                RandomAdaptive::new(RandomShedder::new(1 + slot as u64 * 10 + shard as u64), 50.0)
+            });
+
+        assert_eq!(outcome.activations(), 0, "an unloaded run must never shed");
+        assert_eq!(outcome.stats.merged.dropped, 0);
+        assert_eq!(outcome.complex_events.len(), 3);
+        assert_eq!(outcome.control.len(), 2);
+        assert_eq!(outcome.control[0].len(), 3, "control reports cover every slot");
+        assert_eq!(outcome.lifecycle.retired.len(), 1);
+        assert_eq!(outcome.lifecycle.admitted.len(), 1);
+        assert_eq!(outcome.lifecycle.retired[0].1, retire_at);
+        assert_eq!(outcome.lifecycle.admitted[0].1, admit_at);
+
+        // Survivor (slot 1): byte-identical to running alone.
+        let survivor = espice_cep::Operator::new(initial.queries()[1].clone())
+            .run(&stream, &mut espice_cep::KeepAll);
+        assert_eq!(outcome.complex_events[1], survivor);
+
+        // Admitted (slot 2): a fresh run over the admission suffix.
+        let suffix = VecStream::from_ordered(stream.events()[admit_at as usize..].to_vec());
+        let fresh = espice_cep::Operator::new(admitted).run(&suffix, &mut espice_cep::KeepAll);
+        assert_eq!(outcome.complex_events[2], fresh);
+
+        // Retired (slot 0): the windows opened before retirement, drained
+        // to completion — a strict prefix of the standalone output.
+        let full = espice_cep::Operator::new(initial.queries()[0].clone())
+            .run(&stream, &mut espice_cep::KeepAll);
+        let retired = &outcome.complex_events[0];
+        assert!(!retired.is_empty() && retired.len() < full.len());
+        assert_eq!(retired.as_slice(), &full[..retired.len()]);
     }
 
     /// Under no throttling and a generous bound the loop must never shed:

@@ -186,3 +186,62 @@ fn experiments_are_reproducible_across_runs() {
     assert_eq!(a.metrics, b.metrics);
     assert_eq!(a.plan, b.plan);
 }
+
+#[test]
+fn registered_churn_scenario_runs_live_with_closed_loop_control() {
+    // The registered q3-churn scenario end to end: two Q3 rungs on the live
+    // engine, a third admitted a third of the way in, the first retired at
+    // two thirds — closed-loop controllers on every (shard, slot), nothing
+    // overloaded, so every slot's output must match its static oracle.
+    use espice_repro::cep::{KeepAll, Operator};
+    use espice_repro::espice::OverloadConfig;
+    use espice_repro::events::SliceSource;
+    use espice_repro::runtime::{report, run_closed_loop_live, ChurnAction, StreamingRunConfig};
+
+    let ds = stock_dataset();
+    let eval = ds.stream.slice(ds.stream.len() / 2, ds.stream.len());
+    let (initial, churn) = queries::mixes::q3_churn(&ds, eval.len());
+
+    let experiment =
+        experiment_for(&ds.stream, ds.registry.len(), &initial.queries()[0], 200, 1, 1.2);
+    let config = StreamingRunConfig {
+        shards: 2,
+        queue_capacity: 4096,
+        overload: OverloadConfig {
+            latency_bound: SimDuration::from_secs(30),
+            check_interval: SimDuration::from_millis(1),
+            ..OverloadConfig::default()
+        },
+        window_size_hint: None,
+    };
+    let mut source = SliceSource::from_stream(&eval);
+    let outcome = run_closed_loop_live(&initial, &mut source, &config, &churn, |_, _, _| {
+        espice_repro::espice::EspiceShedder::new(experiment.model().clone())
+    });
+
+    assert_eq!(outcome.complex_events.len(), 3, "two initial rungs plus the admitted one");
+    assert_eq!(outcome.lifecycle.admitted.len(), 1);
+    assert_eq!(outcome.lifecycle.retired.len(), 1);
+    assert_eq!(outcome.activations(), 0, "an unloaded run must never shed");
+
+    // Survivor and admitted slots equal their static oracles.
+    let survivor = Operator::new(initial.queries()[1].clone()).run(&eval, &mut KeepAll);
+    assert_eq!(outcome.complex_events[1], survivor);
+    let (admit_at, admitted_query) = match &churn[0].action {
+        ChurnAction::Admit(query) => (churn[0].at as usize, query.clone()),
+        other => panic!("first churn entry must admit, got {other:?}"),
+    };
+    let suffix = eval.slice(admit_at, eval.len());
+    let admitted = Operator::new(admitted_query).run(&suffix, &mut KeepAll);
+    assert_eq!(outcome.complex_events[2], admitted);
+
+    // The lifecycle table renders every slot with its positions.
+    let table = report::lifecycle_table(
+        &["rung0", "rung1", "admitted"],
+        &outcome.lifecycle,
+        &outcome.stats.per_query,
+    );
+    let rendered = table.render();
+    assert!(rendered.contains("admitted at"));
+    assert!(rendered.contains("rung0"));
+}
