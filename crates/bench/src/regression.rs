@@ -10,9 +10,10 @@
 //!
 //! * **gated** metrics — same-process speedup *ratios* (shared-ring vs
 //!   reference storage, projected shard scaling, batched vs scalar
-//!   decisions). Both sides of a ratio run in the same process on the same
-//!   host, so the ratio is hardware-independent; a decline beyond the
-//!   tolerance fails the build.
+//!   decisions, chunked-arena vs per-event broadcast ingestion). Both
+//!   sides of a ratio run in the same process on the same host, so the
+//!   ratio is hardware-independent; a decline beyond the tolerance fails
+//!   the build.
 //! * **informational** metrics — absolute throughput (`events_per_sec`),
 //!   wall times (`seconds`) and streaming-vs-slice ratios. These depend on
 //!   the runner's clock speed and core count (the single-core CI caveat in
@@ -234,8 +235,13 @@ pub enum Direction {
 /// configuration or bookkeeping, not a performance metric.
 pub fn classify(key: &str) -> Option<(Severity, Direction)> {
     // Same-process ratios: hardware-independent, gate hard.
-    const GATED: &[&str] =
-        &["speedup", "speedup_vs_single", "peak_entry_ratio", "entry_write_amplification_removed"];
+    const GATED: &[&str] = &[
+        "speedup",
+        "speedup_vs_single",
+        "peak_entry_ratio",
+        "entry_write_amplification_removed",
+        "chunked_over_broadcast",
+    ];
     if GATED.contains(&key) {
         return Some((Severity::Gate, Direction::HigherIsBetter));
     }
@@ -401,6 +407,10 @@ mod tests {
         assert_eq!(classify("speedup"), Some((Severity::Gate, Direction::HigherIsBetter)));
         assert_eq!(
             classify("speedup_vs_single"),
+            Some((Severity::Gate, Direction::HigherIsBetter))
+        );
+        assert_eq!(
+            classify("chunked_over_broadcast"),
             Some((Severity::Gate, Direction::HigherIsBetter))
         );
         assert_eq!(

@@ -1,0 +1,227 @@
+//! Shared immutable chunk arena for batch-granular ingestion.
+//!
+//! The broadcast-SPSC hand-off clones every event into every shard's queue,
+//! so ingestion work is O(shards) per event and the producer — not the
+//! matcher — becomes the hot path as shards are added. The arena
+//! restructures the hand-off to batch granularity: the producer appends
+//! events **once** into a sequence-stamped, fixed-capacity [`EventChunk`],
+//! seals it, and pushes one `Arc<EventChunk>` reference per shard. The
+//! queue's `Release` tail store is the single publication point for the
+//! whole batch; shards scan the shared, immutable buffer in place. That
+//! makes ingestion O(1) amortised per event regardless of the shard count —
+//! the `EventRing` idea (one shared append-only store, many cursors)
+//! generalised to the ingestion layer.
+//!
+//! Chunks are stamped with the stream position of their first event
+//! ([`EventChunk::base`]), so every consumer knows exactly which positions a
+//! chunk covers without any side channel. In-band lifecycle commands keep
+//! their exact-position semantics: the producer seals the partial chunk
+//! *before* pushing a command, so the command sits between chunks at the
+//! identical stream position on every shard.
+//!
+//! A [`ChunkBuilder`] seals on three triggers, all driven by the producer:
+//! capacity reached, a lifecycle command or end-of-stream boundary, or — for
+//! paced sources — a flush deadline, so replay at a configured rate does not
+//! trade batching throughput for hand-off latency.
+
+use espice_events::Event;
+use std::sync::Arc;
+
+/// An immutable batch of consecutive stream events, stamped with the stream
+/// position of its first event. Shared by reference ([`Arc`]) between the
+/// producer and every shard; never mutated after sealing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventChunk {
+    /// Stream position (0-based) of `events[0]`.
+    base: u64,
+    /// The batched events, in stream order.
+    events: Vec<Event>,
+}
+
+impl EventChunk {
+    /// Stream position of the first event in the chunk.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Stream position one past the last event in the chunk.
+    pub fn end(&self) -> u64 {
+        self.base + self.events.len() as u64
+    }
+
+    /// Number of events in the chunk.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the chunk holds no events (never true for sealed chunks).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The batched events, in stream order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+}
+
+/// Accumulates events into the next [`EventChunk`]. One builder lives in
+/// the producer loop; [`push`](Self::push) hands back a sealed chunk when
+/// the capacity fills, and [`seal`](Self::seal) flushes a partial chunk at
+/// a command boundary, a paced-flush deadline, or end-of-stream.
+///
+/// # Example
+///
+/// ```
+/// use espice_cep::arena::ChunkBuilder;
+/// use espice_events::{Event, EventType, Timestamp};
+///
+/// let ev = |seq| Event::new(EventType::from_index(0), Timestamp::ZERO, seq);
+/// let mut builder = ChunkBuilder::new(2);
+/// assert!(builder.push(ev(0)).is_none(), "not full yet");
+/// let full = builder.push(ev(1)).expect("second push fills the chunk");
+/// assert_eq!((full.base(), full.len()), (0, 2));
+/// builder.push(ev(2));
+/// let partial = builder.seal().expect("one pending event");
+/// assert_eq!((partial.base(), partial.len()), (2, 1));
+/// assert!(builder.seal().is_none(), "nothing pending");
+/// ```
+#[derive(Debug)]
+pub struct ChunkBuilder {
+    capacity: usize,
+    /// Stream position the *next* sealed chunk starts at.
+    base: u64,
+    pending: Vec<Event>,
+}
+
+impl ChunkBuilder {
+    /// A builder sealing chunks of at most `capacity` events, starting at
+    /// stream position 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "chunk capacity must be at least 1");
+        ChunkBuilder { capacity, base: 0, pending: Vec::with_capacity(capacity) }
+    }
+
+    /// The configured maximum events per chunk.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events accumulated towards the next chunk.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Stream position of the first pending event (or of the next event if
+    /// none is pending).
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Appends one event; returns the sealed chunk when this push fills it
+    /// to capacity.
+    pub fn push(&mut self, event: Event) -> Option<Arc<EventChunk>> {
+        self.pending.push(event);
+        if self.pending.len() == self.capacity {
+            self.seal()
+        } else {
+            None
+        }
+    }
+
+    /// Seals the pending events into a chunk (returning `None` if nothing
+    /// is pending) and advances the base past them. Called by the producer
+    /// at capacity, before any in-band command, on a paced-flush deadline,
+    /// and at end-of-stream.
+    pub fn seal(&mut self) -> Option<Arc<EventChunk>> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        let events = std::mem::replace(&mut self.pending, Vec::with_capacity(self.capacity));
+        let chunk = EventChunk { base: self.base, events };
+        self.base = chunk.end();
+        Some(Arc::new(chunk))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use espice_events::{EventType, Timestamp};
+
+    fn ev(seq: u64) -> Event {
+        Event::new(EventType::from_index((seq % 3) as u32), Timestamp::from_secs(seq), seq)
+    }
+
+    #[test]
+    fn chunks_are_sequence_stamped_and_contiguous() {
+        let mut builder = ChunkBuilder::new(3);
+        let mut chunks = Vec::new();
+        for seq in 0..7 {
+            if let Some(chunk) = builder.push(ev(seq)) {
+                chunks.push(chunk);
+            }
+        }
+        chunks.extend(builder.seal());
+        assert_eq!(chunks.len(), 3);
+        assert_eq!((chunks[0].base(), chunks[0].len()), (0, 3));
+        assert_eq!((chunks[1].base(), chunks[1].len()), (3, 3));
+        assert_eq!((chunks[2].base(), chunks[2].len()), (6, 1));
+        let replayed: Vec<u64> =
+            chunks.iter().flat_map(|c| c.events().iter().map(Event::seq)).collect();
+        assert_eq!(replayed, (0..7).collect::<Vec<_>>());
+        for chunk in &chunks {
+            assert_eq!(chunk.end(), chunk.base() + chunk.len() as u64);
+            assert!(!chunk.is_empty());
+        }
+    }
+
+    #[test]
+    fn seal_flushes_partials_at_arbitrary_boundaries() {
+        let mut builder = ChunkBuilder::new(8);
+        builder.push(ev(0));
+        builder.push(ev(1));
+        // A command boundary: the partial chunk must seal here so the
+        // command lands at position 2 on every shard.
+        let first = builder.seal().expect("two events pending");
+        assert_eq!((first.base(), first.len()), (0, 2));
+        assert!(builder.is_empty());
+        builder.push(ev(2));
+        let second = builder.seal().expect("one event pending");
+        assert_eq!((second.base(), second.len()), (2, 1));
+    }
+
+    #[test]
+    fn sealing_an_empty_builder_yields_nothing() {
+        let mut builder = ChunkBuilder::new(4);
+        assert!(builder.seal().is_none());
+        builder.push(ev(0));
+        assert!(builder.seal().is_some());
+        assert!(builder.seal().is_none(), "double boundary must not emit an empty chunk");
+    }
+
+    #[test]
+    fn capacity_one_seals_every_push() {
+        let mut builder = ChunkBuilder::new(1);
+        for seq in 0..4 {
+            let chunk = builder.push(ev(seq)).expect("capacity 1 seals immediately");
+            assert_eq!((chunk.base(), chunk.len()), (seq, 1));
+            assert_eq!(chunk.events()[0].seq(), seq);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = ChunkBuilder::new(0);
+    }
+}

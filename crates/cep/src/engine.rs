@@ -4,9 +4,12 @@
 //! thread; this engine is the scale-out counterpart. It hash-partitions the
 //! window population by global window id across `N` independent [`Shard`]s,
 //! fed through **bounded per-shard SPSC queues**: the producer thread pulls
-//! events incrementally from an [`EventSource`] and broadcasts each one to
-//! every shard's queue, blocking while a queue is full (backpressure),
-//! while each shard's scoped thread drains its own queue. Shards therefore
+//! events incrementally from an [`EventSource`], appends them once into a
+//! sequence-stamped shared [`EventChunk`](crate::arena::EventChunk), and
+//! broadcasts each sealed chunk to every shard's queue as an `Arc`
+//! reference, blocking while a queue is full (backpressure), while each
+//! shard's scoped thread drains its own queue and scans the shared chunks
+//! in place (see [`ShardedEngine::set_chunk_capacity`]). Shards therefore
 //! start before the stream is fully buffered, and the *measured* queue
 //! depth and drain rate are reported back to the deciders (see
 //! [`ShardedEngine::set_check_interval`]) — the hook eSPICE's closed-loop
@@ -18,8 +21,8 @@
 //! An engine executes a whole [`QuerySet`]: each shard owns one
 //! [`Operator`] **per query** (each with its own [`WindowEventDecider`]
 //! instance) and offers every event to all of them in a fused assignment
-//! pass. The per-event ingestion costs are paid once per shard, not once
-//! per query — one queue push/pop and one event clone per shard, one
+//! pass. The ingestion costs are paid once per shard, not once per query —
+//! one chunk hand-off per shard covering a whole batch of events, one
 //! window-open evaluation per *distinct* open policy — which is what makes
 //! the fused engine faster than N independent engines on the same stream.
 //! Deciders and outputs are per query: `deciders[shard * queries + query]`
@@ -66,30 +69,44 @@
 //! [`EventSource`]: espice_events::EventSource
 //! [`SharedSizePredictor`]: crate::SharedSizePredictor
 
+use crate::arena::{ChunkBuilder, EventChunk};
 use crate::lifecycle::{
     Anchoring, EngineControl, LifecycleReport, LifecycleRequest, LiveRunOutcome, ShardCommand,
     ShardInput,
 };
-use crate::queue::{spsc, QueueStats};
+use crate::queue::{spsc, QueueProducer, QueueStats};
 use crate::window::SharedSizePredictor;
 use crate::{
     BoxedDecider, ComplexEvent, KeepAll, OperatorStats, Query, QueryHandle, QueryId, QuerySet,
     Shard, WindowEventDecider,
 };
-use espice_events::{EventSource, EventStream, SliceSource};
+use espice_events::{Event, EventSource, EventStream, SliceSource};
 use std::collections::VecDeque;
 use std::sync::mpsc::Receiver;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// What one shard's live run returns: per-slot outputs plus the decider
 /// row (admitted deciders included, retired ones dropped).
 type LiveShardResult = (Vec<Vec<ComplexEvent>>, Vec<Option<BoxedDecider>>);
 
-/// Default capacity of each shard's bounded input queue: large enough to
-/// amortise producer/consumer hand-off, small enough that backpressure
-/// engages well before memory matters.
+/// Default capacity of each shard's bounded input queue, in hand-offs
+/// (chunks on the chunked path): large enough to amortise
+/// producer/consumer hand-off, small enough that backpressure engages well
+/// before memory matters.
 pub const DEFAULT_QUEUE_CAPACITY: usize = 1024;
+
+/// Default number of events batched into one shared [`EventChunk`] on the
+/// streaming path: large enough that the per-chunk hand-off (one `Arc`
+/// clone and one queue push per shard) amortises to noise per event, small
+/// enough that the producer publishes work long before a queue could run
+/// dry behind it.
+pub const DEFAULT_CHUNK_CAPACITY: usize = 256;
+
+/// How long a partial chunk may age in the producer of a *paced* source
+/// before it is flushed to the shards: paced replay trades no hand-off
+/// latency for batching. Saturated sources never read the clock.
+const PACED_FLUSH_INTERVAL: Duration = Duration::from_millis(1);
 
 /// Engine-level statistics: per-shard and per-query operator counters plus
 /// their merged totals.
@@ -150,8 +167,12 @@ pub struct ShardedEngine {
     /// Which slots are currently live (`false` = retired).
     live: Vec<bool>,
     events_processed: u64,
-    /// Capacity of each shard's bounded input queue on the streaming path.
+    /// Capacity of each shard's bounded input queue on the streaming path,
+    /// in hand-offs (chunks, or events at chunk capacity 1).
     queue_capacity: usize,
+    /// Events batched per shared chunk on the streaming path; 1 selects
+    /// the degenerate per-event broadcast hand-off.
+    chunk_capacity: usize,
     /// Cadence at which drain loops report [`QueueSample`]s to their
     /// deciders; `None` (the default) disables sampling entirely so
     /// slice-style runs pay no clock reads.
@@ -208,6 +229,7 @@ impl ShardedEngine {
             queries,
             events_processed: 0,
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            chunk_capacity: DEFAULT_CHUNK_CAPACITY,
             check_interval: None,
             queue_stats: Vec::new(),
             size_predictors,
@@ -260,9 +282,29 @@ impl ShardedEngine {
         self.queue_capacity = capacity;
     }
 
-    /// The configured per-shard queue capacity.
+    /// The configured per-shard queue capacity (in hand-offs).
     pub fn queue_capacity(&self) -> usize {
         self.queue_capacity
+    }
+
+    /// Sets how many events the producer batches into one shared
+    /// [`EventChunk`] before broadcasting it (one `Arc` reference per
+    /// shard) on subsequent streaming runs. Capacity 1 degenerates to the
+    /// per-event broadcast hand-off (no chunk allocation); the default is
+    /// [`DEFAULT_CHUNK_CAPACITY`]. Output is invariant in this knob — it
+    /// trades hand-off amortisation against publication latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn set_chunk_capacity(&mut self, capacity: usize) {
+        assert!(capacity >= 1, "chunk capacity must be at least 1");
+        self.chunk_capacity = capacity;
+    }
+
+    /// The configured events-per-chunk of the streaming hand-off.
+    pub fn chunk_capacity(&self) -> usize {
+        self.chunk_capacity
     }
 
     /// Enables (or disables, with `None`) periodic queue sampling: every
@@ -478,16 +520,21 @@ impl ShardedEngine {
     /// [`run_source_per_query`](Self::run_source_per_query)).
     ///
     /// Every shard owns a bounded SPSC input queue drained by its own
-    /// scoped thread; the calling thread acts as the producer, pulling one
-    /// event at a time from the source and broadcasting it to every shard's
-    /// queue (each shard derives the same global window ids from the full
-    /// stream, so no coordination is needed). A full queue blocks the
-    /// producer — bounded-queue backpressure instead of unbounded
-    /// buffering — and shards start processing before the stream has been
-    /// fully produced. Each event is handed over **once per shard**, no
-    /// matter how many queries the engine executes: the shard's drain loop
-    /// fans the event out to every query's operator in process. The
-    /// measured per-queue state can be fed back to the deciders via
+    /// scoped thread; the calling thread acts as the producer, pulling
+    /// events from the source, appending them **once** into a shared
+    /// sequence-stamped chunk, and broadcasting each sealed chunk to every
+    /// shard's queue as an `Arc` reference (each shard derives the same
+    /// global window ids from the full stream, so no coordination is
+    /// needed). A full queue blocks the producer — bounded-queue
+    /// backpressure instead of unbounded buffering — and shards start
+    /// processing before the stream has been fully produced. Each chunk is
+    /// handed over **once per shard**, no matter how many queries the
+    /// engine executes: the shard's drain loop scans the shared buffer in
+    /// place and fans every event out to every query's operator in
+    /// process. Paced sources flush partial chunks on a deadline (see
+    /// [`set_chunk_capacity`](Self::set_chunk_capacity)); the measured
+    /// per-queue state — event-denominated, so a half-full chunk is never
+    /// mistaken for a full queue — can be fed back to the deciders via
     /// [`set_check_interval`](Self::set_check_interval).
     ///
     /// Each shard owns a disjoint subset of every query's windows, so
@@ -536,6 +583,7 @@ impl ShardedEngine {
             "need exactly one decider per shard per query (shard-major)"
         );
         let capacity = self.queue_capacity;
+        let chunk_capacity = self.chunk_capacity;
         let check_interval = self.check_interval;
 
         let mut produced = 0u64;
@@ -552,20 +600,53 @@ impl ShardedEngine {
                 })
                 .collect();
 
-            // Producer fan-out: broadcast each event to every shard queue,
-            // blocking (per queue) while it is full. The last shard takes
-            // the event by move; the others get clones. This is the whole
-            // per-event hand-off — one push per shard serves all queries.
-            'produce: while let Some(event) = source.next_event() {
-                produced += 1;
-                let (last, rest) = producers.split_last_mut().expect("at least one shard");
-                for producer in rest {
-                    if !producer.push_blocking(ShardInput::Event(event.clone())) {
-                        break 'produce; // a drain thread died; join reports it
+            // Producer fan-out at batch granularity: events are appended
+            // once into a shared chunk, and sealing broadcasts one
+            // `Arc<EventChunk>` reference per shard — the queue's Release
+            // tail store publishes the whole batch, so ingestion is O(1)
+            // amortised per event regardless of the shard count. One
+            // hand-off per chunk per shard serves all queries.
+            if chunk_capacity == 1 {
+                // Degenerate per-event broadcast: the pre-arena hand-off,
+                // kept allocation-free (no chunk wrapping single events).
+                while let Some(event) = source.next_event() {
+                    produced += 1;
+                    if !broadcast_event(&mut producers, event) {
+                        break; // a drain thread died; join reports it
                     }
                 }
-                if !last.push_blocking(ShardInput::Event(event)) {
-                    break 'produce;
+            } else {
+                let paced = source.is_paced();
+                let mut builder = ChunkBuilder::new(chunk_capacity);
+                let mut oldest_pending: Option<Instant> = None;
+                'produce: loop {
+                    // A paced source can dribble: flush the partial chunk
+                    // once it is older than the deadline so batching never
+                    // adds hand-off latency to a paced replay. (Only paced
+                    // sources ever set `oldest_pending`, so saturated
+                    // replays pay no clock reads here.)
+                    if oldest_pending.is_some_and(|since| since.elapsed() >= PACED_FLUSH_INTERVAL) {
+                        if let Some(partial) = builder.seal() {
+                            if !broadcast_chunk(&mut producers, partial) {
+                                break 'produce;
+                            }
+                        }
+                        oldest_pending = None;
+                    }
+                    let Some(event) = source.next_event() else { break };
+                    produced += 1;
+                    if paced && oldest_pending.is_none() {
+                        oldest_pending = Some(Instant::now());
+                    }
+                    if let Some(full) = builder.push(event) {
+                        if !broadcast_chunk(&mut producers, full) {
+                            break 'produce;
+                        }
+                        oldest_pending = None;
+                    }
+                }
+                if let Some(partial) = builder.seal() {
+                    let _ = broadcast_chunk(&mut producers, partial);
                 }
             }
             for producer in &mut producers {
@@ -722,6 +803,7 @@ impl ShardedEngine {
     {
         let rows = self.build_rows(deciders);
         let capacity = self.queue_capacity;
+        let chunk_capacity = self.chunk_capacity;
         let check_interval = self.check_interval;
         let shard_count = self.shards.len();
 
@@ -766,6 +848,10 @@ impl ShardedEngine {
             let mut pending: Vec<(u64, LifecycleRequest)> = Vec::new();
             let mut position = 0u64;
             let mut aborted = false;
+            let paced = source.is_paced();
+            // `None` selects the degenerate per-event hand-off.
+            let mut builder = (chunk_capacity > 1).then(|| ChunkBuilder::new(chunk_capacity));
+            let mut oldest_pending: Option<Instant> = None;
             'produce: loop {
                 if let Some(receiver) = receiver {
                     let mut drained_any = false;
@@ -778,30 +864,73 @@ impl ShardedEngine {
                         pending.sort_by_key(|(at, _)| *at);
                     }
                 }
-                while pending.first().is_some_and(|(at, _)| *at <= position) {
-                    let (_, request) = pending.remove(0);
-                    if let Some(commands) = lifecycle.apply(request, position) {
-                        for (producer, command) in producers.iter_mut().zip(commands) {
-                            if !producer.push_blocking(ShardInput::Command(Box::new(command))) {
-                                aborted = true;
-                                break 'produce;
+                if pending.first().is_some_and(|(at, _)| *at <= position) {
+                    // A due command must land *between* chunks: seal and
+                    // broadcast the partial chunk first, so the command
+                    // applies at this exact stream position on every shard.
+                    if let Some(partial) = builder.as_mut().and_then(ChunkBuilder::seal) {
+                        if !broadcast_chunk(&mut producers, partial) {
+                            aborted = true;
+                            break 'produce;
+                        }
+                        oldest_pending = None;
+                    }
+                    while pending.first().is_some_and(|(at, _)| *at <= position) {
+                        let (_, request) = pending.remove(0);
+                        if let Some(commands) = lifecycle.apply(request, position) {
+                            for (producer, command) in producers.iter_mut().zip(commands) {
+                                // Commands occupy a queue slot but no
+                                // stream position: weight 0 keeps the
+                                // measured event depth exact.
+                                let input = ShardInput::Command(Box::new(command));
+                                if !producer.push_blocking_weighted(input, 0) {
+                                    aborted = true;
+                                    break 'produce;
+                                }
                             }
                         }
                     }
                 }
+                // Paced-flush deadline, as in `run_source_per_query`.
+                if oldest_pending.is_some_and(|since| since.elapsed() >= PACED_FLUSH_INTERVAL) {
+                    if let Some(partial) = builder.as_mut().and_then(ChunkBuilder::seal) {
+                        if !broadcast_chunk(&mut producers, partial) {
+                            aborted = true;
+                            break 'produce;
+                        }
+                    }
+                    oldest_pending = None;
+                }
                 let Some(event) = source.next_event() else { break };
                 produced += 1;
                 position += 1;
-                let (last, rest) = producers.split_last_mut().expect("at least one shard");
-                for producer in rest {
-                    if !producer.push_blocking(ShardInput::Event(event.clone())) {
-                        aborted = true;
-                        break 'produce; // a drain thread died; join reports it
+                match &mut builder {
+                    Some(builder) => {
+                        if paced && oldest_pending.is_none() {
+                            oldest_pending = Some(Instant::now());
+                        }
+                        if let Some(full) = builder.push(event) {
+                            if !broadcast_chunk(&mut producers, full) {
+                                aborted = true;
+                                break 'produce;
+                            }
+                            oldest_pending = None;
+                        }
+                    }
+                    None => {
+                        if !broadcast_event(&mut producers, event) {
+                            aborted = true;
+                            break 'produce; // a drain thread died
+                        }
                     }
                 }
-                if !last.push_blocking(ShardInput::Event(event)) {
-                    aborted = true;
-                    break 'produce;
+            }
+            // The trailing partial chunk precedes any late request: late
+            // requests apply at the end-of-stream position, after every
+            // event.
+            if !aborted {
+                if let Some(partial) = builder.as_mut().and_then(ChunkBuilder::seal) {
+                    aborted = !broadcast_chunk(&mut producers, partial);
                 }
             }
             // Requests that arrived too late for any event boundary apply
@@ -818,7 +947,8 @@ impl ShardedEngine {
                 for (_, request) in pending.drain(..) {
                     if let Some(commands) = lifecycle.apply(request, position) {
                         for (producer, command) in producers.iter_mut().zip(commands) {
-                            let _ = producer.push_blocking(ShardInput::Command(Box::new(command)));
+                            let input = ShardInput::Command(Box::new(command));
+                            let _ = producer.push_blocking_weighted(input, 0);
                         }
                     }
                 }
@@ -986,6 +1116,34 @@ impl EngineLifecycle<'_> {
             }
         }
     }
+}
+
+/// Broadcasts one sealed chunk to every shard queue — one `Arc` clone and
+/// one weighted push (counting the chunk's events) per shard, blocking per
+/// queue while it is full. The last shard takes the reference by move.
+/// Returns `false` if any drain thread died (the join reports the panic).
+fn broadcast_chunk(producers: &mut [QueueProducer<ShardInput>], chunk: Arc<EventChunk>) -> bool {
+    let events = chunk.len() as u64;
+    let (last, rest) = producers.split_last_mut().expect("at least one shard");
+    for producer in rest {
+        if !producer.push_blocking_weighted(ShardInput::Chunk(Arc::clone(&chunk)), events) {
+            return false;
+        }
+    }
+    last.push_blocking_weighted(ShardInput::Chunk(chunk), events)
+}
+
+/// Broadcasts one event to every shard queue: the chunk-capacity-1
+/// degenerate hand-off (clones for all but the last shard, which takes the
+/// event by move). Returns `false` if any drain thread died.
+fn broadcast_event(producers: &mut [QueueProducer<ShardInput>], event: Event) -> bool {
+    let (last, rest) = producers.split_last_mut().expect("at least one shard");
+    for producer in rest {
+        if !producer.push_blocking(ShardInput::Event(event.clone())) {
+            return false;
+        }
+    }
+    last.push_blocking(ShardInput::Event(event))
 }
 
 /// Merges the per-shard, per-query outputs into per-query single-operator
@@ -1366,10 +1524,69 @@ mod tests {
     }
 
     #[test]
+    fn chunk_capacity_is_output_invariant_across_the_sweep() {
+        // The chunk size is a pure hand-off knob: every capacity — the
+        // per-event degenerate 1, sizes that leave partial trailing chunks,
+        // and sizes larger than the stream — must produce identical output
+        // and event-exact queue accounting.
+        let stream = keyed_stream(300);
+        let single = Operator::new(query(12)).run(&stream, &mut crate::KeepAll);
+        for chunk_capacity in [1usize, 2, 7, 64, 512] {
+            let mut engine = ShardedEngine::new(query(12), 3);
+            engine.set_queue_capacity(4);
+            engine.set_chunk_capacity(chunk_capacity);
+            let mut source = espice_events::SliceSource::from_stream(&stream);
+            let mut deciders = vec![crate::KeepAll; 3];
+            let merged = engine.run_source(&mut source, &mut deciders);
+            assert_eq!(merged, single, "chunk capacity {chunk_capacity} diverged");
+            for queue in engine.queue_stats() {
+                assert_eq!(queue.pushed, stream.len() as u64, "pushed counts events");
+                assert!(queue.peak_depth <= 4, "peak depth counts hand-off slots");
+            }
+        }
+    }
+
+    #[test]
+    fn lifecycle_commands_land_at_exact_positions_for_every_chunk_size() {
+        // An admission mid-chunk forces the producer to seal a partial
+        // chunk; the admitted query's output must still equal a fresh
+        // engine over the exact suffix, for chunk sizes that put the
+        // admission at every possible offset within a chunk.
+        let stream = keyed_stream(300);
+        let admit_at = 117u64;
+        let suffix = VecStream::from_ordered(stream.events()[admit_at as usize..].to_vec());
+        for chunk_capacity in [1usize, 2, 5, 64, 400] {
+            let mut engine = ShardedEngine::new(query(12), 2);
+            engine.set_chunk_capacity(chunk_capacity);
+            let control = engine.control();
+            let handle = control.admit_at(admit_at, query(9), boxed_keepers(2));
+            let mut source = espice_events::SliceSource::from_stream(&stream);
+            let outcome = engine.run_source_live(&mut source, boxed_keepers(2));
+            assert_eq!(outcome.lifecycle.admitted, vec![(handle, admit_at)]);
+
+            let mut fresh = ShardedEngine::new(query(9), 2);
+            let expected = fresh.run_keep_all(&suffix);
+            assert_eq!(
+                outcome.complex_events[1], expected,
+                "admission drifted at chunk capacity {chunk_capacity}"
+            );
+            let mut solo = ShardedEngine::new(query(12), 2);
+            assert_eq!(outcome.complex_events[0], solo.run_keep_all(&stream));
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "queue capacity")]
     fn zero_queue_capacity_rejected() {
         let mut engine = ShardedEngine::new(query(8), 1);
         engine.set_queue_capacity(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk capacity")]
+    fn zero_chunk_capacity_rejected() {
+        let mut engine = ShardedEngine::new(query(8), 1);
+        engine.set_chunk_capacity(0);
     }
 
     #[test]

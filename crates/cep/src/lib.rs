@@ -39,12 +39,14 @@
 //! single-operator form — byte-identical output for stateless-per-window
 //! deciders on count-based windows (see [`ShardedEngine`] for the
 //! time-window caveat). The engine is *stream-driven*: events are pulled
-//! incrementally from an [`EventSource`](espice_events::EventSource) and
-//! broadcast into bounded per-shard SPSC queues ([`queue`]), whose fixed
-//! capacity backpressures the producer and whose measured depth feeds
-//! closed-loop overload detection through
-//! [`WindowEventDecider::queue_sample`]; `ShardedEngine::run` keeps the
-//! slice-compatible entry point on top of the same pipeline.
+//! incrementally from an [`EventSource`](espice_events::EventSource),
+//! batched once into sequence-stamped shared chunks ([`arena`]), and
+//! handed to bounded per-shard SPSC queues ([`queue`]) as `Arc` references
+//! — one hand-off per chunk per shard instead of one clone per event per
+//! shard. The queues' fixed capacity backpressures the producer and their
+//! measured event-denominated depth feeds closed-loop overload detection
+//! through [`WindowEventDecider::queue_sample`]; `ShardedEngine::run`
+//! keeps the slice-compatible entry point on top of the same pipeline.
 //!
 //! # Example
 //!
@@ -74,6 +76,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod arena;
 mod complex;
 mod engine;
 pub mod lifecycle;
@@ -93,8 +96,9 @@ mod shard;
 mod shedding;
 mod window;
 
+pub use arena::{ChunkBuilder, EventChunk};
 pub use complex::{ComplexEvent, Constituent};
-pub use engine::{EngineStats, ShardedEngine, DEFAULT_QUEUE_CAPACITY};
+pub use engine::{EngineStats, ShardedEngine, DEFAULT_CHUNK_CAPACITY, DEFAULT_QUEUE_CAPACITY};
 pub use lifecycle::{EngineControl, LifecycleReport, LiveRunOutcome, ShardInput};
 pub use matcher::{EntryRef, MatchOutcome, Matcher, WindowEntry};
 pub use operator::{Operator, OperatorStats};

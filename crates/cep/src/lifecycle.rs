@@ -23,6 +23,7 @@
 //!
 //! [`QuerySet`]: crate::QuerySet
 
+use crate::arena::EventChunk;
 use crate::window::SharedSizePredictor;
 use crate::{BoxedDecider, Query, QueryHandle, QueryId};
 use espice_events::Event;
@@ -150,12 +151,19 @@ impl std::fmt::Debug for ShardCommand {
 }
 
 /// What a live shard queue carries: stream events interleaved with in-band
-/// lifecycle commands. A command sits *between* two events, so every shard
-/// applies it at the same stream position.
+/// lifecycle commands. A command sits *between* two events — the producer
+/// seals any partial chunk before pushing it — so every shard applies it
+/// at the same stream position.
 #[derive(Debug)]
 pub enum ShardInput {
-    /// One stream event, in global stream order.
+    /// One stream event, in global stream order (the chunk-capacity-1
+    /// degenerate hand-off, and the hand-built test path).
     Event(Event),
+    /// A sealed, sequence-stamped batch of consecutive stream events,
+    /// shared by reference with every shard (see
+    /// [`arena`](crate::arena)): one hand-off per chunk per shard instead
+    /// of one clone per event per shard.
+    Chunk(Arc<EventChunk>),
     /// A lifecycle command taking effect before the next event. Boxed so
     /// the queue's slot size stays at the event hand-off size — commands
     /// are rare, events are not.

@@ -5,7 +5,9 @@ use crate::{
     Decision, KeepAll, Matcher, Operator, Pattern, PatternStep, Query, SelectionPolicy,
     ShardedEngine, SkipPolicy, WindowEntry, WindowEventDecider, WindowMeta, WindowSpec,
 };
-use espice_events::{Event, EventStream, EventType, SliceSource, Timestamp, VecStream};
+use espice_events::{
+    Event, EventSource, EventStream, EventType, SliceSource, Timestamp, VecStream,
+};
 use proptest::prelude::*;
 
 /// A stateless, shard-invariant decider with non-trivial drops, used to
@@ -25,6 +27,38 @@ impl WindowEventDecider for DropEveryThird {
 
 fn type_sequence(max_len: usize) -> impl Strategy<Value = Vec<u32>> {
     prop::collection::vec(0u32..5, 1..max_len)
+}
+
+/// Chunk capacities for the ingestion sweeps: 1 is the exact legacy
+/// per-event broadcast, the small primes land lifecycle positions and
+/// stream ends mid-chunk (partial seals), 300 exceeds every generated
+/// stream so the whole run travels as one partial flush.
+fn chunk_capacities() -> impl Strategy<Value = usize> {
+    prop::sample::select(vec![1usize, 2, 7, 64, 300])
+}
+
+/// A paced source that stalls once, mid-stream, for longer than the
+/// producer's partial-flush deadline — forcing a time-based partial-chunk
+/// flush at a deterministic position.
+struct StallingSource<S> {
+    inner: S,
+    stall_at: usize,
+    delivered: usize,
+}
+
+impl<S: EventSource> EventSource for StallingSource<S> {
+    fn next_event(&mut self) -> Option<Event> {
+        if self.delivered == self.stall_at {
+            std::thread::sleep(std::time::Duration::from_millis(3));
+        }
+        let event = self.inner.next_event()?;
+        self.delivered += 1;
+        Some(event)
+    }
+
+    fn is_paced(&self) -> bool {
+        true
+    }
 }
 
 fn entries_from(types: &[u32]) -> Vec<WindowEntry> {
@@ -249,11 +283,14 @@ proptest! {
     }
 
     /// Streaming-ingestion identity: for any keyed stream, shard count
-    /// N ∈ {1, 2, 4}, shedding on or off, and any queue capacity — down to
-    /// a capacity of 1, where the producer backpressures on *every* event —
-    /// the stream-driven engine (`run_source` over bounded per-shard SPSC
-    /// queues) emits byte-identical complex events and merged statistics to
-    /// a slice-driven single-operator run.
+    /// N ∈ {1, 2, 4}, shedding on or off, any queue capacity — down to a
+    /// capacity of 1, where the producer backpressures on *every*
+    /// hand-off — and any chunk capacity (per-event broadcast at 1,
+    /// mid-stream partial seals at the primes, one whole-stream partial
+    /// flush at 300), the stream-driven engine (`run_source` over shared
+    /// chunks through bounded per-shard SPSC queues) emits byte-identical
+    /// complex events and merged statistics to a slice-driven
+    /// single-operator run.
     #[test]
     fn streaming_engine_equals_slice_engine(
         types in type_sequence(150),
@@ -261,6 +298,7 @@ proptest! {
         slide in 1usize..6,
         shed in prop::bool::ANY,
         tiny_queues in prop::bool::ANY,
+        chunk_capacity in chunk_capacities(),
     ) {
         let query = Query::builder()
             .pattern(Pattern::sequence([EventType::from_index(0), EventType::from_index(1)]))
@@ -286,6 +324,7 @@ proptest! {
         for shards in [1usize, 2, 4] {
             let mut engine = ShardedEngine::new(query.clone(), shards);
             engine.set_queue_capacity(capacity);
+            engine.set_chunk_capacity(chunk_capacity);
             let mut source = SliceSource::from_stream(&stream);
             let merged = if shed {
                 let mut deciders = vec![DropEveryThird; shards];
@@ -295,12 +334,74 @@ proptest! {
                 engine.run_source(&mut source, &mut deciders)
             };
             prop_assert_eq!(&merged, &expected,
-                "streaming diverged at {} shards, capacity {}", shards, capacity);
+                "streaming diverged at {} shards, capacity {}, chunk {}",
+                shards, capacity, chunk_capacity);
             prop_assert_eq!(&engine.stats().merged, single.stats(),
-                "stats diverged at {} shards, capacity {}", shards, capacity);
+                "stats diverged at {} shards, capacity {}, chunk {}",
+                shards, capacity, chunk_capacity);
             for queue in engine.queue_stats() {
+                // `pushed` counts events regardless of batching; slot
+                // occupancy stays bounded by the configured capacity.
                 prop_assert_eq!(queue.pushed, stream.len() as u64);
                 prop_assert!(queue.peak_depth <= capacity);
+            }
+        }
+    }
+
+    /// Paced partial flushes preserve identity: a wall-clock source that
+    /// stalls mid-chunk for longer than the flush deadline makes the
+    /// producer seal and ship a partial chunk early — the output must
+    /// still be byte-identical to the slice run, with every event
+    /// accounted for exactly once.
+    #[test]
+    fn paced_partial_chunk_flushes_preserve_identity(
+        types in type_sequence(120),
+        window_size in 2usize..12,
+        slide in 1usize..5,
+        stall_frac in 0.0f64..1.0,
+        shed in prop::bool::ANY,
+    ) {
+        let query = Query::builder()
+            .pattern(Pattern::sequence([EventType::from_index(0), EventType::from_index(1)]))
+            .window(WindowSpec::count_sliding(window_size, slide))
+            .build();
+        let events: Vec<Event> = types
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| Event::new(EventType::from_index(t), Timestamp::from_secs(i as u64), i as u64))
+            .collect();
+        let stream = VecStream::from_ordered(events);
+
+        let mut single = Operator::new(query.clone());
+        let expected = if shed {
+            single.run(&stream, &mut DropEveryThird)
+        } else {
+            single.run(&stream, &mut KeepAll)
+        };
+
+        let stall_at = (stream.len() as f64 * stall_frac) as usize;
+        for shards in [1usize, 2] {
+            let mut engine = ShardedEngine::new(query.clone(), shards);
+            // A chunk larger than the stream: without the deadline flush
+            // nothing would ship until the trailing seal.
+            engine.set_chunk_capacity(256);
+            let mut source = StallingSource {
+                inner: SliceSource::from_stream(&stream),
+                stall_at,
+                delivered: 0,
+            };
+            let merged = if shed {
+                let mut deciders = vec![DropEveryThird; shards];
+                engine.run_source(&mut source, &mut deciders)
+            } else {
+                let mut deciders = vec![KeepAll; shards];
+                engine.run_source(&mut source, &mut deciders)
+            };
+            prop_assert_eq!(&merged, &expected,
+                "paced flush diverged at {} shards, stall at {}", shards, stall_at);
+            prop_assert_eq!(&engine.stats().merged, single.stats());
+            for queue in engine.queue_stats() {
+                prop_assert_eq!(queue.pushed, stream.len() as u64);
             }
         }
     }
@@ -396,7 +497,10 @@ proptest! {
     /// shard counts {1, 2, 4}, shedding on and off, on both the slice and
     /// the streaming lifecycle backends. The retired query's output is a
     /// drained prefix of its static full-stream output (windows opened
-    /// before the retirement, fed to completion).
+    /// before the retirement, fed to completion). The streaming backend is
+    /// additionally swept across chunk capacities: the in-band commands
+    /// must land at their exact positions whether the boundary seal splits
+    /// a chunk mid-fill or the whole stream rides in one partial flush.
     #[test]
     fn lifecycle_churn_is_pinned_against_static_engine_oracles(
         types in type_sequence(140),
@@ -408,6 +512,7 @@ proptest! {
         retire_frac in 0.1f64..0.9,
         shed in prop::bool::ANY,
         streaming in prop::bool::ANY,
+        chunk_capacity in chunk_capacities(),
     ) {
         let retired_query = Query::builder()
             .pattern(Pattern::sequence([EventType::from_index(0), EventType::from_index(1)]))
@@ -438,6 +543,7 @@ proptest! {
 
         for shards in [1usize, 2, 4] {
             let mut engine = ShardedEngine::for_queries(set.clone(), shards);
+            engine.set_chunk_capacity(chunk_capacity);
             let control = engine.control();
             let handle = engine.query_handle(0).expect("slot 0 starts live");
             control.retire_at(retire_at, handle);

@@ -24,7 +24,7 @@
 
 use espice_events::Event;
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Shared state of one SPSC queue. Only ever touched through the unique
@@ -48,6 +48,15 @@ struct Shared<T> {
     consumer_gone: AtomicBool,
     /// Largest depth ever observed at push time.
     peak_depth: AtomicUsize,
+    /// Queue depth in **events** (not slots): incremented by the push
+    /// weight, decremented by [`QueueConsumer::consume_events`] as the
+    /// drain loop processes events. With chunked hand-off one slot can
+    /// carry many events (or, for a command, none), so this — not the slot
+    /// count — is the quantity the overload detector's `f · qmax` check
+    /// needs.
+    event_depth: AtomicU64,
+    /// Largest event-denominated depth ever observed at push time.
+    peak_event_depth: AtomicU64,
 }
 
 // SAFETY: the queue is shared between exactly two threads (the handles are
@@ -102,14 +111,21 @@ impl Backoff {
 /// the operator statistics.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct QueueStats {
-    /// Configured capacity of the queue.
+    /// Configured capacity of the queue, in hand-off slots.
     pub capacity: usize,
-    /// Events pushed over the queue's lifetime.
+    /// Events pushed over the queue's lifetime (a chunk counts its
+    /// events, an in-band command counts zero).
     pub pushed: u64,
-    /// Largest number of events resident at once.
+    /// Largest number of hand-offs (slots) resident at once; bounded by
+    /// `capacity`.
     pub peak_depth: usize,
-    /// Events whose push found the queue full at least once (the producer
-    /// had to wait — the backpressure signal).
+    /// Largest number of *events* resident at once — with chunked
+    /// hand-off each slot can carry a whole batch, so this is the
+    /// "how overfilled did the queue get" figure and can exceed
+    /// `capacity`.
+    pub peak_event_depth: u64,
+    /// Hand-offs whose push found the queue full at least once (the
+    /// producer had to wait — the backpressure signal).
     pub backpressure_events: u64,
 }
 
@@ -147,6 +163,8 @@ pub fn spsc<T>(capacity: usize) -> (QueueProducer<T>, QueueConsumer<T>) {
         closed: AtomicBool::new(false),
         consumer_gone: AtomicBool::new(false),
         peak_depth: AtomicUsize::new(0),
+        event_depth: AtomicU64::new(0),
+        peak_event_depth: AtomicU64::new(0),
     });
     let producer =
         QueueProducer { shared: Arc::clone(&shared), pushed: 0, backpressure_events: 0, capacity };
@@ -168,22 +186,35 @@ impl<T> QueueProducer<T> {
     /// Attempts to push one event, returning it back if the queue is full
     /// or the consumer is gone.
     pub fn push(&mut self, event: T) -> Result<(), T> {
+        self.push_weighted(event, 1)
+    }
+
+    /// Attempts to push one item that stands for `events` stream events —
+    /// a chunk (`events == chunk.len()`), a single event (`1`), or an
+    /// in-band command (`0`). The weight is what [`QueueStats::pushed`] and
+    /// the event-denominated queue depth advance by, so the overload
+    /// controller keeps counting events however the hand-off is batched.
+    pub fn push_weighted(&mut self, item: T, events: u64) -> Result<(), T> {
         if self.shared.consumer_gone.load(Ordering::Acquire) {
-            return Err(event);
+            return Err(item);
         }
         let tail = self.shared.tail.load(Ordering::Relaxed);
         let head = self.shared.head.load(Ordering::Acquire);
         if tail - head == self.capacity {
-            return Err(event);
+            return Err(item);
         }
         // SAFETY: `tail - head < capacity`, so the consumer has released
         // this slot (its last use happened before the `head` store we just
         // acquired), and no other producer exists.
         unsafe {
-            *self.shared.slots[tail % self.capacity].get() = Some(event);
+            *self.shared.slots[tail % self.capacity].get() = Some(item);
         }
         self.shared.tail.store(tail + 1, Ordering::Release);
-        self.pushed += 1;
+        self.pushed += events;
+        if events > 0 {
+            let event_depth = self.shared.event_depth.fetch_add(events, Ordering::Relaxed) + events;
+            self.shared.peak_event_depth.fetch_max(event_depth, Ordering::Relaxed);
+        }
         let depth = tail + 1 - head;
         self.shared.peak_depth.fetch_max(depth, Ordering::Relaxed);
         Ok(())
@@ -194,11 +225,17 @@ impl<T> QueueProducer<T> {
     /// the event could be handed over (its drain thread panicked) — the
     /// caller should stop producing.
     pub fn push_blocking(&mut self, event: T) -> bool {
-        let mut event = event;
+        self.push_blocking_weighted(event, 1)
+    }
+
+    /// [`push_weighted`](Self::push_weighted) with full-queue waiting, the
+    /// blocking counterpart used by the chunked producer loops.
+    pub fn push_blocking_weighted(&mut self, item: T, events: u64) -> bool {
+        let mut item = item;
         let mut waited = false;
         let mut backoff = Backoff::new();
         loop {
-            match self.push(event) {
+            match self.push_weighted(item, events) {
                 Ok(()) => return true,
                 Err(rejected) => {
                     if self.shared.consumer_gone.load(Ordering::Acquire) {
@@ -208,7 +245,7 @@ impl<T> QueueProducer<T> {
                         waited = true;
                         self.backpressure_events += 1;
                     }
-                    event = rejected;
+                    item = rejected;
                     backoff.wait();
                 }
             }
@@ -231,6 +268,7 @@ impl<T> QueueProducer<T> {
             capacity: self.capacity,
             pushed: self.pushed,
             peak_depth: self.shared.peak_depth.load(Ordering::Relaxed),
+            peak_event_depth: self.shared.peak_event_depth.load(Ordering::Relaxed),
             backpressure_events: self.backpressure_events,
         }
     }
@@ -269,10 +307,31 @@ impl<T> QueueConsumer<T> {
         Some(event.expect("published slots hold an event"))
     }
 
-    /// The measured queue depth: events pushed but not yet popped. This is
-    /// the quantity the overload detector compares against `f · qmax`.
+    /// The measured queue depth in **slots**: items pushed but not yet
+    /// popped. With chunked hand-off one slot can carry a whole batch; use
+    /// [`event_depth`](Self::event_depth) for the event-denominated depth
+    /// the overload detector compares against `f · qmax`.
     pub fn depth(&self) -> usize {
         self.shared.tail.load(Ordering::Acquire) - self.shared.head.load(Ordering::Relaxed)
+    }
+
+    /// The measured queue depth in **events**: stream events pushed (by
+    /// weight) and not yet declared consumed via
+    /// [`consume_events`](Self::consume_events). Counts the unscanned
+    /// remainder of a partially processed chunk, and counts in-band
+    /// commands (weight 0) not at all.
+    pub fn event_depth(&self) -> u64 {
+        self.shared.event_depth.load(Ordering::Relaxed)
+    }
+
+    /// Declares `events` stream events consumed, retiring them from
+    /// [`event_depth`](Self::event_depth). The drain loop calls this as it
+    /// processes events — possibly batched, as long as the count is flushed
+    /// before the depth is sampled.
+    pub fn consume_events(&self, events: u64) {
+        if events > 0 {
+            self.shared.event_depth.fetch_sub(events, Ordering::Relaxed);
+        }
     }
 
     /// Whether the queue currently holds no events.
@@ -420,6 +479,67 @@ mod tests {
                     std::thread::yield_now();
                 }
             }
+        });
+    }
+
+    #[test]
+    fn weighted_pushes_count_events_not_slots() {
+        // A queue of batches: each slot is a Vec standing for several
+        // stream events (or, with weight 0, for an in-band command).
+        let (mut producer, mut consumer) = spsc::<Vec<u64>>(4);
+        producer.push_weighted(vec![0, 1, 2], 3).unwrap();
+        producer.push_weighted(vec![], 0).unwrap();
+        producer.push_weighted(vec![3], 1).unwrap();
+        assert_eq!(producer.depth(), 3, "slot depth counts items");
+        assert_eq!(consumer.event_depth(), 4, "event depth counts weights");
+        assert_eq!(producer.stats().pushed, 4, "pushed is event-denominated");
+        assert_eq!(producer.stats().peak_depth, 3, "peak depth counts slots");
+        assert_eq!(producer.stats().peak_event_depth, 4, "event peak counts weights");
+
+        // Consuming half the first batch: the unscanned remainder stays in
+        // the event depth even though the slot was already popped.
+        let first = consumer.pop().unwrap();
+        assert_eq!(first.len(), 3);
+        consumer.consume_events(1);
+        assert_eq!(consumer.event_depth(), 3);
+        consumer.consume_events(2);
+        let command = consumer.pop().unwrap();
+        assert!(command.is_empty());
+        assert_eq!(consumer.event_depth(), 1, "commands carry no event weight");
+        consumer.pop().unwrap();
+        consumer.consume_events(1);
+        assert_eq!(consumer.event_depth(), 0);
+    }
+
+    #[test]
+    fn blocking_weighted_push_applies_backpressure_per_slot() {
+        let (mut producer, mut consumer) = spsc::<Vec<u64>>(1);
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                for batch in 0..50u64 {
+                    let chunk: Vec<u64> = (batch * 4..batch * 4 + 4).collect();
+                    assert!(producer.push_blocking_weighted(chunk, 4));
+                }
+                producer.close();
+                let stats = producer.stats();
+                assert_eq!(stats.pushed, 200, "50 chunks of 4 events each");
+                assert!(stats.peak_depth <= 1, "peak depth stays slot-denominated");
+                assert!(stats.peak_event_depth >= 4, "one resident chunk is 4 events");
+            });
+            let mut seen = 0u64;
+            while seen < 200 {
+                if let Some(chunk) = consumer.pop() {
+                    for (offset, seq) in chunk.iter().enumerate() {
+                        assert_eq!(*seq, seen + offset as u64);
+                    }
+                    let events = chunk.len() as u64;
+                    seen += events;
+                    consumer.consume_events(events);
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+            assert_eq!(consumer.event_depth(), 0);
         });
     }
 

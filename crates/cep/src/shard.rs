@@ -589,6 +589,12 @@ impl Shard {
         let started = Instant::now();
         let mut idle = Duration::ZERO;
         let mut drained_since_sample: u64 = 0;
+        // Events processed but not yet retired from the queue's
+        // event-denominated depth; flushed once per popped hand-off (one
+        // relaxed RMW per chunk, not per event) and before every sample,
+        // so the depth the controller sees is exact — including the
+        // unscanned remainder of a partially processed chunk.
+        let mut pending_consumed: u64 = 0;
         let mut since_clock_check: u32 = 0;
         let mut next_sample = check_interval;
         // Shard-level assignment counters at the previous sample, summed
@@ -605,6 +611,7 @@ impl Shard {
                     backoff.reset();
                     self.push_fused(&event, row, &mut outputs);
                     drained_since_sample += 1;
+                    pending_consumed += 1;
                     if let Some(deadline) = next_sample {
                         since_clock_check += 1;
                         if since_clock_check >= CLOCK_STRIDE {
@@ -618,6 +625,7 @@ impl Shard {
                                     row,
                                     &queue,
                                     &mut drained_since_sample,
+                                    &mut pending_consumed,
                                     &mut last_assignments,
                                     &mut last_kept,
                                     elapsed,
@@ -626,6 +634,43 @@ impl Shard {
                             }
                         }
                     }
+                    queue.consume_events(pending_consumed);
+                    pending_consumed = 0;
+                }
+                Some(ShardInput::Chunk(chunk)) => {
+                    // One hand-off covering a whole batch: scan the shared
+                    // buffer in place, keeping the sampling cadence of the
+                    // per-event path so checks fire mid-chunk too.
+                    backoff.reset();
+                    for event in chunk.events() {
+                        self.push_fused(event, row, &mut outputs);
+                        drained_since_sample += 1;
+                        pending_consumed += 1;
+                        if let Some(deadline) = next_sample {
+                            since_clock_check += 1;
+                            if since_clock_check >= CLOCK_STRIDE {
+                                since_clock_check = 0;
+                                let elapsed = started.elapsed();
+                                if elapsed >= deadline {
+                                    let interval = check_interval
+                                        .expect("sampling fires only when configured");
+                                    next_sample = Some(elapsed + interval);
+                                    self.deliver_sample(
+                                        row,
+                                        &queue,
+                                        &mut drained_since_sample,
+                                        &mut pending_consumed,
+                                        &mut last_assignments,
+                                        &mut last_kept,
+                                        elapsed,
+                                        idle,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    queue.consume_events(pending_consumed);
+                    pending_consumed = 0;
                 }
                 Some(ShardInput::Command(command)) => {
                     backoff.reset();
@@ -638,6 +683,14 @@ impl Shard {
                         Some(ShardInput::Event(event)) => {
                             self.push_fused(&event, row, &mut outputs);
                             drained_since_sample += 1;
+                            pending_consumed += 1;
+                        }
+                        Some(ShardInput::Chunk(chunk)) => {
+                            for event in chunk.events() {
+                                self.push_fused(event, row, &mut outputs);
+                                drained_since_sample += 1;
+                                pending_consumed += 1;
+                            }
                         }
                         Some(ShardInput::Command(command)) => {
                             self.apply_command(*command, row, &mut outputs);
@@ -667,6 +720,7 @@ impl Shard {
                                     row,
                                     &queue,
                                     &mut drained_since_sample,
+                                    &mut pending_consumed,
                                     &mut last_assignments,
                                     &mut last_kept,
                                     elapsed,
@@ -680,29 +734,38 @@ impl Shard {
                 }
             }
         }
+        queue.consume_events(pending_consumed);
         self.flush_core(row, &mut outputs);
         outputs
     }
 
-    /// Hands every live slot's decider one measured [`QueueSample`].
+    /// Hands every live slot's decider one measured [`QueueSample`]. The
+    /// reported depth is **event-denominated**: processed events are first
+    /// retired from the queue's event depth (`pending_consumed`), so a
+    /// half-scanned chunk contributes exactly its unprocessed remainder —
+    /// the `f · qmax` check must never mistake a half-full chunk for a
+    /// full queue, nor a queue of fat chunks for a near-empty one.
     #[allow(clippy::too_many_arguments)]
     fn deliver_sample<R: DeciderRow>(
         &self,
         row: &mut R,
         queue: &QueueConsumer<ShardInput>,
         drained_since_sample: &mut u64,
+        pending_consumed: &mut u64,
         last_assignments: &mut u64,
         last_kept: &mut u64,
         elapsed: Duration,
         idle: Duration,
     ) {
+        queue.consume_events(*pending_consumed);
+        *pending_consumed = 0;
         let assignments: u64 =
             (0..self.slots.len()).map(|slot| self.slot_stats(slot).assignments).sum();
         let kept: u64 = (0..self.slots.len()).map(|slot| self.slot_stats(slot).kept).sum();
         let mut sample = QueueSample {
             elapsed: SimDuration::from_secs_f64(elapsed.as_secs_f64()),
             busy: SimDuration::from_secs_f64((elapsed - idle).as_secs_f64()),
-            depth: queue.depth(),
+            depth: queue.event_depth() as usize,
             drained: *drained_since_sample,
             assignments: assignments - *last_assignments,
             kept: kept - *last_kept,
@@ -798,6 +861,45 @@ mod tests {
         assert_eq!(streamed, expected);
         assert_eq!(queue_shard.stats(), slice_shard.stats());
         assert_eq!(producer.stats().pushed, events.len() as u64);
+    }
+
+    #[test]
+    fn chunked_queue_input_equals_per_event_input() {
+        let events: Vec<Event> =
+            (0..90).map(|i| ev(if i % 3 == 0 { 0 } else { 1 }, i, i)).collect();
+        let mut slice_shard = Shard::new(query(), 0, 2);
+        let expected = slice_shard.run_events(&events, &mut KeepAll);
+
+        // Hand the same stream over as a mix of full chunks, a loose
+        // per-event stretch, and a partial flush — the shard must not care
+        // how the producer batched.
+        let mut queue_shard = Shard::new(query(), 0, 2);
+        let (mut producer, consumer) = crate::queue::spsc(4);
+        let streamed = std::thread::scope(|scope| {
+            let handle = scope.spawn(|| queue_shard.run_queue(consumer, &mut KeepAll, None));
+            let mut builder = crate::arena::ChunkBuilder::new(7);
+            for (i, event) in events.iter().enumerate() {
+                if (40..50).contains(&i) {
+                    if let Some(partial) = builder.seal() {
+                        let weight = partial.len() as u64;
+                        assert!(producer.push_blocking_weighted(ShardInput::Chunk(partial), weight));
+                    }
+                    assert!(producer.push_blocking(ShardInput::Event(event.clone())));
+                } else if let Some(full) = builder.push(event.clone()) {
+                    let weight = full.len() as u64;
+                    assert!(producer.push_blocking_weighted(ShardInput::Chunk(full), weight));
+                }
+            }
+            if let Some(partial) = builder.seal() {
+                let weight = partial.len() as u64;
+                assert!(producer.push_blocking_weighted(ShardInput::Chunk(partial), weight));
+            }
+            producer.close();
+            handle.join().expect("drain thread panicked")
+        });
+        assert_eq!(streamed, expected);
+        assert_eq!(queue_shard.stats(), slice_shard.stats());
+        assert_eq!(producer.stats().pushed, events.len() as u64, "pushed counts events");
     }
 
     #[test]

@@ -713,6 +713,52 @@ mod tests {
         assert!((th - 1000.0).abs() < 1e-6, "throughput {th}");
     }
 
+    /// The drain loop reports `QueueSample`s in **events** even when the
+    /// hand-off is chunked: `depth` is the live event backlog, never a
+    /// slot count. This pins the controller side of that contract — four
+    /// occupied slots holding 100-event partial flushes are 400 queued
+    /// events, comfortably below activation, while misreading the same
+    /// slots as full 256-event chunks would cross `f · qmax` and shed an
+    /// unloaded queue.
+    #[test]
+    fn partial_chunks_are_not_mistaken_for_a_full_queue() {
+        let mut controller = QueueOverloadController::new(config(1, 0.8));
+        // Calibrate: th = 1000 events/s => qmax = 1000, activation at 800.
+        assert!(controller.sample(&full_sample(ms(100), ms(100), 0, 100)).is_some());
+        // Event-denominated depth of the four partial chunks: no overload.
+        let action = controller.sample(&full_sample(ms(200), ms(200), 400, 100));
+        assert_eq!(action, Some(ControlAction::Resume));
+        assert_eq!(controller.stats().violations, 0);
+        // The slot-misread counterpart (4 slots × 256-event capacity) is
+        // exactly what the depth field must never carry: it sheds.
+        let action = controller.sample(&full_sample(ms(300), ms(300), 1024, 100));
+        assert!(matches!(action, Some(ControlAction::Shed(_))), "got {action:?}");
+    }
+
+    /// Mid-stream alignment under batched hand-off: the aligning sample's
+    /// event-denominated depth becomes the `Δdepth` baseline, so the next
+    /// interval's arrivals (`drained + Δdepth`) count events — a backlog
+    /// sampled mid-chunk must not skew the joiner's input-rate estimate.
+    #[test]
+    fn join_alignment_baselines_event_depth_under_batched_handoff() {
+        let mut joined = QueueOverloadController::new(config(1, 0.8));
+        joined.join_in_progress();
+        // Aligning sample taken mid-chunk: two full 256-event chunks plus
+        // a 128-event partial are queued — 640 events, clocks cumulative.
+        assert_eq!(joined.sample(&full_sample(ms(10_000), ms(9_000), 640, 5_000)), None);
+        // One true interval later the backlog grew to 740 while 100 events
+        // drained in 100 ms busy: capacity 1000/s, arrivals
+        // 100 + (740 − 640) = 200 events over 100 ms => R = 2000/s,
+        // smoothed against the 1000/s seed to 1500/s. Depth 740 is still
+        // below the 800-event activation threshold: no shedding.
+        let action = joined.sample(&full_sample(ms(10_100), ms(9_100), 740, 100));
+        assert_eq!(action, Some(ControlAction::Resume));
+        let th = joined.throughput().expect("calibrated from the first true interval");
+        assert!((th - 1000.0).abs() < 1e-6, "throughput {th}");
+        let rate = joined.input_rate().expect("calibrated");
+        assert!((rate - 1500.0).abs() < 1e-6, "rate {rate}");
+    }
+
     #[test]
     #[should_panic(expected = "at least one server")]
     fn zero_servers_rejected() {

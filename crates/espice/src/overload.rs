@@ -30,6 +30,14 @@ pub struct OverloadConfig {
     /// absorb a burst's worth of events, calm queues raise it back towards
     /// 0.95 so fewer events are shed. Off by default (`f` stays fixed).
     pub adapt_f: bool,
+    /// Headroom fraction for *capacity sizing* on top of `qmax`: a queue
+    /// sized to `qmax · (1 + burst_slack)` events can hold the deepest
+    /// queue the latency bound tolerates plus a burst's worth of slack, so
+    /// the overload detector observes depths up to (and beyond) `qmax`
+    /// instead of having backpressure clip the very signal the `f · qmax`
+    /// check acts on. Used by [`ShedPlanner::sized_event_capacity`]; plays
+    /// no role in the shedding decisions themselves.
+    pub burst_slack: f64,
 }
 
 impl Default for OverloadConfig {
@@ -39,6 +47,7 @@ impl Default for OverloadConfig {
             f: 0.8,
             check_interval: SimDuration::from_millis(100),
             adapt_f: false,
+            burst_slack: 0.25,
         }
     }
 }
@@ -53,6 +62,10 @@ impl OverloadConfig {
         assert!((0.0..=1.0).contains(&self.f), "f must be in [0, 1]");
         assert!(!self.latency_bound.is_zero(), "latency bound must be positive");
         assert!(!self.check_interval.is_zero(), "check interval must be positive");
+        assert!(
+            self.burst_slack.is_finite() && self.burst_slack >= 0.0,
+            "burst slack must be a non-negative finite fraction"
+        );
     }
 }
 
@@ -168,6 +181,31 @@ impl ShedPlanner {
     /// Number of partitions `ρ = ceil(ws / buffer)` for a window of `ws` events.
     pub fn partitions_for_window(&self, window_size: usize) -> usize {
         window_size.max(1).div_ceil(self.buffer_size()).max(1)
+    }
+
+    /// The input-queue capacity (in **events**) closed-loop control wants:
+    /// `ceil(qmax · (1 + burst_slack))`. Any smaller and backpressure
+    /// engages before the measured depth can reach the `f · qmax`
+    /// activation threshold — the producer is throttled instead of the
+    /// shedder acting, and the detector never sees the overload it is
+    /// supposed to manage. The slack term keeps bursts observable beyond
+    /// `qmax` itself. This replaces hand-picked queue capacities wherever a
+    /// throughput estimate exists (see
+    /// `StreamingRunConfig::sized` in `espice-runtime`).
+    pub fn sized_event_capacity(&self) -> usize {
+        ((self.qmax() as f64) * (1.0 + self.config.burst_slack)).ceil().max(1.0) as usize
+    }
+
+    /// [`sized_event_capacity`](Self::sized_event_capacity) expressed in
+    /// hand-off slots for a chunked queue carrying `chunk_capacity` events
+    /// per slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_capacity` is zero.
+    pub fn sized_queue_capacity(&self, chunk_capacity: usize) -> usize {
+        assert!(chunk_capacity >= 1, "chunk capacity must be at least 1");
+        self.sized_event_capacity().div_ceil(chunk_capacity)
     }
 
     /// Computes the shedding plan for input rate `input_rate` (events/s) and
@@ -397,6 +435,56 @@ mod tests {
         assert!(!plan.active);
         assert_eq!(plan.drops_per_window(), 0.0);
         assert_eq!(ShedPlan::inactive().drops_per_window(), 0.0);
+    }
+
+    #[test]
+    fn sized_capacity_is_qmax_plus_burst_slack() {
+        // LB = 100 ms at 10k events/s → qmax = 1000. The default 25 %
+        // burst slack sizes the queue to 1250 events; in chunked hand-off
+        // slots that is ceil(1250 / chunk).
+        let config = OverloadConfig {
+            latency_bound: SimDuration::from_millis(100),
+            ..OverloadConfig::default()
+        };
+        let p = ShedPlanner::new(config, 10_000.0);
+        assert_eq!(p.qmax(), 1000);
+        assert_eq!(p.sized_event_capacity(), 1250);
+        assert_eq!(p.sized_queue_capacity(1), 1250, "chunk 1: slots are events");
+        assert_eq!(p.sized_queue_capacity(256), 5);
+        assert_eq!(p.sized_queue_capacity(2048), 1, "never zero slots");
+    }
+
+    #[test]
+    fn sized_capacity_never_clips_the_activation_signal() {
+        // The whole point of the sizing rule: however the slack is chosen,
+        // the queue must be able to *hold* qmax events, else backpressure
+        // throttles the producer before the measured depth can cross
+        // f·qmax and the detector never observes the overload. The
+        // committed capacity sweep (BENCH_stream.json) shows the same knee
+        // from the throughput side: capacities well below the queue the
+        // workload builds (16) collapse throughput behind backpressure,
+        // while the plateau starts once the queue can hold the burst.
+        for slack in [0.0, 0.1, 0.25, 1.0] {
+            let config = OverloadConfig {
+                latency_bound: SimDuration::from_millis(50),
+                burst_slack: slack,
+                ..OverloadConfig::default()
+            };
+            let p = ShedPlanner::new(config, 20_000.0);
+            assert!(
+                p.sized_event_capacity() >= p.qmax(),
+                "slack {slack} sized below qmax: the f·qmax check would starve"
+            );
+            assert!(p.sized_event_capacity() >= p.activation_queue_length());
+            // Slack is headroom, not an unbounded multiplier.
+            assert!(p.sized_event_capacity() <= p.qmax() * 2 + 1 || slack > 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "burst slack")]
+    fn negative_burst_slack_rejected() {
+        OverloadConfig { burst_slack: -0.5, ..OverloadConfig::default() }.validate();
     }
 
     #[test]

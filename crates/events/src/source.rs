@@ -42,6 +42,16 @@ pub trait EventSource {
     fn size_hint(&self) -> (usize, Option<usize>) {
         (0, None)
     }
+
+    /// Whether this source paces delivery to wall-clock time — sleeping to a
+    /// schedule ([`PacedSource`]) or blocking on a live producer
+    /// ([`PushSource`]) — rather than yielding events as fast as they can be
+    /// pulled. Chunked ingestion uses this as a hint: paced sources get a
+    /// flush deadline so a partial chunk never waits on future arrivals,
+    /// while saturated replays skip the producer-side clock reads entirely.
+    fn is_paced(&self) -> bool {
+        false
+    }
 }
 
 /// Every source stays usable through a mutable reference (the engines take
@@ -53,6 +63,10 @@ impl<S: EventSource + ?Sized> EventSource for &mut S {
 
     fn size_hint(&self) -> (usize, Option<usize>) {
         (**self).size_hint()
+    }
+
+    fn is_paced(&self) -> bool {
+        (**self).is_paced()
     }
 }
 
@@ -248,6 +262,10 @@ impl<S: EventSource> EventSource for PacedSource<S> {
     fn size_hint(&self) -> (usize, Option<usize>) {
         self.inner.size_hint()
     }
+
+    fn is_paced(&self) -> bool {
+        true
+    }
 }
 
 /// The push half of the source abstraction: a bounded channel. The producer
@@ -305,6 +323,10 @@ impl PushHandle {
 impl EventSource for PushSource {
     fn next_event(&mut self) -> Option<Event> {
         self.receiver.recv().ok()
+    }
+
+    fn is_paced(&self) -> bool {
+        true
     }
 }
 
@@ -425,5 +447,25 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn zero_capacity_push_source_rejected() {
         let _ = PushSource::bounded(0);
+    }
+
+    #[test]
+    fn pacing_hint_marks_wall_clock_sources_and_survives_reborrows() {
+        let stream = VecStream::from_ordered(vec![ev(0)]);
+        let slice = SliceSource::from_stream(&stream);
+        assert!(!slice.is_paced(), "a saturated replay is not paced");
+        assert!(!IterSource::new(std::iter::empty()).is_paced());
+
+        // Generic call sites see reborrowed sources as `&mut S`; the
+        // blanket impl must forward the hint.
+        fn hint<S: EventSource>(source: S) -> bool {
+            source.is_paced()
+        }
+        let mut paced = PacedSource::from_stream(&stream, 1000.0);
+        assert!(paced.is_paced());
+        assert!(hint(&mut paced), "the hint must delegate through &mut");
+
+        let (_handle, push) = PushSource::bounded(1);
+        assert!(push.is_paced(), "a live push channel blocks on its producer");
     }
 }

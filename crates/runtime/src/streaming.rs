@@ -15,6 +15,7 @@
 use crate::adaptive::AdaptiveShedder;
 use espice::{
     ControlAction, ControllerStats, OverloadConfig, QueueOverloadController, SharedThroughput,
+    ShedPlanner,
 };
 use espice_cep::{
     BatchRequest, BoxedDecider, ComplexEvent, Decision, EngineStats, LifecycleReport, Query,
@@ -115,8 +116,14 @@ impl<S: AdaptiveShedder> WindowEventDecider for ClosedLoopShedder<S> {
 pub struct StreamingRunConfig {
     /// Number of engine shards (each with its own queue and controller).
     pub shards: usize,
-    /// Capacity of each shard's bounded input queue.
+    /// Capacity of each shard's bounded input queue, in hand-off slots
+    /// (one slot carries a whole chunk on the chunked path). See
+    /// [`sized`](Self::sized) to derive this from the overload parameters
+    /// instead of hand-picking it.
     pub queue_capacity: usize,
+    /// Events batched per shared chunk on the ingestion hand-off; 1
+    /// selects the per-event broadcast. Output is invariant in this knob.
+    pub chunk_capacity: usize,
     /// Overload parameters (latency bound, `f`, check interval). The check
     /// interval doubles as the engine's queue-sampling cadence.
     pub overload: OverloadConfig,
@@ -129,7 +136,40 @@ impl Default for StreamingRunConfig {
         StreamingRunConfig {
             shards: 1,
             queue_capacity: espice_cep::DEFAULT_QUEUE_CAPACITY,
+            chunk_capacity: espice_cep::DEFAULT_CHUNK_CAPACITY,
             overload: OverloadConfig::default(),
+            window_size_hint: None,
+        }
+    }
+}
+
+impl StreamingRunConfig {
+    /// Derives the queue and chunk capacities from the overload parameters
+    /// and a drain-throughput estimate instead of hand-picked constants:
+    /// the queue is sized to hold `qmax · (1 + burst_slack)` **events**
+    /// ([`ShedPlanner::sized_event_capacity`]) so the measured depth can
+    /// actually reach the `f · qmax` activation threshold before
+    /// backpressure clips it, and the chunk size is capped at the shedding
+    /// buffer `(1 − f) · qmax` so one batch cannot blow through the
+    /// headroom between two depth samples.
+    ///
+    /// `throughput_hint` is the expected per-shard drain rate in events/s —
+    /// a calibration run's measurement or a profiled figure. The controller
+    /// still measures the real throughput online; the hint only sizes the
+    /// buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the overload configuration is invalid or the hint is not
+    /// positive and finite.
+    pub fn sized(shards: usize, overload: OverloadConfig, throughput_hint: f64) -> Self {
+        let planner = ShedPlanner::new(overload, throughput_hint);
+        let chunk_capacity = espice_cep::DEFAULT_CHUNK_CAPACITY.min(planner.buffer_size()).max(1);
+        StreamingRunConfig {
+            shards,
+            queue_capacity: planner.sized_queue_capacity(chunk_capacity),
+            chunk_capacity,
+            overload,
             window_size_hint: None,
         }
     }
@@ -165,9 +205,11 @@ impl StreamingOutcome {
         self.control.iter().map(|c| c.activations).sum()
     }
 
-    /// Largest queue depth any shard ever reached.
+    /// Largest queue depth any shard ever reached, in **events** (with
+    /// chunked hand-off one queue slot can carry a whole batch, so this can
+    /// exceed the slot capacity).
     pub fn peak_queue_depth(&self) -> usize {
-        self.queues.iter().map(|q| q.peak_depth).max().unwrap_or(0)
+        self.queues.iter().map(|q| q.peak_event_depth as usize).max().unwrap_or(0)
     }
 }
 
@@ -193,9 +235,11 @@ impl MultiStreamingOutcome {
         self.control.iter().flatten().map(|c| c.activations).sum()
     }
 
-    /// Largest queue depth any shard ever reached.
+    /// Largest queue depth any shard ever reached, in **events** (with
+    /// chunked hand-off one queue slot can carry a whole batch, so this can
+    /// exceed the slot capacity).
     pub fn peak_queue_depth(&self) -> usize {
-        self.queues.iter().map(|q| q.peak_depth).max().unwrap_or(0)
+        self.queues.iter().map(|q| q.peak_event_depth as usize).max().unwrap_or(0)
     }
 }
 
@@ -264,9 +308,11 @@ impl LiveStreamingOutcome {
         self.control.iter().flatten().map(|c| c.activations).sum()
     }
 
-    /// Largest queue depth any shard ever reached.
+    /// Largest queue depth any shard ever reached, in **events** (with
+    /// chunked hand-off one queue slot can carry a whole batch, so this can
+    /// exceed the slot capacity).
     pub fn peak_queue_depth(&self) -> usize {
-        self.queues.iter().map(|q| q.peak_depth).max().unwrap_or(0)
+        self.queues.iter().map(|q| q.peak_event_depth as usize).max().unwrap_or(0)
     }
 }
 
@@ -338,6 +384,7 @@ where
 
     let mut engine = ShardedEngine::for_queries(queries.clone(), config.shards);
     engine.set_queue_capacity(config.queue_capacity);
+    engine.set_chunk_capacity(config.chunk_capacity);
     let interval = Duration::from_secs_f64(config.overload.check_interval.as_secs_f64());
     engine.set_check_interval(Some(interval));
     if let Some(hint) = config.window_size_hint {
@@ -417,6 +464,7 @@ where
 
     let mut engine = ShardedEngine::for_queries(initial.clone(), config.shards);
     engine.set_queue_capacity(config.queue_capacity);
+    engine.set_chunk_capacity(config.chunk_capacity);
     let interval = Duration::from_secs_f64(config.overload.check_interval.as_secs_f64());
     engine.set_check_interval(Some(interval));
     if let Some(hint) = config.window_size_hint {
@@ -612,11 +660,12 @@ mod tests {
             spin: Duration::from_micros(50),
         };
         // Drain capacity is bounded by the spin at ~20k events/s, so
-        // qmax <= ~200 with a 10 ms latency bound — far below the queue
-        // capacity of 2048 the producer keeps filled.
+        // qmax <= ~200 with a 10 ms latency bound — far below the 2048
+        // events (128 slots × 16-event chunks) the producer keeps filled.
         let config = StreamingRunConfig {
             shards: 1,
-            queue_capacity: 2048,
+            queue_capacity: 128,
+            chunk_capacity: 16,
             overload: OverloadConfig {
                 latency_bound: SimDuration::from_millis(10),
                 f: 0.8,
@@ -672,6 +721,7 @@ mod tests {
         let config = StreamingRunConfig {
             shards: 2,
             queue_capacity: 4096,
+            chunk_capacity: 64,
             overload: OverloadConfig {
                 latency_bound: SimDuration::from_secs(30),
                 f: 0.8,
@@ -720,6 +770,9 @@ mod tests {
         let config = StreamingRunConfig {
             shards: 1,
             queue_capacity: 256,
+            // Far more than the paced flush will ever fill: partial chunks
+            // must be flushed on the deadline, not at capacity.
+            chunk_capacity: 256,
             overload: OverloadConfig {
                 latency_bound: SimDuration::from_secs(5),
                 f: 0.8,
@@ -777,6 +830,9 @@ mod tests {
         let config = StreamingRunConfig {
             shards: 2,
             queue_capacity: 4096,
+            // Small chunks so the churn positions fall mid-chunk and force
+            // partial seals before the in-band commands.
+            chunk_capacity: 32,
             overload: OverloadConfig {
                 latency_bound: SimDuration::from_secs(30),
                 f: 0.8,
@@ -842,6 +898,7 @@ mod tests {
         let config = StreamingRunConfig {
             shards: 2,
             queue_capacity: 4096,
+            chunk_capacity: espice_cep::DEFAULT_CHUNK_CAPACITY,
             overload: OverloadConfig {
                 latency_bound: SimDuration::from_secs(30),
                 f: 0.8,
@@ -855,5 +912,30 @@ mod tests {
         assert_eq!(outcome.activations(), 0, "an unloaded run must never shed");
         assert_eq!(outcome.stats.merged.dropped, 0);
         assert_eq!(outcome.complex_events, expected);
+    }
+
+    /// [`StreamingRunConfig::sized`] must track the planner's sizing rule:
+    /// enough event capacity for the `f · qmax` activation signal to show
+    /// up before backpressure, with chunks capped at the shedding buffer.
+    #[test]
+    fn sized_config_tracks_the_planner_and_respects_the_shedding_buffer() {
+        let overload = OverloadConfig {
+            latency_bound: SimDuration::from_millis(100),
+            f: 0.8,
+            check_interval: SimDuration::from_millis(5),
+            ..OverloadConfig::default()
+        };
+        let planner = ShedPlanner::new(overload, 10_000.0);
+        let config = StreamingRunConfig::sized(3, overload, 10_000.0);
+        assert_eq!(config.shards, 3);
+        // One batch never exceeds the shedding buffer `(1 − f) · qmax`, so
+        // a single chunk cannot blow through the headroom between samples…
+        assert!(config.chunk_capacity >= 1);
+        assert!(config.chunk_capacity <= planner.buffer_size());
+        assert!(config.chunk_capacity <= espice_cep::DEFAULT_CHUNK_CAPACITY);
+        // …while the queue still buffers `qmax · (1 + burst_slack)` events,
+        // so backpressure cannot clip the activation threshold.
+        assert!(config.queue_capacity * config.chunk_capacity >= planner.sized_event_capacity());
+        assert!(planner.sized_event_capacity() >= planner.qmax());
     }
 }

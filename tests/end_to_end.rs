@@ -207,6 +207,7 @@ fn registered_churn_scenario_runs_live_with_closed_loop_control() {
     let config = StreamingRunConfig {
         shards: 2,
         queue_capacity: 4096,
+        chunk_capacity: 64,
         overload: OverloadConfig {
             latency_bound: SimDuration::from_secs(30),
             check_interval: SimDuration::from_millis(1),

@@ -177,6 +177,33 @@ pub mod collection {
     }
 }
 
+/// Sampling strategies (`prop::sample::select`).
+pub mod sample {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy drawing uniformly from a fixed list of options.
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// One of `options`, drawn uniformly — the cloneable-value subset of
+    /// `proptest`'s `sample::select`.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select needs at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.options[rng.gen_range(0..self.options.len())].clone()
+        }
+    }
+}
+
 /// Everything a `proptest!` call site needs.
 pub mod prelude {
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
@@ -186,6 +213,7 @@ pub mod prelude {
     pub mod prop {
         pub use crate::bool;
         pub use crate::collection;
+        pub use crate::sample;
     }
 }
 
