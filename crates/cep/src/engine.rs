@@ -70,11 +70,13 @@
 //! [`SharedSizePredictor`]: crate::SharedSizePredictor
 
 use crate::arena::{ChunkBuilder, EventChunk};
+use crate::faults::{ArmedFaults, FaultPlan};
 use crate::lifecycle::{
     Anchoring, EngineControl, LifecycleReport, LifecycleRequest, LiveRunOutcome, ShardCommand,
     ShardInput,
 };
 use crate::queue::{spsc, QueueProducer, QueueStats};
+use crate::resilience::{panic_message, EngineError, ShardFailure};
 use crate::window::SharedSizePredictor;
 use crate::{
     BoxedDecider, ComplexEvent, KeepAll, OperatorStats, Query, QueryHandle, QueryId, QuerySet,
@@ -82,6 +84,8 @@ use crate::{
 };
 use espice_events::{Event, EventSource, EventStream, SliceSource};
 use std::collections::VecDeque;
+use std::fmt;
+use std::panic::AssertUnwindSafe;
 use std::sync::mpsc::Receiver;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -133,6 +137,52 @@ pub struct EngineStats {
     pub per_query: Vec<OperatorStats>,
 }
 
+/// A rejected [`ShardedEngine`] configuration value.
+///
+/// The typed counterpart of the constructor/setter panics: every `try_*`
+/// configuration entry point returns this, and the panicking wrappers
+/// (`new`, `for_queries`, `set_queue_capacity`, …) format it into the
+/// panic message, so existing callers observe the exact same text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `shard_count` was zero.
+    ZeroShards,
+    /// The per-shard queue capacity was zero.
+    ZeroQueueCapacity,
+    /// The events-per-chunk capacity was zero.
+    ZeroChunkCapacity,
+    /// The sampling interval was `Some(Duration::ZERO)`.
+    ZeroCheckInterval,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroShards => write!(f, "the engine needs at least one shard"),
+            ConfigError::ZeroQueueCapacity => write!(f, "queue capacity must be at least 1"),
+            ConfigError::ZeroChunkCapacity => write!(f, "chunk capacity must be at least 1"),
+            ConfigError::ZeroCheckInterval => write!(f, "check interval must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validates the shard-major decider count of a static run.
+fn check_decider_count(
+    got: usize,
+    shards: usize,
+    queries: usize,
+    live_only: bool,
+) -> Result<(), EngineError> {
+    let expected = shards * queries;
+    if got == expected {
+        Ok(())
+    } else {
+        Err(EngineError::DeciderMismatch { expected, got, live_only })
+    }
+}
+
 /// A sharded CEP engine executing a [`QuerySet`] across `N` worker shards.
 ///
 /// # Example
@@ -159,31 +209,31 @@ pub struct EngineStats {
 /// ```
 #[derive(Debug)]
 pub struct ShardedEngine {
-    shards: Vec<Shard>,
-    queries: QuerySet,
+    pub(crate) shards: Vec<Shard>,
+    pub(crate) queries: QuerySet,
     /// The generation-stamped admission handle of every slot (index =
     /// slot). Initial queries carry generations `0..n`.
     handles: Vec<QueryHandle>,
     /// Which slots are currently live (`false` = retired).
-    live: Vec<bool>,
-    events_processed: u64,
+    pub(crate) live: Vec<bool>,
+    pub(crate) events_processed: u64,
     /// Capacity of each shard's bounded input queue on the streaming path,
     /// in hand-offs (chunks, or events at chunk capacity 1).
-    queue_capacity: usize,
+    pub(crate) queue_capacity: usize,
     /// Events batched per shared chunk on the streaming path; 1 selects
     /// the degenerate per-event broadcast hand-off.
-    chunk_capacity: usize,
+    pub(crate) chunk_capacity: usize,
     /// Cadence at which drain loops report [`QueueSample`]s to their
     /// deciders; `None` (the default) disables sampling entirely so
     /// slice-style runs pay no clock reads.
     ///
     /// [`QueueSample`]: crate::QueueSample
-    check_interval: Option<Duration>,
+    pub(crate) check_interval: Option<Duration>,
     /// Queue counters of the most recent streaming run, one per shard.
-    queue_stats: Vec<QueueStats>,
+    pub(crate) queue_stats: Vec<QueueStats>,
     /// Window-size prediction shared by every shard, one predictor per
     /// query (no drift with the shard count on time-based windows).
-    size_predictors: Vec<Arc<SharedSizePredictor>>,
+    pub(crate) size_predictors: Vec<Arc<SharedSizePredictor>>,
     /// The last hint from [`set_window_size_hint`]; admitted queries with
     /// variable-size windows seed their fresh predictor from it, exactly
     /// as a fresh engine configured with the same hint would.
@@ -194,6 +244,10 @@ pub struct ShardedEngine {
     /// [`control`](ShardedEngine::control).
     control: Option<EngineControl>,
     control_rx: Option<Receiver<LifecycleRequest>>,
+    /// Faults to inject into subsequent streaming runs (deterministic
+    /// chaos testing); `None` — the default — arms nothing and costs one
+    /// branch per queue hand-off.
+    pub(crate) fault_plan: Option<FaultPlan>,
 }
 
 impl ShardedEngine {
@@ -215,14 +269,27 @@ impl ShardedEngine {
     ///
     /// Panics if `shard_count` is zero.
     pub fn for_queries(queries: QuerySet, shard_count: usize) -> Self {
-        assert!(shard_count >= 1, "the engine needs at least one shard");
+        Self::try_for_queries(queries, shard_count).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`new`](Self::new) with a typed error instead of a panic.
+    pub fn try_new(query: Query, shard_count: usize) -> Result<Self, ConfigError> {
+        Self::try_for_queries(QuerySet::single(query), shard_count)
+    }
+
+    /// [`for_queries`](Self::for_queries) with a typed error instead of a
+    /// panic.
+    pub fn try_for_queries(queries: QuerySet, shard_count: usize) -> Result<Self, ConfigError> {
+        if shard_count == 0 {
+            return Err(ConfigError::ZeroShards);
+        }
         let size_predictors = Self::build_predictors(&queries, None);
         let shards = Self::build_shards(&queries, shard_count, &size_predictors);
         let handles = (0..queries.len())
             .map(|slot| QueryHandle { slot: slot as QueryId, generation: slot as u64 })
             .collect();
         let live = vec![true; queries.len()];
-        ShardedEngine {
+        Ok(ShardedEngine {
             shards,
             handles,
             live,
@@ -236,7 +303,8 @@ impl ShardedEngine {
             window_size_hint: None,
             control: None,
             control_rx: None,
-        }
+            fault_plan: None,
+        })
     }
 
     /// One fresh shared size predictor per query, seeded from the query's
@@ -250,6 +318,18 @@ impl ShardedEngine {
                 Arc::new(SharedSizePredictor::new(initial))
             })
             .collect()
+    }
+
+    /// Builds one fresh shard (all slots live) wired to the engine's shared
+    /// per-query predictors — the replacement-shard constructor chunk-replay
+    /// recovery uses, identical to what [`build_shards`](Self::build_shards)
+    /// produces at engine construction.
+    pub(crate) fn fresh_shard(&self, index: usize, count: usize) -> Shard {
+        let mut shard = Shard::for_queries(&self.queries, index, count);
+        for (query, predictor) in self.size_predictors.iter().enumerate() {
+            shard.share_size_predictor_for(query, Arc::clone(predictor));
+        }
+        shard
     }
 
     /// Builds `shard_count` fresh shards for `queries`, all slots live,
@@ -278,8 +358,17 @@ impl ShardedEngine {
     ///
     /// Panics if `capacity` is zero.
     pub fn set_queue_capacity(&mut self, capacity: usize) {
-        assert!(capacity >= 1, "queue capacity must be at least 1");
+        self.try_set_queue_capacity(capacity).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`set_queue_capacity`](Self::set_queue_capacity) with a typed error
+    /// instead of a panic.
+    pub fn try_set_queue_capacity(&mut self, capacity: usize) -> Result<(), ConfigError> {
+        if capacity == 0 {
+            return Err(ConfigError::ZeroQueueCapacity);
+        }
         self.queue_capacity = capacity;
+        Ok(())
     }
 
     /// The configured per-shard queue capacity (in hand-offs).
@@ -298,8 +387,17 @@ impl ShardedEngine {
     ///
     /// Panics if `capacity` is zero.
     pub fn set_chunk_capacity(&mut self, capacity: usize) {
-        assert!(capacity >= 1, "chunk capacity must be at least 1");
+        self.try_set_chunk_capacity(capacity).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`set_chunk_capacity`](Self::set_chunk_capacity) with a typed error
+    /// instead of a panic.
+    pub fn try_set_chunk_capacity(&mut self, capacity: usize) -> Result<(), ConfigError> {
+        if capacity == 0 {
+            return Err(ConfigError::ZeroChunkCapacity);
+        }
         self.chunk_capacity = capacity;
+        Ok(())
     }
 
     /// The configured events-per-chunk of the streaming hand-off.
@@ -314,8 +412,30 @@ impl ShardedEngine {
     ///
     /// [`QueueSample`]: crate::QueueSample
     pub fn set_check_interval(&mut self, interval: Option<Duration>) {
-        assert!(interval != Some(Duration::ZERO), "check interval must be positive");
+        self.try_set_check_interval(interval).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`set_check_interval`](Self::set_check_interval) with a typed error
+    /// instead of a panic.
+    pub fn try_set_check_interval(
+        &mut self,
+        interval: Option<Duration>,
+    ) -> Result<(), ConfigError> {
+        if interval == Some(Duration::ZERO) {
+            return Err(ConfigError::ZeroCheckInterval);
+        }
         self.check_interval = interval;
+        Ok(())
+    }
+
+    /// Installs (or clears, with `None`) a deterministic [`FaultPlan`] to
+    /// inject into subsequent **streaming** runs (`run_source*`,
+    /// [`run_source_resilient`](Self::run_source_resilient)). Slice scans
+    /// have no hand-off boundaries and ignore the plan. With no plan
+    /// installed the fault hook costs one branch per queue hand-off and
+    /// nothing per event.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault_plan = plan;
     }
 
     /// Queue counters of the most recent streaming run (empty before the
@@ -486,17 +606,48 @@ impl ShardedEngine {
         S: EventStream + ?Sized,
         D: WindowEventDecider + Send,
     {
+        self.try_run_slice_per_query(stream, deciders).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`run_slice_per_query`](Self::run_slice_per_query) with panic
+    /// containment: a decider-count mismatch and shard-thread panics come
+    /// back as a typed [`EngineError`] instead of unwinding the caller.
+    /// Surviving shards run to completion before the error is returned.
+    /// After [`EngineError::ShardsFailed`] the engine's internal state is
+    /// unspecified (a crashed scan stops mid-window); call
+    /// [`reset`](Self::reset) before reusing the engine, or use
+    /// [`run_source_resilient`](Self::run_source_resilient) to recover the
+    /// run itself.
+    pub fn try_run_slice_per_query<S, D>(
+        &mut self,
+        stream: &S,
+        deciders: &mut [D],
+    ) -> Result<Vec<Vec<ComplexEvent>>, EngineError>
+    where
+        S: EventStream + ?Sized,
+        D: WindowEventDecider + Send,
+    {
         let queries = self.queries.len();
-        assert_eq!(
-            deciders.len(),
-            self.shards.len() * queries,
-            "need exactly one decider per shard per query (shard-major)"
-        );
+        check_decider_count(deciders.len(), self.shards.len(), queries, false)?;
         let events = stream.events();
         self.events_processed += events.len() as u64;
 
+        let mut failures: Vec<ShardFailure> = Vec::new();
         let outputs: Vec<Vec<Vec<ComplexEvent>>> = if self.shards.len() == 1 {
-            vec![self.shards[0].run_events_multi(events, deciders)]
+            let shard = &mut self.shards[0];
+            match std::panic::catch_unwind(AssertUnwindSafe(|| {
+                shard.run_events_multi(events, deciders)
+            })) {
+                Ok(output) => vec![output],
+                Err(payload) => {
+                    failures.push(ShardFailure {
+                        shard: 0,
+                        message: panic_message(payload),
+                        position: None,
+                    });
+                    Vec::new()
+                }
+            }
         } else {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = self
@@ -507,11 +658,28 @@ impl ShardedEngine {
                         scope.spawn(move || shard.run_events_multi(events, chunk))
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("shard thread panicked")).collect()
+                handles
+                    .into_iter()
+                    .enumerate()
+                    .filter_map(|(shard, handle)| match handle.join() {
+                        Ok(output) => Some(output),
+                        Err(payload) => {
+                            failures.push(ShardFailure {
+                                shard,
+                                message: panic_message(payload),
+                                position: None,
+                            });
+                            None
+                        }
+                    })
+                    .collect()
             })
         };
+        if !failures.is_empty() {
+            return Err(EngineError::ShardsFailed { failures });
+        }
 
-        merge_outputs(outputs, queries)
+        Ok(merge_outputs(outputs, queries))
     }
 
     /// Streams events from `source` through all shards, with one decider
@@ -576,17 +744,38 @@ impl ShardedEngine {
         Src: EventSource + ?Sized,
         D: WindowEventDecider + Send,
     {
+        self.try_run_source_per_query(source, deciders).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`run_source_per_query`](Self::run_source_per_query) with panic
+    /// containment: when a drain thread dies, the producer marks that shard
+    /// dead and **keeps feeding the survivors** to completion, then returns
+    /// [`EngineError::ShardsFailed`] carrying each dead shard's panic
+    /// message and the stream position (chunk sequence) its producer hand-off
+    /// first failed at — the diagnostics the old silent `break` discarded.
+    /// After a failure the engine's internal state is unspecified; call
+    /// [`reset`](Self::reset) before reuse, or use
+    /// [`run_source_resilient`](Self::run_source_resilient) to recover the
+    /// run itself.
+    pub fn try_run_source_per_query<Src, D>(
+        &mut self,
+        source: &mut Src,
+        deciders: &mut [D],
+    ) -> Result<Vec<Vec<ComplexEvent>>, EngineError>
+    where
+        Src: EventSource + ?Sized,
+        D: WindowEventDecider + Send,
+    {
         let queries = self.queries.len();
-        assert_eq!(
-            deciders.len(),
-            self.shards.len() * queries,
-            "need exactly one decider per shard per query (shard-major)"
-        );
+        check_decider_count(deciders.len(), self.shards.len(), queries, false)?;
         let capacity = self.queue_capacity;
         let chunk_capacity = self.chunk_capacity;
         let check_interval = self.check_interval;
+        let faults = self.fault_plan.as_ref().map(ArmedFaults::arm);
+        let kill_after = faults.as_ref().and_then(|f| f.producer_kill_after());
 
         let mut produced = 0u64;
+        let mut failures: Vec<ShardFailure> = Vec::new();
         let (outputs, queue_stats) = std::thread::scope(|scope| {
             let mut producers = Vec::with_capacity(self.shards.len());
             let handles: Vec<_> = self
@@ -596,9 +785,25 @@ impl ShardedEngine {
                 .map(|(shard, chunk)| {
                     let (producer, consumer) = spsc(capacity);
                     producers.push(producer);
-                    scope.spawn(move || shard.run_queue_multi(consumer, chunk, check_interval))
+                    let faults = faults.clone();
+                    scope.spawn(move || {
+                        shard.run_queue_multi_injected(
+                            consumer,
+                            chunk,
+                            check_interval,
+                            faults.as_deref(),
+                        )
+                    })
                 })
                 .collect();
+
+            // Tracks shards whose drain thread died mid-stream: the
+            // producer skips them (their queue would reject every push) but
+            // keeps feeding the survivors. `deaths` records the stream
+            // position at which each shard's hand-off first failed — the
+            // diagnostics the returned error carries.
+            let mut dead = vec![false; producers.len()];
+            let mut deaths: Vec<(usize, u64)> = Vec::new();
 
             // Producer fan-out at batch granularity: events are appended
             // once into a shared chunk, and sealing broadcasts one
@@ -610,10 +815,13 @@ impl ShardedEngine {
                 // Degenerate per-event broadcast: the pre-arena hand-off,
                 // kept allocation-free (no chunk wrapping single events).
                 while let Some(event) = source.next_event() {
-                    produced += 1;
-                    if !broadcast_event(&mut producers, event) {
-                        break; // a drain thread died; join reports it
+                    if kill_after.is_some_and(|kill| produced >= kill) {
+                        break;
                     }
+                    if !broadcast_event(&mut producers, &mut dead, &mut deaths, produced, event) {
+                        break; // every drain thread died
+                    }
+                    produced += 1;
                 }
             } else {
                 let paced = source.is_paced();
@@ -627,11 +835,19 @@ impl ShardedEngine {
                     // replays pay no clock reads here.)
                     if oldest_pending.is_some_and(|since| since.elapsed() >= PACED_FLUSH_INTERVAL) {
                         if let Some(partial) = builder.seal() {
-                            if !broadcast_chunk(&mut producers, partial) {
+                            if !broadcast_chunk(&mut producers, &mut dead, &mut deaths, partial) {
                                 break 'produce;
                             }
                         }
                         oldest_pending = None;
+                    }
+                    if kill_after.is_some_and(|kill| produced >= kill) {
+                        // Injected producer kill: drop the partial builder —
+                        // the delivered stream is the sealed-chunk prefix.
+                        return (
+                            join_outputs(handles, &mut producers, &mut failures, &deaths),
+                            producers.iter().map(|p| p.stats()).collect(),
+                        );
                     }
                     let Some(event) = source.next_event() else { break };
                     produced += 1;
@@ -639,55 +855,50 @@ impl ShardedEngine {
                         oldest_pending = Some(Instant::now());
                     }
                     if let Some(full) = builder.push(event) {
-                        if !broadcast_chunk(&mut producers, full) {
+                        if !broadcast_chunk(&mut producers, &mut dead, &mut deaths, full) {
                             break 'produce;
                         }
                         oldest_pending = None;
                     }
                 }
                 if let Some(partial) = builder.seal() {
-                    let _ = broadcast_chunk(&mut producers, partial);
+                    let _ = broadcast_chunk(&mut producers, &mut dead, &mut deaths, partial);
                 }
             }
-            for producer in &mut producers {
-                producer.close();
-            }
 
-            let outputs: Vec<Vec<Vec<ComplexEvent>>> =
-                handles.into_iter().map(|h| h.join().expect("shard thread panicked")).collect();
-            let queue_stats: Vec<QueueStats> = producers.iter().map(|p| p.stats()).collect();
-            (outputs, queue_stats)
+            (
+                join_outputs(handles, &mut producers, &mut failures, &deaths),
+                producers.iter().map(|p| p.stats()).collect(),
+            )
         });
         self.events_processed += produced;
         self.queue_stats = queue_stats;
+        if !failures.is_empty() {
+            return Err(EngineError::ShardsFailed { failures });
+        }
 
-        merge_outputs(outputs, queries)
+        Ok(merge_outputs(outputs, queries))
     }
 
     /// Splits the flat shard-major initial deciders into per-shard rows
     /// aligned with the slot axis (`None` at retired slots).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `deciders.len()` differs from `shards × live queries`.
-    fn build_rows(&self, deciders: Vec<BoxedDecider>) -> Vec<Vec<Option<BoxedDecider>>> {
+    fn build_rows(
+        &self,
+        deciders: Vec<BoxedDecider>,
+    ) -> Result<Vec<Vec<Option<BoxedDecider>>>, EngineError> {
         let live_slots: Vec<usize> = (0..self.queries.len()).filter(|&s| self.live[s]).collect();
-        assert_eq!(
-            deciders.len(),
-            self.shards.len() * live_slots.len(),
-            "need exactly one decider per shard per live query (shard-major)"
-        );
+        check_decider_count(deciders.len(), self.shards.len(), live_slots.len(), true)?;
         let mut iter = deciders.into_iter();
-        (0..self.shards.len())
+        Ok((0..self.shards.len())
             .map(|_| {
                 let mut row: Vec<Option<BoxedDecider>> =
                     (0..self.queries.len()).map(|_| None).collect();
                 for &slot in &live_slots {
-                    row[slot] = Some(iter.next().expect("length asserted above"));
+                    row[slot] = Some(iter.next().expect("length checked above"));
                 }
                 row
             })
-            .collect()
+            .collect())
     }
 
     /// The lifecycle-enabled batch scan: like
@@ -709,7 +920,23 @@ impl ShardedEngine {
     where
         S: EventStream + ?Sized,
     {
-        let rows = self.build_rows(deciders);
+        self.try_run_slice_live(stream, deciders).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`run_slice_live`](Self::run_slice_live) with panic containment: a
+    /// decider-count mismatch and shard-thread panics come back as a typed
+    /// [`EngineError`]. Surviving shards complete their scan first. After
+    /// [`EngineError::ShardsFailed`] the engine's internal state is
+    /// unspecified; call [`reset`](Self::reset) before reuse.
+    pub fn try_run_slice_live<S>(
+        &mut self,
+        stream: &S,
+        deciders: Vec<BoxedDecider>,
+    ) -> Result<LiveRunOutcome, EngineError>
+    where
+        S: EventStream + ?Sized,
+    {
+        let rows = self.build_rows(deciders)?;
         let events = stream.events();
         let end = events.len() as u64;
         self.events_processed += end;
@@ -751,6 +978,7 @@ impl ShardedEngine {
         }
         let report = lifecycle.report;
 
+        let mut failures: Vec<ShardFailure> = Vec::new();
         let results: Vec<LiveShardResult> = std::thread::scope(|scope| {
             let handles: Vec<_> = shards
                 .iter_mut()
@@ -759,8 +987,25 @@ impl ShardedEngine {
                     scope.spawn(move || shard.run_events_live(events, commands, row))
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("shard thread panicked")).collect()
+            handles
+                .into_iter()
+                .enumerate()
+                .filter_map(|(shard, handle)| match handle.join() {
+                    Ok(result) => Some(result),
+                    Err(payload) => {
+                        failures.push(ShardFailure {
+                            shard,
+                            message: panic_message(payload),
+                            position: None,
+                        });
+                        None
+                    }
+                })
+                .collect()
         });
+        if !failures.is_empty() {
+            return Err(EngineError::ShardsFailed { failures });
+        }
 
         let mut outputs = Vec::with_capacity(results.len());
         let mut decider_rows = Vec::with_capacity(results.len());
@@ -768,11 +1013,11 @@ impl ShardedEngine {
             outputs.push(output);
             decider_rows.push(row);
         }
-        LiveRunOutcome {
+        Ok(LiveRunOutcome {
             complex_events: merge_outputs(outputs, self.queries.len()),
             deciders: decider_rows,
             lifecycle: report,
-        }
+        })
     }
 
     /// The lifecycle-enabled streaming run: like
@@ -801,11 +1046,34 @@ impl ShardedEngine {
     where
         Src: EventSource + ?Sized,
     {
-        let rows = self.build_rows(deciders);
+        self.try_run_source_live(source, deciders).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`run_source_live`](Self::run_source_live) with panic containment:
+    /// when a drain thread dies the producer marks the shard dead, keeps
+    /// feeding the survivors (events and in-band lifecycle commands) to
+    /// completion, and returns [`EngineError::ShardsFailed`] with each dead
+    /// shard's panic message and the stream position its hand-off first
+    /// failed at. After a failure the engine's internal state is
+    /// unspecified; call [`reset`](Self::reset) before reuse. (Chunk-replay
+    /// recovery is a static-path feature — see
+    /// [`run_source_resilient`](Self::run_source_resilient); combining it
+    /// with mid-stream lifecycle is future work.)
+    pub fn try_run_source_live<Src>(
+        &mut self,
+        source: &mut Src,
+        deciders: Vec<BoxedDecider>,
+    ) -> Result<LiveRunOutcome, EngineError>
+    where
+        Src: EventSource + ?Sized,
+    {
+        let rows = self.build_rows(deciders)?;
         let capacity = self.queue_capacity;
         let chunk_capacity = self.chunk_capacity;
         let check_interval = self.check_interval;
         let shard_count = self.shards.len();
+        let faults = self.fault_plan.as_ref().map(ArmedFaults::arm);
+        let kill_after = faults.as_ref().and_then(|f| f.producer_kill_after());
 
         let ShardedEngine {
             shards,
@@ -829,6 +1097,7 @@ impl ShardedEngine {
         let receiver = control_rx.as_ref();
 
         let mut produced = 0u64;
+        let mut failures: Vec<ShardFailure> = Vec::new();
         let (results, queue_stats) = std::thread::scope(|scope| {
             let mut producers = Vec::with_capacity(shard_count);
             let threads: Vec<_> = shards
@@ -837,9 +1106,14 @@ impl ShardedEngine {
                 .map(|(shard, row)| {
                     let (producer, consumer) = spsc(capacity);
                     producers.push(producer);
-                    scope.spawn(move || shard.run_queue_live(consumer, row, check_interval))
+                    let faults = faults.clone();
+                    scope.spawn(move || {
+                        shard.run_queue_live(consumer, row, check_interval, faults.as_deref())
+                    })
                 })
                 .collect();
+            let mut dead = vec![false; producers.len()];
+            let mut deaths: Vec<(usize, u64)> = Vec::new();
 
             // Requests drained but not yet due, sorted by anchor position
             // (stable within a position: send order; admissions clamped
@@ -869,7 +1143,7 @@ impl ShardedEngine {
                     // broadcast the partial chunk first, so the command
                     // applies at this exact stream position on every shard.
                     if let Some(partial) = builder.as_mut().and_then(ChunkBuilder::seal) {
-                        if !broadcast_chunk(&mut producers, partial) {
+                        if !broadcast_chunk(&mut producers, &mut dead, &mut deaths, partial) {
                             aborted = true;
                             break 'produce;
                         }
@@ -878,15 +1152,24 @@ impl ShardedEngine {
                     while pending.first().is_some_and(|(at, _)| *at <= position) {
                         let (_, request) = pending.remove(0);
                         if let Some(commands) = lifecycle.apply(request, position) {
-                            for (producer, command) in producers.iter_mut().zip(commands) {
+                            for (shard, (producer, command)) in
+                                producers.iter_mut().zip(commands).enumerate()
+                            {
+                                if dead[shard] {
+                                    continue;
+                                }
                                 // Commands occupy a queue slot but no
                                 // stream position: weight 0 keeps the
                                 // measured event depth exact.
                                 let input = ShardInput::Command(Box::new(command));
                                 if !producer.push_blocking_weighted(input, 0) {
-                                    aborted = true;
-                                    break 'produce;
+                                    dead[shard] = true;
+                                    deaths.push((shard, position));
                                 }
+                            }
+                            if dead.iter().all(|&d| d) {
+                                aborted = true;
+                                break 'produce;
                             }
                         }
                     }
@@ -894,12 +1177,18 @@ impl ShardedEngine {
                 // Paced-flush deadline, as in `run_source_per_query`.
                 if oldest_pending.is_some_and(|since| since.elapsed() >= PACED_FLUSH_INTERVAL) {
                     if let Some(partial) = builder.as_mut().and_then(ChunkBuilder::seal) {
-                        if !broadcast_chunk(&mut producers, partial) {
+                        if !broadcast_chunk(&mut producers, &mut dead, &mut deaths, partial) {
                             aborted = true;
                             break 'produce;
                         }
                     }
                     oldest_pending = None;
+                }
+                if kill_after.is_some_and(|kill| produced >= kill) {
+                    // Injected producer kill: the partial builder is
+                    // dropped, so shards see the sealed-chunk prefix only.
+                    aborted = true;
+                    break 'produce;
                 }
                 let Some(event) = source.next_event() else { break };
                 produced += 1;
@@ -910,7 +1199,7 @@ impl ShardedEngine {
                             oldest_pending = Some(Instant::now());
                         }
                         if let Some(full) = builder.push(event) {
-                            if !broadcast_chunk(&mut producers, full) {
+                            if !broadcast_chunk(&mut producers, &mut dead, &mut deaths, full) {
                                 aborted = true;
                                 break 'produce;
                             }
@@ -918,9 +1207,15 @@ impl ShardedEngine {
                         }
                     }
                     None => {
-                        if !broadcast_event(&mut producers, event) {
+                        if !broadcast_event(
+                            &mut producers,
+                            &mut dead,
+                            &mut deaths,
+                            position - 1,
+                            event,
+                        ) {
                             aborted = true;
-                            break 'produce; // a drain thread died
+                            break 'produce; // every drain thread died
                         }
                     }
                 }
@@ -930,7 +1225,7 @@ impl ShardedEngine {
             // event.
             if !aborted {
                 if let Some(partial) = builder.as_mut().and_then(ChunkBuilder::seal) {
-                    aborted = !broadcast_chunk(&mut producers, partial);
+                    aborted = !broadcast_chunk(&mut producers, &mut dead, &mut deaths, partial);
                 }
             }
             // Requests that arrived too late for any event boundary apply
@@ -946,25 +1241,28 @@ impl ShardedEngine {
                 pending.sort_by_key(|(at, _)| *at);
                 for (_, request) in pending.drain(..) {
                     if let Some(commands) = lifecycle.apply(request, position) {
-                        for (producer, command) in producers.iter_mut().zip(commands) {
+                        for (shard, (producer, command)) in
+                            producers.iter_mut().zip(commands).enumerate()
+                        {
+                            if dead[shard] {
+                                continue;
+                            }
                             let input = ShardInput::Command(Box::new(command));
                             let _ = producer.push_blocking_weighted(input, 0);
                         }
                     }
                 }
             }
-            for producer in &mut producers {
-                producer.close();
-            }
-
-            let results: Vec<LiveShardResult> =
-                threads.into_iter().map(|h| h.join().expect("shard thread panicked")).collect();
+            let results = join_outputs(threads, &mut producers, &mut failures, &deaths);
             let queue_stats: Vec<QueueStats> = producers.iter().map(|p| p.stats()).collect();
             (results, queue_stats)
         });
         let report = lifecycle.report;
         self.events_processed += produced;
         self.queue_stats = queue_stats;
+        if !failures.is_empty() {
+            return Err(EngineError::ShardsFailed { failures });
+        }
 
         let mut outputs = Vec::with_capacity(results.len());
         let mut decider_rows = Vec::with_capacity(results.len());
@@ -972,11 +1270,11 @@ impl ShardedEngine {
             outputs.push(output);
             decider_rows.push(row);
         }
-        LiveRunOutcome {
+        Ok(LiveRunOutcome {
             complex_events: merge_outputs(outputs, self.queries.len()),
             deciders: decider_rows,
             lifecycle: report,
-        }
+        })
     }
 
     /// [`run`](Self::run) with a keep-everything decider on every shard and
@@ -1118,32 +1416,85 @@ impl EngineLifecycle<'_> {
     }
 }
 
-/// Broadcasts one sealed chunk to every shard queue — one `Arc` clone and
-/// one weighted push (counting the chunk's events) per shard, blocking per
-/// queue while it is full. The last shard takes the reference by move.
-/// Returns `false` if any drain thread died (the join reports the panic).
-fn broadcast_chunk(producers: &mut [QueueProducer<ShardInput>], chunk: Arc<EventChunk>) -> bool {
-    let events = chunk.len() as u64;
-    let (last, rest) = producers.split_last_mut().expect("at least one shard");
-    for producer in rest {
-        if !producer.push_blocking_weighted(ShardInput::Chunk(Arc::clone(&chunk)), events) {
-            return false;
-        }
+/// Closes every producer, joins the drain threads, and converts panics into
+/// [`ShardFailure`]s. Each failure is annotated with the stream position the
+/// producer first saw that shard's queue die at (from `deaths`), when the
+/// death was noticed before end of stream.
+fn join_outputs<T>(
+    handles: Vec<std::thread::ScopedJoinHandle<'_, T>>,
+    producers: &mut [QueueProducer<ShardInput>],
+    failures: &mut Vec<ShardFailure>,
+    deaths: &[(usize, u64)],
+) -> Vec<T> {
+    for producer in producers.iter_mut() {
+        producer.close();
     }
-    last.push_blocking_weighted(ShardInput::Chunk(chunk), events)
+    handles
+        .into_iter()
+        .enumerate()
+        .filter_map(|(shard, handle)| match handle.join() {
+            Ok(output) => Some(output),
+            Err(payload) => {
+                let position = deaths.iter().find(|(s, _)| *s == shard).map(|&(_, p)| p);
+                failures.push(ShardFailure { shard, message: panic_message(payload), position });
+                None
+            }
+        })
+        .collect()
 }
 
-/// Broadcasts one event to every shard queue: the chunk-capacity-1
-/// degenerate hand-off (clones for all but the last shard, which takes the
-/// event by move). Returns `false` if any drain thread died.
-fn broadcast_event(producers: &mut [QueueProducer<ShardInput>], event: Event) -> bool {
-    let (last, rest) = producers.split_last_mut().expect("at least one shard");
-    for producer in rest {
-        if !producer.push_blocking(ShardInput::Event(event.clone())) {
-            return false;
+/// Broadcasts one sealed chunk to every *live* shard queue — one `Arc`
+/// clone and one weighted push (counting the chunk's events) per shard,
+/// blocking per queue while it is full. A shard whose drain thread died is
+/// marked in `dead` (cold path: at most once per shard per run) with the
+/// chunk base position recorded in `deaths`, and the survivors keep being
+/// fed. Returns `false` only once every shard is dead.
+fn broadcast_chunk(
+    producers: &mut [QueueProducer<ShardInput>],
+    dead: &mut [bool],
+    deaths: &mut Vec<(usize, u64)>,
+    chunk: Arc<EventChunk>,
+) -> bool {
+    let events = chunk.len() as u64;
+    let position = chunk.base();
+    let mut alive = false;
+    for (shard, producer) in producers.iter_mut().enumerate() {
+        if dead[shard] {
+            continue;
+        }
+        if producer.push_blocking_weighted(ShardInput::Chunk(Arc::clone(&chunk)), events) {
+            alive = true;
+        } else {
+            dead[shard] = true;
+            deaths.push((shard, position));
         }
     }
-    last.push_blocking(ShardInput::Event(event))
+    alive
+}
+
+/// Broadcasts one event to every *live* shard queue: the chunk-capacity-1
+/// degenerate hand-off. Dead shards are skipped and recorded as in
+/// [`broadcast_chunk`]; returns `false` only once every shard is dead.
+fn broadcast_event(
+    producers: &mut [QueueProducer<ShardInput>],
+    dead: &mut [bool],
+    deaths: &mut Vec<(usize, u64)>,
+    position: u64,
+    event: Event,
+) -> bool {
+    let mut alive = false;
+    for (shard, producer) in producers.iter_mut().enumerate() {
+        if dead[shard] {
+            continue;
+        }
+        if producer.push_blocking(ShardInput::Event(event.clone())) {
+            alive = true;
+        } else {
+            dead[shard] = true;
+            deaths.push((shard, position));
+        }
+    }
+    alive
 }
 
 /// Merges the per-shard, per-query outputs into per-query single-operator
@@ -1151,7 +1502,10 @@ fn broadcast_event(producers: &mut [QueueProducer<ShardInput>], event: Event) ->
 /// matches are emitted contiguously when it closes), so a stable sort by
 /// window id restores the exact single-operator order. Shared by the slice
 /// and streaming paths so the merge invariant cannot diverge between them.
-fn merge_outputs(outputs: Vec<Vec<Vec<ComplexEvent>>>, queries: usize) -> Vec<Vec<ComplexEvent>> {
+pub(crate) fn merge_outputs(
+    outputs: Vec<Vec<Vec<ComplexEvent>>>,
+    queries: usize,
+) -> Vec<Vec<ComplexEvent>> {
     let mut per_query: Vec<Vec<ComplexEvent>> = (0..queries).map(|_| Vec::new()).collect();
     for mut shard_outputs in outputs {
         for (query, output) in shard_outputs.iter_mut().enumerate() {

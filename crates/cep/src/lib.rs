@@ -79,6 +79,7 @@
 pub mod arena;
 mod complex;
 mod engine;
+pub mod faults;
 pub mod lifecycle;
 mod matcher;
 mod operator;
@@ -91,6 +92,7 @@ mod queryset;
 pub mod queue;
 #[doc(hidden)]
 pub mod reference;
+pub mod resilience;
 mod ring;
 mod shard;
 mod shedding;
@@ -98,7 +100,10 @@ mod window;
 
 pub use arena::{ChunkBuilder, EventChunk};
 pub use complex::{ComplexEvent, Constituent};
-pub use engine::{EngineStats, ShardedEngine, DEFAULT_CHUNK_CAPACITY, DEFAULT_QUEUE_CAPACITY};
+pub use engine::{
+    ConfigError, EngineStats, ShardedEngine, DEFAULT_CHUNK_CAPACITY, DEFAULT_QUEUE_CAPACITY,
+};
+pub use faults::{FaultKind, FaultPlan};
 pub use lifecycle::{EngineControl, LifecycleReport, LiveRunOutcome, ShardInput};
 pub use matcher::{EntryRef, MatchOutcome, Matcher, WindowEntry};
 pub use operator::{Operator, OperatorStats};
@@ -106,7 +111,11 @@ pub use pattern::{Pattern, PatternStep};
 pub use predicate::{CmpOp, Predicate};
 pub use query::{ConsumptionPolicy, Query, QueryBuilder, SelectionPolicy, SkipPolicy};
 pub use queryset::QuerySet;
-pub use queue::{QueueConsumer, QueueProducer, QueueStats};
+pub use queue::{PushOutcome, QueueConsumer, QueueProducer, QueueStats};
+pub use resilience::{
+    EngineError, ResilienceOptions, RunReport, ShardFailure, ShardStatus, DEFAULT_MAX_RESTARTS,
+    DEFAULT_STALL_DEADLINE,
+};
 pub use shard::Shard;
 pub use shedding::{
     BatchRequest, BoxedDecider, Decision, KeepAll, QueueSample, SharedDecider, WindowEventDecider,

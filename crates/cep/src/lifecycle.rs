@@ -281,14 +281,18 @@ impl EngineControl {
     /// handle — already retired, or generation-mismatched — is rejected and
     /// counted in [`LifecycleReport::rejected`].
     pub fn retire(&self, handle: QueryHandle) {
-        let inner = self.shared.inner.lock().expect("control lock poisoned");
+        // The lock only guards a counter pair and a channel sender; a
+        // poisoned guard still holds consistent state, so recover it
+        // rather than cascading a shard panic into the control plane.
+        let inner = self.shared.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let _ = inner.sender.send(LifecycleRequest::Retire { handle, at: None });
     }
 
     /// [`retire`](EngineControl::retire) anchored at an explicit
     /// run-relative stream position.
     pub fn retire_at(&self, at: u64, handle: QueryHandle) {
-        let inner = self.shared.inner.lock().expect("control lock poisoned");
+        // See retire(): the guarded state stays consistent across a poison.
+        let inner = self.shared.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let _ = inner.sender.send(LifecycleRequest::Retire { handle, at: Some(at) });
     }
 
@@ -303,8 +307,12 @@ impl EngineControl {
             self.shared.shard_count,
             "an admission needs exactly one decider per shard"
         );
-        let mut inner = self.shared.inner.lock().expect("control lock poisoned");
+        // See retire(): the guarded state stays consistent across a poison.
+        let mut inner = self.shared.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let handle = QueryHandle { slot: inner.next_slot, generation: inner.next_generation };
+        // u32::MAX admissions would need ~4 billion admit calls in one
+        // process lifetime; overflow here is a caller bug, not a load
+        // condition, so the panic stays.
         inner.next_slot = inner.next_slot.checked_add(1).expect("query slots exhausted");
         inner.next_generation += 1;
         let _ = inner.sender.send(LifecycleRequest::Admit { handle, query, deciders, at });

@@ -117,6 +117,11 @@ struct OpenWindow {
     meta: WindowMeta,
     /// Ring slot of the window's first assigned event.
     start: SlotIndex,
+    /// Operator-counted stream position of the event the window opened on
+    /// (`events_processed - 1` at open time). On the fused engine path every
+    /// shard scans the full stream, so this equals the producer-counted
+    /// position — the coordinate chunk-replay recovery acknowledges in.
+    start_pos: u64,
     /// Positions (slot offsets) the decider dropped from *this* window.
     dropped: DropSet,
 }
@@ -305,6 +310,39 @@ impl Operator {
         self.peak_resident
     }
 
+    /// Stream position (operator-counted) of the oldest still-open window's
+    /// first event, or `None` with no window open. This is the replay
+    /// low-water mark: re-feeding the stream from here reproduces every
+    /// window currently open.
+    pub(crate) fn oldest_open_start_pos(&self) -> Option<u64> {
+        self.open.front().map(|w| w.start_pos)
+    }
+
+    /// The global window counter (advances for every window the stream
+    /// opens, owned or not). Captured at chunk boundaries so a replacement
+    /// shard can restart its id sequence exactly where a checkpoint was cut.
+    pub(crate) fn next_window_id(&self) -> WindowId {
+        self.next_window_id
+    }
+
+    /// Positions a *fresh* operator at a replay checkpoint: the window-id
+    /// counter resumes from `next_window_id` and the event counter from
+    /// `position`, as if the operator had already scanned the first
+    /// `position` events without opening anything that is still open.
+    pub(crate) fn restore_for_replay(&mut self, next_window_id: WindowId, position: u64) {
+        self.next_window_id = next_window_id;
+        self.stats.events_processed = position;
+    }
+
+    /// Overwrites the run counters wholesale. Used when a replayed
+    /// replacement reaches the crashed incarnation's last flushed boundary:
+    /// from there on the counters must continue from the original's values,
+    /// not from the replay's (which only saw the suffix of the stream).
+    pub(crate) fn overwrite_counters(&mut self, stats: OperatorStats, peak_resident: usize) {
+        self.stats = stats;
+        self.peak_resident = peak_resident;
+    }
+
     /// Total entries written to the window storage during this run. With the
     /// shared ring this is one write per event assigned to at least one
     /// window — per-window storage writes each kept event once per
@@ -389,6 +427,7 @@ impl Operator {
                 self.open.push_back(OpenWindow {
                     meta,
                     start: self.ring.next_slot(),
+                    start_pos: self.stats.events_processed - 1,
                     dropped: DropSet::new(),
                 });
             }

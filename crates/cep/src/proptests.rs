@@ -642,3 +642,288 @@ proptest! {
         prop_assert_eq!(a, b);
     }
 }
+
+/// A decider whose keep/drop choice is a pure function of
+/// `(window id, position)` — so a pristine clone replays the exact
+/// decisions of a crashed shard incarnation — while its counters
+/// accumulate history, so comparing deciders end-to-end proves a recovery
+/// restored decider state, not just emissions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ParityShed {
+    modulo: u64,
+    kept: u64,
+    dropped: u64,
+}
+
+impl ParityShed {
+    fn new(shed: bool) -> Self {
+        // A huge modulo makes drops vanishingly rare: the "shedding off"
+        // arm of the sweeps, with the same code path and counters.
+        ParityShed { modulo: if shed { 3 } else { 1_000_000_007 }, kept: 0, dropped: 0 }
+    }
+}
+
+impl WindowEventDecider for ParityShed {
+    fn decide(&mut self, meta: &WindowMeta, position: usize, _event: &Event) -> Decision {
+        if (meta.id + position as u64).is_multiple_of(self.modulo) {
+            self.dropped += 1;
+            Decision::Drop
+        } else {
+            self.kept += 1;
+            Decision::Keep
+        }
+    }
+}
+
+fn events_from(types: &[u32]) -> VecStream {
+    VecStream::from_ordered(
+        types
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| {
+                Event::new(EventType::from_index(t), Timestamp::from_secs(i as u64), i as u64)
+            })
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Chaos sweep: for seeded fault plans (shard panics at arbitrary
+    /// chunk boundaries, short stalls), shard counts N ∈ {1, 2, 4}, chunk
+    /// capacities {1, 7, 64} and shedding on or off, a crashed-and-
+    /// recovered resilient run emits **byte-identical** complex events,
+    /// merged statistics and final decider state to a fault-free run —
+    /// which itself matches the non-resilient streaming path.
+    #[test]
+    fn chaos_recovery_is_byte_identical(
+        types in type_sequence(150),
+        window_size in 2usize..16,
+        slide in 1usize..6,
+        shed in prop::bool::ANY,
+        chunk_capacity in prop::sample::select(vec![1usize, 7, 64]),
+        seed in 0u64..u64::MAX,
+    ) {
+        use crate::{FaultKind, FaultPlan, ResilienceOptions, ShardStatus};
+
+        let query = Query::builder()
+            .pattern(Pattern::sequence([EventType::from_index(0), EventType::from_index(1)]))
+            .window(WindowSpec::count_sliding(window_size, slide))
+            .build();
+        let stream = events_from(&types);
+
+        for shards in [1usize, 2, 4] {
+            // Fault-free oracle on the resilient path, cross-checked
+            // against the legacy streaming entry point.
+            let mut legacy_engine = ShardedEngine::new(query.clone(), shards);
+            legacy_engine.set_chunk_capacity(chunk_capacity);
+            let mut legacy_deciders = vec![ParityShed::new(shed); shards];
+            let mut source = SliceSource::from_stream(&stream);
+            let legacy = legacy_engine.run_source_per_query(&mut source, &mut legacy_deciders);
+
+            let mut oracle_engine = ShardedEngine::new(query.clone(), shards);
+            oracle_engine.set_chunk_capacity(chunk_capacity);
+            let mut source = SliceSource::from_stream(&stream);
+            let oracle = oracle_engine
+                .run_source_resilient(
+                    &mut source,
+                    vec![ParityShed::new(shed); shards],
+                    &ResilienceOptions::default(),
+                )
+                .unwrap();
+            prop_assert_eq!(&oracle.complex_events, &legacy,
+                "fault-free resilient run diverged from the streaming path at {} shards", shards);
+
+            // Seeded faults; producer kills change the delivered stream
+            // and have their own prefix-identity property below.
+            let mut plan = FaultPlan::new();
+            for fault in FaultPlan::seeded(seed, shards, stream.len() as u64, chunk_capacity)
+                .faults()
+            {
+                if !matches!(fault, FaultKind::KillProducer { .. }) {
+                    plan = plan.with(fault.clone());
+                }
+            }
+            let options = ResilienceOptions { fault_plan: Some(plan), ..Default::default() };
+            let mut chaos_engine = ShardedEngine::new(query.clone(), shards);
+            chaos_engine.set_chunk_capacity(chunk_capacity);
+            let mut source = SliceSource::from_stream(&stream);
+            let report = chaos_engine
+                .run_source_resilient(&mut source, vec![ParityShed::new(shed); shards], &options)
+                .unwrap();
+
+            prop_assert_eq!(&report.complex_events, &oracle.complex_events,
+                "recovered output diverged at {} shards, chunk {}, seed {}",
+                shards, chunk_capacity, seed);
+            prop_assert_eq!(&report.deciders, &oracle.deciders,
+                "recovered decider state diverged at {} shards, chunk {}, seed {}",
+                shards, chunk_capacity, seed);
+            prop_assert_eq!(chaos_engine.stats().merged, oracle_engine.stats().merged,
+                "recovered stats diverged at {} shards, chunk {}, seed {}",
+                shards, chunk_capacity, seed);
+            for status in &report.shard_status {
+                prop_assert!(!matches!(status, ShardStatus::Failed(_)),
+                    "no shard may exhaust its restart budget under a seeded plan: {:?}", status);
+            }
+        }
+    }
+
+    /// A producer kill delivers exactly the longest sealed-chunk prefix:
+    /// the run's output equals a fault-free run over
+    /// `after_events - (after_events % chunk_capacity)` events.
+    #[test]
+    fn chaos_producer_kill_delivers_sealed_prefix(
+        types in type_sequence(120),
+        window_size in 2usize..12,
+        slide in 1usize..5,
+        shed in prop::bool::ANY,
+        chunk_capacity in prop::sample::select(vec![1usize, 7, 64]),
+        kill_frac in 0.0f64..1.0,
+    ) {
+        use crate::{FaultKind, FaultPlan, ResilienceOptions};
+
+        let query = Query::builder()
+            .pattern(Pattern::sequence([EventType::from_index(0), EventType::from_index(1)]))
+            .window(WindowSpec::count_sliding(window_size, slide))
+            .build();
+        let stream = events_from(&types);
+        let kill_after = (stream.len() as f64 * kill_frac) as u64;
+        let prefix_len = (kill_after - kill_after % chunk_capacity as u64) as usize;
+        let prefix = VecStream::from_ordered(stream.events()[..prefix_len].to_vec());
+
+        for shards in [1usize, 2] {
+            let mut oracle_engine = ShardedEngine::new(query.clone(), shards);
+            oracle_engine.set_chunk_capacity(chunk_capacity);
+            let mut source = SliceSource::from_stream(&prefix);
+            let oracle = oracle_engine
+                .run_source_resilient(
+                    &mut source,
+                    vec![ParityShed::new(shed); shards],
+                    &ResilienceOptions::default(),
+                )
+                .unwrap();
+
+            let plan = FaultPlan::new().with(FaultKind::KillProducer { after_events: kill_after });
+            let options = ResilienceOptions { fault_plan: Some(plan), ..Default::default() };
+            let mut killed_engine = ShardedEngine::new(query.clone(), shards);
+            killed_engine.set_chunk_capacity(chunk_capacity);
+            let mut source = SliceSource::from_stream(&stream);
+            let report = killed_engine
+                .run_source_resilient(&mut source, vec![ParityShed::new(shed); shards], &options)
+                .unwrap();
+
+            prop_assert_eq!(&report.complex_events, &oracle.complex_events,
+                "killed producer diverged from sealed prefix of {} events at {} shards",
+                prefix_len, shards);
+            prop_assert_eq!(&report.deciders, &oracle.deciders);
+        }
+    }
+}
+
+proptest! {
+    // Stall detection burns its deadline per case; a handful of sweeps
+    // over shard/position placement is enough on top of the deterministic
+    // unit test.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// A wedged shard yields `EngineError::Stalled` naming that shard
+    /// within the configured deadline, instead of hanging the producer.
+    #[test]
+    fn chaos_stall_is_detected_within_deadline(
+        types in type_sequence(150),
+        shards in prop::sample::select(vec![1usize, 2, 4]),
+        chunk_capacity in prop::sample::select(vec![1usize, 7, 64]),
+        stall_seed in 0u64..u64::MAX,
+    ) {
+        use crate::{EngineError, FaultKind, FaultPlan, ResilienceOptions};
+        use std::time::{Duration, Instant};
+
+        let query = Query::builder()
+            .pattern(Pattern::sequence([EventType::from_index(0), EventType::from_index(1)]))
+            .window(WindowSpec::count_sliding(8, 3))
+            .build();
+        let stream = events_from(&types);
+        let boundaries = (stream.len() / chunk_capacity).max(1) as u64;
+        let shard = (stall_seed % shards as u64) as usize;
+        let at_position = (stall_seed.wrapping_mul(0x9E37_79B9) % boundaries)
+            * chunk_capacity as u64;
+        let plan = FaultPlan::new()
+            .with(FaultKind::StallShard { shard, at_position, millis: 60_000 });
+        let options = ResilienceOptions {
+            stall_deadline: Some(Duration::from_millis(150)),
+            fault_plan: Some(plan),
+            ..Default::default()
+        };
+        let mut engine = ShardedEngine::new(query, shards);
+        engine.set_chunk_capacity(chunk_capacity);
+        let mut source = SliceSource::from_stream(&stream);
+        let started = Instant::now();
+        let result = engine.run_source_resilient(
+            &mut source,
+            vec![ParityShed::new(true); shards],
+            &options,
+        );
+        let elapsed = started.elapsed();
+        match result {
+            Err(EngineError::Stalled { shard: stalled, .. }) => {
+                prop_assert_eq!(stalled, shard, "watchdog blamed the wrong shard");
+            }
+            other => prop_assert!(false, "expected Stalled, got {:?}", other.is_ok()),
+        }
+        prop_assert!(elapsed < Duration::from_secs(30),
+            "stall detection took {:?} against a 150ms deadline", elapsed);
+    }
+}
+
+/// A panic injected into the *live* (lifecycle) path mid-churn is contained
+/// as a typed `ShardsFailed` value — survivors drain, nothing unwinds
+/// through the caller — satisfying the containment guarantee on the one
+/// path that has no replay recovery yet.
+#[test]
+fn live_path_contains_injected_panic_during_churn() {
+    use crate::{EngineError, FaultKind, FaultPlan};
+
+    let base = Query::builder()
+        .pattern(Pattern::sequence([EventType::from_index(0), EventType::from_index(1)]))
+        .window(WindowSpec::count_sliding(8, 3))
+        .build();
+    let admitted = Query::builder()
+        .pattern(Pattern::sequence([EventType::from_index(0), EventType::from_index(1)]))
+        .window(WindowSpec::count_sliding(5, 2))
+        .build();
+    let types: Vec<u32> = (0..200).map(|i| (i % 3 % 2) as u32).collect();
+    let stream = events_from(&types);
+
+    let shards = 2;
+    let mut engine = ShardedEngine::for_queries(crate::QuerySet::single(base), shards);
+    // Per-event hand-off: every stream position is a hand-off boundary,
+    // so the injected position fires regardless of how the mid-stream
+    // admission re-aligns chunk framing.
+    engine.set_chunk_capacity(1);
+    engine.set_fault_plan(Some(
+        FaultPlan::new().with(FaultKind::PanicShard { shard: 1, at_position: 70 }),
+    ));
+    let control = engine.control();
+    control.admit_at(
+        40,
+        admitted,
+        (0..shards).map(|_| Box::new(KeepAll) as crate::BoxedDecider).collect(),
+    );
+    let initial: Vec<crate::BoxedDecider> =
+        (0..shards).map(|_| Box::new(KeepAll) as crate::BoxedDecider).collect();
+    let mut source = SliceSource::from_stream(&stream);
+    match engine.try_run_source_live(&mut source, initial) {
+        Err(EngineError::ShardsFailed { failures }) => {
+            assert_eq!(failures.len(), 1);
+            assert_eq!(failures[0].shard, 1);
+            assert!(
+                failures[0].message.contains("injected fault: shard 1"),
+                "unexpected failure message: {}",
+                failures[0].message
+            );
+        }
+        Err(other) => panic!("expected ShardsFailed, got {other:?}"),
+        Ok(_) => panic!("the injected panic was silently swallowed"),
+    }
+}

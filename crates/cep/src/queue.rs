@@ -172,6 +172,20 @@ pub fn spsc<T>(capacity: usize) -> (QueueProducer<T>, QueueConsumer<T>) {
     (producer, consumer)
 }
 
+/// Outcome of a deadline-bounded blocking push
+/// ([`QueueProducer::push_blocking_weighted_until`]). The rejected item is
+/// handed back so the caller can retry it — against the same queue after
+/// re-checking its watchdog, or against a replacement shard's queue.
+#[derive(Debug)]
+pub enum PushOutcome<T> {
+    /// The item was handed over.
+    Pushed,
+    /// The consumer endpoint was dropped (its drain thread died).
+    ConsumerGone(T),
+    /// The queue stayed full past the deadline.
+    TimedOut(T),
+}
+
 /// The producer endpoint of an SPSC queue. Move-only: exactly one producer
 /// exists per queue.
 #[derive(Debug)]
@@ -240,6 +254,42 @@ impl<T> QueueProducer<T> {
                 Err(rejected) => {
                     if self.shared.consumer_gone.load(Ordering::Acquire) {
                         return false;
+                    }
+                    if !waited {
+                        waited = true;
+                        self.backpressure_events += 1;
+                    }
+                    item = rejected;
+                    backoff.wait();
+                }
+            }
+        }
+    }
+
+    /// [`push_blocking_weighted`](Self::push_blocking_weighted) with a
+    /// deadline: waits while the queue is full, but only until `deadline`.
+    /// Distinguishes a vanished consumer from a consumer that is merely not
+    /// making progress, which is what the engine's stall watchdog needs. The
+    /// clock is read only on the full-queue wait path, so the fast path costs
+    /// the same as the plain blocking push.
+    pub fn push_blocking_weighted_until(
+        &mut self,
+        item: T,
+        events: u64,
+        deadline: std::time::Instant,
+    ) -> PushOutcome<T> {
+        let mut item = item;
+        let mut waited = false;
+        let mut backoff = Backoff::new();
+        loop {
+            match self.push_weighted(item, events) {
+                Ok(()) => return PushOutcome::Pushed,
+                Err(rejected) => {
+                    if self.shared.consumer_gone.load(Ordering::Acquire) {
+                        return PushOutcome::ConsumerGone(rejected);
+                    }
+                    if std::time::Instant::now() >= deadline {
+                        return PushOutcome::TimedOut(rejected);
                     }
                     if !waited {
                         waited = true;

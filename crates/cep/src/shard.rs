@@ -43,10 +43,11 @@
 //! [`OpenTracker`]: crate::OpenTracker
 //! [`ShardInput::Command`]: crate::lifecycle::ShardInput
 
+use crate::faults::ArmedFaults;
 use crate::lifecycle::{ShardCommand, ShardInput};
 use crate::queue::{Backoff, QueueConsumer};
 use crate::shedding::QueueSample;
-use crate::window::{OpenTracker, SharedSizePredictor};
+use crate::window::{OpenTracker, SharedSizePredictor, WindowId};
 use crate::{
     BoxedDecider, ComplexEvent, Operator, OperatorStats, Query, QueryId, QuerySet,
     WindowEventDecider,
@@ -338,7 +339,7 @@ impl Shard {
     /// slot drains). `outputs[slot]` receives the complex events the slot
     /// emitted; slots whose last open window closes while draining are torn
     /// down on the spot.
-    fn push_fused<R: DeciderRow>(
+    pub(crate) fn push_fused<R: DeciderRow>(
         &mut self,
         event: &Event,
         row: &mut R,
@@ -416,7 +417,11 @@ impl Shard {
 
     /// Closes all still-open windows of every live slot (end of stream) and
     /// tears down the slots that were draining.
-    fn flush_core<R: DeciderRow>(&mut self, row: &mut R, outputs: &mut [Vec<ComplexEvent>]) {
+    pub(crate) fn flush_core<R: DeciderRow>(
+        &mut self,
+        row: &mut R,
+        outputs: &mut [Vec<ComplexEvent>],
+    ) {
         for (slot, state) in self.slots.iter_mut().enumerate() {
             let finished = match state {
                 SlotRuntime::Live { operator, draining } => {
@@ -558,7 +563,22 @@ impl Shard {
         check_interval: Option<Duration>,
     ) -> Vec<Vec<ComplexEvent>> {
         assert_eq!(deciders.len(), self.query_count(), "need exactly one decider per query");
-        self.run_queue_core(queue, &mut &mut *deciders, check_interval)
+        self.run_queue_core(queue, &mut &mut *deciders, check_interval, None)
+    }
+
+    /// [`run_queue_multi`](Self::run_queue_multi) with a fault-injection
+    /// hook armed. The hook fires once per queue hand-off (per chunk, or per
+    /// event with per-event hand-off) with the stream position the hand-off
+    /// starts at; a `None` hook costs one branch per hand-off.
+    pub(crate) fn run_queue_multi_injected<D: WindowEventDecider>(
+        &mut self,
+        queue: QueueConsumer<ShardInput>,
+        deciders: &mut [D],
+        check_interval: Option<Duration>,
+        faults: Option<&ArmedFaults>,
+    ) -> Vec<Vec<ComplexEvent>> {
+        assert_eq!(deciders.len(), self.query_count(), "need exactly one decider per query");
+        self.run_queue_core(queue, &mut &mut *deciders, check_interval, faults)
     }
 
     /// [`run_queue_multi`](Self::run_queue_multi) over an owned boxed
@@ -569,8 +589,9 @@ impl Shard {
         queue: QueueConsumer<ShardInput>,
         mut row: Vec<Option<BoxedDecider>>,
         check_interval: Option<Duration>,
+        faults: Option<&ArmedFaults>,
     ) -> (Vec<Vec<ComplexEvent>>, Vec<Option<BoxedDecider>>) {
-        let outputs = self.run_queue_core(queue, &mut row, check_interval);
+        let outputs = self.run_queue_core(queue, &mut row, check_interval, faults);
         (outputs, row)
     }
 
@@ -580,6 +601,7 @@ impl Shard {
         mut queue: QueueConsumer<ShardInput>,
         row: &mut R,
         check_interval: Option<Duration>,
+        faults: Option<&ArmedFaults>,
     ) -> Vec<Vec<ComplexEvent>> {
         /// How many drained events may pass between wall-clock reads while
         /// sampling is on (keeps `Instant::now` off the per-event path).
@@ -604,11 +626,20 @@ impl Shard {
         let mut last_assignments: u64 = 0;
         let mut last_kept: u64 = 0;
 
+        // Producer-counted stream position of the next hand-off, fed to the
+        // fault hook. Starts at the events this shard has already seen so
+        // injected positions line up with chunk bases on every path.
+        let mut position = self.events_seen;
+
         let mut backoff = Backoff::new();
         loop {
             match queue.pop() {
                 Some(ShardInput::Event(event)) => {
                     backoff.reset();
+                    if let Some(faults) = faults {
+                        faults.on_handoff(self.index, position, None);
+                    }
+                    position += 1;
                     self.push_fused(&event, row, &mut outputs);
                     drained_since_sample += 1;
                     pending_consumed += 1;
@@ -642,6 +673,10 @@ impl Shard {
                     // buffer in place, keeping the sampling cadence of the
                     // per-event path so checks fire mid-chunk too.
                     backoff.reset();
+                    if let Some(faults) = faults {
+                        faults.on_handoff(self.index, chunk.base(), None);
+                    }
+                    position = chunk.end();
                     for event in chunk.events() {
                         self.push_fused(event, row, &mut outputs);
                         drained_since_sample += 1;
@@ -681,11 +716,18 @@ impl Shard {
                     // pop settles whether anything raced in.
                     match queue.pop() {
                         Some(ShardInput::Event(event)) => {
+                            if let Some(faults) = faults {
+                                faults.on_handoff(self.index, position, None);
+                            }
+                            position += 1;
                             self.push_fused(&event, row, &mut outputs);
                             drained_since_sample += 1;
                             pending_consumed += 1;
                         }
                         Some(ShardInput::Chunk(chunk)) => {
+                            if let Some(faults) = faults {
+                                faults.on_handoff(self.index, chunk.base(), None);
+                            }
                             for event in chunk.events() {
                                 self.push_fused(event, row, &mut outputs);
                                 drained_since_sample += 1;
@@ -746,10 +788,10 @@ impl Shard {
     /// the `f · qmax` check must never mistake a half-full chunk for a
     /// full queue, nor a queue of fat chunks for a near-empty one.
     #[allow(clippy::too_many_arguments)]
-    fn deliver_sample<R: DeciderRow>(
+    pub(crate) fn deliver_sample<R: DeciderRow, I>(
         &self,
         row: &mut R,
-        queue: &QueueConsumer<ShardInput>,
+        queue: &QueueConsumer<I>,
         drained_since_sample: &mut u64,
         pending_consumed: &mut u64,
         last_assignments: &mut u64,
@@ -800,6 +842,120 @@ impl Shard {
         }
         self.events_seen = 0;
     }
+
+    /// Cuts a replay checkpoint at stream position `position` (a chunk
+    /// boundary: the shard has processed exactly the first `position`
+    /// events). The checkpoint captures everything a *fresh* shard needs to
+    /// re-derive this shard's forward behaviour when the replay stream also
+    /// starts at a position at or below every currently open window's start:
+    /// the open-tracker slide state and each slot's global window-id
+    /// counter. Ring contents and open-window sets are deliberately *not*
+    /// captured — they are reconstructed by replaying events, which is what
+    /// keeps the checkpoint O(queries) instead of O(resident events).
+    ///
+    /// Static-path only: every slot must be live.
+    pub(crate) fn cut_checkpoint(&self, position: u64) -> ShardCheckpoint {
+        let next_window_ids = self
+            .slots
+            .iter()
+            .map(|slot| match slot {
+                SlotRuntime::Live { operator, .. } => operator.next_window_id(),
+                // The resilient path rejects engines with retired slots up
+                // front, so checkpoints only ever see live rows.
+                SlotRuntime::Retired { .. } => unreachable!("checkpoint on a retired slot"),
+            })
+            .collect();
+        ShardCheckpoint { position, openers: self.openers.clone(), next_window_ids }
+    }
+
+    /// Stream position of the oldest event any live slot's open window still
+    /// needs, or `None` when no window is open anywhere. Replaying from at
+    /// or below this position reproduces every open window of every slot —
+    /// the per-shard low-water mark chunk retention is pruned against,
+    /// mirroring how [`EventRing`](crate::ring::EventRing) prunes to the
+    /// oldest open window's start slot.
+    pub(crate) fn oldest_open_start_pos(&self) -> Option<u64> {
+        self.slots
+            .iter()
+            .filter_map(|slot| match slot {
+                SlotRuntime::Live { operator, .. } => operator.oldest_open_start_pos(),
+                SlotRuntime::Retired { .. } => None,
+            })
+            .min()
+    }
+
+    /// Positions a *fresh* shard at `checkpoint`, as if it had already
+    /// scanned the first `checkpoint.position` events of the stream and
+    /// none of its still-open windows had opened before that point.
+    pub(crate) fn restore_checkpoint(&mut self, checkpoint: &ShardCheckpoint) {
+        assert_eq!(
+            checkpoint.next_window_ids.len(),
+            self.slots.len(),
+            "checkpoint and shard must agree on the query set"
+        );
+        self.openers = checkpoint.openers.clone();
+        self.opens = vec![false; self.openers.len()];
+        for (slot, next_id) in self.slots.iter_mut().zip(&checkpoint.next_window_ids) {
+            match slot {
+                SlotRuntime::Live { operator, .. } => {
+                    operator.restore_for_replay(*next_id, checkpoint.position);
+                }
+                SlotRuntime::Retired { .. } => unreachable!("restore into a retired slot"),
+            }
+        }
+        self.events_seen = checkpoint.position;
+    }
+
+    /// Snapshot of every live slot's run counters and ring peak, cut at a
+    /// chunk boundary alongside [`cut_checkpoint`](Self::cut_checkpoint).
+    pub(crate) fn slot_counters(&self) -> (Vec<OperatorStats>, Vec<usize>) {
+        let mut stats = Vec::with_capacity(self.slots.len());
+        let mut peaks = Vec::with_capacity(self.slots.len());
+        for slot in &self.slots {
+            match slot {
+                SlotRuntime::Live { operator, .. } => {
+                    stats.push(operator.stats().clone());
+                    peaks.push(operator.peak_resident_entries());
+                }
+                SlotRuntime::Retired { .. } => unreachable!("counters of a retired slot"),
+            }
+        }
+        (stats, peaks)
+    }
+
+    /// Overwrites every slot's counters wholesale with a snapshot taken by
+    /// the crashed incarnation. A replayed replacement calls this the moment
+    /// it reaches the crash incarnation's last flushed boundary: from there
+    /// on its counters must continue from the original's values, not from
+    /// the replay's (which only scanned the stream suffix).
+    pub(crate) fn overwrite_slot_counters(
+        &mut self,
+        stats: &[OperatorStats],
+        peaks: &[usize],
+        events_seen: u64,
+    ) {
+        for ((slot, stats), peak) in self.slots.iter_mut().zip(stats).zip(peaks) {
+            match slot {
+                SlotRuntime::Live { operator, .. } => {
+                    operator.overwrite_counters(stats.clone(), *peak);
+                }
+                SlotRuntime::Retired { .. } => unreachable!("overwrite of a retired slot"),
+            }
+        }
+        self.events_seen = events_seen;
+    }
+}
+
+/// A replay checkpoint of one shard, cut at a chunk boundary by the
+/// resilient drain loop (see [`crate::resilience`]). Plain data, cheap to
+/// clone: open-tracker slide state plus one window-id counter per slot.
+#[derive(Debug, Clone)]
+pub(crate) struct ShardCheckpoint {
+    /// The chunk boundary (producer-counted event position) the checkpoint
+    /// was cut at.
+    pub(crate) position: u64,
+    openers: Vec<OpenTracker>,
+    next_window_ids: Vec<WindowId>,
 }
 
 #[cfg(test)]

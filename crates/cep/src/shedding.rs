@@ -213,11 +213,12 @@ impl<D> SharedDecider<D> {
 
     /// Locks and returns the wrapped decider.
     ///
-    /// # Panics
-    ///
-    /// Panics if a previous user panicked while holding the lock.
+    /// A panic on the shard thread that held the lock (e.g. an injected
+    /// fault) poisons it mid-decision at worst between two counter
+    /// updates; the decider state stays usable for reporting, so the
+    /// guard is recovered instead of cascading the panic into the reader.
     pub fn lock(&self) -> std::sync::MutexGuard<'_, D> {
-        self.inner.lock().expect("a decider user panicked while holding the lock")
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
 

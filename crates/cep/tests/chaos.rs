@@ -1,0 +1,170 @@
+//! Seed-driven chaos harness: the CI entry point for fault-injection
+//! sweeps (`CHAOS_SEED=n cargo test -p espice-cep --test chaos`).
+//!
+//! For each seed, [`FaultPlan::seeded`] derives a plan — always a shard
+//! panic at some chunk boundary, for half the seeds a second fault (another
+//! panic, a short stall, or a producer kill) — and the run is pinned
+//! byte-for-byte against a fault-free oracle over the stream the producer
+//! actually delivered (the full stream, or the sealed-chunk prefix when the
+//! plan kills the producer).
+
+use espice_cep::{
+    Decision, FaultKind, FaultPlan, Pattern, Query, QuerySet, ResilienceOptions, ShardStatus,
+    ShardedEngine, WindowEventDecider, WindowMeta, WindowSpec,
+};
+use espice_events::{Event, EventStream, EventType, SliceSource, Timestamp, VecStream};
+
+/// Keep/drop from `(window id, position)` alone — replay-consistent by
+/// construction — with counters that pin recovered decider state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ParityShed {
+    kept: u64,
+    dropped: u64,
+}
+
+impl WindowEventDecider for ParityShed {
+    fn decide(&mut self, meta: &WindowMeta, position: usize, _event: &Event) -> Decision {
+        if (meta.id + position as u64).is_multiple_of(3) {
+            self.dropped += 1;
+            Decision::Drop
+        } else {
+            self.kept += 1;
+            Decision::Keep
+        }
+    }
+}
+
+fn queries() -> QuerySet {
+    let a = EventType::from_index(0);
+    let b = EventType::from_index(1);
+    QuerySet::new(vec![
+        Query::builder()
+            .pattern(Pattern::sequence([a, b]))
+            .window(WindowSpec::count_sliding(9, 4))
+            .build(),
+        Query::builder()
+            .pattern(Pattern::sequence([b, a]))
+            .window(WindowSpec::count_sliding(6, 2))
+            .build(),
+    ])
+}
+
+/// A deterministic 600-event stream with a skewed type mix.
+fn stream() -> VecStream {
+    let mut state = 0x5EED_u64;
+    let events = (0..600)
+        .map(|i| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let ty = ((state >> 33) % 3 % 2) as u32;
+            Event::new(EventType::from_index(ty), Timestamp::from_secs(i), i)
+        })
+        .collect();
+    VecStream::from_ordered(events)
+}
+
+fn run(
+    set: &QuerySet,
+    events: &VecStream,
+    shards: usize,
+    chunk_capacity: usize,
+    options: &ResilienceOptions,
+) -> (espice_cep::RunReport<ParityShed>, ShardedEngine) {
+    let mut engine = ShardedEngine::for_queries(set.clone(), shards);
+    engine.set_chunk_capacity(chunk_capacity);
+    let deciders = vec![ParityShed { kept: 0, dropped: 0 }; shards * set.len()];
+    let mut source = SliceSource::from_stream(events);
+    let report = engine
+        .run_source_resilient(&mut source, deciders, options)
+        .unwrap_or_else(|error| panic!("chaos run failed: {error}"));
+    (report, engine)
+}
+
+/// Seeds to sweep: `CHAOS_SEED` (space- or comma-separated) when set, a
+/// small default battery otherwise.
+fn seeds() -> Vec<u64> {
+    match std::env::var("CHAOS_SEED") {
+        Ok(value) => value
+            .split([' ', ','])
+            .filter(|s| !s.is_empty())
+            .map(|s| s.parse().unwrap_or_else(|_| panic!("bad CHAOS_SEED entry: {s}")))
+            .collect(),
+        Err(_) => (1..=8).collect(),
+    }
+}
+
+#[test]
+fn seeded_chaos_sweep_is_byte_identical_to_fault_free_oracle() {
+    let set = queries();
+    let full = stream();
+    for seed in seeds() {
+        for shards in [1usize, 2, 4] {
+            for chunk_capacity in [1usize, 7, 64] {
+                let plan = FaultPlan::seeded(seed, shards, full.len() as u64, chunk_capacity);
+                // The oracle covers the stream the producer actually
+                // delivers: a producer kill truncates it to the longest
+                // sealed-chunk prefix.
+                let delivered = plan
+                    .faults()
+                    .iter()
+                    .filter_map(|fault| match fault {
+                        FaultKind::KillProducer { after_events } => Some(*after_events),
+                        _ => None,
+                    })
+                    .min()
+                    .map(|kill| (kill - kill % chunk_capacity as u64) as usize)
+                    .unwrap_or(full.len());
+                let oracle_stream = VecStream::from_ordered(full.events()[..delivered].to_vec());
+                let (oracle, oracle_engine) = run(
+                    &set,
+                    &oracle_stream,
+                    shards,
+                    chunk_capacity,
+                    &ResilienceOptions::default(),
+                );
+
+                let options =
+                    ResilienceOptions { fault_plan: Some(plan.clone()), ..Default::default() };
+                let (report, engine) = run(&set, &full, shards, chunk_capacity, &options);
+
+                let label =
+                    format!("seed {seed}, {shards} shards, chunk {chunk_capacity}, plan {plan:?}");
+                assert_eq!(
+                    report.complex_events, oracle.complex_events,
+                    "recovered output diverged from oracle at {label}"
+                );
+                assert_eq!(
+                    report.deciders, oracle.deciders,
+                    "recovered decider state diverged at {label}"
+                );
+                assert_eq!(
+                    engine.stats().merged,
+                    oracle_engine.stats().merged,
+                    "recovered statistics diverged at {label}"
+                );
+                for status in &report.shard_status {
+                    assert!(
+                        !matches!(status, ShardStatus::Failed(_)),
+                        "restart budget exhausted at {label}: {status:?}"
+                    );
+                }
+                // Panics only fire at positions the producer delivered;
+                // when one did, the report must say so.
+                let expected_recoveries = plan
+                    .faults()
+                    .iter()
+                    .filter(|fault| {
+                        matches!(
+                            fault,
+                            FaultKind::PanicShard { at_position, .. }
+                                if (*at_position as usize) < delivered
+                        )
+                    })
+                    .count() as u32;
+                assert_eq!(
+                    report.recoveries, expected_recoveries,
+                    "recovery count mismatch at {label}"
+                );
+            }
+        }
+    }
+}

@@ -21,7 +21,9 @@ use espice::{
     BaselineShedder, EspiceShedder, ModelBuilder, ModelConfig, OverloadConfig, RandomShedder,
     ShedPlan, ShedPlanner, UtilityModel,
 };
-use espice_cep::{ComplexEvent, Operator, Query, QuerySet, ShardedEngine};
+use espice_cep::{
+    ComplexEvent, Operator, Query, QuerySet, ResilienceOptions, ShardStatus, ShardedEngine,
+};
 use espice_events::{EventStream, SliceSource, VecStream};
 use serde::{Deserialize, Serialize};
 
@@ -457,6 +459,78 @@ impl Experiment {
                 }
             })
             .collect()
+    }
+
+    /// Evaluates `queries` with the eSPICE shedder on the **fault-tolerant**
+    /// streaming backend ([`ShardedEngine::run_source_resilient`]): the same
+    /// fused pipeline as [`evaluate_set`](Self::evaluate_set) with
+    /// [`EngineBackend::Streaming`], but shard panics — e.g. an injected
+    /// fault plan carried in `options` — are recovered by chunk replay and a
+    /// wedged shard fails the run instead of hanging it. Returns the usual
+    /// per-query quality outcomes plus the per-shard status record and the
+    /// total recovery count; because recovery is byte-identical, a seeded
+    /// crash must not change the quality outcomes (pinned by the chaos
+    /// tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resilient run itself fails (stall deadline exceeded).
+    pub fn evaluate_set_resilient(
+        &self,
+        queries: &QuerySet,
+        options: &ResilienceOptions,
+    ) -> (Vec<QualityOutcome>, Vec<ShardStatus>, u32) {
+        let shards = self.config.shards.max(1);
+
+        let mut gt_engine = self.engine_for_set(queries);
+        let mut gt_deciders = vec![espice_cep::KeepAll; shards * queries.len()];
+        let ground_truth = gt_engine.run_slice_per_query(&self.eval_stream, &mut gt_deciders);
+
+        // Concrete (cloneable) eSPICE shedders rather than the boxed
+        // heterogeneous rows: a replacement shard revives its deciders
+        // from clones, which a `Box<dyn …>` row cannot provide.
+        let plans: Vec<ShedPlan> = queries.queries().iter().map(|q| self.shed_plan(q)).collect();
+        let mut deciders: Vec<EspiceShedder> = Vec::with_capacity(shards * queries.len());
+        for _ in 0..shards {
+            for (id, _) in queries.iter() {
+                let mut shedder = EspiceShedder::new(self.model.clone());
+                shedder.apply(plans[id as usize]);
+                deciders.push(shedder);
+            }
+        }
+
+        let mut engine = self.engine_for_set(queries);
+        let queue_capacity = match self.config.backend {
+            EngineBackend::Streaming { queue_capacity } => queue_capacity,
+            EngineBackend::Slice => espice_cep::DEFAULT_QUEUE_CAPACITY,
+        };
+        engine.set_queue_capacity(queue_capacity);
+        let mut source = SliceSource::from_stream(&self.eval_stream);
+        let report = engine
+            .run_source_resilient(&mut source, deciders, options)
+            .unwrap_or_else(|error| panic!("resilient evaluation failed: {error}"));
+        let stats = engine.stats();
+        let queue = Some(QueueSummary {
+            capacity: queue_capacity,
+            peak_depth: engine.queue_stats().iter().map(|q| q.peak_depth).max().unwrap_or(0),
+            backpressure_events: engine.queue_stats().iter().map(|q| q.backpressure_events).sum(),
+        });
+
+        let outcomes = queries
+            .iter()
+            .map(|(id, _)| {
+                let id = id as usize;
+                QualityOutcome {
+                    shedder: ShedderKind::Espice,
+                    metrics: QualityMetrics::compare(&ground_truth[id], &report.complex_events[id]),
+                    plan: plans[id],
+                    drop_ratio: stats.per_query[id].drop_ratio(),
+                    windows: stats.per_query[id].windows_closed,
+                    queue,
+                }
+            })
+            .collect();
+        (outcomes, report.shard_status, report.recoveries)
     }
 
     /// Creates the fused evaluation engine for a whole query set (the
