@@ -1,0 +1,68 @@
+use espice_cep::{
+    Decision, FaultKind, FaultPlan, Pattern, Query, ResilienceOptions, ShardedEngine,
+    WindowEventDecider, WindowMeta, WindowSpec,
+};
+use espice_events::{Event, EventType, SliceSource, Timestamp, VecStream};
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ParityShed { kept: u64, dropped: u64 }
+
+impl WindowEventDecider for ParityShed {
+    fn decide(&mut self, meta: &WindowMeta, position: usize, _e: &Event) -> Decision {
+        if (meta.id + position as u64) % 3 == 0 { self.dropped += 1; Decision::Drop }
+        else { self.kept += 1; Decision::Keep }
+    }
+}
+
+fn stream(len: usize) -> VecStream {
+    VecStream::from_ordered(
+        (0..len).map(|i| Event::new(EventType::from_index((i % 3 % 2) as u32), Timestamp::from_secs(i as u64), i as u64)).collect(),
+    )
+}
+
+fn run(plan: Option<FaultPlan>, shards: usize, len: usize) -> Vec<Vec<espice_cep::ComplexEvent>> {
+    let q = Query::builder()
+        .pattern(Pattern::sequence([EventType::from_index(0), EventType::from_index(1)]))
+        .window(WindowSpec::count_sliding(6, 2))
+        .build();
+    let mut e = ShardedEngine::new(q, shards);
+    e.set_chunk_capacity(1);
+    e.set_queue_capacity(2);
+    let ev = stream(len);
+    let mut src = SliceSource::from_stream(&ev);
+    let options = ResilienceOptions { fault_plan: plan, ..Default::default() };
+    e.run_source_resilient(&mut src, vec![ParityShed { kept: 0, dropped: 0 }; shards], &options)
+        .unwrap()
+        .complex_events
+}
+
+#[test]
+fn single_panic() {
+    let oracle = run(None, 4, 400);
+    for t in 0..50 {
+        let plan = FaultPlan::new().with(FaultKind::PanicShard { shard: 0, at_position: 50 });
+        assert_eq!(run(Some(plan), 4, 400), oracle, "single-panic diverged on trial {t}");
+    }
+}
+
+#[test]
+fn two_panics_far_apart() {
+    let oracle = run(None, 4, 400);
+    for t in 0..50 {
+        let plan = FaultPlan::new()
+            .with(FaultKind::PanicShard { shard: 0, at_position: 50 })
+            .with(FaultKind::PanicShard { shard: 3, at_position: 300 });
+        assert_eq!(run(Some(plan), 4, 400), oracle, "far-apart diverged on trial {t}");
+    }
+}
+
+#[test]
+fn two_panics_same_position() {
+    let oracle = run(None, 4, 400);
+    for t in 0..50 {
+        let plan = FaultPlan::new()
+            .with(FaultKind::PanicShard { shard: 0, at_position: 50 })
+            .with(FaultKind::PanicShard { shard: 3, at_position: 50 });
+        assert_eq!(run(Some(plan), 4, 400), oracle, "same-position diverged on trial {t}");
+    }
+}
