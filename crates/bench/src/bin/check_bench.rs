@@ -26,8 +26,13 @@ use std::process::ExitCode;
 
 /// The reports the gate knows about. A missing *baseline* is tolerated
 /// (first run of a new bench); a missing *current* report fails.
-const REPORTS: &[&str] =
-    &["BENCH_shard.json", "BENCH_overlap.json", "BENCH_stream.json", "BENCH_multiquery.json"];
+const REPORTS: &[&str] = &[
+    "BENCH_shard.json",
+    "BENCH_overlap.json",
+    "BENCH_stream.json",
+    "BENCH_multiquery.json",
+    "BENCH_steal.json",
+];
 
 struct Args {
     baseline_dir: PathBuf,

@@ -241,6 +241,7 @@ pub fn classify(key: &str) -> Option<(Severity, Direction)> {
         "peak_entry_ratio",
         "entry_write_amplification_removed",
         "chunked_over_broadcast",
+        "stolen_over_static",
     ];
     if GATED.contains(&key) {
         return Some((Severity::Gate, Direction::HigherIsBetter));
@@ -411,6 +412,10 @@ mod tests {
         );
         assert_eq!(
             classify("chunked_over_broadcast"),
+            Some((Severity::Gate, Direction::HigherIsBetter))
+        );
+        assert_eq!(
+            classify("stolen_over_static"),
             Some((Severity::Gate, Direction::HigherIsBetter))
         );
         assert_eq!(

@@ -63,6 +63,17 @@ impl EventChunk {
     pub fn events(&self) -> &[Event] {
         &self.events
     }
+
+    /// Index into [`events`](Self::events) of the event at stream
+    /// `position`, or `None` when the chunk does not cover that position.
+    ///
+    /// This is the cursor anchor of chunk-replay recovery and stolen-window
+    /// adoption: "shard S begins evaluating window W from position P" needs
+    /// only the chunk whose `[base, end)` range covers P plus this offset —
+    /// no side channel, because chunks are sequence-stamped.
+    pub fn offset_of(&self, position: u64) -> Option<usize> {
+        (self.base..self.end()).contains(&position).then(|| (position - self.base) as usize)
+    }
 }
 
 /// Accumulates events into the next [`EventChunk`]. One builder lives in
@@ -223,5 +234,23 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn zero_capacity_rejected() {
         let _ = ChunkBuilder::new(0);
+    }
+
+    #[test]
+    fn offset_of_anchors_positions_inside_the_chunk() {
+        let mut builder = ChunkBuilder::new(4);
+        for seq in 0..4 {
+            builder.push(ev(seq));
+        }
+        builder.push(ev(4));
+        builder.push(ev(5));
+        let chunk = builder.seal().expect("two events pending");
+        assert_eq!(chunk.base(), 4);
+        assert_eq!(chunk.offset_of(3), None, "position before the chunk");
+        assert_eq!(chunk.offset_of(4), Some(0));
+        assert_eq!(chunk.offset_of(5), Some(1));
+        assert_eq!(chunk.offset_of(6), None, "position past the chunk");
+        let anchored = chunk.offset_of(5).map(|o| chunk.events()[o].seq());
+        assert_eq!(anchored, Some(5));
     }
 }

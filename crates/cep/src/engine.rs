@@ -77,7 +77,7 @@ use crate::lifecycle::{
 };
 use crate::queue::{spsc, QueueProducer, QueueStats};
 use crate::resilience::{panic_message, EngineError, ShardFailure};
-use crate::window::SharedSizePredictor;
+use crate::window::{OwnershipPolicy, SharedSizePredictor};
 use crate::{
     BoxedDecider, ComplexEvent, KeepAll, OperatorStats, Query, QueryHandle, QueryId, QuerySet,
     Shard, WindowEventDecider,
@@ -240,6 +240,9 @@ pub struct ShardedEngine {
     ///
     /// [`set_window_size_hint`]: ShardedEngine::set_window_size_hint
     window_size_hint: Option<usize>,
+    /// How window ownership is assigned across shards — see
+    /// [`set_ownership_policy`](ShardedEngine::set_ownership_policy).
+    ownership: OwnershipPolicy,
     /// The lifecycle control channel, created lazily by
     /// [`control`](ShardedEngine::control).
     control: Option<EngineControl>,
@@ -284,7 +287,12 @@ impl ShardedEngine {
             return Err(ConfigError::ZeroShards);
         }
         let size_predictors = Self::build_predictors(&queries, None);
-        let shards = Self::build_shards(&queries, shard_count, &size_predictors);
+        let shards = Self::build_shards(
+            &queries,
+            shard_count,
+            &size_predictors,
+            OwnershipPolicy::StaticModulo,
+        );
         let handles = (0..queries.len())
             .map(|slot| QueryHandle { slot: slot as QueryId, generation: slot as u64 })
             .collect();
@@ -301,6 +309,7 @@ impl ShardedEngine {
             queue_stats: Vec::new(),
             size_predictors,
             window_size_hint: None,
+            ownership: OwnershipPolicy::StaticModulo,
             control: None,
             control_rx: None,
             fault_plan: None,
@@ -329,6 +338,13 @@ impl ShardedEngine {
         for (query, predictor) in self.size_predictors.iter().enumerate() {
             shard.share_size_predictor_for(query, Arc::clone(predictor));
         }
+        // The replacement must route replayed window opens exactly as the
+        // survivors did: same size hint, same ownership policy (the live
+        // ownership table itself is restored from the checkpoint).
+        if let Some(hint) = self.window_size_hint {
+            shard.set_window_size_hint(hint);
+        }
+        shard.set_ownership_policy(self.ownership);
         shard
     }
 
@@ -338,6 +354,7 @@ impl ShardedEngine {
         queries: &QuerySet,
         shard_count: usize,
         predictors: &[Arc<SharedSizePredictor>],
+        ownership: OwnershipPolicy,
     ) -> Vec<Shard> {
         (0..shard_count)
             .map(|index| {
@@ -345,6 +362,7 @@ impl ShardedEngine {
                 for (query, predictor) in predictors.iter().enumerate() {
                     shard.share_size_predictor_for(query, Arc::clone(predictor));
                 }
+                shard.set_ownership_policy(ownership);
                 shard
             })
             .collect()
@@ -510,6 +528,41 @@ impl ShardedEngine {
         for shard in &mut self.shards {
             shard.set_window_size_hint(hint);
         }
+    }
+
+    /// Selects how window ownership is assigned across shards for
+    /// subsequent runs. The default, [`OwnershipPolicy::StaticModulo`],
+    /// keeps the zero-cost `id % shard_count` assignment;
+    /// [`OwnershipPolicy::StealAtOpen`] routes each opening window to the
+    /// shard the deterministic [`WindowBalancer`] projects as least loaded
+    /// — every shard computes the identical assignment from the shared
+    /// stream, so no cross-shard coordination happens on the hot path (see
+    /// [`Shard::set_ownership_policy`] for the load-signal derivation).
+    /// Merged output is byte-identical under either policy.
+    ///
+    /// [`WindowBalancer`]: crate::WindowBalancer
+    ///
+    /// # Panics
+    ///
+    /// Panics if any shard has already processed events — switch policies
+    /// only on a fresh engine or after [`reset`](Self::reset).
+    pub fn set_ownership_policy(&mut self, policy: OwnershipPolicy) {
+        self.ownership = policy;
+        for shard in &mut self.shards {
+            shard.set_ownership_policy(policy);
+        }
+    }
+
+    /// The active window-ownership policy.
+    pub fn ownership_policy(&self) -> OwnershipPolicy {
+        self.ownership
+    }
+
+    /// Windows the balancer routed away from their static `id %
+    /// shard_count` owner, summed over all shards — always 0 under
+    /// [`OwnershipPolicy::StaticModulo`].
+    pub fn stolen_windows(&self) -> u64 {
+        self.shards.iter().map(Shard::stolen_windows).sum()
     }
 
     /// The window-size predictor shared by all shards for query `query`
@@ -1331,7 +1384,12 @@ impl ShardedEngine {
     /// generations are preserved; counters and queue statistics clear.
     pub fn reset(&mut self) {
         self.size_predictors = Self::build_predictors(&self.queries, self.window_size_hint);
-        self.shards = Self::build_shards(&self.queries, self.shards.len(), &self.size_predictors);
+        self.shards = Self::build_shards(
+            &self.queries,
+            self.shards.len(),
+            &self.size_predictors,
+            self.ownership,
+        );
         if let Some(hint) = self.window_size_hint {
             for shard in &mut self.shards {
                 shard.set_window_size_hint(hint);

@@ -116,13 +116,14 @@ pub use resilience::{
     EngineError, ResilienceOptions, RunReport, ShardFailure, ShardStatus, DEFAULT_MAX_RESTARTS,
     DEFAULT_STALL_DEADLINE,
 };
+pub use ring::DropSet;
 pub use shard::Shard;
 pub use shedding::{
     BatchRequest, BoxedDecider, Decision, KeepAll, QueueSample, SharedDecider, WindowEventDecider,
 };
 pub use window::{
-    OpenPolicy, OpenTracker, QueryHandle, QueryId, SharedSizePredictor, SizePredictor,
-    WindowExtent, WindowId, WindowMeta, WindowSpec,
+    OpenPolicy, OpenTracker, OwnershipPolicy, QueryHandle, QueryId, SharedSizePredictor,
+    SizePredictor, WindowBalancer, WindowExtent, WindowId, WindowMeta, WindowSpec,
 };
 
 /// Convenience re-exports for downstream crates.

@@ -179,6 +179,12 @@ pub struct Operator {
     /// opens itself (shared across queries with equal policies).
     opener: OpenTracker,
     prediction: Prediction,
+    /// While set, window closes skip [`Prediction::observe`]. Chunk-replay
+    /// recovery mutes a replacement shard's operators for the replayed span:
+    /// every close up to the last flushed boundary was already fed into the
+    /// shared predictor by the crashed incarnation, so observing it again
+    /// would double-count (see [`crate::resilience`]).
+    predictor_muted: bool,
     stats: OperatorStats,
     /// Reusable buffers for the batched shedding call in `push`.
     batch_requests: Vec<BatchRequest>,
@@ -240,6 +246,7 @@ impl Operator {
             query_id,
             opener: OpenTracker::new(query.window().open_policy().clone()),
             prediction: Prediction::Local(SizePredictor::new(initial_size.max(1), 0.25)),
+            predictor_muted: false,
             stats: OperatorStats::default(),
             batch_requests: Vec::new(),
             batch_decisions: Vec::new(),
@@ -343,6 +350,34 @@ impl Operator {
         self.peak_resident = peak_resident;
     }
 
+    /// The engine-shared size predictor's `(sum, count)` accumulator, or
+    /// `None` for a local predictor. Captured into replay checkpoints so a
+    /// replacement can rewind the estimator instead of double-observing
+    /// the closes it re-derives during chunk replay.
+    pub(crate) fn predictor_snapshot(&self) -> Option<(u64, u64)> {
+        match &self.prediction {
+            Prediction::Shared(shared) => Some(shared.snapshot()),
+            Prediction::Local(_) => None,
+        }
+    }
+
+    /// Rewinds the engine-shared size predictor to a checkpoint snapshot
+    /// (no-op for local predictors and for checkpoints cut before the
+    /// predictor was shared).
+    pub(crate) fn restore_predictor(&self, snapshot: Option<(u64, u64)>) {
+        if let (Prediction::Shared(shared), Some((sum, count))) = (&self.prediction, snapshot) {
+            shared.restore(sum, count);
+        }
+    }
+
+    /// Mutes (or unmutes) window-size observation on close. Recovery mutes a
+    /// replacement's operators while it replays the span up to the crashed
+    /// incarnation's last flushed boundary — those closes already fed the
+    /// shared predictor once — and unmutes at the counter hand-over.
+    pub(crate) fn set_predictor_muted(&mut self, muted: bool) {
+        self.predictor_muted = muted;
+    }
+
     /// Total entries written to the window storage during this run. With the
     /// shared ring this is one write per event assigned to at least one
     /// window — per-window storage writes each kept event once per
@@ -382,12 +417,39 @@ impl Operator {
     /// the stream in order, or window populations diverge from a
     /// self-driven run. Do not mix with [`push`](Operator::push) in one
     /// run.
+    ///
+    /// Ownership stays the operator's static partition: an opening window
+    /// is materialised iff `id % shard_count == shard_index`. A caller with
+    /// a dynamic [`OwnershipPolicy`](crate::OwnershipPolicy) supplies its
+    /// own ownership verdict through the crate-internal `push_routed`
+    /// instead.
     pub fn push_opened<D: WindowEventDecider + ?Sized>(
         &mut self,
         event: &Event,
         opens: bool,
         decider: &mut D,
     ) -> Vec<ComplexEvent> {
+        let owned = opens && self.next_window_id % self.shard_count == self.shard_index;
+        self.push_routed(event, opens, owned, decider)
+    }
+
+    /// [`push_opened`](Operator::push_opened) with the *ownership* decision
+    /// supplied by the caller too: when `opens` is true the global window
+    /// counter advances on every shard as always, but the window is
+    /// materialised (buffered, shed, matched) here iff `owned`. The caller
+    /// must grant each window to exactly one shard — the shard's ownership
+    /// table derives `owned` deterministically from the open position, so
+    /// all shards agree without coordination (see
+    /// [`Shard::set_ownership_policy`](crate::Shard::set_ownership_policy)).
+    /// `owned` must be false whenever `opens` is false.
+    pub(crate) fn push_routed<D: WindowEventDecider + ?Sized>(
+        &mut self,
+        event: &Event,
+        opens: bool,
+        owned: bool,
+        decider: &mut D,
+    ) -> Vec<ComplexEvent> {
+        debug_assert!(opens || !owned, "ownership of a window that does not open");
         self.stats.events_processed += 1;
         let mut emitted = Vec::new();
 
@@ -411,11 +473,11 @@ impl Operator {
 
         // 2. Possibly open a new window at this event. The global window
         //    counter advances for every opened window; the window is only
-        //    materialised when this shard owns its id.
+        //    materialised when this shard owns it.
         if opens {
             let id = self.next_window_id;
             self.next_window_id += 1;
-            if id % self.shard_count == self.shard_index {
+            if owned {
                 let meta = WindowMeta {
                     id,
                     query: self.query_id,
@@ -524,6 +586,7 @@ impl Operator {
         self.peak_resident = 0;
         self.next_window_id = 0;
         self.opener.reset();
+        self.predictor_muted = false;
         self.stats = OperatorStats::default();
         let initial_size = self.query.window().expected_size().unwrap_or(100);
         self.prediction.reset_to(initial_size.max(1));
@@ -547,7 +610,9 @@ impl Operator {
         // The window was assigned every event appended since it opened.
         let assigned = (self.ring.next_slot() - window.start) as usize;
         self.stats.windows_closed += 1;
-        self.prediction.observe(assigned);
+        if !self.predictor_muted {
+            self.prediction.observe(assigned);
+        }
         decider.window_closed(&window.meta, assigned);
         let outcome = if window.dropped.is_empty() {
             // Nothing was dropped: the window's events are exactly the ring

@@ -822,6 +822,235 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Work stealing is output-invariant: routing window ownership through
+    /// the [`WindowBalancer`](crate::WindowBalancer) instead of the static
+    /// modulo emits **byte-identical** complex events, merged statistics
+    /// and aggregate shedder counters — for count- and time-based windows,
+    /// shards {1, 2, 4}, shedding on and off, and every chunk capacity of
+    /// the ingestion sweep. The partition may differ per shard; the union
+    /// never does.
+    #[test]
+    fn work_stealing_equals_static_modulo(
+        types in type_sequence(150),
+        window_size in 2usize..16,
+        slide in 1usize..6,
+        time_windows in prop::bool::ANY,
+        shed in prop::bool::ANY,
+        chunk_capacity in chunk_capacities(),
+    ) {
+        use crate::OwnershipPolicy;
+        use espice_events::SimDuration;
+
+        let window = if time_windows {
+            WindowSpec::time_on_types(
+                vec![EventType::from_index(0)],
+                SimDuration::from_secs(window_size as u64),
+            )
+        } else {
+            WindowSpec::count_sliding(window_size, slide)
+        };
+        let query = Query::builder()
+            .pattern(Pattern::sequence([EventType::from_index(0), EventType::from_index(1)]))
+            .window(window)
+            .build();
+        let stream = events_from(&types);
+
+        let totals = |deciders: &[ParityShed]| -> (u64, u64) {
+            (deciders.iter().map(|d| d.kept).sum(), deciders.iter().map(|d| d.dropped).sum())
+        };
+
+        for shards in [1usize, 2, 4] {
+            let mut fixed_engine = ShardedEngine::new(query.clone(), shards);
+            fixed_engine.set_chunk_capacity(chunk_capacity);
+            let mut fixed_deciders = vec![ParityShed::new(shed); shards];
+            let mut source = SliceSource::from_stream(&stream);
+            let fixed = fixed_engine.run_source(&mut source, &mut fixed_deciders);
+
+            let mut steal_engine = ShardedEngine::new(query.clone(), shards);
+            steal_engine.set_ownership_policy(OwnershipPolicy::StealAtOpen);
+            steal_engine.set_chunk_capacity(chunk_capacity);
+            let mut steal_deciders = vec![ParityShed::new(shed); shards];
+            let mut source = SliceSource::from_stream(&stream);
+            let stolen = steal_engine.run_source(&mut source, &mut steal_deciders);
+
+            prop_assert_eq!(&stolen, &fixed,
+                "stolen output diverged at {} shards, chunk {} (shed={}, time={})",
+                shards, chunk_capacity, shed, time_windows);
+            prop_assert_eq!(steal_engine.stats().merged, fixed_engine.stats().merged,
+                "stolen stats diverged at {} shards, chunk {}", shards, chunk_capacity);
+            // Every (window, position) pair is decided exactly once
+            // *somewhere*: the per-shard split moves, the sum cannot.
+            prop_assert_eq!(totals(&steal_deciders), totals(&fixed_deciders),
+                "aggregate shedder counters diverged at {} shards", shards);
+            // One shard owns everything either way.
+            if shards == 1 {
+                prop_assert_eq!(steal_engine.stolen_windows(), 0);
+            }
+        }
+    }
+
+    /// Work stealing on the fused multi-query path: identical per-query
+    /// complex events and per-query statistics, query sets with mixed open
+    /// policies, lifecycle churn included (a retirement and a mid-stream
+    /// admission must route their windows identically under both
+    /// ownership policies).
+    #[test]
+    fn work_stealing_is_invariant_under_multi_query_churn(
+        types in type_sequence(140),
+        retired_size in 3usize..14,
+        survivor_size in 2usize..12,
+        admitted_size in 2usize..12,
+        slide in 1usize..5,
+        admit_frac in 0.1f64..0.9,
+        retire_frac in 0.1f64..0.9,
+        shed in prop::bool::ANY,
+        chunk_capacity in chunk_capacities(),
+    ) {
+        use crate::OwnershipPolicy;
+
+        let retired_query = Query::builder()
+            .pattern(Pattern::sequence([EventType::from_index(0), EventType::from_index(1)]))
+            .window(WindowSpec::count_sliding(retired_size, slide))
+            .build();
+        let survivor_query = Query::builder()
+            .pattern(Pattern::sequence([EventType::from_index(0), EventType::from_index(1)]))
+            .window(WindowSpec::count_on_types(vec![EventType::from_index(0)], survivor_size))
+            .build();
+        let admitted_query = Query::builder()
+            .pattern(Pattern::sequence([EventType::from_index(0), EventType::from_index(1)]))
+            .window(WindowSpec::count_sliding(admitted_size, slide))
+            .build();
+        let stream = events_from(&types);
+        let admit_at = ((stream.len() as f64 * admit_frac) as u64).min(stream.len() as u64 - 1);
+        let retire_at = ((stream.len() as f64 * retire_frac) as u64).min(stream.len() as u64 - 1);
+        let set = crate::QuerySet::new(vec![retired_query, survivor_query]);
+        let boxed = |shed: bool| -> crate::BoxedDecider {
+            if shed { Box::new(DropEveryThird) } else { Box::new(KeepAll) }
+        };
+
+        for shards in [2usize, 4] {
+            let mut runs = Vec::new();
+            for steal in [false, true] {
+                let mut engine = ShardedEngine::for_queries(set.clone(), shards);
+                if steal {
+                    engine.set_ownership_policy(OwnershipPolicy::StealAtOpen);
+                }
+                engine.set_chunk_capacity(chunk_capacity);
+                let control = engine.control();
+                let handle = engine.query_handle(0).expect("slot 0 starts live");
+                control.retire_at(retire_at, handle);
+                control.admit_at(
+                    admit_at,
+                    admitted_query.clone(),
+                    (0..shards).map(|_| boxed(shed)).collect(),
+                );
+                let initial: Vec<crate::BoxedDecider> =
+                    (0..shards * set.len()).map(|_| boxed(shed)).collect();
+                let mut source = SliceSource::from_stream(&stream);
+                let outcome = engine.run_source_live(&mut source, initial);
+                runs.push((outcome.complex_events, engine.stats()));
+            }
+            let (fixed_events, fixed_stats) = &runs[0];
+            let (stolen_events, stolen_stats) = &runs[1];
+            prop_assert_eq!(stolen_events, fixed_events,
+                "churned stolen output diverged at {} shards, chunk {} (shed={})",
+                shards, chunk_capacity, shed);
+            prop_assert_eq!(&stolen_stats.per_query, &fixed_stats.per_query,
+                "churned per-query stats diverged at {} shards", shards);
+            prop_assert_eq!(&stolen_stats.merged, &fixed_stats.merged);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Chaos × work stealing: a shard that crashes while owning *stolen*
+    /// windows recovers byte-identically — the checkpointed ownership
+    /// table makes the replacement re-derive the exact same (possibly
+    /// stolen) ownership for every replayed open.
+    #[test]
+    fn chaos_recovery_with_work_stealing_is_byte_identical(
+        types in type_sequence(150),
+        window_size in 2usize..16,
+        slide in 1usize..6,
+        shed in prop::bool::ANY,
+        chunk_capacity in prop::sample::select(vec![1usize, 7, 64]),
+        seed in 0u64..u64::MAX,
+    ) {
+        use crate::{FaultKind, FaultPlan, OwnershipPolicy, ResilienceOptions, ShardStatus};
+
+        let query = Query::builder()
+            .pattern(Pattern::sequence([EventType::from_index(0), EventType::from_index(1)]))
+            .window(WindowSpec::count_sliding(window_size, slide))
+            .build();
+        let stream = events_from(&types);
+
+        for shards in [2usize, 4] {
+            // Fault-free stealing oracle, itself pinned against the static
+            // partition (both fault-free).
+            let mut fixed_engine = ShardedEngine::new(query.clone(), shards);
+            fixed_engine.set_chunk_capacity(chunk_capacity);
+            let mut source = SliceSource::from_stream(&stream);
+            let fixed = fixed_engine
+                .run_source_resilient(
+                    &mut source,
+                    vec![ParityShed::new(shed); shards],
+                    &ResilienceOptions::default(),
+                )
+                .unwrap();
+
+            let mut oracle_engine = ShardedEngine::new(query.clone(), shards);
+            oracle_engine.set_ownership_policy(OwnershipPolicy::StealAtOpen);
+            oracle_engine.set_chunk_capacity(chunk_capacity);
+            let mut source = SliceSource::from_stream(&stream);
+            let oracle = oracle_engine
+                .run_source_resilient(
+                    &mut source,
+                    vec![ParityShed::new(shed); shards],
+                    &ResilienceOptions::default(),
+                )
+                .unwrap();
+            prop_assert_eq!(&oracle.complex_events, &fixed.complex_events,
+                "fault-free stealing diverged from static at {} shards", shards);
+
+            let mut plan = FaultPlan::new();
+            for fault in FaultPlan::seeded(seed, shards, stream.len() as u64, chunk_capacity)
+                .faults()
+            {
+                if !matches!(fault, FaultKind::KillProducer { .. }) {
+                    plan = plan.with(fault.clone());
+                }
+            }
+            let options = ResilienceOptions { fault_plan: Some(plan), ..Default::default() };
+            let mut chaos_engine = ShardedEngine::new(query.clone(), shards);
+            chaos_engine.set_ownership_policy(OwnershipPolicy::StealAtOpen);
+            chaos_engine.set_chunk_capacity(chunk_capacity);
+            let mut source = SliceSource::from_stream(&stream);
+            let report = chaos_engine
+                .run_source_resilient(&mut source, vec![ParityShed::new(shed); shards], &options)
+                .unwrap();
+
+            prop_assert_eq!(&report.complex_events, &oracle.complex_events,
+                "recovered stolen output diverged at {} shards, chunk {}, seed {}",
+                shards, chunk_capacity, seed);
+            prop_assert_eq!(&report.deciders, &oracle.deciders,
+                "recovered decider state diverged at {} shards, chunk {}, seed {}",
+                shards, chunk_capacity, seed);
+            prop_assert_eq!(chaos_engine.stats().merged, oracle_engine.stats().merged,
+                "recovered stats diverged at {} shards, chunk {}, seed {}",
+                shards, chunk_capacity, seed);
+            for status in &report.shard_status {
+                prop_assert!(!matches!(status, ShardStatus::Failed(_)),
+                    "no shard may exhaust its restart budget under a seeded plan: {:?}", status);
+            }
+        }
+    }
+}
+
+proptest! {
     // Stall detection burns its deadline per case; a handful of sweeps
     // over shard/position placement is enough on top of the deterministic
     // unit test.

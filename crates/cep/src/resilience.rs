@@ -28,10 +28,13 @@
 //!
 //! Window-open decisions are a pure function of the stream, and windows are
 //! hash-partitioned by a per-slot id counter that advances deterministically
-//! with the stream. At every chunk boundary `b` the drain loop flushes its
-//! emissions to a shard monitor together with a checkpoint (open-tracker
-//! slide state + per-slot window-id counters) and the boundary's *low-water
-//! mark* `low(b)` — the stream position of the oldest event any still-open
+//! with the stream — or, under [`OwnershipPolicy::StealAtOpen`], routed by a
+//! window balancer whose assignments are an equally pure function of the
+//! stream, so the same argument covers stolen windows. At every chunk
+//! boundary `b` the drain loop flushes its emissions to a shard monitor
+//! together with a checkpoint (open-tracker slide state, per-slot window-id
+//! counters, the window-ownership table, and per-slot snapshots of the
+//! shared size predictor) and the boundary's *low-water mark* `low(b)` — the stream position of the oldest event any still-open
 //! window starts at. Checkpoints below the current low-water mark are
 //! pruned, so the oldest retained checkpoint position `R̂` always satisfies
 //! `R̂ ≤ low(b)` for the latest flushed boundary `b = c`. A replacement
@@ -51,12 +54,22 @@
 //! The byte-identity guarantee is scoped to deciders whose decisions are a
 //! function of `(window id, position, event, predicted size)` with
 //! count-based windows (exact predicted size) — the same scope every other
-//! shard-invariance guarantee in this crate has. Time-based windows share a
-//! size predictor that observes replayed closes twice, so their predictions
-//! (and only their predictions) can drift after a recovery; queue samples
-//! report the replacement's own clocks. Mid-stream lifecycle
-//! (admit/retire) is containment-only for now: recovery requires the
-//! static query set.
+//! shard-invariance guarantee in this crate has. On time-based windows the
+//! [`SharedSizePredictor`] is rewound to the snapshot of the *newest*
+//! flushed checkpoint (the swap boundary `c`) and the replacement's own
+//! observations are muted for the replayed span — every close at or below
+//! `c` already fed the estimator once, and rewinding further back would
+//! lose the closes of windows the replay never re-opens. A single-shard
+//! recovery therefore ends with exactly the fault-free observation count.
+//! With *multiple* shards the rewind also discards observations other live
+//! shards contributed after boundary `c`, so shared predictions on time
+//! windows keep their existing thread-timing sensitivity, nothing worse;
+//! queue samples report the replacement's own clocks. Mid-stream lifecycle
+//! (admit/retire) is
+//! containment-only for now: recovery requires the static query set.
+//!
+//! [`OwnershipPolicy::StealAtOpen`]: crate::OwnershipPolicy::StealAtOpen
+//! [`SharedSizePredictor`]: crate::SharedSizePredictor
 
 use crate::arena::{ChunkBuilder, EventChunk};
 use crate::engine::{merge_outputs, ConfigError, ShardedEngine};
@@ -394,6 +407,9 @@ impl<D: WindowEventDecider + Clone> ShardDriver<D> {
         if self.phase_a.as_ref().is_some_and(|phase| self.position >= phase.swap_at) {
             let phase = self.phase_a.take().expect("checked above");
             self.shard.overwrite_slot_counters(&phase.stats, &phase.peaks, phase.swap_at);
+            // Closes past the boundary are new work the crashed incarnation
+            // never observed: resume feeding the shared size predictor.
+            self.shard.set_shared_predictor_muted(false);
         }
     }
 
@@ -1020,8 +1036,16 @@ where
 {
     let events = chunk.len() as u64;
     retained.push_back(Arc::clone(&chunk));
+    // Restart generations before this delivery. Handling one shard's death
+    // below (`wait_for_death`) absorbs every completion that has already
+    // arrived — including another shard's simultaneous panic, whose
+    // replacement is spawned with a replay of the retained log, which
+    // already contains *this* chunk. Pushing the chunk into that fresh
+    // queue as the loop continues would deliver it twice; skipping seats
+    // whose generation advanced keeps replay and live delivery disjoint.
+    let generations: Vec<u32> = seats.iter().map(|seat| seat.restarts).collect();
     for index in 0..seats.len() {
-        if !seats[index].running {
+        if !seats[index].running || seats[index].restarts != generations[index] {
             continue;
         }
         let mut item = Arc::clone(&chunk);
@@ -1178,21 +1202,50 @@ where
             // Build the replacement: restore the replay checkpoint R̂,
             // phase A runs pristine decider clones up to the last flushed
             // boundary c, where the c-state snapshot takes over.
-            let (checkpoint, latest) = {
+            let (checkpoint, rewind, latest) = {
                 let mut state = seat.monitor.lock();
+                // The shared size predictor rewinds to the *newest* flushed
+                // boundary's snapshot, not the replay checkpoint's: windows
+                // that opened before the replay checkpoint but closed before
+                // that boundary are never re-opened by the replay (their
+                // output is watermark-deduped), so rewinding further back
+                // would lose their observations for good. The replayed span
+                // itself is muted instead — see `Shard::set_shared_predictor_muted`.
+                let rewind = state
+                    .checkpoints
+                    .back()
+                    .expect("monitor seeded with a checkpoint")
+                    .predictor_snapshots()
+                    .to_vec();
                 state.checkpoints.truncate(1);
                 let checkpoint =
                     state.checkpoints.front().expect("monitor seeded with a checkpoint").clone();
-                (checkpoint, state.latest.clone())
+                (checkpoint, rewind, state.latest.clone())
             };
             let replay: Vec<Arc<EventChunk>> = retained
                 .iter()
                 .filter(|chunk| chunk.base() >= checkpoint.position)
                 .cloned()
                 .collect();
+            // Checkpoints are cut at chunk boundaries, so the replay must
+            // anchor exactly at the checkpoint: its first chunk covers the
+            // checkpoint position at offset 0 (sequence-stamped chunks are
+            // the cursor — see `EventChunk::offset_of`).
+            if let Some(first) = replay.first() {
+                debug_assert_eq!(
+                    first.offset_of(checkpoint.position),
+                    Some(0),
+                    "replay does not anchor at the restored checkpoint"
+                );
+            }
             seat.replayed_chunks += replay.len() as u64;
             let mut shard = engine.fresh_shard(index, shard_count);
             shard.restore_checkpoint(&checkpoint);
+            shard.restore_predictors(&rewind);
+            // Every close the replay re-derives up to the swap boundary was
+            // already observed by the crashed incarnation; stay muted until
+            // `maybe_swap` hands the counters over.
+            shard.set_shared_predictor_muted(true);
             let phase_a = Some(PhaseA {
                 deciders: seat.pristine.clone(),
                 swap_at: latest.position,
@@ -1250,8 +1303,9 @@ fn check_watchdog<D>(seats: &mut [Seat<D>], stall_deadline: Duration) -> Result<
 mod tests {
     use super::*;
     use crate::faults::FaultKind;
+    use crate::window::OwnershipPolicy;
     use crate::{Decision, Pattern, Query, WindowMeta, WindowSpec};
-    use espice_events::{Event, EventType, SliceSource, Timestamp, VecStream};
+    use espice_events::{Event, EventType, SimDuration, SliceSource, Timestamp, VecStream};
 
     /// A stateless-decision decider with state: the keep/drop choice is a
     /// pure function of `(window id, position)` — so a pristine clone
@@ -1432,6 +1486,68 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn recovery_rewinds_the_shared_size_predictor() {
+        // Time-based windows: the shared size predictor is the one piece of
+        // cross-shard prediction state, and it must observe each close
+        // exactly once even when recovery replays those closes. With a
+        // single shard there is no concurrent contributor, so the
+        // post-recovery observation count must equal the fault-free one.
+        let run = |plan: Option<FaultPlan>| {
+            let query = Query::builder()
+                .pattern(Pattern::sequence([EventType::from_index(0), EventType::from_index(1)]))
+                .window(WindowSpec::time_on_types(
+                    vec![EventType::from_index(0)],
+                    SimDuration::from_secs(9),
+                ))
+                .build();
+            let mut e = ShardedEngine::new(query, 1);
+            e.set_chunk_capacity(5);
+            let events = stream(200);
+            let mut source = SliceSource::from_stream(&events);
+            let options = ResilienceOptions { fault_plan: plan, ..Default::default() };
+            let report =
+                e.run_source_resilient(&mut source, vec![ParityShed::new(3)], &options).unwrap();
+            let closed = e.stats().merged.windows_closed;
+            (report.complex_events, e.shared_size_predictor().observations(), closed)
+        };
+        let (oracle_out, oracle_observations, oracle_closed) = run(None);
+        assert_eq!(oracle_observations, oracle_closed, "fault-free closes observed once each");
+        let plan = FaultPlan::new().with(FaultKind::PanicShard { shard: 0, at_position: 100 });
+        let (out, observations, closed) = run(Some(plan));
+        assert_eq!(out, oracle_out);
+        assert_eq!(closed, oracle_closed);
+        assert_eq!(observations, oracle_observations, "replayed closes were observed twice");
+    }
+
+    #[test]
+    fn recovery_replays_stolen_windows_on_the_right_shard() {
+        // The checkpoint carries the ownership table, so a replacement
+        // re-routes replayed opens exactly as the crashed incarnation did.
+        let shards = 4;
+        let run = |plan: Option<FaultPlan>| {
+            let mut e = engine(shards, 7);
+            e.set_ownership_policy(OwnershipPolicy::StealAtOpen);
+            let deciders = vec![ParityShed::new(3); shards];
+            let events = stream(240);
+            let mut source = SliceSource::from_stream(&events);
+            let options = ResilienceOptions { fault_plan: plan, ..Default::default() };
+            let report = e.run_source_resilient(&mut source, deciders, &options).unwrap();
+            (report, e.stolen_windows())
+        };
+        let (oracle, oracle_stolen) = run(None);
+        assert!(oracle_stolen > 0, "the workload must exercise stealing");
+        // Stealing only re-partitions windows; the merged output equals the
+        // static-ownership run of the same stream.
+        let static_oracle = resilient_run(shards, 7, 240, &ResilienceOptions::default()).unwrap();
+        assert_eq!(oracle.complex_events, static_oracle.complex_events);
+
+        let plan = FaultPlan::new().with(FaultKind::PanicShard { shard: 2, at_position: 140 });
+        let (report, _) = run(Some(plan));
+        assert_eq!(report.complex_events, oracle.complex_events);
+        assert!(report.recovered());
     }
 
     #[test]

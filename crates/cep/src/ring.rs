@@ -11,8 +11,10 @@
 //!
 //! Shedding decisions are per (event, window): an event can be dropped from
 //! one window and kept in another. The ring therefore stores every assigned
-//! event and each window records *its own* drops in a [`DropSet`] — a sorted
-//! list of dropped positions that is merged away when the window closes.
+//! event and each window records *its own* drops in a [`DropSet`] — an
+//! adaptive set of dropped positions (sorted list under light shedding, one
+//! bit per position under heavy shedding) that is merged away when the
+//! window closes.
 //!
 //! The pruning invariant: the ring retains exactly the slots at or above the
 //! oldest open window's start (everything below can no longer be referenced,
@@ -132,52 +134,190 @@ impl EventRing {
     }
 }
 
-/// The positions a single window dropped, as a sorted list.
+/// Minimum recorded drops before the adaptive [`DropSet`] considers
+/// switching to the bitset representation: below this the sorted list is
+/// always at least as small, and the conversion cost cannot amortise.
+const BITSET_MIN_DROPS: usize = 64;
+
+/// Reciprocal of the drop-ratio crossover: the adaptive set converts once
+/// `drops ≥ assigned / BITSET_CROSSOVER_DIVISOR`, i.e. at a ~25% drop
+/// ratio, where one bit per assigned position beats one `u32` per drop in
+/// both footprint and iteration cost (measured by the `window_overlap`
+/// bench; see `dropset_crossover_percent` in BENCH_overlap.json).
+const BITSET_CROSSOVER_DIVISOR: usize = 4;
+
+/// The concrete storage behind a [`DropSet`].
+#[derive(Debug, Clone)]
+enum Repr {
+    /// Sorted list of dropped positions — O(dropped) space and iteration,
+    /// free when shedding is off (the common case).
+    Sorted(Vec<u32>),
+    /// One bit per window position up to the highest drop — smaller and
+    /// faster to merge above the measured ~25% drop-ratio crossover.
+    Bitset {
+        /// 64 positions per word; bit `p % 64` of word `p / 64` marks
+        /// position `p` as dropped.
+        words: Vec<u64>,
+        /// Number of set bits (maintained incrementally).
+        len: usize,
+    },
+}
+
+/// The positions a single window dropped, with an adaptive representation.
 ///
-/// Positions are appended in arrival order, so the list is sorted by
-/// construction and closing a window is a linear merge of the ring slice
-/// with this list. The sorted list was chosen over a per-window bitset
-/// because it costs nothing when shedding is off — the common case — and
-/// its iteration is O(dropped) rather than O(assigned); a bitset becomes
-/// smaller above a ~25% drop ratio (one u32 per drop vs one bit per
-/// assigned slot), and benching that crossover to switch representations
-/// adaptively is an open ROADMAP item.
-#[derive(Debug, Default, Clone)]
+/// Positions are recorded in arrival order, so the initial sorted-list
+/// representation is sorted by construction and closing a window is a
+/// linear merge of the ring slice with this list; it costs nothing when
+/// shedding is off — the common case — and iterates in O(dropped). Under
+/// heavy shedding one `u32` per drop loses to one *bit* per assigned
+/// position: past a minimum drop count (64) **and** the measured ~25%
+/// drop-ratio crossover (see BENCH_overlap.json) the set converts itself
+/// to a bitset. The `pinned_*` constructors freeze either representation
+/// for benchmarking the crossover itself.
+#[derive(Debug, Clone)]
 pub struct DropSet {
-    positions: Vec<u32>,
+    repr: Repr,
+    /// Whether `push` may switch representations (pinned sets never do).
+    adaptive: bool,
+}
+
+impl Default for DropSet {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl DropSet {
-    /// An empty drop set.
+    /// An empty adaptive drop set (sorted list until the crossover).
     pub fn new() -> Self {
-        DropSet { positions: Vec::new() }
+        DropSet { repr: Repr::Sorted(Vec::new()), adaptive: true }
+    }
+
+    /// An empty drop set pinned to the sorted-list representation — it
+    /// never converts, regardless of density (crossover benchmarking).
+    pub fn pinned_sorted() -> Self {
+        DropSet { repr: Repr::Sorted(Vec::new()), adaptive: false }
+    }
+
+    /// An empty drop set pinned to the bitset representation from the
+    /// first push (crossover benchmarking).
+    pub fn pinned_bitset() -> Self {
+        DropSet { repr: Repr::Bitset { words: Vec::new(), len: 0 }, adaptive: false }
+    }
+
+    /// Whether the set currently uses the bitset representation.
+    pub fn is_bitset(&self) -> bool {
+        matches!(self.repr, Repr::Bitset { .. })
     }
 
     /// Records that `position` was dropped. Positions must be recorded in
-    /// increasing order (they arrive in arrival order).
+    /// increasing order (they arrive in arrival order). An adaptive set
+    /// converts to the bitset here once the drop ratio `len / (position +
+    /// 1)` crosses the measured threshold.
     pub fn push(&mut self, position: usize) {
         let position = u32::try_from(position).expect("window positions fit in u32");
-        debug_assert!(
-            self.positions.last().is_none_or(|&last| last < position),
-            "drop positions must be recorded in increasing order"
-        );
-        self.positions.push(position);
+        match &mut self.repr {
+            Repr::Sorted(positions) => {
+                debug_assert!(
+                    positions.last().is_none_or(|&last| last < position),
+                    "drop positions must be recorded in increasing order"
+                );
+                positions.push(position);
+                // `position + 1` bounds the assigned count from below, so
+                // this triggers at the true drop ratio or denser.
+                if self.adaptive
+                    && positions.len() >= BITSET_MIN_DROPS
+                    && positions.len() * BITSET_CROSSOVER_DIVISOR > position as usize
+                {
+                    let mut words = vec![0u64; position as usize / 64 + 1];
+                    for &p in positions.iter() {
+                        words[p as usize / 64] |= 1 << (p % 64);
+                    }
+                    self.repr = Repr::Bitset { words, len: positions.len() };
+                }
+            }
+            Repr::Bitset { words, len } => {
+                let word = position as usize / 64;
+                if word >= words.len() {
+                    words.resize(word + 1, 0);
+                }
+                let bit = 1u64 << (position % 64);
+                debug_assert!(
+                    words[word] & bit == 0,
+                    "drop positions must be recorded in increasing order"
+                );
+                words[word] |= bit;
+                *len += 1;
+            }
+        }
     }
 
     /// Number of dropped positions.
     pub fn len(&self) -> usize {
-        self.positions.len()
+        match &self.repr {
+            Repr::Sorted(positions) => positions.len(),
+            Repr::Bitset { len, .. } => *len,
+        }
     }
 
     /// Whether nothing was dropped.
-    #[allow(dead_code)] // API completeness next to `len`; used in tests.
     pub fn is_empty(&self) -> bool {
-        self.positions.is_empty()
+        self.len() == 0
     }
 
-    /// The dropped positions in increasing order.
-    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
-        self.positions.iter().copied()
+    /// The dropped positions in increasing order (either representation
+    /// iterates ascending).
+    pub fn iter(&self) -> DropIter<'_> {
+        DropIter {
+            inner: match &self.repr {
+                Repr::Sorted(positions) => IterRepr::Sorted(positions.iter()),
+                Repr::Bitset { words, .. } => IterRepr::Bitset {
+                    words,
+                    word_index: 0,
+                    current: words.first().copied().unwrap_or(0),
+                },
+            },
+        }
+    }
+}
+
+/// Iterator over a [`DropSet`]'s positions in increasing order.
+#[derive(Debug)]
+pub struct DropIter<'a> {
+    inner: IterRepr<'a>,
+}
+
+#[derive(Debug)]
+enum IterRepr<'a> {
+    Sorted(std::slice::Iter<'a, u32>),
+    Bitset {
+        words: &'a [u64],
+        /// Index of the word `current` was loaded from.
+        word_index: usize,
+        /// Remaining bits of the current word (consumed low to high).
+        current: u64,
+    },
+}
+
+impl Iterator for DropIter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        match &mut self.inner {
+            IterRepr::Sorted(iter) => iter.next().copied(),
+            IterRepr::Bitset { words, word_index, current } => loop {
+                if *current != 0 {
+                    let bit = current.trailing_zeros();
+                    *current &= *current - 1;
+                    return Some(*word_index as u32 * 64 + bit);
+                }
+                *word_index += 1;
+                if *word_index >= words.len() {
+                    return None;
+                }
+                *current = words[*word_index];
+            },
+        }
     }
 }
 
@@ -276,5 +416,63 @@ mod tests {
         drops.push(9);
         assert_eq!(drops.len(), 3);
         assert_eq!(drops.iter().collect::<Vec<_>>(), vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn sparse_drop_set_stays_sorted() {
+        // Plenty of drops, but density stays well under the crossover.
+        let mut drops = DropSet::new();
+        for i in 0..200 {
+            drops.push(i * 10);
+        }
+        assert!(!drops.is_bitset());
+        assert_eq!(drops.len(), 200);
+    }
+
+    #[test]
+    fn dense_drop_set_converts_to_bitset() {
+        let mut drops = DropSet::new();
+        // Drop every other position: 50% density crosses the ~25%
+        // threshold as soon as the minimum drop count is reached.
+        for i in 0..(2 * BITSET_MIN_DROPS) {
+            drops.push(2 * i);
+        }
+        assert!(drops.is_bitset());
+        assert_eq!(drops.len(), 2 * BITSET_MIN_DROPS);
+        let expected: Vec<u32> = (0..2 * BITSET_MIN_DROPS as u32).map(|i| 2 * i).collect();
+        assert_eq!(drops.iter().collect::<Vec<_>>(), expected);
+    }
+
+    #[test]
+    fn both_representations_agree_after_conversion() {
+        let mut adaptive = DropSet::new();
+        let mut sorted = DropSet::pinned_sorted();
+        let mut bitset = DropSet::pinned_bitset();
+        // Dense prefix (forces the adaptive conversion), sparse tail.
+        let positions: Vec<usize> = (0..100).chain((100..2000).filter(|p| p % 13 == 0)).collect();
+        for &p in &positions {
+            adaptive.push(p);
+            sorted.push(p);
+            bitset.push(p);
+        }
+        assert!(adaptive.is_bitset());
+        assert!(!sorted.is_bitset());
+        assert!(bitset.is_bitset());
+        let expected: Vec<u32> = positions.iter().map(|&p| p as u32).collect();
+        assert_eq!(adaptive.iter().collect::<Vec<_>>(), expected);
+        assert_eq!(sorted.iter().collect::<Vec<_>>(), expected);
+        assert_eq!(bitset.iter().collect::<Vec<_>>(), expected);
+        assert_eq!(adaptive.len(), positions.len());
+        assert_eq!(bitset.len(), positions.len());
+    }
+
+    #[test]
+    fn pinned_sorted_never_converts() {
+        let mut drops = DropSet::pinned_sorted();
+        for i in 0..1000 {
+            drops.push(i);
+        }
+        assert!(!drops.is_bitset());
+        assert_eq!(drops.iter().collect::<Vec<_>>(), (0..1000).collect::<Vec<_>>());
     }
 }

@@ -47,7 +47,9 @@ use crate::faults::ArmedFaults;
 use crate::lifecycle::{ShardCommand, ShardInput};
 use crate::queue::{Backoff, QueueConsumer};
 use crate::shedding::QueueSample;
-use crate::window::{OpenTracker, SharedSizePredictor, WindowId};
+use crate::window::{
+    OpenTracker, OwnershipPolicy, SharedSizePredictor, WindowBalancer, WindowExtent, WindowId,
+};
 use crate::{
     BoxedDecider, ComplexEvent, Operator, OperatorStats, Query, QueryId, QuerySet,
     WindowEventDecider,
@@ -184,7 +186,25 @@ pub struct Shard {
     /// freeze at retirement, so this is the only counter that keeps
     /// counting once every slot has retired mid-run.
     events_seen: u64,
+    /// The dynamic ownership table, present iff the shard runs
+    /// [`OwnershipPolicy::StealAtOpen`]. `None` is the static-modulo
+    /// default: the operators derive ownership themselves and the fused
+    /// pass pays nothing for the feature.
+    balancer: Option<WindowBalancer>,
+    /// The engine's window-size hint, mirrored here so the balancer's
+    /// projected window cost matches the predictors' seed for time-based
+    /// extents (identical on every shard — the engine applies one hint).
+    size_hint: Option<usize>,
+    /// Windows this shard materialised that the static partition would
+    /// have placed elsewhere (always 0 under static modulo).
+    stolen: u64,
 }
+
+/// Projected size of a window whose extent is time-based and for which no
+/// engine-level hint was supplied. Mirrors the operators' and the engine's
+/// predictor seed so the balancer's cost model agrees with
+/// `QueueSample::predicted_window_size` before any window has closed.
+const FALLBACK_SIZE_HINT: usize = 100;
 
 impl Shard {
     /// Creates shard `index` of `count` for a single `query`.
@@ -225,7 +245,88 @@ impl Shard {
             })
             .collect();
         let opens = vec![false; openers.len()];
-        Shard { slots, openers, open_group, opens, index, count, events_seen: 0 }
+        Shard {
+            slots,
+            openers,
+            open_group,
+            opens,
+            index,
+            count,
+            events_seen: 0,
+            balancer: None,
+            size_hint: None,
+            stolen: 0,
+        }
+    }
+
+    /// Selects how this shard assigns newly opened windows
+    /// ([`OwnershipPolicy::StaticModulo`] is the construction default).
+    /// Every shard of an engine must run the same policy, installed before
+    /// the first event; the engine applies it at build time.
+    ///
+    /// # The load signal, and why it is coordination-free
+    ///
+    /// [`OwnershipPolicy::StealAtOpen`] routes every opening
+    /// `(query, window)` pair to the shard with the least *outstanding
+    /// projected work*. The signal is the deterministic projection of the
+    /// same per-shard quantities the drain loop already measures into
+    /// [`QueueSample`]s:
+    ///
+    /// * `QueueSample::predicted_window_size` — the per-slot projected
+    ///   event span of a window — is exactly the cost the balancer charges
+    ///   for each assignment: the query's `expected_size()` for count
+    ///   extents, the engine's window-size hint (the predictors' seed,
+    ///   mirrored via [`set_window_size_hint`](Self::set_window_size_hint))
+    ///   for time extents.
+    /// * The sample's `depth` / `busy` / `drained`-vs-`kept` deltas
+    ///   describe how much granted work a shard still has in flight; the
+    ///   balancer's per-shard load — the sum of the remaining projected
+    ///   spans of its live ownership entries, retired as the stream passes
+    ///   their projected close — is the same quantity, *projected forward
+    ///   from the open positions* instead of measured after the fact.
+    ///
+    /// The measured samples themselves cannot feed the decision: each
+    /// shard samples its own queue at its own wall-clock cadence, so two
+    /// shards consulting live measurements would compute different
+    /// assignments and a window would be materialised twice or not at all.
+    /// By deriving the signal purely from `(open position, timestamp, size
+    /// hint)` — all pure functions of the shared stream — every shard's
+    /// private [`WindowBalancer`] clone computes the identical ownership
+    /// table in lockstep, with **no cross-shard communication on the hot
+    /// path**. [`OpenTracker`] decisions stay shared exactly as before;
+    /// only the owner of each window changes. Merged output is
+    /// byte-identical to static ownership because any single-owner
+    /// partition of the deterministic window-id space merges back into
+    /// single-operator order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard has already processed events (the table is
+    /// seeded from stream position 0; switching mid-run would diverge
+    /// ownership across shards).
+    pub fn set_ownership_policy(&mut self, policy: OwnershipPolicy) {
+        assert_eq!(self.events_seen, 0, "ownership policy must be set before the first event");
+        self.balancer = match policy {
+            OwnershipPolicy::StaticModulo => None,
+            OwnershipPolicy::StealAtOpen => Some(WindowBalancer::new(self.count)),
+        };
+        self.stolen = 0;
+    }
+
+    /// The ownership policy this shard runs.
+    pub fn ownership_policy(&self) -> OwnershipPolicy {
+        if self.balancer.is_some() {
+            OwnershipPolicy::StealAtOpen
+        } else {
+            OwnershipPolicy::StaticModulo
+        }
+    }
+
+    /// Windows this shard materialised that static modulo would have
+    /// placed on another shard. Always 0 under
+    /// [`OwnershipPolicy::StaticModulo`].
+    pub fn stolen_windows(&self) -> u64 {
+        self.stolen
     }
 
     /// This shard's index within the engine.
@@ -305,8 +406,11 @@ impl Shard {
     }
 
     /// Seeds every live operator's window-size prediction (relevant for
-    /// time-based, variable-size windows).
+    /// time-based, variable-size windows). The hint is mirrored into the
+    /// balancer's cost model so projected window spans match the
+    /// predictors' seed.
     pub fn set_window_size_hint(&mut self, hint: usize) {
+        self.size_hint = Some(hint.max(1));
         for slot in &mut self.slots {
             if let SlotRuntime::Live { operator, .. } = slot {
                 operator.set_window_size_hint(hint);
@@ -345,18 +449,57 @@ impl Shard {
         row: &mut R,
         outputs: &mut [Vec<ComplexEvent>],
     ) {
+        // Stream position of this event (0-based). Every shard scans the
+        // full stream, so this equals the producer-counted position — the
+        // coordinate the ownership table is seeded from.
+        let position = self.events_seen;
         self.events_seen += 1;
         for (tracker, open) in self.openers.iter_mut().zip(self.opens.iter_mut()) {
             *open = tracker.should_open(event);
         }
         let opens = &self.opens;
         let groups = &self.open_group;
+        let mut balancer = self.balancer.as_mut();
+        let size_hint = self.size_hint;
+        let index = self.index;
         for (slot, state) in self.slots.iter_mut().enumerate() {
             let finished = match state {
                 SlotRuntime::Live { operator, draining } => {
                     let decider = row.get(slot).expect("live slot without a decider");
                     let open = !*draining && opens[groups[slot]];
-                    outputs[slot].extend(operator.push_opened(event, open, decider));
+                    let emitted = match balancer.as_deref_mut() {
+                        // Static modulo: the operator derives ownership
+                        // itself — the zero-cost default path.
+                        None => operator.push_opened(event, open, decider),
+                        // Steal-at-open: consult the ownership table for
+                        // every opening window, in slot order — identical
+                        // consult sequence and inputs on every shard, so
+                        // the tables stay in lockstep.
+                        Some(balancer) => {
+                            let owned = open && {
+                                let window = operator.query().window();
+                                let hint = window
+                                    .expected_size()
+                                    .or(size_hint)
+                                    .unwrap_or(FALLBACK_SIZE_HINT);
+                                let close_ts = match window.extent() {
+                                    WindowExtent::Time(dur) => Some(event.timestamp() + dur),
+                                    WindowExtent::Count(_) => None,
+                                };
+                                let owner =
+                                    balancer.assign(position, event.timestamp(), hint, close_ts);
+                                owner == index
+                            };
+                            if owned
+                                && operator.next_window_id() % self.count as u64
+                                    != self.index as u64
+                            {
+                                self.stolen += 1;
+                            }
+                            operator.push_routed(event, open, owned, decider)
+                        }
+                    };
+                    outputs[slot].extend(emitted);
                     *draining && operator.open_windows() == 0
                 }
                 SlotRuntime::Retired { .. } => false,
@@ -840,6 +983,10 @@ impl Shard {
         for opener in &mut self.openers {
             opener.reset();
         }
+        if let Some(balancer) = &mut self.balancer {
+            balancer.reset();
+        }
+        self.stolen = 0;
         self.events_seen = 0;
     }
 
@@ -855,17 +1002,27 @@ impl Shard {
     ///
     /// Static-path only: every slot must be live.
     pub(crate) fn cut_checkpoint(&self, position: u64) -> ShardCheckpoint {
-        let next_window_ids = self
-            .slots
-            .iter()
-            .map(|slot| match slot {
-                SlotRuntime::Live { operator, .. } => operator.next_window_id(),
+        let mut next_window_ids = Vec::with_capacity(self.slots.len());
+        let mut predictors = Vec::with_capacity(self.slots.len());
+        for slot in &self.slots {
+            match slot {
+                SlotRuntime::Live { operator, .. } => {
+                    next_window_ids.push(operator.next_window_id());
+                    predictors.push(operator.predictor_snapshot());
+                }
                 // The resilient path rejects engines with retired slots up
                 // front, so checkpoints only ever see live rows.
                 SlotRuntime::Retired { .. } => unreachable!("checkpoint on a retired slot"),
-            })
-            .collect();
-        ShardCheckpoint { position, openers: self.openers.clone(), next_window_ids }
+            }
+        }
+        ShardCheckpoint {
+            position,
+            openers: self.openers.clone(),
+            next_window_ids,
+            balancer: self.balancer.clone(),
+            predictors,
+            stolen: self.stolen,
+        }
     }
 
     /// Stream position of the oldest event any live slot's open window still
@@ -895,6 +1052,11 @@ impl Shard {
         );
         self.openers = checkpoint.openers.clone();
         self.opens = vec![false; self.openers.len()];
+        // The ownership table and steal counter resume exactly where the
+        // checkpoint was cut: a replayed open must route to the same shard
+        // it routed to the first time.
+        self.balancer = checkpoint.balancer.clone();
+        self.stolen = checkpoint.stolen;
         for (slot, next_id) in self.slots.iter_mut().zip(&checkpoint.next_window_ids) {
             match slot {
                 SlotRuntime::Live { operator, .. } => {
@@ -904,6 +1066,35 @@ impl Shard {
             }
         }
         self.events_seen = checkpoint.position;
+    }
+
+    /// Rewinds every slot's engine-shared size predictor to a snapshot cut
+    /// by [`cut_checkpoint`](Self::cut_checkpoint) (no-op for local
+    /// predictors). Recovery rewinds to the crashed incarnation's *last
+    /// flushed boundary* — not the replay checkpoint — because windows that
+    /// opened before the replay checkpoint but closed before the boundary
+    /// are never re-opened by the replay, so an earlier rewind would lose
+    /// their observations for good.
+    pub(crate) fn restore_predictors(&self, snapshots: &[Option<(u64, u64)>]) {
+        for (slot, snapshot) in self.slots.iter().zip(snapshots) {
+            match slot {
+                SlotRuntime::Live { operator, .. } => operator.restore_predictor(*snapshot),
+                SlotRuntime::Retired { .. } => unreachable!("restore into a retired slot"),
+            }
+        }
+    }
+
+    /// Mutes (or unmutes) every slot's size-predictor observation on window
+    /// close. A replayed replacement stays muted until it reaches the
+    /// crashed incarnation's last flushed boundary: every close in the
+    /// replayed span already fed the shared predictor once.
+    pub(crate) fn set_shared_predictor_muted(&mut self, muted: bool) {
+        for slot in &mut self.slots {
+            match slot {
+                SlotRuntime::Live { operator, .. } => operator.set_predictor_muted(muted),
+                SlotRuntime::Retired { .. } => unreachable!("mute of a retired slot"),
+            }
+        }
     }
 
     /// Snapshot of every live slot's run counters and ring peak, cut at a
@@ -956,6 +1147,27 @@ pub(crate) struct ShardCheckpoint {
     pub(crate) position: u64,
     openers: Vec<OpenTracker>,
     next_window_ids: Vec<WindowId>,
+    /// The ownership table at the boundary (dynamic policies only): a
+    /// replacement must route every replayed open to the shard it was
+    /// routed to the first time, so stolen windows recover on the right
+    /// shard.
+    balancer: Option<WindowBalancer>,
+    /// Per-slot shared size-predictor accumulators at the boundary
+    /// (`None` for local predictors). Recovery rewinds the shared estimator
+    /// to the *last flushed* checkpoint's snapshot and mutes the
+    /// replacement's observations until the replay reaches that boundary,
+    /// so replayed closes are observed exactly once.
+    predictors: Vec<Option<(u64, u64)>>,
+    /// Steal counter at the boundary.
+    stolen: u64,
+}
+
+impl ShardCheckpoint {
+    /// The per-slot shared size-predictor snapshots this checkpoint carries,
+    /// for [`Shard::restore_predictors`].
+    pub(crate) fn predictor_snapshots(&self) -> &[Option<(u64, u64)>] {
+        &self.predictors
+    }
 }
 
 #[cfg(test)]
@@ -995,6 +1207,65 @@ mod tests {
         assert_eq!(shard.index(), 1);
         assert_eq!(shard.stats().windows_opened, 1);
         assert!(complex.iter().all(|c| c.window_id() == 1));
+    }
+
+    #[test]
+    fn stealing_shards_partition_windows_exactly_once() {
+        // Every shard consults its private balancer clone in lockstep, so
+        // the union across shards must be exactly the single-operator
+        // window set — each window materialised once, ids unchanged.
+        let events: Vec<Event> =
+            (0..120).map(|i| ev(if i % 3 == 0 { 0 } else { 1 }, i, i)).collect();
+        let mut single = Shard::new(query(), 0, 1);
+        let expected = single.run_events(&events, &mut KeepAll);
+
+        let mut merged = Vec::new();
+        let mut opened = 0;
+        let mut stolen = 0;
+        for index in 0..3 {
+            let mut shard = Shard::new(query(), index, 3);
+            shard.set_ownership_policy(OwnershipPolicy::StealAtOpen);
+            assert_eq!(shard.ownership_policy(), OwnershipPolicy::StealAtOpen);
+            merged.extend(shard.run_events(&events, &mut KeepAll));
+            opened += shard.stats().windows_opened;
+            stolen += shard.stolen_windows();
+        }
+        merged.sort_by_key(|c| c.window_id());
+        assert_eq!(merged, expected);
+        assert_eq!(opened, single.stats().windows_opened);
+        assert!(stolen > 0, "the hashed rotation must displace some windows");
+    }
+
+    #[test]
+    fn static_policy_never_counts_steals() {
+        let events: Vec<Event> =
+            (0..60).map(|i| ev(if i % 3 == 0 { 0 } else { 1 }, i, i)).collect();
+        let mut shard = Shard::new(query(), 1, 2);
+        assert_eq!(shard.ownership_policy(), OwnershipPolicy::StaticModulo);
+        let _ = shard.run_events(&events, &mut KeepAll);
+        assert_eq!(shard.stolen_windows(), 0);
+    }
+
+    #[test]
+    fn reset_clears_the_ownership_table() {
+        let events: Vec<Event> =
+            (0..60).map(|i| ev(if i % 3 == 0 { 0 } else { 1 }, i, i)).collect();
+        let mut shard = Shard::new(query(), 0, 2);
+        shard.set_ownership_policy(OwnershipPolicy::StealAtOpen);
+        let first = shard.run_events(&events, &mut KeepAll);
+        shard.reset();
+        assert_eq!(shard.stolen_windows(), 0);
+        let second = shard.run_events(&events, &mut KeepAll);
+        assert_eq!(first, second, "reset must replay identically under stealing");
+    }
+
+    #[test]
+    #[should_panic(expected = "before the first event")]
+    fn ownership_policy_cannot_change_mid_run() {
+        let events = vec![ev(0, 0, 0)];
+        let mut shard = Shard::new(query(), 0, 2);
+        let _ = shard.run_events(&events, &mut KeepAll);
+        shard.set_ownership_policy(OwnershipPolicy::StealAtOpen);
     }
 
     #[test]

@@ -410,6 +410,164 @@ impl SharedSizePredictor {
         self.sum.store(0, Ordering::Relaxed);
         self.count.store(0, Ordering::Relaxed);
     }
+
+    /// The raw `(sum, count)` accumulator pair. Captured into replay
+    /// checkpoints so chunk-replay recovery can rewind the estimator to the
+    /// checkpoint instead of observing the replayed closes a second time.
+    pub fn snapshot(&self) -> (u64, u64) {
+        (self.sum.load(Ordering::Relaxed), self.count.load(Ordering::Relaxed))
+    }
+
+    /// Overwrites the accumulator with a snapshot taken by
+    /// [`snapshot`](Self::snapshot). Any observation recorded since the
+    /// snapshot — including ones made concurrently by other shards — is
+    /// discarded; the replay that follows re-records exactly the closes
+    /// the restored shard re-derives, so the estimator converges back to
+    /// the crashed incarnation's state instead of double-counting.
+    pub fn restore(&self, sum: u64, count: u64) {
+        self.sum.store(sum, Ordering::Relaxed);
+        self.count.store(count, Ordering::Relaxed);
+    }
+}
+
+/// How a [`ShardedEngine`](crate::ShardedEngine) assigns a newly opened
+/// window to a shard.
+///
+/// Every shard scans the full stream and advances the same per-slot global
+/// window-id counter, so ownership is a pure routing question: *which shard
+/// materialises (buffers, sheds, matches) this window*. Any single-owner
+/// partition of the id space yields byte-identical merged output — windows
+/// are processed independently and the engine merges per query in window-id
+/// order — which is what makes the policy pluggable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OwnershipPolicy {
+    /// The static partition `id % shard_count`: zero bookkeeping, perfectly
+    /// even for homogeneous windows, and the oracle every dynamic policy is
+    /// pinned against. This is the default.
+    #[default]
+    StaticModulo,
+    /// Steal-at-open rebalancing: each opening window is routed to the
+    /// shard with the least *outstanding projected work*, tracked by a
+    /// [`WindowBalancer`] that every shard advances in lockstep. A skewed
+    /// workload (one hot opener type, heterogeneous window sizes) no longer
+    /// pins its heavy windows to one shard.
+    StealAtOpen,
+}
+
+/// One live entry of the [`WindowBalancer`] load table: a window assigned
+/// to `owner` that is projected to stop consuming events at `expire_pos`
+/// (count extents: open position + size; time extents: open position +
+/// predicted size) or at stream time `close_ts` (time extents only),
+/// whichever the stream reaches first.
+#[derive(Debug, Clone)]
+struct BalancerEntry {
+    owner: usize,
+    expire_pos: u64,
+    close_ts: Option<Timestamp>,
+}
+
+/// The deterministic lockstep load balancer behind
+/// [`OwnershipPolicy::StealAtOpen`].
+///
+/// Every shard owns a private clone and feeds it the *same* inputs in the
+/// *same* order — the stream position, timestamp and per-slot size hint of
+/// every window-open event, which are pure functions of the shared stream —
+/// so all clones compute identical assignments without exchanging a single
+/// message. See `Shard::set_ownership_policy` for how this relates to the
+/// measured `QueueSample` load signals.
+///
+/// The consult happens **only at window opens** (zero per-event cost): the
+/// balancer lazily retires entries the stream has passed, sums each shard's
+/// remaining projected spans, and assigns the new window to the least
+/// loaded shard. Ties — the common case when all hints are equal — are
+/// broken by a position-seeded hash rotation rather than round-robin, so a
+/// workload whose heavy windows recur with a period aligned to the shard
+/// count cannot re-create the static partition's pinning by accident.
+#[derive(Debug, Clone)]
+pub struct WindowBalancer {
+    count: usize,
+    entries: Vec<BalancerEntry>,
+    /// Scratch: projected outstanding events per shard, rebuilt per consult.
+    load: Vec<u64>,
+}
+
+/// SplitMix64 finalizer: a cheap, well-mixed hash of the open position used
+/// to rotate the argmin scan start. Any fixed scan order would favour low
+/// shard indices on ties; a position-derived rotation spreads tied
+/// assignments uniformly while staying a pure function of the stream.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl WindowBalancer {
+    /// A fresh balancer for `count` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn new(count: usize) -> Self {
+        assert!(count >= 1, "balancer needs at least one shard");
+        WindowBalancer { count, entries: Vec::new(), load: vec![0; count] }
+    }
+
+    /// Routes the window opening at stream position `position` (timestamp
+    /// `timestamp`, projected size `hint` events, time extents closing at
+    /// `close_ts`) to the least-loaded shard and records the assignment.
+    /// Must be called for **every** window the stream opens, in stream
+    /// order, with identical arguments on every shard.
+    pub fn assign(
+        &mut self,
+        position: u64,
+        timestamp: Timestamp,
+        hint: usize,
+        close_ts: Option<Timestamp>,
+    ) -> usize {
+        // Lazily retire entries the stream has passed: their windows have
+        // closed (or stopped accepting events), so they no longer describe
+        // outstanding work.
+        self.entries.retain(|entry| {
+            entry.expire_pos > position && entry.close_ts.is_none_or(|close| timestamp < close)
+        });
+        // Projected outstanding events per shard: the sum of each live
+        // entry's remaining span.
+        self.load.iter_mut().for_each(|l| *l = 0);
+        for entry in &self.entries {
+            self.load[entry.owner] += entry.expire_pos - position;
+        }
+        // Argmin with a position-hashed scan start; the first strict
+        // minimum in rotated order wins.
+        let start = (splitmix64(position) % self.count as u64) as usize;
+        let mut owner = start;
+        let mut best = self.load[start];
+        for offset in 1..self.count {
+            let shard = (start + offset) % self.count;
+            if self.load[shard] < best {
+                best = self.load[shard];
+                owner = shard;
+            }
+        }
+        let expire_pos = position + (hint.max(1) as u64);
+        self.entries.push(BalancerEntry { owner, expire_pos, close_ts });
+        owner
+    }
+
+    /// Number of shards the balancer routes across.
+    pub fn shard_count(&self) -> usize {
+        self.count
+    }
+
+    /// Number of windows currently tracked as outstanding work.
+    pub fn live_entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Forgets all tracked windows (engine reset).
+    pub fn reset(&mut self) {
+        self.entries.clear();
+    }
 }
 
 #[cfg(test)]
@@ -563,5 +721,87 @@ mod tests {
     #[should_panic(expected = "initial estimate")]
     fn shared_predictor_rejects_zero_initial() {
         let _ = SharedSizePredictor::new(0);
+    }
+
+    #[test]
+    fn shared_predictor_snapshot_restore_round_trips() {
+        let shared = SharedSizePredictor::new(10);
+        shared.observe(30);
+        shared.observe(50);
+        let (sum, count) = shared.snapshot();
+        assert_eq!((sum, count), (80, 2));
+        shared.observe(1000);
+        shared.restore(sum, count);
+        assert_eq!(shared.predict(), 40);
+        assert_eq!(shared.observations(), 2);
+    }
+
+    #[test]
+    fn balancer_clones_stay_in_lockstep() {
+        let mut a = WindowBalancer::new(4);
+        let mut b = a.clone();
+        for k in 0..200u64 {
+            let position = k * 37 % 10_000;
+            let ts = Timestamp::from_secs(k);
+            let hint = 50 + (k % 7) as usize * 100;
+            let close = (k % 2 == 0).then(|| ts + SimDuration::from_secs(80));
+            assert_eq!(
+                a.assign(position, ts, hint, close),
+                b.assign(position, ts, hint, close),
+                "clones diverged at window {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn balancer_spreads_equal_hint_windows_across_all_shards() {
+        // All-tie loads fall back to the position-hashed rotation: every
+        // shard must receive a fair share, and in particular a periodic
+        // opener (positions k*P) must not re-create the modulo pinning.
+        let mut balancer = WindowBalancer::new(4);
+        let mut counts = [0usize; 4];
+        for k in 0..400u64 {
+            let owner = balancer.assign(k * 601, Timestamp::from_secs(k * 100), 100, None);
+            counts[owner] += 1;
+        }
+        for (shard, count) in counts.iter().enumerate() {
+            assert!(
+                (50..=150).contains(count),
+                "shard {shard} owns {count} of 400 equal windows — not spread"
+            );
+        }
+    }
+
+    #[test]
+    fn balancer_routes_away_from_the_loaded_shard() {
+        let mut balancer = WindowBalancer::new(2);
+        // A huge outstanding window lands somewhere...
+        let heavy = balancer.assign(0, Timestamp::from_secs(0), 1_000_000, None);
+        // ...so the next opens, while it is still outstanding, must all go
+        // to the other shard.
+        for k in 1..10u64 {
+            let owner = balancer.assign(k, Timestamp::from_secs(k), 10, None);
+            assert_eq!(owner, 1 - heavy, "open {k} routed onto the loaded shard");
+        }
+    }
+
+    #[test]
+    fn balancer_retires_entries_by_position_and_time() {
+        let mut balancer = WindowBalancer::new(2);
+        let _ = balancer.assign(0, Timestamp::from_secs(0), 10, None);
+        let _ = balancer.assign(1, Timestamp::from_secs(1), 100, Some(Timestamp::from_secs(5)));
+        assert_eq!(balancer.live_entries(), 2);
+        // Position 20 is past the first entry's expiry; t=50 is past the
+        // second's close timestamp.
+        let _ = balancer.assign(20, Timestamp::from_secs(50), 10, None);
+        assert_eq!(balancer.live_entries(), 1, "both stale entries must retire");
+        balancer.reset();
+        assert_eq!(balancer.live_entries(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn balancer_rejects_zero_shards() {
+        let _ = WindowBalancer::new(0);
     }
 }

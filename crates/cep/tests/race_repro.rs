@@ -5,18 +5,34 @@ use espice_cep::{
 use espice_events::{Event, EventType, SliceSource, Timestamp, VecStream};
 
 #[derive(Debug, Clone, PartialEq, Eq)]
-struct ParityShed { kept: u64, dropped: u64 }
+struct ParityShed {
+    kept: u64,
+    dropped: u64,
+}
 
 impl WindowEventDecider for ParityShed {
     fn decide(&mut self, meta: &WindowMeta, position: usize, _e: &Event) -> Decision {
-        if (meta.id + position as u64) % 3 == 0 { self.dropped += 1; Decision::Drop }
-        else { self.kept += 1; Decision::Keep }
+        if (meta.id + position as u64).is_multiple_of(3) {
+            self.dropped += 1;
+            Decision::Drop
+        } else {
+            self.kept += 1;
+            Decision::Keep
+        }
     }
 }
 
 fn stream(len: usize) -> VecStream {
     VecStream::from_ordered(
-        (0..len).map(|i| Event::new(EventType::from_index((i % 3 % 2) as u32), Timestamp::from_secs(i as u64), i as u64)).collect(),
+        (0..len)
+            .map(|i| {
+                Event::new(
+                    EventType::from_index((i % 3 % 2) as u32),
+                    Timestamp::from_secs(i as u64),
+                    i as u64,
+                )
+            })
+            .collect(),
     )
 }
 

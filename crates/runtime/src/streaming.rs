@@ -19,8 +19,8 @@ use espice::{
 };
 use espice_cep::{
     BatchRequest, BoxedDecider, ComplexEvent, Decision, EngineError, EngineStats, LifecycleReport,
-    Query, QueryId, QuerySet, QueueSample, QueueStats, ResilienceOptions, ShardStatus,
-    ShardedEngine, SharedDecider, WindowEventDecider, WindowMeta,
+    OwnershipPolicy, Query, QueryId, QuerySet, QueueSample, QueueStats, ResilienceOptions,
+    ShardStatus, ShardedEngine, SharedDecider, WindowEventDecider, WindowMeta,
 };
 use espice_events::{Event, EventSource};
 use std::sync::Arc;
@@ -129,6 +129,11 @@ pub struct StreamingRunConfig {
     pub overload: OverloadConfig,
     /// Optional seed for the window-size prediction (time-based windows).
     pub window_size_hint: Option<usize>,
+    /// Route each new window to the least-loaded shard
+    /// ([`OwnershipPolicy::StealAtOpen`]) instead of the static modulo
+    /// partition. Output is invariant in this knob; it only moves work
+    /// between shards on skewed window populations.
+    pub work_stealing: bool,
 }
 
 impl Default for StreamingRunConfig {
@@ -139,6 +144,7 @@ impl Default for StreamingRunConfig {
             chunk_capacity: espice_cep::DEFAULT_CHUNK_CAPACITY,
             overload: OverloadConfig::default(),
             window_size_hint: None,
+            work_stealing: false,
         }
     }
 }
@@ -171,6 +177,7 @@ impl StreamingRunConfig {
             chunk_capacity,
             overload,
             window_size_hint: None,
+            work_stealing: false,
         }
     }
 }
@@ -390,6 +397,9 @@ where
     if let Some(hint) = config.window_size_hint {
         engine.set_window_size_hint(hint);
     }
+    if config.work_stealing {
+        engine.set_ownership_policy(OwnershipPolicy::StealAtOpen);
+    }
 
     // Flatten shard-major, wiring one shared throughput signal per shard.
     let mut deciders: Vec<ClosedLoopShedder<S>> = Vec::with_capacity(config.shards * queries.len());
@@ -495,6 +505,9 @@ where
     if let Some(hint) = config.window_size_hint {
         engine.set_window_size_hint(hint);
     }
+    if config.work_stealing {
+        engine.set_ownership_policy(OwnershipPolicy::StealAtOpen);
+    }
 
     let mut deciders: Vec<ClosedLoopShedder<S>> = Vec::with_capacity(config.shards * queries.len());
     for row in shedders {
@@ -579,6 +592,9 @@ where
     engine.set_check_interval(Some(interval));
     if let Some(hint) = config.window_size_hint {
         engine.set_window_size_hint(hint);
+    }
+    if config.work_stealing {
+        engine.set_ownership_policy(OwnershipPolicy::StealAtOpen);
     }
 
     // One shared capacity signal per shard queue, reused by every
@@ -783,6 +799,7 @@ mod tests {
                 ..OverloadConfig::default()
             },
             window_size_hint: None,
+            work_stealing: false,
         };
         let mut source = SliceSource::from_stream(&stream);
         let outcome = run_closed_loop(&query, &mut source, vec![shedder], &config);
@@ -839,6 +856,7 @@ mod tests {
                 ..OverloadConfig::default()
             },
             window_size_hint: None,
+            work_stealing: false,
         };
         let mut source = SliceSource::from_stream(&stream);
         let outcome = run_closed_loop_set(
@@ -890,6 +908,7 @@ mod tests {
                 ..OverloadConfig::default()
             },
             window_size_hint: None,
+            work_stealing: false,
         };
         // 600 events at 20k events/s: the schedule spans ~30 ms of wall
         // time, far slower than an unthrottled drain.
@@ -950,6 +969,7 @@ mod tests {
                 ..OverloadConfig::default()
             },
             window_size_hint: None,
+            work_stealing: false,
         };
         let churn =
             vec![QueryChurn::retire(retire_at, 0), QueryChurn::admit(admit_at, admitted.clone())];
@@ -1016,12 +1036,61 @@ mod tests {
                 ..OverloadConfig::default()
             },
             window_size_hint: None,
+            work_stealing: false,
         };
         let mut source = SliceSource::from_stream(&stream);
         let outcome = run_closed_loop(&query, &mut source, vec![shedder.clone(), shedder], &config);
         assert_eq!(outcome.activations(), 0, "an unloaded run must never shed");
         assert_eq!(outcome.stats.merged.dropped, 0);
         assert_eq!(outcome.complex_events, expected);
+    }
+
+    /// `work_stealing: true` must be output-invariant on the streaming
+    /// path: the balancer only moves window *ownership* between shards,
+    /// every shard still scans the full stream, and `merge_outputs`
+    /// re-sorts per query — so the merged complex events and counters
+    /// match the static-modulo run exactly.
+    #[test]
+    fn work_stealing_matches_static_output_on_the_streaming_path() {
+        let query = Query::builder()
+            .pattern(Pattern::sequence([ty(0), ty(1)]))
+            .window(WindowSpec::time_on_types(vec![ty(0)], SimDuration::from_millis(40)))
+            .build();
+        let events: Vec<Event> = (0..2_000u64)
+            .map(|i| Event::new(ty((i % 3) as u32), Timestamp::from_millis(i), i))
+            .collect();
+        let stream = VecStream::from_ordered(events);
+
+        let run = |work_stealing: bool| {
+            let config = StreamingRunConfig {
+                shards: 4,
+                queue_capacity: 4096,
+                chunk_capacity: espice_cep::DEFAULT_CHUNK_CAPACITY,
+                overload: OverloadConfig {
+                    latency_bound: SimDuration::from_secs(30),
+                    f: 0.8,
+                    check_interval: SimDuration::from_millis(1),
+                    ..OverloadConfig::default()
+                },
+                window_size_hint: None,
+                work_stealing,
+            };
+            let shedders = (0..4u64)
+                .map(|shard| RandomAdaptive::new(RandomShedder::new(11 + shard), 50.0))
+                .collect();
+            let mut source = SliceSource::from_stream(&stream);
+            run_closed_loop(&query, &mut source, shedders, &config)
+        };
+
+        let stolen = run(true);
+        let fixed = run(false);
+        assert_eq!(
+            stolen.stats.merged.dropped + fixed.stats.merged.dropped,
+            0,
+            "an unloaded run must never shed"
+        );
+        assert_eq!(stolen.complex_events, fixed.complex_events);
+        assert_eq!(stolen.stats.merged, fixed.stats.merged);
     }
 
     /// [`StreamingRunConfig::sized`] must track the planner's sizing rule:

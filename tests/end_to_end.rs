@@ -214,6 +214,7 @@ fn registered_churn_scenario_runs_live_with_closed_loop_control() {
             ..OverloadConfig::default()
         },
         window_size_hint: None,
+        work_stealing: false,
     };
     let mut source = SliceSource::from_stream(&eval);
     let outcome = run_closed_loop_live(&initial, &mut source, &config, &churn, |_, _, _| {
