@@ -18,7 +18,7 @@
 use espice::{EspiceShedder, ShedPlan};
 use espice_bench::figures::synthetic_model;
 use espice_cep::{
-    BatchRequest, Decision, KeepAll, Operator, Pattern, Query, Shard, ShardedEngine,
+    BatchRequest, Decision, DropSet, KeepAll, Operator, Pattern, Query, Shard, ShardedEngine,
     WindowEventDecider, WindowMeta, WindowSpec,
 };
 use espice_events::{Event, EventStream, EventType, Timestamp, VecStream};
@@ -155,7 +155,7 @@ fn main() {
         black_box(kept);
     });
 
-    let mut batch_shedder = EspiceShedder::new(model);
+    let mut batch_shedder = EspiceShedder::new(model.clone());
     batch_shedder.apply(plan);
     let mut decisions: Vec<Decision> = Vec::new();
     let batch_secs = time_best(reps, || {
@@ -167,12 +167,57 @@ fn main() {
         black_box(kept);
     });
 
+    // Compiled span kernel: the same number of decisions made through
+    // `decide_span` — one window at a time over consecutive positions, the
+    // shape the span-fused engine pass produces. Byte-identity against the
+    // scalar oracle is asserted before anything is timed.
+    let metas: Vec<WindowMeta> =
+        (0..batch.len() as u64).map(|w| WindowMeta { id: w, ..meta }).collect();
+    {
+        let mut oracle = EspiceShedder::new(model.clone());
+        oracle.apply(plan);
+        let mut checked = EspiceShedder::new(model.clone());
+        checked.apply(plan);
+        for (w, window_meta) in metas.iter().enumerate() {
+            let start = (w * 61) % 2_000;
+            let mut drops = DropSet::new();
+            checked.decide_span(window_meta, start, &probes, &mut drops);
+            let expected: Vec<u32> = probes
+                .iter()
+                .enumerate()
+                .filter(|(offset, event)| {
+                    !oracle.decide(window_meta, start + offset, event).is_keep()
+                })
+                .map(|(offset, _)| (start + offset) as u32)
+                .collect();
+            let got: Vec<u32> = drops.iter().collect();
+            assert_eq!(got, expected, "kernel drops diverged from scalar decide");
+        }
+    }
+    let mut kernel_shedder = EspiceShedder::new(model);
+    kernel_shedder.apply(plan);
+    let kernel_secs = time_best(reps, || {
+        let mut dropped = 0usize;
+        for (w, window_meta) in metas.iter().enumerate() {
+            let mut drops = DropSet::new();
+            dropped += kernel_shedder.decide_span(
+                window_meta,
+                (w * 61) % 2_000,
+                black_box(&probes),
+                &mut drops,
+            );
+        }
+        black_box(dropped);
+    });
+
     let total_decisions = (probes.len() * batch.len()) as f64;
     let scalar_ns = scalar_secs * 1e9 / total_decisions;
     let batch_ns = batch_secs * 1e9 / total_decisions;
+    let kernel_ns = kernel_secs * 1e9 / total_decisions;
     println!(
-        "decide: {scalar_ns:.1} ns/decision   decide_batch: {batch_ns:.1} ns/decision   ({:.2}x)",
-        scalar_ns / batch_ns
+        "decide: {scalar_ns:.1} ns/decision   decide_batch: {batch_ns:.1} ns/decision   ({:.2}x)   decide_span: {kernel_ns:.1} ns/decision   ({:.2}x)",
+        scalar_ns / batch_ns,
+        scalar_ns / kernel_ns
     );
 
     // Record everything for the repository.
@@ -200,7 +245,7 @@ fn main() {
     }
     json.push_str("  ],\n");
     json.push_str(&format!(
-        "  \"decide_vs_decide_batch\": {{\"scalar_ns_per_decision\": {scalar_ns:.1}, \"batch_ns_per_decision\": {batch_ns:.1}, \"speedup\": {:.2}}},\n",
+        "  \"decide_vs_decide_batch\": {{\"scalar_ns_per_decision\": {scalar_ns:.1}, \"batch_ns_per_decision\": {batch_ns:.1}, \"speedup\": {:.2}, \"kernel_ns_per_decision\": {kernel_ns:.1}}},\n",
         scalar_ns / batch_ns
     ));
     json.push_str(

@@ -242,6 +242,7 @@ pub fn classify(key: &str) -> Option<(Severity, Direction)> {
         "entry_write_amplification_removed",
         "chunked_over_broadcast",
         "stolen_over_static",
+        "kernel_over_batch",
     ];
     if GATED.contains(&key) {
         return Some((Severity::Gate, Direction::HigherIsBetter));
@@ -418,6 +419,11 @@ mod tests {
             classify("stolen_over_static"),
             Some((Severity::Gate, Direction::HigherIsBetter))
         );
+        assert_eq!(
+            classify("kernel_over_batch"),
+            Some((Severity::Gate, Direction::HigherIsBetter))
+        );
+        assert_eq!(classify("kernel_ns_per_decision"), None, "per-decision ns is informational");
         assert_eq!(
             classify("fused_streaming_events_per_sec"),
             Some((Severity::Warn, Direction::HigherIsBetter))

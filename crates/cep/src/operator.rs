@@ -554,6 +554,120 @@ impl Operator {
         emitted
     }
 
+    /// Pushes a whole *span* of events — a stream slice on which **no
+    /// window opens** for this operator — deciding every open window
+    /// against the span at once via
+    /// [`WindowEventDecider::decide_span`].
+    ///
+    /// The caller guarantees that no event of the span opens a window (the
+    /// fused shard splits spans at opening events, which take the per-event
+    /// [`push_opened`](Operator::push_opened) path, and at draining slots,
+    /// whose teardown must freeze counters at the exact closing event).
+    /// Because no window opens mid-span, every open window sees the span at
+    /// consecutive positions, so a compiling decider can walk its verdict
+    /// table sequentially instead of rebuilding a batch-request vector per
+    /// event. The span is cut into sub-runs at window closes: a sub-run
+    /// never crosses the front window's fill (count extents) or expiry
+    /// (time extents), so windows close at exactly the event they would
+    /// close at on the per-event path and the merged output stays
+    /// byte-identical.
+    pub(crate) fn push_span<D: WindowEventDecider + ?Sized>(
+        &mut self,
+        events: &[Event],
+        decider: &mut D,
+        emitted: &mut Vec<ComplexEvent>,
+    ) {
+        let mut remaining = events;
+        while !remaining.is_empty() {
+            // Close time-based windows the sub-run's first event no longer
+            // fits into (step 1 of `push_routed`, hoisted to the sub-run
+            // boundary — sub-runs are cut so no window expires inside one).
+            if matches!(self.extent, WindowExtent::Time(_)) {
+                let extent = self.extent;
+                let first = &remaining[0];
+                let mut closed_any = false;
+                while self.open.front().is_some_and(|w| !extent.accepts(w.meta.opened_at, 0, first))
+                {
+                    let window = self.open.pop_front().expect("front checked above");
+                    emitted.extend(self.close_window(window, decider));
+                    closed_any = true;
+                }
+                if closed_any {
+                    self.prune_ring();
+                }
+            }
+
+            // With no window open and none opening (caller guarantee), the
+            // rest of the span only advances the event counter — nothing is
+            // buffered and nothing can close.
+            let Some(front) = self.open.front() else {
+                self.stats.events_processed += remaining.len() as u64;
+                return;
+            };
+
+            // The longest prefix of `remaining` during which no window
+            // closes. Windows close oldest-first (they open in stream order
+            // and share one extent), so the front window bounds the sub-run
+            // for every open window at once.
+            let limit = match self.extent {
+                WindowExtent::Count(size) => {
+                    let assigned = (self.ring.next_slot() - front.start) as usize;
+                    debug_assert!(assigned < size, "a filled count window was left open");
+                    (size - assigned).min(remaining.len())
+                }
+                WindowExtent::Time(_) => {
+                    let opened_at = front.meta.opened_at;
+                    let extent = self.extent;
+                    remaining
+                        .iter()
+                        .position(|event| !extent.accepts(opened_at, 0, event))
+                        .unwrap_or(remaining.len())
+                }
+            };
+            let (sub_run, rest) = remaining.split_at(limit);
+            remaining = rest;
+
+            // Assign the sub-run to every open window: append it once to
+            // the shared ring, then let the decider walk each window's
+            // consecutive position range (step 3 of `push_routed`,
+            // span-at-a-time).
+            let base = self.ring.next_slot();
+            for event in sub_run {
+                self.ring.push(event.clone());
+            }
+            self.peak_resident = self.peak_resident.max(self.ring.len());
+            let assigned = sub_run.len() as u64;
+            let mut dropped_total = 0u64;
+            for window in self.open.iter_mut() {
+                let start_position = (base - window.start) as usize;
+                let dropped =
+                    decider.decide_span(&window.meta, start_position, sub_run, &mut window.dropped);
+                dropped_total += dropped as u64;
+            }
+            let windows = self.open.len() as u64;
+            self.stats.assignments += assigned * windows;
+            self.stats.dropped += dropped_total;
+            self.stats.kept += assigned * windows - dropped_total;
+            self.stats.events_processed += assigned;
+
+            // Close count-based windows the sub-run filled (step 4 of
+            // `push_routed`; at most the front can fill, but mirror the
+            // prefix pop for robustness).
+            if let WindowExtent::Count(size) = self.extent {
+                let next = self.ring.next_slot();
+                let mut closed_any = false;
+                while self.open.front().is_some_and(|w| (next - w.start) as usize >= size) {
+                    let window = self.open.pop_front().expect("front checked above");
+                    emitted.extend(self.close_window(window, decider));
+                    closed_any = true;
+                }
+                if closed_any {
+                    self.prune_ring();
+                }
+            }
+        }
+    }
+
     /// Closes all remaining open windows (end of stream) and returns their
     /// complex events.
     pub fn flush<D: WindowEventDecider + ?Sized>(&mut self, decider: &mut D) -> Vec<ComplexEvent> {

@@ -252,6 +252,70 @@ impl DropSet {
         }
     }
 
+    /// Records that the `run_len` consecutive positions starting at `start`
+    /// were all dropped — the fast path for the compiled decision kernel,
+    /// whose verdict-table walk emits drops as monotone runs. Equivalent to
+    /// `run_len` calls to [`push`](DropSet::push) with consecutive
+    /// positions, under the same increasing-order contract: `start` must
+    /// exceed every previously recorded position.
+    pub fn push_run(&mut self, start: usize, run_len: usize) {
+        if run_len == 0 {
+            return;
+        }
+        let first = u32::try_from(start).expect("window positions fit in u32");
+        let last = u32::try_from(start + run_len - 1).expect("window positions fit in u32");
+        match &mut self.repr {
+            Repr::Sorted(positions) => {
+                debug_assert!(
+                    positions.last().is_none_or(|&p| p < first),
+                    "drop positions must be recorded in increasing order"
+                );
+                positions.extend(first..=last);
+                // Same crossover test as `push`, evaluated once against the
+                // run's final position instead of per element.
+                if self.adaptive
+                    && positions.len() >= BITSET_MIN_DROPS
+                    && positions.len() * BITSET_CROSSOVER_DIVISOR > last as usize
+                {
+                    let mut words = vec![0u64; last as usize / 64 + 1];
+                    for &p in positions.iter() {
+                        words[p as usize / 64] |= 1 << (p % 64);
+                    }
+                    self.repr = Repr::Bitset { words, len: positions.len() };
+                }
+            }
+            Repr::Bitset { words, len } => {
+                let first_word = first as usize / 64;
+                let last_word = last as usize / 64;
+                if last_word >= words.len() {
+                    words.resize(last_word + 1, 0);
+                }
+                let head_mask = !0u64 << (first % 64);
+                let tail_mask = !0u64 >> (63 - last % 64);
+                if first_word == last_word {
+                    let mask = head_mask & tail_mask;
+                    debug_assert!(
+                        words[first_word] & mask == 0,
+                        "drop positions must be recorded in increasing order"
+                    );
+                    words[first_word] |= mask;
+                } else {
+                    debug_assert!(
+                        words[first_word] & head_mask == 0
+                            && words[first_word + 1..].iter().all(|&w| w == 0),
+                        "drop positions must be recorded in increasing order"
+                    );
+                    words[first_word] |= head_mask;
+                    for word in &mut words[first_word + 1..last_word] {
+                        *word = !0;
+                    }
+                    words[last_word] |= tail_mask;
+                }
+                *len += run_len;
+            }
+        }
+    }
+
     /// Number of dropped positions.
     pub fn len(&self) -> usize {
         match &self.repr {
@@ -464,6 +528,44 @@ mod tests {
         assert_eq!(bitset.iter().collect::<Vec<_>>(), expected);
         assert_eq!(adaptive.len(), positions.len());
         assert_eq!(bitset.len(), positions.len());
+    }
+
+    #[test]
+    fn push_run_matches_per_position_pushes() {
+        // Mixed runs and singletons across word boundaries, in both pinned
+        // representations and the adaptive one.
+        let runs: &[(usize, usize)] = &[(0, 3), (10, 1), (60, 10), (128, 64), (300, 0), (500, 2)];
+        let mut by_run_adaptive = DropSet::new();
+        let mut by_run_sorted = DropSet::pinned_sorted();
+        let mut by_run_bitset = DropSet::pinned_bitset();
+        let mut by_push = DropSet::pinned_sorted();
+        for &(start, len) in runs {
+            by_run_adaptive.push_run(start, len);
+            by_run_sorted.push_run(start, len);
+            by_run_bitset.push_run(start, len);
+            for p in start..start + len {
+                by_push.push(p);
+            }
+        }
+        let expected: Vec<u32> = by_push.iter().collect();
+        assert_eq!(by_run_adaptive.iter().collect::<Vec<_>>(), expected);
+        assert_eq!(by_run_sorted.iter().collect::<Vec<_>>(), expected);
+        assert_eq!(by_run_bitset.iter().collect::<Vec<_>>(), expected);
+        assert_eq!(by_run_adaptive.len(), expected.len());
+        assert_eq!(by_run_bitset.len(), expected.len());
+    }
+
+    #[test]
+    fn push_run_triggers_adaptive_conversion() {
+        let mut drops = DropSet::new();
+        // One dense run comfortably past both crossover conditions.
+        drops.push_run(0, 2 * BITSET_MIN_DROPS);
+        assert!(drops.is_bitset());
+        assert_eq!(drops.len(), 2 * BITSET_MIN_DROPS);
+        // Appending another run on the bitset side keeps iterating in order.
+        drops.push_run(200, 70);
+        let expected: Vec<u32> = (0..2 * BITSET_MIN_DROPS as u32).chain(200..270).collect();
+        assert_eq!(drops.iter().collect::<Vec<_>>(), expected);
     }
 
     #[test]

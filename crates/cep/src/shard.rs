@@ -449,14 +449,27 @@ impl Shard {
         row: &mut R,
         outputs: &mut [Vec<ComplexEvent>],
     ) {
+        for (tracker, open) in self.openers.iter_mut().zip(self.opens.iter_mut()) {
+            *open = tracker.should_open(event);
+        }
+        self.push_fused_preopened(event, row, outputs);
+    }
+
+    /// [`push_fused`](Self::push_fused) with the per-group open decisions
+    /// already evaluated into `self.opens`. The span pass scans every
+    /// opener exactly once per event to find span boundaries, so the
+    /// opening events it routes here must not advance the trackers again.
+    fn push_fused_preopened<R: DeciderRow>(
+        &mut self,
+        event: &Event,
+        row: &mut R,
+        outputs: &mut [Vec<ComplexEvent>],
+    ) {
         // Stream position of this event (0-based). Every shard scans the
         // full stream, so this equals the producer-counted position — the
         // coordinate the ownership table is seeded from.
         let position = self.events_seen;
         self.events_seen += 1;
-        for (tracker, open) in self.openers.iter_mut().zip(self.opens.iter_mut()) {
-            *open = tracker.should_open(event);
-        }
         let opens = &self.opens;
         let groups = &self.open_group;
         let mut balancer = self.balancer.as_mut();
@@ -501,6 +514,87 @@ impl Shard {
                     };
                     outputs[slot].extend(emitted);
                     *draining && operator.open_windows() == 0
+                }
+                SlotRuntime::Retired { .. } => false,
+            };
+            if finished {
+                finalize_slot(state, slot, row);
+            }
+        }
+    }
+
+    /// The span-fused pass: drives a stream slice through every slot,
+    /// deciding whole *spans* — maximal stretches on which no opener group
+    /// opens a window — against each open window at once via
+    /// [`Operator::push_span`], instead of rebuilding per-event batch
+    /// requests.
+    ///
+    /// Every opener is still evaluated once per event, in tracker order, so
+    /// slide state advances exactly as on the per-event path; events where
+    /// *any* group opens are routed through
+    /// [`push_fused_preopened`](Self::push_fused_preopened), which keeps
+    /// the [`WindowBalancer`](crate::WindowBalancer) consult sequence in
+    /// lockstep across shards (the balancer is only ever consulted at
+    /// opening events). Draining slots take the per-event path inside the
+    /// span too: their teardown must freeze counters at the exact event
+    /// that closes the last window.
+    pub(crate) fn run_span_fused<R: DeciderRow>(
+        &mut self,
+        events: &[Event],
+        row: &mut R,
+        outputs: &mut [Vec<ComplexEvent>],
+    ) {
+        let mut span_start = 0usize;
+        for (offset, event) in events.iter().enumerate() {
+            let mut any_open = false;
+            for (tracker, open) in self.openers.iter_mut().zip(self.opens.iter_mut()) {
+                *open = tracker.should_open(event);
+                any_open |= *open;
+            }
+            if any_open {
+                if span_start < offset {
+                    self.push_span_slots(&events[span_start..offset], row, outputs);
+                }
+                self.push_fused_preopened(event, row, outputs);
+                span_start = offset + 1;
+            }
+        }
+        if span_start < events.len() {
+            self.push_span_slots(&events[span_start..], row, outputs);
+        }
+    }
+
+    /// Offers one opens-free span to every live slot. Non-draining slots
+    /// take the straight-line [`Operator::push_span`] kernel; draining
+    /// slots replay the span per event so the slot tears down at the exact
+    /// event that closes its last window, with the later span events never
+    /// reaching it — just as on the per-event path.
+    fn push_span_slots<R: DeciderRow>(
+        &mut self,
+        span: &[Event],
+        row: &mut R,
+        outputs: &mut [Vec<ComplexEvent>],
+    ) {
+        self.events_seen += span.len() as u64;
+        for (slot, state) in self.slots.iter_mut().enumerate() {
+            let finished = match state {
+                SlotRuntime::Live { operator, draining } => {
+                    let decider = row.get(slot).expect("live slot without a decider");
+                    if *draining {
+                        let mut finished = false;
+                        for event in span {
+                            outputs[slot]
+                                .extend(operator.push_routed(event, false, false, decider));
+                            if operator.open_windows() == 0 {
+                                finished = true;
+                                break;
+                            }
+                        }
+                        finished
+                    } else {
+                        operator.push_span(span, decider, &mut outputs[slot]);
+                        false
+                    }
                 }
                 SlotRuntime::Retired { .. } => false,
             };
@@ -591,12 +685,18 @@ impl Shard {
         row: &mut R,
     ) -> Vec<Vec<ComplexEvent>> {
         let mut outputs: Vec<Vec<ComplexEvent>> = vec![Vec::new(); self.slots.len()];
-        for (position, event) in events.iter().enumerate() {
+        let mut position = 0usize;
+        while position < events.len() {
             while commands.front().is_some_and(|(at, _)| *at <= position as u64) {
                 let (_, command) = commands.pop_front().expect("front checked above");
                 self.apply_command(command, row, &mut outputs);
             }
-            self.push_fused(event, row, &mut outputs);
+            // The stretch up to the next command anchor goes through the
+            // span-fused pass in one piece — commands are span boundaries.
+            let stretch_end =
+                commands.front().map_or(events.len(), |(at, _)| (*at as usize).min(events.len()));
+            self.run_span_fused(&events[position..stretch_end], row, &mut outputs);
+            position = stretch_end;
         }
         // Commands anchored at or past the end of the stream: retires still
         // take effect before the final flush; admissions create slots that
@@ -812,38 +912,40 @@ impl Shard {
                     pending_consumed = 0;
                 }
                 Some(ShardInput::Chunk(chunk)) => {
-                    // One hand-off covering a whole batch: scan the shared
-                    // buffer in place, keeping the sampling cadence of the
-                    // per-event path so checks fire mid-chunk too.
+                    // One hand-off covering a whole batch: the span-fused
+                    // pass decides each open window against whole chunk
+                    // slices at once; the sampling check fires at chunk
+                    // boundaries (chunks are capacity-bounded, so the
+                    // cadence stays within one chunk of the per-event
+                    // path's).
                     backoff.reset();
                     if let Some(faults) = faults {
                         faults.on_handoff(self.index, chunk.base(), None);
                     }
                     position = chunk.end();
-                    for event in chunk.events() {
-                        self.push_fused(event, row, &mut outputs);
-                        drained_since_sample += 1;
-                        pending_consumed += 1;
-                        if let Some(deadline) = next_sample {
-                            since_clock_check += 1;
-                            if since_clock_check >= CLOCK_STRIDE {
-                                since_clock_check = 0;
-                                let elapsed = started.elapsed();
-                                if elapsed >= deadline {
-                                    let interval = check_interval
-                                        .expect("sampling fires only when configured");
-                                    next_sample = Some(elapsed + interval);
-                                    self.deliver_sample(
-                                        row,
-                                        &queue,
-                                        &mut drained_since_sample,
-                                        &mut pending_consumed,
-                                        &mut last_assignments,
-                                        &mut last_kept,
-                                        elapsed,
-                                        idle,
-                                    );
-                                }
+                    self.run_span_fused(chunk.events(), row, &mut outputs);
+                    drained_since_sample += chunk.len() as u64;
+                    pending_consumed += chunk.len() as u64;
+                    if let Some(deadline) = next_sample {
+                        since_clock_check = since_clock_check
+                            .saturating_add(u32::try_from(chunk.len()).unwrap_or(u32::MAX));
+                        if since_clock_check >= CLOCK_STRIDE {
+                            since_clock_check = 0;
+                            let elapsed = started.elapsed();
+                            if elapsed >= deadline {
+                                let interval =
+                                    check_interval.expect("sampling fires only when configured");
+                                next_sample = Some(elapsed + interval);
+                                self.deliver_sample(
+                                    row,
+                                    &queue,
+                                    &mut drained_since_sample,
+                                    &mut pending_consumed,
+                                    &mut last_assignments,
+                                    &mut last_kept,
+                                    elapsed,
+                                    idle,
+                                );
                             }
                         }
                     }
@@ -871,11 +973,9 @@ impl Shard {
                             if let Some(faults) = faults {
                                 faults.on_handoff(self.index, chunk.base(), None);
                             }
-                            for event in chunk.events() {
-                                self.push_fused(event, row, &mut outputs);
-                                drained_since_sample += 1;
-                                pending_consumed += 1;
-                            }
+                            self.run_span_fused(chunk.events(), row, &mut outputs);
+                            drained_since_sample += chunk.len() as u64;
+                            pending_consumed += chunk.len() as u64;
                         }
                         Some(ShardInput::Command(command)) => {
                             self.apply_command(*command, row, &mut outputs);

@@ -10,6 +10,7 @@
 //! trivial implementation that keeps everything (used for ground-truth runs
 //! and model training).
 
+use crate::ring::DropSet;
 use crate::WindowMeta;
 use espice_events::{Event, SimDuration};
 
@@ -131,6 +132,41 @@ pub trait WindowEventDecider {
         }
     }
 
+    /// Decides a *span* of consecutive assignments to one window: `events`
+    /// arrive at positions `start_position ..`, and every dropped position
+    /// is appended to `drops` (absolute window positions, in increasing
+    /// order). Returns the number of drops appended.
+    ///
+    /// This is the chunk-granular dual of [`decide_batch`]: where a batch is
+    /// one event against many windows, a span is many consecutive events
+    /// against one window, which lets compiled shedders walk a
+    /// position-indexed verdict table sequentially and emit drops as
+    /// monotone runs ([`DropSet::push_run`]). The operator guarantees each
+    /// window sees its positions in increasing order across span and
+    /// per-event calls alike; the interleaving *between* windows differs
+    /// from the per-event path (span calls are window-major), so overrides
+    /// must not couple decisions across windows beyond per-window state.
+    /// Overrides must produce exactly the drops the sequential delegation
+    /// would.
+    ///
+    /// [`decide_batch`]: WindowEventDecider::decide_batch
+    fn decide_span(
+        &mut self,
+        meta: &WindowMeta,
+        start_position: usize,
+        events: &[Event],
+        drops: &mut DropSet,
+    ) -> usize {
+        let mut dropped = 0;
+        for (offset, event) in events.iter().enumerate() {
+            if let Decision::Drop = self.decide(meta, start_position + offset, event) {
+                drops.push(start_position + offset);
+                dropped += 1;
+            }
+        }
+        dropped
+    }
+
     /// Notifies the decider that a window has closed with `size` events
     /// assigned to it in total. Default: no-op. eSPICE uses this to update
     /// its window-size prediction and training statistics.
@@ -181,6 +217,16 @@ impl<D: WindowEventDecider + ?Sized> WindowEventDecider for Box<D> {
         decisions: &mut Vec<Decision>,
     ) {
         (**self).decide_batch(event, requests, decisions);
+    }
+
+    fn decide_span(
+        &mut self,
+        meta: &WindowMeta,
+        start_position: usize,
+        events: &[Event],
+        drops: &mut DropSet,
+    ) -> usize {
+        (**self).decide_span(meta, start_position, events, drops)
     }
 
     fn window_closed(&mut self, meta: &WindowMeta, size: usize) {
@@ -248,6 +294,16 @@ impl<D: WindowEventDecider> WindowEventDecider for SharedDecider<D> {
         self.lock().decide_batch(event, requests, decisions);
     }
 
+    fn decide_span(
+        &mut self,
+        meta: &WindowMeta,
+        start_position: usize,
+        events: &[Event],
+        drops: &mut DropSet,
+    ) -> usize {
+        self.lock().decide_span(meta, start_position, events, drops)
+    }
+
     fn window_closed(&mut self, meta: &WindowMeta, size: usize) {
         self.lock().window_closed(meta, size);
     }
@@ -282,6 +338,16 @@ impl<D: WindowEventDecider + ?Sized> WindowEventDecider for &mut D {
         decisions: &mut Vec<Decision>,
     ) {
         (**self).decide_batch(event, requests, decisions);
+    }
+
+    fn decide_span(
+        &mut self,
+        meta: &WindowMeta,
+        start_position: usize,
+        events: &[Event],
+        drops: &mut DropSet,
+    ) -> usize {
+        (**self).decide_span(meta, start_position, events, drops)
     }
 
     fn window_closed(&mut self, meta: &WindowMeta, size: usize) {
@@ -347,6 +413,23 @@ mod tests {
         let mut empty = Vec::new();
         d.decide_batch(&e, &[], &mut empty);
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn decide_span_default_delegates_per_event() {
+        let mut d = DropOdd;
+        let events: Vec<Event> =
+            (0..6).map(|seq| Event::new(EventType::from_index(0), Timestamp::ZERO, seq)).collect();
+        let mut drops = DropSet::new();
+        // Start at an odd position so drops land on the even offsets.
+        let dropped = d.decide_span(&meta(), 3, &events, &mut drops);
+        assert_eq!(dropped, 3);
+        assert_eq!(drops.iter().collect::<Vec<_>>(), vec![3, 5, 7]);
+        // Boxed deciders forward the override-able span hook.
+        let mut boxed: Box<dyn WindowEventDecider + Send> = Box::new(DropOdd);
+        let mut boxed_drops = DropSet::new();
+        assert_eq!(boxed.decide_span(&meta(), 3, &events, &mut boxed_drops), 3);
+        assert_eq!(boxed_drops.iter().collect::<Vec<_>>(), vec![3, 5, 7]);
     }
 
     #[test]

@@ -1,0 +1,293 @@
+//! Compiled shedding verdicts: the per-(type, position) decision of an
+//! active plan folded into 2-bit lookup tables.
+//!
+//! Between plan applications every input of the shedding decision except the
+//! per-window boundary accumulators is constant: utility table, bin mapping,
+//! partition mapping and per-partition thresholds. For a fixed (predicted)
+//! window size the decision for (event type, position) therefore collapses
+//! to one of three verdicts — always keep, always drop, or *boundary* (the
+//! utility sits exactly on the partition's threshold and the window's
+//! thinning accumulator must decide). [`CompiledVerdicts`] caches one
+//! [`SizeTable`] per window size (small LRU, invalidated on plan or model
+//! swap) and each table compiles its rows lazily, one event type at a time,
+//! on first contact — so the span kernel pays a single shift-and-mask load
+//! per decision where the scalar path pays a utility-row lookup, a
+//! `bin_range` multiply/divide, a `partition_of` divide and a threshold
+//! branch.
+//!
+//! The tables are **derived state**: they are never serialised or
+//! checkpointed, and cloning a shedder produces an empty cache that
+//! recompiles on demand. This is what keeps crash recovery honest —
+//! recovered shards replay from pristine decider clones and rebuild the
+//! exact same tables from the plan and model they restore.
+
+use espice_events::EventType;
+
+/// Verdict entries per 64-bit word (2 bits per position).
+const POSITIONS_PER_WORD: usize = 32;
+
+/// Size tables kept per shedder. Distinct predicted window sizes in flight
+/// at once are bounded by how fast the size predictor moves between plan
+/// applications — a handful, not hundreds.
+const MAX_TABLES: usize = 8;
+
+/// The compiled decision for one (event type, position) cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Verdict {
+    /// Utility strictly above the partition threshold (or no threshold):
+    /// always keep.
+    Keep = 0,
+    /// Utility strictly below the partition threshold: always drop.
+    Drop = 1,
+    /// Utility exactly at the partition threshold: the per-window boundary
+    /// accumulator decides (rare, stateful path).
+    Boundary = 2,
+}
+
+/// The verdict table of one (quantized) predicted window size: per event
+/// type a position-indexed row of 2-bit verdicts.
+///
+/// Rows cover positions `0 ..= window_size`: every position at or past the
+/// predicted size maps to the same clamped model bin (`bin_range` clamps
+/// both ends to the last position), so one shared trailing entry is exact
+/// for the whole overflow range. Likewise all type indices at or past the
+/// utility table's type count share one zero-utility row, which bounds the
+/// table by the *trained* type universe regardless of stray indices.
+#[derive(Debug, Clone)]
+pub(crate) struct SizeTable {
+    window_size: usize,
+    /// Words per row.
+    stride: usize,
+    /// `rows × stride` packed verdicts; row `r` occupies
+    /// `words[r * stride ..][.. stride]`.
+    words: Vec<u64>,
+    /// Which rows have been compiled (rows fill lazily per type).
+    built: Vec<bool>,
+    /// Position → model partition, shared by every type (the partition
+    /// mapping depends only on position and window size). Empty until the
+    /// first boundary verdict needs it; then one entry per position,
+    /// replacing two integer divisions per boundary decision with a load.
+    partition_row: Vec<u32>,
+}
+
+impl SizeTable {
+    fn new(window_size: usize, num_types: usize) -> Self {
+        let entries = window_size + 1;
+        let stride = entries.div_ceil(POSITIONS_PER_WORD);
+        // One row per trained type plus the shared unknown-type row.
+        let rows = num_types + 1;
+        SizeTable {
+            window_size,
+            stride,
+            words: vec![0; rows * stride],
+            built: vec![false; rows],
+            partition_row: Vec::new(),
+        }
+    }
+
+    /// The verdict for an event of type `ty` at window position `position`,
+    /// compiling the type's row with `fill(position) -> Verdict` on first
+    /// contact. `fill` must be a pure function of the position for this
+    /// table's window size (it is consulted once per row entry, ever).
+    #[inline]
+    pub(crate) fn verdict(
+        &mut self,
+        ty: EventType,
+        position: usize,
+        fill: impl FnMut(usize) -> Verdict,
+    ) -> Verdict {
+        let row = ty.index().min(self.built.len() - 1);
+        if !self.built[row] {
+            self.build_row(row, fill);
+        }
+        let entry = position.min(self.window_size);
+        let word = self.words[row * self.stride + entry / POSITIONS_PER_WORD];
+        match (word >> (2 * (entry % POSITIONS_PER_WORD))) & 0b11 {
+            0 => Verdict::Keep,
+            1 => Verdict::Drop,
+            _ => Verdict::Boundary,
+        }
+    }
+
+    #[cold]
+    fn build_row(&mut self, row: usize, mut fill: impl FnMut(usize) -> Verdict) {
+        let base = row * self.stride;
+        for entry in 0..=self.window_size {
+            let verdict = fill(entry) as u64;
+            self.words[base + entry / POSITIONS_PER_WORD] |=
+                verdict << (2 * (entry % POSITIONS_PER_WORD));
+        }
+        self.built[row] = true;
+    }
+
+    /// The model partition of window position `position`, compiling the
+    /// shared position → partition row with `fill(position) -> partition`
+    /// on first contact (`fill` must be a pure function of the position for
+    /// this table's window size).
+    #[inline]
+    pub(crate) fn partition(&mut self, position: usize, fill: impl FnMut(usize) -> u32) -> usize {
+        if self.partition_row.is_empty() {
+            self.build_partition_row(fill);
+        }
+        self.partition_row[position.min(self.window_size)] as usize
+    }
+
+    #[cold]
+    fn build_partition_row(&mut self, fill: impl FnMut(usize) -> u32) {
+        self.partition_row = (0..=self.window_size).map(fill).collect();
+    }
+}
+
+/// The shedder-owned cache of compiled verdict tables, keyed by predicted
+/// window size.
+#[derive(Debug, Default)]
+pub(crate) struct CompiledVerdicts {
+    /// Most recently used first.
+    tables: Vec<SizeTable>,
+}
+
+impl CompiledVerdicts {
+    /// An empty cache.
+    pub(crate) fn new() -> Self {
+        CompiledVerdicts { tables: Vec::new() }
+    }
+
+    /// Drops every compiled table. Must be called whenever a table input
+    /// changes: plan application, deactivation, model swap.
+    pub(crate) fn invalidate(&mut self) {
+        self.tables.clear();
+    }
+
+    /// The table for `window_size`, created empty (no rows compiled) on
+    /// first use and moved to the front of the LRU.
+    pub(crate) fn table_for(&mut self, window_size: usize, num_types: usize) -> &mut SizeTable {
+        match self.tables.iter().position(|t| t.window_size == window_size) {
+            Some(index) => self.tables[..=index].rotate_right(1),
+            None => {
+                self.tables.insert(0, SizeTable::new(window_size, num_types));
+                self.tables.truncate(MAX_TABLES);
+            }
+        }
+        &mut self.tables[0]
+    }
+}
+
+impl Clone for CompiledVerdicts {
+    /// Clones start cold: the tables are derived state, recompiled on
+    /// demand from the plan and model — so recovered shards replaying from
+    /// cloned deciders rebuild rather than inherit possibly-stale tables.
+    fn clone(&self) -> Self {
+        CompiledVerdicts::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ty(i: u32) -> EventType {
+        EventType::from_index(i)
+    }
+
+    /// Position-dependent fill covering all three verdicts.
+    fn fill_pattern(position: usize) -> Verdict {
+        match position % 3 {
+            0 => Verdict::Keep,
+            1 => Verdict::Drop,
+            _ => Verdict::Boundary,
+        }
+    }
+
+    #[test]
+    fn verdicts_round_trip_through_the_packing() {
+        let mut cache = CompiledVerdicts::new();
+        let table = cache.table_for(100, 3);
+        for position in 0..=100 {
+            assert_eq!(table.verdict(ty(1), position, fill_pattern), fill_pattern(position));
+        }
+        // Positions past the window size reuse the trailing entry.
+        assert_eq!(table.verdict(ty(1), 100, fill_pattern), fill_pattern(100));
+        assert_eq!(table.verdict(ty(1), 5000, fill_pattern), fill_pattern(100));
+    }
+
+    #[test]
+    fn rows_compile_lazily_and_once() {
+        let mut cache = CompiledVerdicts::new();
+        let table = cache.table_for(10, 2);
+        let mut calls = 0;
+        let _ = table.verdict(ty(0), 0, |_| {
+            calls += 1;
+            Verdict::Keep
+        });
+        assert_eq!(calls, 11); // positions 0..=10, once
+        let _ = table.verdict(ty(0), 7, |_| {
+            calls += 1;
+            Verdict::Keep
+        });
+        assert_eq!(calls, 11); // row already built
+    }
+
+    #[test]
+    fn unknown_types_share_the_overflow_row() {
+        let mut cache = CompiledVerdicts::new();
+        let table = cache.table_for(4, 2);
+        // Types 2 and 1_000_000 are both past the trained universe.
+        assert_eq!(table.verdict(ty(2), 1, |_| Verdict::Drop), Verdict::Drop);
+        let mut calls = 0;
+        assert_eq!(
+            table.verdict(ty(1_000_000), 1, |_| {
+                calls += 1;
+                Verdict::Keep
+            }),
+            Verdict::Drop
+        );
+        assert_eq!(calls, 0); // shared row was already compiled
+    }
+
+    #[test]
+    fn partition_row_compiles_once_and_clamps() {
+        let mut cache = CompiledVerdicts::new();
+        let table = cache.table_for(10, 1);
+        let mut calls = 0;
+        let fill = |position: usize| {
+            calls += 1;
+            (position / 4) as u32
+        };
+        assert_eq!(table.partition(9, fill), 2);
+        assert_eq!(calls, 11); // positions 0..=10, once
+        assert_eq!(
+            table.partition(9, |_| {
+                calls += 1;
+                99
+            }),
+            2
+        );
+        assert_eq!(calls, 11); // row already built
+                               // Positions past the window size reuse the clamped trailing entry.
+        assert_eq!(table.partition(5000, |_| 99), 2);
+    }
+
+    #[test]
+    fn lru_keeps_recent_sizes_and_invalidate_clears() {
+        let mut cache = CompiledVerdicts::new();
+        for size in 0..MAX_TABLES + 3 {
+            let _ = cache.table_for(size * 10 + 1, 1);
+        }
+        assert_eq!(cache.tables.len(), MAX_TABLES);
+        // The most recent size is at the front; re-requesting an older one
+        // moves it forward instead of re-creating it.
+        let front = cache.tables[1].window_size;
+        let _ = cache.table_for(front, 1);
+        assert_eq!(cache.tables[0].window_size, front);
+        cache.invalidate();
+        assert!(cache.tables.is_empty());
+    }
+
+    #[test]
+    fn clone_is_cold() {
+        let mut cache = CompiledVerdicts::new();
+        let _ = cache.table_for(8, 1);
+        let cloned = cache.clone();
+        assert!(cloned.tables.is_empty());
+    }
+}

@@ -61,6 +61,7 @@
 
 mod baseline;
 mod cdt;
+mod compiled;
 mod config;
 mod control;
 mod model;

@@ -603,3 +603,170 @@ proptest! {
         prop_assert!(random.decide(&meta, 0, &e).is_keep());
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The compiled decision kernel is byte-identical to the scalar
+    /// per-event oracle across the chunked ingestion sweep: for shard
+    /// counts {1, 2, 4} × chunk capacities {1, 2, 7, 64, 300} × shedding
+    /// on or off × overlap (slide ≪ window), the span-fused engine —
+    /// deciding each open window against whole chunk slices through the
+    /// compiled verdict tables — emits exactly the complex events, merged
+    /// operator statistics and shedder counters of a per-event
+    /// [`Operator::run`] driving a scalar-deciding clone of the same armed
+    /// shedder, boundary thinning included.
+    #[test]
+    fn compiled_kernel_equals_scalar_decide_across_chunk_sizes(
+        types in prop::collection::vec(0u32..6, 30..140),
+        window_size in 4usize..16,
+        slide in 1usize..4,
+        drop_fraction in 0.1f64..0.8,
+        shedding_on in prop::bool::ANY,
+        chunk_capacity in prop::sample::select(vec![1usize, 2, 7, 64, 300]),
+    ) {
+        let model = model_from(&types[..window_size.min(types.len())], &[0, 2]);
+        let query = Query::builder()
+            .pattern(Pattern::sequence([EventType::from_index(0), EventType::from_index(1)]))
+            .window(WindowSpec::count_sliding(window_size, slide))
+            .build();
+        let events: Vec<Event> = types
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| Event::new(EventType::from_index(t), Timestamp::from_secs(i as u64), i as u64))
+            .collect();
+        let stream = VecStream::from_ordered(events);
+
+        let mut armed = EspiceShedder::new(model);
+        if shedding_on {
+            armed.apply(ShedPlan {
+                active: true,
+                partitions: 2,
+                partition_size: window_size.div_ceil(2),
+                events_to_drop: drop_fraction * window_size.div_ceil(2) as f64,
+            });
+        }
+
+        let mut scalar_shedder = armed.clone();
+        let mut scalar = Operator::new(query.clone());
+        let expected = scalar.run(&stream, &mut scalar_shedder);
+
+        for shards in [1usize, 2, 4] {
+            let mut engine = ShardedEngine::new(query.clone(), shards);
+            engine.set_chunk_capacity(chunk_capacity);
+            let mut deciders = vec![armed.clone(); shards];
+            let mut source = espice_events::SliceSource::from_stream(&stream);
+            let merged = engine.run_source(&mut source, &mut deciders);
+            prop_assert_eq!(&merged, &expected,
+                "kernel complex events diverged at {} shards, chunk {} (shedding={})",
+                shards, chunk_capacity, shedding_on);
+            prop_assert_eq!(&engine.stats().merged, scalar.stats(),
+                "kernel stats diverged at {} shards, chunk {}", shards, chunk_capacity);
+            let mut counters = crate::ShedderStats::default();
+            for decider in &deciders {
+                counters.merge(decider.stats());
+            }
+            // `plans_applied` counts the template's arming once per shard
+            // clone; the decision counters are the identity claim.
+            prop_assert_eq!(counters.decisions, scalar_shedder.stats().decisions,
+                "kernel decision counts diverged at {} shards, chunk {}", shards, chunk_capacity);
+            prop_assert_eq!(counters.drops, scalar_shedder.stats().drops,
+                "kernel drop counts diverged at {} shards, chunk {}", shards, chunk_capacity);
+        }
+    }
+
+    /// Crash recovery over a kernel-decided run stays byte-identical: with
+    /// armed eSPICE shedders deciding whole chunk spans through the
+    /// compiled verdict tables, seeded shard panics and stalls recover to
+    /// exactly the fault-free resilient run's complex events, merged
+    /// statistics and shedder counters. The verdict cache is derived
+    /// state — replacement shards replay from pristine decider clones
+    /// (cold caches) and recompile the identical tables from the restored
+    /// plan and model.
+    #[test]
+    fn chaos_recovery_over_kernel_decided_run_is_byte_identical(
+        types in prop::collection::vec(0u32..6, 30..140),
+        window_size in 4usize..14,
+        slide in 1usize..4,
+        drop_fraction in 0.1f64..0.8,
+        chunk_capacity in prop::sample::select(vec![1usize, 7, 64]),
+        seed in 0u64..u64::MAX,
+    ) {
+        use espice_cep::{FaultKind, FaultPlan, ResilienceOptions, RunReport, ShardStatus};
+
+        let model = model_from(&types[..window_size.min(types.len())], &[0, 2]);
+        let query = Query::builder()
+            .pattern(Pattern::sequence([EventType::from_index(0), EventType::from_index(1)]))
+            .window(WindowSpec::count_sliding(window_size, slide))
+            .build();
+        let events: Vec<Event> = types
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| Event::new(EventType::from_index(t), Timestamp::from_secs(i as u64), i as u64))
+            .collect();
+        let stream = VecStream::from_ordered(events);
+
+        let mut armed = EspiceShedder::new(model);
+        armed.apply(ShedPlan {
+            active: true,
+            partitions: 2,
+            partition_size: window_size.div_ceil(2),
+            events_to_drop: drop_fraction * window_size.div_ceil(2) as f64,
+        });
+
+        let counters = |report: &RunReport<EspiceShedder>| {
+            let mut merged = crate::ShedderStats::default();
+            for row in report.deciders.iter().flatten() {
+                for decider in row {
+                    merged.merge(decider.stats());
+                }
+            }
+            merged
+        };
+
+        for shards in [1usize, 2, 4] {
+            let mut oracle_engine = ShardedEngine::new(query.clone(), shards);
+            oracle_engine.set_chunk_capacity(chunk_capacity);
+            let mut source = espice_events::SliceSource::from_stream(&stream);
+            let oracle = oracle_engine
+                .run_source_resilient(
+                    &mut source,
+                    vec![armed.clone(); shards],
+                    &ResilienceOptions::default(),
+                )
+                .unwrap();
+
+            // Seeded faults; producer kills change the delivered stream
+            // and are covered by the sealed-prefix property in espice-cep.
+            let mut plan = FaultPlan::new();
+            for fault in
+                FaultPlan::seeded(seed, shards, stream.len() as u64, chunk_capacity).faults()
+            {
+                if !matches!(fault, FaultKind::KillProducer { .. }) {
+                    plan = plan.with(fault.clone());
+                }
+            }
+            let options = ResilienceOptions { fault_plan: Some(plan), ..Default::default() };
+            let mut chaos_engine = ShardedEngine::new(query.clone(), shards);
+            chaos_engine.set_chunk_capacity(chunk_capacity);
+            let mut source = espice_events::SliceSource::from_stream(&stream);
+            let report = chaos_engine
+                .run_source_resilient(&mut source, vec![armed.clone(); shards], &options)
+                .unwrap();
+
+            prop_assert_eq!(&report.complex_events, &oracle.complex_events,
+                "recovered kernel output diverged at {} shards, chunk {}, seed {}",
+                shards, chunk_capacity, seed);
+            prop_assert_eq!(chaos_engine.stats().merged, oracle_engine.stats().merged,
+                "recovered kernel stats diverged at {} shards, chunk {}, seed {}",
+                shards, chunk_capacity, seed);
+            prop_assert_eq!(counters(&report), counters(&oracle),
+                "recovered shedder counters diverged at {} shards, chunk {}, seed {}",
+                shards, chunk_capacity, seed);
+            for status in &report.shard_status {
+                prop_assert!(!matches!(status, ShardStatus::Failed(_)),
+                    "no shard may exhaust its restart budget under a seeded plan: {:?}", status);
+            }
+        }
+    }
+}

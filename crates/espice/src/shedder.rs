@@ -6,8 +6,11 @@
 //! `UT(T, P)` and drop the event from the window if the utility is less than
 //! or equal to the threshold of the partition the position falls into.
 
+use crate::compiled::{CompiledVerdicts, Verdict};
 use crate::{Cdt, ShedPlan, UtilityModel};
-use espice_cep::{BatchRequest, Decision, QueryId, WindowEventDecider, WindowId, WindowMeta};
+use espice_cep::{
+    BatchRequest, Decision, DropSet, QueryId, WindowEventDecider, WindowId, WindowMeta,
+};
 use espice_events::Event;
 use serde::{Deserialize, Serialize};
 
@@ -175,6 +178,10 @@ pub struct EspiceShedder {
     /// The most recently applied plan, reused when the model is swapped after
     /// retraining.
     last_plan: Option<ShedPlan>,
+    /// Compiled verdict tables for the span kernel — derived from the model
+    /// and active plan, invalidated on every plan/model change, cloned cold
+    /// (see [`CompiledVerdicts`]).
+    compiled: CompiledVerdicts,
     stats: ShedderStats,
 }
 
@@ -182,7 +189,13 @@ impl EspiceShedder {
     /// Creates a shedder that uses `model` for its utility lookups. The
     /// shedder starts inactive (keeps everything).
     pub fn new(model: UtilityModel) -> Self {
-        EspiceShedder { model, active: None, last_plan: None, stats: ShedderStats::default() }
+        EspiceShedder {
+            model,
+            active: None,
+            last_plan: None,
+            compiled: CompiledVerdicts::new(),
+            stats: ShedderStats::default(),
+        }
     }
 
     /// The model the shedder currently uses.
@@ -193,8 +206,13 @@ impl EspiceShedder {
     /// Replaces the model (after retraining) while keeping the current
     /// activation state: if shedding is active, the most recently applied plan
     /// is re-applied against the new model so the thresholds stay consistent.
+    /// Live per-window boundary accumulators survive the swap (see
+    /// [`apply`](Self::apply)): a retraining swap changes *thresholds*, not
+    /// which windows are open, so re-seeding every open window's thinning
+    /// phase would skew the realised drop counts at every swap.
     pub fn set_model(&mut self, model: UtilityModel) {
         self.model = model;
+        self.compiled.invalidate();
         if self.active.is_some() {
             if let Some(plan) = self.last_plan {
                 self.apply(plan);
@@ -280,15 +298,28 @@ impl EspiceShedder {
         }
         self.last_plan = Some(plan);
         self.stats.plans_applied += 1;
+        self.compiled.invalidate();
         let partitions = plan.partitions.max(1);
         let per_partition =
             self.thresholds_for(partitions, plan.events_to_drop, plan.partition_size);
-        self.active = Some(ActiveShedding { partitions, per_partition, accumulators: Vec::new() });
+        // Open windows keep their boundary accumulators across a re-plan
+        // with the same partition count (most importantly the model swap
+        // after retraining, which re-applies the current plan): the
+        // accumulators carry each window's thinning *phase*, and resetting
+        // it mid-window would re-seed every open window at ½ and skew the
+        // realised boundary drops. A different partition count changes the
+        // accumulator geometry, so those start fresh.
+        let accumulators = match self.active.take() {
+            Some(previous) if previous.partitions == partitions => previous.accumulators,
+            _ => Vec::new(),
+        };
+        self.active = Some(ActiveShedding { partitions, per_partition, accumulators });
     }
 
     /// Stops shedding; every subsequent decision keeps the event.
     pub fn deactivate(&mut self) {
         self.active = None;
+        self.compiled.invalidate();
     }
 }
 
@@ -362,6 +393,103 @@ impl WindowEventDecider for EspiceShedder {
             }
         }
         self.stats.drops += drops;
+    }
+
+    /// Span kernel: a straight-line walk of the compiled verdict table.
+    ///
+    /// The span's events occupy consecutive positions of one window, so
+    /// after the (lazy, once-per-type) row compilation each decision is a
+    /// single shift-and-mask load; drops are accumulated as monotone runs
+    /// and appended via [`DropSet::push_run`]. Only the rare `Boundary`
+    /// verdict falls back to the stateful per-window thinning accumulator —
+    /// the same accumulator the scalar [`decide`] advances, so the two
+    /// paths stay decision-for-decision identical.
+    ///
+    /// [`decide`]: WindowEventDecider::decide
+    fn decide_span(
+        &mut self,
+        meta: &WindowMeta,
+        start_position: usize,
+        events: &[Event],
+        drops: &mut DropSet,
+    ) -> usize {
+        let EspiceShedder { model, active, compiled, stats, .. } = self;
+        stats.decisions += events.len() as u64;
+        let Some(active) = active.as_mut() else {
+            return 0;
+        };
+        let window_size = meta.predicted_size.max(1);
+        let partitions = active.partitions;
+        let per_partition = &active.per_partition;
+        let accumulators = &mut active.accumulators;
+        let table = compiled.table_for(window_size, model.utility_table().num_types());
+        // The whole span belongs to one window, so the boundary path's
+        // per-window accumulator entry is resolved at most once per call
+        // (lazily, so windows that never hit the boundary level still never
+        // allocate one) instead of scanned per decision.
+        let key = (meta.query, meta.id);
+        let mut accumulator_index: Option<usize> = None;
+        let mut dropped = 0usize;
+        let mut run_start = 0usize;
+        let mut run_len = 0usize;
+        for (offset, event) in events.iter().enumerate() {
+            let position = start_position + offset;
+            let verdict = table.verdict(event.event_type(), position, |entry| {
+                // Row compilation (first event of this type for this window
+                // size): fold utility lookup, bin mapping, partition mapping
+                // and threshold classification into the stored verdict.
+                let utility = model.utility(event.event_type(), entry, window_size);
+                let partition = model.partition_of(entry, window_size, partitions);
+                match per_partition[partition].classify(utility) {
+                    Some(true) => Verdict::Drop,
+                    Some(false) => Verdict::Keep,
+                    None => Verdict::Boundary,
+                }
+            });
+            let drop = match verdict {
+                Verdict::Keep => false,
+                Verdict::Drop => true,
+                Verdict::Boundary => {
+                    let index = match accumulator_index {
+                        Some(index) => index,
+                        None => {
+                            let index = match accumulators
+                                .iter()
+                                .position(|(window, _)| *window == key)
+                            {
+                                Some(index) => index,
+                                None => {
+                                    accumulators
+                                        .push((key, vec![boundary_seed(key.1); partitions].into()));
+                                    accumulators.len() - 1
+                                }
+                            };
+                            accumulator_index = Some(index);
+                            index
+                        }
+                    };
+                    let partition = table.partition(position, |entry| {
+                        model.partition_of(entry, window_size, partitions) as u32
+                    });
+                    per_partition[partition].thin_boundary(&mut accumulators[index].1[partition])
+                }
+            };
+            if drop {
+                if run_len == 0 {
+                    run_start = position;
+                }
+                run_len += 1;
+                dropped += 1;
+            } else if run_len > 0 {
+                drops.push_run(run_start, run_len);
+                run_len = 0;
+            }
+        }
+        if run_len > 0 {
+            drops.push_run(run_start, run_len);
+        }
+        stats.drops += dropped as u64;
+        dropped
     }
 
     /// Releases the closed window's boundary accumulators; with the
@@ -584,6 +712,133 @@ mod tests {
         assert_eq!(decisions, vec![Decision::Keep; 3]);
         assert_eq!(shedder.stats().decisions, 3);
         assert_eq!(shedder.stats().drops, 0);
+    }
+
+    fn meta_for(id: u64, predicted: usize) -> WindowMeta {
+        WindowMeta {
+            id,
+            query: 0,
+            opened_at: Timestamp::ZERO,
+            open_seq: 0,
+            predicted_size: predicted,
+        }
+    }
+
+    #[test]
+    fn decide_span_matches_sequential_decides_exactly() {
+        // Non-trivial boundary fraction so accumulator state matters, two
+        // partitions so the partition mapping is exercised, and window
+        // sizes alternating between 4 and 8 so the size-table cache holds
+        // more than one table at once.
+        let plan = ShedPlan { active: true, partitions: 2, partition_size: 2, events_to_drop: 1.5 };
+        let mut scalar = EspiceShedder::new(trained_model());
+        let mut kernel = EspiceShedder::new(trained_model());
+        scalar.apply(plan);
+        kernel.apply(plan);
+
+        let mut seq = 0u64;
+        for window in 0..40u64 {
+            let m = meta_for(window, if window % 3 == 0 { 8 } else { 4 });
+            let start = (window % 5) as usize;
+            let events: Vec<Event> = (0..7)
+                .map(|i| {
+                    seq += 1;
+                    Event::new(ty(((start + i) % 2) as u32), Timestamp::ZERO, seq)
+                })
+                .collect();
+            let mut expected = DropSet::new();
+            let mut expected_count = 0;
+            for (i, event) in events.iter().enumerate() {
+                if !scalar.decide(&m, start + i, event).is_keep() {
+                    expected.push(start + i);
+                    expected_count += 1;
+                }
+            }
+            let mut got = DropSet::new();
+            let got_count = kernel.decide_span(&m, start, &events, &mut got);
+            assert_eq!(got_count, expected_count, "window {window}");
+            assert_eq!(
+                got.iter().collect::<Vec<_>>(),
+                expected.iter().collect::<Vec<_>>(),
+                "window {window}"
+            );
+            scalar.window_closed(&m, start + 7);
+            kernel.window_closed(&m, start + 7);
+        }
+        assert_eq!(scalar.stats(), kernel.stats());
+        assert!(kernel.stats().drops > 0);
+    }
+
+    #[test]
+    fn decide_span_keeps_everything_when_inactive() {
+        let mut shedder = EspiceShedder::new(trained_model());
+        let events: Vec<Event> = (0..5).map(|i| Event::new(ty(0), Timestamp::ZERO, i)).collect();
+        let mut drops = DropSet::new();
+        assert_eq!(shedder.decide_span(&meta(4), 0, &events, &mut drops), 0);
+        assert!(drops.is_empty());
+        assert_eq!(shedder.stats().decisions, 5);
+        assert_eq!(shedder.stats().drops, 0);
+    }
+
+    #[test]
+    fn reapplying_a_plan_invalidates_compiled_verdicts() {
+        let mut shedder = EspiceShedder::new(trained_model());
+        // Plan 1 keeps the valuable type-0 cell at position 0.
+        shedder.apply(ShedPlan {
+            active: true,
+            partitions: 1,
+            partition_size: 4,
+            events_to_drop: 2.0,
+        });
+        let e0 = vec![Event::new(ty(0), Timestamp::ZERO, 0)];
+        let mut drops = DropSet::new();
+        assert_eq!(shedder.decide_span(&meta(4), 0, &e0, &mut drops), 0);
+        // Plan 2 requests more drops than exist: position 0 must now go. A
+        // stale verdict table would keep returning the plan-1 verdict.
+        shedder.apply(ShedPlan {
+            active: true,
+            partitions: 1,
+            partition_size: 4,
+            events_to_drop: 100.0,
+        });
+        let mut drops = DropSet::new();
+        assert_eq!(shedder.decide_span(&meta(4), 0, &e0, &mut drops), 1);
+        assert_eq!(drops.iter().collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn set_model_preserves_boundary_accumulators() {
+        // With one partition and 1.5 drops over the 2-mass zero-utility
+        // level, the boundary fraction is 0.75: starting from the ½ seed the
+        // thinning sequence is Drop (1.25 → 0.25), Drop (1.0 → 0.0), Keep
+        // (0.75), … A mid-stream model swap must continue that sequence, not
+        // re-seed it.
+        let plan = ShedPlan { active: true, partitions: 1, partition_size: 4, events_to_drop: 1.5 };
+        let mut swapped = EspiceShedder::new(trained_model());
+        let mut control = EspiceShedder::new(trained_model());
+        swapped.apply(plan);
+        control.apply(plan);
+        // A zero-utility cell (type 0 at position 2) sits exactly on the
+        // threshold, so every decision goes through the accumulator.
+        let boundary = Event::new(ty(0), Timestamp::ZERO, 0);
+        assert!(!swapped.decide(&meta(4), 2, &boundary).is_keep());
+        assert!(!control.decide(&meta(4), 2, &boundary).is_keep());
+        assert_eq!(swapped.tracked_windows(), 1);
+        // Retraining swap mid-window: the open window's accumulator (now at
+        // 0.25) must survive.
+        swapped.set_model(trained_model());
+        assert!(swapped.is_active());
+        assert_eq!(swapped.tracked_windows(), 1, "model swap reset live accumulators");
+        for round in 0..8 {
+            assert_eq!(
+                swapped.decide(&meta(4), 2, &boundary),
+                control.decide(&meta(4), 2, &boundary),
+                "thinning phase diverged after the swap (round {round})"
+            );
+        }
+        // A partition-count change does reset (different geometry).
+        swapped.apply(ShedPlan { active: true, partitions: 2, partition_size: 2, ..plan });
+        assert_eq!(swapped.tracked_windows(), 0);
     }
 
     #[test]

@@ -18,9 +18,9 @@ use espice::{
     ShedPlanner,
 };
 use espice_cep::{
-    BatchRequest, BoxedDecider, ComplexEvent, Decision, EngineError, EngineStats, LifecycleReport,
-    OwnershipPolicy, Query, QueryId, QuerySet, QueueSample, QueueStats, ResilienceOptions,
-    ShardStatus, ShardedEngine, SharedDecider, WindowEventDecider, WindowMeta,
+    BatchRequest, BoxedDecider, ComplexEvent, Decision, DropSet, EngineError, EngineStats,
+    LifecycleReport, OwnershipPolicy, Query, QueryId, QuerySet, QueueSample, QueueStats,
+    ResilienceOptions, ShardStatus, ShardedEngine, SharedDecider, WindowEventDecider, WindowMeta,
 };
 use espice_events::{Event, EventSource};
 use std::sync::Arc;
@@ -96,6 +96,19 @@ impl<S: AdaptiveShedder> WindowEventDecider for ClosedLoopShedder<S> {
         decisions: &mut Vec<Decision>,
     ) {
         self.inner.decide_batch(event, requests, decisions);
+    }
+
+    fn decide_span(
+        &mut self,
+        meta: &WindowMeta,
+        start_position: usize,
+        events: &[Event],
+        drops: &mut DropSet,
+    ) -> usize {
+        // Forwarded so a wrapped shedder's compiled span kernel (e.g.
+        // [`EspiceShedder`](espice::EspiceShedder)) is reached from the
+        // closed-loop path instead of falling back to per-event delegation.
+        self.inner.decide_span(meta, start_position, events, drops)
     }
 
     fn window_closed(&mut self, meta: &WindowMeta, size: usize) {
@@ -741,6 +754,20 @@ mod tests {
                 std::hint::spin_loop();
             }
             self.inner.decide_batch(event, requests, decisions);
+        }
+
+        fn decide_span(
+            &mut self,
+            meta: &WindowMeta,
+            start_position: usize,
+            events: &[Event],
+            drops: &mut espice_cep::DropSet,
+        ) -> usize {
+            let start = Instant::now();
+            while start.elapsed() < self.spin {
+                std::hint::spin_loop();
+            }
+            self.inner.decide_span(meta, start_position, events, drops)
         }
 
         fn window_closed(&mut self, meta: &WindowMeta, size: usize) {
