@@ -32,6 +32,7 @@ const REPORTS: &[&str] = &[
     "BENCH_stream.json",
     "BENCH_multiquery.json",
     "BENCH_steal.json",
+    "BENCH_quality.json",
 ];
 
 struct Args {
@@ -106,15 +107,22 @@ fn main() -> ExitCode {
 
         let failures: Vec<_> = comparison.failures().collect();
         let warnings: Vec<_> = comparison.warnings().collect();
-        total_warnings += warnings.len();
+        total_warnings += warnings.len() + comparison.new_metrics.len();
         println!(
-            "{report}: {} metrics compared, {} gated regression(s), {} warning(s)",
+            "{report}: {} metrics compared, {} gated regression(s), {} warning(s), {} new metric(s)",
             comparison.compared,
             failures.len(),
-            warnings.len()
+            warnings.len(),
+            comparison.new_metrics.len()
         );
         for warning in &warnings {
             println!("  warn  {warning} [wall-clock metric; single-core CI caveat]");
+        }
+        for (path, value) in &comparison.new_metrics {
+            println!(
+                "  NEW   {path} = {value:.4} [no baseline entry; regenerate and commit the \
+                 baselines to start gating it]"
+            );
         }
         for failure in &failures {
             println!("  FAIL  {failure} [hardware-independent ratio]");
@@ -131,8 +139,8 @@ fn main() -> ExitCode {
     if failed {
         eprintln!(
             "check_bench: gated bench regression detected — a hardware-independent speedup \
-             ratio declined by more than {:.0}%. Re-run the bench locally; if the regression \
-             is intended, regenerate and commit the BENCH_*.json baselines.",
+             or quality ratio declined by more than {:.0}%. Re-run the bench locally; if the \
+             regression is intended, regenerate and commit the BENCH_*.json baselines.",
             args.tolerance * 100.0
         );
         ExitCode::FAILURE

@@ -10,8 +10,10 @@
 //!
 //! * **gated** metrics — same-process speedup *ratios* (shared-ring vs
 //!   reference storage, projected shard scaling, batched vs scalar
-//!   decisions, chunked-arena vs per-event broadcast ingestion). Both
-//!   sides of a ratio run in the same process on the same host, so the
+//!   decisions, chunked-arena vs per-event broadcast ingestion) and the
+//!   quality matrix's deterministic `recall` / `false_positive_ratio`
+//!   leaves. Both sides of a ratio run in the same process on the same
+//!   host (and the quality runs are bit-for-bit reproducible), so the
 //!   ratio is hardware-independent; a decline beyond the tolerance fails
 //!   the build.
 //! * **informational** metrics — absolute throughput (`events_per_sec`),
@@ -247,6 +249,14 @@ pub fn classify(key: &str) -> Option<(Severity, Direction)> {
     if GATED.contains(&key) {
         return Some((Severity::Gate, Direction::HigherIsBetter));
     }
+    // Quality ratios of the shedder family matrix: deterministic (seeded
+    // datasets, slice backend, single shard), so they gate hard too.
+    if key == "recall" {
+        return Some((Severity::Gate, Direction::HigherIsBetter));
+    }
+    if key == "false_positive_ratio" {
+        return Some((Severity::Gate, Direction::LowerIsBetter));
+    }
     // Absolute rates and cross-thread ratios: informational on 1-core CI.
     if key.ends_with("events_per_sec")
         || key == "vs_slice"
@@ -298,6 +308,11 @@ pub struct Comparison {
     pub compared: usize,
     /// Declines beyond tolerance, gated and warn-only alike.
     pub regressions: Vec<Regression>,
+    /// Metric leaves present in the current report but absent from the
+    /// baseline (`(path, value)`). Surfaced as NEW warnings instead of
+    /// being silently skipped — a fresh metric is not compared, and
+    /// will not be until the baselines are regenerated to include it.
+    pub new_metrics: Vec<(String, f64)>,
 }
 
 impl Comparison {
@@ -332,11 +347,19 @@ fn walk(
     out: &mut Comparison,
 ) {
     match (baseline, current) {
-        (Json::Object(entries), Json::Object(_)) => {
+        (Json::Object(entries), Json::Object(current_entries)) => {
             for (key, value) in entries {
                 if let Some(other) = current.get(key) {
                     let child = if path.is_empty() { key.clone() } else { format!("{path}.{key}") };
                     walk(value, other, &child, classify(key), tolerance, out);
+                }
+            }
+            // Keys the baseline does not have yet: report their metric
+            // leaves as NEW instead of silently skipping them.
+            for (key, value) in current_entries {
+                if baseline.get(key).is_none() {
+                    let child = if path.is_empty() { key.clone() } else { format!("{path}.{key}") };
+                    collect_new_metrics(value, &child, classify(key), out);
                 }
             }
         }
@@ -344,6 +367,9 @@ fn walk(
             for (index, (a, b)) in left.iter().zip(right.iter()).enumerate() {
                 let child = format!("{path}[{index}]");
                 walk(a, b, &child, None, tolerance, out);
+            }
+            for (index, extra) in right.iter().enumerate().skip(left.len()) {
+                collect_new_metrics(extra, &format!("{path}[{index}]"), None, out);
             }
         }
         (Json::Number(baseline), Json::Number(current)) => {
@@ -363,6 +389,34 @@ fn walk(
                     severity,
                 });
             }
+        }
+        _ => {}
+    }
+}
+
+/// Records every numeric leaf under `current` whose key classifies as a
+/// metric — the current-only counterpart of `walk` for subtrees the
+/// baseline lacks entirely.
+fn collect_new_metrics(
+    current: &Json,
+    path: &str,
+    key_class: Option<(Severity, Direction)>,
+    out: &mut Comparison,
+) {
+    match current {
+        Json::Object(entries) => {
+            for (key, value) in entries {
+                let child = if path.is_empty() { key.clone() } else { format!("{path}.{key}") };
+                collect_new_metrics(value, &child, classify(key), out);
+            }
+        }
+        Json::Array(items) => {
+            for (index, item) in items.iter().enumerate() {
+                collect_new_metrics(item, &format!("{path}[{index}]"), None, out);
+            }
+        }
+        Json::Number(value) if key_class.is_some() => {
+            out.new_metrics.push((path.to_owned(), *value));
         }
         _ => {}
     }
@@ -484,5 +538,45 @@ mod tests {
         let comparison = compare_reports(&baseline, &current, 0.25);
         assert_eq!(comparison.compared, 1, "only the shared row is compared");
         assert!(comparison.regressions.is_empty());
+        // "x" is not a metric key, so the new section adds no NEW entries.
+        assert!(comparison.new_metrics.is_empty());
+    }
+
+    #[test]
+    fn quality_ratios_gate_in_both_directions() {
+        assert_eq!(classify("recall"), Some((Severity::Gate, Direction::HigherIsBetter)));
+        assert_eq!(
+            classify("false_positive_ratio"),
+            Some((Severity::Gate, Direction::LowerIsBetter))
+        );
+        let baseline =
+            parse_json(r#"{"s": [{"recall": 0.9, "false_positive_ratio": 0.1}]}"#).unwrap();
+        let current =
+            parse_json(r#"{"s": [{"recall": 0.5, "false_positive_ratio": 0.2}]}"#).unwrap();
+        let comparison = compare_reports(&baseline, &current, 0.25);
+        let failures: Vec<_> = comparison.failures().collect();
+        assert_eq!(failures.len(), 2, "{failures:?}");
+        assert!(failures.iter().any(|f| f.path == "s[0].recall"));
+        assert!(failures.iter().any(|f| f.path == "s[0].false_positive_ratio"));
+    }
+
+    #[test]
+    fn current_only_metrics_surface_as_new() {
+        let baseline = parse_json(r#"{"runs": [{"speedup": 2.0}]}"#).unwrap();
+        let current = parse_json(
+            r#"{"runs": [{"speedup": 2.1, "recall": 0.9}, {"speedup": 3.0}],
+                "quality": {"rows": [{"false_positive_ratio": 0.05, "events": 10}]}}"#,
+        )
+        .unwrap();
+        let comparison = compare_reports(&baseline, &current, 0.25);
+        assert_eq!(comparison.compared, 1);
+        let paths: Vec<&str> = comparison.new_metrics.iter().map(|(p, _)| p.as_str()).collect();
+        assert_eq!(
+            paths,
+            vec!["runs[0].recall", "runs[1].speedup", "quality.rows[0].false_positive_ratio"],
+            "shared-row new key, extra-row metric and new-section metric all surface"
+        );
+        // Non-metric config leaves ("events") stay out.
+        assert!(comparison.new_metrics.iter().all(|(p, _)| !p.contains("events")));
     }
 }

@@ -83,6 +83,7 @@ pub mod faults;
 pub mod lifecycle;
 mod matcher;
 mod operator;
+mod partial;
 mod pattern;
 mod predicate;
 #[cfg(test)]

@@ -124,6 +124,13 @@ struct OpenWindow {
     start_pos: u64,
     /// Positions (slot offsets) the decider dropped from *this* window.
     dropped: DropSet,
+    /// pSPICE-style partial-match store, tracked only when the decider
+    /// returned a budget from
+    /// [`WindowEventDecider::partial_match_budget`] at open time. Kept
+    /// events feed it; past the budget it evicts the open partial match
+    /// with the lowest utility-per-remaining-cost and retro-drops
+    /// constituents nothing else references into `dropped`.
+    partial: Option<crate::partial::PartialStore>,
 }
 
 /// A single CEP operator executing one [`Query`].
@@ -486,11 +493,18 @@ impl Operator {
                     predicted_size: self.predicted_window_size(),
                 };
                 self.stats.windows_opened += 1;
+                // The budget is consulted exactly once per window open, so
+                // already-open windows finish under the budget they started
+                // with and replay-based recovery reconstructs identical
+                // stores.
+                let partial =
+                    decider.partial_match_budget(&meta).map(crate::partial::PartialStore::new);
                 self.open.push_back(OpenWindow {
                     meta,
                     start: self.ring.next_slot(),
                     start_pos: self.stats.events_processed - 1,
                     dropped: DropSet::new(),
+                    partial,
                 });
             }
         }
@@ -517,15 +531,28 @@ impl Operator {
                 "decide_batch must produce exactly one decision per request"
             );
             let mut kept = 0u64;
+            let mut retro = 0u64;
+            let pattern = self.query.pattern();
             for (window, decision) in self.open.iter_mut().zip(&self.batch_decisions) {
+                let position = (slot - window.start) as usize;
                 if decision.is_keep() {
                     kept += 1;
+                    if let Some(store) = window.partial.as_mut() {
+                        let utility = decider.constituent_utility(&window.meta, position, event);
+                        retro += store.feed(pattern, position, event, utility, &mut window.dropped)
+                            as u64;
+                    }
                 } else {
-                    window.dropped.push((slot - window.start) as usize);
+                    window.dropped.push(position);
                 }
             }
             self.stats.kept += kept;
             self.stats.dropped += self.batch_requests.len() as u64 - kept;
+            // Retro-drops demote assignments that were already counted as
+            // kept (possibly in earlier pushes), preserving
+            // `kept + dropped == assignments`.
+            self.stats.kept -= retro;
+            self.stats.dropped += retro;
         }
 
         // 4. Close count-based windows that filled up. Older windows always
@@ -638,16 +665,39 @@ impl Operator {
             self.peak_resident = self.peak_resident.max(self.ring.len());
             let assigned = sub_run.len() as u64;
             let mut dropped_total = 0u64;
+            let mut retro_total = 0u64;
+            let pattern = self.query.pattern();
             for window in self.open.iter_mut() {
                 let start_position = (base - window.start) as usize;
                 let dropped =
                     decider.decide_span(&window.meta, start_position, sub_run, &mut window.dropped);
                 dropped_total += dropped as u64;
+                if let Some(store) = window.partial.as_mut() {
+                    // Feed the window's kept positions in order — the same
+                    // per-window sequence the per-event path produces, so
+                    // the store state (and its retro-drops) stays
+                    // byte-identical between the two paths.
+                    for (offset, event) in sub_run.iter().enumerate() {
+                        let position = start_position + offset;
+                        if window.dropped.contains(position) {
+                            continue;
+                        }
+                        let utility = decider.constituent_utility(&window.meta, position, event);
+                        retro_total +=
+                            store.feed(pattern, position, event, utility, &mut window.dropped)
+                                as u64;
+                    }
+                }
             }
             let windows = self.open.len() as u64;
             self.stats.assignments += assigned * windows;
             self.stats.dropped += dropped_total;
             self.stats.kept += assigned * windows - dropped_total;
+            // Retro-drops demote previously-kept assignments (see
+            // `push_routed` step 3); order matters — this sub-run's kept
+            // are added above before older ones are demoted.
+            self.stats.kept -= retro_total;
+            self.stats.dropped += retro_total;
             self.stats.events_processed += assigned;
 
             // Close count-based windows the sub-run filled (step 4 of

@@ -1,0 +1,304 @@
+//! pSPICE's partial-match store: per-window tracking of open partial
+//! matches, shed by utility-per-remaining-cost once the store exceeds its
+//! budget.
+//!
+//! Where eSPICE (and the other table-compiled family members) drop *input
+//! events* before they reach the operator, pSPICE lets every event in and
+//! sheds the operator's *state*: when a window tracks more open partial
+//! matches than its budget allows, the match with the lowest expected
+//! return — accumulated utility divided by the events still missing — is
+//! evicted, and every kept event referenced **only** by evicted matches is
+//! retroactively dropped from the window ([`DropSet::insert`]). Events that
+//! contributed to a completed match, or that another live match still
+//! references, are never retro-dropped.
+//!
+//! The store is a deliberately lightweight *proxy* of the real matcher: it
+//! advances one partial match per admissible event per step (skip-till-any
+//! semantics, one spawn per admissible step-0 event) rather than
+//! enumerating every combination the closing-time matcher would. That
+//! keeps the per-event cost O(live matches) — bounded by the budget — and
+//! is entirely deterministic: feeding the same (position, event, utility)
+//! sequence always evicts the same matches, which is what pins shedded
+//! output byte-identical across shard counts and chunk sizes.
+
+use crate::pattern::Pattern;
+use crate::ring::DropSet;
+use espice_events::{Event, EventType};
+
+/// One open partial match: how far through the pattern it has advanced and
+/// which window positions it references.
+#[derive(Debug, Clone)]
+struct PartialMatch {
+    /// Index of the pattern step currently being filled.
+    step: usize,
+    /// Events already taken by the current step.
+    taken_in_step: usize,
+    /// Types taken by the current step (tracked only for distinct-type
+    /// steps, cleared on step advance).
+    in_step_types: Vec<EventType>,
+    /// Sum of the constituent utilities accumulated so far.
+    utility: u64,
+    /// Window positions of the referenced events, in arrival order.
+    positions: Vec<u32>,
+    /// Spawn order within the window — the eviction tie-breaker (younger
+    /// matches are evicted first on equal score).
+    born: u64,
+}
+
+impl PartialMatch {
+    /// Events still missing for a full match. At least 1 for any live
+    /// match (completed matches are retired immediately).
+    fn remaining(&self, total_events: usize) -> u64 {
+        (total_events as u64).saturating_sub(self.positions.len() as u64).max(1)
+    }
+}
+
+/// The per-window partial-match store (see the module docs).
+///
+/// Owned by the operator's open-window state and fed once per *kept*
+/// event, in position order. Created only for windows whose decider
+/// returned a budget from
+/// [`WindowEventDecider::partial_match_budget`](crate::WindowEventDecider::partial_match_budget).
+#[derive(Debug, Clone)]
+pub(crate) struct PartialStore {
+    /// Maximum number of live partial matches before eviction kicks in.
+    budget: usize,
+    /// Open partial matches, in spawn order.
+    live: Vec<PartialMatch>,
+    /// Window positions referenced by a *completed* match, sorted. These
+    /// produced (proxy) complex events and are never retro-dropped.
+    protected: Vec<u32>,
+    /// Spawn counter feeding [`PartialMatch::born`].
+    next_born: u64,
+}
+
+impl PartialStore {
+    /// An empty store that evicts past `budget` live matches.
+    pub(crate) fn new(budget: usize) -> Self {
+        PartialStore { budget, live: Vec::new(), protected: Vec::new(), next_born: 0 }
+    }
+
+    /// Feeds one kept `event` at window `position` with constituent
+    /// utility `utility` through the store: advances and spawns partial
+    /// matches, then evicts down to the budget, retro-dropping orphaned
+    /// positions into `dropped`. Returns how many positions were
+    /// retro-dropped (all strictly below `position`... or `position`
+    /// itself if the spawn it fed was immediately evicted).
+    ///
+    /// Must be called in strictly increasing `position` order per window.
+    pub(crate) fn feed(
+        &mut self,
+        pattern: &Pattern,
+        position: usize,
+        event: &Event,
+        utility: u8,
+        dropped: &mut DropSet,
+    ) -> usize {
+        let position = u32::try_from(position).expect("window positions fit in u32");
+        // 1. Advance every live match whose current step admits the event
+        //    (respecting distinct-type steps), retiring completions.
+        let mut index = 0;
+        while index < self.live.len() {
+            let m = &mut self.live[index];
+            let step = &pattern.steps()[m.step];
+            let admissible = step.admits(event)
+                && !(step.distinct_types() && m.in_step_types.contains(&event.event_type()));
+            if admissible {
+                m.utility += utility as u64;
+                m.positions.push(position);
+                m.taken_in_step += 1;
+                if step.distinct_types() {
+                    m.in_step_types.push(event.event_type());
+                }
+                if m.taken_in_step == step.count() {
+                    m.step += 1;
+                    m.taken_in_step = 0;
+                    m.in_step_types.clear();
+                }
+                if m.step == pattern.len() {
+                    // Completed: retire and protect its constituents.
+                    let retired = self.live.remove(index);
+                    for p in retired.positions {
+                        if let Err(at) = self.protected.binary_search(&p) {
+                            self.protected.insert(at, p);
+                        }
+                    }
+                    continue;
+                }
+            }
+            index += 1;
+        }
+        // 2. Spawn a new match if the event can open one (one spawn per
+        //    admissible event — the skip-till-any proxy).
+        if pattern.steps()[0].admits(event) {
+            let step = &pattern.steps()[0];
+            let mut spawned = PartialMatch {
+                step: 0,
+                taken_in_step: 1,
+                in_step_types: if step.distinct_types() {
+                    vec![event.event_type()]
+                } else {
+                    Vec::new()
+                },
+                utility: utility as u64,
+                positions: vec![position],
+                born: self.next_born,
+            };
+            self.next_born += 1;
+            if step.count() == 1 {
+                spawned.step = 1;
+                spawned.taken_in_step = 0;
+                spawned.in_step_types.clear();
+            }
+            if spawned.step == pattern.len() {
+                // Single-event pattern: complete on arrival.
+                if let Err(at) = self.protected.binary_search(&position) {
+                    self.protected.insert(at, position);
+                }
+            } else {
+                self.live.push(spawned);
+            }
+        }
+        // 3. Evict down to the budget by lowest utility-per-remaining-cost.
+        let total_events = pattern.total_events();
+        let mut retro = 0usize;
+        while self.live.len() > self.budget {
+            let mut victim = 0;
+            for candidate in 1..self.live.len() {
+                let (a, b) = (&self.live[victim], &self.live[candidate]);
+                // a.utility / a.remaining  vs  b.utility / b.remaining,
+                // compared exactly via cross-multiplication.
+                let a_score = a.utility as u128 * b.remaining(total_events) as u128;
+                let b_score = b.utility as u128 * a.remaining(total_events) as u128;
+                if b_score < a_score || (b_score == a_score && b.born > a.born) {
+                    victim = candidate;
+                }
+            }
+            let evicted = self.live.remove(victim);
+            for &p in &evicted.positions {
+                let referenced = self.protected.binary_search(&p).is_ok()
+                    || self.live.iter().any(|m| m.positions.contains(&p));
+                if !referenced && !dropped.contains(p as usize) {
+                    dropped.insert(p as usize);
+                    retro += 1;
+                }
+            }
+        }
+        retro
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PatternStep;
+    use espice_events::Timestamp;
+
+    fn ty(i: u32) -> EventType {
+        EventType::from_index(i)
+    }
+
+    fn ev(t: u32, seq: u64) -> Event {
+        Event::new(ty(t), Timestamp::ZERO, seq)
+    }
+
+    #[test]
+    fn matches_advance_complete_and_protect() {
+        let pattern = Pattern::sequence([ty(0), ty(1)]);
+        let mut store = PartialStore::new(8);
+        let mut dropped = DropSet::new();
+        assert_eq!(store.feed(&pattern, 0, &ev(0, 0), 10, &mut dropped), 0);
+        assert_eq!(store.live.len(), 1);
+        // Type 1 completes the match: retired and protected, nothing live.
+        assert_eq!(store.feed(&pattern, 1, &ev(1, 1), 10, &mut dropped), 0);
+        assert!(store.live.is_empty());
+        assert_eq!(store.protected, vec![0, 1]);
+        assert!(dropped.is_empty());
+    }
+
+    #[test]
+    fn eviction_drops_orphaned_positions_only() {
+        let pattern = Pattern::sequence([ty(0), ty(1)]);
+        let mut store = PartialStore::new(1);
+        let mut dropped = DropSet::new();
+        // Two open step-0 matches; budget 1 evicts the lower-utility one.
+        store.feed(&pattern, 0, &ev(0, 0), 50, &mut dropped);
+        let retro = store.feed(&pattern, 1, &ev(0, 1), 10, &mut dropped);
+        // The younger, lower-utility match at position 1 is evicted and its
+        // only constituent retro-dropped.
+        assert_eq!(retro, 1);
+        assert!(dropped.contains(1));
+        assert!(!dropped.contains(0));
+        assert_eq!(store.live.len(), 1);
+    }
+
+    #[test]
+    fn ties_evict_the_youngest() {
+        let pattern = Pattern::sequence([ty(0), ty(1)]);
+        let mut store = PartialStore::new(1);
+        let mut dropped = DropSet::new();
+        store.feed(&pattern, 0, &ev(0, 0), 10, &mut dropped);
+        store.feed(&pattern, 1, &ev(0, 1), 10, &mut dropped);
+        // Equal scores: position 1 (younger) went, position 0 survives.
+        assert!(dropped.contains(1));
+        assert!(!dropped.contains(0));
+    }
+
+    #[test]
+    fn shared_positions_survive_eviction() {
+        // any-step pattern where one event feeds multiple matches.
+        let pattern = Pattern::new(vec![
+            PatternStep::single(ty(0)),
+            PatternStep::any_of([ty(1), ty(2)], 2, true),
+        ]);
+        let mut store = PartialStore::new(2);
+        let mut dropped = DropSet::new();
+        store.feed(&pattern, 0, &ev(0, 0), 50, &mut dropped); // match A @ step 1
+        store.feed(&pattern, 1, &ev(0, 1), 40, &mut dropped); // match B @ step 1
+                                                              // Position 2 (type 1) advances both A and B within their any-step.
+        store.feed(&pattern, 2, &ev(1, 2), 5, &mut dropped);
+        assert_eq!(store.live.len(), 2);
+        // A third spawn overflows the budget; the evicted match's positions
+        // that other live matches still reference must not be dropped.
+        let retro = store.feed(&pattern, 3, &ev(0, 3), 1, &mut dropped);
+        assert_eq!(store.live.len(), 2);
+        // The victim is the new spawn itself (utility 1, remaining 2 →
+        // lowest score), so only position 3 goes.
+        assert_eq!(retro, 1);
+        assert!(dropped.contains(3));
+        assert!(!dropped.contains(2));
+    }
+
+    #[test]
+    fn distinct_steps_refuse_repeated_types() {
+        let pattern = Pattern::new(vec![
+            PatternStep::single(ty(0)),
+            PatternStep::any_of([ty(1), ty(2)], 2, true),
+        ]);
+        let mut store = PartialStore::new(8);
+        let mut dropped = DropSet::new();
+        store.feed(&pattern, 0, &ev(0, 0), 10, &mut dropped);
+        store.feed(&pattern, 1, &ev(1, 1), 10, &mut dropped);
+        // A second type-1 event cannot fill the distinct any-step...
+        store.feed(&pattern, 2, &ev(1, 2), 10, &mut dropped);
+        assert_eq!(store.live.len(), 1);
+        assert!(store.protected.is_empty());
+        // ...but a type-2 event completes it.
+        store.feed(&pattern, 3, &ev(2, 3), 10, &mut dropped);
+        assert!(store.live.is_empty());
+        assert_eq!(store.protected, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn single_event_patterns_complete_on_arrival() {
+        let pattern = Pattern::sequence([ty(0)]);
+        let mut store = PartialStore::new(1);
+        let mut dropped = DropSet::new();
+        for p in 0..5 {
+            assert_eq!(store.feed(&pattern, p, &ev(0, p as u64), 10, &mut dropped), 0);
+        }
+        assert!(store.live.is_empty());
+        assert_eq!(store.protected.len(), 5);
+        assert!(dropped.is_empty());
+    }
+}

@@ -316,6 +316,50 @@ impl DropSet {
         }
     }
 
+    /// Records a **retroactive** drop: `position` was kept at decision time
+    /// and is dropped after the fact (partial-match shedding evicting a
+    /// match whose constituents are no longer worth keeping). Unlike
+    /// [`push`](DropSet::push) there is no ordering contract — the position
+    /// is inserted at its sorted place — and inserting an already-dropped
+    /// position is a no-op. Does not trigger the adaptive conversion:
+    /// retro-drops are rare relative to decision-time drops, and the next
+    /// ordinary `push` re-evaluates the crossover anyway.
+    pub fn insert(&mut self, position: usize) {
+        let position = u32::try_from(position).expect("window positions fit in u32");
+        match &mut self.repr {
+            Repr::Sorted(positions) => {
+                if let Err(index) = positions.binary_search(&position) {
+                    positions.insert(index, position);
+                }
+            }
+            Repr::Bitset { words, len } => {
+                let word = position as usize / 64;
+                if word >= words.len() {
+                    words.resize(word + 1, 0);
+                }
+                let bit = 1u64 << (position % 64);
+                if words[word] & bit == 0 {
+                    words[word] |= bit;
+                    *len += 1;
+                }
+            }
+        }
+    }
+
+    /// Whether `position` is recorded as dropped.
+    pub fn contains(&self, position: usize) -> bool {
+        let Ok(position) = u32::try_from(position) else {
+            return false;
+        };
+        match &self.repr {
+            Repr::Sorted(positions) => positions.binary_search(&position).is_ok(),
+            Repr::Bitset { words, .. } => {
+                let word = position as usize / 64;
+                word < words.len() && words[word] & (1 << (position % 64)) != 0
+            }
+        }
+    }
+
     /// Number of dropped positions.
     pub fn len(&self) -> usize {
         match &self.repr {
@@ -566,6 +610,42 @@ mod tests {
         drops.push_run(200, 70);
         let expected: Vec<u32> = (0..2 * BITSET_MIN_DROPS as u32).chain(200..270).collect();
         assert_eq!(drops.iter().collect::<Vec<_>>(), expected);
+    }
+
+    #[test]
+    fn insert_is_order_agnostic_and_idempotent() {
+        for mut drops in [DropSet::new(), DropSet::pinned_bitset()] {
+            drops.push(10);
+            drops.push(40);
+            // Retro-drops arrive out of order, possibly duplicated.
+            drops.insert(25);
+            drops.insert(3);
+            drops.insert(25);
+            drops.insert(40);
+            assert_eq!(drops.iter().collect::<Vec<_>>(), vec![3, 10, 25, 40]);
+            assert_eq!(drops.len(), 4);
+            for p in [3usize, 10, 25, 40] {
+                assert!(drops.contains(p));
+            }
+            for p in [0usize, 11, 26, 41, 1000] {
+                assert!(!drops.contains(p));
+            }
+            // Ordinary pushes keep working past the inserted positions.
+            drops.push(50);
+            assert!(drops.contains(50));
+            assert_eq!(drops.len(), 5);
+        }
+    }
+
+    #[test]
+    fn insert_into_bitset_extends_words() {
+        let mut drops = DropSet::pinned_bitset();
+        drops.insert(200);
+        drops.insert(0);
+        assert!(drops.contains(200));
+        assert!(drops.contains(0));
+        assert!(!drops.contains(199));
+        assert_eq!(drops.iter().collect::<Vec<_>>(), vec![0, 200]);
     }
 
     #[test]

@@ -189,6 +189,41 @@ pub trait WindowEventDecider {
     fn queue_sample(&mut self, sample: &QueueSample) {
         let _ = sample;
     }
+
+    /// The per-window *partial-match* budget, consulted exactly once when
+    /// the window described by `meta` opens. Default: `None`, meaning the
+    /// operator tracks no partial-match store for the window and behaves
+    /// exactly as before this hook existed.
+    ///
+    /// Returning `Some(budget)` arms pSPICE-style shedding for that window:
+    /// the operator tracks the window's open partial matches and, whenever
+    /// more than `budget` are live, evicts the one with the lowest
+    /// utility-per-remaining-cost; kept events referenced only by evicted
+    /// matches are retroactively dropped from the window. The decision is
+    /// per *window open*, so a plan change applies to windows opened after
+    /// it — already-open windows finish under the budget they started with
+    /// (this is what keeps replay-based recovery deterministic).
+    fn partial_match_budget(&mut self, meta: &WindowMeta) -> Option<usize> {
+        let _ = meta;
+        None
+    }
+
+    /// The utility contribution of keeping `event` at `position` of the
+    /// window described by `meta`, feeding the partial-match store's
+    /// utility-per-remaining-cost ordering. Only consulted for windows
+    /// whose [`partial_match_budget`] returned `Some`. Default: 0 (every
+    /// partial match ties; eviction falls back to dropping the youngest).
+    ///
+    /// Must be a **pure function** of `(meta, position, event)`: the
+    /// per-event and chunked span paths consult it in different
+    /// window-interleavings, and byte-identical output across shard counts
+    /// and chunk sizes relies on both paths seeing the same utilities.
+    ///
+    /// [`partial_match_budget`]: WindowEventDecider::partial_match_budget
+    fn constituent_utility(&mut self, meta: &WindowMeta, position: usize, event: &Event) -> u8 {
+        let _ = (meta, position, event);
+        0
+    }
 }
 
 /// A type-erased, engine-owned decider: one element of the dynamic decider
@@ -235,6 +270,14 @@ impl<D: WindowEventDecider + ?Sized> WindowEventDecider for Box<D> {
 
     fn queue_sample(&mut self, sample: &QueueSample) {
         (**self).queue_sample(sample);
+    }
+
+    fn partial_match_budget(&mut self, meta: &WindowMeta) -> Option<usize> {
+        (**self).partial_match_budget(meta)
+    }
+
+    fn constituent_utility(&mut self, meta: &WindowMeta, position: usize, event: &Event) -> u8 {
+        (**self).constituent_utility(meta, position, event)
     }
 }
 
@@ -311,6 +354,14 @@ impl<D: WindowEventDecider> WindowEventDecider for SharedDecider<D> {
     fn queue_sample(&mut self, sample: &QueueSample) {
         self.lock().queue_sample(sample);
     }
+
+    fn partial_match_budget(&mut self, meta: &WindowMeta) -> Option<usize> {
+        self.lock().partial_match_budget(meta)
+    }
+
+    fn constituent_utility(&mut self, meta: &WindowMeta, position: usize, event: &Event) -> u8 {
+        self.lock().constituent_utility(meta, position, event)
+    }
 }
 
 /// A decider that keeps every event. Used for ground-truth (no shedding) runs
@@ -356,6 +407,14 @@ impl<D: WindowEventDecider + ?Sized> WindowEventDecider for &mut D {
 
     fn queue_sample(&mut self, sample: &QueueSample) {
         (**self).queue_sample(sample);
+    }
+
+    fn partial_match_budget(&mut self, meta: &WindowMeta) -> Option<usize> {
+        (**self).partial_match_budget(meta)
+    }
+
+    fn constituent_utility(&mut self, meta: &WindowMeta, position: usize, event: &Event) -> u8 {
+        (**self).constituent_utility(meta, position, event)
     }
 }
 

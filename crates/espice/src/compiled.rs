@@ -290,4 +290,56 @@ mod tests {
         let cloned = cache.clone();
         assert!(cloned.tables.is_empty());
     }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_size_first() {
+        let mut cache = CompiledVerdicts::new();
+        // Fill the cache: sizes 10, 20, …, 80, most recent first.
+        for size in 1..=MAX_TABLES {
+            let _ = cache.table_for(size * 10, 1);
+        }
+        // Touch the oldest entry (size 10): it must move to the front, so
+        // size 20 becomes the least recently used.
+        let _ = cache.table_for(10, 1);
+        let _ = cache.table_for(90, 1);
+        let sizes: Vec<usize> = cache.tables.iter().map(|t| t.window_size).collect();
+        assert_eq!(sizes[0], 90, "newest entry must be most recently used");
+        assert_eq!(sizes[1], 10, "touched entry must have been promoted");
+        assert!(!sizes.contains(&20), "the least recently used size must be evicted");
+        // The survivors keep exact MRU order: 90, 10, then 80 down to 30.
+        assert_eq!(sizes, vec![90, 10, 80, 70, 60, 50, 40, 30]);
+        // Touching an evicted size recreates it (empty, rows uncompiled).
+        let table = cache.table_for(20, 1);
+        assert!(table.built.iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn cold_clone_recompiles_from_current_inputs() {
+        // The chunk-replay recovery contract: a replacement shard replays
+        // from a *cloned* decider whose verdict cache starts cold and
+        // recompiles from the plan and model the clone restores — it must
+        // not inherit rows compiled under the original's inputs.
+        let mut original = CompiledVerdicts::new();
+        let mut fills = 0;
+        let _ = original.table_for(10, 1).verdict(ty(0), 3, |_| {
+            fills += 1;
+            Verdict::Keep
+        });
+        assert_eq!(fills, 11, "original compiled its row");
+
+        let mut recovered = original.clone();
+        assert!(recovered.tables.is_empty(), "recovered cache must start cold");
+        // The recovered shard's inputs changed (say, a re-applied plan now
+        // drops this cell): the clone compiles the *new* verdict while the
+        // original keeps serving its old row without re-filling.
+        let mut recompiles = 0;
+        let verdict = recovered.table_for(10, 1).verdict(ty(0), 3, |_| {
+            recompiles += 1;
+            Verdict::Drop
+        });
+        assert_eq!(verdict, Verdict::Drop, "clone must reflect recompiled inputs");
+        assert_eq!(recompiles, 11, "clone recompiled the row from scratch");
+        let unchanged = original.table_for(10, 1).verdict(ty(0), 3, |_| unreachable!());
+        assert_eq!(unchanged, Verdict::Keep, "original keeps its compiled row");
+    }
 }

@@ -20,6 +20,10 @@
 //! | load shedder (Algorithm 2) | [`EspiceShedder`] |
 //! | bins, variable window size, retraining (§3.6) | [`ModelConfig`], [`UtilityModel::utility`], [`ModelBuilder::reset`] |
 //! | baseline `BL` and random shedding (§4.1) | [`BaselineShedder`], [`RandomShedder`] |
+//! | hSPICE: state-aware per-operator utility | [`HspiceShedder`] |
+//! | pSPICE: shedding partial matches | [`PspiceShedder`] |
+//! | gSPICE: model-based (shrunken) verdicts | [`GspiceShedder`] |
+//! | cross-query model sharing | [`SharedUtilityStats`] |
 //!
 //! All shedders implement [`espice_cep::WindowEventDecider`], so they plug
 //! directly into the CEP operator of the [`espice_cep`] crate.
@@ -64,6 +68,7 @@ mod cdt;
 mod compiled;
 mod config;
 mod control;
+mod family;
 mod model;
 mod overload;
 #[cfg(test)]
@@ -75,6 +80,7 @@ pub use baseline::{BaselineShedder, RandomShedder};
 pub use cdt::Cdt;
 pub use config::{ModelConfig, NormalisationMode};
 pub use control::{ControlAction, ControllerStats, QueueOverloadController, SharedThroughput};
+pub use family::{GspiceShedder, HspiceShedder, PspiceShedder, SharedUtilityStats};
 pub use model::{ModelBuilder, PositionShares, UtilityModel, UtilityTable};
 pub use overload::{suggest_f, OverloadConfig, OverloadDetector, ShedPlan, ShedPlanner};
 pub use retraining::{RetrainOutcome, RetrainPolicy, RetrainingManager, TypeDistribution};
@@ -83,8 +89,9 @@ pub use shedder::{EspiceShedder, ShedderStats};
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
     pub use crate::{
-        BaselineShedder, Cdt, ControlAction, EspiceShedder, ModelBuilder, ModelConfig,
-        NormalisationMode, OverloadConfig, OverloadDetector, QueueOverloadController,
-        RandomShedder, ShedPlan, ShedPlanner, UtilityModel,
+        BaselineShedder, Cdt, ControlAction, EspiceShedder, GspiceShedder, HspiceShedder,
+        ModelBuilder, ModelConfig, NormalisationMode, OverloadConfig, OverloadDetector,
+        PspiceShedder, QueueOverloadController, RandomShedder, SharedUtilityStats, ShedPlan,
+        ShedPlanner, UtilityModel,
     };
 }

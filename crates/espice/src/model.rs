@@ -94,6 +94,16 @@ impl UtilityTable {
         UtilityTable { bins, utilities }
     }
 
+    /// Builds a table directly from per-cell utilities (`utilities[type][bin]`
+    /// in `[0, 100]`). This is how the family backends materialise *derived*
+    /// tables — per-operator boosts (hSPICE) or shrunken model estimates
+    /// (gSPICE) — that plug into the same lookup, CDT and compilation
+    /// machinery as a trained table.
+    pub(crate) fn from_utilities(bins: usize, utilities: Vec<Vec<u8>>) -> Self {
+        debug_assert!(utilities.iter().all(|row| row.len() == bins));
+        UtilityTable { bins, utilities }
+    }
+
     /// Number of event types (the table's `M` dimension).
     pub fn num_types(&self) -> usize {
         self.utilities.len()

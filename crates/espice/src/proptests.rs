@@ -769,4 +769,141 @@ proptest! {
             }
         }
     }
+
+    /// pSPICE's partial-match shedding is pinned byte-identical across the
+    /// shard × chunk-size sweep: an armed [`PspiceShedder`] (per-window
+    /// partial-match stores in the operator, utility-per-remaining-cost
+    /// eviction, retroactive drops) driven through the sharded engine at
+    /// shard counts {1, 2, 4} × chunk capacities {1, 2, 7, 64, 300}
+    /// produces exactly the complex events, merged operator statistics
+    /// (retro-drop accounting included) and decision counters of a
+    /// per-event scalar [`Operator::run`]. Stores are per-window, windows
+    /// are wholly shard-owned, both ingestion paths feed kept positions in
+    /// window order, and the constituent utility is a pure function — so
+    /// chunking and sharding cannot reorder evictions.
+    #[test]
+    fn pspice_partial_match_shedding_is_byte_identical_across_shards_and_chunks(
+        types in prop::collection::vec(0u32..6, 30..140),
+        window_size in 4usize..16,
+        slide in 1usize..4,
+        drop_fraction in 0.1f64..0.8,
+        shedding_on in prop::bool::ANY,
+        chunk_capacity in prop::sample::select(vec![1usize, 2, 7, 64, 300]),
+    ) {
+        let model = model_from(&types[..window_size.min(types.len())], &[0, 2]);
+        let query = Query::builder()
+            .pattern(Pattern::sequence([EventType::from_index(0), EventType::from_index(1)]))
+            .window(WindowSpec::count_sliding(window_size, slide))
+            .build();
+        let events: Vec<Event> = types
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| Event::new(EventType::from_index(t), Timestamp::from_secs(i as u64), i as u64))
+            .collect();
+        let stream = VecStream::from_ordered(events);
+
+        let mut armed = crate::PspiceShedder::new(crate::SharedUtilityStats::new(model));
+        if shedding_on {
+            armed.apply(ShedPlan {
+                active: true,
+                partitions: 2,
+                partition_size: window_size.div_ceil(2),
+                events_to_drop: drop_fraction * window_size.div_ceil(2) as f64,
+            });
+            prop_assert!(armed.budget().is_some());
+        }
+
+        let mut scalar_shedder = armed.clone();
+        let mut scalar = Operator::new(query.clone());
+        let expected = scalar.run(&stream, &mut scalar_shedder);
+        if !shedding_on {
+            prop_assert_eq!(scalar.stats().dropped, 0);
+        }
+
+        for shards in [1usize, 2, 4] {
+            let mut engine = ShardedEngine::new(query.clone(), shards);
+            engine.set_chunk_capacity(chunk_capacity);
+            let mut deciders = vec![armed.clone(); shards];
+            let mut source = espice_events::SliceSource::from_stream(&stream);
+            let merged = engine.run_source(&mut source, &mut deciders);
+            prop_assert_eq!(&merged, &expected,
+                "pSPICE complex events diverged at {} shards, chunk {} (shedding={})",
+                shards, chunk_capacity, shedding_on);
+            prop_assert_eq!(&engine.stats().merged, scalar.stats(),
+                "pSPICE stats diverged at {} shards, chunk {}", shards, chunk_capacity);
+            let mut counters = crate::ShedderStats::default();
+            for decider in &deciders {
+                counters.merge(decider.stats());
+            }
+            prop_assert_eq!(counters.decisions, scalar_shedder.stats().decisions,
+                "pSPICE decision counts diverged at {} shards, chunk {}", shards, chunk_capacity);
+        }
+    }
+
+    /// The table-compiled family backends inherit the span kernel's
+    /// byte-identity: armed [`HspiceShedder`] and [`GspiceShedder`] rows
+    /// driven through the chunked sharded engine produce exactly the
+    /// scalar per-event run's complex events, statistics and shedder
+    /// counters across shard counts {1, 2, 4} × chunk capacities
+    /// {1, 2, 7, 64, 300} — the same pin the eSPICE kernel carries.
+    #[test]
+    fn family_kernels_equal_scalar_decides_across_shards_and_chunks(
+        types in prop::collection::vec(0u32..6, 30..140),
+        window_size in 4usize..16,
+        slide in 1usize..4,
+        drop_fraction in 0.1f64..0.8,
+        use_hspice in prop::bool::ANY,
+        chunk_capacity in prop::sample::select(vec![1usize, 2, 7, 64, 300]),
+    ) {
+        let model = model_from(&types[..window_size.min(types.len())], &[0, 2]);
+        let shared = crate::SharedUtilityStats::new(model);
+        let pattern = Pattern::sequence([EventType::from_index(0), EventType::from_index(1)]);
+        let query = Query::builder()
+            .pattern(pattern.clone())
+            .window(WindowSpec::count_sliding(window_size, slide))
+            .build();
+        let events: Vec<Event> = types
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| Event::new(EventType::from_index(t), Timestamp::from_secs(i as u64), i as u64))
+            .collect();
+        let stream = VecStream::from_ordered(events);
+        let plan = ShedPlan {
+            active: true,
+            partitions: 2,
+            partition_size: window_size.div_ceil(2),
+            events_to_drop: drop_fraction * window_size.div_ceil(2) as f64,
+        };
+
+        // Type-erased clones so one sweep covers both backends (and
+        // exercises the boxed forwarding of the new trait surface).
+        let clone_armed: Box<dyn Fn() -> espice_cep::BoxedDecider> = if use_hspice {
+            let mut shedder = crate::HspiceShedder::new(shared, &pattern);
+            shedder.apply(plan);
+            Box::new(move || Box::new(shedder.clone()))
+        } else {
+            let mut shedder = crate::GspiceShedder::new(shared);
+            shedder.apply(plan);
+            Box::new(move || Box::new(shedder.clone()))
+        };
+
+        let mut scalar_decider = clone_armed();
+        let mut scalar = Operator::new(query.clone());
+        let expected = scalar.run(&stream, &mut scalar_decider);
+
+        for shards in [1usize, 2, 4] {
+            let mut engine = ShardedEngine::new(query.clone(), shards);
+            engine.set_chunk_capacity(chunk_capacity);
+            let mut deciders: Vec<espice_cep::BoxedDecider> =
+                (0..shards).map(|_| clone_armed()).collect();
+            let mut source = espice_events::SliceSource::from_stream(&stream);
+            let merged = engine.run_source(&mut source, &mut deciders);
+            prop_assert_eq!(&merged, &expected,
+                "family complex events diverged at {} shards, chunk {} (hspice={})",
+                shards, chunk_capacity, use_hspice);
+            prop_assert_eq!(&engine.stats().merged, scalar.stats(),
+                "family stats diverged at {} shards, chunk {} (hspice={})",
+                shards, chunk_capacity, use_hspice);
+        }
+    }
 }

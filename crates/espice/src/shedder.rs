@@ -46,11 +46,14 @@ impl ShedderStats {
 
 /// Per-partition shedding state (immutable once a plan is applied; the
 /// mutable boundary accumulators live per *window* in [`ActiveShedding`]).
+/// Crate-visible so the family backends ([`crate::HspiceShedder`],
+/// [`crate::GspiceShedder`]) reuse the exact classification and thinning
+/// machinery against their own derived utility tables.
 #[derive(Debug, Clone)]
-struct PartitionShedding {
+pub(crate) struct PartitionShedding {
     /// Utility threshold `u_th(part)`: events with utility strictly below the
     /// threshold are always dropped. `None` means "drop nothing".
-    threshold: Option<u8>,
+    pub(crate) threshold: Option<u8>,
     /// Fraction of the events *at* the threshold utility that must also be
     /// dropped so the expected number of drops matches the requested amount
     /// exactly instead of overshooting (Algorithm 2 drops "at least x" events;
@@ -67,7 +70,7 @@ impl PartitionShedding {
     /// Split from the thinning so the hot path only touches the per-window
     /// accumulator map in the rare boundary case.
     #[inline]
-    fn classify(&self, utility: u8) -> Option<bool> {
+    pub(crate) fn classify(&self, utility: u8) -> Option<bool> {
         match self.threshold {
             None => Some(false),
             Some(threshold) if utility < threshold => Some(true),
@@ -81,7 +84,7 @@ impl PartitionShedding {
     /// boundary accumulator and drops when it crosses 1. Shared by the
     /// scalar and the batched decision paths so the two are
     /// decision-for-decision identical.
-    fn thin_boundary(&self, accumulator: &mut f64) -> bool {
+    pub(crate) fn thin_boundary(&self, accumulator: &mut f64) -> bool {
         *accumulator += self.boundary_fraction;
         if *accumulator >= 1.0 - 1e-9 {
             *accumulator -= 1.0;
@@ -108,19 +111,20 @@ impl PartitionShedding {
 /// the soccer man-marking workload.)
 /// Engine-wide window key: window ids are only unique within a query, so
 /// per-window shedder state is keyed by the `(query, window id)` pair.
-type WindowKey = (QueryId, WindowId);
+pub(crate) type WindowKey = (QueryId, WindowId);
 
-fn boundary_seed(id: WindowId) -> f64 {
+pub(crate) fn boundary_seed(id: WindowId) -> f64 {
     let _ = id;
     0.5
 }
 
 /// The currently active shedding state: per-partition thresholds plus the
-/// per-window boundary accumulators.
+/// per-window boundary accumulators. Shared with the family backends in
+/// [`crate::family`], which drive it from derived utility tables.
 #[derive(Debug, Clone)]
-struct ActiveShedding {
-    partitions: usize,
-    per_partition: Vec<PartitionShedding>,
+pub(crate) struct ActiveShedding {
+    pub(crate) partitions: usize,
+    pub(crate) per_partition: Vec<PartitionShedding>,
     /// One boundary accumulator per partition per *open* window, created
     /// lazily on the window's first boundary-level decision (decisions
     /// strictly above or below the threshold never touch this) and released
@@ -128,12 +132,12 @@ struct ActiveShedding {
     /// list rather than a hash map: live entries are bounded by the number
     /// of concurrently open windows that hit the boundary level (tens, not
     /// thousands), and a short id scan beats hashing on that scale.
-    accumulators: Vec<(WindowKey, Box<[f64]>)>,
+    pub(crate) accumulators: Vec<(WindowKey, Box<[f64]>)>,
 }
 
 impl ActiveShedding {
     /// The accumulators of window `id`, seeding them on first contact.
-    fn accumulators_for(
+    pub(crate) fn accumulators_for(
         accumulators: &mut Vec<(WindowKey, Box<[f64]>)>,
         partitions: usize,
         key: WindowKey,
@@ -149,11 +153,48 @@ impl ActiveShedding {
 
     /// Releases the accumulators of window `key = (query, id)` (no-op if
     /// it never hit the boundary level).
-    fn release(&mut self, key: WindowKey) {
+    pub(crate) fn release(&mut self, key: WindowKey) {
         if let Some(index) = self.accumulators.iter().position(|(window, _)| *window == key) {
             self.accumulators.swap_remove(index);
         }
     }
+}
+
+/// Per-partition thresholds for a plan asking to drop `events_to_drop` out
+/// of every `partition_size` events, computed against the given partition
+/// `CDT`s (`getUtilityThresholdForEachPartition` in Algorithm 2, factored
+/// out of [`EspiceShedder`] so the family backends compute thresholds for
+/// CDTs built from their *derived* utility tables with the same math).
+///
+/// The drop amount is interpreted as a *fraction* (`x / psize`) and scaled
+/// by each partition's own expected event mass, so the thresholds stay
+/// correct even when the window size the plan was computed for differs
+/// from the model's position count (variable-size windows).
+pub(crate) fn partition_thresholds(
+    cdts: &[Cdt],
+    events_to_drop: f64,
+    partition_size: usize,
+) -> Vec<PartitionShedding> {
+    let drop_fraction = events_to_drop / partition_size.max(1) as f64;
+    cdts.iter()
+        .map(|cdt: &Cdt| {
+            let target = drop_fraction * cdt.total();
+            if target <= 0.0 {
+                return PartitionShedding { threshold: None, boundary_fraction: 0.0 };
+            }
+            // If even utility 100 cannot reach the requested amount the
+            // partition simply drops everything it can (threshold 100).
+            let threshold = cdt.threshold_for(target).unwrap_or(100);
+            let below = if threshold == 0 { 0.0 } else { cdt.occurrences(threshold - 1) };
+            let at_threshold = (cdt.occurrences(threshold) - below).max(0.0);
+            let boundary_fraction = if at_threshold <= 0.0 {
+                1.0
+            } else {
+                ((target - below) / at_threshold).clamp(0.0, 1.0)
+            };
+            PartitionShedding { threshold: Some(threshold), boundary_fraction }
+        })
+        .collect()
 }
 
 /// eSPICE's probabilistic load shedder.
@@ -263,28 +304,7 @@ impl EspiceShedder {
         events_to_drop: f64,
         partition_size: usize,
     ) -> Vec<PartitionShedding> {
-        let drop_fraction = events_to_drop / partition_size.max(1) as f64;
-        self.model
-            .cdt_partitions(partitions)
-            .iter()
-            .map(|cdt: &Cdt| {
-                let target = drop_fraction * cdt.total();
-                if target <= 0.0 {
-                    return PartitionShedding { threshold: None, boundary_fraction: 0.0 };
-                }
-                // If even utility 100 cannot reach the requested amount the
-                // partition simply drops everything it can (threshold 100).
-                let threshold = cdt.threshold_for(target).unwrap_or(100);
-                let below = if threshold == 0 { 0.0 } else { cdt.occurrences(threshold - 1) };
-                let at_threshold = (cdt.occurrences(threshold) - below).max(0.0);
-                let boundary_fraction = if at_threshold <= 0.0 {
-                    1.0
-                } else {
-                    ((target - below) / at_threshold).clamp(0.0, 1.0)
-                };
-                PartitionShedding { threshold: Some(threshold), boundary_fraction }
-            })
-            .collect()
+        partition_thresholds(&self.model.cdt_partitions(partitions), events_to_drop, partition_size)
     }
 
     /// Applies a drop command from the overload detector: computes the utility

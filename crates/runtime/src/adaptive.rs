@@ -1,6 +1,9 @@
 //! A common interface for shedders that react to drop commands at run time.
 
-use espice::{BaselineShedder, EspiceShedder, RandomShedder, ShedPlan};
+use espice::{
+    BaselineShedder, EspiceShedder, GspiceShedder, HspiceShedder, PspiceShedder, RandomShedder,
+    ShedPlan,
+};
 use espice_cep::{Decision, SharedDecider, WindowEventDecider, WindowMeta};
 use espice_events::Event;
 
@@ -99,6 +102,48 @@ impl AdaptiveShedder for BaselineShedder {
     }
 }
 
+impl AdaptiveShedder for HspiceShedder {
+    fn apply_plan(&mut self, plan: ShedPlan) {
+        self.apply(plan);
+    }
+
+    fn deactivate(&mut self) {
+        HspiceShedder::deactivate(self);
+    }
+
+    fn is_active(&self) -> bool {
+        HspiceShedder::is_active(self)
+    }
+}
+
+impl AdaptiveShedder for GspiceShedder {
+    fn apply_plan(&mut self, plan: ShedPlan) {
+        self.apply(plan);
+    }
+
+    fn deactivate(&mut self) {
+        GspiceShedder::deactivate(self);
+    }
+
+    fn is_active(&self) -> bool {
+        GspiceShedder::is_active(self)
+    }
+}
+
+impl AdaptiveShedder for PspiceShedder {
+    fn apply_plan(&mut self, plan: ShedPlan) {
+        self.apply(plan);
+    }
+
+    fn deactivate(&mut self) {
+        PspiceShedder::deactivate(self);
+    }
+
+    fn is_active(&self) -> bool {
+        PspiceShedder::is_active(self)
+    }
+}
+
 /// [`RandomShedder`] adaptor that remembers the expected window size the drop
 /// probability must be computed against.
 #[derive(Debug, Clone)]
@@ -169,6 +214,25 @@ mod tests {
         assert!(AdaptiveShedder::is_active(&shedder));
         AdaptiveShedder::deactivate(&mut shedder);
         assert!(!AdaptiveShedder::is_active(&shedder));
+    }
+
+    #[test]
+    fn family_backends_implement_adaptive() {
+        use espice::SharedUtilityStats;
+        let model = ModelBuilder::new(ModelConfig::with_positions(10), 1).build();
+        let shared = SharedUtilityStats::new(model);
+        let pattern = Pattern::sequence([EventType::from_index(0)]);
+        let mut shedders: Vec<Box<dyn AdaptiveShedder + Send>> = vec![
+            Box::new(HspiceShedder::new(shared.clone(), &pattern)),
+            Box::new(GspiceShedder::new(shared.clone())),
+            Box::new(PspiceShedder::new(shared)),
+        ];
+        for shedder in &mut shedders {
+            shedder.apply_plan(plan());
+            assert!(shedder.is_active());
+            shedder.deactivate();
+            assert!(!shedder.is_active());
+        }
     }
 
     #[test]

@@ -18,8 +18,9 @@
 use crate::adaptive::{AdaptiveShedder, RandomAdaptive};
 use crate::metrics::QualityMetrics;
 use espice::{
-    BaselineShedder, EspiceShedder, ModelBuilder, ModelConfig, OverloadConfig, RandomShedder,
-    ShedPlan, ShedPlanner, UtilityModel,
+    BaselineShedder, EspiceShedder, GspiceShedder, HspiceShedder, ModelBuilder, ModelConfig,
+    OverloadConfig, PspiceShedder, RandomShedder, SharedUtilityStats, ShedPlan, ShedPlanner,
+    UtilityModel,
 };
 use espice_cep::{
     ComplexEvent, Operator, Query, QuerySet, ResilienceOptions, ShardStatus, ShardedEngine,
@@ -72,16 +73,35 @@ pub enum ShedderKind {
     Baseline,
     /// Uniform random shedding.
     Random,
+    /// hSPICE: per-operator, pattern-aware utility tables over the shared
+    /// model ([`HspiceShedder`]).
+    Hspice,
+    /// pSPICE: partial-match shedding inside the operator
+    /// ([`PspiceShedder`]).
+    Pspice,
+    /// gSPICE: model-based verdicts with empirical-Bayes shrinkage over the
+    /// shared model ([`GspiceShedder`]).
+    Gspice,
 }
 
 impl ShedderKind {
-    /// Short label used in reports ("eSPICE", "BL", "Random").
+    /// Short label used in reports ("eSPICE", "BL", "Random", "hSPICE",
+    /// "pSPICE", "gSPICE").
     pub fn label(&self) -> &'static str {
         match self {
             ShedderKind::Espice => "eSPICE",
             ShedderKind::Baseline => "BL",
             ShedderKind::Random => "Random",
+            ShedderKind::Hspice => "hSPICE",
+            ShedderKind::Pspice => "pSPICE",
+            ShedderKind::Gspice => "gSPICE",
         }
+    }
+
+    /// The four SPICE-family strategies compared by the quality matrix, in
+    /// report order.
+    pub fn family() -> [ShedderKind; 4] {
+        [ShedderKind::Espice, ShedderKind::Hspice, ShedderKind::Pspice, ShedderKind::Gspice]
     }
 }
 
@@ -184,6 +204,12 @@ impl QualityOutcome {
 pub struct Experiment {
     config: ExperimentConfig,
     model: UtilityModel,
+    /// One shared handle over the trained model for the whole experiment:
+    /// every hSPICE/pSPICE/gSPICE shedder built by [`shedder_for`]
+    /// (`Self::shedder_for`) — across shards *and* across queries —
+    /// derives from this one handle, so a fused run trains once and shares
+    /// the model everywhere (the family's cross-query model sharing).
+    shared: SharedUtilityStats,
     training_stream: VecStream,
     eval_stream: VecStream,
     type_count: usize,
@@ -226,13 +252,20 @@ impl Experiment {
             }
         }
         let model = builder.build();
+        let shared = SharedUtilityStats::new(model.clone());
 
-        Experiment { config, model, training_stream, eval_stream, type_count }
+        Experiment { config, model, shared, training_stream, eval_stream, type_count }
     }
 
     /// The trained utility model.
     pub fn model(&self) -> &UtilityModel {
         &self.model
+    }
+
+    /// The shared-model handle every family shedder of this experiment
+    /// derives from (cross-query model sharing).
+    pub fn shared_stats(&self) -> &SharedUtilityStats {
+        &self.shared
     }
 
     /// The experiment configuration.
@@ -461,6 +494,24 @@ impl Experiment {
             .collect()
     }
 
+    /// The comparative quality study behind the CI quality matrix: runs one
+    /// fused [`evaluate_mixed`](Self::evaluate_mixed) pass per strategy in
+    /// `kinds` — every query of the set armed with that strategy — and
+    /// returns one `Vec<QualityOutcome>` per strategy, in `kinds` order
+    /// (outcomes within each vector are in query order).
+    ///
+    /// All strategies share one ground truth per study (the fused
+    /// keep-everything pass embedded in `evaluate_mixed` is deterministic),
+    /// and every family shedder shares the experiment's single trained
+    /// model via [`shared_stats`](Self::shared_stats).
+    pub fn quality_study(
+        &self,
+        queries: &QuerySet,
+        kinds: &[ShedderKind],
+    ) -> Vec<Vec<QualityOutcome>> {
+        kinds.iter().map(|&kind| self.evaluate_set(queries, kind)).collect()
+    }
+
     /// Evaluates `queries` with the eSPICE shedder on the **fault-tolerant**
     /// streaming backend ([`ShardedEngine::run_source_resilient`]): the same
     /// fused pipeline as [`evaluate_set`](Self::evaluate_set) with
@@ -563,6 +614,11 @@ impl Experiment {
                 RandomShedder::new(seed),
                 self.model.average_window_size(),
             )),
+            ShedderKind::Hspice => {
+                Box::new(HspiceShedder::new(self.shared.clone(), query.pattern()))
+            }
+            ShedderKind::Pspice => Box::new(PspiceShedder::new(self.shared.clone())),
+            ShedderKind::Gspice => Box::new(GspiceShedder::new(self.shared.clone())),
         }
     }
 }
@@ -674,6 +730,54 @@ mod tests {
         let a = experiment.evaluate(&query, ShedderKind::Espice);
         let b = experiment.evaluate(&query, ShedderKind::Espice);
         assert_eq!(a.metrics, b.metrics);
+    }
+
+    #[test]
+    fn family_strategies_shed_and_share_one_model() {
+        let ds = dataset();
+        let query = queries::q3(&ds, 8, 200, SelectionPolicy::First);
+        let experiment = Experiment::train(
+            std::slice::from_ref(&query),
+            &ds.stream,
+            ds.registry.len(),
+            ModelConfig::with_positions(200),
+            ExperimentConfig { shards: 2, ..config() },
+        );
+        let set = espice_cep::QuerySet::new(vec![query]);
+        let study = experiment.quality_study(&set, &ShedderKind::family());
+        assert_eq!(study.len(), 4);
+        for (kind, outcomes) in ShedderKind::family().iter().zip(&study) {
+            assert_eq!(outcomes.len(), 1);
+            let outcome = &outcomes[0];
+            assert_eq!(outcome.shedder, *kind);
+            assert!(outcome.metrics.ground_truth > 0, "{}: no ground truth", kind.label());
+            // pSPICE sheds operator *state* (retro-dropping only events
+            // orphaned by evicted partial matches), so its assignment drop
+            // ratio is legitimately near zero when the match store stays
+            // within budget; the input-shedding strategies must drop.
+            if *kind != ShedderKind::Pspice {
+                assert!(outcome.drop_ratio > 0.01, "{}: dropped almost nothing", kind.label());
+            }
+            assert!(outcome.metrics.recall() > 0.0, "{}: shed everything useful", kind.label());
+        }
+        // All shedders derived from the experiment's single shared model.
+        assert!(espice::SharedUtilityStats::handles(experiment.shared_stats()) >= 1);
+    }
+
+    #[test]
+    fn family_labels_are_distinct() {
+        let labels: std::collections::HashSet<_> = [
+            ShedderKind::Espice,
+            ShedderKind::Baseline,
+            ShedderKind::Random,
+            ShedderKind::Hspice,
+            ShedderKind::Pspice,
+            ShedderKind::Gspice,
+        ]
+        .iter()
+        .map(|k| k.label())
+        .collect();
+        assert_eq!(labels.len(), 6);
     }
 
     #[test]

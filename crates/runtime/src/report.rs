@@ -156,6 +156,41 @@ pub fn per_query_quality_table(
     (table, footer)
 }
 
+/// Renders the comparative quality matrix of a
+/// [`quality_study`](crate::Experiment::quality_study): one row per
+/// strategy, and per query a recall, false-positive-ratio and realised
+/// drop-ratio column (ratios in `[0, 1]`, against that query's ground
+/// truth).
+///
+/// # Panics
+///
+/// Panics if the study's shape does not match `kinds` × `names`.
+pub fn strategy_quality_table(
+    kinds: &[crate::ShedderKind],
+    names: &[&str],
+    study: &[Vec<crate::QualityOutcome>],
+) -> Table {
+    assert_eq!(kinds.len(), study.len(), "need exactly one outcome row per strategy");
+    let mut columns = Vec::new();
+    for name in names {
+        columns.push(format!("{name}: recall"));
+        columns.push(format!("{name}: FP ratio"));
+        columns.push(format!("{name}: drop"));
+    }
+    let mut table = Table::new("strategy", columns);
+    for (kind, outcomes) in kinds.iter().zip(study) {
+        assert_eq!(outcomes.len(), names.len(), "need exactly one outcome per query");
+        let mut values = Vec::with_capacity(names.len() * 3);
+        for outcome in outcomes {
+            values.push(outcome.metrics.recall());
+            values.push(outcome.false_positive_pct() / 100.0);
+            values.push(outcome.drop_ratio);
+        }
+        table.add_row(kind.label(), values);
+    }
+    table
+}
+
 /// Renders one row per query slot of a live (lifecycle-enabled) run:
 /// admission and retirement positions from the [`LifecycleReport`], plus
 /// the slot's events processed, complex events and realised drop ratio
@@ -260,6 +295,37 @@ mod tests {
         assert!(text.contains("5.00") && text.contains("9.00"));
         assert!(footer.contains("capacity 64"));
         assert!(footer.contains("peak depth 12"));
+    }
+
+    #[test]
+    fn strategy_matrix_lists_each_strategy_against_each_query() {
+        let outcome = |kind, fp: usize| crate::QualityOutcome {
+            shedder: kind,
+            metrics: crate::QualityMetrics {
+                ground_truth: 100,
+                detected: 90 + fp,
+                true_positives: 90,
+                false_positives: fp,
+                false_negatives: 10,
+            },
+            plan: espice::ShedPlan::inactive(),
+            drop_ratio: 0.2,
+            windows: 40,
+            queue: None,
+        };
+        let kinds = [crate::ShedderKind::Espice, crate::ShedderKind::Gspice];
+        let study = vec![
+            vec![outcome(kinds[0], 0), outcome(kinds[0], 4)],
+            vec![outcome(kinds[1], 2), outcome(kinds[1], 6)],
+        ];
+        let table = strategy_quality_table(&kinds, &["soccer", "stock"], &study);
+        let text = table.render();
+        assert!(text.contains("eSPICE") && text.contains("gSPICE"));
+        assert!(text.contains("soccer: recall") && text.contains("stock: FP ratio"));
+        assert_eq!(table.len(), 2);
+        // recall 0.9 for every cell, FP ratio 0.06 for gSPICE on stock.
+        assert!(text.contains("0.90"));
+        assert!(text.contains("0.06"));
     }
 
     #[test]
